@@ -1,0 +1,281 @@
+// Command vliwvp is the toolchain driver: it compiles VL programs, runs
+// them on the sequential interpreter or the dual-engine VLIW simulator,
+// prints value profiles, and dumps IR and schedules.
+//
+// Usage:
+//
+//	vliwvp run       [-bench name | file.vl]            sequential run
+//	vliwvp compile   [-mach 4-wide] [-sched] [...]      dump IR (and schedules)
+//	vliwvp profile   [...]                              load value profiles
+//	vliwvp sim       [-mach 4-wide] [-spec] [...]       dual-engine simulation
+//	vliwvp bench -list                                  list built-in benchmarks
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"vliwvp"
+	"vliwvp/internal/ddg"
+	"vliwvp/internal/lang"
+	"vliwvp/internal/machine"
+	"vliwvp/internal/opt"
+	"vliwvp/internal/sched"
+	"vliwvp/internal/workload"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "run":
+		err = cmdRun(args)
+	case "compile":
+		err = cmdCompile(args)
+	case "profile":
+		err = cmdProfile(args)
+	case "sim":
+		err = cmdSim(args)
+	case "bench":
+		err = cmdBench(args)
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vliwvp:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: vliwvp <run|compile|profile|sim|bench> [flags] [file.vl]
+  run      execute a program on the sequential interpreter
+  compile  dump optimized IR (and VLIW schedules with -sched)
+  profile  print per-load value profiles (stride/FCM rates)
+  sim      execute on the dual-engine VLIW machine (-spec enables prediction)
+  bench    -list the built-in benchmark kernels
+Programs come from a .vl source file or -bench <name>.`)
+}
+
+// loadProgram reads a program from -bench or a source file path.
+func loadProgram(fs *flag.FlagSet, sys *vliwvp.System, args []string) (*vliwvp.Program, error) {
+	bench := fs.String("bench", "", "built-in benchmark name instead of a source file")
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	if *bench != "" {
+		return sys.CompileBenchmark(*bench)
+	}
+	if fs.NArg() != 1 {
+		return nil, fmt.Errorf("need exactly one source file (or -bench name)")
+	}
+	src, err := os.ReadFile(fs.Arg(0))
+	if err != nil {
+		return nil, err
+	}
+	return sys.Compile(string(src))
+}
+
+func sysFor(name string) (*vliwvp.System, error) {
+	d := machine.ByName(name)
+	if d == nil {
+		return nil, fmt.Errorf("unknown machine %q (try 2-wide, 4-wide, 8-wide, 16-wide)", name)
+	}
+	return vliwvp.NewSystem(d.Width)
+}
+
+func cmdRun(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ContinueOnError)
+	sys, _ := vliwvp.NewSystem(4)
+	prog, err := loadProgram(fs, sys, args)
+	if err != nil {
+		return err
+	}
+	res, err := prog.Interpret()
+	if err != nil {
+		return err
+	}
+	for _, line := range res.Output {
+		fmt.Println(line)
+	}
+	fmt.Printf("result: %d (%d dynamic operations)\n", int64(res.Value), res.DynOps)
+	return nil
+}
+
+func cmdCompile(args []string) error {
+	fs := flag.NewFlagSet("compile", flag.ContinueOnError)
+	mach := fs.String("mach", "4-wide", "machine description")
+	dumpSched := fs.Bool("sched", false, "also dump VLIW schedules")
+	bench := fs.String("bench", "", "built-in benchmark name")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var src string
+	if *bench != "" {
+		b := workload.ByName(*bench)
+		if b == nil {
+			return fmt.Errorf("unknown benchmark %q", *bench)
+		}
+		src = b.Source
+	} else {
+		if fs.NArg() != 1 {
+			return fmt.Errorf("need exactly one source file (or -bench name)")
+		}
+		data, err := os.ReadFile(fs.Arg(0))
+		if err != nil {
+			return err
+		}
+		src = string(data)
+	}
+	p, err := lang.Compile(src)
+	if err != nil {
+		return err
+	}
+	opt.Optimize(p)
+	fmt.Print(p)
+	if !*dumpSched {
+		return nil
+	}
+	d := machine.ByName(*mach)
+	if d == nil {
+		return fmt.Errorf("unknown machine %q", *mach)
+	}
+	for _, f := range p.Funcs {
+		for _, b := range f.Blocks {
+			g := ddg.Build(b, d.Latency, ddg.Options{})
+			s := sched.ScheduleBlock(b, g, d)
+			fmt.Printf("\nschedule %s b%d (%d cycles):\n", f.Name, b.ID, s.Length())
+			for c, in := range s.Instrs {
+				for _, op := range in.Ops {
+					fmt.Printf("  c%-3d %v\n", c, op)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func cmdProfile(args []string) error {
+	fs := flag.NewFlagSet("profile", flag.ContinueOnError)
+	sys, _ := vliwvp.NewSystem(4)
+	prog, err := loadProgram(fs, sys, args)
+	if err != nil {
+		return err
+	}
+	prof, err := prog.Profile()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-16s %6s %12s %8s %8s %8s\n", "function", "op", "executions", "stride", "fcm", "max")
+	for k, lp := range prof.Loads {
+		fmt.Printf("%-16s %6d %12d %7.1f%% %7.1f%% %7.1f%%\n",
+			k.Func, k.OpID, lp.Count, 100*lp.StrideRate, 100*lp.FCMRate, 100*lp.Rate())
+	}
+	return nil
+}
+
+func cmdSim(args []string) error {
+	fs := flag.NewFlagSet("sim", flag.ContinueOnError)
+	mach := fs.String("mach", "4-wide", "machine description")
+	specOn := fs.Bool("spec", false, "enable value speculation")
+	ifConv := fs.Bool("ifconv", false, "apply Select-based if-conversion before speculation")
+	regionsOn := fs.Bool("regions", false, "apply superblock region formation before speculation")
+	serial := fs.Bool("serial", false, "use the [4]-style serial-recovery machine (implies -spec, -bench only)")
+	bench := fs.String("bench", "", "built-in benchmark name")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	sys, err := sysFor(*mach)
+	if err != nil {
+		return err
+	}
+	sys.IfConvert = *ifConv
+	sys.Regions = *regionsOn
+	if *serial {
+		if *bench == "" {
+			return fmt.Errorf("-serial requires -bench <name>")
+		}
+		b := workload.ByName(*bench)
+		if b == nil {
+			return fmt.Errorf("unknown benchmark %q", *bench)
+		}
+		r := sys.Experiments()
+		row, err := r.SpeedupSerial(b)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("serial-recovery machine [4]: %d cycles"+"\n", row.SpecCycles)
+		fmt.Printf("predictions: %d  mispredicts (serial recoveries): %d"+"\n", row.Predictions, row.Mispredicts)
+		return nil
+	}
+	var prog *vliwvp.Program
+	if *bench != "" {
+		prog, err = sys.CompileBenchmark(*bench)
+	} else {
+		if fs.NArg() != 1 {
+			return fmt.Errorf("need exactly one source file (or -bench name)")
+		}
+		var data []byte
+		data, err = os.ReadFile(fs.Arg(0))
+		if err == nil {
+			prog, err = sys.Compile(string(data))
+		}
+	}
+	if err != nil {
+		return err
+	}
+
+	var res *vliwvp.SimResult
+	if *specOn {
+		prof, err := prog.Profile()
+		if err != nil {
+			return err
+		}
+		sp, err := prog.Speculate(prof)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%d prediction sites selected\n", len(sp.Sites()))
+		res, err = sp.Simulate()
+		if err != nil {
+			return err
+		}
+	} else {
+		res, err = prog.Simulate()
+		if err != nil {
+			return err
+		}
+	}
+	for _, line := range res.Output {
+		fmt.Println(line)
+	}
+	fmt.Printf("result: %d\n", int64(res.Value))
+	fmt.Printf("cycles: %d  instructions: %d  operations: %d\n", res.Cycles, res.Instrs, res.Ops)
+	if res.Predictions > 0 {
+		fmt.Printf("predictions: %d  mispredicts: %d  CCE executed: %d  flushed: %d  sync stalls: %d\n",
+			res.Predictions, res.Mispredicts, res.CCEExecuted, res.CCEFlushed, res.StallSync)
+		fmt.Printf("peak CCB occupancy: %d entries\n", res.MaxCCBOccupancy)
+	}
+	return nil
+}
+
+func cmdBench(args []string) error {
+	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
+	list := fs.Bool("list", false, "list built-in benchmarks")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		for _, b := range workload.All() {
+			fmt.Printf("%-10s %-15s %s\n", b.Name, b.Suite, b.Description)
+		}
+		return nil
+	}
+	return fmt.Errorf("bench: only -list is supported; use run/sim -bench <name> to execute one")
+}

@@ -1,0 +1,110 @@
+// Command vpexp regenerates the paper's evaluation artifacts (Tables 2-4,
+// Figure 8, the baseline-recovery comparison, and the end-to-end dynamic
+// speedup) from the pipeline in this repository. See DESIGN.md's
+// per-experiment index.
+//
+// Usage:
+//
+//	vpexp -exp table2|table3|table4|fig8|baseline|speedup|all [-mach 4-wide]
+//	vpexp -exp threshold|predictors|ccb|regions|hyperblocks|disambig|ablations
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"vliwvp/internal/exp"
+	"vliwvp/internal/machine"
+)
+
+func main() {
+	which := flag.String("exp", "all", "experiment: table2, table3, table4, fig8, baseline, speedup, all, "+
+		"or an ablation: threshold, predictors, ccb, regions, disambig, ablations")
+	mach := flag.String("mach", "4-wide", "machine description for single-width experiments")
+	flag.Parse()
+
+	d := machine.ByName(*mach)
+	if d == nil {
+		fmt.Fprintf(os.Stderr, "vpexp: unknown machine %q\n", *mach)
+		os.Exit(2)
+	}
+	r := exp.NewRunner(d)
+
+	run := func(name string, f func() error) {
+		if *which != "all" && *which != name {
+			return
+		}
+		if err := f(); err != nil {
+			fmt.Fprintf(os.Stderr, "vpexp: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+	}
+	runAblation := func(name string, f func(*machine.Desc) (fmt.Stringer, error)) {
+		if *which != "ablations" && *which != name {
+			return
+		}
+		t, err := f(d)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "vpexp: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println(t)
+	}
+
+	run("table2", func() error {
+		t, _, err := exp.RenderTable2(r)
+		if err != nil {
+			return err
+		}
+		fmt.Println(t)
+		return nil
+	})
+	run("table3", func() error {
+		t, _, err := exp.RenderTable3(r)
+		if err != nil {
+			return err
+		}
+		fmt.Println(t)
+		return nil
+	})
+	run("fig8", func() error {
+		t, _, err := exp.RenderFigure8(r)
+		if err != nil {
+			return err
+		}
+		fmt.Println(t)
+		return nil
+	})
+	run("table4", func() error {
+		t, _, err := exp.RenderTable4()
+		if err != nil {
+			return err
+		}
+		fmt.Println(t)
+		return nil
+	})
+	run("baseline", func() error {
+		t, _, err := exp.RenderBaseline(r, exp.DefaultICache)
+		if err != nil {
+			return err
+		}
+		fmt.Println(t)
+		return nil
+	})
+	run("speedup", func() error {
+		t, _, err := exp.RenderSpeedup(r)
+		if err != nil {
+			return err
+		}
+		fmt.Println(t)
+		return nil
+	})
+
+	runAblation("threshold", func(d *machine.Desc) (fmt.Stringer, error) { return exp.RenderThresholdSweep(d) })
+	runAblation("predictors", func(d *machine.Desc) (fmt.Stringer, error) { return exp.RenderPredictorAblation(d) })
+	runAblation("ccb", func(d *machine.Desc) (fmt.Stringer, error) { return exp.RenderCCBSweep(d) })
+	runAblation("regions", func(d *machine.Desc) (fmt.Stringer, error) { return exp.RenderRegionAblation(d) })
+	runAblation("hyperblocks", func(d *machine.Desc) (fmt.Stringer, error) { return exp.RenderHyperblockMatrix(d) })
+	runAblation("disambig", func(d *machine.Desc) (fmt.Stringer, error) { return exp.RenderDisambiguationAblation(d) })
+}

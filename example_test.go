@@ -1,0 +1,90 @@
+package vliwvp_test
+
+import (
+	"fmt"
+	"log"
+
+	"vliwvp"
+)
+
+// Example walks the whole pipeline on a small strided kernel: the golden
+// sequential run, value profiling, the LdPred/check transformation, and
+// dual-engine execution with live predictors.
+func Example() {
+	const src = `
+var a[128]
+func main() {
+	for var i = 0; i < 128; i = i + 1 { a[i] = i * 4 }
+	var s = 0
+	for var i = 0; i < 128; i = i + 1 {
+		var x = a[i]
+		s = s + x * 3 - (x >> 1)
+	}
+	return s
+}`
+	sys, err := vliwvp.NewSystem(4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	prog, err := sys.Compile(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	golden, err := prog.Interpret()
+	if err != nil {
+		log.Fatal(err)
+	}
+	prof, err := prog.Profile()
+	if err != nil {
+		log.Fatal(err)
+	}
+	spec, err := prog.Speculate(prof)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fast, err := spec.Simulate()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("sites selected:", len(spec.Sites()) > 0)
+	fmt.Println("architecturally identical:", fast.Value == golden.Value)
+	// Output:
+	// sites selected: true
+	// architecturally identical: true
+}
+
+// ExampleSystem_CompileBenchmark runs a built-in SPEC95 stand-in kernel on
+// the sequential golden model.
+func ExampleSystem_CompileBenchmark() {
+	sys, err := vliwvp.NewSystem(4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	prog, err := sys.CompileBenchmark("m88ksim")
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := prog.Interpret()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("deterministic checksum:", res.Value)
+	// Output:
+	// deterministic checksum: 318876
+}
+
+// ExampleBenchmarks lists the benchmark suite.
+func ExampleBenchmarks() {
+	for _, b := range vliwvp.Benchmarks() {
+		fmt.Println(b.Name)
+	}
+	// Output:
+	// compress
+	// ijpeg
+	// li
+	// m88ksim
+	// vortex
+	// hydro2d
+	// swim
+	// tomcatv
+}

@@ -1,0 +1,96 @@
+// Command regionsdemo demonstrates the extension the paper anticipates in
+// §3 — "For larger regions such as hyperblocks and superblocks, we expect
+// to see a further improvement": profile-guided superblock formation (trace
+// growing with tail duplication) before value speculation. It shows the CFG
+// before and after formation on a biased-branch loop and the end-to-end
+// cycle gain on two benchmark kernels.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"vliwvp/internal/exp"
+	"vliwvp/internal/ir"
+	"vliwvp/internal/lang"
+	"vliwvp/internal/machine"
+	"vliwvp/internal/opt"
+	"vliwvp/internal/profile"
+	"vliwvp/internal/regions"
+	"vliwvp/internal/workload"
+)
+
+const demoSrc = `
+var a[256]
+func main() {
+	var s = 0
+	for var i = 0; i < 256; i = i + 1 {
+		var x = a[i] * 3
+		if i % 8 != 0 {
+			x = x + 7        # hot arm: taken 7 of 8 iterations
+		} else {
+			x = x - 100      # cold arm
+		}
+		a[i] = x             # join block: two predecessors
+		s = s + x
+	}
+	return s
+}`
+
+func main() {
+	prog, err := lang.Compile(demoSrc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opt.Optimize(prog)
+
+	fmt.Println("=== CFG before region formation ===")
+	printCFG(prog)
+
+	prof, err := profile.Collect(prog, "main")
+	if err != nil {
+		log.Fatal(err)
+	}
+	stats := regions.Form(prog, prof, regions.DefaultConfig())
+	fmt.Printf("\nformation: %d straight-line merges, %d tail duplications (+%d ops)\n\n",
+		stats["main"].Merged, stats["main"].Duplicated, stats["main"].GrownOps)
+
+	fmt.Println("=== CFG after region formation ===")
+	printCFG(prog)
+	fmt.Println(`
+The hot if-arm absorbed its own copy of the join and loop-increment code
+(tail duplication), producing a long single-entry trace; the cold arm keeps
+the original join. Longer traces expose more of the dependence chain to the
+value-speculation pass and delete branch boundaries outright.`)
+
+	fmt.Println("=== End-to-end effect on benchmark kernels (4-wide) ===")
+	base := exp.NewRunner(machine.W4)
+	reg := exp.NewRunner(machine.W4)
+	reg.Regions = true
+	fmt.Printf("%-10s %22s %22s %8s\n", "benchmark", "spec cycles (blocks)", "spec cycles (regions)", "gain")
+	for _, name := range []string{"compress", "vortex"} {
+		w := workload.ByName(name)
+		rb, err := base.Speedup(w)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rr, err := reg.Speedup(w)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10s %22d %22d %7.3fx\n", name, rb.SpecCycles, rr.SpecCycles,
+			float64(rb.SpecCycles)/float64(rr.SpecCycles))
+	}
+	fmt.Println("\nBoth runs validate bit-for-bit against the sequential interpreter.")
+}
+
+func printCFG(prog *ir.Program) {
+	f := prog.Func("main")
+	for _, b := range f.Blocks {
+		term := "-"
+		if t := b.Terminator(); t != nil {
+			term = t.Code.String()
+		}
+		fmt.Printf("  b%-2d %3d ops  ends %-4s  -> %v"+"\n", b.ID, len(b.Ops), term, b.Succs)
+	}
+}

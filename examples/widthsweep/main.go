@@ -1,0 +1,58 @@
+// Command widthsweep reproduces the paper's issue-width observation (§3,
+// Table 4): the benefit of value prediction grows with machine width. It
+// runs one integer and one floating-point benchmark end to end on every
+// stock machine and prints the per-width speedups and best-case
+// schedule-length ratios.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"vliwvp"
+	"vliwvp/internal/exp"
+	"vliwvp/internal/machine"
+	"vliwvp/internal/workload"
+)
+
+func main() {
+	names := []string{"m88ksim", "hydro2d"}
+	fmt.Printf("%-10s %-8s %12s %12s %9s %11s\n",
+		"benchmark", "machine", "base cycles", "spec cycles", "speedup", "sched ratio")
+	for _, name := range names {
+		for _, width := range []int{2, 4, 8, 16} {
+			sys, err := vliwvp.NewSystem(width)
+			if err != nil {
+				log.Fatal(err)
+			}
+			r := sys.Experiments()
+			row, err := r.Speedup(workload.ByName(name))
+			if err != nil {
+				log.Fatal(err)
+			}
+			bd, err := r.Prepare(workload.ByName(name))
+			if err != nil {
+				log.Fatal(err)
+			}
+			t3, err := exp.Table3(bd)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%-10s %-8s %12d %12d %8.3fx %11.2f\n",
+				name, machineName(width), row.BaseCycles, row.SpecCycles, row.Speedup, t3.Best)
+		}
+		fmt.Println()
+	}
+	fmt.Println("Wider machines leave more empty slots for LdPred/check operations and")
+	fmt.Println("expose more parallelism for speculated chains — the improvement from")
+	fmt.Println("value prediction grows with width, as the paper's Table 4 reports.")
+}
+
+func machineName(width int) string {
+	for _, d := range machine.Stock() {
+		if d.Width == width {
+			return d.Name
+		}
+	}
+	return fmt.Sprintf("%d-wide", width)
+}

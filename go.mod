@@ -1,0 +1,3 @@
+module vliwvp
+
+go 1.22

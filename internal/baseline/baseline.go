@@ -1,0 +1,154 @@
+// Package baseline models the prior value-speculation recovery scheme the
+// paper compares against ([4]: statically scheduled compensation blocks).
+// The main-engine code is identical to the proposed architecture's (LdPred,
+// check-prediction, speculative forms); the difference is recovery: on a
+// misprediction the machine branches to a statically scheduled compensation
+// block, executes it serially on the main engine while the original code
+// waits, and branches back. The paper's §3 comparison shows this scheme
+// spends a significant fraction of execution time in compensation code,
+// inflates the code image, and pollutes the instruction cache.
+package baseline
+
+import (
+	"fmt"
+	"math/bits"
+
+	"vliwvp/internal/core"
+	"vliwvp/internal/ddg"
+	"vliwvp/internal/ir"
+	"vliwvp/internal/machine"
+	"vliwvp/internal/profile"
+	"vliwvp/internal/sched"
+	"vliwvp/internal/speculate"
+)
+
+// Config parameterizes the baseline machine.
+type Config struct {
+	// BranchPenalty is the cost in cycles of each taken control transfer
+	// into and out of a compensation block.
+	BranchPenalty int
+}
+
+// DefaultConfig uses a one-cycle taken-branch penalty (charitable to the
+// baseline; the paper's critique holds even so).
+func DefaultConfig() Config { return Config{BranchPenalty: 1} }
+
+// BlockModel is the baseline timing of one speculated block.
+type BlockModel struct {
+	Key profile.BlockKey
+	// SpecLen is the main-code schedule length (identical ISA to ours).
+	SpecLen int
+	// RecoveryLen[i] is the schedule length of site i's compensation block
+	// (the paper's [4] generates one per predicted operation).
+	RecoveryLen []int
+	// RecoveryInstrs is the total long-instruction count of all recovery
+	// blocks (static code growth).
+	RecoveryInstrs int
+}
+
+// Model is the baseline view of a transformed program.
+type Model struct {
+	Cfg    Config
+	D      *machine.Desc
+	Blocks map[profile.BlockKey]*BlockModel
+}
+
+// Build derives the baseline model from the speculation pass's output: the
+// same transformed blocks, plus one statically scheduled recovery block per
+// prediction site containing the operations speculated on that site.
+func Build(res *speculate.Result, d *machine.Desc, opts ddg.Options, cfg Config) (*Model, error) {
+	m := &Model{Cfg: cfg, D: d, Blocks: map[profile.BlockKey]*BlockModel{}}
+	for bk := range res.Blocks {
+		f := res.Prog.Func(bk.Func)
+		b := f.Blocks[bk.Block]
+		an, err := core.Analyze(b)
+		if err != nil {
+			return nil, fmt.Errorf("baseline: %v: %w", bk, err)
+		}
+		g := speculate.BuildGraph(b, d, opts)
+		bm := &BlockModel{Key: bk, SpecLen: sched.ScheduleBlock(b, g, d).Length()}
+		for li := range an.Sites {
+			rl, err := recoveryLength(f, b, an, li, d, opts)
+			if err != nil {
+				return nil, fmt.Errorf("baseline: %v site %d: %w", bk, li, err)
+			}
+			bm.RecoveryLen = append(bm.RecoveryLen, rl)
+			bm.RecoveryInstrs += rl
+		}
+		m.Blocks[bk] = bm
+	}
+	return m, nil
+}
+
+// recoveryLength schedules site li's compensation block: clones of every
+// operation speculated (transitively) on that prediction, re-executed with
+// the corrected value already in the registers.
+func recoveryLength(f *ir.Func, b *ir.Block, an *core.BlockAnalysis, li int,
+	d *machine.Desc, opts ddg.Options) (int, error) {
+
+	tmp := ir.NewFunc(f.Name + "$rec")
+	tmp.NumRegs = f.NumRegs
+	rb := tmp.Blocks[0]
+	for i, op := range b.Ops {
+		if !op.Speculative || an.Info[i].PredSet&(1<<uint(li)) == 0 {
+			continue
+		}
+		c := op.Clone()
+		c.ID = tmp.NextOpID()
+		tmp.SetNextOpID(c.ID + 1)
+		c.Speculative = false
+		c.SyncBit = ir.NoBit
+		c.WaitBits = 0
+		rb.Ops = append(rb.Ops, c)
+	}
+	// The return branch ends the compensation block.
+	jmp := tmp.NewOp(ir.Jmp)
+	rb.Ops = append(rb.Ops, jmp)
+	rb.Succs = []int{0}
+
+	g := ddg.Build(rb, d.Latency, opts)
+	s := sched.ScheduleBlock(rb, g, d)
+	if err := s.Validate(g, d); err != nil {
+		return 0, err
+	}
+	return s.Length(), nil
+}
+
+// EffectiveLength is the baseline cycle count of one block instance under
+// an outcome mask: the main schedule plus, for every mispredicted site, a
+// taken branch into the compensation block, its serial execution, and the
+// branch back. Nothing overlaps.
+func (m *Model) EffectiveLength(bk profile.BlockKey, mask uint32) int {
+	bm := m.Blocks[bk]
+	if bm == nil {
+		return 0
+	}
+	total := bm.SpecLen
+	total += m.CompCycles(bk, mask)
+	return total
+}
+
+// CompCycles is the recovery-only cycle cost of one instance.
+func (m *Model) CompCycles(bk profile.BlockKey, mask uint32) int {
+	bm := m.Blocks[bk]
+	if bm == nil {
+		return 0
+	}
+	cycles := 0
+	wrong := ^mask & (uint32(1)<<uint(len(bm.RecoveryLen)) - 1)
+	for wrong != 0 {
+		li := bits.TrailingZeros32(wrong)
+		wrong &^= 1 << uint(li)
+		cycles += 2*m.Cfg.BranchPenalty + bm.RecoveryLen[li]
+	}
+	return cycles
+}
+
+// CodeGrowthInstrs is the total static code added by recovery blocks.
+func (m *Model) CodeGrowthInstrs() int {
+	total := 0
+	for _, bm := range m.Blocks {
+		total += bm.RecoveryInstrs
+	}
+	return total
+}

@@ -1,0 +1,137 @@
+package baseline_test
+
+import (
+	"testing"
+
+	"vliwvp/internal/baseline"
+	"vliwvp/internal/core"
+	"vliwvp/internal/ddg"
+	"vliwvp/internal/lang"
+	"vliwvp/internal/machine"
+	"vliwvp/internal/opt"
+	"vliwvp/internal/profile"
+	"vliwvp/internal/sched"
+	"vliwvp/internal/speculate"
+)
+
+const kernel = `
+var a[512]
+func main() {
+	for var i = 0; i < 512; i = i + 1 { a[i] = i * 8 }
+	var s = 0
+	for var i = 0; i < 512; i = i + 1 {
+		var x = a[i]
+		var y = x * 3 + 7
+		var z = y - x
+		s = s + z
+	}
+	return s
+}`
+
+func buildModel(t *testing.T) (*baseline.Model, *speculate.Result, *machine.Desc) {
+	t.Helper()
+	prog, err := lang.Compile(kernel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt.Optimize(prog)
+	prof, err := profile.Collect(prog, "main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := machine.W4
+	res, err := speculate.Transform(prog, prof, speculate.DefaultConfig(d))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Blocks) == 0 {
+		t.Fatal("nothing speculated")
+	}
+	m, err := baseline.Build(res, d, ddg.Options{}, baseline.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, res, d
+}
+
+func TestRecoveryBlocksExist(t *testing.T) {
+	m, res, _ := buildModel(t)
+	for bk, info := range res.Blocks {
+		bm := m.Blocks[bk]
+		if bm == nil {
+			t.Fatalf("no baseline model for %v", bk)
+		}
+		if len(bm.RecoveryLen) != len(info.SiteIDs) {
+			t.Errorf("%v: %d recovery blocks for %d sites", bk, len(bm.RecoveryLen), len(info.SiteIDs))
+		}
+		for i, rl := range bm.RecoveryLen {
+			if rl < 1 {
+				t.Errorf("%v site %d: recovery length %d, want >= 1 (at least the return jump)", bk, i, rl)
+			}
+		}
+	}
+	if m.CodeGrowthInstrs() == 0 {
+		t.Error("baseline must grow the code image")
+	}
+}
+
+func TestBestCaseCostsNothingExtra(t *testing.T) {
+	m, res, _ := buildModel(t)
+	for bk := range res.Blocks {
+		bm := m.Blocks[bk]
+		full := uint32(1)<<uint(len(bm.RecoveryLen)) - 1
+		if got := m.EffectiveLength(bk, full); got != bm.SpecLen {
+			t.Errorf("%v: all-correct baseline length %d != spec length %d", bk, got, bm.SpecLen)
+		}
+		if m.CompCycles(bk, full) != 0 {
+			t.Errorf("%v: all-correct baseline charged compensation cycles", bk)
+		}
+	}
+}
+
+func TestMispredictionsSerializeInBaseline(t *testing.T) {
+	m, res, d := buildModel(t)
+	tm := core.NewTiming(d)
+	for bk := range res.Blocks {
+		bm := m.Blocks[bk]
+		b := res.Prog.Func(bk.Func).Blocks[bk.Block]
+		an, err := core.Analyze(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := speculate.BuildGraph(b, d, ddg.Options{})
+		bs := sched.ScheduleBlock(b, g, d)
+
+		worstBase := m.EffectiveLength(bk, 0)
+		oursWorst, err := tm.SimulateBlock(bs, an, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if worstBase <= oursWorst.Length {
+			t.Errorf("%v: baseline worst %d not worse than ours %d — serialization missing",
+				bk, worstBase, oursWorst.Length)
+		}
+		// The baseline pays branch penalties per misprediction on top of
+		// the serial recovery blocks.
+		wantMin := bm.SpecLen + 2*m.Cfg.BranchPenalty + 1
+		if worstBase < wantMin {
+			t.Errorf("%v: baseline worst %d below minimum %d", bk, worstBase, wantMin)
+		}
+	}
+}
+
+func TestCompCyclesMonotonicInMispredictions(t *testing.T) {
+	m, res, _ := buildModel(t)
+	for bk := range res.Blocks {
+		bm := m.Blocks[bk]
+		n := len(bm.RecoveryLen)
+		full := uint32(1)<<uint(n) - 1
+		for mask := uint32(0); mask <= full; mask++ {
+			more := m.CompCycles(bk, mask&^1) // force site 0 wrong
+			less := m.CompCycles(bk, mask|1)  // force site 0 right
+			if more < less {
+				t.Errorf("%v: comp cycles not monotone: wrong=%d right=%d", bk, more, less)
+			}
+		}
+	}
+}

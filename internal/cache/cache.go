@@ -1,0 +1,109 @@
+// Package cache implements a set-associative instruction cache with LRU
+// replacement. The baseline-comparison experiment uses it to quantify how
+// statically scheduled compensation blocks pollute the instruction cache —
+// one of the costs the paper's dynamically generated compensation code
+// avoids entirely (§1).
+package cache
+
+import "fmt"
+
+// Cache is a set-associative cache over word addresses.
+type Cache struct {
+	sets      int
+	ways      int
+	lineWords int
+
+	tags  [][]int64 // [set][way], -1 = invalid
+	age   [][]int64 // LRU timestamps
+	clock int64
+
+	Hits   int64
+	Misses int64
+}
+
+// New builds a cache of totalWords capacity with the given line size (in
+// words) and associativity. totalWords must be divisible by lineWords*ways.
+func New(totalWords, lineWords, ways int) (*Cache, error) {
+	if totalWords <= 0 || lineWords <= 0 || ways <= 0 {
+		return nil, fmt.Errorf("cache: sizes must be positive")
+	}
+	lines := totalWords / lineWords
+	if lines*lineWords != totalWords {
+		return nil, fmt.Errorf("cache: %d words not divisible by line size %d", totalWords, lineWords)
+	}
+	sets := lines / ways
+	if sets == 0 || sets*ways != lines {
+		return nil, fmt.Errorf("cache: %d lines not divisible by %d ways", lines, ways)
+	}
+	c := &Cache{sets: sets, ways: ways, lineWords: lineWords}
+	c.tags = make([][]int64, sets)
+	c.age = make([][]int64, sets)
+	for i := range c.tags {
+		c.tags[i] = make([]int64, ways)
+		c.age[i] = make([]int64, ways)
+		for w := range c.tags[i] {
+			c.tags[i][w] = -1
+		}
+	}
+	return c, nil
+}
+
+// Access touches the word at addr, returning whether it hit.
+func (c *Cache) Access(addr int64) bool {
+	c.clock++
+	line := addr / int64(c.lineWords)
+	set := int(line % int64(c.sets))
+	tag := line / int64(c.sets)
+
+	for w := 0; w < c.ways; w++ {
+		if c.tags[set][w] == tag {
+			c.age[set][w] = c.clock
+			c.Hits++
+			return true
+		}
+	}
+	c.Misses++
+	victim := 0
+	for w := 1; w < c.ways; w++ {
+		if c.age[set][w] < c.age[set][victim] {
+			victim = w
+		}
+	}
+	c.tags[set][victim] = tag
+	c.age[set][victim] = c.clock
+	return false
+}
+
+// AccessRange touches every line covering [addr, addr+words) and returns
+// the number of misses incurred — the shape of a block fetch.
+func (c *Cache) AccessRange(addr int64, words int) int {
+	misses := 0
+	first := addr / int64(c.lineWords)
+	last := (addr + int64(words) - 1) / int64(c.lineWords)
+	for line := first; line <= last; line++ {
+		if !c.Access(line * int64(c.lineWords)) {
+			misses++
+		}
+	}
+	return misses
+}
+
+// MissRate returns the miss fraction observed so far.
+func (c *Cache) MissRate() float64 {
+	total := c.Hits + c.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(c.Misses) / float64(total)
+}
+
+// Reset clears contents and counters.
+func (c *Cache) Reset() {
+	c.clock, c.Hits, c.Misses = 0, 0, 0
+	for i := range c.tags {
+		for w := range c.tags[i] {
+			c.tags[i][w] = -1
+			c.age[i][w] = 0
+		}
+	}
+}

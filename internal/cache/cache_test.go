@@ -1,0 +1,156 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestColdMissThenHit(t *testing.T) {
+	c, err := New(1024, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Access(100) {
+		t.Error("cold access hit")
+	}
+	if !c.Access(100) {
+		t.Error("warm access missed")
+	}
+	if !c.Access(101) {
+		t.Error("same-line access missed")
+	}
+	if c.Hits != 2 || c.Misses != 1 {
+		t.Errorf("hits/misses = %d/%d, want 2/1", c.Hits, c.Misses)
+	}
+}
+
+func TestConflictEviction(t *testing.T) {
+	// Direct-mapped, 4 lines of 4 words: addresses 0 and 64 share set 0.
+	c, err := New(16, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Access(0)
+	c.Access(64)
+	if c.Access(0) {
+		t.Error("0 should have been evicted by 64 in a direct-mapped cache")
+	}
+}
+
+func TestAssociativityAvoidsConflict(t *testing.T) {
+	// 2-way: 0 and 64 can coexist.
+	c, err := New(32, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Access(0)
+	c.Access(64)
+	if !c.Access(0) {
+		t.Error("2-way cache evicted a coresident line")
+	}
+}
+
+func TestLRUReplacement(t *testing.T) {
+	// 2-way set: touch A, B, re-touch A, then C evicts B (the LRU way).
+	c, err := New(32, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const a, b, x = 0, 64, 128 // same set in a 4-set config
+	c.Access(a)
+	c.Access(b)
+	c.Access(a)
+	c.Access(x)
+	if !c.Access(a) {
+		t.Error("MRU line A evicted")
+	}
+	if c.Access(b) {
+		t.Error("LRU line B survived")
+	}
+}
+
+func TestAccessRangeCountsLineMisses(t *testing.T) {
+	c, err := New(1024, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m := c.AccessRange(0, 10); m != 3 { // words 0..9 = lines 0,1,2
+		t.Errorf("cold range misses = %d, want 3", m)
+	}
+	if m := c.AccessRange(0, 10); m != 0 {
+		t.Errorf("warm range misses = %d, want 0", m)
+	}
+	if m := c.AccessRange(2, 4); m != 0 { // words 2..5 within lines 0,1
+		t.Errorf("overlap range misses = %d, want 0", m)
+	}
+}
+
+func TestResetClears(t *testing.T) {
+	c, err := New(64, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Access(0)
+	c.Reset()
+	if c.Hits != 0 || c.Misses != 0 {
+		t.Error("counters survive Reset")
+	}
+	if c.Access(0) {
+		t.Error("contents survive Reset")
+	}
+}
+
+func TestBadGeometryRejected(t *testing.T) {
+	if _, err := New(0, 4, 1); err == nil {
+		t.Error("accepted zero capacity")
+	}
+	if _, err := New(10, 4, 1); err == nil {
+		t.Error("accepted capacity not divisible by line size")
+	}
+	if _, err := New(16, 4, 8); err == nil {
+		t.Error("accepted more ways than lines")
+	}
+}
+
+func TestMissRateBounds(t *testing.T) {
+	c, _ := New(64, 4, 1)
+	if c.MissRate() != 0 {
+		t.Error("empty cache miss rate must be 0")
+	}
+	c.Access(0)
+	if r := c.MissRate(); r != 1 {
+		t.Errorf("one cold access: rate %v, want 1", r)
+	}
+}
+
+// Property: a cache never reports a hit for a line it has never seen, and
+// repeating any access sequence twice yields at least as many hits the
+// second time when the footprint fits in the cache.
+func TestPropertySmallFootprintFullyCaches(t *testing.T) {
+	check := func(seed []byte) bool {
+		c, err := New(256, 4, 2)
+		if err != nil {
+			return false
+		}
+		// Footprint of at most 128 words < 256-word capacity... but a
+		// direct conflict could still evict within a set in pathological
+		// patterns; use addresses within one 128-word window so all fit.
+		var addrs []int64
+		for _, b := range seed {
+			addrs = append(addrs, int64(b)%128)
+		}
+		for _, a := range addrs {
+			c.Access(a)
+		}
+		// Second pass must be all hits: 2-way x 32 sets covers any 128-word
+		// window (each set holds 2 of the 2 lines mapping to it... exactly).
+		missesBefore := c.Misses
+		for _, a := range addrs {
+			c.Access(a)
+		}
+		return c.Misses == missesBefore
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,146 @@
+// Package core implements the paper's proposed architecture: the extended
+// VLIW Engine (Synchronization register, wait-mask stalling, LdPred and
+// check-prediction execution) coupled to the Compensation Code Engine — an
+// in-order pipeline fed by the FIFO Compensation Code Buffer (CCB) with an
+// Operand Value Buffer (OVB) tracking per-operand type and state (§2.2–2.3
+// of the paper).
+//
+// Two entry points exist:
+//
+//   - Timing: per-block cycle simulation under a forced prediction-outcome
+//     mask. This is the measurement engine behind every table and figure.
+//   - Simulator: full-program execution with live value-predictor tables
+//     and architectural state, validated against the sequential
+//     interpreter.
+package core
+
+import (
+	"fmt"
+
+	"vliwvp/internal/ir"
+)
+
+// SiteRef locates one prediction site inside a transformed block.
+type SiteRef struct {
+	PredID    int // global site ID
+	LdPredIdx int // op index of the LdPred
+	CheckIdx  int // op index of the CheckLd
+	Bit       int // Synchronization bit of the LdPred value
+	ClearBits uint64
+}
+
+// OpInfo carries the per-operation facts both engines need.
+type OpInfo struct {
+	// Producers[k] is the op index of the most recent in-block producer of
+	// the k-th source register, or -1 when the value is live-in.
+	Producers []int
+	// PredSet is a bitset over the block-local site indices whose
+	// predictions this (speculative) op's value transitively consumes.
+	PredSet uint32
+}
+
+// BlockAnalysis is the static decode of one transformed block.
+type BlockAnalysis struct {
+	Block *ir.Block
+	// Sites lists the block's prediction sites in LdPred order (which the
+	// speculate pass emits in ascending original-load-op-ID order — the
+	// same bit order profile.Outcomes masks use).
+	Sites []SiteRef
+	// SiteLocal maps global PredID -> local site index.
+	SiteLocal map[int]int
+	// Info is indexed by op position.
+	Info []OpInfo
+
+	opIdx map[*ir.Op]int
+}
+
+// IndexOf returns the position of op within the analyzed block.
+func (an *BlockAnalysis) IndexOf(op *ir.Op) int {
+	if i, ok := an.opIdx[op]; ok {
+		return i
+	}
+	return -1
+}
+
+// Analyze decodes a block's speculation structure. It works on any block;
+// blocks without speculation yield an analysis with no sites.
+func Analyze(b *ir.Block) (*BlockAnalysis, error) {
+	an := &BlockAnalysis{
+		Block:     b,
+		SiteLocal: map[int]int{},
+		Info:      make([]OpInfo, len(b.Ops)),
+		opIdx:     make(map[*ir.Op]int, len(b.Ops)),
+	}
+	for i, op := range b.Ops {
+		an.opIdx[op] = i
+	}
+	// Pass 1: sites.
+	for i, op := range b.Ops {
+		if op.Code == ir.LdPred {
+			if _, dup := an.SiteLocal[op.PredID]; dup {
+				return nil, fmt.Errorf("core: duplicate LdPred for site %d", op.PredID)
+			}
+			an.SiteLocal[op.PredID] = len(an.Sites)
+			an.Sites = append(an.Sites, SiteRef{PredID: op.PredID, LdPredIdx: i, CheckIdx: -1, Bit: op.SyncBit})
+		}
+	}
+	for i, op := range b.Ops {
+		if op.Code == ir.CheckLd {
+			li, ok := an.SiteLocal[op.PredID]
+			if !ok {
+				return nil, fmt.Errorf("core: CheckLd for unknown site %d", op.PredID)
+			}
+			if an.Sites[li].CheckIdx != -1 {
+				return nil, fmt.Errorf("core: duplicate CheckLd for site %d", op.PredID)
+			}
+			an.Sites[li].CheckIdx = i
+			an.Sites[li].ClearBits = op.ClearBits
+		}
+	}
+	for _, s := range an.Sites {
+		if s.CheckIdx == -1 {
+			return nil, fmt.Errorf("core: site %d has no CheckLd", s.PredID)
+		}
+	}
+
+	// Pass 2: producers and predicted-value sets.
+	lastDef := map[ir.Reg]int{}
+	for i, op := range b.Ops {
+		uses := op.Uses()
+		info := OpInfo{Producers: make([]int, len(uses))}
+		for k, u := range uses {
+			if d, ok := lastDef[u]; ok {
+				info.Producers[k] = d
+			} else {
+				info.Producers[k] = -1
+			}
+		}
+		if op.Speculative {
+			for _, p := range info.Producers {
+				if p < 0 {
+					continue
+				}
+				prod := b.Ops[p]
+				switch {
+				case prod.Code == ir.LdPred:
+					info.PredSet |= 1 << uint(an.SiteLocal[prod.PredID])
+				case prod.Speculative:
+					info.PredSet |= an.Info[p].PredSet
+				}
+			}
+		}
+		an.Info[i] = info
+		if d := op.Def(); d != ir.NoReg {
+			lastDef[d] = i
+		}
+	}
+	return an, nil
+}
+
+// HasSpeculation reports whether the block contains prediction sites.
+func (an *BlockAnalysis) HasSpeculation() bool { return len(an.Sites) > 0 }
+
+// FullMask is the outcome mask meaning "every prediction correct".
+func (an *BlockAnalysis) FullMask() uint32 {
+	return uint32(1)<<uint(len(an.Sites)) - 1
+}

@@ -1,0 +1,388 @@
+package core_test
+
+import (
+	"testing"
+
+	"vliwvp/internal/core"
+	"vliwvp/internal/ddg"
+	"vliwvp/internal/ifconv"
+	"vliwvp/internal/interp"
+	"vliwvp/internal/ir"
+	"vliwvp/internal/lang"
+	"vliwvp/internal/machine"
+	"vliwvp/internal/opt"
+	"vliwvp/internal/profile"
+	"vliwvp/internal/sched"
+	"vliwvp/internal/speculate"
+)
+
+// buildSim compiles, optimizes, optionally speculates, schedules, and wires
+// a dynamic simulator for src.
+func buildSim(t *testing.T, src string, specOn bool, d *machine.Desc) (*core.Simulator, *ir.Program) {
+	t.Helper()
+	prog, err := lang.Compile(src)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	opt.Optimize(prog)
+
+	runProg := prog
+	schemes := map[int]profile.Scheme{}
+	if specOn {
+		prof, err := profile.Collect(prog, "main")
+		if err != nil {
+			t.Fatalf("profile: %v", err)
+		}
+		res, err := speculate.Transform(prog, prof, speculate.DefaultConfig(d))
+		if err != nil {
+			t.Fatalf("Transform: %v", err)
+		}
+		runProg = res.Prog
+		for _, site := range res.Sites {
+			schemes[site.ID] = site.Scheme
+		}
+	}
+
+	ps := &sched.ProgSched{Prog: runProg, Funcs: map[string]*sched.FuncSched{}}
+	for _, f := range runProg.Funcs {
+		fs := &sched.FuncSched{F: f, Blocks: make([]*sched.BlockSched, len(f.Blocks))}
+		for i, b := range f.Blocks {
+			g := speculate.BuildGraph(b, d, ddg.Options{})
+			fs.Blocks[i] = sched.ScheduleBlock(b, g, d)
+			if err := fs.Blocks[i].Validate(g, d); err != nil {
+				t.Fatalf("%s b%d: %v", f.Name, i, err)
+			}
+		}
+		ps.Funcs[f.Name] = fs
+	}
+	sim, err := core.NewSimulator(runProg, ps, d, schemes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sim, prog
+}
+
+// checkEquivalence runs the simulator and the interpreter and compares
+// return value, output, and final memory.
+func checkEquivalence(t *testing.T, src string, specOn bool, d *machine.Desc) (*core.Simulator, uint64) {
+	t.Helper()
+	sim, orig := buildSim(t, src, specOn, d)
+	gotV, err := sim.Run("main")
+	if err != nil {
+		t.Fatalf("simulate (spec=%v): %v", specOn, err)
+	}
+	m := interp.New(orig)
+	wantV, err := m.RunMain()
+	if err != nil {
+		t.Fatalf("interp: %v", err)
+	}
+	if gotV != wantV {
+		t.Errorf("spec=%v: result %d, interp %d", specOn, gotV, wantV)
+	}
+	if len(sim.Output) != len(m.Output) {
+		t.Errorf("spec=%v: output %v vs %v", specOn, sim.Output, m.Output)
+	} else {
+		for i := range m.Output {
+			if sim.Output[i] != m.Output[i] {
+				t.Errorf("spec=%v: output[%d] %q vs %q", specOn, i, sim.Output[i], m.Output[i])
+			}
+		}
+	}
+	simMem := sim.Memory()
+	for i := range m.Mem {
+		if simMem[i] != m.Mem[i] {
+			t.Errorf("spec=%v: memory[%d] = %d, interp %d", specOn, i, simMem[i], m.Mem[i])
+			break
+		}
+	}
+	return sim, gotV
+}
+
+const stridedKernel = `
+var a[512]
+var out[512]
+func main() {
+	for var i = 0; i < 512; i = i + 1 { a[i] = i * 8 }
+	var s = 0
+	for var i = 0; i < 512; i = i + 1 {
+		var x = a[i]
+		var y = x * 3 + 7
+		var z = y - x + (y >> 2)
+		out[i] = z
+		s = s + z
+	}
+	return s
+}`
+
+func TestDynamicMatchesInterpWithoutSpeculation(t *testing.T) {
+	checkEquivalence(t, stridedKernel, false, machine.W4)
+}
+
+func TestDynamicMatchesInterpWithSpeculation(t *testing.T) {
+	sim, _ := checkEquivalence(t, stridedKernel, true, machine.W4)
+	if sim.Predictions == 0 {
+		t.Error("no predictions made; speculation inactive")
+	}
+	if sim.CCEFlushed == 0 {
+		t.Error("no compensation entries flushed")
+	}
+}
+
+func TestSpeculationSpeedsUpPredictableKernel(t *testing.T) {
+	base, _ := buildSim(t, stridedKernel, false, machine.W4)
+	if _, err := base.Run("main"); err != nil {
+		t.Fatal(err)
+	}
+	spec, _ := buildSim(t, stridedKernel, true, machine.W4)
+	if _, err := spec.Run("main"); err != nil {
+		t.Fatal(err)
+	}
+	if spec.Cycles >= base.Cycles {
+		t.Errorf("speculated run %d cycles, baseline %d — expected a speedup", spec.Cycles, base.Cycles)
+	}
+	t.Logf("baseline %d cycles, speculated %d cycles (%.2fx), mispredicts %d/%d",
+		base.Cycles, spec.Cycles, float64(base.Cycles)/float64(spec.Cycles),
+		sim0(spec.Mispredicts), spec.Predictions)
+}
+
+func sim0(v int64) int64 { return v }
+
+// mixedKernel has a load that is predictable about 70% of the time, so
+// selection happens (threshold 0.65) and mispredictions exercise the full
+// recovery path.
+const mixedKernel = `
+var a[512]
+var out[512]
+func main() {
+	for var i = 0; i < 512; i = i + 1 {
+		if i % 8 < 7 { a[i] = 5 } else { a[i] = (i * 2654435761) % 1000 }
+	}
+	var s = 0
+	for var i = 0; i < 512; i = i + 1 {
+		var x = a[i]
+		var y = x * 3 + 1
+		var z = y - x
+		out[i] = z
+		s = s + z
+	}
+	return s
+}`
+
+func TestDynamicCorrectUnderMispredictions(t *testing.T) {
+	sim, _ := checkEquivalence(t, mixedKernel, true, machine.W4)
+	if sim.Mispredicts == 0 {
+		t.Error("kernel designed to mispredict never mispredicted")
+	}
+	if sim.CCEExecuted == 0 {
+		t.Error("mispredictions must re-execute compensation ops")
+	}
+	t.Logf("predictions %d, mispredicts %d, CCE exec %d, flush %d",
+		sim.Predictions, sim.Mispredicts, sim.CCEExecuted, sim.CCEFlushed)
+}
+
+func TestDynamicCorrectAcrossCallsAndBranches(t *testing.T) {
+	src := `
+var tbl[128]
+func classify(v) {
+	if v > 50 { return 2 }
+	if v > 10 { return 1 }
+	return 0
+}
+func main() {
+	for var i = 0; i < 128; i = i + 1 { tbl[i] = (i * 37) % 100 }
+	var counts = 0
+	for var i = 0; i < 128; i = i + 1 {
+		var x = tbl[i]
+		counts = counts + classify(x) * 100 + 1
+	}
+	print(counts)
+	return counts
+}`
+	checkEquivalence(t, src, true, machine.W4)
+}
+
+func TestDynamicFloatKernel(t *testing.T) {
+	src := `
+var v[256] float
+func main() {
+	for var i = 0; i < 256; i = i + 1 { v[i] = float(i) * 0.5 }
+	var acc = 0.0
+	for var i = 1; i < 255; i = i + 1 {
+		var left = v[i - 1]
+		var mid = v[i]
+		var right = v[i + 1]
+		acc = acc + (left + 2.0 * mid + right) * 0.25
+	}
+	return int(acc)
+}`
+	checkEquivalence(t, src, true, machine.W4)
+}
+
+func TestDynamicDeferredSpeculativeFaultIsBenign(t *testing.T) {
+	// The first iteration's cold prediction supplies 0; x - 3 is then -3,
+	// never 0, so no fault. A mispredicted value equal to 3 would fault
+	// speculatively (divide by zero), be poisoned, and recover — either
+	// way the architectural result must match the interpreter.
+	src := `
+var a[64]
+func main() {
+	for var i = 0; i < 64; i = i + 1 { a[i] = 5 + (i % 3) * 2 }
+	var s = 0
+	for var i = 0; i < 64; i = i + 1 {
+		var x = a[i]
+		var q = 1000 / (x - 3)
+		s = s + q
+	}
+	return s
+}`
+	checkEquivalence(t, src, true, machine.W4)
+}
+
+func TestDynamicOnAllWidths(t *testing.T) {
+	for _, d := range machine.Stock() {
+		checkEquivalence(t, stridedKernel, true, d)
+	}
+}
+
+func TestWiderMachinesRunFewerCycles(t *testing.T) {
+	var prev int64
+	for i, d := range machine.Stock() {
+		sim, _ := buildSim(t, stridedKernel, true, d)
+		if _, err := sim.Run("main"); err != nil {
+			t.Fatal(err)
+		}
+		if i > 0 && sim.Cycles > prev {
+			t.Errorf("%s ran %d cycles, narrower machine ran %d", d.Name, sim.Cycles, prev)
+		}
+		prev = sim.Cycles
+	}
+}
+
+func TestDynamicStatsAccounting(t *testing.T) {
+	sim, _ := buildSim(t, stridedKernel, true, machine.W4)
+	if _, err := sim.Run("main"); err != nil {
+		t.Fatal(err)
+	}
+	if sim.Instrs <= 0 || sim.Ops < sim.Instrs {
+		t.Errorf("implausible instruction accounting: %d instrs, %d ops", sim.Instrs, sim.Ops)
+	}
+	if sim.Cycles < sim.Instrs {
+		t.Errorf("cycles %d < issued instructions %d", sim.Cycles, sim.Instrs)
+	}
+	total := sim.Predictions
+	if sim.Mispredicts > total {
+		t.Errorf("mispredicts %d exceed predictions %d", sim.Mispredicts, total)
+	}
+	if sim.MaxCCBOccupancy <= 0 || sim.MaxCCBOccupancy > sim.CCBCapacity {
+		t.Errorf("peak CCB occupancy %d outside (0, %d]", sim.MaxCCBOccupancy, sim.CCBCapacity)
+	}
+}
+
+func TestDynamicRecursion(t *testing.T) {
+	src := `
+func fib(n) {
+	if n < 2 { return n }
+	return fib(n - 1) + fib(n - 2)
+}
+func main() { return fib(15) }`
+	checkEquivalence(t, src, true, machine.W4)
+}
+
+// TestDynamicCorrectWithIfConversion is the regression for the
+// setter/waiter packing bug: an if-converted hash-probe kernel whose
+// Select feeds a table lookup in the next block. Before the fix, the
+// Select could pack into the same long instruction as the block's
+// terminator, letting the unverified hash index escape the block.
+func TestDynamicCorrectWithIfConversion(t *testing.T) {
+	src := `
+var input[256]
+var htab[512]
+var codetab[512]
+var sink = 0
+func main() {
+	var i = 0
+	while i < 256 { input[i] = 97 + i % 7 i = i + 1 }
+	i = 0
+	while i < 512 { htab[i] = 0 - 1 i = i + 1 }
+	var prefix = input[0]
+	var nextcode = 256
+	i = 1
+	while i < 256 {
+		var c = input[i]
+		var key = prefix * 256 + c
+		var h = (key * 40503) % 512
+		if h < 0 { h = h + 512 }
+		var found = 0 - 1
+		var probes = 0
+		while probes < 8 {
+			var k = htab[h]
+			if k == key { found = codetab[h] break }
+			if k == 0 - 1 { break }
+			h = (h + 1) % 512
+			probes = probes + 1
+		}
+		if found >= 0 {
+			prefix = found
+		} else {
+			sink = sink * 31 + prefix
+			if nextcode < 512 { htab[h] = key codetab[h] = nextcode nextcode = nextcode + 1 }
+			prefix = c
+		}
+		i = i + 1
+	}
+	return sink % 1000003
+}`
+	for _, d := range []*machine.Desc{machine.W4, machine.W8} {
+		prog, err := lang.Compile(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt.Optimize(prog)
+		ifconv.Convert(prog, ifconv.DefaultConfig())
+
+		m := interp.New(prog)
+		want, err := m.RunMain()
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		prof, err := profile.Collect(prog, "main")
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := speculate.Transform(prog, prof, speculate.DefaultConfig(d))
+		if err != nil {
+			t.Fatal(err)
+		}
+		schemes := map[int]profile.Scheme{}
+		for _, site := range res.Sites {
+			schemes[site.ID] = site.Scheme
+		}
+		ps := &sched.ProgSched{Prog: res.Prog, Funcs: map[string]*sched.FuncSched{}}
+		for _, f := range res.Prog.Funcs {
+			fs := &sched.FuncSched{F: f, Blocks: make([]*sched.BlockSched, len(f.Blocks))}
+			for i, blk := range f.Blocks {
+				g := speculate.BuildGraph(blk, d, ddg.Options{})
+				fs.Blocks[i] = sched.ScheduleBlock(blk, g, d)
+				if err := fs.Blocks[i].Validate(g, d); err != nil {
+					t.Fatalf("%s b%d: %v", f.Name, i, err)
+				}
+			}
+			ps.Funcs[f.Name] = fs
+		}
+		sim, err := core.NewSimulator(res.Prog, ps, d, schemes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := sim.Run("main")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("%s: if-converted speculated run %d != %d", d.Name, got, want)
+		}
+		if sim.Mispredicts == 0 {
+			t.Errorf("%s: kernel must exercise misprediction recovery", d.Name)
+		}
+	}
+}

@@ -1,0 +1,92 @@
+package core
+
+import (
+	"vliwvp/internal/ir"
+)
+
+// PaperExample reconstructs the 11-operation dependence graph of the
+// paper's Figure 2: two latency-3 loads feeding a chain of unit-latency
+// operations, with the final two operations left non-speculative (the
+// paper's worked example speculates operations 5, 6, 8, and 9 but not 10
+// and 11). The function body is a single block ending in a return, plus a
+// small global array so the loads have addresses.
+//
+// Operation numbering (paper -> here):
+//
+//	1: lea  r1, data        address of the first load
+//	2: movi r2, 8           offset
+//	3: add  r3 = r1 + r2    address of the second load
+//	4: load r4 = [r1]       predicted load #1
+//	5: mov  r5 = r4         speculative
+//	6: add  r6 = r4 + r5    speculative
+//	7: load r7 = [r3]       predicted load #2
+//	8: add  r8 = r6 + r7    speculative (depends on both predictions)
+//	9: add  r9 = r7 + r8    speculative
+//	10: add r10 = r8 + r9   non-speculative
+//	11: store [r1] = r10    non-speculative
+//
+// The paper gives all of add/move/multiply unit latency; this builder uses
+// adds throughout so the stock machine descriptions (where multiply takes
+// three cycles) reproduce the same timing shape.
+func PaperExample() (*ir.Program, *ir.Func, error) {
+	p := ir.NewProgram()
+	if err := p.AddGlobal(&ir.Global{
+		Name: "data",
+		Size: 16,
+		Init: []uint64{41, 0, 0, 0, 0, 0, 0, 0, 17},
+	}); err != nil {
+		return nil, nil, err
+	}
+
+	f := ir.NewFunc("example")
+	b := f.Blocks[0]
+	regs := make([]ir.Reg, 12) // 1-based like the paper
+	for i := 1; i <= 11; i++ {
+		regs[i] = f.NewReg()
+	}
+	emit := func(code ir.Opcode, dest, a, bb ir.Reg) *ir.Op {
+		op := f.NewOp(code)
+		op.Dest, op.A, op.B = dest, a, bb
+		b.Ops = append(b.Ops, op)
+		return op
+	}
+
+	lea := emit(ir.Lea, regs[1], ir.NoReg, ir.NoReg) // 1
+	lea.Sym = "data"
+	movi := emit(ir.MovI, regs[2], ir.NoReg, ir.NoReg) // 2
+	movi.Imm = 8
+	emit(ir.Add, regs[3], regs[1], regs[2])   // 3
+	emit(ir.Load, regs[4], regs[1], ir.NoReg) // 4
+	emit(ir.Mov, regs[5], regs[4], ir.NoReg)  // 5
+	emit(ir.Add, regs[6], regs[4], regs[5])   // 6
+	emit(ir.Load, regs[7], regs[3], ir.NoReg) // 7
+	emit(ir.Add, regs[8], regs[6], regs[7])   // 8
+	emit(ir.Add, regs[9], regs[7], regs[8])   // 9
+	emit(ir.Add, regs[10], regs[8], regs[9])  // 10
+	st := emit(ir.Store, ir.NoReg, regs[1], regs[10])
+	st.B = regs[10] // 11: store [r1] = r10
+	ret := f.NewOp(ir.Ret)
+	ret.A = regs[10]
+	b.Ops = append(b.Ops, ret)
+
+	if err := p.AddFunc(f); err != nil {
+		return nil, nil, err
+	}
+	p.Link()
+	if err := p.Validate(); err != nil {
+		return nil, nil, err
+	}
+	return p, f, nil
+}
+
+// PaperExampleLoadIDs returns the op IDs of the two loads (operations 4 and
+// 7), in that order.
+func PaperExampleLoadIDs(f *ir.Func) (load4, load7 int) {
+	var ids []int
+	for _, op := range f.Blocks[0].Ops {
+		if op.Code == ir.Load {
+			ids = append(ids, op.ID)
+		}
+	}
+	return ids[0], ids[1]
+}

@@ -1,0 +1,291 @@
+package core
+
+import (
+	"fmt"
+	"math/bits"
+
+	"vliwvp/internal/ir"
+	"vliwvp/internal/machine"
+	"vliwvp/internal/sched"
+)
+
+// Timing is the per-block dual-engine cycle model. Given a scheduled,
+// transformed block and a forced outcome mask (bit i set = block's i-th
+// prediction site correct), it plays the VLIW Engine and the Compensation
+// Code Engine cycle by cycle and reports the effective block length.
+//
+// Synchronization-bit lifecycle (§2.1–2.3 of the paper):
+//   - set when the LdPred or speculative op issues;
+//   - a LdPred bit clears when its check-prediction op completes;
+//   - a speculative op's bit clears as soon as every prediction its value
+//     consumes is verified correct (the check-prediction ClearBits
+//     encoding), or — after a misprediction — when the Compensation Code
+//     Engine finishes re-executing it;
+//   - a speculative op that issues after all its predictions verified
+//     correct is issued as a plain operation (no bit, no CCB entry).
+type Timing struct {
+	D *machine.Desc
+	// CCBCapacity bounds in-flight speculative operations; the VLIW Engine
+	// stalls issuing further speculative ops when the buffer is full. It
+	// must be at least the per-block Synchronization-bit budget or a block
+	// whose speculative window exceeds the buffer deadlocks (reported as
+	// an error).
+	CCBCapacity int
+	// MaxCycles guards against deadlock bugs.
+	MaxCycles int
+	// Trace, when set, receives a line per engine event — the cycle-by-cycle
+	// CCB/OVB narrative of the paper's Figure 7.
+	Trace func(cycle int, event string)
+}
+
+// DefaultCCBCapacity matches a small dedicated buffer (entries).
+const DefaultCCBCapacity = 64
+
+// NewTiming returns a timing model for the machine.
+func NewTiming(d *machine.Desc) *Timing {
+	return &Timing{D: d, CCBCapacity: DefaultCCBCapacity, MaxCycles: 1 << 20}
+}
+
+// BlockResult reports one simulated block instance.
+type BlockResult struct {
+	// Length is the effective schedule length: issue cycle of the final
+	// long instruction plus one (the paper's schedule-length accounting).
+	Length int
+	// DrainCycle is when the Compensation Code Engine finished the last
+	// entry (>= Length-1 when compensation outlives the block).
+	DrainCycle int
+	// StallCycles counts cycles the VLIW Engine spent stalled on the
+	// Synchronization register or a full CCB.
+	StallCycles int
+	// CCEExecuted counts compensation operations actually re-executed.
+	CCEExecuted int
+	// CCEFlushed counts correctly-speculated operations flushed.
+	CCEFlushed int
+}
+
+// ccbEntry is one buffered speculative operation in the timing model.
+type ccbEntry struct {
+	opIdx     int
+	predSet   uint32
+	recompute bool
+	bit       int // sync bit, NoBit-free (always valid for buffered entries)
+	bitLive   bool
+	doneAt    int
+}
+
+// SimulateBlock plays one instance of the block. bs must be the schedule of
+// an.Block.
+func (t *Timing) SimulateBlock(bs *sched.BlockSched, an *BlockAnalysis, outcome uint32) (BlockResult, error) {
+	trace := t.Trace
+	if trace == nil {
+		trace = func(int, string) {}
+	}
+	if bs.Block != an.Block {
+		return BlockResult{}, fmt.Errorf("core: schedule and analysis disagree on block")
+	}
+	capacity := t.CCBCapacity
+	if capacity <= 0 {
+		capacity = DefaultCCBCapacity
+	}
+	maxCycles := t.MaxCycles
+	if maxCycles <= 0 {
+		maxCycles = 1 << 20
+	}
+
+	var res BlockResult
+	nSites := len(an.Sites)
+	resolveAt := make([]int, nSites) // cycle the site's check completes (-1 unknown)
+	for i := range resolveAt {
+		resolveAt[i] = -1
+	}
+	var syncBusy uint64
+	clearAt := map[int]uint64{} // cycle -> bits cleared at start of that cycle
+
+	var ccb []ccbEntry
+	head := 0
+	live := 0 // undispatched entries
+
+	valueReady := map[int]int{} // opIdx of a recomputed producer -> cycle value available
+
+	resolvedCorrect := func(set uint32, cycle int) bool {
+		for set != 0 {
+			s := bits.TrailingZeros32(set)
+			set &^= 1 << uint(s)
+			if resolveAt[s] < 0 || cycle < resolveAt[s] || outcome&(1<<uint(s)) == 0 {
+				return false
+			}
+		}
+		return true
+	}
+	resolved := func(set uint32, cycle int) bool {
+		for set != 0 {
+			s := bits.TrailingZeros32(set)
+			set &^= 1 << uint(s)
+			if resolveAt[s] < 0 || cycle < resolveAt[s] {
+				return false
+			}
+		}
+		return true
+	}
+	operandsReady := func(e *ccbEntry, cycle int) bool {
+		for _, p := range an.Info[e.opIdx].Producers {
+			if p < 0 {
+				continue
+			}
+			if r, ok := valueReady[p]; ok && cycle < r {
+				return false
+			}
+		}
+		return true
+	}
+
+	instr := 0
+	lastIssue := -1
+	for cycle := 0; ; cycle++ {
+		if cycle > maxCycles {
+			return res, fmt.Errorf("core: block timing exceeded %d cycles (CCB capacity %d too small for the speculative window?)", maxCycles, capacity)
+		}
+		if b, ok := clearAt[cycle]; ok {
+			syncBusy &^= b
+			delete(clearAt, cycle)
+		}
+		// Clear bits of buffered speculative ops whose every prediction is
+		// now verified correct (the paper's check-driven ClearBits).
+		for i := head; i < len(ccb); i++ {
+			e := &ccb[i]
+			if e.bitLive && !e.recompute && resolvedCorrect(e.predSet, cycle) {
+				syncBusy &^= 1 << uint(e.bit)
+				e.bitLive = false
+			}
+		}
+
+		// --- VLIW Engine: try to issue the next long instruction. ---
+		if instr < len(bs.Instrs) {
+			in := bs.Instrs[instr]
+			specNeeded := 0
+			for _, op := range in.Ops {
+				if op.Speculative && !resolvedCorrect(an.Info[an.IndexOf(op)].PredSet, cycle) {
+					specNeeded++
+				}
+			}
+			switch {
+			case in.WaitBits&syncBusy != 0:
+				res.StallCycles++
+				trace(cycle, fmt.Sprintf("VLIW stall: wait mask %#x against busy %#x", in.WaitBits, syncBusy))
+			case specNeeded > 0 && live+specNeeded > capacity:
+				res.StallCycles++
+				trace(cycle, "VLIW stall: CCB full")
+			default:
+				for _, op := range in.Ops {
+					idx := an.IndexOf(op)
+					switch {
+					case op.Code == ir.LdPred:
+						syncBusy |= 1 << uint(op.SyncBit)
+						trace(cycle, fmt.Sprintf("issue %v: predicted value loaded, bit %d set", op, op.SyncBit))
+					case op.Code == ir.CheckLd:
+						li := an.SiteLocal[op.PredID]
+						done := cycle + t.D.Latency(op)
+						resolveAt[li] = done
+						clearAt[done] |= 1 << uint(an.Sites[li].Bit)
+						correct := outcome&(1<<uint(li)) != 0
+						trace(cycle, fmt.Sprintf("issue %v: verification completes cycle %d (%s)", op, done, verdict(correct)))
+					case op.Speculative:
+						if resolvedCorrect(an.Info[idx].PredSet, cycle) {
+							trace(cycle, fmt.Sprintf("issue %v: predictions already verified, plain issue", op))
+							break // verified before issue: plain operation
+						}
+						syncBusy |= 1 << uint(op.SyncBit)
+						ccb = append(ccb, ccbEntry{
+							opIdx:     idx,
+							predSet:   an.Info[idx].PredSet,
+							recompute: an.Info[idx].PredSet&^outcome != 0,
+							bit:       op.SyncBit,
+							bitLive:   true,
+						})
+						live++
+						trace(cycle, fmt.Sprintf("issue %v: buffered in CCB (operand states %s)", op, operandStates(an, idx, resolveAt, outcome, cycle)))
+					}
+				}
+				lastIssue = cycle
+				instr++
+			}
+		}
+
+		// --- Compensation Code Engine: dispatch at most one entry. ---
+		if head < len(ccb) {
+			e := &ccb[head]
+			if resolved(e.predSet, cycle) {
+				if !e.recompute {
+					// Flush (bit already cleared by verification).
+					if e.bitLive {
+						clearAt[cycle+1] |= 1 << uint(e.bit)
+						e.bitLive = false
+					}
+					trace(cycle, fmt.Sprintf("CCE flush %v: all operands correct", an.Block.Ops[e.opIdx]))
+					res.CCEFlushed++
+					if cycle > res.DrainCycle {
+						res.DrainCycle = cycle
+					}
+					head++
+					live--
+				} else if operandsReady(e, cycle) {
+					op := an.Block.Ops[e.opIdx]
+					lat := t.D.Latency(op)
+					e.doneAt = cycle + lat
+					valueReady[e.opIdx] = e.doneAt
+					clearAt[e.doneAt] |= 1 << uint(e.bit)
+					e.bitLive = false
+					trace(cycle, fmt.Sprintf("CCE execute %v: recompute completes cycle %d, bit %d clears", an.Block.Ops[e.opIdx], e.doneAt, e.bit))
+					res.CCEExecuted++
+					if e.doneAt > res.DrainCycle {
+						res.DrainCycle = e.doneAt
+					}
+					head++
+					live--
+				}
+			}
+		}
+
+		if instr >= len(bs.Instrs) && head >= len(ccb) && syncBusy == 0 && len(clearAt) == 0 {
+			break
+		}
+	}
+	res.Length = lastIssue + 1
+	return res, nil
+}
+
+func verdict(correct bool) string {
+	if correct {
+		return "correct"
+	}
+	return "MISPREDICT"
+}
+
+// operandStates renders a speculative op's operand states in the paper's
+// Table 1/2 notation: PN (prediction not verified), RN (recompute not
+// verified), C (correct), R (needs recompute).
+func operandStates(an *BlockAnalysis, idx int, resolveAt []int, outcome uint32, cycle int) string {
+	set := an.Info[idx].PredSet
+	if set == 0 {
+		return "C"
+	}
+	out := ""
+	for li := range an.Sites {
+		if set&(1<<uint(li)) == 0 {
+			continue
+		}
+		state := "RN"
+		if resolveAt[li] >= 0 && cycle >= resolveAt[li] {
+			if outcome&(1<<uint(li)) != 0 {
+				state = "C"
+			} else {
+				state = "R"
+			}
+		}
+		if out != "" {
+			out += ","
+		}
+		out += fmt.Sprintf("site%d:%s", li, state)
+	}
+	return out
+}

@@ -1,0 +1,280 @@
+package core_test
+
+import (
+	"testing"
+
+	"vliwvp/internal/core"
+	"vliwvp/internal/ddg"
+	"vliwvp/internal/ir"
+	"vliwvp/internal/lang"
+	"vliwvp/internal/machine"
+	"vliwvp/internal/opt"
+	"vliwvp/internal/profile"
+	"vliwvp/internal/sched"
+	"vliwvp/internal/speculate"
+)
+
+// paperSetup transforms the paper's worked example with both loads
+// predicted and returns (original length, spec schedule, analysis).
+func paperSetup(t *testing.T, d *machine.Desc) (int, *sched.BlockSched, *core.BlockAnalysis) {
+	t.Helper()
+	prog, f, err := core.PaperExample()
+	if err != nil {
+		t.Fatal(err)
+	}
+	l4, l7 := core.PaperExampleLoadIDs(f)
+
+	// Fabricate the profile: both loads highly predictable, block hot.
+	prof := &profile.Profile{
+		Loads: map[profile.LoadKey]*profile.LoadProfile{
+			{Func: "example", OpID: l4}: {Count: 1000, StrideRate: 0.9},
+			{Func: "example", OpID: l7}: {Count: 1000, StrideRate: 0.9},
+		},
+		BlockFreq: map[profile.BlockKey]int64{{Func: "example", Block: 0}: 1000},
+	}
+	cfg := speculate.DefaultConfig(d)
+	cfg.CriticalOnly = false // select both loads deterministically
+	res, err := speculate.Transform(prog, prof, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := res.Blocks[profile.BlockKey{Func: "example", Block: 0}]
+	if info == nil || len(info.SiteIDs) != 2 {
+		t.Fatalf("expected 2 prediction sites, got %+v", info)
+	}
+
+	origBlock := prog.Func("example").Blocks[0]
+	og := ddg.Build(origBlock, d.Latency, ddg.Options{})
+	origLen := sched.ScheduleBlock(origBlock, og, d).Length()
+
+	specBlock := res.Prog.Func("example").Blocks[0]
+	sg := speculate.BuildGraph(specBlock, d, ddg.Options{})
+	bs := sched.ScheduleBlock(specBlock, sg, d)
+	if err := bs.Validate(sg, d); err != nil {
+		t.Fatalf("spec schedule invalid: %v", err)
+	}
+	an, err := core.Analyze(specBlock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(an.Sites) != 2 {
+		t.Fatalf("analysis found %d sites, want 2", len(an.Sites))
+	}
+	return origLen, bs, an
+}
+
+// TestPaperExampleAllOutcomes reproduces the qualitative claims of the
+// paper's Figure 3: prediction improves the schedule in the all-correct
+// case, and even with every prediction wrong the parallel compensation
+// engine keeps the effective length at or below the original schedule.
+func TestPaperExampleAllOutcomes(t *testing.T) {
+	d := machine.W4
+	origLen, bs, an := paperSetup(t, d)
+	tm := core.NewTiming(d)
+
+	results := map[uint32]core.BlockResult{}
+	for mask := uint32(0); mask < 4; mask++ {
+		r, err := tm.SimulateBlock(bs, an, mask)
+		if err != nil {
+			t.Fatalf("mask %02b: %v", mask, err)
+		}
+		results[mask] = r
+		t.Logf("mask %02b: length %d (orig %d), CCE exec %d flush %d, stalls %d",
+			mask, r.Length, origLen, r.CCEExecuted, r.CCEFlushed, r.StallCycles)
+	}
+
+	best := results[3]
+	if best.Length >= origLen {
+		t.Errorf("all-correct length %d, want < original %d", best.Length, origLen)
+	}
+	if best.CCEExecuted != 0 {
+		t.Errorf("all-correct case executed %d compensation ops, want 0", best.CCEExecuted)
+	}
+	if best.CCEFlushed == 0 {
+		t.Error("all-correct case must flush the buffered speculative ops")
+	}
+	for mask, r := range results {
+		// Misprediction cases may pay a cycle or two for resource
+		// contention on the narrow machine, but parallel compensation must
+		// keep them far below the serial bound (original + one cycle per
+		// re-executed operation + control transfers).
+		if r.Length > origLen+2 {
+			t.Errorf("mask %02b length %d far exceeds original %d — compensation is not overlapping", mask, r.Length, origLen)
+		}
+		serial := origLen + r.CCEExecuted + 2
+		if r.CCEExecuted > 0 && r.Length >= serial {
+			t.Errorf("mask %02b length %d >= serial recovery bound %d", mask, r.Length, serial)
+		}
+	}
+	if results[0].CCEExecuted == 0 {
+		t.Error("all-wrong case must re-execute compensation code")
+	}
+
+	// On the 8-wide machine resource contention vanishes: the all-correct
+	// case improves sharply and even the all-wrong case stays within one
+	// cycle of the original (this example's whole chain hangs off the two
+	// loads, so full misprediction re-executes everything serially — the
+	// paper's own Table 3 worst-case column likewise shows some blocks
+	// slightly degrading).
+	d8 := machine.W8
+	origLen8, bs8, an8 := paperSetup(t, d8)
+	tm8 := core.NewTiming(d8)
+	for mask := uint32(0); mask < 4; mask++ {
+		r, err := tm8.SimulateBlock(bs8, an8, mask)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Length > origLen8+1 {
+			t.Errorf("8-wide mask %02b: length %d > original %d + 1", mask, r.Length, origLen8)
+		}
+	}
+	// Figure 3(d) vs 3(c): mispredicting the first load (which feeds ops
+	// 5, 6, 8, 9) re-executes at least as many operations as mispredicting
+	// the second (which feeds only 8, 9).
+	wrongFirst := results[0b10] // bit 0 = load4 site; mask bit set = correct
+	wrongSecond := results[0b01]
+	if wrongFirst.CCEExecuted < wrongSecond.CCEExecuted {
+		t.Errorf("mispredicting load4 re-executed %d ops, load7 %d; expected >=",
+			wrongFirst.CCEExecuted, wrongSecond.CCEExecuted)
+	}
+}
+
+// TestPaperExampleWiderMachine: the paper's Table 4 claim — the benefit of
+// prediction grows with issue width (the 8-wide machine gains at least as
+// many cycles as the 4-wide).
+func TestPaperExampleWiderMachine(t *testing.T) {
+	gain := map[string]int{}
+	for _, d := range []*machine.Desc{machine.W4, machine.W8} {
+		origLen, bs, an := paperSetup(t, d)
+		tm := core.NewTiming(d)
+		r, err := tm.SimulateBlock(bs, an, an.FullMask())
+		if err != nil {
+			t.Fatal(err)
+		}
+		gain[d.Name] = origLen - r.Length
+	}
+	if gain["8-wide"] < gain["4-wide"] {
+		t.Errorf("gain 8-wide %d < gain 4-wide %d", gain["8-wide"], gain["4-wide"])
+	}
+}
+
+func TestTimingWorstNotShorterThanBest(t *testing.T) {
+	d := machine.W4
+	_, bs, an := paperSetup(t, d)
+	tm := core.NewTiming(d)
+	best, err := tm.SimulateBlock(bs, an, an.FullMask())
+	if err != nil {
+		t.Fatal(err)
+	}
+	worst, err := tm.SimulateBlock(bs, an, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if worst.Length < best.Length {
+		t.Errorf("worst %d < best %d", worst.Length, best.Length)
+	}
+	if worst.DrainCycle < best.DrainCycle {
+		t.Errorf("worst drain %d < best drain %d", worst.DrainCycle, best.DrainCycle)
+	}
+}
+
+func TestTimingOnUnspeculatedBlockMatchesSchedule(t *testing.T) {
+	prog, err := lang.Compile(`
+func main() {
+	var s = 0
+	for var i = 0; i < 4; i = i + 1 { s = s + i }
+	return s
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt.Optimize(prog)
+	d := machine.W4
+	tm := core.NewTiming(d)
+	for _, b := range prog.Func("main").Blocks {
+		g := ddg.Build(b, d.Latency, ddg.Options{})
+		bs := sched.ScheduleBlock(b, g, d)
+		an, err := core.Analyze(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := tm.SimulateBlock(bs, an, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Length != bs.Length() {
+			t.Errorf("b%d: timed length %d != scheduled %d", b.ID, r.Length, bs.Length())
+		}
+		if r.CCEExecuted != 0 || r.CCEFlushed != 0 || r.StallCycles != 0 {
+			t.Errorf("b%d: unspeculated block produced engine activity: %+v", b.ID, r)
+		}
+	}
+}
+
+func TestTinyCCBBehaviour(t *testing.T) {
+	d := machine.W4
+	_, bs, an := paperSetup(t, d)
+
+	// With the checks scheduled ahead of most speculative issues, even a
+	// single-entry buffer makes progress (draining as checks verify); it
+	// just stalls more than the full-size buffer.
+	tiny := core.NewTiming(d)
+	tiny.CCBCapacity = 1
+	tiny.MaxCycles = 100000
+	rTiny, err := tiny.SimulateBlock(bs, an, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := core.NewTiming(d)
+	rFull, err := full.SimulateBlock(bs, an, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rTiny.CCEExecuted == 0 {
+		t.Error("compensation did not run with tiny buffer")
+	}
+	if rTiny.Length < rFull.Length {
+		t.Errorf("tiny buffer length %d beats full buffer %d", rTiny.Length, rFull.Length)
+	}
+	if rTiny.StallCycles < rFull.StallCycles {
+		t.Errorf("tiny buffer stalled %d < full buffer %d", rTiny.StallCycles, rFull.StallCycles)
+	}
+}
+
+func TestAnalyzeRejectsMalformedBlocks(t *testing.T) {
+	f := ir.NewFunc("bad")
+	b := f.Blocks[0]
+	lp := f.NewOp(ir.LdPred)
+	lp.Dest = f.NewReg()
+	lp.PredID = 7
+	lp.SyncBit = 0
+	ret := f.NewOp(ir.Ret)
+	b.Ops = append(b.Ops, lp, ret)
+	if _, err := core.Analyze(b); err == nil {
+		t.Error("Analyze accepted LdPred without CheckLd")
+	}
+}
+
+func TestAnalyzePredSets(t *testing.T) {
+	d := machine.W4
+	_, _, an := paperSetup(t, d)
+	// Find the speculative ops and check their PredSets: ops 5 and 6
+	// depend only on site of load4; ops 8 and 9 on both sites.
+	var single, both int
+	for i, op := range an.Block.Ops {
+		if !op.Speculative {
+			continue
+		}
+		switch an.Info[i].PredSet {
+		case 0b01, 0b10:
+			single++
+		case 0b11:
+			both++
+		default:
+			t.Errorf("spec op %v has empty PredSet", op)
+		}
+	}
+	if single < 2 || both < 2 {
+		t.Errorf("PredSet distribution: %d single, %d dual; want >=2 each", single, both)
+	}
+}

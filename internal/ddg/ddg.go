@@ -1,0 +1,337 @@
+// Package ddg builds per-block data-dependence graphs over IR operations.
+// The graphs carry latency-weighted edges so the list scheduler and the
+// value-speculation pass can compute critical paths exactly as the paper's
+// Trimaran substrate did. Memory dependences are computed conservatively by
+// default — the sequentialization of memory operations is precisely the
+// scheduling bottleneck the paper attacks — with an optional trivial
+// disambiguation for provably distinct static addresses.
+package ddg
+
+import (
+	"vliwvp/internal/ir"
+)
+
+// DepKind classifies a dependence edge.
+type DepKind uint8
+
+const (
+	// True is a read-after-write register dependence.
+	True DepKind = iota
+	// Anti is a write-after-read register dependence.
+	Anti
+	// Output is a write-after-write register dependence.
+	Output
+	// Mem orders memory operations that may alias.
+	Mem
+	// Ctrl orders side-effecting operations and block terminators.
+	Ctrl
+)
+
+func (k DepKind) String() string {
+	switch k {
+	case True:
+		return "true"
+	case Anti:
+		return "anti"
+	case Output:
+		return "output"
+	case Mem:
+		return "mem"
+	default:
+		return "ctrl"
+	}
+}
+
+// Edge is a dependence from one node to another with a minimum issue-cycle
+// separation.
+type Edge struct {
+	To      int // node index within the graph
+	Kind    DepKind
+	Latency int
+}
+
+// Node wraps one operation with its dependence edges and path metrics.
+type Node struct {
+	Index  int // position within the block
+	Op     *ir.Op
+	Succs  []Edge
+	Preds  []Edge
+	Height int // latency-weighted longest path from this node's issue to block exit, inclusive
+	Depth  int // earliest possible issue cycle given dependences alone
+}
+
+// Graph is the dependence graph of one basic block. Nodes appear in
+// original program order.
+type Graph struct {
+	Block *ir.Block
+	Nodes []*Node
+	// CriticalLength is the dependence-height of the block: the minimum
+	// schedule length on an infinitely wide machine.
+	CriticalLength int
+}
+
+// LatencyFunc supplies operation latencies (typically machine.Desc.Latency).
+type LatencyFunc func(op *ir.Op) int
+
+// Options configures graph construction.
+type Options struct {
+	// Disambiguate enables the trivial static memory disambiguator:
+	// accesses to different globals, or to the same global at provably
+	// distinct constant indices, do not conflict. Off by default — the
+	// paper's setting is conservative memory dependences.
+	Disambiguate bool
+}
+
+// Build constructs the dependence graph for one block.
+func Build(b *ir.Block, lat LatencyFunc, opts Options) *Graph {
+	g := &Graph{Block: b, Nodes: make([]*Node, len(b.Ops))}
+	for i, op := range b.Ops {
+		g.Nodes[i] = &Node{Index: i, Op: op}
+	}
+
+	addEdge := func(from, to int, kind DepKind, latency int) {
+		if from == to {
+			return
+		}
+		// Skip duplicate edges with no stronger constraint.
+		for i, e := range g.Nodes[from].Succs {
+			if e.To == to && e.Kind == kind {
+				if latency > e.Latency {
+					g.Nodes[from].Succs[i].Latency = latency
+					for j, pe := range g.Nodes[to].Preds {
+						if pe.To == from && pe.Kind == kind {
+							g.Nodes[to].Preds[j].Latency = latency
+						}
+					}
+				}
+				return
+			}
+		}
+		g.Nodes[from].Succs = append(g.Nodes[from].Succs, Edge{To: to, Kind: kind, Latency: latency})
+		g.Nodes[to].Preds = append(g.Nodes[to].Preds, Edge{To: from, Kind: kind, Latency: latency})
+	}
+
+	lastDef := map[ir.Reg]int{} // register -> defining node index
+	lastUses := map[ir.Reg][]int{}
+	var memOps []int     // indices of prior loads/stores, in order
+	var lastBarrier = -1 // most recent call
+
+	for i, op := range b.Ops {
+		// Register dependences.
+		for _, u := range op.Uses() {
+			if d, ok := lastDef[u]; ok {
+				addEdge(d, i, True, lat(b.Ops[d]))
+			}
+		}
+		if d := op.Def(); d != ir.NoReg {
+			for _, u := range lastUses[d] {
+				// A check-prediction op may rewrite a register while
+				// speculative consumers of the predicted value are still
+				// reading it: they tolerate observing the corrected value
+				// early (the CCB/OVB machinery re-executes them if needed),
+				// so no anti ordering is required.
+				if op.Code == ir.CheckLd && b.Ops[u].Speculative {
+					continue
+				}
+				addEdge(u, i, Anti, 0)
+			}
+			if prev, ok := lastDef[d]; ok {
+				l := lat(b.Ops[prev]) - lat(op) + 1
+				if l < 1 {
+					l = 1
+				}
+				addEdge(prev, i, Output, l)
+			}
+		}
+
+		// Memory dependences: loads read at issue, stores write at issue;
+		// a strict one-cycle separation keeps ordering unambiguous.
+		if op.Code.IsMemory() {
+			isStore := op.Code == ir.Store
+			for _, j := range memOps {
+				prev := b.Ops[j]
+				prevStore := prev.Code == ir.Store
+				if !isStore && !prevStore {
+					continue // load-load never conflicts
+				}
+				if opts.Disambiguate && provablyDistinct(b, j, i) {
+					continue
+				}
+				addEdge(j, i, Mem, 1)
+			}
+			memOps = append(memOps, i)
+		}
+
+		// Calls are full barriers: ordered against everything before and
+		// after (they may touch memory and have side effects).
+		if op.Code == ir.Call {
+			for j := 0; j < i; j++ {
+				addEdge(j, i, Ctrl, lat(b.Ops[j]))
+			}
+			lastBarrier = i
+		} else if lastBarrier >= 0 {
+			addEdge(lastBarrier, i, Ctrl, lat(b.Ops[lastBarrier]))
+		}
+
+		// The terminator issues no earlier than every other operation.
+		if op.Code.IsTerminator() {
+			for j := 0; j < i; j++ {
+				addEdge(j, i, Ctrl, 0)
+			}
+		}
+
+		// Update def/use tracking after edges are drawn.
+		for _, u := range op.Uses() {
+			lastUses[u] = append(lastUses[u], i)
+		}
+		if d := op.Def(); d != ir.NoReg {
+			lastDef[d] = i
+			lastUses[d] = nil
+		}
+	}
+
+	g.computePaths(lat)
+	return g
+}
+
+// computePaths fills Depth, Height, and CriticalLength. Nodes are already
+// topologically ordered (edges only go forward in program order).
+func (g *Graph) computePaths(lat LatencyFunc) {
+	for _, n := range g.Nodes {
+		n.Depth = 0
+		for _, e := range n.Preds {
+			if d := g.Nodes[e.To].Depth + e.Latency; d > n.Depth {
+				n.Depth = d
+			}
+		}
+	}
+	g.CriticalLength = 0
+	for i := len(g.Nodes) - 1; i >= 0; i-- {
+		n := g.Nodes[i]
+		n.Height = lat(n.Op)
+		for _, e := range n.Succs {
+			if h := g.Nodes[e.To].Height + e.Latency; h > n.Height {
+				n.Height = h
+			}
+		}
+		if n.Depth+n.Height > g.CriticalLength {
+			g.CriticalLength = n.Depth + n.Height
+		}
+	}
+}
+
+// AddEdge inserts an extra dependence edge and recomputes path metrics.
+// The speculation pass uses it to force non-speculative consumers of
+// predicted values to schedule no earlier than the verifying
+// check-prediction operation completes. Edges must point forward in program
+// order (from < to) to preserve the topological node order.
+func (g *Graph) AddEdge(from, to int, kind DepKind, latency int, lat LatencyFunc) {
+	if from >= to {
+		panic("ddg: AddEdge requires from < to")
+	}
+	g.Nodes[from].Succs = append(g.Nodes[from].Succs, Edge{To: to, Kind: kind, Latency: latency})
+	g.Nodes[to].Preds = append(g.Nodes[to].Preds, Edge{To: from, Kind: kind, Latency: latency})
+	g.computePaths(lat)
+}
+
+// OnCriticalPath reports whether node i lies on a longest dependence path.
+func (g *Graph) OnCriticalPath(i int) bool {
+	n := g.Nodes[i]
+	return n.Depth+n.Height == g.CriticalLength
+}
+
+// TransitiveDependents returns the set of node indices reachable from roots
+// via true-dependence edges (the candidates for value speculation).
+func (g *Graph) TransitiveDependents(roots []int) map[int]bool {
+	seen := make(map[int]bool)
+	stack := append([]int(nil), roots...)
+	for len(stack) > 0 {
+		i := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, e := range g.Nodes[i].Succs {
+			if e.Kind != True || seen[e.To] {
+				continue
+			}
+			seen[e.To] = true
+			stack = append(stack, e.To)
+		}
+	}
+	return seen
+}
+
+// provablyDistinct reports whether two memory ops in the block access
+// addresses that cannot alias: distinct globals, or the same global at
+// different constant offsets. It resolves each address register through the
+// block's defs (Lea, Lea+constant Add).
+func provablyDistinct(b *ir.Block, i, j int) bool {
+	si, oki := staticAddr(b, i)
+	sj, okj := staticAddr(b, j)
+	if !oki || !okj {
+		return false
+	}
+	if si.sym != sj.sym {
+		return true
+	}
+	return si.constOff && sj.constOff && si.off != sj.off
+}
+
+type addrInfo struct {
+	sym      string
+	constOff bool
+	off      int64
+}
+
+// staticAddr resolves the address of memory op at index idx by walking the
+// block's earlier defs. It handles Lea and Add(Lea, MovI) patterns.
+func staticAddr(b *ir.Block, idx int) (addrInfo, bool) {
+	op := b.Ops[idx]
+	base := op.A
+	extra := op.Imm
+	def := findDef(b, idx, base)
+	if def == nil {
+		return addrInfo{}, false
+	}
+	switch def.Code {
+	case ir.Lea:
+		return addrInfo{sym: def.Sym, constOff: true, off: def.Imm + extra}, true
+	case ir.Add:
+		l := findDef(b, indexOf(b, def), def.A)
+		r := findDef(b, indexOf(b, def), def.B)
+		if l != nil && l.Code == ir.Lea {
+			if r != nil && r.Code == ir.MovI {
+				return addrInfo{sym: l.Sym, constOff: true, off: l.Imm + r.Imm + extra}, true
+			}
+			return addrInfo{sym: l.Sym}, true
+		}
+		if r != nil && r.Code == ir.Lea {
+			if l != nil && l.Code == ir.MovI {
+				return addrInfo{sym: r.Sym, constOff: true, off: r.Imm + l.Imm + extra}, true
+			}
+			return addrInfo{sym: r.Sym}, true
+		}
+	}
+	return addrInfo{}, false
+}
+
+func indexOf(b *ir.Block, op *ir.Op) int {
+	for i, o := range b.Ops {
+		if o == op {
+			return i
+		}
+	}
+	return -1
+}
+
+// findDef returns the last def of r before position idx, or nil if r is
+// live-in or redefined ambiguously.
+func findDef(b *ir.Block, idx int, r ir.Reg) *ir.Op {
+	if r == ir.NoReg || idx < 0 {
+		return nil
+	}
+	for i := idx - 1; i >= 0; i-- {
+		if b.Ops[i].Def() == r {
+			return b.Ops[i]
+		}
+	}
+	return nil
+}

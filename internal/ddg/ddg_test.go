@@ -1,0 +1,279 @@
+package ddg
+
+import (
+	"testing"
+
+	"vliwvp/internal/ir"
+	"vliwvp/internal/machine"
+)
+
+// chainBlock builds: r1=movi 1; r2=load [r1]; r3=add r2,r1; store [r1],r3; jmp.
+func chainBlock(t *testing.T) (*ir.Func, *ir.Block) {
+	t.Helper()
+	f := ir.NewFunc("t")
+	b := f.Blocks[0]
+	r1, r2, r3 := f.NewReg(), f.NewReg(), f.NewReg()
+
+	mi := f.NewOp(ir.MovI)
+	mi.Dest, mi.Imm = r1, 5
+	ld := f.NewOp(ir.Load)
+	ld.Dest, ld.A = r2, r1
+	add := f.NewOp(ir.Add)
+	add.Dest, add.A, add.B = r3, r2, r1
+	st := f.NewOp(ir.Store)
+	st.A, st.B = r1, r3
+	jmp := f.NewOp(ir.Jmp)
+	b.Ops = append(b.Ops, mi, ld, add, st, jmp)
+	b.Succs = []int{0}
+	return f, b
+}
+
+func lat(op *ir.Op) int { return machine.W4.Latency(op) }
+
+func hasEdge(g *Graph, from, to int, kind DepKind) bool {
+	for _, e := range g.Nodes[from].Succs {
+		if e.To == to && e.Kind == kind {
+			return true
+		}
+	}
+	return false
+}
+
+func TestTrueDependences(t *testing.T) {
+	_, b := chainBlock(t)
+	g := Build(b, lat, Options{})
+	if !hasEdge(g, 0, 1, True) {
+		t.Error("missing movi->load true dep")
+	}
+	if !hasEdge(g, 1, 2, True) {
+		t.Error("missing load->add true dep")
+	}
+	if !hasEdge(g, 2, 3, True) {
+		t.Error("missing add->store true dep")
+	}
+}
+
+func TestCriticalLength(t *testing.T) {
+	_, b := chainBlock(t)
+	g := Build(b, lat, Options{})
+	// movi(1) -> load(3) -> add(1) -> store, store issues >= 5.
+	// Critical path: movi@0, load@1, add@4, store@5, length 5+lat(store)=6.
+	if g.CriticalLength != 6 {
+		t.Errorf("CriticalLength = %d, want 6", g.CriticalLength)
+	}
+	if !g.OnCriticalPath(1) {
+		t.Error("load should be on the critical path")
+	}
+}
+
+func TestMemOrdering(t *testing.T) {
+	f := ir.NewFunc("m")
+	b := f.Blocks[0]
+	r1, r2, r3 := f.NewReg(), f.NewReg(), f.NewReg()
+	mi := f.NewOp(ir.MovI)
+	mi.Dest, mi.Imm = r1, 8
+	ld1 := f.NewOp(ir.Load)
+	ld1.Dest, ld1.A = r2, r1
+	st := f.NewOp(ir.Store)
+	st.A, st.B = r1, r2
+	ld2 := f.NewOp(ir.Load)
+	ld2.Dest, ld2.A = r3, r1
+	ret := f.NewOp(ir.Ret)
+	ret.A = r3
+	b.Ops = append(b.Ops, mi, ld1, st, ld2, ret)
+
+	g := Build(b, lat, Options{})
+	if !hasEdge(g, 1, 2, Mem) {
+		t.Error("missing load->store mem edge")
+	}
+	if !hasEdge(g, 2, 3, Mem) {
+		t.Error("missing store->load mem edge")
+	}
+	if hasEdge(g, 1, 3, Mem) {
+		t.Error("load->load must not have a mem edge")
+	}
+}
+
+func TestDisambiguationSplitsDistinctGlobals(t *testing.T) {
+	p := ir.NewProgram()
+	_ = p.AddGlobal(&ir.Global{Name: "a", Size: 8})
+	_ = p.AddGlobal(&ir.Global{Name: "b", Size: 8})
+	f := ir.NewFunc("d")
+	blk := f.Blocks[0]
+	ra, rb, v := f.NewReg(), f.NewReg(), f.NewReg()
+	leaA := f.NewOp(ir.Lea)
+	leaA.Dest, leaA.Sym = ra, "a"
+	leaB := f.NewOp(ir.Lea)
+	leaB.Dest, leaB.Sym = rb, "b"
+	mi := f.NewOp(ir.MovI)
+	mi.Dest, mi.Imm = v, 1
+	stA := f.NewOp(ir.Store)
+	stA.A, stA.B = ra, v
+	stB := f.NewOp(ir.Store)
+	stB.A, stB.B = rb, v
+	ret := f.NewOp(ir.Ret)
+	blk.Ops = append(blk.Ops, leaA, leaB, mi, stA, stB, ret)
+
+	conservative := Build(blk, lat, Options{})
+	if !hasEdge(conservative, 3, 4, Mem) {
+		t.Error("conservative build must order the two stores")
+	}
+	relaxed := Build(blk, lat, Options{Disambiguate: true})
+	if hasEdge(relaxed, 3, 4, Mem) {
+		t.Error("disambiguated build must not order stores to distinct globals")
+	}
+}
+
+func TestDisambiguationSameGlobalDistinctConstIndex(t *testing.T) {
+	f := ir.NewFunc("d2")
+	blk := f.Blocks[0]
+	base, i1, i2, a1, a2, v := f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg()
+	lea := f.NewOp(ir.Lea)
+	lea.Dest, lea.Sym = base, "g"
+	m1 := f.NewOp(ir.MovI)
+	m1.Dest, m1.Imm = i1, 3
+	m2 := f.NewOp(ir.MovI)
+	m2.Dest, m2.Imm = i2, 4
+	add1 := f.NewOp(ir.Add)
+	add1.Dest, add1.A, add1.B = a1, base, i1
+	add2 := f.NewOp(ir.Add)
+	add2.Dest, add2.A, add2.B = a2, base, i2
+	mv := f.NewOp(ir.MovI)
+	mv.Dest, mv.Imm = v, 9
+	st1 := f.NewOp(ir.Store)
+	st1.A, st1.B = a1, v
+	st2 := f.NewOp(ir.Store)
+	st2.A, st2.B = a2, v
+	ret := f.NewOp(ir.Ret)
+	blk.Ops = append(blk.Ops, lea, m1, m2, add1, add2, mv, st1, st2, ret)
+
+	relaxed := Build(blk, lat, Options{Disambiguate: true})
+	if hasEdge(relaxed, 6, 7, Mem) {
+		t.Error("stores to g[3] and g[4] must not conflict under disambiguation")
+	}
+}
+
+func TestCallIsBarrier(t *testing.T) {
+	f := ir.NewFunc("c")
+	b := f.Blocks[0]
+	r1, r2 := f.NewReg(), f.NewReg()
+	mi := f.NewOp(ir.MovI)
+	mi.Dest, mi.Imm = r1, 1
+	call := f.NewOp(ir.Call)
+	call.Sym, call.Dest = "x", r2
+	mi2 := f.NewOp(ir.MovI)
+	mi2.Dest, mi2.Imm = r1, 2
+	ret := f.NewOp(ir.Ret)
+	ret.A = r2
+	b.Ops = append(b.Ops, mi, call, mi2, ret)
+
+	g := Build(b, lat, Options{})
+	if !hasEdge(g, 0, 1, Ctrl) {
+		t.Error("missing pre-call barrier edge")
+	}
+	if !hasEdge(g, 1, 2, Ctrl) {
+		t.Error("missing post-call barrier edge")
+	}
+}
+
+func TestTerminatorOrderedLast(t *testing.T) {
+	_, b := chainBlock(t)
+	g := Build(b, lat, Options{})
+	term := len(b.Ops) - 1
+	for j := 0; j < term; j++ {
+		if !hasEdge(g, j, term, Ctrl) && !hasEdge(g, j, term, True) {
+			t.Errorf("op %d not ordered before terminator", j)
+		}
+	}
+}
+
+func TestAntiAndOutputDeps(t *testing.T) {
+	f := ir.NewFunc("ao")
+	b := f.Blocks[0]
+	r1, r2 := f.NewReg(), f.NewReg()
+	m1 := f.NewOp(ir.MovI)
+	m1.Dest, m1.Imm = r1, 1
+	use := f.NewOp(ir.Mov)
+	use.Dest, use.A = r2, r1
+	m2 := f.NewOp(ir.MovI) // redefines r1: output dep on m1, anti dep on use
+	m2.Dest, m2.Imm = r1, 2
+	ret := f.NewOp(ir.Ret)
+	ret.A = r1
+	b.Ops = append(b.Ops, m1, use, m2, ret)
+
+	g := Build(b, lat, Options{})
+	if !hasEdge(g, 0, 2, Output) {
+		t.Error("missing output dep movi->movi")
+	}
+	if !hasEdge(g, 1, 2, Anti) {
+		t.Error("missing anti dep mov->movi")
+	}
+	// The ret must read the SECOND movi's value.
+	if !hasEdge(g, 2, 3, True) {
+		t.Error("ret must depend on the redefinition")
+	}
+}
+
+func TestTransitiveDependents(t *testing.T) {
+	_, b := chainBlock(t)
+	g := Build(b, lat, Options{})
+	deps := g.TransitiveDependents([]int{1}) // from the load
+	if !deps[2] {
+		t.Error("add must be a transitive dependent of the load")
+	}
+	if !deps[3] {
+		t.Error("store must be a transitive dependent of the load")
+	}
+	if deps[0] {
+		t.Error("movi precedes the load and cannot depend on it")
+	}
+}
+
+func TestLiveness(t *testing.T) {
+	// b0: r0=movi; br r0 -> b1,b2 ; b1: r1=movi; jmp b3; b2: r1=movi; jmp b3;
+	// b3: ret r1. r1 live-in at b3, live-out of b1/b2.
+	f := ir.NewFunc("lv")
+	r0, r1 := f.NewReg(), f.NewReg()
+	b0 := f.Blocks[0]
+	m := f.NewOp(ir.MovI)
+	m.Dest = r0
+	br := f.NewOp(ir.Br)
+	br.A = r0
+	b0.Ops = append(b0.Ops, m, br)
+	b1, b2, b3 := f.AddBlock(), f.AddBlock(), f.AddBlock()
+	for _, b := range []*ir.Block{b1, b2} {
+		mv := f.NewOp(ir.MovI)
+		mv.Dest = r1
+		j := f.NewOp(ir.Jmp)
+		b.Ops = append(b.Ops, mv, j)
+		b.Succs = []int{b3.ID}
+	}
+	ret := f.NewOp(ir.Ret)
+	ret.A = r1
+	b3.Ops = append(b3.Ops, ret)
+	b0.Succs = []int{b1.ID, b2.ID}
+	f.RecomputePreds()
+
+	lv := ComputeLiveness(f)
+	if !lv.In[b3.ID][r1] {
+		t.Error("r1 must be live-in at b3")
+	}
+	if !lv.Out[b1.ID][r1] || !lv.Out[b2.ID][r1] {
+		t.Error("r1 must be live-out of b1 and b2")
+	}
+	if lv.Out[b3.ID][r1] {
+		t.Error("r1 must not be live-out of the exit block")
+	}
+	if lv.In[b0.ID][r1] {
+		t.Error("r1 must not be live-in at entry")
+	}
+
+	// Within b1, r1 is live after its def (position 0).
+	if !lv.LiveOutAfter(b1, 0, r1) {
+		t.Error("LiveOutAfter(b1, 0, r1) = false, want true")
+	}
+	// r0 dead after the branch in b0.
+	if lv.LiveOutAfter(b0, 1, r0) {
+		t.Error("r0 must be dead after the branch")
+	}
+}

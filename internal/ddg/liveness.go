@@ -1,0 +1,84 @@
+package ddg
+
+import "vliwvp/internal/ir"
+
+// Liveness holds per-block live-in/live-out register sets for one function.
+type Liveness struct {
+	In  []map[ir.Reg]bool // indexed by block ID
+	Out []map[ir.Reg]bool
+}
+
+// ComputeLiveness runs the standard backward dataflow over the CFG. The
+// speculation pass uses it to decide which speculated values escape their
+// block and therefore must be verified before the block's terminator.
+func ComputeLiveness(f *ir.Func) *Liveness {
+	n := len(f.Blocks)
+	lv := &Liveness{In: make([]map[ir.Reg]bool, n), Out: make([]map[ir.Reg]bool, n)}
+	use := make([]map[ir.Reg]bool, n)
+	def := make([]map[ir.Reg]bool, n)
+	for i, b := range f.Blocks {
+		use[i] = make(map[ir.Reg]bool)
+		def[i] = make(map[ir.Reg]bool)
+		lv.In[i] = make(map[ir.Reg]bool)
+		lv.Out[i] = make(map[ir.Reg]bool)
+		for _, op := range b.Ops {
+			for _, u := range op.Uses() {
+				if !def[i][u] {
+					use[i][u] = true
+				}
+			}
+			if d := op.Def(); d != ir.NoReg {
+				def[i][d] = true
+			}
+		}
+	}
+
+	changed := true
+	for changed {
+		changed = false
+		for i := n - 1; i >= 0; i-- {
+			b := f.Blocks[i]
+			out := lv.Out[i]
+			for _, s := range b.Succs {
+				for r := range lv.In[s] {
+					if !out[r] {
+						out[r] = true
+						changed = true
+					}
+				}
+			}
+			in := lv.In[i]
+			for r := range use[i] {
+				if !in[r] {
+					in[r] = true
+					changed = true
+				}
+			}
+			for r := range out {
+				if !def[i][r] && !in[r] {
+					in[r] = true
+					changed = true
+				}
+			}
+		}
+	}
+	return lv
+}
+
+// LiveOutAfter reports whether register r is live after position idx in
+// block b: either some later op in the block reads it before any redefinition,
+// or it is in the block's live-out set with no later redefinition.
+func (lv *Liveness) LiveOutAfter(b *ir.Block, idx int, r ir.Reg) bool {
+	for i := idx + 1; i < len(b.Ops); i++ {
+		op := b.Ops[i]
+		for _, u := range op.Uses() {
+			if u == r {
+				return true
+			}
+		}
+		if op.Def() == r {
+			return false
+		}
+	}
+	return lv.Out[b.ID][r]
+}

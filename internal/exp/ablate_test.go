@@ -1,0 +1,173 @@
+package exp_test
+
+import (
+	"testing"
+
+	"vliwvp/internal/exp"
+	"vliwvp/internal/ir"
+	"vliwvp/internal/machine"
+	"vliwvp/internal/profile"
+	"vliwvp/internal/workload"
+)
+
+func TestThresholdControlsAggressiveness(t *testing.T) {
+	// Raising the selection threshold must not increase the number of
+	// selected sites and must not increase the misprediction share.
+	prevSites := 1 << 30
+	prevShare := 1.0
+	for _, th := range []float64{0.50, 0.80, 0.95} {
+		r := exp.NewRunner(machine.W4)
+		r.Cfg.Threshold = th
+		r.Benchmarks = workload.All()
+		sites := 0
+		var preds, miss float64
+		for _, w := range r.Benchmarks {
+			bd, err := r.Prepare(w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sites += len(bd.Res.Sites)
+			for bk, blk := range bd.Blocks {
+				for mask, n := range bd.Out.MaskCounts[bk] {
+					for i := 0; i < blk.NumSites; i++ {
+						preds += float64(n)
+						if mask&(1<<uint(i)) == 0 {
+							miss += float64(n)
+						}
+					}
+				}
+			}
+		}
+		share := 0.0
+		if preds > 0 {
+			share = miss / preds
+		}
+		if sites > prevSites {
+			t.Errorf("threshold %.2f: %d sites, more than at the lower threshold (%d)", th, sites, prevSites)
+		}
+		if share > prevShare+0.02 {
+			t.Errorf("threshold %.2f: mispredict share %.3f grew past %.3f", th, share, prevShare)
+		}
+		prevSites, prevShare = sites, share
+	}
+}
+
+func TestHybridProfileSelectsAtLeastAsManySites(t *testing.T) {
+	// max(stride, FCM) dominates either family alone, so it can never
+	// select fewer sites.
+	countSites := func(strideOnly, fcmOnly bool) int {
+		r := exp.NewRunner(machine.W4)
+		total := 0
+		for _, w := range []*workload.Benchmark{workload.Compress, workload.Li, workload.M88ksim} {
+			prog, err := w.Compile()
+			if err != nil {
+				t.Fatal(err)
+			}
+			prof, err := profCollect(t, prog)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, lp := range prof.Loads {
+				if strideOnly {
+					lp.FCMRate = 0
+				}
+				if fcmOnly {
+					lp.StrideRate = 0
+				}
+			}
+			bd, err := r.PrepareWithProfile(w, prog, prof)
+			if err != nil {
+				t.Fatal(err)
+			}
+			total += len(bd.Res.Sites)
+		}
+		return total
+	}
+	hybrid := countSites(false, false)
+	stride := countSites(true, false)
+	fcm := countSites(false, true)
+	if hybrid < stride || hybrid < fcm {
+		t.Errorf("hybrid selected %d sites, components %d/%d — max must dominate", hybrid, stride, fcm)
+	}
+	t.Logf("sites: hybrid %d, stride-only %d, fcm-only %d", hybrid, stride, fcm)
+}
+
+func TestRegionsImproveEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("dynamic simulations")
+	}
+	base := exp.NewRunner(machine.W4)
+	reg := exp.NewRunner(machine.W4)
+	reg.Regions = true
+	var cyclesBase, cyclesReg int64
+	for _, w := range []*workload.Benchmark{workload.Compress, workload.Vortex} {
+		rb, err := base.Speedup(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rr, err := reg.Speedup(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cyclesBase += rb.SpecCycles
+		cyclesReg += rr.SpecCycles
+	}
+	if cyclesReg >= cyclesBase {
+		t.Errorf("region formation did not help: %d vs %d cycles", cyclesReg, cyclesBase)
+	}
+	t.Logf("spec cycles: blocks %d, regions %d (%.3fx)", cyclesBase, cyclesReg,
+		float64(cyclesBase)/float64(cyclesReg))
+}
+
+func TestSmallerCCBNeverFaster(t *testing.T) {
+	if testing.Short() {
+		t.Skip("dynamic simulations")
+	}
+	var prev int64 = 1 << 62
+	for _, c := range []int{64, 8, 4} { // shrinking
+		r := exp.NewRunner(machine.W4)
+		r.CCBCapacity = c
+		r.Cfg.MaxSyncBits = c
+		var total int64
+		for _, w := range []*workload.Benchmark{workload.Compress, workload.M88ksim} {
+			row, err := r.Speedup(w)
+			if err != nil {
+				t.Fatalf("capacity %d: %v", c, err)
+			}
+			total += row.SpecCycles
+		}
+		// A smaller buffer (and bit budget) may be arbitrarily slower but
+		// must never beat a larger one (1% tolerance for site-selection
+		// noise between budgets).
+		if c != 64 && total < prev-prev/100 {
+			t.Errorf("capacity %d took %d cycles, beating the larger buffer (%d)", c, total, prev)
+		}
+		prev = total
+	}
+}
+
+func TestDisambiguationNeverLengthens(t *testing.T) {
+	cons := exp.NewRunner(machine.W4)
+	rel := exp.NewRunner(machine.W4)
+	rel.DDG.Disambiguate = true
+	rel.Cfg.DDG.Disambiguate = true
+	for _, w := range []*workload.Benchmark{workload.Swim, workload.Li} {
+		bdC, err := cons.Prepare(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bdR, err := rel.Prepare(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bdR.TotalTime > bdC.TotalTime {
+			t.Errorf("%s: disambiguation lengthened schedules: %v > %v", w.Name, bdR.TotalTime, bdC.TotalTime)
+		}
+	}
+}
+
+// profCollect adapts profile.Collect for the ablation tests.
+func profCollect(t *testing.T, prog *ir.Program) (*profile.Profile, error) {
+	t.Helper()
+	return profile.Collect(prog, "main")
+}

@@ -1,0 +1,197 @@
+// Package exp regenerates every table and figure of the paper's evaluation
+// (§3) from the pipeline in this repository: compile → optimize → value
+// profile → select & transform → schedule → outcome profile → dual-engine
+// timing. See DESIGN.md's per-experiment index for the mapping.
+package exp
+
+import (
+	"fmt"
+
+	"vliwvp/internal/core"
+	"vliwvp/internal/ddg"
+	"vliwvp/internal/ifconv"
+	"vliwvp/internal/ir"
+	"vliwvp/internal/machine"
+	"vliwvp/internal/profile"
+	"vliwvp/internal/regions"
+	"vliwvp/internal/sched"
+	"vliwvp/internal/speculate"
+	"vliwvp/internal/workload"
+)
+
+// Runner fixes the experimental configuration.
+type Runner struct {
+	D          *machine.Desc
+	Cfg        speculate.Config
+	DDG        ddg.Options
+	Benchmarks []*workload.Benchmark
+	// IfConvert enables Select-based if-conversion of small diamonds before
+	// region formation (the predication half of the paper's hyperblock
+	// extension).
+	IfConvert bool
+	IfConvCfg ifconv.Config
+	// Regions enables profile-guided superblock formation before value
+	// speculation (the paper's anticipated extension).
+	Regions    bool
+	RegionsCfg regions.Config
+	// CCBCapacity overrides the Compensation Code Buffer size in the
+	// timing model (0 = default).
+	CCBCapacity int
+}
+
+// NewRunner uses the paper's settings: the given machine, 65% load
+// threshold, all eight benchmarks.
+func NewRunner(d *machine.Desc) *Runner {
+	return &Runner{
+		D:          d,
+		Cfg:        speculate.DefaultConfig(d),
+		Benchmarks: workload.All(),
+		IfConvCfg:  ifconv.DefaultConfig(),
+		RegionsCfg: regions.DefaultConfig(),
+	}
+}
+
+// BlockData is the per-speculated-block measurement state.
+type BlockData struct {
+	Key      profile.BlockKey
+	OrigLen  int
+	NumSites int
+	Sched    *sched.BlockSched
+	An       *core.BlockAnalysis
+	// lenByMask caches the dual-engine timing per outcome mask.
+	lenByMask map[uint32]core.BlockResult
+	timing    *core.Timing
+}
+
+// Result returns the dual-engine timing of the block under an outcome mask.
+func (bd *BlockData) Result(mask uint32) (core.BlockResult, error) {
+	if r, ok := bd.lenByMask[mask]; ok {
+		return r, nil
+	}
+	r, err := bd.timing.SimulateBlock(bd.Sched, bd.An, mask)
+	if err != nil {
+		return core.BlockResult{}, err
+	}
+	bd.lenByMask[mask] = r
+	return r, nil
+}
+
+// FullMask is the all-correct outcome.
+func (bd *BlockData) FullMask() uint32 { return uint32(1)<<uint(bd.NumSites) - 1 }
+
+// BenchData is one benchmark's fully prepared measurement state.
+type BenchData struct {
+	Bench *workload.Benchmark
+	Prog  *ir.Program // optimized original
+	Prof  *profile.Profile
+	Res   *speculate.Result
+	Out   *profile.Outcomes
+	// Blocks holds per-speculated-block data.
+	Blocks map[profile.BlockKey]*BlockData
+	// TotalTime is Σ freq·origLen over every block of the program — the
+	// estimated original execution time that fractions are reported
+	// against.
+	TotalTime float64
+	// origLens caches original schedule lengths of all blocks.
+	origLens map[profile.BlockKey]int
+}
+
+// Prepare runs the full profile-and-transform pipeline for one benchmark.
+func (r *Runner) Prepare(b *workload.Benchmark) (*BenchData, error) {
+	prog, err := b.Compile()
+	if err != nil {
+		return nil, err
+	}
+	if r.IfConvert {
+		ifconv.Convert(prog, r.IfConvCfg)
+		if err := prog.Validate(); err != nil {
+			return nil, fmt.Errorf("%s after if-conversion: %w", b.Name, err)
+		}
+	}
+	if r.Regions {
+		// Region formation duplicates code (fresh op IDs), so it uses its
+		// own edge profile and the value profile is collected afterwards.
+		prof0, err := profile.Collect(prog, "main")
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", b.Name, err)
+		}
+		regions.Form(prog, prof0, r.RegionsCfg)
+		if err := prog.Validate(); err != nil {
+			return nil, fmt.Errorf("%s after region formation: %w", b.Name, err)
+		}
+	}
+	prof, err := profile.Collect(prog, "main")
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", b.Name, err)
+	}
+	return r.prepareFrom(b, prog, prof)
+}
+
+// PrepareWithProfile is Prepare with a caller-supplied value profile
+// (useful for predictor ablations that rescore the same program).
+func (r *Runner) PrepareWithProfile(b *workload.Benchmark, prog *ir.Program, prof *profile.Profile) (*BenchData, error) {
+	return r.prepareFrom(b, prog, prof)
+}
+
+func (r *Runner) prepareFrom(b *workload.Benchmark, prog *ir.Program, prof *profile.Profile) (*BenchData, error) {
+	res, err := speculate.Transform(prog, prof, r.Cfg)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", b.Name, err)
+	}
+	out, err := profile.CollectOutcomes(prog, res.Selection, "main")
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", b.Name, err)
+	}
+
+	bd := &BenchData{
+		Bench:    b,
+		Prog:     prog,
+		Prof:     prof,
+		Res:      res,
+		Out:      out,
+		Blocks:   map[profile.BlockKey]*BlockData{},
+		origLens: map[profile.BlockKey]int{},
+	}
+
+	// Original schedule lengths and total time, over every block.
+	for _, f := range prog.Funcs {
+		for _, blk := range f.Blocks {
+			g := ddg.Build(blk, r.D.Latency, r.DDG)
+			l := sched.ScheduleBlock(blk, g, r.D).Length()
+			bk := profile.BlockKey{Func: f.Name, Block: blk.ID}
+			bd.origLens[bk] = l
+			bd.TotalTime += float64(prof.BlockFreq[bk]) * float64(l)
+		}
+	}
+
+	// Transformed block schedules + analyses for speculated blocks.
+	for bk, info := range res.Blocks {
+		blk := res.Prog.Func(bk.Func).Blocks[bk.Block]
+		g := speculate.BuildGraph(blk, r.D, r.DDG)
+		bs := sched.ScheduleBlock(blk, g, r.D)
+		if err := bs.Validate(g, r.D); err != nil {
+			return nil, fmt.Errorf("%s %v: %w", b.Name, bk, err)
+		}
+		an, err := core.Analyze(blk)
+		if err != nil {
+			return nil, fmt.Errorf("%s %v: %w", b.Name, bk, err)
+		}
+		tm := core.NewTiming(r.D)
+		if r.CCBCapacity > 0 {
+			tm.CCBCapacity = r.CCBCapacity
+		}
+		bd.Blocks[bk] = &BlockData{
+			Key:       bk,
+			OrigLen:   bd.origLens[bk],
+			NumSites:  len(info.SiteIDs),
+			Sched:     bs,
+			An:        an,
+			lenByMask: map[uint32]core.BlockResult{},
+			timing:    tm,
+		}
+	}
+	return bd, nil
+}
+
+// OrigLen returns the original schedule length of any block.
+func (bd *BenchData) OrigLen(bk profile.BlockKey) int { return bd.origLens[bk] }

@@ -1,0 +1,239 @@
+package exp
+
+import (
+	"fmt"
+	"math"
+
+	"vliwvp/internal/baseline"
+	"vliwvp/internal/core"
+	"vliwvp/internal/ifconv"
+	"vliwvp/internal/interp"
+	"vliwvp/internal/ir"
+	"vliwvp/internal/profile"
+	"vliwvp/internal/regions"
+	"vliwvp/internal/sched"
+	"vliwvp/internal/speculate"
+	"vliwvp/internal/stats"
+	"vliwvp/internal/workload"
+)
+
+// SpeedupRow is one benchmark's end-to-end dynamic result: the whole
+// program executed on the dual-engine machine with live predictor tables,
+// against the same program without value speculation (E7 / the paper's
+// headline speedup claim).
+type SpeedupRow struct {
+	Name        string
+	BaseCycles  int64
+	SpecCycles  int64
+	Speedup     float64
+	Predictions int64
+	Mispredicts int64
+	CCEExecuted int64
+	CCEFlushed  int64
+	StallSync   int64
+}
+
+// scheduleAll builds validated schedules for a whole program.
+func (r *Runner) scheduleAll(prog *ir.Program) (*sched.ProgSched, error) {
+	ps := &sched.ProgSched{Prog: prog, Funcs: map[string]*sched.FuncSched{}}
+	for _, f := range prog.Funcs {
+		fs := &sched.FuncSched{F: f, Blocks: make([]*sched.BlockSched, len(f.Blocks))}
+		for i, b := range f.Blocks {
+			g := speculate.BuildGraph(b, r.D, r.DDG)
+			fs.Blocks[i] = sched.ScheduleBlock(b, g, r.D)
+			if err := fs.Blocks[i].Validate(g, r.D); err != nil {
+				return nil, fmt.Errorf("%s b%d: %w", f.Name, i, err)
+			}
+		}
+		ps.Funcs[f.Name] = fs
+	}
+	return ps, nil
+}
+
+// NewSimulatorFor wires a dual-engine simulator for an arbitrary program
+// (transformed or not).
+func (r *Runner) NewSimulatorFor(prog *ir.Program, schemes map[int]profile.Scheme) (*core.Simulator, error) {
+	ps, err := r.scheduleAll(prog)
+	if err != nil {
+		return nil, err
+	}
+	sim, err := core.NewSimulator(prog, ps, r.D, schemes)
+	if err != nil {
+		return nil, err
+	}
+	if r.CCBCapacity > 0 {
+		sim.CCBCapacity = r.CCBCapacity
+	}
+	return sim, nil
+}
+
+// Speedup runs one benchmark end to end both ways and validates both runs
+// against the sequential interpreter result.
+func (r *Runner) Speedup(b *workload.Benchmark) (SpeedupRow, error) {
+	row := SpeedupRow{Name: b.Name}
+	prog, err := b.Compile()
+	if err != nil {
+		return row, err
+	}
+	if r.IfConvert {
+		ifconv.Convert(prog, r.IfConvCfg)
+		if err := prog.Validate(); err != nil {
+			return row, fmt.Errorf("%s after if-conversion: %w", b.Name, err)
+		}
+	}
+	if r.Regions {
+		prof0, err := profile.Collect(prog, "main")
+		if err != nil {
+			return row, err
+		}
+		regions.Form(prog, prof0, r.RegionsCfg)
+		if err := prog.Validate(); err != nil {
+			return row, fmt.Errorf("%s after region formation: %w", b.Name, err)
+		}
+	}
+	prof, err := profile.Collect(prog, "main")
+	if err != nil {
+		return row, err
+	}
+	res, err := speculate.Transform(prog, prof, r.Cfg)
+	if err != nil {
+		return row, err
+	}
+	schemes := map[int]profile.Scheme{}
+	for _, site := range res.Sites {
+		schemes[site.ID] = site.Scheme
+	}
+
+	baseSim, err := r.NewSimulatorFor(prog, nil)
+	if err != nil {
+		return row, err
+	}
+	baseV, err := baseSim.Run("main")
+	if err != nil {
+		return row, fmt.Errorf("%s baseline sim: %w", b.Name, err)
+	}
+	specSim, err := r.NewSimulatorFor(res.Prog, schemes)
+	if err != nil {
+		return row, err
+	}
+	specV, err := specSim.Run("main")
+	if err != nil {
+		return row, fmt.Errorf("%s speculative sim: %w", b.Name, err)
+	}
+	if baseV != specV {
+		return row, fmt.Errorf("%s: speculative result %d != baseline %d", b.Name, specV, baseV)
+	}
+
+	row.BaseCycles = baseSim.Cycles
+	row.SpecCycles = specSim.Cycles
+	if specSim.Cycles > 0 {
+		row.Speedup = float64(baseSim.Cycles) / float64(specSim.Cycles)
+	}
+	row.Predictions = specSim.Predictions
+	row.Mispredicts = specSim.Mispredicts
+	row.CCEExecuted = specSim.CCEExecuted
+	row.CCEFlushed = specSim.CCEFlushed
+	row.StallSync = specSim.StallSync
+	return row, nil
+}
+
+// SpeedupSerial runs one benchmark end to end on the serial-recovery
+// baseline machine ([4]: static compensation blocks, no Compensation Code
+// Engine) and returns its cycle count, validated against the interpreter.
+func (r *Runner) SpeedupSerial(b *workload.Benchmark) (SpeedupRow, error) {
+	row := SpeedupRow{Name: b.Name}
+	prog, err := b.Compile()
+	if err != nil {
+		return row, err
+	}
+	if r.IfConvert {
+		ifconv.Convert(prog, r.IfConvCfg)
+	}
+	if r.Regions {
+		prof0, err := profile.Collect(prog, "main")
+		if err != nil {
+			return row, err
+		}
+		regions.Form(prog, prof0, r.RegionsCfg)
+	}
+	prof, err := profile.Collect(prog, "main")
+	if err != nil {
+		return row, err
+	}
+	res, err := speculate.Transform(prog, prof, r.Cfg)
+	if err != nil {
+		return row, err
+	}
+	bm, err := baseline.Build(res, r.D, r.DDG, baseline.DefaultConfig())
+	if err != nil {
+		return row, err
+	}
+	recLen := map[int]int{}
+	for bk, info := range res.Blocks {
+		bmB := bm.Blocks[bk]
+		for i, sid := range info.SiteIDs {
+			if bmB != nil && i < len(bmB.RecoveryLen) {
+				recLen[sid] = bmB.RecoveryLen[i]
+			}
+		}
+	}
+	schemes := map[int]profile.Scheme{}
+	for _, site := range res.Sites {
+		schemes[site.ID] = site.Scheme
+	}
+	sim, err := r.NewSimulatorFor(res.Prog, schemes)
+	if err != nil {
+		return row, err
+	}
+	sim.SerialRecovery = true
+	sim.RecoveryLen = recLen
+	sim.BranchPenalty = baseline.DefaultConfig().BranchPenalty
+	got, err := sim.Run("main")
+	if err != nil {
+		return row, fmt.Errorf("%s serial baseline sim: %w", b.Name, err)
+	}
+	m := interp.New(prog)
+	want, err := m.RunMain()
+	if err != nil {
+		return row, err
+	}
+	if got != want {
+		return row, fmt.Errorf("%s: serial baseline result %d != %d", b.Name, got, want)
+	}
+	row.SpecCycles = sim.Cycles
+	row.Predictions = sim.Predictions
+	row.Mispredicts = sim.Mispredicts
+	row.CCEExecuted = sim.CCEExecuted
+	row.CCEFlushed = sim.CCEFlushed
+	row.StallSync = sim.StallSync
+	return row, nil
+}
+
+// RenderSpeedup runs the dynamic speedup experiment for every benchmark.
+func RenderSpeedup(r *Runner) (*stats.Table, []SpeedupRow, error) {
+	t := &stats.Table{
+		Title: fmt.Sprintf("Dynamic dual-engine speedup (%s)", r.D.Name),
+		Headers: []string{"Benchmark", "Base cycles", "Spec cycles", "Speedup",
+			"Preds", "Mispred", "CCE exec", "CCE flush"},
+	}
+	var rows []SpeedupRow
+	var geo float64 = 1
+	for _, b := range r.Benchmarks {
+		row, err := r.Speedup(b)
+		if err != nil {
+			return nil, nil, err
+		}
+		rows = append(rows, row)
+		geo *= row.Speedup
+		t.AddRow(row.Name,
+			fmt.Sprintf("%d", row.BaseCycles), fmt.Sprintf("%d", row.SpecCycles),
+			fmt.Sprintf("%.3f", row.Speedup),
+			fmt.Sprintf("%d", row.Predictions), fmt.Sprintf("%d", row.Mispredicts),
+			fmt.Sprintf("%d", row.CCEExecuted), fmt.Sprintf("%d", row.CCEFlushed))
+	}
+	if len(rows) > 0 {
+		geo = math.Pow(geo, 1/float64(len(rows)))
+		t.AddRow("geomean", "", "", fmt.Sprintf("%.3f", geo), "", "", "", "")
+	}
+	return t, rows, nil
+}

@@ -1,0 +1,230 @@
+package exp
+
+import (
+	"fmt"
+
+	"vliwvp/internal/machine"
+	"vliwvp/internal/stats"
+	"vliwvp/internal/workload"
+)
+
+// Table2Row is one benchmark's fraction of execution time spent in
+// speculated blocks whose predictions were all correct (best case) or all
+// incorrect (worst case) — the paper's Table 2.
+type Table2Row struct {
+	Name      string
+	BestFrac  float64
+	WorstFrac float64
+}
+
+// Table2 computes the row for one prepared benchmark.
+func Table2(bd *BenchData) Table2Row {
+	row := Table2Row{Name: bd.Bench.Name}
+	if bd.TotalTime == 0 {
+		return row
+	}
+	var best, worst float64
+	for bk, blk := range bd.Blocks {
+		w := float64(bd.OrigLen(bk))
+		best += float64(bd.Out.MaskCounts[bk][blk.FullMask()]) * w
+		worst += float64(bd.Out.MaskCounts[bk][0]) * w
+	}
+	row.BestFrac = best / bd.TotalTime
+	row.WorstFrac = worst / bd.TotalTime
+	return row
+}
+
+// Table3Row is one benchmark's effective schedule-length ratio over
+// speculated blocks: best case (all predictions correct), worst case (all
+// incorrect), and the measured expectation over the profiled outcome
+// distribution — the paper's Table 3 plus a "measured" column.
+type Table3Row struct {
+	Name     string
+	Best     float64
+	Worst    float64
+	Measured float64
+}
+
+// Table3 computes the row for one prepared benchmark.
+func Table3(bd *BenchData) (Table3Row, error) {
+	row := Table3Row{Name: bd.Bench.Name}
+	var best, worst, measured, orig stats.WeightedMean
+	for bk, blk := range bd.Blocks {
+		execs := float64(bd.Out.Executions[bk])
+		if execs == 0 {
+			continue
+		}
+		rBest, err := blk.Result(blk.FullMask())
+		if err != nil {
+			return row, err
+		}
+		rWorst, err := blk.Result(0)
+		if err != nil {
+			return row, err
+		}
+		best.Add(float64(rBest.Length), execs)
+		worst.Add(float64(rWorst.Length), execs)
+		orig.Add(float64(blk.OrigLen), execs)
+		for mask, n := range bd.Out.MaskCounts[bk] {
+			r, err := blk.Result(mask)
+			if err != nil {
+				return row, err
+			}
+			measured.Add(float64(r.Length), float64(n))
+		}
+	}
+	if orig.Mean() == 0 {
+		return row, nil
+	}
+	row.Best = best.Mean() / orig.Mean()
+	row.Worst = worst.Mean() / orig.Mean()
+	row.Measured = measured.Mean() / orig.Mean()
+	return row, nil
+}
+
+// Figure8 builds the distribution of change in schedule length (cycles of
+// improvement, all-correct case) over executed speculated blocks.
+func Figure8(bd *BenchData) (*stats.Histogram, error) {
+	h := &stats.Histogram{Buckets: stats.DeltaBuckets()}
+	for bk, blk := range bd.Blocks {
+		execs := float64(bd.Out.Executions[bk])
+		if execs == 0 {
+			continue
+		}
+		r, err := blk.Result(blk.FullMask())
+		if err != nil {
+			return nil, err
+		}
+		h.Add(blk.OrigLen-r.Length, execs)
+	}
+	return h, nil
+}
+
+// Table4Row pairs the best-case execution-time fraction and schedule-length
+// fraction at two issue widths — the paper's Table 4.
+type Table4Row struct {
+	Name               string
+	ExTime4, SchedLen4 float64
+	ExTime8, SchedLen8 float64
+}
+
+// RenderTable2 runs Table 2 for every benchmark and renders it.
+func RenderTable2(r *Runner) (*stats.Table, []Table2Row, error) {
+	t := &stats.Table{
+		Title:   fmt.Sprintf("Table 2: fraction of execution time in speculated blocks (%s)", r.D.Name),
+		Headers: []string{"Benchmark", "Best case", "Worst case"},
+	}
+	var rows []Table2Row
+	var best, worst stats.WeightedMean
+	for _, b := range r.Benchmarks {
+		bd, err := r.Prepare(b)
+		if err != nil {
+			return nil, nil, err
+		}
+		row := Table2(bd)
+		rows = append(rows, row)
+		t.AddRow(row.Name, stats.F(row.BestFrac), stats.F(row.WorstFrac))
+		best.Add(row.BestFrac, 1)
+		worst.Add(row.WorstFrac, 1)
+	}
+	t.AddRow("average", stats.F(best.Mean()), stats.F(worst.Mean()))
+	return t, rows, nil
+}
+
+// RenderTable3 runs Table 3 for every benchmark and renders it.
+func RenderTable3(r *Runner) (*stats.Table, []Table3Row, error) {
+	t := &stats.Table{
+		Title:   fmt.Sprintf("Table 3: effective schedule length of speculated blocks / original (%s)", r.D.Name),
+		Headers: []string{"Benchmark", "Best case", "Worst case", "Measured"},
+	}
+	var rows []Table3Row
+	var best, worst stats.WeightedMean
+	for _, b := range r.Benchmarks {
+		bd, err := r.Prepare(b)
+		if err != nil {
+			return nil, nil, err
+		}
+		row, err := Table3(bd)
+		if err != nil {
+			return nil, nil, err
+		}
+		rows = append(rows, row)
+		t.AddRow(row.Name, stats.F(row.Best), stats.F(row.Worst), stats.F(row.Measured))
+		best.Add(row.Best, 1)
+		worst.Add(row.Worst, 1)
+	}
+	t.AddRow("average", stats.F(best.Mean()), stats.F(worst.Mean()), "")
+	return t, rows, nil
+}
+
+// RenderFigure8 runs the Figure 8 distribution per benchmark plus overall.
+func RenderFigure8(r *Runner) (*stats.Table, *stats.Histogram, error) {
+	overall := &stats.Histogram{Buckets: stats.DeltaBuckets()}
+	t := &stats.Table{
+		Title:   fmt.Sprintf("Figure 8: distribution of schedule-length change, all-correct case (%s)", r.D.Name),
+		Headers: []string{"Benchmark", "degraded", "0", "1-2", "3-4", "5-8", ">8"},
+	}
+	for _, b := range r.Benchmarks {
+		bd, err := r.Prepare(b)
+		if err != nil {
+			return nil, nil, err
+		}
+		h, err := Figure8(bd)
+		if err != nil {
+			return nil, nil, err
+		}
+		cells := []string{b.Name}
+		for i := range h.Buckets {
+			cells = append(cells, stats.Pct(h.Fraction(i)))
+			overall.Buckets[i].Count += h.Buckets[i].Count
+
+		}
+		overall.Total += h.Total
+		t.AddRow(cells...)
+	}
+	cells := []string{"overall"}
+	for i := range overall.Buckets {
+		cells = append(cells, stats.Pct(overall.Fraction(i)))
+	}
+	t.AddRow(cells...)
+	return t, overall, nil
+}
+
+// RenderTable4 compares best-case metrics at widths 4 and 8.
+func RenderTable4() (*stats.Table, []Table4Row, error) {
+	r4 := NewRunner(machine.W4)
+	r8 := NewRunner(machine.W8)
+	t := &stats.Table{
+		Title:   "Table 4: best case at issue width 4 vs 8",
+		Headers: []string{"Benchmark", "ExTime frac (4)", "Sched frac (4)", "ExTime frac (8)", "Sched frac (8)"},
+	}
+	var rows []Table4Row
+	for _, b := range workload.All() {
+		bd4, err := r4.Prepare(b)
+		if err != nil {
+			return nil, nil, err
+		}
+		bd8, err := r8.Prepare(b)
+		if err != nil {
+			return nil, nil, err
+		}
+		t2a, t2b := Table2(bd4), Table2(bd8)
+		t3a, err := Table3(bd4)
+		if err != nil {
+			return nil, nil, err
+		}
+		t3b, err := Table3(bd8)
+		if err != nil {
+			return nil, nil, err
+		}
+		row := Table4Row{
+			Name:    b.Name,
+			ExTime4: t2a.BestFrac, SchedLen4: t3a.Best,
+			ExTime8: t2b.BestFrac, SchedLen8: t3b.Best,
+		}
+		rows = append(rows, row)
+		t.AddRow(row.Name, stats.F(row.ExTime4), stats.F(row.SchedLen4),
+			stats.F(row.ExTime8), stats.F(row.SchedLen8))
+	}
+	return t, rows, nil
+}

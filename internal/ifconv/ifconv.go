@@ -1,0 +1,340 @@
+// Package ifconv implements if-conversion: collapsing small, side-effect-
+// free branch diamonds into straight-line code with Select (predicated
+// move) operations. It is the predication half of the "larger regions such
+// as hyperblocks" extension the paper's §3 anticipates — where superblock
+// formation (internal/regions) handles biased branches by tail duplication,
+// if-conversion removes *unbiased* branches entirely, and the two compose.
+//
+// A convertible diamond is
+//
+//	b:  ... ; br cond -> t, f
+//	t:  pure, non-trapping ops ; jmp j     (single predecessor b)
+//	f:  pure, non-trapping ops ; jmp j     (single predecessor b; may be
+//	                                        the join itself for a half
+//	                                        diamond)
+//
+// which becomes
+//
+//	b:  ... ; t-ops' ; f-ops' ; selects ; jmp j
+//
+// where both arms' definitions are renamed to fresh registers and every
+// register either arm defined is merged with
+// Select(cond, true-value, false-value). Loads and integer divides are
+// never hoisted (they can trap on the untaken path); stores and calls make
+// an arm unconvertible.
+package ifconv
+
+import (
+	"vliwvp/internal/ddg"
+	"vliwvp/internal/ir"
+	"vliwvp/internal/opt"
+)
+
+// Config bounds the conversion.
+type Config struct {
+	// MaxArmOps caps the operation count of each arm.
+	MaxArmOps int
+	// MaxSelects caps the number of merge Selects per diamond.
+	MaxSelects int
+}
+
+// DefaultConfig allows modest diamonds (classic if-conversion heuristics:
+// a handful of predicated ops beat a branch).
+func DefaultConfig() Config { return Config{MaxArmOps: 12, MaxSelects: 6} }
+
+// Convert if-converts every eligible diamond in the program, in place.
+// It returns the number of diamonds converted per function.
+func Convert(p *ir.Program, cfg Config) map[string]int {
+	out := map[string]int{}
+	for _, f := range p.Funcs {
+		n := convertFunc(f, cfg)
+		if n > 0 {
+			opt.OptimizeFunc(f)
+		}
+		out[f.Name] = n
+	}
+	return out
+}
+
+func convertFunc(f *ir.Func, cfg Config) int {
+	converted := 0
+	// Iterate to a fixpoint: converting one diamond can expose another
+	// (nested ifs collapse inside-out).
+	for {
+		f.RecomputePreds()
+		mergeChains(f)
+		lv := ddg.ComputeLiveness(f)
+		did := false
+		for _, b := range f.Blocks {
+			if tryConvert(f, b, cfg, lv) {
+				converted++
+				did = true
+				f.RecomputePreds()
+				mergeChains(f)
+				lv = ddg.ComputeLiveness(f)
+			}
+		}
+		if !did {
+			return converted
+		}
+	}
+}
+
+// mergeChains splices single-predecessor jump targets into their
+// predecessor, so a converted inner diamond's join chains into the outer
+// arm and the outer diamond becomes recognizable.
+func mergeChains(f *ir.Func) {
+	for changed := true; changed; {
+		changed = false
+		for _, b := range f.Blocks {
+			t := b.Terminator()
+			if t == nil || t.Code != ir.Jmp {
+				continue
+			}
+			cID := b.Succs[0]
+			c := f.Blocks[cID]
+			if cID == b.ID || cID == f.Entry || len(c.Preds) != 1 {
+				continue
+			}
+			b.Ops = b.Ops[:len(b.Ops)-1]
+			b.Ops = append(b.Ops, c.Ops...)
+			b.Succs = append([]int(nil), c.Succs...)
+			stub := f.NewOp(ir.Jmp)
+			c.Ops = []*ir.Op{stub}
+			c.Succs = []int{c.ID} // self-looping unreachable husk: pollutes no predecessor list
+			f.RecomputePreds()
+			changed = true
+		}
+	}
+}
+
+// hoistable reports whether the op may execute unconditionally: pure and
+// unable to trap or touch memory. consts carries registers known to hold
+// non-zero immediates (from the diamond head and earlier arm ops), which
+// makes constant-divisor Div/Rem safe to hoist.
+func hoistable(op *ir.Op, nonzero map[ir.Reg]bool) bool {
+	if !op.Code.IsPure() {
+		return false
+	}
+	switch op.Code {
+	case ir.Load:
+		return false
+	case ir.Div, ir.Rem:
+		return op.B != ir.NoReg && nonzero[op.B]
+	}
+	return true
+}
+
+// nonzeroConsts scans ops in order collecting registers that definitely
+// hold a non-zero immediate at the end of the sequence.
+func nonzeroConsts(into map[ir.Reg]bool, ops []*ir.Op) map[ir.Reg]bool {
+	if into == nil {
+		into = map[ir.Reg]bool{}
+	}
+	for _, op := range ops {
+		if d := op.Def(); d != ir.NoReg {
+			if op.Code == ir.MovI && op.Imm != 0 {
+				into[d] = true
+			} else {
+				delete(into, d)
+			}
+		}
+	}
+	return into
+}
+
+// armInfo captures one convertible arm.
+type armInfo struct {
+	block *ir.Block // nil for an empty (fall-through) arm
+	ops   []*ir.Op  // excludes the trailing jmp
+}
+
+// analyzeArm checks that candidate (a successor of b) is a convertible arm
+// flowing into join. An arm equal to the join itself is the empty arm of a
+// half diamond.
+func analyzeArm(f *ir.Func, b *ir.Block, candidate, join int, cfg Config) (armInfo, bool) {
+	if candidate == join {
+		return armInfo{}, true // empty arm
+	}
+	arm := f.Blocks[candidate]
+	if len(arm.Preds) != 1 || arm.Preds[0] != b.ID {
+		return armInfo{}, false
+	}
+	term := arm.Terminator()
+	if term == nil || term.Code != ir.Jmp || arm.Succs[0] != join {
+		return armInfo{}, false
+	}
+	body := arm.Ops[:len(arm.Ops)-1]
+	if len(body) > cfg.MaxArmOps {
+		return armInfo{}, false
+	}
+	nonzero := nonzeroConsts(nil, b.Ops)
+	for i, op := range body {
+		if !hoistable(op, nonzero) {
+			return armInfo{}, false
+		}
+		nonzero = nonzeroConsts(nonzero, body[i:i+1])
+	}
+	return armInfo{block: arm, ops: body}, true
+}
+
+// tryConvert recognizes and rewrites one diamond rooted at b.
+func tryConvert(f *ir.Func, b *ir.Block, cfg Config, lv *ddg.Liveness) bool {
+	term := b.Terminator()
+	if term == nil || term.Code != ir.Br {
+		return false
+	}
+	tID, fID := b.Succs[0], b.Succs[1]
+	if tID == fID {
+		return false
+	}
+	join := findJoin(f, tID, fID)
+	if join < 0 || join == b.ID {
+		return false
+	}
+	tArm, ok := analyzeArm(f, b, tID, join, cfg)
+	if !ok {
+		return false
+	}
+	fArm, ok := analyzeArm(f, b, fID, join, cfg)
+	if !ok {
+		return false
+	}
+	if tArm.block == nil && fArm.block == nil {
+		return false // both arms empty: nothing to do (degenerate br)
+	}
+	cond := term.A
+
+	// Clone each arm with renamed definitions so the original inputs stay
+	// available for the Select merges, the arms cannot clobber each other
+	// (they frequently write the same virtual registers), and the branch
+	// condition survives both arms for the merges.
+	tOps, tVals := cloneRenamed(f, tArm.ops)
+	fOps, fVals := cloneRenamed(f, fArm.ops)
+
+	// Registers needing a merge: defined by either arm AND observable at
+	// the join. Arm-local temporaries die inside the arm and need no
+	// Select (dead-code elimination reclaims their renamed copies).
+	merged := map[ir.Reg]bool{}
+	for r := range tVals {
+		if lv.In[join][r] {
+			merged[r] = true
+		}
+	}
+	for r := range fVals {
+		if lv.In[join][r] {
+			merged[r] = true
+		}
+	}
+	if len(merged) == 0 || len(merged) > cfg.MaxSelects {
+		return false
+	}
+
+	// Rewrite b: drop the branch, inline both arms, merge, jump to join.
+	b.Ops = b.Ops[:len(b.Ops)-1]
+	b.Ops = append(b.Ops, tOps...)
+	b.Ops = append(b.Ops, fOps...)
+	regs := make([]ir.Reg, 0, len(merged))
+	for r := range merged {
+		regs = append(regs, r)
+	}
+	sortRegs(regs)
+	for _, r := range regs {
+		sel := f.NewOp(ir.Select)
+		sel.Dest = r
+		sel.A = cond
+		sel.B = valueOf(tVals, r)
+		sel.C = valueOf(fVals, r)
+		b.Ops = append(b.Ops, sel)
+	}
+	jmp := f.NewOp(ir.Jmp)
+	b.Ops = append(b.Ops, jmp)
+	b.Succs = []int{join}
+
+	// Detach consumed arm blocks (unreachable; cleaned by the optimizer).
+	for _, arm := range []armInfo{tArm, fArm} {
+		if arm.block != nil {
+			detach(f, arm.block)
+		}
+	}
+	return true
+}
+
+// findJoin returns the join block of the two branch successors, handling
+// full diamonds (t -> j <- f), half diamonds (t -> f), and (f -> t).
+func findJoin(f *ir.Func, tID, fID int) int {
+	tj := soleJmpTarget(f.Blocks[tID])
+	fj := soleJmpTarget(f.Blocks[fID])
+	switch {
+	case tj >= 0 && tj == fj:
+		return tj // full diamond
+	case tj == fID:
+		return fID // half diamond: true arm only
+	case fj == tID:
+		return tID // half diamond: false arm only
+	}
+	return -1
+}
+
+func soleJmpTarget(b *ir.Block) int {
+	if t := b.Terminator(); t != nil && t.Code == ir.Jmp {
+		return b.Succs[0]
+	}
+	return -1
+}
+
+// cloneRenamed copies ops giving every definition a fresh register; uses of
+// earlier in-arm definitions follow the renaming. It returns the clones and
+// the final fresh register per originally-defined register.
+func cloneRenamed(f *ir.Func, ops []*ir.Op) ([]*ir.Op, map[ir.Reg]ir.Reg) {
+	cur := map[ir.Reg]ir.Reg{}
+	rename := func(r ir.Reg) ir.Reg {
+		if nr, ok := cur[r]; ok {
+			return nr
+		}
+		return r
+	}
+	var out []*ir.Op
+	for _, op := range ops {
+		cp := op.Clone()
+		cp.ID = f.NextOpID()
+		f.SetNextOpID(cp.ID + 1)
+		cp.A = rename(cp.A)
+		cp.B = rename(cp.B)
+		cp.C = rename(cp.C)
+		for i, a := range cp.Args {
+			cp.Args[i] = rename(a)
+		}
+		if d := cp.Def(); d != ir.NoReg {
+			fresh := f.NewReg()
+			cur[d] = fresh
+			cp.Dest = fresh
+		}
+		out = append(out, cp)
+	}
+	return out, cur
+}
+
+func valueOf(vals map[ir.Reg]ir.Reg, r ir.Reg) ir.Reg {
+	if v, ok := vals[r]; ok {
+		return v
+	}
+	return r // arm did not define it: the original flows through
+}
+
+func sortRegs(rs []ir.Reg) {
+	for i := 1; i < len(rs); i++ {
+		for j := i; j > 0 && rs[j] < rs[j-1]; j-- {
+			rs[j], rs[j-1] = rs[j-1], rs[j]
+		}
+	}
+}
+
+// detach empties a consumed arm into a self-looping unreachable husk (so it
+// pollutes no live block's predecessor list) until unreachable-block
+// elimination removes it.
+func detach(f *ir.Func, b *ir.Block) {
+	jmp := f.NewOp(ir.Jmp)
+	b.Ops = []*ir.Op{jmp}
+	b.Succs = []int{b.ID}
+}

@@ -1,0 +1,321 @@
+package ifconv_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"vliwvp/internal/ifconv"
+	"vliwvp/internal/interp"
+	"vliwvp/internal/ir"
+	"vliwvp/internal/lang"
+	"vliwvp/internal/opt"
+	"vliwvp/internal/workload"
+)
+
+func build(t *testing.T, src string) *ir.Program {
+	t.Helper()
+	p, err := lang.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt.Optimize(p)
+	return p
+}
+
+func runProg(t *testing.T, p *ir.Program) (uint64, []uint64) {
+	t.Helper()
+	m := interp.New(p)
+	v, err := m.RunMain()
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return v, m.Mem
+}
+
+func countSelects(p *ir.Program) int {
+	n := 0
+	for _, f := range p.Funcs {
+		for _, b := range f.Blocks {
+			for _, op := range b.Ops {
+				if op.Code == ir.Select {
+					n++
+				}
+			}
+		}
+	}
+	return n
+}
+
+func countBranches(p *ir.Program) int {
+	n := 0
+	for _, f := range p.Funcs {
+		for _, b := range f.Blocks {
+			for _, op := range b.Ops {
+				if op.Code == ir.Br {
+					n++
+				}
+			}
+		}
+	}
+	return n
+}
+
+const diamondSrc = `
+var a[128]
+func main() {
+	var s = 0
+	for var i = 0; i < 128; i = i + 1 {
+		var x = i * 3
+		var y = 0
+		if i % 2 == 0 {
+			x = x + 7
+			y = x * 2
+		} else {
+			x = x - 5
+			y = x + 1
+		}
+		a[i] = x + y
+		s = s + x - y
+	}
+	return s
+}`
+
+func TestFullDiamondConverted(t *testing.T) {
+	plain := build(t, diamondSrc)
+	wantV, wantMem := runProg(t, plain)
+	branchesBefore := countBranches(plain)
+
+	conv := build(t, diamondSrc)
+	stats := ifconv.Convert(conv, ifconv.DefaultConfig())
+	if err := conv.Validate(); err != nil {
+		t.Fatalf("invalid after if-conversion: %v", err)
+	}
+	if stats["main"] == 0 {
+		t.Fatal("the diamond was not converted")
+	}
+	if countSelects(conv) == 0 {
+		t.Fatal("no Select ops emitted")
+	}
+	if countBranches(conv) >= branchesBefore {
+		t.Errorf("branches %d -> %d, want reduction", branchesBefore, countBranches(conv))
+	}
+	gotV, gotMem := runProg(t, conv)
+	if gotV != wantV {
+		t.Fatalf("converted result %d != %d", gotV, wantV)
+	}
+	for i := range wantMem {
+		if gotMem[i] != wantMem[i] {
+			t.Fatalf("memory[%d] differs after conversion", i)
+		}
+	}
+}
+
+func TestHalfDiamondConverted(t *testing.T) {
+	src := `
+func main() {
+	var s = 0
+	for var i = 0; i < 100; i = i + 1 {
+		var x = i
+		if i % 3 == 0 {
+			x = x * 5 + 1
+		}
+		s = s + x
+	}
+	return s
+}`
+	plain := build(t, src)
+	wantV, _ := runProg(t, plain)
+	conv := build(t, src)
+	stats := ifconv.Convert(conv, ifconv.DefaultConfig())
+	if stats["main"] == 0 {
+		t.Fatal("half diamond not converted")
+	}
+	gotV, _ := runProg(t, conv)
+	if gotV != wantV {
+		t.Fatalf("result %d != %d", gotV, wantV)
+	}
+}
+
+func TestTrappingArmsNotConverted(t *testing.T) {
+	// Division can trap; hoisting it would fault on the untaken path when
+	// the divisor is zero there.
+	src := `
+func main() {
+	var s = 0
+	for var i = 0; i < 50; i = i + 1 {
+		var x = 1
+		if i > 0 {
+			x = 100 / i     # traps if hoisted to i == 0
+		}
+		s = s + x
+	}
+	return s
+}`
+	conv := build(t, src)
+	ifconv.Convert(conv, ifconv.DefaultConfig())
+	gotV, _ := runProg(t, conv) // must not trap
+	plain := build(t, src)
+	wantV, _ := runProg(t, plain)
+	if gotV != wantV {
+		t.Fatalf("result %d != %d", gotV, wantV)
+	}
+}
+
+func TestStoresBlockConversion(t *testing.T) {
+	src := `
+var a[64]
+func main() {
+	var s = 0
+	for var i = 0; i < 64; i = i + 1 {
+		if i % 2 == 0 {
+			a[i] = i      # store: arm not convertible
+		} else {
+			s = s + 1
+		}
+	}
+	return s + a[10]
+}`
+	conv := build(t, src)
+	ifconv.Convert(conv, ifconv.DefaultConfig())
+	if n := countSelects(conv); n != 0 {
+		t.Errorf("store-bearing diamond emitted %d selects", n)
+	}
+	gotV, _ := runProg(t, conv)
+	plain := build(t, src)
+	wantV, _ := runProg(t, plain)
+	if gotV != wantV {
+		t.Fatalf("result %d != %d", gotV, wantV)
+	}
+}
+
+func TestNestedDiamondsCollapseInsideOut(t *testing.T) {
+	src := `
+func main() {
+	var s = 0
+	for var i = 0; i < 200; i = i + 1 {
+		var x = i
+		if i % 2 == 0 {
+			if i % 4 == 0 { x = x + 10 } else { x = x + 20 }
+		} else {
+			x = x - 1
+		}
+		s = s + x
+	}
+	return s
+}`
+	plain := build(t, src)
+	wantV, _ := runProg(t, plain)
+	conv := build(t, src)
+	stats := ifconv.Convert(conv, ifconv.DefaultConfig())
+	if stats["main"] < 2 {
+		t.Errorf("nested diamonds: %d conversions, want >= 2", stats["main"])
+	}
+	gotV, _ := runProg(t, conv)
+	if gotV != wantV {
+		t.Fatalf("result %d != %d", gotV, wantV)
+	}
+}
+
+func TestConversionOnAllBenchmarks(t *testing.T) {
+	for _, b := range workload.All() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			plain, err := b.Compile()
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantV, wantMem := runProg(t, plain)
+
+			conv, err := b.Compile()
+			if err != nil {
+				t.Fatal(err)
+			}
+			stats := ifconv.Convert(conv, ifconv.DefaultConfig())
+			if err := conv.Validate(); err != nil {
+				t.Fatalf("invalid after conversion: %v", err)
+			}
+			gotV, gotMem := runProg(t, conv)
+			if gotV != wantV {
+				t.Fatalf("%s: checksum %d != %d", b.Name, gotV, wantV)
+			}
+			for i := range wantMem {
+				if gotMem[i] != wantMem[i] {
+					t.Fatalf("%s: memory[%d] differs", b.Name, i)
+				}
+			}
+			total := 0
+			for _, n := range stats {
+				total += n
+			}
+			t.Logf("%s: %d diamonds converted, %d selects", b.Name, total, countSelects(conv))
+		})
+	}
+}
+
+// TestPropertyConversionPreservesSemantics runs random branchy programs
+// through if-conversion and compares against the unconverted original.
+func TestPropertyConversionPreservesSemantics(t *testing.T) {
+	gen := func(rng *rand.Rand) string {
+		ops := []string{"+", "-", "*", "&", "|", "^"}
+		expr := func() string {
+			return "x " + ops[rng.Intn(len(ops))] + " " + []string{"3", "5", "7", "i"}[rng.Intn(4)]
+		}
+		body := ""
+		for k := 0; k < 2+rng.Intn(3); k++ {
+			switch rng.Intn(3) {
+			case 0:
+				body += "\t\tif i % " + []string{"2", "3", "5"}[rng.Intn(3)] + " == 0 { x = " + expr() + " } else { x = " + expr() + " y = y + 1 }\n"
+			case 1:
+				body += "\t\tif x > " + []string{"10", "100"}[rng.Intn(2)] + " { x = " + expr() + " y = " + expr() + " }\n"
+			case 2:
+				body += "\t\tx = " + expr() + "\n"
+			}
+		}
+		return `
+func main() {
+	var s = 0
+	var y = 0
+	for var i = 1; i < 300; i = i + 1 {
+		var x = i
+` + body + `
+		s = s + (x & 65535) + y
+	}
+	return s
+}`
+	}
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		src := gen(rng)
+		plain, err := lang.Compile(src)
+		if err != nil {
+			t.Logf("seed %d: compile: %v", seed, err)
+			return false
+		}
+		opt.Optimize(plain)
+		m1 := interp.New(plain)
+		want, err1 := m1.RunMain()
+
+		conv, _ := lang.Compile(src)
+		opt.Optimize(conv)
+		ifconv.Convert(conv, ifconv.DefaultConfig())
+		if err := conv.Validate(); err != nil {
+			t.Logf("seed %d: invalid: %v", seed, err)
+			return false
+		}
+		m2 := interp.New(conv)
+		got, err2 := m2.RunMain()
+		if (err1 == nil) != (err2 == nil) {
+			t.Logf("seed %d: error divergence %v vs %v", seed, err1, err2)
+			return false
+		}
+		if err1 == nil && got != want {
+			t.Logf("seed %d: %d != %d\n%s", seed, got, want, src)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,55 @@
+package ir
+
+// Clone returns a deep copy of the operation.
+func (o *Op) Clone() *Op {
+	c := *o
+	if o.Args != nil {
+		c.Args = append([]Reg(nil), o.Args...)
+	}
+	return &c
+}
+
+// Clone returns a deep copy of the function. Transforming passes clone the
+// input so the un-speculated program remains available for baselines.
+func (f *Func) Clone() *Func {
+	c := &Func{
+		Name:     f.Name,
+		Params:   append([]Param(nil), f.Params...),
+		RetF:     f.RetF,
+		NumRegs:  f.NumRegs,
+		Entry:    f.Entry,
+		nextOpID: f.nextOpID,
+	}
+	c.Blocks = make([]*Block, len(f.Blocks))
+	for i, b := range f.Blocks {
+		nb := &Block{
+			ID:    b.ID,
+			Succs: append([]int(nil), b.Succs...),
+			Preds: append([]int(nil), b.Preds...),
+		}
+		nb.Ops = make([]*Op, len(b.Ops))
+		for j, op := range b.Ops {
+			nb.Ops[j] = op.Clone()
+		}
+		c.Blocks[i] = nb
+	}
+	return c
+}
+
+// Clone returns a deep copy of the program, including the memory image.
+func (p *Program) Clone() *Program {
+	c := NewProgram()
+	for _, f := range p.Funcs {
+		c.Funcs = append(c.Funcs, f.Clone())
+	}
+	for _, g := range p.Globals {
+		ng := &Global{Name: g.Name, Size: g.Size, Addr: g.Addr}
+		if g.Init != nil {
+			ng.Init = append([]uint64(nil), g.Init...)
+		}
+		c.Globals = append(c.Globals, ng)
+	}
+	c.MemWords = p.MemWords
+	c.reindex()
+	return c
+}

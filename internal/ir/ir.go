@@ -1,0 +1,251 @@
+// Package ir defines the register-based intermediate representation shared
+// by the VL front end, the optimizer, the value-speculation pass, the VLIW
+// scheduler, and both execution engines.
+//
+// The representation is deliberately close to the operation model of the
+// paper's Trimaran/PlayDoh substrate: a function is a control-flow graph of
+// basic blocks; each block is a straight-line sequence of three-address
+// operations over virtual registers; memory is a flat word-addressed array
+// shared by all functions.
+package ir
+
+import "fmt"
+
+// Reg names a virtual register within a function. Registers are untyped
+// 64-bit containers.
+type Reg int32
+
+// NoReg marks an absent register operand.
+const NoReg Reg = -1
+
+func (r Reg) String() string {
+	if r == NoReg {
+		return "_"
+	}
+	return fmt.Sprintf("r%d", int32(r))
+}
+
+// NoPred marks an operation that is not a value-prediction site.
+const NoPred = -1
+
+// NoBit marks an operation whose result has no Synchronization-register bit.
+const NoBit = -1
+
+// Op is a single operation. The speculation-related fields (PredID, SyncBit,
+// Speculative, ClearBits, WaitBits) are zero-valued on ordinary code and are
+// populated by the speculate pass.
+type Op struct {
+	ID   int // unique within the function; stable across passes
+	Code Opcode
+
+	Dest Reg   // destination register, NoReg if none
+	A, B Reg   // source registers, NoReg if unused
+	C    Reg   // third source register (Select's false-value), NoReg if unused
+	Imm  int64 // immediate: MovI value, Lea/Load/Store/CheckLd word offset, Shl/Shr amount when B==NoReg
+
+	FImm float64 // FMovI value
+
+	Sym  string // Lea global name, Call target
+	Args []Reg  // Call arguments
+
+	// Value-speculation metadata.
+	PredID      int    // prediction-site ID for LdPred/CheckLd; NoPred otherwise
+	SyncBit     int    // Synchronization-register bit set when this op's predicted value is produced; NoBit if none
+	Speculative bool   // operation consumes a predicted value (directly or transitively)
+	ClearBits   uint64 // CheckLd only: dependent speculative bits cleared on a correct prediction
+	WaitBits    uint64 // non-speculative form: bits that must be clear before issue
+}
+
+// Uses returns the registers read by the operation.
+func (o *Op) Uses() []Reg {
+	var u []Reg
+	if o.A != NoReg {
+		u = append(u, o.A)
+	}
+	if o.B != NoReg {
+		u = append(u, o.B)
+	}
+	if o.C != NoReg {
+		u = append(u, o.C)
+	}
+	for _, a := range o.Args {
+		if a != NoReg {
+			u = append(u, a)
+		}
+	}
+	return u
+}
+
+// Def returns the register written by the operation, or NoReg.
+func (o *Op) Def() Reg {
+	if !o.Code.HasDest() {
+		return NoReg
+	}
+	return o.Dest
+}
+
+// Block is a basic block: a straight-line run of operations ending in at
+// most one terminator. Successor blocks are named by index into the
+// enclosing function's Blocks slice. For Br the convention is
+// Succs[0] = taken (condition != 0) and Succs[1] = fall-through.
+type Block struct {
+	ID    int
+	Ops   []*Op
+	Succs []int
+	Preds []int
+}
+
+// Terminator returns the block's final operation if it is a terminator.
+func (b *Block) Terminator() *Op {
+	if len(b.Ops) == 0 {
+		return nil
+	}
+	last := b.Ops[len(b.Ops)-1]
+	if last.Code.IsTerminator() {
+		return last
+	}
+	return nil
+}
+
+// Func is a function body: a CFG of basic blocks plus its register space.
+// Parameters arrive in registers 0..len(Params)-1.
+type Func struct {
+	Name    string
+	Params  []Param
+	RetF    bool // result is floating point
+	NumRegs int  // virtual registers in use; Reg values are < NumRegs
+	Blocks  []*Block
+	Entry   int // index of the entry block
+
+	nextOpID int
+}
+
+// Param describes one formal parameter.
+type Param struct {
+	Name  string
+	Float bool
+}
+
+// NewFunc returns an empty function with an entry block.
+func NewFunc(name string) *Func {
+	f := &Func{Name: name, Entry: 0}
+	f.AddBlock()
+	return f
+}
+
+// AddBlock appends a new empty block and returns it.
+func (f *Func) AddBlock() *Block {
+	b := &Block{ID: len(f.Blocks)}
+	f.Blocks = append(f.Blocks, b)
+	return b
+}
+
+// NewReg allocates a fresh virtual register.
+func (f *Func) NewReg() Reg {
+	r := Reg(f.NumRegs)
+	f.NumRegs++
+	return r
+}
+
+// NewOp allocates an operation with a fresh function-unique ID.
+func (f *Func) NewOp(code Opcode) *Op {
+	op := &Op{ID: f.nextOpID, Code: code, Dest: NoReg, A: NoReg, B: NoReg, C: NoReg,
+		PredID: NoPred, SyncBit: NoBit}
+	f.nextOpID++
+	return op
+}
+
+// NextOpID exposes the ID watermark so passes that clone functions can keep
+// allocating unique IDs.
+func (f *Func) NextOpID() int { return f.nextOpID }
+
+// SetNextOpID adjusts the ID watermark; used when reconstructing functions.
+func (f *Func) SetNextOpID(n int) { f.nextOpID = n }
+
+// RecomputePreds rebuilds every block's predecessor list from the successor
+// lists.
+func (f *Func) RecomputePreds() {
+	for _, b := range f.Blocks {
+		b.Preds = b.Preds[:0]
+	}
+	for _, b := range f.Blocks {
+		for _, s := range b.Succs {
+			f.Blocks[s].Preds = append(f.Blocks[s].Preds, b.ID)
+		}
+	}
+}
+
+// Global is a statically allocated region of program memory.
+type Global struct {
+	Name string
+	Size int      // words
+	Init []uint64 // initial words (len <= Size); remainder zero
+	Addr int      // word address, assigned by Program.Link
+}
+
+// Program is a linked set of functions plus the global memory image.
+type Program struct {
+	Funcs    []*Func
+	Globals  []*Global
+	MemWords int // total memory size in words, valid after Link
+
+	funcIndex   map[string]*Func
+	globalIndex map[string]*Global
+}
+
+// NewProgram returns an empty program.
+func NewProgram() *Program {
+	return &Program{
+		funcIndex:   make(map[string]*Func),
+		globalIndex: make(map[string]*Global),
+	}
+}
+
+// AddFunc registers a function. It returns an error on duplicate names.
+func (p *Program) AddFunc(f *Func) error {
+	if _, dup := p.funcIndex[f.Name]; dup {
+		return fmt.Errorf("duplicate function %q", f.Name)
+	}
+	p.Funcs = append(p.Funcs, f)
+	p.funcIndex[f.Name] = f
+	return nil
+}
+
+// AddGlobal registers a global. It returns an error on duplicate names.
+func (p *Program) AddGlobal(g *Global) error {
+	if _, dup := p.globalIndex[g.Name]; dup {
+		return fmt.Errorf("duplicate global %q", g.Name)
+	}
+	p.Globals = append(p.Globals, g)
+	p.globalIndex[g.Name] = g
+	return nil
+}
+
+// Func looks up a function by name.
+func (p *Program) Func(name string) *Func { return p.funcIndex[name] }
+
+// Global looks up a global by name.
+func (p *Program) Global(name string) *Global { return p.globalIndex[name] }
+
+// Link assigns word addresses to every global. Address 0 is reserved so
+// that a zero register used as a pointer faults distinctly in tests.
+func (p *Program) Link() {
+	addr := 1
+	for _, g := range p.Globals {
+		g.Addr = addr
+		addr += g.Size
+	}
+	p.MemWords = addr
+}
+
+// reindex rebuilds the lookup maps; used after cloning.
+func (p *Program) reindex() {
+	p.funcIndex = make(map[string]*Func, len(p.Funcs))
+	for _, f := range p.Funcs {
+		p.funcIndex[f.Name] = f
+	}
+	p.globalIndex = make(map[string]*Global, len(p.Globals))
+	for _, g := range p.Globals {
+		p.globalIndex[g.Name] = g
+	}
+}

@@ -1,0 +1,216 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+// buildSmallFunc assembles: r2 = r0 + r1; if r2 != 0 goto b1 else b2;
+// b1: ret r2; b2: ret r0.
+func buildSmallFunc() *Func {
+	f := NewFunc("small")
+	f.Params = []Param{{Name: "a"}, {Name: "b"}}
+	r0, r1 := f.NewReg(), f.NewReg()
+	r2 := f.NewReg()
+
+	add := f.NewOp(Add)
+	add.Dest, add.A, add.B = r2, r0, r1
+	br := f.NewOp(Br)
+	br.A = r2
+	b0 := f.Blocks[0]
+	b0.Ops = append(b0.Ops, add, br)
+
+	b1 := f.AddBlock()
+	ret1 := f.NewOp(Ret)
+	ret1.A = r2
+	b1.Ops = append(b1.Ops, ret1)
+
+	b2 := f.AddBlock()
+	ret2 := f.NewOp(Ret)
+	ret2.A = r0
+	b2.Ops = append(b2.Ops, ret2)
+
+	b0.Succs = []int{b1.ID, b2.ID}
+	f.RecomputePreds()
+	return f
+}
+
+func TestFuncValidateOK(t *testing.T) {
+	f := buildSmallFunc()
+	if err := f.Validate(); err != nil {
+		t.Fatalf("Validate() = %v, want nil", err)
+	}
+}
+
+func TestValidateCatchesOutOfRangeReg(t *testing.T) {
+	f := buildSmallFunc()
+	f.Blocks[0].Ops[0].A = Reg(99)
+	if err := f.Validate(); err == nil {
+		t.Fatal("Validate() accepted out-of-range register")
+	}
+}
+
+func TestValidateCatchesMisplacedTerminator(t *testing.T) {
+	f := buildSmallFunc()
+	b0 := f.Blocks[0]
+	b0.Ops[0], b0.Ops[1] = b0.Ops[1], b0.Ops[0] // br now mid-block
+	if err := f.Validate(); err == nil {
+		t.Fatal("Validate() accepted mid-block terminator")
+	}
+}
+
+func TestValidateCatchesBadSuccessorCount(t *testing.T) {
+	f := buildSmallFunc()
+	f.Blocks[0].Succs = f.Blocks[0].Succs[:1]
+	if err := f.Validate(); err == nil {
+		t.Fatal("Validate() accepted br with one successor")
+	}
+}
+
+func TestValidateCatchesDuplicateOpIDs(t *testing.T) {
+	f := buildSmallFunc()
+	f.Blocks[1].Ops[0].ID = f.Blocks[0].Ops[0].ID
+	if err := f.Validate(); err == nil {
+		t.Fatal("Validate() accepted duplicate op IDs")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	f := buildSmallFunc()
+	c := f.Clone()
+	c.Blocks[0].Ops[0].Dest = Reg(0)
+	c.Blocks[0].Succs[0] = 2
+	if f.Blocks[0].Ops[0].Dest == Reg(0) {
+		t.Error("op mutation leaked into original")
+	}
+	if f.Blocks[0].Succs[0] == 2 {
+		t.Error("succs mutation leaked into original")
+	}
+	if err := f.Validate(); err != nil {
+		t.Errorf("original invalid after clone mutation: %v", err)
+	}
+}
+
+func TestCloneKeepsOpIDWatermark(t *testing.T) {
+	f := buildSmallFunc()
+	c := f.Clone()
+	op := c.NewOp(Nop)
+	if op.ID != f.NextOpID() {
+		t.Errorf("clone NewOp ID = %d, want %d", op.ID, f.NextOpID())
+	}
+}
+
+func TestProgramLinkAssignsDisjointAddresses(t *testing.T) {
+	p := NewProgram()
+	if err := p.AddGlobal(&Global{Name: "a", Size: 10}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddGlobal(&Global{Name: "b", Size: 5}); err != nil {
+		t.Fatal(err)
+	}
+	p.Link()
+	a, b := p.Global("a"), p.Global("b")
+	if a.Addr == 0 || b.Addr == 0 {
+		t.Fatal("address 0 must stay reserved")
+	}
+	if a.Addr+a.Size > b.Addr {
+		t.Errorf("globals overlap: a@%d+%d, b@%d", a.Addr, a.Size, b.Addr)
+	}
+	if p.MemWords < b.Addr+b.Size {
+		t.Errorf("MemWords %d too small", p.MemWords)
+	}
+}
+
+func TestProgramRejectsDuplicates(t *testing.T) {
+	p := NewProgram()
+	if err := p.AddFunc(NewFunc("f")); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddFunc(NewFunc("f")); err == nil {
+		t.Error("duplicate function accepted")
+	}
+	if err := p.AddGlobal(&Global{Name: "g", Size: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddGlobal(&Global{Name: "g", Size: 1}); err == nil {
+		t.Error("duplicate global accepted")
+	}
+}
+
+func TestProgramValidateChecksCallArity(t *testing.T) {
+	p := NewProgram()
+	callee := NewFunc("callee")
+	callee.Params = []Param{{Name: "x"}}
+	r := callee.NewReg()
+	ret := callee.NewOp(Ret)
+	ret.A = r
+	callee.Blocks[0].Ops = append(callee.Blocks[0].Ops, ret)
+	if err := p.AddFunc(callee); err != nil {
+		t.Fatal(err)
+	}
+
+	caller := NewFunc("caller")
+	call := caller.NewOp(Call)
+	call.Sym = "callee"
+	call.Dest = caller.NewReg()
+	retc := caller.NewOp(Ret)
+	retc.A = call.Dest
+	caller.Blocks[0].Ops = append(caller.Blocks[0].Ops, call, retc)
+	if err := p.AddFunc(caller); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := p.Validate(); err == nil {
+		t.Error("Validate() accepted arity mismatch")
+	}
+}
+
+func TestOpStringForms(t *testing.T) {
+	f := NewFunc("s")
+	r := f.NewReg()
+	a := f.NewReg()
+
+	ld := f.NewOp(Load)
+	ld.Dest, ld.A, ld.Imm = r, a, 4
+	if got := ld.String(); !strings.Contains(got, "[r1+4]") {
+		t.Errorf("load string = %q, want address form", got)
+	}
+
+	lp := f.NewOp(LdPred)
+	lp.Dest, lp.PredID, lp.SyncBit = r, 3, 5
+	got := lp.String()
+	if !strings.Contains(got, "pred=3") || !strings.Contains(got, "!set=5") {
+		t.Errorf("ldpred string = %q, want pred and set annotations", got)
+	}
+
+	sp := f.NewOp(Add)
+	sp.Dest, sp.A, sp.B = r, a, a
+	sp.Speculative = true
+	sp.WaitBits = 0x6
+	got = sp.String()
+	if !strings.Contains(got, "!spec") || !strings.Contains(got, "!wait=0x6") {
+		t.Errorf("spec add string = %q, want spec and wait annotations", got)
+	}
+}
+
+func TestUsesAndDef(t *testing.T) {
+	f := NewFunc("u")
+	r0, r1, r2 := f.NewReg(), f.NewReg(), f.NewReg()
+	st := f.NewOp(Store)
+	st.A, st.B = r0, r1
+	if d := st.Def(); d != NoReg {
+		t.Errorf("store Def() = %v, want NoReg", d)
+	}
+	if u := st.Uses(); len(u) != 2 {
+		t.Errorf("store Uses() = %v, want 2 regs", u)
+	}
+	call := f.NewOp(Call)
+	call.Dest = r2
+	call.Args = []Reg{r0, r1}
+	if u := call.Uses(); len(u) != 2 {
+		t.Errorf("call Uses() = %v, want args", u)
+	}
+	if d := call.Def(); d != r2 {
+		t.Errorf("call Def() = %v, want %v", d, r2)
+	}
+}

@@ -1,0 +1,138 @@
+package ir
+
+// Opcode identifies the operation performed by an Op. Registers are untyped
+// 64-bit containers; integer opcodes interpret them as int64 and the F*
+// opcodes as float64 (bit patterns via math.Float64bits). Memory is
+// word-addressed: one address names one 64-bit word.
+type Opcode uint8
+
+const (
+	Nop Opcode = iota
+
+	// Integer arithmetic and logic. Dest <- A op B (or Imm for MovI).
+	MovI // Dest <- Imm
+	Mov  // Dest <- A
+	Add
+	Sub
+	Mul
+	Div
+	Rem
+	And
+	Or
+	Xor
+	Shl
+	Shr
+	Neg // Dest <- -A
+	Not // Dest <- ^A
+
+	// Comparisons produce 0 or 1 in Dest.
+	CmpEQ
+	CmpNE
+	CmpLT
+	CmpLE
+	CmpGT
+	CmpGE
+
+	// Floating point. Registers hold float64 bit patterns.
+	FMovI // Dest <- FImm
+	FMov
+	FAdd
+	FSub
+	FMul
+	FDiv
+	FNeg
+	FCmpEQ
+	FCmpNE
+	FCmpLT
+	FCmpLE
+	FCmpGT
+	FCmpGE
+	I2F // Dest <- float64(int64(A))
+	F2I // Dest <- int64(float64(A))
+
+	// Memory. Addresses are word indices into the flat program memory.
+	Lea   // Dest <- address of global Sym + Imm
+	Load  // Dest <- mem[A + Imm]
+	Store // mem[A + Imm] <- B
+
+	// Control. Branch targets live in the enclosing Block's Succs:
+	// Br: if A != 0 goto Succs[0] else Succs[1]; Jmp: goto Succs[0].
+	Br
+	Jmp
+	Call // Dest <- Sym(Args...); Dest may be NoReg
+	Ret  // return A (A may be NoReg)
+
+	// Select is a predicated move introduced by if-conversion:
+	// Dest <- A != 0 ? B : C. It is the PlayDoh-style predication primitive
+	// that lets diamonds collapse into straight-line (hyperblock-like) code.
+	Select
+
+	// Value-speculation forms, introduced by the speculate pass.
+	LdPred  // Dest <- value predictor entry PredID; sets Synchronization bit SyncBit
+	CheckLd // Dest <- mem[A + Imm]; compare with prediction PredID; clears bits
+
+	numOpcodes
+)
+
+var opcodeNames = [numOpcodes]string{
+	Nop: "nop", MovI: "movi", Mov: "mov", Add: "add", Sub: "sub", Mul: "mul",
+	Div: "div", Rem: "rem", And: "and", Or: "or", Xor: "xor", Shl: "shl",
+	Shr: "shr", Neg: "neg", Not: "not",
+	CmpEQ: "cmpeq", CmpNE: "cmpne", CmpLT: "cmplt", CmpLE: "cmple",
+	CmpGT: "cmpgt", CmpGE: "cmpge",
+	FMovI: "fmovi", FMov: "fmov", FAdd: "fadd", FSub: "fsub", FMul: "fmul",
+	FDiv: "fdiv", FNeg: "fneg",
+	FCmpEQ: "fcmpeq", FCmpNE: "fcmpne", FCmpLT: "fcmplt", FCmpLE: "fcmple",
+	FCmpGT: "fcmpgt", FCmpGE: "fcmpge", I2F: "i2f", F2I: "f2i",
+	Lea: "lea", Load: "load", Store: "store",
+	Br: "br", Jmp: "jmp", Call: "call", Ret: "ret",
+	Select: "select",
+	LdPred: "ldpred", CheckLd: "checkld",
+}
+
+func (o Opcode) String() string {
+	if int(o) < len(opcodeNames) && opcodeNames[o] != "" {
+		return opcodeNames[o]
+	}
+	return "op?"
+}
+
+// IsBranch reports whether the opcode transfers control within a function.
+func (o Opcode) IsBranch() bool { return o == Br || o == Jmp }
+
+// IsTerminator reports whether the opcode must end a basic block.
+func (o Opcode) IsTerminator() bool { return o == Br || o == Jmp || o == Ret }
+
+// IsMemory reports whether the opcode touches program memory.
+func (o Opcode) IsMemory() bool {
+	return o == Load || o == Store || o == CheckLd
+}
+
+// IsLoad reports whether the opcode reads program memory into a register.
+func (o Opcode) IsLoad() bool { return o == Load || o == CheckLd }
+
+// IsFloat reports whether the opcode's computation is floating point.
+func (o Opcode) IsFloat() bool {
+	return o >= FMovI && o <= F2I
+}
+
+// HasDest reports whether the opcode writes a destination register.
+func (o Opcode) HasDest() bool {
+	switch o {
+	case Nop, Store, Br, Jmp, Ret:
+		return false
+	case Call:
+		return true // caller may still pass NoReg
+	}
+	return true
+}
+
+// IsPure reports whether the operation has no side effects beyond writing
+// Dest and therefore may be value-speculated (re-executed safely).
+func (o Opcode) IsPure() bool {
+	switch o {
+	case Store, Br, Jmp, Call, Ret, Nop, CheckLd, LdPred:
+		return false
+	}
+	return true
+}

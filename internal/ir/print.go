@@ -1,0 +1,101 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// String renders the operation in a compact assembly-like syntax.
+func (o *Op) String() string {
+	var sb strings.Builder
+	sb.WriteString(o.Code.String())
+	switch o.Code {
+	case Nop:
+	case MovI:
+		fmt.Fprintf(&sb, " %v, %d", o.Dest, o.Imm)
+	case FMovI:
+		fmt.Fprintf(&sb, " %v, %g", o.Dest, o.FImm)
+	case Mov, FMov, Neg, Not, FNeg, I2F, F2I:
+		fmt.Fprintf(&sb, " %v, %v", o.Dest, o.A)
+	case Lea:
+		fmt.Fprintf(&sb, " %v, &%s+%d", o.Dest, o.Sym, o.Imm)
+	case Load:
+		fmt.Fprintf(&sb, " %v, [%v+%d]", o.Dest, o.A, o.Imm)
+	case CheckLd:
+		fmt.Fprintf(&sb, " %v, [%v+%d] pred=%d clear=%#x", o.Dest, o.A, o.Imm, o.PredID, o.ClearBits)
+	case Store:
+		fmt.Fprintf(&sb, " [%v+%d], %v", o.A, o.Imm, o.B)
+	case Br:
+		fmt.Fprintf(&sb, " %v", o.A)
+	case Jmp:
+	case Call:
+		args := make([]string, len(o.Args))
+		for i, a := range o.Args {
+			args[i] = a.String()
+		}
+		fmt.Fprintf(&sb, " %v, %s(%s)", o.Dest, o.Sym, strings.Join(args, ", "))
+	case Ret:
+		if o.A != NoReg {
+			fmt.Fprintf(&sb, " %v", o.A)
+		}
+	case LdPred:
+		fmt.Fprintf(&sb, " %v, pred=%d", o.Dest, o.PredID)
+	case Select:
+		fmt.Fprintf(&sb, " %v, %v ? %v : %v", o.Dest, o.A, o.B, o.C)
+	case Shl, Shr:
+		if o.B == NoReg {
+			fmt.Fprintf(&sb, " %v, %v, %d", o.Dest, o.A, o.Imm)
+		} else {
+			fmt.Fprintf(&sb, " %v, %v, %v", o.Dest, o.A, o.B)
+		}
+	default:
+		fmt.Fprintf(&sb, " %v, %v, %v", o.Dest, o.A, o.B)
+	}
+	if o.SyncBit != NoBit {
+		fmt.Fprintf(&sb, " !set=%d", o.SyncBit)
+	}
+	if o.Speculative {
+		sb.WriteString(" !spec")
+	}
+	if o.WaitBits != 0 {
+		fmt.Fprintf(&sb, " !wait=%#x", o.WaitBits)
+	}
+	return sb.String()
+}
+
+// String renders the function as labeled blocks.
+func (f *Func) String() string {
+	var sb strings.Builder
+	params := make([]string, len(f.Params))
+	for i, p := range f.Params {
+		t := "int"
+		if p.Float {
+			t = "float"
+		}
+		params[i] = fmt.Sprintf("%s %s", p.Name, t)
+	}
+	fmt.Fprintf(&sb, "func %s(%s):\n", f.Name, strings.Join(params, ", "))
+	for _, b := range f.Blocks {
+		fmt.Fprintf(&sb, "b%d:", b.ID)
+		if len(b.Succs) > 0 {
+			fmt.Fprintf(&sb, " ; succs=%v", b.Succs)
+		}
+		sb.WriteByte('\n')
+		for _, op := range b.Ops {
+			fmt.Fprintf(&sb, "\t%s\n", op)
+		}
+	}
+	return sb.String()
+}
+
+// String renders the whole program.
+func (p *Program) String() string {
+	var sb strings.Builder
+	for _, g := range p.Globals {
+		fmt.Fprintf(&sb, "global %s[%d] @%d\n", g.Name, g.Size, g.Addr)
+	}
+	for _, f := range p.Funcs {
+		sb.WriteString(f.String())
+	}
+	return sb.String()
+}

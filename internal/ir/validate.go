@@ -1,0 +1,107 @@
+package ir
+
+import "fmt"
+
+// Validate checks the structural invariants every pass must preserve:
+// register indices in range, successor indices in range, terminators only at
+// block ends, every non-entry block reachable via Succs having consistent
+// Preds, and unique operation IDs.
+func (f *Func) Validate() error {
+	seen := make(map[int]bool)
+	for _, b := range f.Blocks {
+		for i, op := range b.Ops {
+			if seen[op.ID] {
+				return fmt.Errorf("%s b%d: duplicate op id %d", f.Name, b.ID, op.ID)
+			}
+			seen[op.ID] = true
+			if op.Code.IsTerminator() && i != len(b.Ops)-1 {
+				return fmt.Errorf("%s b%d: terminator %s not at block end", f.Name, b.ID, op)
+			}
+			if err := f.checkRegs(op); err != nil {
+				return fmt.Errorf("%s b%d: %w", f.Name, b.ID, err)
+			}
+		}
+		switch t := b.Terminator(); {
+		case t == nil && len(b.Succs) != 1:
+			return fmt.Errorf("%s b%d: fallthrough block needs exactly 1 successor, has %d", f.Name, b.ID, len(b.Succs))
+		case t != nil && t.Code == Br && len(b.Succs) != 2:
+			return fmt.Errorf("%s b%d: br needs 2 successors, has %d", f.Name, b.ID, len(b.Succs))
+		case t != nil && t.Code == Jmp && len(b.Succs) != 1:
+			return fmt.Errorf("%s b%d: jmp needs 1 successor, has %d", f.Name, b.ID, len(b.Succs))
+		case t != nil && t.Code == Ret && len(b.Succs) != 0:
+			return fmt.Errorf("%s b%d: ret block must have no successors", f.Name, b.ID)
+		}
+		for _, s := range b.Succs {
+			if s < 0 || s >= len(f.Blocks) {
+				return fmt.Errorf("%s b%d: successor %d out of range", f.Name, b.ID, s)
+			}
+		}
+	}
+	if f.Entry < 0 || f.Entry >= len(f.Blocks) {
+		return fmt.Errorf("%s: entry %d out of range", f.Name, f.Entry)
+	}
+	return nil
+}
+
+func (f *Func) checkRegs(op *Op) error {
+	check := func(r Reg, what string) error {
+		if r == NoReg {
+			return nil
+		}
+		if r < 0 || int(r) >= f.NumRegs {
+			return fmt.Errorf("op %s: %s register %v out of range [0,%d)", op, what, r, f.NumRegs)
+		}
+		return nil
+	}
+	if err := check(op.Dest, "dest"); err != nil {
+		return err
+	}
+	if err := check(op.A, "src A"); err != nil {
+		return err
+	}
+	if err := check(op.B, "src B"); err != nil {
+		return err
+	}
+	if err := check(op.C, "src C"); err != nil {
+		return err
+	}
+	for _, a := range op.Args {
+		if err := check(a, "arg"); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Validate checks every function plus cross-references: call targets exist
+// with matching arity, Lea symbols exist.
+func (p *Program) Validate() error {
+	for _, f := range p.Funcs {
+		if err := f.Validate(); err != nil {
+			return err
+		}
+		for _, b := range f.Blocks {
+			for _, op := range b.Ops {
+				switch op.Code {
+				case Call:
+					callee := p.Func(op.Sym)
+					if callee == nil {
+						if op.Sym == "print" || op.Sym == "fprint" {
+							continue // interpreter intrinsics
+						}
+						return fmt.Errorf("%s: call to unknown function %q", f.Name, op.Sym)
+					}
+					if len(op.Args) != len(callee.Params) {
+						return fmt.Errorf("%s: call %q with %d args, want %d",
+							f.Name, op.Sym, len(op.Args), len(callee.Params))
+					}
+				case Lea:
+					if p.Global(op.Sym) == nil {
+						return fmt.Errorf("%s: lea of unknown global %q", f.Name, op.Sym)
+					}
+				}
+			}
+		}
+	}
+	return nil
+}

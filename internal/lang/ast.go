@@ -1,0 +1,199 @@
+package lang
+
+// Type is a VL value type.
+type Type uint8
+
+const (
+	TInt Type = iota
+	TFloat
+)
+
+func (t Type) String() string {
+	if t == TFloat {
+		return "float"
+	}
+	return "int"
+}
+
+// File is a parsed compilation unit.
+type File struct {
+	Globals []*GlobalDecl
+	Funcs   []*FuncDecl
+}
+
+// GlobalDecl declares a global scalar or array.
+type GlobalDecl struct {
+	Pos     Pos
+	Name    string
+	IsArray bool
+	Size    int64 // array length (words)
+	Elem    Type
+	Init    Expr // optional constant initializer (scalars only)
+}
+
+// FuncDecl declares a function.
+type FuncDecl struct {
+	Pos    Pos
+	Name   string
+	Params []ParamDecl
+	Ret    Type
+	HasRet bool // a "float"/"int" annotation was present
+	Body   *BlockStmt
+}
+
+// ParamDecl is one formal parameter.
+type ParamDecl struct {
+	Pos  Pos
+	Name string
+	Type Type
+}
+
+// Stmt is implemented by every statement node.
+type Stmt interface{ stmtPos() Pos }
+
+// Expr is implemented by every expression node.
+type Expr interface{ exprPos() Pos }
+
+// BlockStmt is a brace-delimited statement list.
+type BlockStmt struct {
+	Pos   Pos
+	Stmts []Stmt
+}
+
+// VarStmt declares and initializes a local scalar.
+type VarStmt struct {
+	Pos  Pos
+	Name string
+	Init Expr
+}
+
+// AssignStmt assigns to a scalar variable.
+type AssignStmt struct {
+	Pos   Pos
+	Name  string
+	Value Expr
+}
+
+// StoreStmt assigns to an array element.
+type StoreStmt struct {
+	Pos   Pos
+	Name  string
+	Index Expr
+	Value Expr
+}
+
+// IfStmt is a conditional with an optional else branch.
+type IfStmt struct {
+	Pos  Pos
+	Cond Expr
+	Then *BlockStmt
+	Else Stmt // *BlockStmt, *IfStmt, or nil
+}
+
+// WhileStmt is a pre-tested loop.
+type WhileStmt struct {
+	Pos  Pos
+	Cond Expr
+	Body *BlockStmt
+}
+
+// ForStmt is for init; cond; post { body }.
+type ForStmt struct {
+	Pos  Pos
+	Init Stmt // VarStmt, AssignStmt, or StoreStmt; may be nil
+	Cond Expr
+	Post Stmt // may be nil
+	Body *BlockStmt
+}
+
+// BreakStmt exits the innermost loop.
+type BreakStmt struct{ Pos Pos }
+
+// ContinueStmt jumps to the innermost loop's next iteration.
+type ContinueStmt struct{ Pos Pos }
+
+// ReturnStmt returns from the function.
+type ReturnStmt struct {
+	Pos   Pos
+	Value Expr // may be nil
+}
+
+// ExprStmt evaluates a call for its side effects.
+type ExprStmt struct {
+	Pos Pos
+	X   Expr
+}
+
+// IntLit is an integer literal.
+type IntLit struct {
+	Pos Pos
+	V   int64
+}
+
+// FloatLit is a floating-point literal.
+type FloatLit struct {
+	Pos Pos
+	V   float64
+}
+
+// Ident references a variable.
+type Ident struct {
+	Pos  Pos
+	Name string
+}
+
+// IndexExpr reads an array element.
+type IndexExpr struct {
+	Pos   Pos
+	Name  string
+	Index Expr
+}
+
+// CallExpr calls a function or the print/fprint intrinsics.
+type CallExpr struct {
+	Pos  Pos
+	Name string
+	Args []Expr
+}
+
+// ConvExpr converts between int and float: int(e) or float(e).
+type ConvExpr struct {
+	Pos Pos
+	To  Type
+	X   Expr
+}
+
+// UnaryExpr applies -, !, or ~.
+type UnaryExpr struct {
+	Pos Pos
+	Op  tokKind
+	X   Expr
+}
+
+// BinaryExpr applies a binary operator.
+type BinaryExpr struct {
+	Pos  Pos
+	Op   tokKind
+	L, R Expr
+}
+
+func (s *BlockStmt) stmtPos() Pos    { return s.Pos }
+func (s *VarStmt) stmtPos() Pos      { return s.Pos }
+func (s *AssignStmt) stmtPos() Pos   { return s.Pos }
+func (s *StoreStmt) stmtPos() Pos    { return s.Pos }
+func (s *IfStmt) stmtPos() Pos       { return s.Pos }
+func (s *WhileStmt) stmtPos() Pos    { return s.Pos }
+func (s *ForStmt) stmtPos() Pos      { return s.Pos }
+func (s *BreakStmt) stmtPos() Pos    { return s.Pos }
+func (s *ContinueStmt) stmtPos() Pos { return s.Pos }
+func (s *ReturnStmt) stmtPos() Pos   { return s.Pos }
+func (s *ExprStmt) stmtPos() Pos     { return s.Pos }
+
+func (e *IntLit) exprPos() Pos     { return e.Pos }
+func (e *FloatLit) exprPos() Pos   { return e.Pos }
+func (e *Ident) exprPos() Pos      { return e.Pos }
+func (e *IndexExpr) exprPos() Pos  { return e.Pos }
+func (e *CallExpr) exprPos() Pos   { return e.Pos }
+func (e *ConvExpr) exprPos() Pos   { return e.Pos }
+func (e *UnaryExpr) exprPos() Pos  { return e.Pos }
+func (e *BinaryExpr) exprPos() Pos { return e.Pos }

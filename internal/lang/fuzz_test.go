@@ -1,0 +1,147 @@
+package lang_test
+
+import (
+	"strings"
+	"testing"
+
+	"vliwvp/internal/interp"
+	"vliwvp/internal/lang"
+)
+
+// FuzzCompile checks that the front end never panics on arbitrary input,
+// that accepted programs validate, and that running them (bounded) never
+// panics either.
+func FuzzCompile(f *testing.F) {
+	seeds := []string{
+		``,
+		`func main() { return 0 }`,
+		`var a[4] func main() { a[0] = 1 return a[0] }`,
+		`func f(x float) float { return x * 2.0 } func main() { return int(f(1.5)) }`,
+		`func main() { var x = 1 while x < 10 { x = x + 1 } return x }`,
+		`func main() { for var i = 0; i < 3; i = i + 1 { print(i) } return 0 }`,
+		`func main() { if 1 && 0 || 1 { return 7 } return 8 }`,
+		`func main() { return 1 +`,
+		`func main() { return "str" }`,
+		`var`,
+		`func`,
+		`func main() { break }`,
+		`func main() { return 0x1F ^ ~3 }`,
+		"func main() { # comment\n return 1 }",
+		`func main() { return ((((((1)))))) }`,
+		`func main(((`,
+		`var x[0] func main() { }`,
+		`func main() { var a = 1.5e308 * 10.0 return int(a) }`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := lang.Compile(src)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		if err := prog.Validate(); err != nil {
+			t.Fatalf("accepted program fails validation: %v\nsource: %q", err, src)
+		}
+		if prog.Func("main") == nil || len(prog.Func("main").Params) != 0 {
+			return
+		}
+		m := interp.New(prog)
+		m.MaxSteps = 10000
+		_, _ = m.RunMain() // runtime errors fine; panics are not
+	})
+}
+
+func TestPrecedenceTortureTable(t *testing.T) {
+	// Each case encodes the full precedence ladder; values chosen so any
+	// mis-association changes the result.
+	// VL uses C precedence: || < && < | < ^ < & < ==/!= < relational <
+	// shifts < additive < multiplicative < unary.
+	cases := []struct {
+		expr string
+		want int64
+	}{
+		{"1 | 2 ^ 3 & 4", 1 | 2 ^ 3&4},
+		{"1 + 2 * 3 - 4 / 2", 1 + 2*3 - 4/2},
+		{"1 << 2 + 3", 32},        // + binds tighter than << (C, unlike Go)
+		{"10 - 3 - 2", 5},         // left assoc
+		{"100 / 10 / 2", 5},       // left assoc
+		{"2 * 3 % 4", 2 * 3 % 4},  // same level, left assoc
+		{"1 < 2 == 1", 1},         // (1<2) == 1
+		{"7 & 3 == 3", 1},         // == binds tighter than &: 7 & 1
+		{"-2 * 3", -6},            // unary binds tightest
+		{"~1 & 3", (^1) & 3},      // unary then &
+		{"1 + 2 < 4 && 2 > 1", 1}, // relational then logical
+		{"0 || 1 && 0", 0},        // && over ||
+	}
+	for _, tc := range cases {
+		got := int64(run(t, "func main() { return "+tc.expr+" }"))
+		if got != tc.want {
+			t.Errorf("%s = %d, want %d", tc.expr, got, tc.want)
+		}
+	}
+}
+
+func TestLexerEdgeCases(t *testing.T) {
+	cases := []struct {
+		src  string
+		want int64
+	}{
+		{"func main() { return 0x0 }", 0},
+		{"func main() { return 0xfF }", 255},
+		{"func main() { return 007 }", 7}, // no octal: decimal with leading zeros
+		{"func main() {return 1+2}", 3},   // no spaces
+		{"func main()\t{\treturn\t4\t}", 4},
+		{"func main() { return 2 }\n\n\n", 2},
+		{"\n\n\nfunc main() { return 3 }", 3},
+	}
+	for _, tc := range cases {
+		if got := int64(run(t, tc.src)); got != tc.want {
+			t.Errorf("%q = %d, want %d", tc.src, got, tc.want)
+		}
+	}
+}
+
+func TestFloatLiteralForms(t *testing.T) {
+	cases := []struct {
+		lit  string
+		want int64 // int(lit * 1000)
+	}{
+		{"1.5", 1500},
+		{"0.25", 250},
+		{"2.0e2", 200000},
+		{"5.0E-1", 500},
+		{"1e3", 1000000},
+	}
+	for _, tc := range cases {
+		src := "func main() { return int(" + tc.lit + " * 1000.0) }"
+		if got := int64(run(t, src)); got != tc.want {
+			t.Errorf("%s -> %d, want %d", tc.lit, got, tc.want)
+		}
+	}
+}
+
+func TestDeeplyNestedStructures(t *testing.T) {
+	// Deep nesting must neither blow the parser nor miscompile.
+	var sb strings.Builder
+	sb.WriteString("func main() { var x = 0\n")
+	depth := 40
+	for i := 0; i < depth; i++ {
+		sb.WriteString("if x >= 0 {\n x = x + 1\n")
+	}
+	for i := 0; i < depth; i++ {
+		sb.WriteString("}\n")
+	}
+	sb.WriteString("return x }")
+	if got := int64(run(t, sb.String())); got != int64(depth) {
+		t.Errorf("nested ifs = %d, want %d", got, depth)
+	}
+
+	expr := "1"
+	for i := 0; i < 60; i++ {
+		expr = "(" + expr + " + 1)"
+	}
+	if got := int64(run(t, "func main() { return "+expr+" }")); got != 61 {
+		t.Errorf("nested parens = %d, want 61", got)
+	}
+}

@@ -1,0 +1,435 @@
+package lang_test
+
+import (
+	"strings"
+	"testing"
+
+	"vliwvp/internal/interp"
+	"vliwvp/internal/lang"
+)
+
+// run compiles src and executes main(), returning its result.
+func run(t *testing.T, src string) uint64 {
+	t.Helper()
+	prog, err := lang.Compile(src)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	m := interp.New(prog)
+	v, err := m.RunMain()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return v
+}
+
+// runOut compiles src, executes main(), and returns the print output.
+func runOut(t *testing.T, src string) []string {
+	t.Helper()
+	prog, err := lang.Compile(src)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	m := interp.New(prog)
+	if _, err := m.RunMain(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return m.Output
+}
+
+func wantCompileError(t *testing.T, src, frag string) {
+	t.Helper()
+	_, err := lang.Compile(src)
+	if err == nil {
+		t.Fatalf("Compile accepted bad program, want error containing %q", frag)
+	}
+	if !strings.Contains(err.Error(), frag) {
+		t.Fatalf("Compile error = %q, want it to contain %q", err, frag)
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	tests := []struct {
+		expr string
+		want int64
+	}{
+		{"2 + 3 * 4", 14},
+		{"(2 + 3) * 4", 20},
+		{"10 / 3", 3},
+		{"10 % 3", 1},
+		{"-7 / 2", -3},
+		{"1 << 10", 1024},
+		{"1024 >> 3", 128},
+		{"-8 >> 1", -4}, // arithmetic shift
+		{"12 & 10", 8},
+		{"12 | 10", 14},
+		{"12 ^ 10", 6},
+		{"~0", -1},
+		{"-(3 + 4)", -7},
+		{"5 - 2 - 1", 2}, // left assoc
+		{"0x1F", 31},
+	}
+	for _, tc := range tests {
+		got := int64(run(t, "func main() { return "+tc.expr+" }"))
+		if got != tc.want {
+			t.Errorf("%s = %d, want %d", tc.expr, got, tc.want)
+		}
+	}
+}
+
+func TestComparisonsAndLogic(t *testing.T) {
+	tests := []struct {
+		expr string
+		want int64
+	}{
+		{"3 < 4", 1}, {"4 < 3", 0}, {"3 <= 3", 1}, {"3 >= 4", 0},
+		{"3 == 3", 1}, {"3 != 3", 0},
+		{"1 && 2", 1}, {"1 && 0", 0}, {"0 && 1", 0},
+		{"0 || 0", 0}, {"0 || 5", 1}, {"5 || 0", 1},
+		{"!0", 1}, {"!7", 0},
+	}
+	for _, tc := range tests {
+		got := int64(run(t, "func main() { return "+tc.expr+" }"))
+		if got != tc.want {
+			t.Errorf("%s = %d, want %d", tc.expr, got, tc.want)
+		}
+	}
+}
+
+func TestShortCircuitSkipsSideEffects(t *testing.T) {
+	src := `
+var hits = 0
+func bump() { hits = hits + 1 return 1 }
+func main() {
+	var a = 0 && bump()
+	var b = 1 || bump()
+	return hits * 10 + a + b
+}`
+	if got := int64(run(t, src)); got != 1 {
+		t.Errorf("got %d, want 1 (bump must not run, a=0, b=1)", got)
+	}
+}
+
+func TestFloatArithmetic(t *testing.T) {
+	src := `
+func main() {
+	var x = 1.5
+	var y = 2.25
+	var z = x * y + 0.75
+	if z == 4.125 { return 1 }
+	return 0
+}`
+	if got := run(t, src); got != 1 {
+		t.Errorf("got %d, want 1", got)
+	}
+}
+
+func TestConversions(t *testing.T) {
+	src := `
+func main() {
+	var x = float(7)
+	var y = x / 2.0
+	return int(y * 10.0)
+}`
+	if got := int64(run(t, src)); got != 35 {
+		t.Errorf("got %d, want 35", got)
+	}
+}
+
+func TestWhileLoop(t *testing.T) {
+	src := `
+func main() {
+	var s = 0
+	var i = 1
+	while i <= 10 {
+		s = s + i
+		i = i + 1
+	}
+	return s
+}`
+	if got := run(t, src); got != 55 {
+		t.Errorf("got %d, want 55", got)
+	}
+}
+
+func TestForLoopWithBreakContinue(t *testing.T) {
+	src := `
+func main() {
+	var s = 0
+	for var i = 0; i < 100; i = i + 1 {
+		if i % 2 == 1 { continue }
+		if i >= 10 { break }
+		s = s + i
+	}
+	return s
+}`
+	if got := run(t, src); got != 20 { // 0+2+4+6+8
+		t.Errorf("got %d, want 20", got)
+	}
+}
+
+func TestNestedLoops(t *testing.T) {
+	src := `
+func main() {
+	var s = 0
+	for var i = 0; i < 5; i = i + 1 {
+		for var j = 0; j < 5; j = j + 1 {
+			if j > i { break }
+			s = s + 1
+		}
+	}
+	return s
+}`
+	if got := run(t, src); got != 15 {
+		t.Errorf("got %d, want 15", got)
+	}
+}
+
+func TestIfElseChain(t *testing.T) {
+	src := `
+func classify(x) {
+	if x < 0 { return 0 }
+	else if x == 0 { return 1 }
+	else if x < 10 { return 2 }
+	else { return 3 }
+}
+func main() {
+	return classify(-5) * 1000 + classify(0) * 100 + classify(5) * 10 + classify(50)
+}`
+	if got := run(t, src); got != 123 {
+		t.Errorf("got %d, want 123", got)
+	}
+}
+
+func TestGlobalsAndArrays(t *testing.T) {
+	src := `
+var total = 100
+var a[10]
+func main() {
+	for var i = 0; i < 10; i = i + 1 {
+		a[i] = i * i
+	}
+	var s = total
+	for var i = 0; i < 10; i = i + 1 {
+		s = s + a[i]
+	}
+	return s
+}`
+	if got := run(t, src); got != 385 { // 100 + 285
+		t.Errorf("got %d, want 385", got)
+	}
+}
+
+func TestFloatArray(t *testing.T) {
+	src := `
+var v[4] float
+func main() {
+	v[0] = 1.5
+	v[1] = 2.5
+	v[2] = v[0] + v[1]
+	return int(v[2] * 2.0)
+}`
+	if got := run(t, src); got != 8 {
+		t.Errorf("got %d, want 8", got)
+	}
+}
+
+func TestFunctionCallsAndRecursion(t *testing.T) {
+	src := `
+func fib(n) {
+	if n < 2 { return n }
+	return fib(n - 1) + fib(n - 2)
+}
+func main() { return fib(12) }`
+	if got := run(t, src); got != 144 {
+		t.Errorf("fib(12) = %d, want 144", got)
+	}
+}
+
+func TestFloatParamsAndReturn(t *testing.T) {
+	src := `
+func hypot2(a float, b float) float {
+	return a * a + b * b
+}
+func main() { return int(hypot2(3.0, 4.0)) }`
+	if got := run(t, src); got != 25 {
+		t.Errorf("got %d, want 25", got)
+	}
+}
+
+func TestPrintOutput(t *testing.T) {
+	src := `
+func main() {
+	print(42)
+	print(-1)
+	print(2.5)
+}`
+	out := runOut(t, src)
+	want := []string{"42", "-1", "2.5"}
+	if len(out) != len(want) {
+		t.Fatalf("output = %v, want %v", out, want)
+	}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Errorf("output[%d] = %q, want %q", i, out[i], want[i])
+		}
+	}
+}
+
+func TestImplicitReturnZero(t *testing.T) {
+	src := `
+func noop() { }
+func main() {
+	var x = noop()
+	return x + 7
+}`
+	if got := run(t, src); got != 7 {
+		t.Errorf("got %d, want 7", got)
+	}
+}
+
+func TestShadowingInNestedScopes(t *testing.T) {
+	src := `
+func main() {
+	var x = 1
+	if 1 {
+		var x = 2
+		x = x + 1
+	}
+	return x
+}`
+	if got := run(t, src); got != 1 {
+		t.Errorf("got %d, want 1 (inner x must shadow)", got)
+	}
+}
+
+func TestGlobalScalarInit(t *testing.T) {
+	src := `
+var g = 41
+var h float = 1.0
+func main() { return g + int(h) }`
+	if got := run(t, src); got != 42 {
+		t.Errorf("got %d, want 42", got)
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	cases := []struct {
+		name, src, frag string
+	}{
+		{"undefined var", `func main() { return x }`, "undefined"},
+		{"undefined func", `func main() { return f() }`, "undefined function"},
+		{"arity", `func f(a) { return a } func main() { return f(1, 2) }`, "takes 1 arguments"},
+		{"type mismatch", `func main() { return 1 + 2.0 }`, "mismatch"},
+		{"float rem", `func main() { var x = 1.0 % 2.0 return 0 }`, "requires int"},
+		{"assign type", `func main() { var x = 1 x = 2.0 return x }`, "cannot assign"},
+		{"break outside", `func main() { break }`, "break outside loop"},
+		{"continue outside", `func main() { continue }`, "continue outside loop"},
+		{"redeclare", `func main() { var x = 1 var x = 2 return x }`, "redeclared"},
+		{"dup func", `func f() { } func f() { } func main() { }`, "duplicate function"},
+		{"dup global", `var g var g func main() { }`, "duplicate global"},
+		{"array no index", `var a[4] func main() { return a }`, "without index"},
+		{"index scalar", `var g func main() { return g[0] }`, "not a global array"},
+		{"float index", `var a[4] func main() { return a[1.0] }`, "index must be int"},
+		{"return mismatch", `func f() float { return 1 } func main() { }`, "return type"},
+		{"missing return value", `func f() float { return } func main() { }`, "missing return"},
+		{"bad token", `func main() { return $ }`, "unexpected character"},
+		{"unterminated block", `func main() { return 0`, "unterminated"},
+		{"array init", `var a[4] = 3 func main() { }`, "cannot have an initializer"},
+		{"if cond float", `func main() { if 1.0 { } return 0 }`, "must be int"},
+		{"print arity", `func main() { print(1, 2) }`, "exactly one"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			wantCompileError(t, tc.src, tc.frag)
+		})
+	}
+}
+
+func TestRuntimeErrors(t *testing.T) {
+	cases := []struct {
+		name, src, frag string
+	}{
+		{"div zero", `func main() { var z = 0 return 1 / z }`, "divide by zero"},
+		{"rem zero", `func main() { var z = 0 return 1 % z }`, "remainder by zero"},
+		{"oob load", `var a[4] func main() { return a[1000000] }`, "out of range"},
+		{"oob store", `var a[4] func main() { a[0-50] = 1 return 0 }`, "out of range"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			prog, err := lang.Compile(tc.src)
+			if err != nil {
+				t.Fatalf("Compile: %v", err)
+			}
+			m := interp.New(prog)
+			_, err = m.RunMain()
+			if err == nil || !strings.Contains(err.Error(), tc.frag) {
+				t.Fatalf("Run err = %v, want containing %q", err, tc.frag)
+			}
+		})
+	}
+}
+
+func TestStepLimit(t *testing.T) {
+	prog, err := lang.Compile(`func main() { while 1 { } return 0 }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := interp.New(prog)
+	m.MaxSteps = 1000
+	if _, err := m.RunMain(); err != interp.ErrStepLimit {
+		t.Fatalf("err = %v, want ErrStepLimit", err)
+	}
+}
+
+func TestRecursionDepthLimit(t *testing.T) {
+	prog, err := lang.Compile(`func f(n) { return f(n + 1) } func main() { return f(0) }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := interp.New(prog)
+	if _, err := m.RunMain(); err == nil || !strings.Contains(err.Error(), "depth") {
+		t.Fatalf("err = %v, want call depth error", err)
+	}
+}
+
+func TestCommentsAndWhitespace(t *testing.T) {
+	src := `
+# hash comment
+// slash comment
+func main() { // trailing
+	return 9 # after code
+}`
+	if got := run(t, src); got != 9 {
+		t.Errorf("got %d, want 9", got)
+	}
+}
+
+func TestProgramValidatesAfterLowering(t *testing.T) {
+	src := `
+var data[64]
+func helper(x, y float) float { return y * float(x) }
+func main() {
+	var acc = 0.0
+	for var i = 0; i < 64; i = i + 1 {
+		data[i] = (i * 31) % 17
+	}
+	for var i = 0; i < 64; i = i + 1 {
+		if data[i] > 8 && i % 3 != 0 {
+			acc = acc + helper(i, 1.5)
+		}
+	}
+	return int(acc)
+}`
+	prog, err := lang.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := prog.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	m := interp.New(prog)
+	if _, err := m.RunMain(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}

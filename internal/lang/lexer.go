@@ -1,0 +1,254 @@
+package lang
+
+import (
+	"strconv"
+	"strings"
+)
+
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: src, line: 1, col: 1}
+}
+
+func (l *lexer) peekByte() byte {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *lexer) nextByte() byte {
+	c := l.peekByte()
+	if c == 0 {
+		return 0
+	}
+	l.pos++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func (l *lexer) skipSpaceAndComments() {
+	for {
+		c := l.peekByte()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.nextByte()
+		case c == '#': // line comment
+			for l.peekByte() != '\n' && l.peekByte() != 0 {
+				l.nextByte()
+			}
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '/':
+			for l.peekByte() != '\n' && l.peekByte() != 0 {
+				l.nextByte()
+			}
+		default:
+			return
+		}
+	}
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentCont(c byte) bool { return isIdentStart(c) || (c >= '0' && c <= '9') }
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+// next scans one token.
+func (l *lexer) next() (token, error) {
+	l.skipSpaceAndComments()
+	tok := token{line: l.line, col: l.col}
+	c := l.peekByte()
+	switch {
+	case c == 0:
+		tok.kind = tEOF
+		return tok, nil
+
+	case isIdentStart(c):
+		start := l.pos
+		for isIdentCont(l.peekByte()) {
+			l.nextByte()
+		}
+		tok.text = l.src[start:l.pos]
+		if kw, ok := keywords[tok.text]; ok {
+			tok.kind = kw
+		} else {
+			tok.kind = tIdent
+		}
+		return tok, nil
+
+	case isDigit(c):
+		start := l.pos
+		for isDigit(l.peekByte()) {
+			l.nextByte()
+		}
+		isFloat := false
+		if l.peekByte() == '.' {
+			isFloat = true
+			l.nextByte()
+			for isDigit(l.peekByte()) {
+				l.nextByte()
+			}
+		}
+		if p := l.peekByte(); p == 'e' || p == 'E' {
+			isFloat = true
+			l.nextByte()
+			if s := l.peekByte(); s == '+' || s == '-' {
+				l.nextByte()
+			}
+			for isDigit(l.peekByte()) {
+				l.nextByte()
+			}
+		}
+		text := l.src[start:l.pos]
+		if isFloat {
+			f, err := strconv.ParseFloat(text, 64)
+			if err != nil {
+				return tok, errf(Pos{tok.line, tok.col}, "bad float literal %q: %v", text, err)
+			}
+			tok.kind, tok.fval = tFloat, f
+		} else {
+			// Hex literals: 0x prefix.
+			if strings.HasPrefix(text, "0x") || strings.HasPrefix(text, "0X") {
+				v, err := strconv.ParseInt(text[2:], 16, 64)
+				if err != nil {
+					return tok, errf(Pos{tok.line, tok.col}, "bad hex literal %q: %v", text, err)
+				}
+				tok.kind, tok.ival = tInt, v
+				return tok, nil
+			}
+			v, err := strconv.ParseInt(text, 10, 64)
+			if err != nil {
+				return tok, errf(Pos{tok.line, tok.col}, "bad int literal %q: %v", text, err)
+			}
+			tok.kind, tok.ival = tInt, v
+		}
+		// Handle "0x..." where scanner stopped at 'x' because it is not a digit.
+		if !isFloat && l.peekByte() == 'x' && text == "0" {
+			l.nextByte()
+			start2 := l.pos
+			for isHexDigit(l.peekByte()) {
+				l.nextByte()
+			}
+			v, err := strconv.ParseInt(l.src[start2:l.pos], 16, 64)
+			if err != nil {
+				return tok, errf(Pos{tok.line, tok.col}, "bad hex literal: %v", err)
+			}
+			tok.ival = v
+		}
+		return tok, nil
+
+	case c == '"':
+		l.nextByte()
+		start := l.pos
+		for l.peekByte() != '"' && l.peekByte() != 0 {
+			l.nextByte()
+		}
+		if l.peekByte() == 0 {
+			return tok, errf(Pos{tok.line, tok.col}, "unterminated string")
+		}
+		tok.kind, tok.text = tString, l.src[start:l.pos]
+		l.nextByte()
+		return tok, nil
+	}
+
+	l.nextByte()
+	two := func(second byte, ifTwo, ifOne tokKind) token {
+		if l.peekByte() == second {
+			l.nextByte()
+			tok.kind = ifTwo
+		} else {
+			tok.kind = ifOne
+		}
+		return tok
+	}
+	switch c {
+	case '(':
+		tok.kind = tLParen
+	case ')':
+		tok.kind = tRParen
+	case '{':
+		tok.kind = tLBrace
+	case '}':
+		tok.kind = tRBrace
+	case '[':
+		tok.kind = tLBrack
+	case ']':
+		tok.kind = tRBrack
+	case ',':
+		tok.kind = tComma
+	case ';':
+		tok.kind = tSemi
+	case '+':
+		tok.kind = tPlus
+	case '-':
+		tok.kind = tMinus
+	case '*':
+		tok.kind = tStar
+	case '/':
+		tok.kind = tSlash
+	case '%':
+		tok.kind = tPercent
+	case '^':
+		tok.kind = tCaret
+	case '~':
+		tok.kind = tTilde
+	case '=':
+		return two('=', tEq, tAssign), nil
+	case '!':
+		return two('=', tNe, tBang), nil
+	case '<':
+		if l.peekByte() == '<' {
+			l.nextByte()
+			tok.kind = tShl
+			return tok, nil
+		}
+		return two('=', tLe, tLt), nil
+	case '>':
+		if l.peekByte() == '>' {
+			l.nextByte()
+			tok.kind = tShr
+			return tok, nil
+		}
+		return two('=', tGe, tGt), nil
+	case '&':
+		return two('&', tAndAnd, tAmp), nil
+	case '|':
+		return two('|', tOrOr, tPipe), nil
+	default:
+		return tok, errf(Pos{tok.line, tok.col}, "unexpected character %q", string(c))
+	}
+	return tok, nil
+}
+
+func isHexDigit(c byte) bool {
+	return isDigit(c) || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+}
+
+// lexAll tokenizes the whole source.
+func lexAll(src string) ([]token, error) {
+	l := newLexer(src)
+	var toks []token
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.kind == tEOF {
+			return toks, nil
+		}
+	}
+}

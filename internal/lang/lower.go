@@ -1,0 +1,719 @@
+package lang
+
+import (
+	"fmt"
+
+	"vliwvp/internal/ir"
+)
+
+// Compile parses, type-checks, and lowers VL source into a linked,
+// validated IR program.
+func Compile(src string) (*ir.Program, error) {
+	file, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return Lower(file)
+}
+
+// funcSig is a function's externally visible type.
+type funcSig struct {
+	params []Type
+	ret    Type
+}
+
+// globalInfo records a global's shape for lookup during lowering.
+type globalInfo struct {
+	decl *GlobalDecl
+}
+
+// Lower translates a parsed File into IR.
+func Lower(file *File) (*ir.Program, error) {
+	prog := ir.NewProgram()
+	globals := make(map[string]globalInfo)
+	sigs := make(map[string]funcSig)
+
+	for _, g := range file.Globals {
+		if _, dup := globals[g.Name]; dup {
+			return nil, errf(g.Pos, "duplicate global %q", g.Name)
+		}
+		globals[g.Name] = globalInfo{decl: g}
+		size := 1
+		if g.IsArray {
+			size = int(g.Size)
+		}
+		irg := &ir.Global{Name: g.Name, Size: size}
+		if g.Init != nil {
+			v, typ, err := constEval(g.Init)
+			if err != nil {
+				return nil, err
+			}
+			if typ != g.Elem {
+				return nil, errf(g.Pos, "initializer for %s has type %s, want %s", g.Name, typ, g.Elem)
+			}
+			irg.Init = []uint64{v}
+		}
+		if err := prog.AddGlobal(irg); err != nil {
+			return nil, errf(g.Pos, "%v", err)
+		}
+	}
+
+	for _, fd := range file.Funcs {
+		if _, dup := sigs[fd.Name]; dup {
+			return nil, errf(fd.Pos, "duplicate function %q", fd.Name)
+		}
+		sig := funcSig{ret: fd.Ret}
+		for _, p := range fd.Params {
+			sig.params = append(sig.params, p.Type)
+		}
+		sigs[fd.Name] = sig
+	}
+
+	for _, fd := range file.Funcs {
+		fl := &funcLowerer{
+			globals: globals,
+			sigs:    sigs,
+			decl:    fd,
+		}
+		f, err := fl.lower()
+		if err != nil {
+			return nil, err
+		}
+		if err := prog.AddFunc(f); err != nil {
+			return nil, errf(fd.Pos, "%v", err)
+		}
+	}
+
+	prog.Link()
+	if err := prog.Validate(); err != nil {
+		return nil, fmt.Errorf("internal lowering error: %w", err)
+	}
+	return prog, nil
+}
+
+// constEval folds a constant initializer expression.
+func constEval(e Expr) (uint64, Type, error) {
+	switch x := e.(type) {
+	case *IntLit:
+		return uint64(x.V), TInt, nil
+	case *FloatLit:
+		return f64bits(x.V), TFloat, nil
+	case *UnaryExpr:
+		if x.Op == tMinus {
+			v, t, err := constEval(x.X)
+			if err != nil {
+				return 0, t, err
+			}
+			if t == TInt {
+				return uint64(-int64(v)), TInt, nil
+			}
+			return f64bits(-f64val(v)), TFloat, nil
+		}
+	}
+	return 0, TInt, errf(e.exprPos(), "global initializer must be a literal")
+}
+
+type localVar struct {
+	reg ir.Reg
+	typ Type
+}
+
+type loopCtx struct {
+	contTarget  int
+	breakTarget int
+}
+
+type funcLowerer struct {
+	globals map[string]globalInfo
+	sigs    map[string]funcSig
+	decl    *FuncDecl
+
+	f      *ir.Func
+	cur    *ir.Block
+	scopes []map[string]localVar
+	types  map[ir.Reg]Type // result type of each register
+	loops  []loopCtx
+}
+
+func (fl *funcLowerer) lower() (*ir.Func, error) {
+	fd := fl.decl
+	fl.f = ir.NewFunc(fd.Name)
+	fl.f.RetF = fd.Ret == TFloat
+	fl.cur = fl.f.Blocks[0]
+	fl.types = make(map[ir.Reg]Type)
+	fl.pushScope()
+
+	for _, p := range fd.Params {
+		r := fl.f.NewReg()
+		fl.f.Params = append(fl.f.Params, ir.Param{Name: p.Name, Float: p.Type == TFloat})
+		fl.types[r] = p.Type
+		if err := fl.declare(p.Pos, p.Name, localVar{reg: r, typ: p.Type}); err != nil {
+			return nil, err
+		}
+	}
+
+	if err := fl.lowerBlock(fd.Body); err != nil {
+		return nil, err
+	}
+	fl.terminateOpenBlocks()
+	fl.f.RecomputePreds()
+	return fl.f, nil
+}
+
+// terminateOpenBlocks appends an implicit "return 0" to any block the
+// lowering left open (fall-off-the-end paths and dead blocks).
+func (fl *funcLowerer) terminateOpenBlocks() {
+	for _, b := range fl.f.Blocks {
+		if b.Terminator() != nil || len(b.Succs) != 0 {
+			continue
+		}
+		code := ir.MovI
+		if fl.decl.Ret == TFloat {
+			code = ir.FMovI
+		}
+		z := fl.f.NewOp(code)
+		z.Dest = fl.newTyped(fl.decl.Ret)
+		ret := fl.f.NewOp(ir.Ret)
+		ret.A = z.Dest
+		b.Ops = append(b.Ops, z, ret)
+	}
+}
+
+func (fl *funcLowerer) pushScope() {
+	fl.scopes = append(fl.scopes, make(map[string]localVar))
+}
+
+func (fl *funcLowerer) popScope() {
+	fl.scopes = fl.scopes[:len(fl.scopes)-1]
+}
+
+func (fl *funcLowerer) declare(pos Pos, name string, v localVar) error {
+	top := fl.scopes[len(fl.scopes)-1]
+	if _, dup := top[name]; dup {
+		return errf(pos, "%q redeclared in this scope", name)
+	}
+	top[name] = v
+	return nil
+}
+
+func (fl *funcLowerer) lookup(name string) (localVar, bool) {
+	for i := len(fl.scopes) - 1; i >= 0; i-- {
+		if v, ok := fl.scopes[i][name]; ok {
+			return v, true
+		}
+	}
+	return localVar{}, false
+}
+
+func (fl *funcLowerer) newTyped(t Type) ir.Reg {
+	r := fl.f.NewReg()
+	fl.types[r] = t
+	return r
+}
+
+// emit2 appends an op with dest/a/b to the current block and returns it.
+func (fl *funcLowerer) emit2(code ir.Opcode, dest, a, b ir.Reg) *ir.Op {
+	op := fl.f.NewOp(code)
+	op.Dest, op.A, op.B = dest, a, b
+	fl.cur.Ops = append(fl.cur.Ops, op)
+	return op
+}
+
+// jmpTo closes the current block with a jump and switches to target.
+func (fl *funcLowerer) jmpTo(target *ir.Block) {
+	op := fl.f.NewOp(ir.Jmp)
+	fl.cur.Ops = append(fl.cur.Ops, op)
+	fl.cur.Succs = []int{target.ID}
+	fl.cur = target
+}
+
+// brTo closes the current block with a conditional branch.
+func (fl *funcLowerer) brTo(cond ir.Reg, then, els *ir.Block) {
+	op := fl.f.NewOp(ir.Br)
+	op.A = cond
+	fl.cur.Ops = append(fl.cur.Ops, op)
+	fl.cur.Succs = []int{then.ID, els.ID}
+}
+
+func (fl *funcLowerer) lowerBlock(b *BlockStmt) error {
+	fl.pushScope()
+	defer fl.popScope()
+	for _, s := range b.Stmts {
+		if err := fl.lowerStmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (fl *funcLowerer) lowerStmt(s Stmt) error {
+	switch st := s.(type) {
+	case *BlockStmt:
+		return fl.lowerBlock(st)
+
+	case *VarStmt:
+		r, t, err := fl.lowerExpr(st.Init)
+		if err != nil {
+			return err
+		}
+		dst := fl.newTyped(t)
+		mv := ir.Mov
+		if t == TFloat {
+			mv = ir.FMov
+		}
+		fl.emit2(mv, dst, r, ir.NoReg)
+		return fl.declare(st.Pos, st.Name, localVar{reg: dst, typ: t})
+
+	case *AssignStmt:
+		v, vt, err := fl.lowerExpr(st.Value)
+		if err != nil {
+			return err
+		}
+		if lv, ok := fl.lookup(st.Name); ok {
+			if lv.typ != vt {
+				return errf(st.Pos, "cannot assign %s to %s %q", vt, lv.typ, st.Name)
+			}
+			mv := ir.Mov
+			if vt == TFloat {
+				mv = ir.FMov
+			}
+			fl.emit2(mv, lv.reg, v, ir.NoReg)
+			return nil
+		}
+		g, ok := fl.globals[st.Name]
+		if !ok {
+			return errf(st.Pos, "undefined variable %q", st.Name)
+		}
+		if g.decl.IsArray {
+			return errf(st.Pos, "cannot assign to array %q without an index", st.Name)
+		}
+		if g.decl.Elem != vt {
+			return errf(st.Pos, "cannot assign %s to %s global %q", vt, g.decl.Elem, st.Name)
+		}
+		addr := fl.newTyped(TInt)
+		lea := fl.emit2(ir.Lea, addr, ir.NoReg, ir.NoReg)
+		lea.Sym = st.Name
+		store := fl.emit2(ir.Store, ir.NoReg, addr, v)
+		_ = store
+		return nil
+
+	case *StoreStmt:
+		g, ok := fl.globals[st.Name]
+		if !ok || !g.decl.IsArray {
+			return errf(st.Pos, "%q is not a global array", st.Name)
+		}
+		idx, it, err := fl.lowerExpr(st.Index)
+		if err != nil {
+			return err
+		}
+		if it != TInt {
+			return errf(st.Pos, "array index must be int, got %s", it)
+		}
+		v, vt, err := fl.lowerExpr(st.Value)
+		if err != nil {
+			return err
+		}
+		if g.decl.Elem != vt {
+			return errf(st.Pos, "cannot store %s into %s array %q", vt, g.decl.Elem, st.Name)
+		}
+		addr := fl.lowerAddr(st.Name, idx)
+		fl.emit2(ir.Store, ir.NoReg, addr, v)
+		return nil
+
+	case *IfStmt:
+		cond, ct, err := fl.lowerExpr(st.Cond)
+		if err != nil {
+			return err
+		}
+		if ct != TInt {
+			return errf(st.Pos, "if condition must be int, got %s", ct)
+		}
+		thenB := fl.f.AddBlock()
+		exitB := fl.f.AddBlock()
+		elseB := exitB
+		if st.Else != nil {
+			elseB = fl.f.AddBlock()
+		}
+		fl.brTo(cond, thenB, elseB)
+		fl.cur = thenB
+		if err := fl.lowerBlock(st.Then); err != nil {
+			return err
+		}
+		fl.jmpTo(exitB)
+		if st.Else != nil {
+			fl.cur = elseB
+			if err := fl.lowerStmt(st.Else); err != nil {
+				return err
+			}
+			// lowerStmt on *BlockStmt or *IfStmt; close whichever block is current.
+			fl.jmpTo(exitB)
+		}
+		fl.cur = exitB
+		return nil
+
+	case *WhileStmt:
+		condB := fl.f.AddBlock()
+		bodyB := fl.f.AddBlock()
+		exitB := fl.f.AddBlock()
+		fl.jmpTo(condB)
+		cond, ct, err := fl.lowerExpr(st.Cond)
+		if err != nil {
+			return err
+		}
+		if ct != TInt {
+			return errf(st.Pos, "while condition must be int, got %s", ct)
+		}
+		fl.brTo(cond, bodyB, exitB)
+		fl.cur = bodyB
+		fl.loops = append(fl.loops, loopCtx{contTarget: condB.ID, breakTarget: exitB.ID})
+		if err := fl.lowerBlock(st.Body); err != nil {
+			return err
+		}
+		fl.loops = fl.loops[:len(fl.loops)-1]
+		fl.jmpTo(condB)
+		fl.cur = exitB
+		return nil
+
+	case *ForStmt:
+		fl.pushScope()
+		defer fl.popScope()
+		if st.Init != nil {
+			if err := fl.lowerStmt(st.Init); err != nil {
+				return err
+			}
+		}
+		condB := fl.f.AddBlock()
+		bodyB := fl.f.AddBlock()
+		postB := fl.f.AddBlock()
+		exitB := fl.f.AddBlock()
+		fl.jmpTo(condB)
+		cond, ct, err := fl.lowerExpr(st.Cond)
+		if err != nil {
+			return err
+		}
+		if ct != TInt {
+			return errf(st.Pos, "for condition must be int, got %s", ct)
+		}
+		fl.brTo(cond, bodyB, exitB)
+		fl.cur = bodyB
+		fl.loops = append(fl.loops, loopCtx{contTarget: postB.ID, breakTarget: exitB.ID})
+		if err := fl.lowerBlock(st.Body); err != nil {
+			return err
+		}
+		fl.loops = fl.loops[:len(fl.loops)-1]
+		fl.jmpTo(postB)
+		if st.Post != nil {
+			if err := fl.lowerStmt(st.Post); err != nil {
+				return err
+			}
+		}
+		fl.jmpTo(condB)
+		fl.cur = exitB
+		return nil
+
+	case *BreakStmt:
+		if len(fl.loops) == 0 {
+			return errf(st.Pos, "break outside loop")
+		}
+		fl.jmpTo(fl.f.Blocks[fl.loops[len(fl.loops)-1].breakTarget])
+		// Continue lowering any trailing dead code into a fresh block.
+		fl.cur = fl.f.AddBlock()
+		return nil
+
+	case *ContinueStmt:
+		if len(fl.loops) == 0 {
+			return errf(st.Pos, "continue outside loop")
+		}
+		fl.jmpTo(fl.f.Blocks[fl.loops[len(fl.loops)-1].contTarget])
+		fl.cur = fl.f.AddBlock()
+		return nil
+
+	case *ReturnStmt:
+		op := fl.f.NewOp(ir.Ret)
+		if st.Value != nil {
+			v, vt, err := fl.lowerExpr(st.Value)
+			if err != nil {
+				return err
+			}
+			if vt != fl.decl.Ret {
+				return errf(st.Pos, "return type %s, function returns %s", vt, fl.decl.Ret)
+			}
+			op.A = v
+		} else if fl.decl.HasRet {
+			return errf(st.Pos, "missing return value")
+		}
+		fl.cur.Ops = append(fl.cur.Ops, op)
+		fl.cur = fl.f.AddBlock()
+		return nil
+
+	case *ExprStmt:
+		_, _, err := fl.lowerExpr(st.X)
+		return err
+
+	default:
+		return errf(s.stmtPos(), "unhandled statement %T", s)
+	}
+}
+
+// lowerAddr computes &name[idx] into a fresh register.
+func (fl *funcLowerer) lowerAddr(name string, idx ir.Reg) ir.Reg {
+	base := fl.newTyped(TInt)
+	lea := fl.emit2(ir.Lea, base, ir.NoReg, ir.NoReg)
+	lea.Sym = name
+	addr := fl.newTyped(TInt)
+	fl.emit2(ir.Add, addr, base, idx)
+	return addr
+}
+
+var intOnlyOps = map[tokKind]bool{
+	tPercent: true, tShl: true, tShr: true, tAmp: true, tPipe: true, tCaret: true,
+}
+
+var intBinOp = map[tokKind]ir.Opcode{
+	tPlus: ir.Add, tMinus: ir.Sub, tStar: ir.Mul, tSlash: ir.Div,
+	tPercent: ir.Rem, tAmp: ir.And, tPipe: ir.Or, tCaret: ir.Xor,
+	tShl: ir.Shl, tShr: ir.Shr,
+	tEq: ir.CmpEQ, tNe: ir.CmpNE, tLt: ir.CmpLT, tLe: ir.CmpLE,
+	tGt: ir.CmpGT, tGe: ir.CmpGE,
+}
+
+var floatBinOp = map[tokKind]ir.Opcode{
+	tPlus: ir.FAdd, tMinus: ir.FSub, tStar: ir.FMul, tSlash: ir.FDiv,
+	tEq: ir.FCmpEQ, tNe: ir.FCmpNE, tLt: ir.FCmpLT, tLe: ir.FCmpLE,
+	tGt: ir.FCmpGT, tGe: ir.FCmpGE,
+}
+
+var cmpOps = map[tokKind]bool{
+	tEq: true, tNe: true, tLt: true, tLe: true, tGt: true, tGe: true,
+}
+
+func (fl *funcLowerer) lowerExpr(e Expr) (ir.Reg, Type, error) {
+	switch x := e.(type) {
+	case *IntLit:
+		r := fl.newTyped(TInt)
+		op := fl.emit2(ir.MovI, r, ir.NoReg, ir.NoReg)
+		op.Imm = x.V
+		return r, TInt, nil
+
+	case *FloatLit:
+		r := fl.newTyped(TFloat)
+		op := fl.emit2(ir.FMovI, r, ir.NoReg, ir.NoReg)
+		op.FImm = x.V
+		return r, TFloat, nil
+
+	case *Ident:
+		if lv, ok := fl.lookup(x.Name); ok {
+			return lv.reg, lv.typ, nil
+		}
+		g, ok := fl.globals[x.Name]
+		if !ok {
+			return 0, TInt, errf(x.Pos, "undefined variable %q", x.Name)
+		}
+		if g.decl.IsArray {
+			return 0, TInt, errf(x.Pos, "array %q used without index", x.Name)
+		}
+		addr := fl.newTyped(TInt)
+		lea := fl.emit2(ir.Lea, addr, ir.NoReg, ir.NoReg)
+		lea.Sym = x.Name
+		dst := fl.newTyped(g.decl.Elem)
+		fl.emit2(ir.Load, dst, addr, ir.NoReg)
+		return dst, g.decl.Elem, nil
+
+	case *IndexExpr:
+		g, ok := fl.globals[x.Name]
+		if !ok || !g.decl.IsArray {
+			return 0, TInt, errf(x.Pos, "%q is not a global array", x.Name)
+		}
+		idx, it, err := fl.lowerExpr(x.Index)
+		if err != nil {
+			return 0, TInt, err
+		}
+		if it != TInt {
+			return 0, TInt, errf(x.Pos, "array index must be int, got %s", it)
+		}
+		addr := fl.lowerAddr(x.Name, idx)
+		dst := fl.newTyped(g.decl.Elem)
+		fl.emit2(ir.Load, dst, addr, ir.NoReg)
+		return dst, g.decl.Elem, nil
+
+	case *ConvExpr:
+		v, vt, err := fl.lowerExpr(x.X)
+		if err != nil {
+			return 0, TInt, err
+		}
+		if vt == x.To {
+			return v, vt, nil
+		}
+		dst := fl.newTyped(x.To)
+		if x.To == TFloat {
+			fl.emit2(ir.I2F, dst, v, ir.NoReg)
+		} else {
+			fl.emit2(ir.F2I, dst, v, ir.NoReg)
+		}
+		return dst, x.To, nil
+
+	case *UnaryExpr:
+		v, vt, err := fl.lowerExpr(x.X)
+		if err != nil {
+			return 0, TInt, err
+		}
+		switch x.Op {
+		case tMinus:
+			dst := fl.newTyped(vt)
+			if vt == TFloat {
+				fl.emit2(ir.FNeg, dst, v, ir.NoReg)
+			} else {
+				fl.emit2(ir.Neg, dst, v, ir.NoReg)
+			}
+			return dst, vt, nil
+		case tBang:
+			if vt != TInt {
+				return 0, TInt, errf(x.Pos, "! requires int operand, got %s", vt)
+			}
+			z := fl.newTyped(TInt)
+			zi := fl.emit2(ir.MovI, z, ir.NoReg, ir.NoReg)
+			zi.Imm = 0
+			dst := fl.newTyped(TInt)
+			fl.emit2(ir.CmpEQ, dst, v, z)
+			return dst, TInt, nil
+		case tTilde:
+			if vt != TInt {
+				return 0, TInt, errf(x.Pos, "~ requires int operand, got %s", vt)
+			}
+			dst := fl.newTyped(TInt)
+			fl.emit2(ir.Not, dst, v, ir.NoReg)
+			return dst, TInt, nil
+		}
+		return 0, TInt, errf(x.Pos, "unhandled unary operator")
+
+	case *BinaryExpr:
+		if x.Op == tAndAnd || x.Op == tOrOr {
+			return fl.lowerShortCircuit(x)
+		}
+		l, lt, err := fl.lowerExpr(x.L)
+		if err != nil {
+			return 0, TInt, err
+		}
+		r, rt, err := fl.lowerExpr(x.R)
+		if err != nil {
+			return 0, TInt, err
+		}
+		if lt != rt {
+			return 0, TInt, errf(x.Pos, "operand type mismatch: %s vs %s", lt, rt)
+		}
+		if intOnlyOps[x.Op] && lt != TInt {
+			return 0, TInt, errf(x.Pos, "operator %s requires int operands", x.Op)
+		}
+		var code ir.Opcode
+		var restype Type
+		if lt == TFloat {
+			c, ok := floatBinOp[x.Op]
+			if !ok {
+				return 0, TInt, errf(x.Pos, "operator %s not defined on float", x.Op)
+			}
+			code = c
+			restype = TFloat
+		} else {
+			code = intBinOp[x.Op]
+			restype = TInt
+		}
+		if cmpOps[x.Op] {
+			restype = TInt
+		}
+		dst := fl.newTyped(restype)
+		fl.emit2(code, dst, l, r)
+		return dst, restype, nil
+
+	case *CallExpr:
+		return fl.lowerCall(x)
+	}
+	return 0, TInt, errf(e.exprPos(), "unhandled expression %T", e)
+}
+
+// lowerShortCircuit lowers && and || with control flow. The result register
+// is written on both paths, then the paths merge.
+func (fl *funcLowerer) lowerShortCircuit(x *BinaryExpr) (ir.Reg, Type, error) {
+	l, lt, err := fl.lowerExpr(x.L)
+	if err != nil {
+		return 0, TInt, err
+	}
+	if lt != TInt {
+		return 0, TInt, errf(x.Pos, "operator %s requires int operands", x.Op)
+	}
+	res := fl.newTyped(TInt)
+	z := fl.newTyped(TInt)
+	zi := fl.emit2(ir.MovI, z, ir.NoReg, ir.NoReg)
+	zi.Imm = 0
+	fl.emit2(ir.CmpNE, res, l, z) // normalized truth value of L
+
+	rhsB := fl.f.AddBlock()
+	exitB := fl.f.AddBlock()
+	if x.Op == tAndAnd {
+		fl.brTo(l, rhsB, exitB) // L true -> evaluate R; L false -> res already 0
+	} else {
+		fl.brTo(l, exitB, rhsB) // L true -> res already 1; L false -> evaluate R
+	}
+	fl.cur = rhsB
+	r, rt, err := fl.lowerExpr(x.R)
+	if err != nil {
+		return 0, TInt, err
+	}
+	if rt != TInt {
+		return 0, TInt, errf(x.Pos, "operator %s requires int operands", x.Op)
+	}
+	z2 := fl.newTyped(TInt)
+	zi2 := fl.emit2(ir.MovI, z2, ir.NoReg, ir.NoReg)
+	zi2.Imm = 0
+	fl.emit2(ir.CmpNE, res, r, z2)
+	fl.jmpTo(exitB)
+	fl.cur = exitB
+	return res, TInt, nil
+}
+
+func (fl *funcLowerer) lowerCall(x *CallExpr) (ir.Reg, Type, error) {
+	// print/fprint intrinsics.
+	if x.Name == "print" {
+		if len(x.Args) != 1 {
+			return 0, TInt, errf(x.Pos, "print takes exactly one argument")
+		}
+		a, at, err := fl.lowerExpr(x.Args[0])
+		if err != nil {
+			return 0, TInt, err
+		}
+		op := fl.f.NewOp(ir.Call)
+		op.Sym = "print"
+		if at == TFloat {
+			op.Sym = "fprint"
+		}
+		op.Args = []ir.Reg{a}
+		op.Dest = ir.NoReg
+		fl.cur.Ops = append(fl.cur.Ops, op)
+		return ir.NoReg, TInt, nil
+	}
+
+	sig, ok := fl.sigs[x.Name]
+	if !ok {
+		return 0, TInt, errf(x.Pos, "call to undefined function %q", x.Name)
+	}
+	if len(x.Args) != len(sig.params) {
+		return 0, TInt, errf(x.Pos, "%q takes %d arguments, got %d", x.Name, len(sig.params), len(x.Args))
+	}
+	args := make([]ir.Reg, len(x.Args))
+	for i, ax := range x.Args {
+		a, at, err := fl.lowerExpr(ax)
+		if err != nil {
+			return 0, TInt, err
+		}
+		if at != sig.params[i] {
+			return 0, TInt, errf(ax.exprPos(), "argument %d of %q has type %s, want %s",
+				i+1, x.Name, at, sig.params[i])
+		}
+		args[i] = a
+	}
+	op := fl.f.NewOp(ir.Call)
+	op.Sym = x.Name
+	op.Args = args
+	op.Dest = fl.newTyped(sig.ret)
+	fl.cur.Ops = append(fl.cur.Ops, op)
+	return op.Dest, sig.ret, nil
+}

@@ -1,0 +1,469 @@
+package lang
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+// Parse turns VL source text into a File.
+func Parse(src string) (*File, error) {
+	toks, err := lexAll(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	return p.parseFile()
+}
+
+func (p *parser) cur() token  { return p.toks[p.pos] }
+func (p *parser) curPos() Pos { return Pos{p.cur().line, p.cur().col} }
+
+func (p *parser) advance() token {
+	t := p.toks[p.pos]
+	if t.kind != tEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) accept(k tokKind) bool {
+	if p.cur().kind == k {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(k tokKind) (token, error) {
+	if p.cur().kind != k {
+		return token{}, errf(p.curPos(), "expected %s, found %s", k, p.cur().kind)
+	}
+	return p.advance(), nil
+}
+
+func (p *parser) parseFile() (*File, error) {
+	f := &File{}
+	for p.cur().kind != tEOF {
+		switch p.cur().kind {
+		case tVar:
+			g, err := p.parseGlobal()
+			if err != nil {
+				return nil, err
+			}
+			f.Globals = append(f.Globals, g)
+		case tFunc:
+			fn, err := p.parseFunc()
+			if err != nil {
+				return nil, err
+			}
+			f.Funcs = append(f.Funcs, fn)
+		default:
+			return nil, errf(p.curPos(), "expected var or func at top level, found %s", p.cur().kind)
+		}
+	}
+	return f, nil
+}
+
+func (p *parser) parseGlobal() (*GlobalDecl, error) {
+	pos := p.curPos()
+	p.advance() // var
+	name, err := p.expect(tIdent)
+	if err != nil {
+		return nil, err
+	}
+	g := &GlobalDecl{Pos: pos, Name: name.text, Elem: TInt}
+	if p.accept(tLBrack) {
+		size, err := p.expect(tInt)
+		if err != nil {
+			return nil, err
+		}
+		if size.ival <= 0 {
+			return nil, errf(pos, "array %s must have positive size", g.Name)
+		}
+		if _, err := p.expect(tRBrack); err != nil {
+			return nil, err
+		}
+		g.IsArray = true
+		g.Size = size.ival
+	}
+	if p.accept(tKwFloat) {
+		g.Elem = TFloat
+	} else {
+		p.accept(tKwInt)
+	}
+	if p.accept(tAssign) {
+		if g.IsArray {
+			return nil, errf(pos, "array %s cannot have an initializer", g.Name)
+		}
+		init, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		g.Init = init
+	}
+	return g, nil
+}
+
+func (p *parser) parseFunc() (*FuncDecl, error) {
+	pos := p.curPos()
+	p.advance() // func
+	name, err := p.expect(tIdent)
+	if err != nil {
+		return nil, err
+	}
+	fd := &FuncDecl{Pos: pos, Name: name.text, Ret: TInt}
+	if _, err := p.expect(tLParen); err != nil {
+		return nil, err
+	}
+	for p.cur().kind != tRParen {
+		if len(fd.Params) > 0 {
+			if _, err := p.expect(tComma); err != nil {
+				return nil, err
+			}
+		}
+		ppos := p.curPos()
+		pname, err := p.expect(tIdent)
+		if err != nil {
+			return nil, err
+		}
+		pd := ParamDecl{Pos: ppos, Name: pname.text, Type: TInt}
+		if p.accept(tKwFloat) {
+			pd.Type = TFloat
+		} else {
+			p.accept(tKwInt)
+		}
+		fd.Params = append(fd.Params, pd)
+	}
+	p.advance() // )
+	if p.accept(tKwFloat) {
+		fd.Ret, fd.HasRet = TFloat, true
+	} else if p.accept(tKwInt) {
+		fd.Ret, fd.HasRet = TInt, true
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	fd.Body = body
+	return fd, nil
+}
+
+func (p *parser) parseBlock() (*BlockStmt, error) {
+	pos := p.curPos()
+	if _, err := p.expect(tLBrace); err != nil {
+		return nil, err
+	}
+	b := &BlockStmt{Pos: pos}
+	for p.cur().kind != tRBrace {
+		if p.cur().kind == tEOF {
+			return nil, errf(pos, "unterminated block")
+		}
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		b.Stmts = append(b.Stmts, s)
+	}
+	p.advance() // }
+	return b, nil
+}
+
+func (p *parser) parseStmt() (Stmt, error) {
+	pos := p.curPos()
+	switch p.cur().kind {
+	case tVar:
+		p.advance()
+		name, err := p.expect(tIdent)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tAssign); err != nil {
+			return nil, err
+		}
+		init, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &VarStmt{Pos: pos, Name: name.text, Init: init}, nil
+
+	case tIf:
+		return p.parseIf()
+
+	case tWhile:
+		p.advance()
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		body, err := p.parseBlock()
+		if err != nil {
+			return nil, err
+		}
+		return &WhileStmt{Pos: pos, Cond: cond, Body: body}, nil
+
+	case tFor:
+		p.advance()
+		var init, post Stmt
+		var err error
+		if p.cur().kind != tSemi {
+			init, err = p.parseSimpleStmt()
+			if err != nil {
+				return nil, err
+			}
+		}
+		if _, err := p.expect(tSemi); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tSemi); err != nil {
+			return nil, err
+		}
+		if p.cur().kind != tLBrace {
+			post, err = p.parseSimpleStmt()
+			if err != nil {
+				return nil, err
+			}
+		}
+		body, err := p.parseBlock()
+		if err != nil {
+			return nil, err
+		}
+		return &ForStmt{Pos: pos, Init: init, Cond: cond, Post: post, Body: body}, nil
+
+	case tBreak:
+		p.advance()
+		return &BreakStmt{Pos: pos}, nil
+
+	case tContinue:
+		p.advance()
+		return &ContinueStmt{Pos: pos}, nil
+
+	case tReturn:
+		p.advance()
+		r := &ReturnStmt{Pos: pos}
+		// A return value starts any expression; detect by token kind.
+		switch p.cur().kind {
+		case tRBrace, tEOF:
+		default:
+			v, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			r.Value = v
+		}
+		return r, nil
+
+	default:
+		return p.parseSimpleStmt()
+	}
+}
+
+// parseIf handles else-if chains.
+func (p *parser) parseIf() (Stmt, error) {
+	pos := p.curPos()
+	p.advance() // if
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	then, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	s := &IfStmt{Pos: pos, Cond: cond, Then: then}
+	if p.accept(tElse) {
+		if p.cur().kind == tIf {
+			el, err := p.parseIf()
+			if err != nil {
+				return nil, err
+			}
+			s.Else = el
+		} else {
+			el, err := p.parseBlock()
+			if err != nil {
+				return nil, err
+			}
+			s.Else = el
+		}
+	}
+	return s, nil
+}
+
+// parseSimpleStmt parses assignment, array store, var decl, or a call.
+func (p *parser) parseSimpleStmt() (Stmt, error) {
+	pos := p.curPos()
+	if p.cur().kind == tVar {
+		return p.parseStmt()
+	}
+	name, err := p.expect(tIdent)
+	if err != nil {
+		return nil, err
+	}
+	switch p.cur().kind {
+	case tAssign:
+		p.advance()
+		v, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &AssignStmt{Pos: pos, Name: name.text, Value: v}, nil
+	case tLBrack:
+		p.advance()
+		idx, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tRBrack); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tAssign); err != nil {
+			return nil, err
+		}
+		v, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &StoreStmt{Pos: pos, Name: name.text, Index: idx, Value: v}, nil
+	case tLParen:
+		call, err := p.parseCall(pos, name.text)
+		if err != nil {
+			return nil, err
+		}
+		return &ExprStmt{Pos: pos, X: call}, nil
+	default:
+		return nil, errf(p.curPos(), "expected =, [, or ( after %q, found %s", name.text, p.cur().kind)
+	}
+}
+
+func (p *parser) parseCall(pos Pos, name string) (*CallExpr, error) {
+	if _, err := p.expect(tLParen); err != nil {
+		return nil, err
+	}
+	c := &CallExpr{Pos: pos, Name: name}
+	for p.cur().kind != tRParen {
+		if len(c.Args) > 0 {
+			if _, err := p.expect(tComma); err != nil {
+				return nil, err
+			}
+		}
+		a, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		c.Args = append(c.Args, a)
+	}
+	p.advance() // )
+	return c, nil
+}
+
+// Operator precedence, loosest first.
+var binPrec = map[tokKind]int{
+	tOrOr:   1,
+	tAndAnd: 2,
+	tPipe:   3,
+	tCaret:  4,
+	tAmp:    5,
+	tEq:     6, tNe: 6,
+	tLt: 7, tLe: 7, tGt: 7, tGe: 7,
+	tShl: 8, tShr: 8,
+	tPlus: 9, tMinus: 9,
+	tStar: 10, tSlash: 10, tPercent: 10,
+}
+
+func (p *parser) parseExpr() (Expr, error) { return p.parseBinary(1) }
+
+func (p *parser) parseBinary(minPrec int) (Expr, error) {
+	lhs, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		op := p.cur().kind
+		prec, ok := binPrec[op]
+		if !ok || prec < minPrec {
+			return lhs, nil
+		}
+		pos := p.curPos()
+		p.advance()
+		rhs, err := p.parseBinary(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		lhs = &BinaryExpr{Pos: pos, Op: op, L: lhs, R: rhs}
+	}
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	pos := p.curPos()
+	switch p.cur().kind {
+	case tMinus, tBang, tTilde:
+		op := p.advance().kind
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Pos: pos, Op: op, X: x}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	pos := p.curPos()
+	switch p.cur().kind {
+	case tInt:
+		t := p.advance()
+		return &IntLit{Pos: pos, V: t.ival}, nil
+	case tFloat:
+		t := p.advance()
+		return &FloatLit{Pos: pos, V: t.fval}, nil
+	case tLParen:
+		p.advance()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tRParen); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case tKwInt, tKwFloat:
+		to := TInt
+		if p.advance().kind == tKwFloat {
+			to = TFloat
+		}
+		if _, err := p.expect(tLParen); err != nil {
+			return nil, err
+		}
+		x, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tRParen); err != nil {
+			return nil, err
+		}
+		return &ConvExpr{Pos: pos, To: to, X: x}, nil
+	case tIdent:
+		name := p.advance().text
+		switch p.cur().kind {
+		case tLParen:
+			return p.parseCall(pos, name)
+		case tLBrack:
+			p.advance()
+			idx, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tRBrack); err != nil {
+				return nil, err
+			}
+			return &IndexExpr{Pos: pos, Name: name, Index: idx}, nil
+		default:
+			return &Ident{Pos: pos, Name: name}, nil
+		}
+	default:
+		return nil, errf(pos, "expected expression, found %s", p.cur().kind)
+	}
+}

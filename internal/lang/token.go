@@ -1,0 +1,137 @@
+// Package lang implements the VL front end: a small imperative language
+// with int/float scalars, global arrays, functions, and structured control
+// flow, compiled to the internal/ir representation.
+//
+// VL exists so the benchmark kernels (internal/workload) can be expressed as
+// real programs that the whole pipeline — optimizer, dependence analysis,
+// value profiling, speculation, VLIW scheduling, dual-engine simulation —
+// processes end to end, playing the role the SPEC95 sources played for the
+// paper's Trimaran setup.
+//
+// Grammar (EBNF):
+//
+//	program   = { decl } .
+//	decl      = "var" ident [ "[" intlit "]" ] [ "float" ] [ "=" constexpr ]
+//	          | "func" ident "(" [ param { "," param } ] ")" [ "float" | "int" ] block .
+//	param     = ident [ "float" | "int" ] .
+//	block     = "{" { stmt } "}" .
+//	stmt      = "var" ident "=" expr
+//	          | ident "=" expr
+//	          | ident "[" expr "]" "=" expr
+//	          | "if" expr block [ "else" ( block | ifstmt ) ]
+//	          | "while" expr block
+//	          | "for" simplestmt ";" expr ";" simplestmt block
+//	          | "break" | "continue"
+//	          | "return" [ expr ]
+//	          | callexpr .
+//
+// Expressions use C precedence over: || && | ^ & == != < <= > >= << >>
+// + - * / % and unary - ! ~, with primaries: literals, variables, array
+// indexing, calls, parentheses, and the conversions int(e) / float(e).
+package lang
+
+import "fmt"
+
+type tokKind uint8
+
+const (
+	tEOF tokKind = iota
+	tIdent
+	tInt
+	tFloat
+	tString
+
+	// keywords
+	tVar
+	tFunc
+	tIf
+	tElse
+	tWhile
+	tFor
+	tBreak
+	tContinue
+	tReturn
+	tKwInt
+	tKwFloat
+
+	// punctuation and operators
+	tLParen
+	tRParen
+	tLBrace
+	tRBrace
+	tLBrack
+	tRBrack
+	tComma
+	tSemi
+	tAssign
+	tPlus
+	tMinus
+	tStar
+	tSlash
+	tPercent
+	tAmp
+	tPipe
+	tCaret
+	tTilde
+	tShl
+	tShr
+	tAndAnd
+	tOrOr
+	tBang
+	tEq
+	tNe
+	tLt
+	tLe
+	tGt
+	tGe
+)
+
+var tokNames = map[tokKind]string{
+	tEOF: "EOF", tIdent: "identifier", tInt: "int literal",
+	tFloat: "float literal", tString: "string literal",
+	tVar: "var", tFunc: "func", tIf: "if", tElse: "else", tWhile: "while",
+	tFor: "for", tBreak: "break", tContinue: "continue", tReturn: "return",
+	tKwInt: "int", tKwFloat: "float",
+	tLParen: "(", tRParen: ")", tLBrace: "{", tRBrace: "}",
+	tLBrack: "[", tRBrack: "]", tComma: ",", tSemi: ";", tAssign: "=",
+	tPlus: "+", tMinus: "-", tStar: "*", tSlash: "/", tPercent: "%",
+	tAmp: "&", tPipe: "|", tCaret: "^", tTilde: "~", tShl: "<<", tShr: ">>",
+	tAndAnd: "&&", tOrOr: "||", tBang: "!",
+	tEq: "==", tNe: "!=", tLt: "<", tLe: "<=", tGt: ">", tGe: ">=",
+}
+
+func (k tokKind) String() string { return tokNames[k] }
+
+var keywords = map[string]tokKind{
+	"var": tVar, "func": tFunc, "if": tIf, "else": tElse, "while": tWhile,
+	"for": tFor, "break": tBreak, "continue": tContinue, "return": tReturn,
+	"int": tKwInt, "float": tKwFloat,
+}
+
+type token struct {
+	kind tokKind
+	text string
+	ival int64
+	fval float64
+	line int
+	col  int
+}
+
+// Pos identifies a source location for error reporting.
+type Pos struct {
+	Line, Col int
+}
+
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Error is a positioned front-end diagnostic.
+type Error struct {
+	Pos Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+func errf(p Pos, format string, args ...any) error {
+	return &Error{Pos: p, Msg: fmt.Sprintf(format, args...)}
+}

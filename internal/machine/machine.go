@@ -1,0 +1,144 @@
+// Package machine defines PlayDoh-like VLIW machine descriptions: issue
+// width, functional-unit classes and counts, and operation latencies. The
+// paper's experiments use 4-wide and 8-wide configurations; the stock
+// descriptions here add 2- and 16-wide points for width sweeps.
+//
+// Following §3 of the paper, no functional units are added for the new
+// operation forms: LdPred behaves like a move and occupies an integer unit
+// (its source is the value-predictor table), and the check-prediction form
+// of a load occupies a memory unit with the compare folded into the access.
+package machine
+
+import (
+	"fmt"
+
+	"vliwvp/internal/ir"
+)
+
+// Class names a functional-unit class.
+type Class uint8
+
+const (
+	IALU Class = iota // integer ALUs (also LdPred, Lea, moves)
+	MEM               // memory ports (loads, stores, check-prediction loads)
+	FPU               // floating-point units
+	BR                // branch units (also calls/returns)
+	NumClasses
+)
+
+func (c Class) String() string {
+	switch c {
+	case IALU:
+		return "IALU"
+	case MEM:
+		return "MEM"
+	case FPU:
+		return "FPU"
+	case BR:
+		return "BR"
+	}
+	return "?"
+}
+
+// Latencies used throughout the paper's worked examples: unit-latency
+// integer operations, 3-cycle loads.
+const (
+	LatInt    = 1
+	LatMul    = 3
+	LatDiv    = 8
+	LatLoad   = 3
+	LatStore  = 1
+	LatFALU   = 3
+	LatFDiv   = 8
+	LatBranch = 1
+)
+
+// Desc describes one VLIW machine configuration.
+type Desc struct {
+	Name  string
+	Width int // operations per long instruction
+	Units [NumClasses]int
+}
+
+// ClassOf maps an operation to the functional-unit class it occupies.
+func ClassOf(op *ir.Op) Class {
+	switch {
+	case op.Code.IsMemory():
+		return MEM
+	case op.Code.IsTerminator() || op.Code == ir.Call:
+		return BR
+	case op.Code.IsFloat():
+		return FPU
+	default:
+		return IALU // includes LdPred, Lea, moves, compares, Nop
+	}
+}
+
+// Latency returns the operation's result latency in cycles.
+func (d *Desc) Latency(op *ir.Op) int {
+	switch op.Code {
+	case ir.Load, ir.CheckLd:
+		return LatLoad
+	case ir.Store:
+		return LatStore
+	case ir.Mul:
+		return LatMul
+	case ir.Div, ir.Rem:
+		return LatDiv
+	case ir.FAdd, ir.FSub, ir.FMul, ir.FNeg, ir.FMov, ir.FMovI,
+		ir.FCmpEQ, ir.FCmpNE, ir.FCmpLT, ir.FCmpLE, ir.FCmpGT, ir.FCmpGE,
+		ir.I2F, ir.F2I:
+		if op.Code == ir.FMov || op.Code == ir.FMovI {
+			return LatInt
+		}
+		return LatFALU
+	case ir.FDiv:
+		return LatFDiv
+	case ir.Br, ir.Jmp, ir.Ret, ir.Call:
+		return LatBranch
+	default:
+		return LatInt
+	}
+}
+
+// Validate checks that the description is internally consistent.
+func (d *Desc) Validate() error {
+	if d.Width < 1 {
+		return fmt.Errorf("machine %q: width %d < 1", d.Name, d.Width)
+	}
+	total := 0
+	for c := Class(0); c < NumClasses; c++ {
+		if d.Units[c] < 1 {
+			return fmt.Errorf("machine %q: class %v has no units", d.Name, c)
+		}
+		total += d.Units[c]
+	}
+	if total < d.Width {
+		// Not fatal in principle, but our stock configs never undersubscribe.
+		return fmt.Errorf("machine %q: %d units cannot fill width %d", d.Name, total, d.Width)
+	}
+	return nil
+}
+
+// Stock configurations. Unit mixes follow the usual Trimaran defaults:
+// half the width in integer ALUs, a quarter in memory ports, a quarter in
+// FP units, plus a branch unit.
+var (
+	W2  = &Desc{Name: "2-wide", Width: 2, Units: [NumClasses]int{IALU: 1, MEM: 1, FPU: 1, BR: 1}}
+	W4  = &Desc{Name: "4-wide", Width: 4, Units: [NumClasses]int{IALU: 2, MEM: 1, FPU: 1, BR: 1}}
+	W8  = &Desc{Name: "8-wide", Width: 8, Units: [NumClasses]int{IALU: 4, MEM: 2, FPU: 2, BR: 1}}
+	W16 = &Desc{Name: "16-wide", Width: 16, Units: [NumClasses]int{IALU: 8, MEM: 4, FPU: 4, BR: 2}}
+)
+
+// Stock lists the built-in configurations in increasing width order.
+func Stock() []*Desc { return []*Desc{W2, W4, W8, W16} }
+
+// ByName returns the stock description with the given name, or nil.
+func ByName(name string) *Desc {
+	for _, d := range Stock() {
+		if d.Name == name {
+			return d
+		}
+	}
+	return nil
+}

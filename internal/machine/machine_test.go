@@ -1,0 +1,107 @@
+package machine
+
+import (
+	"testing"
+
+	"vliwvp/internal/ir"
+)
+
+func TestStockConfigsValidate(t *testing.T) {
+	for _, d := range Stock() {
+		if err := d.Validate(); err != nil {
+			t.Errorf("%s: %v", d.Name, err)
+		}
+	}
+}
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	bad := &Desc{Name: "bad", Width: 0, Units: [NumClasses]int{1, 1, 1, 1}}
+	if err := bad.Validate(); err == nil {
+		t.Error("accepted width 0")
+	}
+	bad = &Desc{Name: "bad", Width: 4, Units: [NumClasses]int{IALU: 2, MEM: 0, FPU: 1, BR: 1}}
+	if err := bad.Validate(); err == nil {
+		t.Error("accepted class with no units")
+	}
+	bad = &Desc{Name: "bad", Width: 8, Units: [NumClasses]int{1, 1, 1, 1}}
+	if err := bad.Validate(); err == nil {
+		t.Error("accepted undersubscribed width")
+	}
+}
+
+func TestClassAssignment(t *testing.T) {
+	f := ir.NewFunc("c")
+	mk := func(code ir.Opcode) *ir.Op { return f.NewOp(code) }
+	cases := []struct {
+		code ir.Opcode
+		want Class
+	}{
+		{ir.Add, IALU}, {ir.MovI, IALU}, {ir.Lea, IALU}, {ir.LdPred, IALU},
+		{ir.Load, MEM}, {ir.Store, MEM}, {ir.CheckLd, MEM},
+		{ir.FAdd, FPU}, {ir.FDiv, FPU}, {ir.I2F, FPU},
+		{ir.Br, BR}, {ir.Jmp, BR}, {ir.Ret, BR}, {ir.Call, BR},
+	}
+	for _, tc := range cases {
+		if got := ClassOf(mk(tc.code)); got != tc.want {
+			t.Errorf("ClassOf(%v) = %v, want %v", tc.code, got, tc.want)
+		}
+	}
+}
+
+func TestPaperLatencies(t *testing.T) {
+	f := ir.NewFunc("l")
+	d := W4
+	cases := []struct {
+		code ir.Opcode
+		want int
+	}{
+		{ir.Add, 1}, {ir.Mov, 1}, {ir.LdPred, 1}, {ir.Lea, 1},
+		{ir.Load, 3}, {ir.CheckLd, 3}, {ir.Store, 1},
+		{ir.Mul, 3}, {ir.Div, 8},
+		{ir.FAdd, 3}, {ir.FMul, 3}, {ir.FDiv, 8}, {ir.FMov, 1},
+		{ir.Br, 1},
+	}
+	for _, tc := range cases {
+		op := f.NewOp(tc.code)
+		if got := d.Latency(op); got != tc.want {
+			t.Errorf("Latency(%v) = %d, want %d", tc.code, got, tc.want)
+		}
+	}
+}
+
+func TestCheckLoadSharesMemoryUnitSemantics(t *testing.T) {
+	// Per §3 of the paper: check prediction executes on a memory unit with
+	// load latency; LdPred on an integer unit with move latency.
+	f := ir.NewFunc("s")
+	chk := f.NewOp(ir.CheckLd)
+	lp := f.NewOp(ir.LdPred)
+	if ClassOf(chk) != MEM || W4.Latency(chk) != LatLoad {
+		t.Error("CheckLd must behave as a load on a memory unit")
+	}
+	if ClassOf(lp) != IALU || W4.Latency(lp) != LatInt {
+		t.Error("LdPred must behave as a move on an integer unit")
+	}
+}
+
+func TestByName(t *testing.T) {
+	if ByName("4-wide") != W4 {
+		t.Error("ByName(4-wide) != W4")
+	}
+	if ByName("nope") != nil {
+		t.Error("ByName(nope) should be nil")
+	}
+}
+
+func TestWidthMonotonic(t *testing.T) {
+	stock := Stock()
+	for i := 1; i < len(stock); i++ {
+		if stock[i].Width <= stock[i-1].Width {
+			t.Errorf("stock configs not in increasing width order at %d", i)
+		}
+		for c := Class(0); c < NumClasses; c++ {
+			if stock[i].Units[c] < stock[i-1].Units[c] {
+				t.Errorf("%s has fewer %v units than %s", stock[i].Name, c, stock[i-1].Name)
+			}
+		}
+	}
+}

@@ -1,0 +1,497 @@
+// Package opt implements the block-local optimizations that run before
+// scheduling: constant propagation and folding, copy propagation, local
+// common-subexpression elimination (including redundant Lea and Load
+// elimination with memory versioning), simple strength reduction, and a
+// liveness-driven dead-code elimination.
+//
+// The paper's blocks were "optimized to the highest level" by Trimaran
+// before value profiling; this package plays that role so the scheduled
+// blocks have realistic dependence structure rather than the front end's
+// temp-heavy output.
+package opt
+
+import (
+	"math"
+
+	"vliwvp/internal/ddg"
+	"vliwvp/internal/ir"
+)
+
+// Optimize runs the pass pipeline on every function until it reaches a
+// fixpoint (bounded by a few iterations). It mutates the program in place.
+func Optimize(p *ir.Program) {
+	for _, f := range p.Funcs {
+		OptimizeFunc(f)
+	}
+}
+
+// MaxPasses bounds the local-opt fixpoint iteration.
+const MaxPasses = 4
+
+// OptimizeFunc optimizes a single function in place.
+func OptimizeFunc(f *ir.Func) {
+	removeUnreachable(f)
+	for i := 0; i < MaxPasses; i++ {
+		changed := false
+		for _, b := range f.Blocks {
+			changed = localOptimize(f, b) || changed
+		}
+		changed = eliminateDeadCode(f) || changed
+		if !changed {
+			return
+		}
+	}
+}
+
+// removeUnreachable drops blocks not reachable from the entry and renumbers
+// the survivors. Unreachable blocks (dead paths after return/break lowering)
+// would otherwise pollute static schedule statistics.
+func removeUnreachable(f *ir.Func) {
+	reachable := make([]bool, len(f.Blocks))
+	stack := []int{f.Entry}
+	reachable[f.Entry] = true
+	for len(stack) > 0 {
+		i := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, s := range f.Blocks[i].Succs {
+			if !reachable[s] {
+				reachable[s] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	all := true
+	for _, r := range reachable {
+		all = all && r
+	}
+	if all {
+		return
+	}
+	newID := make([]int, len(f.Blocks))
+	var kept []*ir.Block
+	for i, b := range f.Blocks {
+		if !reachable[i] {
+			newID[i] = -1
+			continue
+		}
+		newID[i] = len(kept)
+		kept = append(kept, b)
+	}
+	for _, b := range kept {
+		b.ID = newID[b.ID]
+		for j, s := range b.Succs {
+			b.Succs[j] = newID[s]
+		}
+	}
+	f.Blocks = kept
+	f.Entry = newID[f.Entry]
+	f.RecomputePreds()
+}
+
+// constVal is a known register value within a block.
+type constVal struct {
+	bits    uint64
+	isFloat bool
+}
+
+// exprKey identifies a pure computation for CSE.
+type exprKey struct {
+	code       ir.Opcode
+	a, b, c    ir.Reg
+	imm        int64
+	fimm       uint64
+	sym        string
+	memVersion int // loads only: invalidated by stores/calls
+}
+
+// localOptimize runs constant/copy propagation, folding, strength reduction,
+// and CSE over one block in a single forward scan. Returns whether anything
+// changed.
+func localOptimize(f *ir.Func, b *ir.Block) bool {
+	changed := false
+	consts := map[ir.Reg]constVal{}
+	copies := map[ir.Reg]ir.Reg{} // dst -> original source
+	avail := map[exprKey]ir.Reg{} // expression -> register holding it
+	availKeysByReg := map[ir.Reg][]exprKey{}
+	memVersion := 0
+
+	invalidateReg := func(r ir.Reg) {
+		delete(consts, r)
+		delete(copies, r)
+		for dst, src := range copies {
+			if src == r {
+				delete(copies, dst)
+			}
+		}
+		for _, k := range availKeysByReg[r] {
+			delete(avail, k)
+		}
+		delete(availKeysByReg, r)
+	}
+	recordExpr := func(k exprKey, dest ir.Reg) {
+		avail[k] = dest
+		availKeysByReg[dest] = append(availKeysByReg[dest], k)
+		if k.a != ir.NoReg {
+			availKeysByReg[k.a] = append(availKeysByReg[k.a], k)
+		}
+		if k.b != ir.NoReg && k.b != k.a {
+			availKeysByReg[k.b] = append(availKeysByReg[k.b], k)
+		}
+		if k.c != ir.NoReg && k.c != k.a && k.c != k.b {
+			availKeysByReg[k.c] = append(availKeysByReg[k.c], k)
+		}
+	}
+	resolve := func(r ir.Reg) ir.Reg {
+		if r == ir.NoReg {
+			return r
+		}
+		if src, ok := copies[r]; ok {
+			return src
+		}
+		return r
+	}
+
+	for _, op := range b.Ops {
+		// Rewrite sources through the copy map.
+		if na := resolve(op.A); na != op.A {
+			op.A, changed = na, true
+		}
+		if nb := resolve(op.B); nb != op.B {
+			op.B, changed = nb, true
+		}
+		if nc := resolve(op.C); nc != op.C {
+			op.C, changed = nc, true
+		}
+		for i, a := range op.Args {
+			if na := resolve(a); na != a {
+				op.Args[i], changed = na, true
+			}
+		}
+
+		// Constant folding.
+		if folded := foldOp(op, consts); folded {
+			changed = true
+		}
+		// Strength reduction after folding (operands may now be constant).
+		if reduced := reduceOp(op, consts); reduced {
+			changed = true
+		}
+
+		// CSE for pure ops (loads participate via the memory version).
+		if op.Code.IsPure() && op.Dest != ir.NoReg {
+			k := exprKey{code: op.Code, a: op.A, b: op.B, c: op.C, imm: op.Imm,
+				fimm: math.Float64bits(op.FImm), sym: op.Sym}
+			if op.Code == ir.Load {
+				k.memVersion = memVersion
+			}
+			if prev, ok := avail[k]; ok && prev != op.Dest {
+				// Replace the computation with a copy from the prior result.
+				op.Code = ir.Mov
+				op.A, op.B, op.C = prev, ir.NoReg, ir.NoReg
+				op.Imm, op.FImm, op.Sym = 0, 0, ""
+				changed = true
+			}
+			// New expressions are recorded below, after the destination's
+			// old value information is invalidated.
+		}
+
+		// Track effects.
+		switch {
+		case op.Code == ir.Store || op.Code == ir.Call:
+			memVersion++
+		}
+		if d := op.Def(); d != ir.NoReg {
+			invalidateReg(d)
+			switch op.Code {
+			case ir.MovI:
+				consts[d] = constVal{bits: uint64(op.Imm)}
+			case ir.FMovI:
+				consts[d] = constVal{bits: math.Float64bits(op.FImm), isFloat: true}
+			case ir.Mov, ir.FMov:
+				if op.A != d {
+					copies[d] = op.A
+					if c, ok := consts[op.A]; ok {
+						consts[d] = c
+					}
+				}
+			}
+			if op.Code.IsPure() {
+				k := exprKey{code: op.Code, a: op.A, b: op.B, c: op.C, imm: op.Imm,
+					fimm: math.Float64bits(op.FImm), sym: op.Sym}
+				if op.Code == ir.Load {
+					k.memVersion = memVersion
+				}
+				// Self-referencing defs (d == a source) are not reusable.
+				if op.A != d && op.B != d && op.C != d {
+					recordExpr(k, d)
+				}
+			}
+		}
+	}
+	return changed
+}
+
+// foldOp rewrites op into MovI/FMovI when its inputs are known constants.
+// Returns whether it changed the op.
+func foldOp(op *ir.Op, consts map[ir.Reg]constVal) bool {
+	ca, okA := lookupConst(consts, op.A)
+	cb, okB := lookupConst(consts, op.B)
+
+	setI := func(v int64) bool {
+		op.Code = ir.MovI
+		op.A, op.B = ir.NoReg, ir.NoReg
+		op.Imm, op.FImm, op.Sym = v, 0, ""
+		return true
+	}
+	setF := func(v float64) bool {
+		op.Code = ir.FMovI
+		op.A, op.B = ir.NoReg, ir.NoReg
+		op.Imm, op.Sym = 0, ""
+		op.FImm = v
+		return true
+	}
+
+	switch op.Code {
+	case ir.Select:
+		if okA {
+			src := op.B
+			if int64(ca.bits) == 0 {
+				src = op.C
+			}
+			op.Code = ir.Mov
+			op.A, op.B, op.C = src, ir.NoReg, ir.NoReg
+			return true
+		}
+	case ir.Mov:
+		if okA {
+			return setI(int64(ca.bits))
+		}
+	case ir.FMov:
+		if okA {
+			return setF(math.Float64frombits(ca.bits))
+		}
+	case ir.Neg:
+		if okA {
+			return setI(-int64(ca.bits))
+		}
+	case ir.Not:
+		if okA {
+			return setI(^int64(ca.bits))
+		}
+	case ir.FNeg:
+		if okA {
+			return setF(-math.Float64frombits(ca.bits))
+		}
+	case ir.I2F:
+		if okA {
+			return setF(float64(int64(ca.bits)))
+		}
+	case ir.F2I:
+		if okA {
+			return setI(int64(math.Float64frombits(ca.bits)))
+		}
+	case ir.Add, ir.Sub, ir.Mul, ir.And, ir.Or, ir.Xor,
+		ir.CmpEQ, ir.CmpNE, ir.CmpLT, ir.CmpLE, ir.CmpGT, ir.CmpGE:
+		if okA && okB {
+			return setI(foldInt(op.Code, int64(ca.bits), int64(cb.bits)))
+		}
+	case ir.Div:
+		if okA && okB && int64(cb.bits) != 0 {
+			return setI(int64(ca.bits) / int64(cb.bits))
+		}
+	case ir.Rem:
+		if okA && okB && int64(cb.bits) != 0 {
+			return setI(int64(ca.bits) % int64(cb.bits))
+		}
+	case ir.Shl:
+		if okA && (op.B == ir.NoReg || okB) {
+			amt := op.Imm
+			if op.B != ir.NoReg {
+				amt = int64(cb.bits)
+			}
+			return setI(int64(ca.bits) << (uint64(amt) & 63))
+		}
+	case ir.Shr:
+		if okA && (op.B == ir.NoReg || okB) {
+			amt := op.Imm
+			if op.B != ir.NoReg {
+				amt = int64(cb.bits)
+			}
+			return setI(int64(ca.bits) >> (uint64(amt) & 63))
+		}
+	case ir.FAdd, ir.FSub, ir.FMul, ir.FDiv,
+		ir.FCmpEQ, ir.FCmpNE, ir.FCmpLT, ir.FCmpLE, ir.FCmpGT, ir.FCmpGE:
+		if okA && okB {
+			fa, fb := math.Float64frombits(ca.bits), math.Float64frombits(cb.bits)
+			switch op.Code {
+			case ir.FAdd:
+				return setF(fa + fb)
+			case ir.FSub:
+				return setF(fa - fb)
+			case ir.FMul:
+				return setF(fa * fb)
+			case ir.FDiv:
+				return setF(fa / fb)
+			default:
+				return setI(foldFCmp(op.Code, fa, fb))
+			}
+		}
+	}
+	return false
+}
+
+func lookupConst(consts map[ir.Reg]constVal, r ir.Reg) (constVal, bool) {
+	if r == ir.NoReg {
+		return constVal{}, false
+	}
+	c, ok := consts[r]
+	return c, ok
+}
+
+func foldInt(code ir.Opcode, a, b int64) int64 {
+	switch code {
+	case ir.Add:
+		return a + b
+	case ir.Sub:
+		return a - b
+	case ir.Mul:
+		return a * b
+	case ir.And:
+		return a & b
+	case ir.Or:
+		return a | b
+	case ir.Xor:
+		return a ^ b
+	case ir.CmpEQ:
+		return b2i(a == b)
+	case ir.CmpNE:
+		return b2i(a != b)
+	case ir.CmpLT:
+		return b2i(a < b)
+	case ir.CmpLE:
+		return b2i(a <= b)
+	case ir.CmpGT:
+		return b2i(a > b)
+	case ir.CmpGE:
+		return b2i(a >= b)
+	}
+	return 0
+}
+
+func foldFCmp(code ir.Opcode, a, b float64) int64 {
+	switch code {
+	case ir.FCmpEQ:
+		return b2i(a == b)
+	case ir.FCmpNE:
+		return b2i(a != b)
+	case ir.FCmpLT:
+		return b2i(a < b)
+	case ir.FCmpLE:
+		return b2i(a <= b)
+	case ir.FCmpGT:
+		return b2i(a > b)
+	case ir.FCmpGE:
+		return b2i(a >= b)
+	}
+	return 0
+}
+
+func b2i(c bool) int64 {
+	if c {
+		return 1
+	}
+	return 0
+}
+
+// reduceOp strength-reduces expensive operations with one constant operand:
+// multiply by a power of two becomes a shift; shifts by constant amounts
+// move the amount into the immediate field; x+0, x*1, x*0 simplify.
+func reduceOp(op *ir.Op, consts map[ir.Reg]constVal) bool {
+	ca, okA := lookupConst(consts, op.A)
+	cb, okB := lookupConst(consts, op.B)
+	switch op.Code {
+	case ir.Mul:
+		if okB {
+			if n := int64(cb.bits); n > 0 && n&(n-1) == 0 {
+				op.Code = ir.Shl
+				op.B = ir.NoReg
+				op.Imm = log2(n)
+				return true
+			}
+		}
+		if okA {
+			if n := int64(ca.bits); n > 0 && n&(n-1) == 0 {
+				op.Code = ir.Shl
+				op.A = op.B
+				op.B = ir.NoReg
+				op.Imm = log2(n)
+				return true
+			}
+		}
+	case ir.Add:
+		if okB && int64(cb.bits) == 0 {
+			op.Code, op.B = ir.Mov, ir.NoReg
+			return true
+		}
+		if okA && int64(ca.bits) == 0 {
+			op.Code, op.A, op.B = ir.Mov, op.B, ir.NoReg
+			return true
+		}
+	case ir.Sub:
+		if okB && int64(cb.bits) == 0 {
+			op.Code, op.B = ir.Mov, ir.NoReg
+			return true
+		}
+	case ir.Shl, ir.Shr:
+		if op.B != ir.NoReg && okB {
+			op.Imm = int64(cb.bits)
+			op.B = ir.NoReg
+			return true
+		}
+	}
+	return false
+}
+
+func log2(n int64) int64 {
+	var k int64
+	for n > 1 {
+		n >>= 1
+		k++
+	}
+	return k
+}
+
+// eliminateDeadCode removes pure operations whose results are never used,
+// using global liveness. Returns whether anything was removed.
+func eliminateDeadCode(f *ir.Func) bool {
+	lv := ddg.ComputeLiveness(f)
+	changed := false
+	for _, b := range f.Blocks {
+		live := map[ir.Reg]bool{}
+		for r := range lv.Out[b.ID] {
+			live[r] = true
+		}
+		kept := make([]*ir.Op, 0, len(b.Ops))
+		for i := len(b.Ops) - 1; i >= 0; i-- {
+			op := b.Ops[i]
+			d := op.Def()
+			if op.Code.IsPure() && d != ir.NoReg && !live[d] {
+				changed = true
+				continue // drop dead op
+			}
+			kept = append(kept, op)
+			if d != ir.NoReg {
+				delete(live, d)
+			}
+			for _, u := range op.Uses() {
+				live[u] = true
+			}
+		}
+		// kept is reversed.
+		for i, j := 0, len(kept)-1; i < j; i, j = i+1, j-1 {
+			kept[i], kept[j] = kept[j], kept[i]
+		}
+		b.Ops = kept
+	}
+	return changed
+}

@@ -1,0 +1,401 @@
+package opt_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"vliwvp/internal/interp"
+	"vliwvp/internal/ir"
+	"vliwvp/internal/lang"
+	"vliwvp/internal/opt"
+)
+
+func compileOpt(t *testing.T, src string) *ir.Program {
+	t.Helper()
+	p, err := lang.Compile(src)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	opt.Optimize(p)
+	if err := p.Validate(); err != nil {
+		t.Fatalf("Validate after opt: %v", err)
+	}
+	return p
+}
+
+func runProg(t *testing.T, p *ir.Program) (uint64, []string) {
+	t.Helper()
+	m := interp.New(p)
+	v, err := m.RunMain()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return v, m.Output
+}
+
+func countOps(p *ir.Program) int {
+	n := 0
+	for _, f := range p.Funcs {
+		for _, b := range f.Blocks {
+			n += len(b.Ops)
+		}
+	}
+	return n
+}
+
+func countCode(p *ir.Program, code ir.Opcode) int {
+	n := 0
+	for _, f := range p.Funcs {
+		for _, b := range f.Blocks {
+			for _, op := range b.Ops {
+				if op.Code == code {
+					n++
+				}
+			}
+		}
+	}
+	return n
+}
+
+func TestOptimizePreservesResult(t *testing.T) {
+	srcs := []string{
+		`func main() { return 2 + 3 * 4 }`,
+		`func main() { var x = 10 var y = x * 8 return y - x }`,
+		`var a[16]
+		 func main() {
+			for var i = 0; i < 16; i = i + 1 { a[i] = i * 3 }
+			var s = 0
+			for var i = 0; i < 16; i = i + 1 { s = s + a[i] }
+			return s
+		 }`,
+		`func f(x) { return x * x }
+		 func main() { return f(3) + f(4) }`,
+		`func main() {
+			var x = 1.5
+			var y = x * 2.0 + 0.5
+			return int(y * 4.0)
+		 }`,
+	}
+	for _, src := range srcs {
+		plain, err := lang.Compile(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantV, wantOut := runProg(t, plain)
+		optd := compileOpt(t, src)
+		gotV, gotOut := runProg(t, optd)
+		if gotV != wantV {
+			t.Errorf("optimized result = %d, want %d\nsrc: %s", gotV, wantV, src)
+		}
+		if len(gotOut) != len(wantOut) {
+			t.Errorf("output rows differ: %v vs %v", gotOut, wantOut)
+		}
+	}
+}
+
+func TestConstantFolding(t *testing.T) {
+	p := compileOpt(t, `func main() { return 2 + 3 * 4 }`)
+	// The whole body should fold to movi 14; ret.
+	main := p.Func("main")
+	ops := main.Blocks[0].Ops
+	if len(ops) != 2 || ops[0].Code != ir.MovI || ops[0].Imm != 14 {
+		t.Errorf("body not folded to movi 14: %v", main)
+	}
+}
+
+func TestCopyPropagationRemovesMoves(t *testing.T) {
+	src := `func main() { var x = 5 var y = x var z = y return z }`
+	p := compileOpt(t, src)
+	if n := countCode(p, ir.Mov); n != 0 {
+		t.Errorf("%d mov ops survive copy propagation + DCE:\n%s", n, p.Func("main"))
+	}
+}
+
+func TestLeaCSE(t *testing.T) {
+	src := `
+var a[8]
+func main() {
+	a[0] = 1
+	a[1] = 2
+	a[2] = 3
+	return a[0] + a[1] + a[2]
+}`
+	plain, err := lang.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := countCode(plain, ir.Lea)
+	p := compileOpt(t, src)
+	after := countCode(p, ir.Lea)
+	if after >= before {
+		t.Errorf("lea count %d -> %d, want reduction", before, after)
+	}
+	if after != 1 {
+		t.Errorf("after CSE %d leas remain in main's block, want 1:\n%s", after, p.Func("main"))
+	}
+}
+
+func TestLoadCSEBlockedByStore(t *testing.T) {
+	src := `
+var g = 7
+func main() {
+	var a = g
+	g = a + 1
+	var b = g  # must reload: store intervenes
+	return b
+}`
+	p := compileOpt(t, src)
+	v, _ := runProg(t, p)
+	if v != 8 {
+		t.Errorf("result = %d, want 8 (load CSE must respect the store)", v)
+	}
+}
+
+func TestRedundantLoadEliminated(t *testing.T) {
+	src := `
+var g = 7
+func main() {
+	var a = g
+	var b = g   # same memory version: may reuse
+	return a + b
+}`
+	p := compileOpt(t, src)
+	if n := countCode(p, ir.Load); n != 1 {
+		t.Errorf("load count = %d, want 1:\n%s", n, p.Func("main"))
+	}
+	v, _ := runProg(t, p)
+	if v != 14 {
+		t.Errorf("result = %d, want 14", v)
+	}
+}
+
+func TestStrengthReduceMulByPow2(t *testing.T) {
+	src := `func main(){ var s = 0 for var i = 0; i < 4; i = i + 1 { s = s + i * 8 } return s }`
+	p := compileOpt(t, src)
+	if n := countCode(p, ir.Mul); n != 0 {
+		t.Errorf("mul by 8 not reduced to shift:\n%s", p.Func("main"))
+	}
+	v, _ := runProg(t, p)
+	if v != 48 {
+		t.Errorf("result = %d, want 48", v)
+	}
+}
+
+func TestDeadCodeEliminated(t *testing.T) {
+	src := `func main() { var dead = 3 * 7 var live = 2 return live }`
+	p := compileOpt(t, src)
+	main := p.Func("main")
+	total := 0
+	for _, b := range main.Blocks {
+		total += len(b.Ops)
+	}
+	if total != 2 { // movi 2; ret
+		t.Errorf("dead code survives, %d ops:\n%s", total, main)
+	}
+}
+
+func TestDivByZeroNotFolded(t *testing.T) {
+	// Folding 1/0 at compile time would turn a runtime trap into wrong code.
+	src := `func main() { var z = 0 return 1 / z }`
+	p, err := lang.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt.Optimize(p)
+	m := interp.New(p)
+	if _, err := m.RunMain(); err == nil {
+		t.Error("optimized program no longer traps on divide by zero")
+	}
+}
+
+func TestOptimizeShrinksRealKernel(t *testing.T) {
+	src := `
+var data[128]
+func main() {
+	var h = 0
+	for var i = 0; i < 128; i = i + 1 {
+		data[i] = (i * 2654435761) % 1009
+	}
+	for var i = 0; i < 128; i = i + 1 {
+		h = (h * 31 + data[i]) % 65536
+	}
+	return h
+}`
+	plain, err := lang.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantV, _ := runProg(t, plain)
+	before := countOps(plain)
+
+	p := compileOpt(t, src)
+	after := countOps(p)
+	gotV, _ := runProg(t, p)
+	if gotV != wantV {
+		t.Fatalf("optimized kernel result %d != %d", gotV, wantV)
+	}
+	if after >= before {
+		t.Errorf("op count %d -> %d, want shrink", before, after)
+	}
+}
+
+// randomProgram builds a random but well-defined VL source whose output is
+// deterministic, used for the equivalence property test.
+func randomProgram(rng *rand.Rand) string {
+	// A loop mixing arithmetic over a few scalars and one array, with
+	// data-dependent branches. All operations are total (no division).
+	consts := []string{"3", "5", "7", "11", "13", "17"}
+	ops := []string{"+", "-", "*", "&", "|", "^"}
+	expr := func(vars []string) string {
+		v := vars[rng.Intn(len(vars))]
+		for i := 0; i < 1+rng.Intn(3); i++ {
+			v = "(" + v + " " + ops[rng.Intn(len(ops))] + " " + consts[rng.Intn(len(consts))] + ")"
+		}
+		return v
+	}
+	vars := []string{"x", "y", "z", "i"}
+	body := ""
+	for i := 0; i < 3+rng.Intn(5); i++ {
+		target := vars[rng.Intn(3)]
+		body += "\t\t" + target + " = " + expr(vars) + "\n"
+	}
+	return `
+var buf[32]
+func main() {
+	var x = 1
+	var y = 2
+	var z = 3
+	for var i = 0; i < 32; i = i + 1 {
+` + body + `
+		buf[i & 31] = x + y
+		if (x ^ y) & 1 == 0 { z = z + buf[(i * 7) & 31] } else { z = z - y }
+	}
+	return x + y * 31 + z * 1009
+}`
+}
+
+func TestPropertyOptimizePreservesSemantics(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		src := randomProgram(rng)
+		plain, err := lang.Compile(src)
+		if err != nil {
+			t.Logf("seed %d: compile failed: %v", seed, err)
+			return false
+		}
+		m1 := interp.New(plain)
+		want, err1 := m1.RunMain()
+
+		optd, err := lang.Compile(src)
+		if err != nil {
+			return false
+		}
+		opt.Optimize(optd)
+		if err := optd.Validate(); err != nil {
+			t.Logf("seed %d: invalid after opt: %v", seed, err)
+			return false
+		}
+		m2 := interp.New(optd)
+		got, err2 := m2.RunMain()
+
+		if (err1 == nil) != (err2 == nil) {
+			t.Logf("seed %d: error behavior differs: %v vs %v", seed, err1, err2)
+			return false
+		}
+		if err1 == nil && got != want {
+			t.Logf("seed %d: result %d != %d", seed, got, want)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSelectCSEDistinguishesFalseOperand(t *testing.T) {
+	// Two Selects agreeing on condition and true-value but differing in
+	// false-value must NOT be unified — the CSE key includes the third
+	// operand. Build directly in IR (the front end never emits Select).
+	f := ir.NewFunc("sel")
+	cond, tv, f1, f2 := f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg()
+	d1, d2 := f.NewReg(), f.NewReg()
+	b := f.Blocks[0]
+	mk := func(code ir.Opcode, dest ir.Reg, imm int64) *ir.Op {
+		op := f.NewOp(code)
+		op.Dest, op.Imm = dest, imm
+		b.Ops = append(b.Ops, op)
+		return op
+	}
+	mk(ir.MovI, cond, 0) // condition false: selects take the C operand
+	mk(ir.MovI, tv, 10)
+	mk(ir.MovI, f1, 20)
+	mk(ir.MovI, f2, 30)
+	s1 := f.NewOp(ir.Select)
+	s1.Dest, s1.A, s1.B, s1.C = d1, cond, tv, f1
+	s2 := f.NewOp(ir.Select)
+	s2.Dest, s2.A, s2.B, s2.C = d2, cond, tv, f2
+	sum := f.NewOp(ir.Add)
+	sum.Dest, sum.A, sum.B = f.NewReg(), d1, d2
+	ret := f.NewOp(ir.Ret)
+	ret.A = sum.Dest
+	b.Ops = append(b.Ops, s1, s2, sum, ret)
+
+	p := ir.NewProgram()
+	if err := p.AddFunc(f); err != nil {
+		t.Fatal(err)
+	}
+	p.Link()
+
+	// Reference result before optimization.
+	m := interp.New(p)
+	want, err := m.Run("sel")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want != 50 { // 20 + 30
+		t.Fatalf("reference = %d, want 50", want)
+	}
+	opt.Optimize(p)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	m2 := interp.New(p)
+	got, err := m2.Run("sel")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("optimized = %d, want %d (Select CSE merged distinct C operands?)", got, want)
+	}
+}
+
+func TestSelectConstantConditionFolds(t *testing.T) {
+	f := ir.NewFunc("selc")
+	cond, tv, fv, d := f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg()
+	b := f.Blocks[0]
+	c := f.NewOp(ir.MovI)
+	c.Dest, c.Imm = cond, 1
+	tvo := f.NewOp(ir.MovI)
+	tvo.Dest, tvo.Imm = tv, 111
+	fvo := f.NewOp(ir.MovI)
+	fvo.Dest, fvo.Imm = fv, 222
+	sel := f.NewOp(ir.Select)
+	sel.Dest, sel.A, sel.B, sel.C = d, cond, tv, fv
+	ret := f.NewOp(ir.Ret)
+	ret.A = d
+	b.Ops = append(b.Ops, c, tvo, fvo, sel, ret)
+
+	p := ir.NewProgram()
+	if err := p.AddFunc(f); err != nil {
+		t.Fatal(err)
+	}
+	p.Link()
+	opt.Optimize(p)
+	// The whole chain must fold to movi 111; ret.
+	ops := p.Func("selc").Blocks[0].Ops
+	if len(ops) != 2 || ops[0].Code != ir.MovI || ops[0].Imm != 111 {
+		t.Errorf("constant-condition select not folded:\n%s", p.Func("selc"))
+	}
+}

@@ -1,0 +1,246 @@
+package predict
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func seqConst(n int, v uint64) []uint64 {
+	s := make([]uint64, n)
+	for i := range s {
+		s[i] = v
+	}
+	return s
+}
+
+func seqStride(n int, start, stride uint64) []uint64 {
+	s := make([]uint64, n)
+	v := start
+	for i := range s {
+		s[i] = v
+		v += stride
+	}
+	return s
+}
+
+func seqPeriodic(n int, pattern []uint64) []uint64 {
+	s := make([]uint64, n)
+	for i := range s {
+		s[i] = pattern[i%len(pattern)]
+	}
+	return s
+}
+
+func TestLastValueOnConstantSequence(t *testing.T) {
+	r := MeasureRate(NewLastValue(), seqConst(100, 42))
+	if r < 0.98 {
+		t.Errorf("last-value rate on constant seq = %v, want ~0.99", r)
+	}
+}
+
+func TestLastValueFailsOnStride(t *testing.T) {
+	r := MeasureRate(NewLastValue(), seqStride(100, 0, 8))
+	if r > 0.05 {
+		t.Errorf("last-value rate on stride seq = %v, want ~0", r)
+	}
+}
+
+func TestStrideOnStrideSequence(t *testing.T) {
+	for _, stride := range []uint64{1, 8, 1 << 40, ^uint64(0) /* -1 */} {
+		r := MeasureRate(NewStride(), seqStride(200, 5, stride))
+		if r < 0.97 {
+			t.Errorf("stride rate with stride %d = %v, want >= 0.97", int64(stride), r)
+		}
+	}
+}
+
+func TestStrideOnConstantSequence(t *testing.T) {
+	// Constant sequences are stride-0 sequences.
+	r := MeasureRate(NewStride(), seqConst(100, 7))
+	if r < 0.97 {
+		t.Errorf("stride rate on constant seq = %v, want >= 0.97", r)
+	}
+}
+
+func TestTwoDeltaSurvivesOneOffJump(t *testing.T) {
+	// A single discontinuity must cost O(1) mispredictions, not retrain.
+	seq := append(seqStride(50, 0, 4), seqStride(50, 1000, 4)...)
+	r := MeasureRate(NewStride(), seq)
+	if r < 0.9 {
+		t.Errorf("two-delta stride rate with one jump = %v, want >= 0.9", r)
+	}
+}
+
+func TestFCMOnPeriodicSequence(t *testing.T) {
+	// Period-4 pattern: order-2 context disambiguates, stride cannot track.
+	pattern := []uint64{3, 17, 3, 99}
+	seq := seqPeriodic(400, pattern)
+	fcm := MeasureRate(NewFCM(DefaultFCMOrder, DefaultFCMTableBits), seq)
+	stride := MeasureRate(NewStride(), seq)
+	if fcm < 0.9 {
+		t.Errorf("FCM rate on periodic seq = %v, want >= 0.9", fcm)
+	}
+	if fcm <= stride {
+		t.Errorf("FCM (%v) should beat stride (%v) on periodic data", fcm, stride)
+	}
+}
+
+func TestFCMFailsOnRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	seq := make([]uint64, 1000)
+	for i := range seq {
+		seq[i] = rng.Uint64()
+	}
+	r := MeasureRate(NewFCM(DefaultFCMOrder, DefaultFCMTableBits), seq)
+	if r > 0.02 {
+		t.Errorf("FCM rate on random seq = %v, want ~0", r)
+	}
+}
+
+func TestStrideBeatsFCMOnLongStride(t *testing.T) {
+	// Strided addresses never repeat, so context prediction cannot help.
+	seq := seqStride(500, 0, 24)
+	stride := MeasureRate(NewStride(), seq)
+	fcm := MeasureRate(NewFCM(DefaultFCMOrder, DefaultFCMTableBits), seq)
+	if stride <= fcm {
+		t.Errorf("stride (%v) should beat FCM (%v) on strided data", stride, fcm)
+	}
+}
+
+func TestHybridTracksBestComponent(t *testing.T) {
+	cases := []struct {
+		name string
+		seq  []uint64
+	}{
+		{"stride", seqStride(300, 9, 16)},
+		{"periodic", seqPeriodic(300, []uint64{1, 5, 2, 5, 9})},
+		{"constant", seqConst(300, 123)},
+	}
+	for _, tc := range cases {
+		hybrid := MeasureRate(NewHybrid(DefaultFCMOrder, DefaultFCMTableBits), tc.seq)
+		stride := MeasureRate(NewStride(), tc.seq)
+		fcm := MeasureRate(NewFCM(DefaultFCMOrder, DefaultFCMTableBits), tc.seq)
+		best := stride
+		if fcm > best {
+			best = fcm
+		}
+		if hybrid < best-0.1 {
+			t.Errorf("%s: hybrid %v far below best component %v", tc.name, hybrid, best)
+		}
+	}
+}
+
+func TestColdPredictorsDecline(t *testing.T) {
+	for _, p := range []Predictor{NewLastValue(), NewStride(), NewFCM(2, 8), NewHybrid(2, 8)} {
+		if _, ok := p.Predict(); ok {
+			t.Errorf("%s: cold predictor claims a prediction", p.Name())
+		}
+	}
+}
+
+func TestResetReturnsToCold(t *testing.T) {
+	for _, p := range []Predictor{NewLastValue(), NewStride(), NewFCM(2, 8), NewHybrid(2, 8)} {
+		for _, v := range seqStride(20, 0, 4) {
+			p.Update(v)
+		}
+		if _, ok := p.Predict(); !ok {
+			t.Errorf("%s: trained predictor has no prediction", p.Name())
+		}
+		p.Reset()
+		if _, ok := p.Predict(); ok {
+			t.Errorf("%s: Reset did not return predictor to cold state", p.Name())
+		}
+	}
+}
+
+func TestRateMeterCountsExactly(t *testing.T) {
+	m := RateMeter{P: NewLastValue()}
+	m.Observe(5) // no prediction yet: miss
+	m.Observe(5) // predicted 5: hit
+	m.Observe(5) // hit
+	m.Observe(9) // miss
+	if m.Total != 4 || m.Hits != 2 {
+		t.Errorf("meter = %d/%d, want 2/4", m.Hits, m.Total)
+	}
+	if r := m.Rate(); r != 0.5 {
+		t.Errorf("Rate() = %v, want 0.5", r)
+	}
+}
+
+func TestEmptyRateIsZero(t *testing.T) {
+	m := RateMeter{P: NewStride()}
+	if m.Rate() != 0 {
+		t.Error("empty meter rate must be 0")
+	}
+}
+
+// TestPropertyRatesAreValidFractions checks that every predictor yields a
+// rate in [0,1] on arbitrary sequences and never panics.
+func TestPropertyRatesAreValidFractions(t *testing.T) {
+	check := func(vals []uint64) bool {
+		for _, p := range []Predictor{NewLastValue(), NewStride(), NewFCM(2, 6), NewHybrid(2, 6)} {
+			r := MeasureRate(p, vals)
+			if r < 0 || r > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyStridePerfectAfterWarmup: for any start/stride, after the
+// two-delta warmup every prediction on a pure stride sequence hits.
+func TestPropertyStridePerfectAfterWarmup(t *testing.T) {
+	check := func(start, stride uint64) bool {
+		p := NewStride()
+		v := start
+		for i := 0; i < 3; i++ { // warmup
+			p.Update(v)
+			v += stride
+		}
+		for i := 0; i < 50; i++ {
+			pred, ok := p.Predict()
+			if !ok || pred != v {
+				return false
+			}
+			p.Update(v)
+			v += stride
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyFCMDeterministic: an FCM fed the same sequence twice from
+// Reset produces identical predictions.
+func TestPropertyFCMDeterministic(t *testing.T) {
+	check := func(vals []uint64) bool {
+		p := NewFCM(3, 8)
+		var first []uint64
+		var firstOK []bool
+		for _, v := range vals {
+			pv, ok := p.Predict()
+			first = append(first, pv)
+			firstOK = append(firstOK, ok)
+			p.Update(v)
+		}
+		p.Reset()
+		for i, v := range vals {
+			pv, ok := p.Predict()
+			if pv != first[i] || ok != firstOK[i] {
+				return false
+			}
+			p.Update(v)
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

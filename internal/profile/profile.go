@@ -1,0 +1,341 @@
+// Package profile implements the two profiling passes of the paper's §3:
+//
+//  1. Value profiling of loads: each static load's dynamic value stream is
+//     scored online against a stride predictor and an FCM predictor; its
+//     predictability is the higher of the two rates. Block execution
+//     frequencies are collected in the same run.
+//  2. Outcome profiling: after the speculation pass has selected loads, a
+//     second run replays the program and records, for every dynamic block
+//     instance, exactly which selected predictions hit — tallied as a
+//     per-block histogram over outcome bitmasks. The experiment drivers
+//     combine these histograms with the dual-engine timing model to
+//     estimate execution cycles, best cases ("all predictions correct"),
+//     and worst cases ("all incorrect").
+package profile
+
+import (
+	"fmt"
+	"sort"
+
+	"vliwvp/internal/interp"
+	"vliwvp/internal/ir"
+	"vliwvp/internal/predict"
+)
+
+// LoadKey names a static load site.
+type LoadKey struct {
+	Func string
+	OpID int
+}
+
+// BlockKey names a static basic block.
+type BlockKey struct {
+	Func  string
+	Block int
+}
+
+// EdgeKey names a CFG edge within one function.
+type EdgeKey struct {
+	Func     string
+	From, To int
+}
+
+// Scheme names the predictor family chosen for a site.
+type Scheme uint8
+
+const (
+	// SchemeStride selects the two-delta stride predictor.
+	SchemeStride Scheme = iota
+	// SchemeFCM selects the order-2 FCM predictor.
+	SchemeFCM
+)
+
+func (s Scheme) String() string {
+	if s == SchemeFCM {
+		return "fcm"
+	}
+	return "stride"
+}
+
+// LoadProfile is the value profile of one static load site.
+type LoadProfile struct {
+	Key        LoadKey
+	Count      int64
+	StrideRate float64
+	FCMRate    float64
+}
+
+// Rate is the site's predictability: max(stride, FCM), per the paper.
+func (lp *LoadProfile) Rate() float64 {
+	if lp.FCMRate > lp.StrideRate {
+		return lp.FCMRate
+	}
+	return lp.StrideRate
+}
+
+// Best is the predictor family achieving Rate.
+func (lp *LoadProfile) Best() Scheme {
+	if lp.FCMRate > lp.StrideRate {
+		return SchemeFCM
+	}
+	return SchemeStride
+}
+
+// Profile holds the results of the value-profiling pass.
+type Profile struct {
+	Loads     map[LoadKey]*LoadProfile
+	BlockFreq map[BlockKey]int64
+	// EdgeFreq counts traversals of each CFG edge (used by region
+	// formation to pick likely successors).
+	EdgeFreq map[EdgeKey]int64
+	// DynOps is the total dynamic operation count of the run.
+	DynOps int64
+}
+
+// Load returns the profile of a site (nil if never executed).
+func (p *Profile) Load(fn string, opID int) *LoadProfile {
+	return p.Loads[LoadKey{Func: fn, OpID: opID}]
+}
+
+// Freq returns the execution count of a block.
+func (p *Profile) Freq(fn string, block int) int64 {
+	return p.BlockFreq[BlockKey{Func: fn, Block: block}]
+}
+
+// Edge returns the traversal count of a CFG edge.
+func (p *Profile) Edge(fn string, from, to int) int64 {
+	return p.EdgeFreq[EdgeKey{Func: fn, From: from, To: to}]
+}
+
+type siteMeters struct {
+	stride predict.RateMeter
+	fcm    predict.RateMeter
+}
+
+// Collect runs the program once and gathers value and frequency profiles.
+func Collect(prog *ir.Program, entry string, args ...uint64) (*Profile, error) {
+	m := interp.New(prog)
+	sites := map[LoadKey]*siteMeters{}
+	prof := &Profile{
+		Loads:     map[LoadKey]*LoadProfile{},
+		BlockFreq: map[BlockKey]int64{},
+		EdgeFreq:  map[EdgeKey]int64{},
+	}
+	// prevBlock tracks the last block seen per call depth, to attribute
+	// edges; a new block at depth d with the same function as the previous
+	// block at depth d traversed the edge between them.
+	prevBlock := map[int]BlockKey{}
+	m.Hooks.OnBlock = func(f *ir.Func, b *ir.Block, depth int) {
+		bk := BlockKey{Func: f.Name, Block: b.ID}
+		prof.BlockFreq[bk]++
+		if prev, ok := prevBlock[depth]; ok && prev.Func == f.Name {
+			// Guard against false edges between consecutive invocations of
+			// the same function at one depth: the edge must exist in the CFG.
+			for _, s := range f.Blocks[prev.Block].Succs {
+				if s == b.ID {
+					prof.EdgeFreq[EdgeKey{Func: f.Name, From: prev.Block, To: b.ID}]++
+					break
+				}
+			}
+		}
+		prevBlock[depth] = bk
+	}
+	m.Hooks.OnLoad = func(f *ir.Func, op *ir.Op, addr int, value uint64, depth int) {
+		k := LoadKey{Func: f.Name, OpID: op.ID}
+		s := sites[k]
+		if s == nil {
+			s = &siteMeters{
+				stride: predict.RateMeter{P: predict.NewStride()},
+				fcm:    predict.RateMeter{P: predict.NewFCM(predict.DefaultFCMOrder, predict.DefaultFCMTableBits)},
+			}
+			sites[k] = s
+		}
+		s.stride.Observe(value)
+		s.fcm.Observe(value)
+	}
+	if _, err := m.Run(entry, args...); err != nil {
+		return nil, fmt.Errorf("profile: %w", err)
+	}
+	for k, s := range sites {
+		prof.Loads[k] = &LoadProfile{
+			Key:        k,
+			Count:      int64(s.stride.Total),
+			StrideRate: s.stride.Rate(),
+			FCMRate:    s.fcm.Rate(),
+		}
+	}
+	prof.DynOps = m.Steps
+	return prof, nil
+}
+
+// Selection maps each block to the ordered list of load sites chosen for
+// prediction in it, plus each site's predictor family. It is produced by
+// the speculate pass and consumed by outcome profiling.
+type Selection struct {
+	// PerBlock lists selected load op IDs per block, in ascending op-ID
+	// order; the position of a load in this list is its bit position in
+	// outcome masks.
+	PerBlock map[BlockKey][]int
+	// Schemes gives the chosen predictor family per site.
+	Schemes map[LoadKey]Scheme
+}
+
+// NewSelection returns an empty selection.
+func NewSelection() *Selection {
+	return &Selection{
+		PerBlock: map[BlockKey][]int{},
+		Schemes:  map[LoadKey]Scheme{},
+	}
+}
+
+// Add registers a selected load site.
+func (s *Selection) Add(fn string, block, opID int, scheme Scheme) {
+	bk := BlockKey{Func: fn, Block: block}
+	s.PerBlock[bk] = append(s.PerBlock[bk], opID)
+	sort.Ints(s.PerBlock[bk])
+	s.Schemes[LoadKey{Func: fn, OpID: opID}] = scheme
+}
+
+// Outcomes tallies, per block, how many dynamic instances saw each
+// prediction-outcome mask (bit i set = i-th selected load predicted
+// correctly in that instance).
+type Outcomes struct {
+	// MaskCounts[block][mask] = number of instances.
+	MaskCounts map[BlockKey]map[uint32]int64
+	// Executions[block] = total instances (sum over masks).
+	Executions map[BlockKey]int64
+}
+
+// AllCorrectCount returns instances of the block where every prediction hit.
+func (o *Outcomes) AllCorrectCount(bk BlockKey, numSel int) int64 {
+	full := uint32(1)<<uint(numSel) - 1
+	return o.MaskCounts[bk][full]
+}
+
+// AllWrongCount returns instances where every prediction missed.
+func (o *Outcomes) AllWrongCount(bk BlockKey) int64 {
+	return o.MaskCounts[bk][0]
+}
+
+// openInstance is a block instance whose selected loads are still resolving.
+type openInstance struct {
+	bk    BlockKey
+	depth int
+	sel   []int // selected op IDs, mask bit order
+	mask  uint32
+}
+
+// OutcomeHooks receive streaming events from StreamOutcomes.
+type OutcomeHooks struct {
+	// OnInstance fires when a block instance with selected loads has
+	// resolved (at the next block boundary): its outcome mask (bit i set =
+	// i-th selected load predicted correctly) and selection size.
+	OnInstance func(bk BlockKey, mask uint32, numSel int)
+	// OnBlock fires on every dynamic block entry, selected or not.
+	OnBlock func(bk BlockKey)
+}
+
+// StreamOutcomes replays the program with one live predictor per selected
+// site (of the profiled-best family) and streams per-instance outcome
+// events. CollectOutcomes is the tallying wrapper most callers want.
+func StreamOutcomes(prog *ir.Program, sel *Selection, entry string, hooks OutcomeHooks, args ...uint64) error {
+	m := interp.New(prog)
+	preds := map[LoadKey]predict.Predictor{}
+	var stack []*openInstance
+
+	finalize := func(inst *openInstance) {
+		if hooks.OnInstance != nil {
+			hooks.OnInstance(inst.bk, inst.mask, len(inst.sel))
+		}
+	}
+	closeDeeper := func(depth int) {
+		for len(stack) > 0 && stack[len(stack)-1].depth >= depth {
+			finalize(stack[len(stack)-1])
+			stack = stack[:len(stack)-1]
+		}
+	}
+
+	m.Hooks.OnBlock = func(f *ir.Func, b *ir.Block, depth int) {
+		closeDeeper(depth)
+		bk := BlockKey{Func: f.Name, Block: b.ID}
+		if hooks.OnBlock != nil {
+			hooks.OnBlock(bk)
+		}
+		selLoads := sel.PerBlock[bk]
+		if len(selLoads) == 0 {
+			return // nothing to track; instance boundaries don't matter
+		}
+		stack = append(stack, &openInstance{bk: bk, depth: depth, sel: selLoads})
+	}
+	m.Hooks.OnLoad = func(f *ir.Func, op *ir.Op, addr int, value uint64, depth int) {
+		k := LoadKey{Func: f.Name, OpID: op.ID}
+		scheme, selected := sel.Schemes[k]
+		if !selected {
+			return
+		}
+		p := preds[k]
+		if p == nil {
+			if scheme == SchemeFCM {
+				p = predict.NewFCM(predict.DefaultFCMOrder, predict.DefaultFCMTableBits)
+			} else {
+				p = predict.NewStride()
+			}
+			preds[k] = p
+		}
+		hit := false
+		if v, ok := p.Predict(); ok && v == value {
+			hit = true
+		}
+		p.Update(value)
+
+		// The owning instance is the deepest open instance at this call
+		// depth (deeper callee instances may still sit above it until the
+		// next block event closes them).
+		for i := len(stack) - 1; i >= 0; i-- {
+			inst := stack[i]
+			if inst.depth > depth {
+				continue
+			}
+			if inst.depth < depth || inst.bk.Func != f.Name {
+				break
+			}
+			if hit {
+				for j, id := range inst.sel {
+					if id == op.ID {
+						inst.mask |= 1 << uint(j)
+						break
+					}
+				}
+			}
+			break
+		}
+	}
+	if _, err := m.Run(entry, args...); err != nil {
+		return fmt.Errorf("profile outcomes: %w", err)
+	}
+	closeDeeper(0)
+	return nil
+}
+
+// CollectOutcomes tallies per-instance outcome masks per block.
+func CollectOutcomes(prog *ir.Program, sel *Selection, entry string, args ...uint64) (*Outcomes, error) {
+	out := &Outcomes{
+		MaskCounts: map[BlockKey]map[uint32]int64{},
+		Executions: map[BlockKey]int64{},
+	}
+	err := StreamOutcomes(prog, sel, entry, OutcomeHooks{
+		OnInstance: func(bk BlockKey, mask uint32, numSel int) {
+			out.Executions[bk]++
+			mc := out.MaskCounts[bk]
+			if mc == nil {
+				mc = map[uint32]int64{}
+				out.MaskCounts[bk] = mc
+			}
+			mc[mask]++
+		},
+	}, args...)
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

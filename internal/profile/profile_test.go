@@ -1,0 +1,281 @@
+package profile_test
+
+import (
+	"testing"
+
+	"vliwvp/internal/ir"
+	"vliwvp/internal/lang"
+	"vliwvp/internal/opt"
+	"vliwvp/internal/profile"
+)
+
+func compile(t *testing.T, src string) *ir.Program {
+	t.Helper()
+	p, err := lang.Compile(src)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	opt.Optimize(p)
+	return p
+}
+
+// findLoads returns the op IDs of all loads in the function, in order.
+func findLoads(f *ir.Func) []struct{ Block, OpID int } {
+	var out []struct{ Block, OpID int }
+	for _, b := range f.Blocks {
+		for _, op := range b.Ops {
+			if op.Code == ir.Load {
+				out = append(out, struct{ Block, OpID int }{b.ID, op.ID})
+			}
+		}
+	}
+	return out
+}
+
+func TestBlockFrequencies(t *testing.T) {
+	src := `
+func main() {
+	var s = 0
+	for var i = 0; i < 10; i = i + 1 {
+		s = s + i
+	}
+	return s
+}`
+	prog := compile(t, src)
+	prof, err := profile.Collect(prog, "main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	main := prog.Func("main")
+	// Find the loop body block: it should have executed exactly 10 times.
+	// The condition block executes 11 times.
+	var counts []int64
+	for _, b := range main.Blocks {
+		counts = append(counts, prof.Freq("main", b.ID))
+	}
+	has10, has11 := false, false
+	for _, c := range counts {
+		if c == 10 {
+			has10 = true
+		}
+		if c == 11 {
+			has11 = true
+		}
+	}
+	if !has10 || !has11 {
+		t.Errorf("block freqs = %v, want a 10 (body) and an 11 (condition)", counts)
+	}
+	if prof.Freq("main", main.Entry) != 1 {
+		t.Errorf("entry freq = %d, want 1", prof.Freq("main", main.Entry))
+	}
+}
+
+func TestStridePredictableLoadProfilesHigh(t *testing.T) {
+	src := `
+var a[256]
+func main() {
+	for var i = 0; i < 256; i = i + 1 { a[i] = i * 4 }
+	var s = 0
+	for var i = 0; i < 256; i = i + 1 { s = s + a[i] }
+	return s
+}`
+	prog := compile(t, src)
+	prof, err := profile.Collect(prog, "main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The load in the second loop reads 0,4,8,... — stride predictable.
+	best := 0.0
+	var bestLP *profile.LoadProfile
+	for _, lp := range prof.Loads {
+		if lp.Count >= 256 && lp.Rate() > best {
+			best = lp.Rate()
+			bestLP = lp
+		}
+	}
+	if bestLP == nil || best < 0.95 {
+		t.Fatalf("no highly stride-predictable load found, best %v", best)
+	}
+	if bestLP.Best() != profile.SchemeStride {
+		t.Errorf("best scheme = %v, want stride (stride %v vs fcm %v)",
+			bestLP.Best(), bestLP.StrideRate, bestLP.FCMRate)
+	}
+}
+
+func TestUnpredictableLoadProfilesLow(t *testing.T) {
+	src := `
+var a[509]
+func main() {
+	var x = 1
+	for var i = 0; i < 509; i = i + 1 {
+		x = (x * 1103515245 + 12345) % 509
+		if x < 0 { x = x + 509 }
+		a[i] = x
+	}
+	var s = 0
+	var j = 1
+	for var i = 0; i < 509; i = i + 1 {
+		s = s + a[j]
+		j = (j * 263 + 71) % 509
+	}
+	return s
+}`
+	prog := compile(t, src)
+	prof, err := profile.Collect(prog, "main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The pseudo-random-indexed load must profile below the paper's 65%
+	// selection threshold.
+	for _, lp := range prof.Loads {
+		if lp.Count >= 500 && lp.Rate() > 0.65 {
+			t.Errorf("pseudo-random load %v rate %v exceeds 0.65 (stride %v, fcm %v)",
+				lp.Key, lp.Rate(), lp.StrideRate, lp.FCMRate)
+		}
+	}
+}
+
+func TestCollectOutcomesMaskTally(t *testing.T) {
+	// One loop, one perfectly predictable load (constant value).
+	src := `
+var g = 5
+func main() {
+	var s = 0
+	for var i = 0; i < 20; i = i + 1 {
+		s = s + g
+	}
+	return s
+}`
+	prog := compile(t, src)
+	main := prog.Func("main")
+	loads := findLoads(main)
+	if len(loads) != 1 {
+		t.Fatalf("want exactly 1 load, got %d", len(loads))
+	}
+	sel := profile.NewSelection()
+	sel.Add("main", loads[0].Block, loads[0].OpID, profile.SchemeStride)
+
+	out, err := profile.CollectOutcomes(prog, sel, "main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bk := profile.BlockKey{Func: "main", Block: loads[0].Block}
+	if out.Executions[bk] != 20 {
+		t.Fatalf("executions = %d, want 20", out.Executions[bk])
+	}
+	correct := out.AllCorrectCount(bk, 1)
+	wrong := out.AllWrongCount(bk)
+	// First iteration is a cold miss; the remaining 19 hit.
+	if correct != 19 || wrong != 1 {
+		t.Errorf("correct=%d wrong=%d, want 19/1 (masks: %v)", correct, wrong, out.MaskCounts[bk])
+	}
+}
+
+func TestCollectOutcomesJointMask(t *testing.T) {
+	// Two loads in the same block: one constant (predictable after warmup),
+	// one alternating 0/1 with period 2 — stride mispredicts it forever,
+	// so per-instance masks must show exactly one of the two bits hitting.
+	src := `
+var c = 7
+var toggle[2]
+func main() {
+	toggle[1] = 1
+	var s = 0
+	for var i = 0; i < 40; i = i + 1 {
+		s = s + c + toggle[i % 2]
+	}
+	return s
+}`
+	prog := compile(t, src)
+	main := prog.Func("main")
+	loads := findLoads(main)
+	if len(loads) < 2 {
+		t.Fatalf("want >= 2 loads, got %d", len(loads))
+	}
+	// Select the two loads that share a block.
+	byBlock := map[int][]int{}
+	for _, l := range loads {
+		byBlock[l.Block] = append(byBlock[l.Block], l.OpID)
+	}
+	var bk profile.BlockKey
+	var ids []int
+	for blk, ops := range byBlock {
+		if len(ops) == 2 {
+			bk = profile.BlockKey{Func: "main", Block: blk}
+			ids = ops
+		}
+	}
+	if ids == nil {
+		t.Fatalf("no block with 2 loads: %v", byBlock)
+	}
+	sel := profile.NewSelection()
+	for _, id := range ids {
+		sel.Add("main", bk.Block, id, profile.SchemeStride)
+	}
+	out, err := profile.CollectOutcomes(prog, sel, "main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Executions[bk] != 40 {
+		t.Fatalf("executions = %d, want 40", out.Executions[bk])
+	}
+	// The constant load hits from iteration 2 on; the toggling load mostly
+	// misses. So most instances have exactly one bit set.
+	oneBit := out.MaskCounts[bk][1] + out.MaskCounts[bk][2]
+	if oneBit < 30 {
+		t.Errorf("one-bit masks = %d of 40, want most (masks %v)", oneBit, out.MaskCounts[bk])
+	}
+	if got := out.AllCorrectCount(bk, 2); got > 10 {
+		t.Errorf("all-correct = %d, want few", got)
+	}
+}
+
+func TestOutcomesAcrossCalls(t *testing.T) {
+	// The selected load sits in a block that also calls a function which
+	// itself executes blocks; the instance mask must still be attributed
+	// to the caller's block.
+	src := `
+var g = 3
+func work(x) {
+	var t = 0
+	for var i = 0; i < 3; i = i + 1 { t = t + x }
+	return t
+}
+func main() {
+	var s = 0
+	for var i = 0; i < 10; i = i + 1 {
+		s = s + work(g)
+	}
+	return s
+}`
+	prog := compile(t, src)
+	main := prog.Func("main")
+	loads := findLoads(main)
+	if len(loads) != 1 {
+		t.Fatalf("want 1 load in main, got %d", len(loads))
+	}
+	sel := profile.NewSelection()
+	sel.Add("main", loads[0].Block, loads[0].OpID, profile.SchemeStride)
+	out, err := profile.CollectOutcomes(prog, sel, "main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bk := profile.BlockKey{Func: "main", Block: loads[0].Block}
+	if out.Executions[bk] != 10 {
+		t.Fatalf("executions = %d, want 10", out.Executions[bk])
+	}
+	if got := out.AllCorrectCount(bk, 1); got != 9 {
+		t.Errorf("all-correct = %d, want 9 (cold miss then hits)", got)
+	}
+}
+
+func TestProfileRateAndBestAgree(t *testing.T) {
+	lp := &profile.LoadProfile{StrideRate: 0.3, FCMRate: 0.8}
+	if lp.Rate() != 0.8 || lp.Best() != profile.SchemeFCM {
+		t.Errorf("Rate/Best inconsistent: %v %v", lp.Rate(), lp.Best())
+	}
+	lp = &profile.LoadProfile{StrideRate: 0.9, FCMRate: 0.2}
+	if lp.Rate() != 0.9 || lp.Best() != profile.SchemeStride {
+		t.Errorf("Rate/Best inconsistent: %v %v", lp.Rate(), lp.Best())
+	}
+}

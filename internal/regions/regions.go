@@ -1,0 +1,210 @@
+// Package regions implements profile-guided superblock formation — the
+// extension the paper's §3 anticipates: "For larger regions such as
+// hyperblocks and superblocks, we expect to see a further improvement for
+// the machine."
+//
+// A superblock is a single-entry multiple-exit trace: starting from a hot
+// seed block, the most likely successor is appended while its branch
+// probability clears a threshold. Successors with other predecessors are
+// TAIL-DUPLICATED into the trace (copied, leaving the original in place for
+// the side entries), so the grown block has exactly one entry and the
+// scheduler — and the value-speculation pass — see longer straight-line
+// regions with more distant predictable loads to hoist across.
+//
+// The representation keeps traces as ordinary basic blocks: appending block
+// c to block b splices c's operations behind b's (dropping the connecting
+// jump) and retargets b's successors, so every downstream pass (DDG,
+// speculation, scheduling, both engines) works unchanged.
+package regions
+
+import (
+	"sort"
+
+	"vliwvp/internal/ir"
+	"vliwvp/internal/opt"
+	"vliwvp/internal/profile"
+)
+
+// Config bounds the formation.
+type Config struct {
+	// MinProb is the minimum successor probability to extend a trace.
+	MinProb float64
+	// MaxOps caps a formed block's operation count.
+	MaxOps int
+	// MaxGrowth caps total code growth from tail duplication, as a factor
+	// of the function's original operation count.
+	MaxGrowth float64
+	// MinSeedFreq skips cold seeds.
+	MinSeedFreq int64
+}
+
+// DefaultConfig follows the classic superblock settings (Hwu et al.):
+// extend along edges taken at least ~70% of the time.
+func DefaultConfig() Config {
+	return Config{MinProb: 0.7, MaxOps: 120, MaxGrowth: 1.5, MinSeedFreq: 16}
+}
+
+// Stats reports what formation did to one function.
+type Stats struct {
+	Merged     int // straight-line merges (no duplication needed)
+	Duplicated int // tail duplications
+	GrownOps   int // operations added by duplication
+}
+
+// Form grows superblocks in every function of the program, in place.
+// The profile must come from the SAME program (op IDs are invalidated for
+// duplicated code, so callers re-profile before value speculation).
+func Form(p *ir.Program, prof *profile.Profile, cfg Config) map[string]Stats {
+	out := map[string]Stats{}
+	for _, f := range p.Funcs {
+		st := formFunc(f, prof, cfg)
+		if st.Merged+st.Duplicated > 0 {
+			opt.OptimizeFunc(f) // clean up across the new block boundaries
+		}
+		out[f.Name] = st
+	}
+	return out
+}
+
+func formFunc(f *ir.Func, prof *profile.Profile, cfg Config) Stats {
+	var st Stats
+	origOps := 0
+	for _, b := range f.Blocks {
+		origOps += len(b.Ops)
+	}
+	budget := int(float64(origOps) * (cfg.MaxGrowth - 1))
+
+	// Hot-first seed order, stable across runs.
+	seeds := make([]int, len(f.Blocks))
+	for i := range seeds {
+		seeds[i] = i
+	}
+	sort.SliceStable(seeds, func(a, b int) bool {
+		return prof.Freq(f.Name, seeds[a]) > prof.Freq(f.Name, seeds[b])
+	})
+
+	inTrace := make([]bool, len(f.Blocks)) // block already part of a trace
+	for _, seed := range seeds {
+		if seed >= len(f.Blocks) || inTrace[seed] {
+			continue
+		}
+		if prof.Freq(f.Name, seed) < cfg.MinSeedFreq {
+			break // seeds are frequency-sorted
+		}
+		growTrace(f, prof, cfg, seed, inTrace, &st, &budget)
+	}
+	if st.Merged+st.Duplicated > 0 {
+		f.RecomputePreds()
+	}
+	return st
+}
+
+// growTrace extends the block at index head while a likely successor exists.
+// tail tracks which original block's profiled edges describe the trace's
+// current exit (the head block absorbs other blocks, so its own edge
+// profile stops matching after the first extension).
+func growTrace(f *ir.Func, prof *profile.Profile, cfg Config, head int, inTrace []bool, st *Stats, budget *int) {
+	tail := head
+	for {
+		b := f.Blocks[head]
+		if len(b.Ops) >= cfg.MaxOps {
+			return
+		}
+		next, prob := likelySuccessor(f, prof, tail, b.Succs)
+		if next < 0 || prob < cfg.MinProb {
+			return
+		}
+		c := f.Blocks[next]
+		if next == head || next == f.Entry || inTrace[next] {
+			return // no self-loops, no entry consumption, no re-consumption
+		}
+		if containsCall(c) {
+			return // calls barrier the engines; stop the trace there
+		}
+		if len(b.Ops)+len(c.Ops) > cfg.MaxOps {
+			return
+		}
+		if b.Terminator() == nil || b.Terminator().Code != ir.Jmp {
+			// The trace can only extend through an unconditional hop; a
+			// conditional branch ends the superblock (its off-trace arm is
+			// the side exit).
+			return
+		}
+
+		// The trace participates now; protect both ends from later traces.
+		inTrace[head] = true
+		if len(c.Preds) == 1 && c.Preds[0] == head {
+			mergeInto(f, b, c)
+			st.Merged++
+			inTrace[next] = true
+		} else {
+			// Tail duplication: append a copy of c; the original stays for
+			// the other predecessors.
+			if *budget < len(c.Ops) {
+				return
+			}
+			appendCopy(f, b, c)
+			*budget -= len(c.Ops)
+			st.Duplicated++
+			st.GrownOps += len(c.Ops)
+		}
+		tail = next
+	}
+}
+
+// likelySuccessor picks the most frequent successor of the trace tail and
+// its probability. succs is the current successor list of the trace block
+// (identical to the tail block's).
+func likelySuccessor(f *ir.Func, prof *profile.Profile, tail int, succs []int) (int, float64) {
+	if len(succs) == 0 {
+		return -1, 0
+	}
+	var total int64
+	best, bestN := -1, int64(-1)
+	for _, s := range succs {
+		n := prof.Edge(f.Name, tail, s)
+		total += n
+		if n > bestN {
+			best, bestN = s, n
+		}
+	}
+	if total == 0 {
+		return -1, 0
+	}
+	return best, float64(bestN) / float64(total)
+}
+
+func containsCall(b *ir.Block) bool {
+	for _, op := range b.Ops {
+		if op.Code == ir.Call {
+			return true
+		}
+	}
+	return false
+}
+
+// mergeInto splices block c's operations behind b (dropping b's jump); c
+// becomes unreachable and is left for unreachable-block elimination.
+func mergeInto(f *ir.Func, b, c *ir.Block) {
+	b.Ops = b.Ops[:len(b.Ops)-1] // drop the Jmp
+	b.Ops = append(b.Ops, c.Ops...)
+	b.Succs = append([]int(nil), c.Succs...)
+	cJmp := f.NewOp(ir.Jmp)
+	c.Ops = []*ir.Op{cJmp}
+	c.Succs = []int{c.ID} // self-looping unreachable husk
+	f.RecomputePreds()
+}
+
+// appendCopy splices a fresh copy of c's operations behind b; the original
+// block keeps serving its other predecessors.
+func appendCopy(f *ir.Func, b, c *ir.Block) {
+	b.Ops = b.Ops[:len(b.Ops)-1] // drop the Jmp into c
+	for _, op := range c.Ops {
+		cp := op.Clone()
+		cp.ID = f.NextOpID()
+		f.SetNextOpID(cp.ID + 1)
+		b.Ops = append(b.Ops, cp)
+	}
+	b.Succs = append([]int(nil), c.Succs...)
+	f.RecomputePreds()
+}

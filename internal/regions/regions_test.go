@@ -1,0 +1,227 @@
+package regions_test
+
+import (
+	"testing"
+
+	"vliwvp/internal/interp"
+	"vliwvp/internal/ir"
+	"vliwvp/internal/lang"
+	"vliwvp/internal/opt"
+	"vliwvp/internal/profile"
+	"vliwvp/internal/regions"
+	"vliwvp/internal/workload"
+)
+
+func build(t *testing.T, src string) *ir.Program {
+	t.Helper()
+	p, err := lang.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt.Optimize(p)
+	return p
+}
+
+func runVal(t *testing.T, p *ir.Program) (uint64, []uint64) {
+	t.Helper()
+	m := interp.New(p)
+	v, err := m.RunMain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v, m.Mem
+}
+
+func form(t *testing.T, p *ir.Program) map[string]regions.Stats {
+	t.Helper()
+	prof, err := profile.Collect(p, "main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := regions.Form(p, prof, regions.DefaultConfig())
+	if err := p.Validate(); err != nil {
+		t.Fatalf("invalid after formation: %v", err)
+	}
+	return st
+}
+
+// biasedSrc has an 87.5%-taken branch inside a hot loop: a classic
+// superblock candidate requiring tail duplication (the join block has two
+// predecessors).
+const biasedSrc = `
+var a[256]
+func main() {
+	var s = 0
+	for var i = 0; i < 256; i = i + 1 {
+		var x = i * 3
+		if i % 8 != 0 {
+			x = x + 7      # taken 7/8 of the time
+		} else {
+			x = x - 100
+		}
+		a[i] = x           # join block: two predecessors
+		s = s + x
+	}
+	return s
+}`
+
+func TestFormationPreservesSemantics(t *testing.T) {
+	plain := build(t, biasedSrc)
+	wantV, wantMem := runVal(t, plain)
+
+	formed := build(t, biasedSrc)
+	st := form(t, formed)
+	gotV, gotMem := runVal(t, formed)
+	if gotV != wantV {
+		t.Fatalf("formed result %d != %d", gotV, wantV)
+	}
+	for i := range wantMem {
+		if gotMem[i] != wantMem[i] {
+			t.Fatalf("memory[%d] differs after formation", i)
+		}
+	}
+	total := st["main"]
+	if total.Merged+total.Duplicated == 0 {
+		t.Error("formation did nothing on a biased-branch loop")
+	}
+	if total.Duplicated == 0 {
+		t.Error("the two-predecessor join must be tail-duplicated")
+	}
+}
+
+func TestFormationGrowsTraces(t *testing.T) {
+	plain := build(t, biasedSrc)
+	formed := build(t, biasedSrc)
+	form(t, formed)
+	// Tail duplication adds operations overall (each if-arm absorbs its own
+	// copy of the join code) and enlarges the hot arms.
+	if countOps(formed) <= countOps(plain) {
+		t.Errorf("total ops %d -> %d, want duplication growth", countOps(plain), countOps(formed))
+	}
+	if avgHotArm(formed) <= avgHotArm(plain) {
+		t.Errorf("hot arm size %.1f -> %.1f, want growth", avgHotArm(plain), avgHotArm(formed))
+	}
+}
+
+// avgHotArm averages block sizes over blocks bigger than a jump stub.
+func avgHotArm(p *ir.Program) float64 {
+	total, n := 0, 0
+	for _, f := range p.Funcs {
+		for _, b := range f.Blocks {
+			if len(b.Ops) > 2 {
+				total += len(b.Ops)
+				n++
+			}
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return float64(total) / float64(n)
+}
+
+func TestGrowthBudgetRespected(t *testing.T) {
+	formed := build(t, biasedSrc)
+	before := countOps(formed)
+	prof, err := profile.Collect(formed, "main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := regions.DefaultConfig()
+	cfg.MaxGrowth = 1.1
+	regions.Form(formed, prof, cfg)
+	after := countOps(formed)
+	// Optimization may shrink the result; the growth cap applies to raw
+	// duplication, so allow the optimizer headroom but catch runaways.
+	if float64(after) > float64(before)*1.3 {
+		t.Errorf("ops %d -> %d exceeds growth budget", before, after)
+	}
+}
+
+func countOps(p *ir.Program) int {
+	n := 0
+	for _, f := range p.Funcs {
+		for _, b := range f.Blocks {
+			n += len(b.Ops)
+		}
+	}
+	return n
+}
+
+func TestColdSeedsSkipped(t *testing.T) {
+	src := `
+func main() {
+	var s = 0
+	if s == 0 { s = 1 } else { s = 2 }   # executes once: too cold to form
+	return s
+}`
+	p := build(t, src)
+	prof, err := profile.Collect(p, "main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := regions.Form(p, prof, regions.DefaultConfig())
+	if st["main"].Merged+st["main"].Duplicated != 0 {
+		t.Errorf("cold code was formed: %+v", st["main"])
+	}
+}
+
+func TestUnbiasedBranchNotFormed(t *testing.T) {
+	src := `
+var a[256]
+func main() {
+	var s = 0
+	for var i = 0; i < 256; i = i + 1 {
+		var x = i
+		if i % 2 == 0 { x = x + 1 } else { x = x - 1 }   # 50/50
+		a[i] = x
+		s = s + x
+	}
+	return s
+}`
+	p := build(t, src)
+	prof, err := profile.Collect(p, "main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := regions.Form(p, prof, regions.DefaultConfig())
+	// The 50/50 branch must not be duplicated through; merging straight
+	// chains around it is fine.
+	if st["main"].Duplicated > 2 {
+		t.Errorf("unbiased branch drove %d duplications", st["main"].Duplicated)
+	}
+}
+
+func TestFormationOnAllBenchmarks(t *testing.T) {
+	for _, b := range workload.All() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			plain, err := b.Compile()
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantV, wantMem := runVal(t, plain)
+
+			formed, err := b.Compile()
+			if err != nil {
+				t.Fatal(err)
+			}
+			st := form(t, formed)
+			gotV, gotMem := runVal(t, formed)
+			if gotV != wantV {
+				t.Fatalf("%s: formed checksum %d != %d", b.Name, gotV, wantV)
+			}
+			for i := range wantMem {
+				if gotMem[i] != wantMem[i] {
+					t.Fatalf("%s: memory[%d] differs after formation", b.Name, i)
+				}
+			}
+			var merged, dup int
+			for _, s := range st {
+				merged += s.Merged
+				dup += s.Duplicated
+			}
+			t.Logf("%s: %d merges, %d duplications", b.Name, merged, dup)
+		})
+	}
+}

@@ -1,0 +1,198 @@
+// Package sched implements the critical-path list scheduler that packs IR
+// operations into VLIW long instructions subject to dependence latencies and
+// functional-unit resource limits.
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"vliwvp/internal/ddg"
+	"vliwvp/internal/ir"
+	"vliwvp/internal/machine"
+)
+
+// Instr is one long instruction: the operations issued in one cycle plus
+// the Synchronization-register wait mask the decoder checks before issue.
+type Instr struct {
+	Ops      []*ir.Op
+	WaitBits uint64
+}
+
+// BlockSched is the schedule of one basic block: Instrs[i] holds the
+// operations issued in cycle i (an entry may be empty when every ready
+// operation is still waiting on a latency).
+type BlockSched struct {
+	Block  *ir.Block
+	Instrs []Instr
+	// IssueCycle maps op ID -> cycle, for timing analysis and tests.
+	IssueCycle map[int]int
+}
+
+// Length is the schedule length in cycles.
+func (s *BlockSched) Length() int { return len(s.Instrs) }
+
+// FuncSched holds the block schedules of one function, indexed by block ID.
+type FuncSched struct {
+	F      *ir.Func
+	Blocks []*BlockSched
+}
+
+// ProgSched holds the schedules of a whole program.
+type ProgSched struct {
+	Prog  *ir.Program
+	Funcs map[string]*FuncSched
+}
+
+// ScheduleBlock list-schedules one block onto the machine. Priority is the
+// latency-weighted height (operations on long dependence chains first),
+// breaking ties by original program order.
+func ScheduleBlock(b *ir.Block, g *ddg.Graph, d *machine.Desc) *BlockSched {
+	n := len(b.Ops)
+	s := &BlockSched{Block: b, IssueCycle: make(map[int]int, n)}
+	if n == 0 {
+		return s
+	}
+
+	// earliest[i]: lower bound on issue cycle from already-scheduled preds.
+	earliest := make([]int, n)
+	unscheduledPreds := make([]int, n)
+	for i, node := range g.Nodes {
+		unscheduledPreds[i] = len(node.Preds)
+	}
+
+	// ready holds indices whose predecessors are all scheduled.
+	var ready []int
+	for i := range g.Nodes {
+		if unscheduledPreds[i] == 0 {
+			ready = append(ready, i)
+		}
+	}
+	remaining := n
+
+	for cycle := 0; remaining > 0; cycle++ {
+		if cycle > 4*g.CriticalLength+4*n+16 {
+			// Cannot happen with a well-formed graph; guard against cycles.
+			panic(fmt.Sprintf("sched: no progress in block b%d", b.ID))
+		}
+		var used [machine.NumClasses]int
+		slots := 0
+		var issued []*ir.Op
+
+		// Zero-latency edges (for example every-op -> terminator) allow a
+		// successor released this cycle to issue this same cycle, so issue
+		// and release alternate until a fixpoint.
+		for {
+			// Order ready ops by height desc, then program order.
+			sort.SliceStable(ready, func(a, c int) bool {
+				ha, hc := g.Nodes[ready[a]].Height, g.Nodes[ready[c]].Height
+				if ha != hc {
+					return ha > hc
+				}
+				return ready[a] < ready[c]
+			})
+
+			var issuedIdx []int
+			for k := 0; k < len(ready); {
+				i := ready[k]
+				node := g.Nodes[i]
+				cls := machine.ClassOf(node.Op)
+				if earliest[i] > cycle || slots >= d.Width || used[cls] >= d.Units[cls] {
+					k++
+					continue
+				}
+				ready = append(ready[:k], ready[k+1:]...)
+				remaining--
+				slots++
+				used[cls]++
+				issued = append(issued, node.Op)
+				issuedIdx = append(issuedIdx, i)
+				s.IssueCycle[node.Op.ID] = cycle
+			}
+			if len(issuedIdx) == 0 {
+				break
+			}
+			for _, i := range issuedIdx {
+				for _, e := range g.Nodes[i].Succs {
+					if t := cycle + e.Latency; t > earliest[e.To] {
+						earliest[e.To] = t
+					}
+					unscheduledPreds[e.To]--
+					if unscheduledPreds[e.To] == 0 {
+						ready = append(ready, e.To)
+					}
+				}
+			}
+		}
+
+		var wait uint64
+		for _, op := range issued {
+			wait |= op.WaitBits
+		}
+		s.Instrs = append(s.Instrs, Instr{Ops: issued, WaitBits: wait})
+	}
+
+	// Trim trailing empty instructions (possible when the last issue cycle
+	// was followed by bookkeeping-only cycles — normally none).
+	for len(s.Instrs) > 0 && len(s.Instrs[len(s.Instrs)-1].Ops) == 0 {
+		s.Instrs = s.Instrs[:len(s.Instrs)-1]
+	}
+	return s
+}
+
+// ScheduleFunc schedules every block of a function.
+func ScheduleFunc(f *ir.Func, d *machine.Desc, opts ddg.Options) *FuncSched {
+	fs := &FuncSched{F: f, Blocks: make([]*BlockSched, len(f.Blocks))}
+	for i, b := range f.Blocks {
+		g := ddg.Build(b, d.Latency, opts)
+		fs.Blocks[i] = ScheduleBlock(b, g, d)
+	}
+	return fs
+}
+
+// ScheduleProgram schedules every function of a program.
+func ScheduleProgram(p *ir.Program, d *machine.Desc, opts ddg.Options) *ProgSched {
+	ps := &ProgSched{Prog: p, Funcs: make(map[string]*FuncSched, len(p.Funcs))}
+	for _, f := range p.Funcs {
+		ps.Funcs[f.Name] = ScheduleFunc(f, d, opts)
+	}
+	return ps
+}
+
+// Validate checks that a block schedule respects program semantics: every
+// operation issued exactly once, every dependence edge's latency honored,
+// and no cycle oversubscribes the machine.
+func (s *BlockSched) Validate(g *ddg.Graph, d *machine.Desc) error {
+	count := 0
+	for cycle, instr := range s.Instrs {
+		var used [machine.NumClasses]int
+		if len(instr.Ops) > d.Width {
+			return fmt.Errorf("cycle %d: %d ops exceed width %d", cycle, len(instr.Ops), d.Width)
+		}
+		for _, op := range instr.Ops {
+			cls := machine.ClassOf(op)
+			used[cls]++
+			if used[cls] > d.Units[cls] {
+				return fmt.Errorf("cycle %d: class %v oversubscribed", cycle, cls)
+			}
+			if got, ok := s.IssueCycle[op.ID]; !ok || got != cycle {
+				return fmt.Errorf("cycle %d: IssueCycle inconsistent for op %d", cycle, op.ID)
+			}
+			count++
+		}
+	}
+	if count != len(s.Block.Ops) {
+		return fmt.Errorf("scheduled %d ops, block has %d", count, len(s.Block.Ops))
+	}
+	for i, node := range g.Nodes {
+		ci := s.IssueCycle[node.Op.ID]
+		for _, e := range node.Succs {
+			cj := s.IssueCycle[g.Nodes[e.To].Op.ID]
+			if cj < ci+e.Latency {
+				return fmt.Errorf("edge %d->%d (%v, lat %d) violated: issue %d then %d",
+					i, e.To, e.Kind, e.Latency, ci, cj)
+			}
+		}
+	}
+	return nil
+}

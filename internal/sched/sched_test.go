@@ -1,0 +1,233 @@
+package sched_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"vliwvp/internal/ddg"
+	"vliwvp/internal/ir"
+	"vliwvp/internal/lang"
+	"vliwvp/internal/machine"
+	"vliwvp/internal/sched"
+)
+
+func mustCompile(t *testing.T, src string) *ir.Program {
+	t.Helper()
+	p, err := lang.Compile(src)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	return p
+}
+
+const kernelSrc = `
+var a[64]
+var b[64]
+func main() {
+	var s = 0
+	for var i = 0; i < 64; i = i + 1 {
+		var x = a[i]
+		var y = b[i]
+		s = s + x * y + (x - y)
+	}
+	return s
+}`
+
+func TestAllBlocksScheduleValidOnAllMachines(t *testing.T) {
+	prog := mustCompile(t, kernelSrc)
+	for _, d := range machine.Stock() {
+		for _, f := range prog.Funcs {
+			for _, b := range f.Blocks {
+				g := ddg.Build(b, d.Latency, ddg.Options{})
+				s := sched.ScheduleBlock(b, g, d)
+				if err := s.Validate(g, d); err != nil {
+					t.Errorf("%s %s b%d: %v", d.Name, f.Name, b.ID, err)
+				}
+			}
+		}
+	}
+}
+
+func TestScheduleNotShorterThanCriticalPath(t *testing.T) {
+	prog := mustCompile(t, kernelSrc)
+	d := machine.W4
+	for _, f := range prog.Funcs {
+		for _, b := range f.Blocks {
+			if len(b.Ops) == 0 {
+				continue
+			}
+			g := ddg.Build(b, d.Latency, ddg.Options{})
+			s := sched.ScheduleBlock(b, g, d)
+			// Length counts issue cycles; the last op issues at Length-1 and
+			// the critical path bound includes its latency.
+			minLen := g.CriticalLength - maxLatency(b, d) + 1
+			if s.Length() < minLen {
+				t.Errorf("%s b%d: length %d below dependence bound %d", f.Name, b.ID, s.Length(), minLen)
+			}
+		}
+	}
+}
+
+func maxLatency(b *ir.Block, d *machine.Desc) int {
+	m := 1
+	for _, op := range b.Ops {
+		if l := d.Latency(op); l > m {
+			m = l
+		}
+	}
+	return m
+}
+
+func TestWiderMachineNeverLengthensSchedule(t *testing.T) {
+	prog := mustCompile(t, kernelSrc)
+	for _, f := range prog.Funcs {
+		for _, b := range f.Blocks {
+			g4 := ddg.Build(b, machine.W4.Latency, ddg.Options{})
+			g8 := ddg.Build(b, machine.W8.Latency, ddg.Options{})
+			l4 := sched.ScheduleBlock(b, g4, machine.W4).Length()
+			l8 := sched.ScheduleBlock(b, g8, machine.W8).Length()
+			if l8 > l4 {
+				t.Errorf("%s b%d: 8-wide longer (%d) than 4-wide (%d)", f.Name, b.ID, l8, l4)
+			}
+		}
+	}
+}
+
+func TestParallelismExploited(t *testing.T) {
+	// Eight independent movi ops + ret on a 4-wide machine with 2 IALUs:
+	// the movis need >= 4 cycles; on 8-wide (4 IALUs) >= 2 cycles.
+	f := ir.NewFunc("p")
+	regs := make([]ir.Reg, 8)
+	for i := range regs {
+		regs[i] = f.NewReg()
+		op := f.NewOp(ir.MovI)
+		op.Dest, op.Imm = regs[i], int64(i)
+		f.Blocks[0].Ops = append(f.Blocks[0].Ops, op)
+	}
+	ret := f.NewOp(ir.Ret)
+	ret.A = regs[0]
+	f.Blocks[0].Ops = append(f.Blocks[0].Ops, ret)
+
+	g := ddg.Build(f.Blocks[0], machine.W4.Latency, ddg.Options{})
+	s4 := sched.ScheduleBlock(f.Blocks[0], g, machine.W4)
+	if s4.Length() != 4 {
+		t.Errorf("4-wide length = %d, want 4 (2 IALU/cycle)", s4.Length())
+	}
+	g8 := ddg.Build(f.Blocks[0], machine.W8.Latency, ddg.Options{})
+	s8 := sched.ScheduleBlock(f.Blocks[0], g8, machine.W8)
+	if s8.Length() != 2 {
+		t.Errorf("8-wide length = %d, want 2 (4 IALU/cycle)", s8.Length())
+	}
+}
+
+func TestTerminatorPacksWithLastOps(t *testing.T) {
+	// One movi + ret: both can issue in cycle 0 (ret has a latency-0 ctrl
+	// edge and reads no result of the movi).
+	f := ir.NewFunc("t")
+	r := f.NewReg()
+	op := f.NewOp(ir.MovI)
+	op.Dest = r
+	ret := f.NewOp(ir.Ret)
+	f.Blocks[0].Ops = append(f.Blocks[0].Ops, op, ret)
+	g := ddg.Build(f.Blocks[0], machine.W4.Latency, ddg.Options{})
+	s := sched.ScheduleBlock(f.Blocks[0], g, machine.W4)
+	if s.Length() != 1 {
+		t.Errorf("length = %d, want 1", s.Length())
+	}
+}
+
+func TestTerminatorWaitsForConditionLatency(t *testing.T) {
+	// Branch on a loaded value: load(3) at cycle c means br no earlier than c+3.
+	f := ir.NewFunc("brl")
+	addr, v := f.NewReg(), f.NewReg()
+	mi := f.NewOp(ir.MovI)
+	mi.Dest, mi.Imm = addr, 1
+	ld := f.NewOp(ir.Load)
+	ld.Dest, ld.A = v, addr
+	br := f.NewOp(ir.Br)
+	br.A = v
+	f.Blocks[0].Ops = append(f.Blocks[0].Ops, mi, ld, br)
+	f.Blocks[0].Succs = []int{0, 0}
+
+	g := ddg.Build(f.Blocks[0], machine.W4.Latency, ddg.Options{})
+	s := sched.ScheduleBlock(f.Blocks[0], g, machine.W4)
+	ldCycle := s.IssueCycle[ld.ID]
+	brCycle := s.IssueCycle[br.ID]
+	if brCycle < ldCycle+machine.LatLoad {
+		t.Errorf("br at %d, load at %d: must wait %d cycles", brCycle, ldCycle, machine.LatLoad)
+	}
+}
+
+func TestScheduleFuncCoversAllBlocks(t *testing.T) {
+	prog := mustCompile(t, kernelSrc)
+	fs := sched.ScheduleFunc(prog.Func("main"), machine.W4, ddg.Options{})
+	if len(fs.Blocks) != len(prog.Func("main").Blocks) {
+		t.Fatalf("scheduled %d blocks, want %d", len(fs.Blocks), len(prog.Func("main").Blocks))
+	}
+	for i, bs := range fs.Blocks {
+		total := 0
+		for _, in := range bs.Instrs {
+			total += len(in.Ops)
+		}
+		if total != len(prog.Func("main").Blocks[i].Ops) {
+			t.Errorf("block %d: %d ops scheduled, want %d", i, total, len(prog.Func("main").Blocks[i].Ops))
+		}
+	}
+}
+
+// TestPropertyRandomBlocksScheduleLegally generates random straight-line
+// blocks and checks schedule legality on every stock machine.
+func TestPropertyRandomBlocksScheduleLegally(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		f := ir.NewFunc("r")
+		b := f.Blocks[0]
+		nregs := 4 + rng.Intn(8)
+		regs := make([]ir.Reg, nregs)
+		for i := range regs {
+			regs[i] = f.NewReg()
+			op := f.NewOp(ir.MovI)
+			op.Dest, op.Imm = regs[i], int64(i+1)
+			b.Ops = append(b.Ops, op)
+		}
+		nops := 5 + rng.Intn(30)
+		codes := []ir.Opcode{ir.Add, ir.Sub, ir.Mul, ir.And, ir.Or, ir.Xor, ir.CmpLT, ir.Mov, ir.Load, ir.Store}
+		for i := 0; i < nops; i++ {
+			code := codes[rng.Intn(len(codes))]
+			op := f.NewOp(code)
+			switch code {
+			case ir.Load:
+				op.Dest = regs[rng.Intn(nregs)]
+				op.A = regs[rng.Intn(nregs)]
+			case ir.Store:
+				op.A = regs[rng.Intn(nregs)]
+				op.B = regs[rng.Intn(nregs)]
+			case ir.Mov:
+				op.Dest = regs[rng.Intn(nregs)]
+				op.A = regs[rng.Intn(nregs)]
+			default:
+				op.Dest = regs[rng.Intn(nregs)]
+				op.A = regs[rng.Intn(nregs)]
+				op.B = regs[rng.Intn(nregs)]
+			}
+			b.Ops = append(b.Ops, op)
+		}
+		ret := f.NewOp(ir.Ret)
+		ret.A = regs[0]
+		b.Ops = append(b.Ops, ret)
+
+		for _, d := range machine.Stock() {
+			g := ddg.Build(b, d.Latency, ddg.Options{})
+			s := sched.ScheduleBlock(b, g, d)
+			if err := s.Validate(g, d); err != nil {
+				t.Logf("seed %d on %s: %v", seed, d.Name, err)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,100 @@
+package speculate
+
+import (
+	"vliwvp/internal/ddg"
+	"vliwvp/internal/ir"
+	"vliwvp/internal/machine"
+)
+
+// BuildGraph constructs the dependence graph of a transformed block and
+// injects the synchronization edges the plain builder cannot see: an
+// operation whose wait mask includes a Synchronization bit cannot issue
+// before the check-prediction operation that clears that bit (on a correct
+// prediction) completes. The list scheduler therefore places waiting
+// operations where the paper's Figure 3(b) places them, instead of packing
+// them early and leaving the whole delay to run-time stalls.
+func BuildGraph(b *ir.Block, d *machine.Desc, opts ddg.Options) *ddg.Graph {
+	g := ddg.Build(b, d.Latency, opts)
+
+	// Map each Synchronization bit to the check that clears it on the
+	// correct-prediction path.
+	clearerOf := map[int]int{} // bit -> node index of CheckLd
+	var checks []int
+	for i, op := range b.Ops {
+		if op.Code != ir.CheckLd {
+			continue
+		}
+		checks = append(checks, i)
+		for bit := 0; bit < 64; bit++ {
+			if op.ClearBits&(1<<uint(bit)) != 0 {
+				clearerOf[bit] = i
+			}
+		}
+		// The LdPred bit of the same prediction site is always cleared by
+		// this check.
+		for _, lp := range b.Ops {
+			if lp.Code == ir.LdPred && lp.PredID == op.PredID && lp.SyncBit != ir.NoBit {
+				clearerOf[lp.SyncBit] = i
+			}
+		}
+	}
+	if len(checks) == 0 {
+		return g
+	}
+
+	// Map each Synchronization bit to the op that sets it.
+	setterOf := map[int]int{}
+	for i, op := range b.Ops {
+		if op.SyncBit != ir.NoBit && op.Code != ir.CheckLd {
+			setterOf[op.SyncBit] = i
+		}
+	}
+
+	for wi, op := range b.Ops {
+		if op.WaitBits == 0 {
+			continue
+		}
+		// Every check must be scheduled strictly before every waiter: a
+		// stalled waiter blocks the in-order VLIW Engine, so any check
+		// still behind it could never issue (the transform guarantees the
+		// required program order; this edge carries it into the schedule).
+		for _, ci := range checks {
+			if ci < wi {
+				g.AddEdge(ci, wi, ddg.Ctrl, 1, d.Latency)
+			}
+		}
+		// A waiter must issue strictly after the op that SETS each bit it
+		// waits on: the decoder's wait-mask check samples the
+		// Synchronization register before the instruction issues, so a
+		// setter packed into the same long instruction would be invisible
+		// and the waiter would slip past its own guard.
+		for bit := 0; bit < 64; bit++ {
+			if op.WaitBits&(1<<uint(bit)) == 0 {
+				continue
+			}
+			if si, ok := setterOf[bit]; ok && si < wi {
+				g.AddEdge(si, wi, ddg.Ctrl, 1, d.Latency)
+			}
+		}
+		for bit := 0; bit < 64; bit++ {
+			if op.WaitBits&(1<<uint(bit)) == 0 {
+				continue
+			}
+			if ci, ok := clearerOf[bit]; ok {
+				if ci < wi {
+					g.AddEdge(ci, wi, ddg.Ctrl, d.Latency(b.Ops[ci]), d.Latency)
+				}
+				continue
+			}
+			// A bit owned by a multi-prediction speculative op clears when
+			// the last involved check verifies (correct-prediction path);
+			// conservatively order after every check.
+			for _, ci := range checks {
+				if ci < wi {
+					g.AddEdge(ci, wi, ddg.Ctrl, d.Latency(b.Ops[ci]), d.Latency)
+				}
+			}
+		}
+	}
+	return g
+}

@@ -1,0 +1,241 @@
+package speculate_test
+
+import (
+	"math/bits"
+	"testing"
+
+	"vliwvp/internal/ddg"
+	"vliwvp/internal/ifconv"
+	"vliwvp/internal/ir"
+	"vliwvp/internal/machine"
+	"vliwvp/internal/profile"
+	"vliwvp/internal/sched"
+	"vliwvp/internal/speculate"
+	"vliwvp/internal/workload"
+)
+
+// TestStructuralInvariantsOnBenchmarks verifies, over every transformed
+// block of every benchmark on every stock machine, the properties the
+// dual-engine machine's liveness and correctness proofs rest on:
+//
+//  1. every CheckLd precedes every wait-masked operation in program order;
+//  2. every LdPred precedes its CheckLd, and both exist exactly once;
+//  3. a block's Synchronization-bit usage stays within the budget and no
+//     bit is set by two operations;
+//  4. wait masks reference only bits set within the block;
+//  5. speculative ops are pure non-loads;
+//  6. no CheckLd reads a predicted or speculative value;
+//  7. ClearBits of distinct sites are disjoint and cover only speculative
+//     bits of the same block;
+//  8. no LdPred is preceded by a call in its block.
+func TestStructuralInvariantsOnBenchmarks(t *testing.T) {
+	for _, d := range machine.Stock() {
+		for _, w := range workload.All() {
+			prog, err := w.Compile()
+			if err != nil {
+				t.Fatal(err)
+			}
+			prof, err := profile.Collect(prog, "main")
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := speculate.Transform(prog, prof, speculate.DefaultConfig(d))
+			if err != nil {
+				t.Fatalf("%s %s: %v", d.Name, w.Name, err)
+			}
+			for bk := range res.Blocks {
+				b := res.Prog.Func(bk.Func).Blocks[bk.Block]
+				checkBlockInvariants(t, d.Name+"/"+w.Name, bk.Block, b, res)
+			}
+		}
+	}
+}
+
+func checkBlockInvariants(t *testing.T, tag string, blockID int, b *ir.Block, res *speculate.Result) {
+	t.Helper()
+	lastCheck := -1
+	firstWaiter := len(b.Ops)
+	ldpredPos := map[int]int{}
+	checkPos := map[int]int{}
+	bitSetters := map[int]int{}
+	var blockBits uint64
+	callSeen := false
+	lastProducer := map[ir.Reg]*ir.Op{}
+
+	for i, op := range b.Ops {
+		if op.Code == ir.Call {
+			callSeen = true
+		}
+		switch op.Code {
+		case ir.LdPred:
+			if callSeen {
+				t.Errorf("%s b%d: LdPred after a call (invariant 8)", tag, blockID)
+			}
+			if _, dup := ldpredPos[op.PredID]; dup {
+				t.Errorf("%s b%d: duplicate LdPred for site %d", tag, blockID, op.PredID)
+			}
+			ldpredPos[op.PredID] = i
+		case ir.CheckLd:
+			if _, dup := checkPos[op.PredID]; dup {
+				t.Errorf("%s b%d: duplicate CheckLd for site %d", tag, blockID, op.PredID)
+			}
+			checkPos[op.PredID] = i
+			if i > lastCheck {
+				lastCheck = i
+			}
+			for _, u := range op.Uses() {
+				if p, ok := lastProducer[u]; ok && (p.Speculative || p.Code == ir.LdPred) {
+					t.Errorf("%s b%d: CheckLd reads predicted value from %v (invariant 6)", tag, blockID, p)
+				}
+			}
+		}
+		if op.WaitBits != 0 && i < firstWaiter {
+			firstWaiter = i
+		}
+		if op.SyncBit != ir.NoBit && op.Code != ir.CheckLd {
+			if prev, dup := bitSetters[op.SyncBit]; dup {
+				t.Errorf("%s b%d: bit %d set by ops %d and %d (invariant 3)", tag, blockID, op.SyncBit, prev, i)
+			}
+			bitSetters[op.SyncBit] = i
+			blockBits |= 1 << uint(op.SyncBit)
+		}
+		if op.Speculative {
+			if !op.Code.IsPure() || op.Code == ir.Load {
+				t.Errorf("%s b%d: impure/load op marked speculative: %v (invariant 5)", tag, blockID, op)
+			}
+		}
+		if d := op.Def(); d != ir.NoReg {
+			lastProducer[d] = op
+		}
+	}
+
+	// 1. checks before waiters.
+	if lastCheck >= 0 && firstWaiter < lastCheck {
+		t.Errorf("%s b%d: waiter at %d precedes check at %d (invariant 1)", tag, blockID, firstWaiter, lastCheck)
+	}
+	// 2. LdPred before its check, both present.
+	for pred, lp := range ldpredPos {
+		cp, ok := checkPos[pred]
+		if !ok {
+			t.Errorf("%s b%d: site %d has no CheckLd (invariant 2)", tag, blockID, pred)
+			continue
+		}
+		if lp >= cp {
+			t.Errorf("%s b%d: LdPred at %d not before CheckLd at %d (invariant 2)", tag, blockID, lp, cp)
+		}
+	}
+	for pred := range checkPos {
+		if _, ok := ldpredPos[pred]; !ok {
+			t.Errorf("%s b%d: CheckLd for site %d lacks its LdPred", tag, blockID, pred)
+		}
+	}
+	// 3. budget.
+	if n := bits.OnesCount64(blockBits); n > 64 {
+		t.Errorf("%s b%d: %d bits used (invariant 3)", tag, blockID, n)
+	}
+	// 4. wait masks reference block-local bits.
+	for _, op := range b.Ops {
+		if op.WaitBits&^blockBits != 0 {
+			t.Errorf("%s b%d: %v waits on bits %#x outside block set %#x (invariant 4)",
+				tag, blockID, op, op.WaitBits, blockBits)
+		}
+	}
+	// 7. ClearBits disjoint across this block's sites, covering spec bits only.
+	specBits := uint64(0)
+	for _, op := range b.Ops {
+		if op.Speculative && op.SyncBit != ir.NoBit {
+			specBits |= 1 << uint(op.SyncBit)
+		}
+	}
+	var seen uint64
+	for pred := range checkPos {
+		site := res.Sites[pred]
+		if site.ClearBits&seen != 0 {
+			t.Errorf("%s b%d: ClearBits overlap across sites (invariant 7)", tag, blockID)
+		}
+		if site.ClearBits&^specBits != 0 {
+			t.Errorf("%s b%d: site %d clears non-speculative bits %#x (invariant 7)",
+				tag, blockID, pred, site.ClearBits&^specBits)
+		}
+		seen |= site.ClearBits
+	}
+}
+
+// TestTightBudgetsStillSatisfyInvariants squeezes the Synchronization-bit
+// budget down to the minimum and re-checks the structural invariants — the
+// regime where the planner must shed sites rather than un-speculate ops.
+func TestTightBudgetsStillSatisfyInvariants(t *testing.T) {
+	d := machine.W4
+	for _, budget := range []int{2, 3, 4, 6} {
+		for _, w := range workload.All() {
+			prog, err := w.Compile()
+			if err != nil {
+				t.Fatal(err)
+			}
+			prof, err := profile.Collect(prog, "main")
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := speculate.DefaultConfig(d)
+			cfg.MaxSyncBits = budget
+			res, err := speculate.Transform(prog, prof, cfg)
+			if err != nil {
+				t.Fatalf("budget %d, %s: %v", budget, w.Name, err)
+			}
+			for bk, info := range res.Blocks {
+				b := res.Prog.Func(bk.Func).Blocks[bk.Block]
+				checkBlockInvariants(t, w.Name, bk.Block, b, res)
+				n := bits.OnesCount64(info.BitsUsed)
+				if n > budget {
+					t.Errorf("budget %d, %s b%d: %d bits used", budget, w.Name, bk.Block, n)
+				}
+			}
+		}
+	}
+}
+
+// TestNoWaiterPacksWithItsSetter pins the schedule-level liveness rule the
+// engines rely on: the decoder samples the Synchronization register before
+// an instruction issues, so no long instruction may contain both an op that
+// SETS bit b and an op that WAITS on b — the waiter would slip past its own
+// guard with the bit not yet visible. (Regression: an if-converted Select
+// packed into the same cycle as its block's terminator let unverified
+// values escape.)
+func TestNoWaiterPacksWithItsSetter(t *testing.T) {
+	for _, d := range machine.Stock() {
+		for _, w := range workload.All() {
+			prog, err := w.Compile()
+			if err != nil {
+				t.Fatal(err)
+			}
+			ifconv.Convert(prog, ifconv.DefaultConfig())
+			prof, err := profile.Collect(prog, "main")
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := speculate.Transform(prog, prof, speculate.DefaultConfig(d))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for bk := range res.Blocks {
+				b := res.Prog.Func(bk.Func).Blocks[bk.Block]
+				g := speculate.BuildGraph(b, d, ddg.Options{})
+				s := sched.ScheduleBlock(b, g, d)
+				for cyc, in := range s.Instrs {
+					var set uint64
+					for _, op := range in.Ops {
+						if op.SyncBit != ir.NoBit && op.Code != ir.CheckLd {
+							set |= 1 << uint(op.SyncBit)
+						}
+					}
+					for _, op := range in.Ops {
+						if op.WaitBits&set != 0 {
+							t.Errorf("%s %s %v cycle %d: %v waits on bits %#x set in the same instruction",
+								d.Name, w.Name, bk, cyc, op, op.WaitBits&set)
+						}
+					}
+				}
+			}
+		}
+	}
+}

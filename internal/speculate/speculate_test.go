@@ -1,0 +1,389 @@
+package speculate_test
+
+import (
+	"testing"
+
+	"vliwvp/internal/ddg"
+	"vliwvp/internal/ir"
+	"vliwvp/internal/lang"
+	"vliwvp/internal/machine"
+	"vliwvp/internal/opt"
+	"vliwvp/internal/profile"
+	"vliwvp/internal/sched"
+	"vliwvp/internal/speculate"
+)
+
+// kernel has one hot loop whose load feeds a long dependence chain.
+const kernel = `
+var a[512]
+func main() {
+	for var i = 0; i < 512; i = i + 1 { a[i] = i * 8 }
+	var s = 0
+	for var i = 0; i < 512; i = i + 1 {
+		var x = a[i]
+		var y = x * 3 + 7
+		var z = y - x
+		s = s + z
+	}
+	return s
+}`
+
+func prep(t *testing.T, src string) (*ir.Program, *profile.Profile) {
+	t.Helper()
+	prog, err := lang.Compile(src)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	opt.Optimize(prog)
+	prof, err := profile.Collect(prog, "main")
+	if err != nil {
+		t.Fatalf("profile: %v", err)
+	}
+	return prog, prof
+}
+
+func transform(t *testing.T, src string) (*ir.Program, *profile.Profile, *speculate.Result) {
+	t.Helper()
+	prog, prof := prep(t, src)
+	res, err := speculate.Transform(prog, prof, speculate.DefaultConfig(machine.W4))
+	if err != nil {
+		t.Fatalf("Transform: %v", err)
+	}
+	return prog, prof, res
+}
+
+func TestTransformSelectsHotPredictableLoad(t *testing.T) {
+	_, _, res := transform(t, kernel)
+	if len(res.Sites) == 0 {
+		t.Fatal("no prediction sites selected; the strided load should qualify")
+	}
+	found := false
+	for _, s := range res.Sites {
+		if s.Rate >= 0.65 && s.Scheme == profile.SchemeStride {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no stride-predictable site among %+v", res.Sites)
+	}
+}
+
+func TestOriginalProgramUntouched(t *testing.T) {
+	prog, prof := prep(t, kernel)
+	before := prog.String()
+	if _, err := speculate.Transform(prog, prof, speculate.DefaultConfig(machine.W4)); err != nil {
+		t.Fatal(err)
+	}
+	if prog.String() != before {
+		t.Error("Transform mutated its input program")
+	}
+}
+
+func TestTransformedStructure(t *testing.T) {
+	_, _, res := transform(t, kernel)
+	for bk, info := range res.Blocks {
+		f := res.Prog.Func(bk.Func)
+		b := f.Blocks[bk.Block]
+
+		var ldpreds, checks, specs int
+		seenNonLdPred := false
+		checkSeen := map[int]bool{}
+		for _, op := range b.Ops {
+			switch op.Code {
+			case ir.LdPred:
+				if seenNonLdPred {
+					t.Errorf("%v: LdPred not at block head", bk)
+				}
+				if op.SyncBit == ir.NoBit {
+					t.Errorf("%v: LdPred without sync bit", bk)
+				}
+				ldpreds++
+			case ir.CheckLd:
+				checks++
+				checkSeen[op.PredID] = true
+				seenNonLdPred = true
+			default:
+				seenNonLdPred = true
+				if op.Speculative {
+					specs++
+					if op.SyncBit == ir.NoBit {
+						t.Errorf("%v: speculative op without sync bit: %v", bk, op)
+					}
+				}
+			}
+		}
+		if ldpreds != len(info.SiteIDs) || checks != len(info.SiteIDs) {
+			t.Errorf("%v: %d LdPred / %d CheckLd for %d sites", bk, ldpreds, checks, len(info.SiteIDs))
+		}
+		if specs == 0 {
+			t.Errorf("%v: no speculative ops marked", bk)
+		}
+		if term := b.Terminator(); term == nil {
+			t.Errorf("%v: block lost its terminator", bk)
+		}
+		for _, sid := range info.SiteIDs {
+			if !checkSeen[res.Sites[sid].ID] {
+				t.Errorf("%v: site %d has no CheckLd", bk, sid)
+			}
+		}
+	}
+}
+
+func TestCheckPlacedBeforeFirstStore(t *testing.T) {
+	src := `
+var a[256]
+var out[256]
+func main() {
+	for var i = 0; i < 256; i = i + 1 { a[i] = i }
+	for var i = 0; i < 256; i = i + 1 {
+		var x = a[i]
+		out[i] = x * 2 + 1
+	}
+	return out[7]
+}`
+	_, _, res := transform(t, src)
+	if len(res.Blocks) == 0 {
+		t.Fatal("nothing speculated")
+	}
+	for bk := range res.Blocks {
+		b := res.Prog.Func(bk.Func).Blocks[bk.Block]
+		storeSeen := false
+		for _, op := range b.Ops {
+			if op.Code == ir.Store {
+				storeSeen = true
+			}
+			if op.Code == ir.CheckLd && storeSeen {
+				t.Errorf("%v: CheckLd after a store would read the wrong memory version", bk)
+			}
+		}
+	}
+}
+
+func TestWaitBitsOnNonSpeculativeConsumers(t *testing.T) {
+	_, _, res := transform(t, kernel)
+	anyWait := false
+	for bk := range res.Blocks {
+		b := res.Prog.Func(bk.Func).Blocks[bk.Block]
+		bits := res.Blocks[bk].BitsUsed
+		for _, op := range b.Ops {
+			if op.WaitBits != 0 {
+				anyWait = true
+				if op.Speculative {
+					t.Errorf("%v: speculative op carries wait bits: %v", bk, op)
+				}
+				if op.WaitBits&^bits != 0 {
+					t.Errorf("%v: op waits on bits %#x outside block's set %#x", bk, op.WaitBits, bits)
+				}
+			}
+		}
+	}
+	if !anyWait {
+		t.Error("no non-speculative op waits on any bit; the store or terminator should")
+	}
+}
+
+func TestClearBitsAreSingleSiteOnly(t *testing.T) {
+	// Two independent predictable loads feeding a shared consumer: the
+	// shared consumer's bit must not appear in either check's ClearBits.
+	src := `
+var a[256]
+var b[256]
+func main() {
+	for var i = 0; i < 256; i = i + 1 { a[i] = i b[i] = i * 2 }
+	var s = 0
+	for var i = 0; i < 256; i = i + 1 {
+		var x = a[i]
+		var y = b[i]
+		var both = x * y    # depends on both predictions
+		var onlyx = x * 3   # depends on a[] only
+		s = s + both + onlyx
+	}
+	return s
+}`
+	_, _, res := transform(t, src)
+	var twoSiteBlocks int
+	for bk, info := range res.Blocks {
+		if len(info.SiteIDs) < 2 {
+			continue
+		}
+		twoSiteBlocks++
+		blk := res.Prog.Func(bk.Func).Blocks[bk.Block]
+		// Collect per-op sync bits of speculative ops.
+		specBit := map[int]uint64{}
+		for _, op := range blk.Ops {
+			if op.Speculative && op.SyncBit != ir.NoBit {
+				specBit[op.ID] = 1 << uint(op.SyncBit)
+			}
+		}
+		var clearUnion uint64
+		for _, sid := range info.SiteIDs {
+			clearUnion |= res.Sites[sid].ClearBits
+		}
+		// At least one spec op (the shared consumer) must be cleared by the
+		// CCE, not by either check.
+		cceCleared := false
+		for _, bit := range specBit {
+			if clearUnion&bit == 0 {
+				cceCleared = true
+			}
+		}
+		if !cceCleared {
+			t.Errorf("%v: every spec bit is in some check's ClearBits; the shared consumer must be CCE-cleared", bk)
+		}
+		// No bit may be cleared by two different checks.
+		for i, s1 := range info.SiteIDs {
+			for _, s2 := range info.SiteIDs[i+1:] {
+				if res.Sites[s1].ClearBits&res.Sites[s2].ClearBits != 0 {
+					t.Errorf("%v: sites %d and %d share ClearBits", bk, s1, s2)
+				}
+			}
+		}
+	}
+	if twoSiteBlocks == 0 {
+		t.Skip("no block selected two sites; selection too conservative for this source")
+	}
+}
+
+func TestSelectedLoadsMutuallyIndependent(t *testing.T) {
+	// A pointer-chase: second load's address depends on the first load.
+	// Both may be predictable, but only independent ones may be selected.
+	src := `
+var next[128]
+func main() {
+	for var i = 0; i < 128; i = i + 1 { next[i] = (i + 1) % 128 }
+	var p = 0
+	var s = 0
+	for var i = 0; i < 2000; i = i + 1 {
+		var q = next[p]
+		var r = next[q]    # address depends on q
+		s = s + r
+		p = q
+	}
+	return s
+}`
+	_, _, res := transform(t, src)
+	for bk, info := range res.Blocks {
+		if len(info.SiteIDs) < 2 {
+			continue
+		}
+		b := res.Prog.Func(bk.Func).Blocks[bk.Block]
+		// No CheckLd operand may carry wait bits or read a speculative
+		// producer: verification must use correct operands.
+		lastProducer := map[ir.Reg]*ir.Op{}
+		for _, op := range b.Ops {
+			if op.Code == ir.CheckLd {
+				for _, u := range op.Uses() {
+					if p, ok := lastProducer[u]; ok && (p.Speculative || p.Code == ir.LdPred) {
+						t.Errorf("%v: CheckLd address produced by predicted op %v", bk, p)
+					}
+				}
+			}
+			if d := op.Def(); d != ir.NoReg {
+				lastProducer[d] = op
+			}
+		}
+	}
+}
+
+func TestTransformedBlocksScheduleLegally(t *testing.T) {
+	_, _, res := transform(t, kernel)
+	d := machine.W4
+	for _, f := range res.Prog.Funcs {
+		for _, b := range f.Blocks {
+			g := speculate.BuildGraph(b, d, ddg.Options{})
+			s := sched.ScheduleBlock(b, g, d)
+			if err := s.Validate(g, d); err != nil {
+				t.Errorf("%s b%d: %v", f.Name, b.ID, err)
+			}
+		}
+	}
+}
+
+func TestSpeculationShortensBestCaseSchedule(t *testing.T) {
+	prog, _, res := transform(t, kernel)
+	d := machine.W4
+	improved := false
+	for bk := range res.Blocks {
+		orig := prog.Func(bk.Func).Blocks[bk.Block]
+		og := ddg.Build(orig, d.Latency, ddg.Options{})
+		ol := sched.ScheduleBlock(orig, og, d).Length()
+
+		spec := res.Prog.Func(bk.Func).Blocks[bk.Block]
+		sg := speculate.BuildGraph(spec, d, ddg.Options{})
+		sl := sched.ScheduleBlock(spec, sg, d).Length()
+		if sl < ol {
+			improved = true
+		}
+		if sl > ol+2 {
+			t.Errorf("%v: speculated schedule %d much longer than original %d", bk, sl, ol)
+		}
+	}
+	if !improved {
+		t.Error("speculation shortened no block schedule")
+	}
+}
+
+func TestNoSitesWhenNothingPredictable(t *testing.T) {
+	src := `
+var a[509]
+func main() {
+	var x = 1
+	for var i = 0; i < 509; i = i + 1 {
+		x = (x * 1103515245 + 12345) % 509
+		if x < 0 { x = x + 509 }
+		a[i] = x
+	}
+	var s = 0
+	var j = 1
+	for var i = 0; i < 509; i = i + 1 {
+		s = s + a[j] * 3 + 1
+		j = (j * 263 + 71) % 509
+	}
+	return s
+}`
+	_, _, res := transform(t, src)
+	for _, s := range res.Sites {
+		if s.Rate < 0.65 {
+			t.Errorf("site %+v selected below threshold", s)
+		}
+	}
+}
+
+func TestSyncBitBudgetRespected(t *testing.T) {
+	prog, prof := prep(t, kernel)
+	cfg := speculate.DefaultConfig(machine.W4)
+	cfg.MaxSyncBits = 3 // very tight: 1 LdPred bit + 2 spec bits
+	res, err := speculate.Transform(prog, prof, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for bk, info := range res.Blocks {
+		n := 0
+		for bit := 0; bit < 64; bit++ {
+			if info.BitsUsed&(1<<uint(bit)) != 0 {
+				n++
+			}
+		}
+		if n > 3 {
+			t.Errorf("%v uses %d bits, budget 3", bk, n)
+		}
+	}
+}
+
+func TestSemanticEquivalencePreservedOutsideSpeculation(t *testing.T) {
+	// Blocks without speculation must be byte-identical between original
+	// and transformed programs.
+	prog, _, res := transform(t, kernel)
+	for _, f := range prog.Funcs {
+		tf := res.Prog.Func(f.Name)
+		for i, b := range f.Blocks {
+			bk := profile.BlockKey{Func: f.Name, Block: i}
+			if _, speculated := res.Blocks[bk]; speculated {
+				continue
+			}
+			if len(tf.Blocks[i].Ops) != len(b.Ops) {
+				t.Errorf("%s b%d changed without speculation", f.Name, i)
+			}
+		}
+	}
+}

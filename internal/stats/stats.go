@@ -1,0 +1,135 @@
+// Package stats provides the small numeric and rendering helpers the
+// experiment drivers share: weighted aggregates, bucketed histograms, and
+// aligned text tables shaped like the paper's.
+package stats
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is an aligned text table.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// AddRow appends one row.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var sb strings.Builder
+	if t.Title != "" {
+		sb.WriteString(t.Title)
+		sb.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], c)
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	rule := make([]string, len(t.Headers))
+	for i := range rule {
+		rule[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(rule)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return sb.String()
+}
+
+// F formats a ratio/fraction with two decimals, the paper's style.
+func F(v float64) string { return fmt.Sprintf("%.2f", v) }
+
+// Pct formats a percentage with one decimal.
+func Pct(v float64) string { return fmt.Sprintf("%.1f%%", 100*v) }
+
+// WeightedMean accumulates Σw·v / Σw.
+type WeightedMean struct {
+	sum, weight float64
+}
+
+// Add contributes one observation.
+func (m *WeightedMean) Add(v, w float64) {
+	m.sum += v * w
+	m.weight += w
+}
+
+// Mean returns the weighted mean (0 when empty).
+func (m *WeightedMean) Mean() float64 {
+	if m.weight == 0 {
+		return 0
+	}
+	return m.sum / m.weight
+}
+
+// Weight returns the accumulated weight.
+func (m *WeightedMean) Weight() float64 { return m.weight }
+
+// Bucket is one histogram bin.
+type Bucket struct {
+	Label string
+	// Match reports whether a value belongs to the bin.
+	Match func(v int) bool
+	Count float64
+}
+
+// Histogram distributes weighted integer observations over ordered buckets;
+// the first matching bucket wins.
+type Histogram struct {
+	Buckets []Bucket
+	Total   float64
+}
+
+// DeltaBuckets are the Figure 8 bins: change in schedule length in cycles
+// (positive = improvement).
+func DeltaBuckets() []Bucket {
+	return []Bucket{
+		{Label: "degraded", Match: func(v int) bool { return v < 0 }},
+		{Label: "0", Match: func(v int) bool { return v == 0 }},
+		{Label: "1-2", Match: func(v int) bool { return v >= 1 && v <= 2 }},
+		{Label: "3-4", Match: func(v int) bool { return v >= 3 && v <= 4 }},
+		{Label: "5-8", Match: func(v int) bool { return v >= 5 && v <= 8 }},
+		{Label: ">8", Match: func(v int) bool { return v > 8 }},
+	}
+}
+
+// Add records an observation with the given weight.
+func (h *Histogram) Add(v int, w float64) {
+	h.Total += w
+	for i := range h.Buckets {
+		if h.Buckets[i].Match(v) {
+			h.Buckets[i].Count += w
+			return
+		}
+	}
+}
+
+// Fraction returns bucket i's share of the total.
+func (h *Histogram) Fraction(i int) float64 {
+	if h.Total == 0 {
+		return 0
+	}
+	return h.Buckets[i].Count / h.Total
+}

@@ -1,0 +1,81 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableAlignment(t *testing.T) {
+	tb := &Table{Title: "T", Headers: []string{"a", "long-header"}}
+	tb.AddRow("wide-cell", "x")
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 { // title, header, rule, row
+		t.Fatalf("got %d lines: %q", len(lines), out)
+	}
+	if len(lines[1]) != len(lines[2]) || len(lines[2]) != len(lines[3]) {
+		t.Errorf("columns not aligned:\n%s", out)
+	}
+	if !strings.HasPrefix(lines[0], "T") {
+		t.Errorf("missing title: %q", lines[0])
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if F(0.825) != "0.82" && F(0.825) != "0.83" {
+		t.Errorf("F(0.825) = %q", F(0.825))
+	}
+	if Pct(0.5) != "50.0%" {
+		t.Errorf("Pct(0.5) = %q", Pct(0.5))
+	}
+}
+
+func TestWeightedMean(t *testing.T) {
+	var m WeightedMean
+	if m.Mean() != 0 {
+		t.Error("empty mean must be 0")
+	}
+	m.Add(10, 1)
+	m.Add(20, 3)
+	if got := m.Mean(); got != 17.5 {
+		t.Errorf("mean = %v, want 17.5", got)
+	}
+	if m.Weight() != 4 {
+		t.Errorf("weight = %v, want 4", m.Weight())
+	}
+}
+
+func TestDeltaBucketsPartitionIntegers(t *testing.T) {
+	h := &Histogram{Buckets: DeltaBuckets()}
+	for v := -10; v <= 20; v++ {
+		matches := 0
+		for _, b := range h.Buckets {
+			if b.Match(v) {
+				matches++
+			}
+		}
+		if matches != 1 {
+			t.Errorf("value %d matched %d buckets, want exactly 1", v, matches)
+		}
+	}
+}
+
+func TestHistogramFractions(t *testing.T) {
+	h := &Histogram{Buckets: DeltaBuckets()}
+	h.Add(0, 2)  // "0"
+	h.Add(1, 1)  // "1-2"
+	h.Add(-3, 1) // "degraded"
+	if h.Total != 4 {
+		t.Fatalf("total = %v", h.Total)
+	}
+	if got := h.Fraction(1); got != 0.5 {
+		t.Errorf("fraction('0') = %v, want 0.5", got)
+	}
+	if got := h.Fraction(0); got != 0.25 {
+		t.Errorf("fraction(degraded) = %v, want 0.25", got)
+	}
+	empty := &Histogram{Buckets: DeltaBuckets()}
+	if empty.Fraction(0) != 0 {
+		t.Error("empty histogram fraction must be 0")
+	}
+}

@@ -1,0 +1,105 @@
+package workload_test
+
+import (
+	"testing"
+
+	"vliwvp/internal/interp"
+	"vliwvp/internal/machine"
+	"vliwvp/internal/profile"
+	"vliwvp/internal/speculate"
+	"vliwvp/internal/workload"
+)
+
+func TestAllBenchmarksCompileAndRun(t *testing.T) {
+	for _, b := range workload.All() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			prog, err := b.Compile()
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			m := interp.New(prog)
+			m.MaxSteps = 50_000_000
+			v, err := m.RunMain()
+			if err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			t.Logf("%s: checksum %d, %d dynamic ops", b.Name, int64(v), m.Steps)
+			if m.Steps < 50_000 {
+				t.Errorf("only %d dynamic ops; kernel too small to profile meaningfully", m.Steps)
+			}
+			if m.Steps > 20_000_000 {
+				t.Errorf("%d dynamic ops; kernel too large for the experiment suite", m.Steps)
+			}
+		})
+	}
+}
+
+func TestBenchmarksAreDeterministic(t *testing.T) {
+	for _, b := range workload.All() {
+		prog, err := b.Compile()
+		if err != nil {
+			t.Fatal(err)
+		}
+		v1, err := interp.New(prog).RunMain()
+		if err != nil {
+			t.Fatal(err)
+		}
+		v2, err := interp.New(prog).RunMain()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v1 != v2 {
+			t.Errorf("%s: nondeterministic checksums %d vs %d", b.Name, v1, v2)
+		}
+	}
+}
+
+func TestBenchmarksOfferPredictableLoads(t *testing.T) {
+	// Every kernel must give the speculation pass something to work with:
+	// at least one load meeting the paper's 65% threshold.
+	for _, b := range workload.All() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			prog, err := b.Compile()
+			if err != nil {
+				t.Fatal(err)
+			}
+			prof, err := profile.Collect(prog, "main")
+			if err != nil {
+				t.Fatal(err)
+			}
+			hot := 0
+			for _, lp := range prof.Loads {
+				if lp.Count >= 100 && lp.Rate() >= 0.65 {
+					hot++
+				}
+			}
+			if hot == 0 {
+				t.Errorf("%s: no load with rate >= 0.65; speculation would be a no-op", b.Name)
+			}
+
+			res, err := speculate.Transform(prog, prof, speculate.DefaultConfig(machine.W4))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(res.Sites) == 0 {
+				t.Errorf("%s: transform selected no sites", b.Name)
+			}
+			t.Logf("%s: %d predictable loads, %d sites selected in %d blocks",
+				b.Name, hot, len(res.Sites), len(res.Blocks))
+		})
+	}
+}
+
+func TestByName(t *testing.T) {
+	if workload.ByName("compress") != workload.Compress {
+		t.Error("ByName(compress) wrong")
+	}
+	if workload.ByName("nope") != nil {
+		t.Error("ByName(nope) should be nil")
+	}
+	if len(workload.All()) != 8 {
+		t.Errorf("expected 8 benchmarks, got %d", len(workload.All()))
+	}
+}

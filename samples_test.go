@@ -1,0 +1,76 @@
+package vliwvp_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"vliwvp"
+)
+
+// TestSampleProgramsRunIdenticallyOnAllEngines compiles every .vl sample in
+// examples/vl and checks that the interpreter, the plain VLIW machine, the
+// speculated dual-engine machine, and the hyperblock pipeline all agree on
+// result and output.
+func TestSampleProgramsRunIdenticallyOnAllEngines(t *testing.T) {
+	paths, err := filepath.Glob("examples/vl/*.vl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) < 3 {
+		t.Fatalf("expected at least 3 sample programs, found %d", len(paths))
+	}
+	for _, path := range paths {
+		path := path
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			src, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, hyper := range []bool{false, true} {
+				sys, err := vliwvp.NewSystem(4)
+				if err != nil {
+					t.Fatal(err)
+				}
+				sys.IfConvert = hyper
+				sys.Regions = hyper
+				prog, err := sys.Compile(string(src))
+				if err != nil {
+					t.Fatalf("compile: %v", err)
+				}
+				golden, err := prog.Interpret()
+				if err != nil {
+					t.Fatalf("interpret: %v", err)
+				}
+				base, err := prog.Simulate()
+				if err != nil {
+					t.Fatalf("simulate: %v", err)
+				}
+				prof, err := prog.Profile()
+				if err != nil {
+					t.Fatal(err)
+				}
+				spec, err := prog.Speculate(prof)
+				if err != nil {
+					t.Fatal(err)
+				}
+				fast, err := spec.Simulate()
+				if err != nil {
+					t.Fatalf("speculated simulate: %v", err)
+				}
+				if base.Value != golden.Value || fast.Value != golden.Value {
+					t.Errorf("hyper=%v: values diverge: golden %d, base %d, fast %d",
+						hyper, golden.Value, base.Value, fast.Value)
+				}
+				if strings.Join(fast.Output, "|") != strings.Join(golden.Output, "|") {
+					t.Errorf("hyper=%v: output diverges: %v vs %v", hyper, fast.Output, golden.Output)
+				}
+				if fast.Cycles > base.Cycles {
+					t.Logf("hyper=%v %s: speculated %d cycles vs base %d (no gain on this sample)",
+						hyper, path, fast.Cycles, base.Cycles)
+				}
+			}
+		})
+	}
+}

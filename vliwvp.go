@@ -1,0 +1,237 @@
+// Package vliwvp is a from-scratch reproduction of "Value Prediction in
+// VLIW Machines" (Nakra, Gupta, Soffa; 1999): a VLIW architecture with a
+// value predictor and a second execution engine — the Compensation Code
+// Engine — that re-executes mis-speculated operations in parallel with the
+// statically scheduled VLIW code.
+//
+// The package is a façade over the full pipeline:
+//
+//	src := `...VL source...`
+//	sys, _ := vliwvp.NewSystem(4)            // 4-wide machine
+//	prog, _ := sys.Compile(src)              // parse, lower, optimize
+//	golden, _ := prog.Interpret()            // sequential reference run
+//	prof, _ := prog.Profile()                // value + frequency profiles
+//	spec, _ := prog.Speculate(prof)          // LdPred/check transformation
+//	base, _ := prog.Simulate()               // dual-engine, no prediction
+//	fast, _ := spec.Simulate()               // dual-engine, with prediction
+//	fmt.Println(base.Cycles, fast.Cycles, fast.Value == golden.Value)
+//
+// The experiment drivers that regenerate the paper's tables and figures are
+// reachable through System.Experiments; the eight benchmark kernels through
+// Benchmarks.
+package vliwvp
+
+import (
+	"fmt"
+
+	"vliwvp/internal/ddg"
+	"vliwvp/internal/exp"
+	"vliwvp/internal/ifconv"
+	"vliwvp/internal/interp"
+	"vliwvp/internal/ir"
+	"vliwvp/internal/lang"
+	"vliwvp/internal/machine"
+	"vliwvp/internal/opt"
+	"vliwvp/internal/profile"
+	"vliwvp/internal/regions"
+	"vliwvp/internal/speculate"
+	"vliwvp/internal/workload"
+)
+
+// System fixes a machine configuration and speculation policy.
+type System struct {
+	Machine *machine.Desc
+	Config  speculate.Config
+	// IfConvert applies Select-based if-conversion of small diamonds during
+	// Compile (the predication half of the hyperblock extension).
+	IfConvert bool
+	// Regions applies profile-guided superblock formation during Compile
+	// (trace growing with tail duplication).
+	Regions bool
+}
+
+// NewSystem returns a system for a stock machine width (2, 4, 8, or 16)
+// with the paper's speculation settings (65% threshold, stride+FCM hybrid
+// profiles, critical-path load selection).
+func NewSystem(width int) (*System, error) {
+	for _, d := range machine.Stock() {
+		if d.Width == width {
+			return &System{Machine: d, Config: speculate.DefaultConfig(d)}, nil
+		}
+	}
+	return nil, fmt.Errorf("vliwvp: no stock %d-wide machine (have 2, 4, 8, 16)", width)
+}
+
+// MachineDesc exposes a stock machine description by name ("4-wide", ...).
+func MachineDesc(name string) *machine.Desc { return machine.ByName(name) }
+
+// Experiments returns the paper-experiment runner for this system.
+func (s *System) Experiments() *exp.Runner {
+	r := exp.NewRunner(s.Machine)
+	r.Cfg = s.Config
+	r.IfConvert = s.IfConvert
+	r.Regions = s.Regions
+	return r
+}
+
+// Compile parses VL source, lowers it to IR, optimizes it, and applies the
+// system's optional region passes (if-conversion, superblock formation).
+func (s *System) Compile(src string) (*Program, error) {
+	p, err := lang.Compile(src)
+	if err != nil {
+		return nil, err
+	}
+	opt.Optimize(p)
+	if err := s.applyRegionPasses(p); err != nil {
+		return nil, err
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &Program{sys: s, IR: p}, nil
+}
+
+// applyRegionPasses runs the optional pre-speculation region passes.
+func (s *System) applyRegionPasses(p *ir.Program) error {
+	if s.IfConvert {
+		ifconv.Convert(p, ifconv.DefaultConfig())
+	}
+	if s.Regions {
+		prof, err := profile.Collect(p, "main")
+		if err != nil {
+			return fmt.Errorf("vliwvp: region-formation profile: %w", err)
+		}
+		regions.Form(p, prof, regions.DefaultConfig())
+	}
+	return nil
+}
+
+// CompileBenchmark compiles one of the built-in benchmark kernels with the
+// system's optional region passes.
+func (s *System) CompileBenchmark(name string) (*Program, error) {
+	b := workload.ByName(name)
+	if b == nil {
+		return nil, fmt.Errorf("vliwvp: unknown benchmark %q", name)
+	}
+	p, err := b.Compile()
+	if err != nil {
+		return nil, err
+	}
+	if err := s.applyRegionPasses(p); err != nil {
+		return nil, err
+	}
+	return &Program{sys: s, IR: p}, nil
+}
+
+// Benchmarks lists the built-in benchmark kernels (the paper's SPEC95
+// stand-ins).
+func Benchmarks() []*workload.Benchmark { return workload.All() }
+
+// Program is a compiled program bound to a system.
+type Program struct {
+	sys *System
+	IR  *ir.Program
+}
+
+// RunResult is the outcome of a sequential (interpreter) run.
+type RunResult struct {
+	Value  uint64
+	Output []string
+	DynOps int64
+}
+
+// Interpret executes main() sequentially — the golden reference model.
+func (p *Program) Interpret() (*RunResult, error) {
+	m := interp.New(p.IR)
+	v, err := m.RunMain()
+	if err != nil {
+		return nil, err
+	}
+	return &RunResult{Value: v, Output: m.Output, DynOps: m.Steps}, nil
+}
+
+// Profile collects value predictability (stride and FCM rates per load)
+// and block frequencies from one sequential run.
+func (p *Program) Profile() (*profile.Profile, error) {
+	return profile.Collect(p.IR, "main")
+}
+
+// Speculate applies the paper's transformation: select predictable loads,
+// insert LdPred and check-prediction forms, mark speculative and
+// non-speculative operations, and assign Synchronization-register bits.
+func (p *Program) Speculate(prof *profile.Profile) (*SpecProgram, error) {
+	res, err := speculate.Transform(p.IR, prof, p.sys.Config)
+	if err != nil {
+		return nil, err
+	}
+	return &SpecProgram{sys: p.sys, Res: res}, nil
+}
+
+// SimResult is the outcome of a dual-engine simulation.
+type SimResult struct {
+	Value  uint64
+	Output []string
+	Cycles int64
+	Instrs int64
+	Ops    int64
+	// Prediction activity (zero for unspeculated programs).
+	Predictions int64
+	Mispredicts int64
+	CCEExecuted int64
+	CCEFlushed  int64
+	StallSync   int64
+	// MaxCCBOccupancy is the peak in-flight Compensation Code Buffer depth.
+	MaxCCBOccupancy int
+}
+
+// Simulate runs the unspeculated program on the VLIW machine (the baseline
+// for speedups).
+func (p *Program) Simulate() (*SimResult, error) {
+	return simulate(p.sys, p.IR, nil)
+}
+
+// SpecProgram is a value-speculated program.
+type SpecProgram struct {
+	sys *System
+	Res *speculate.Result
+}
+
+// Sites returns the selected prediction sites.
+func (sp *SpecProgram) Sites() []*speculate.Site { return sp.Res.Sites }
+
+// Simulate runs the transformed program on the dual-engine machine with
+// live predictor tables.
+func (sp *SpecProgram) Simulate() (*SimResult, error) {
+	schemes := map[int]profile.Scheme{}
+	for _, site := range sp.Res.Sites {
+		schemes[site.ID] = site.Scheme
+	}
+	return simulate(sp.sys, sp.Res.Prog, schemes)
+}
+
+func simulate(s *System, prog *ir.Program, schemes map[int]profile.Scheme) (*SimResult, error) {
+	r := exp.NewRunner(s.Machine)
+	r.Cfg = s.Config
+	r.DDG = ddg.Options{}
+	sim, err := r.NewSimulatorFor(prog, schemes)
+	if err != nil {
+		return nil, err
+	}
+	v, err := sim.Run("main")
+	if err != nil {
+		return nil, err
+	}
+	return &SimResult{
+		Value:           v,
+		Output:          sim.Output,
+		Cycles:          sim.Cycles,
+		Instrs:          sim.Instrs,
+		Ops:             sim.Ops,
+		Predictions:     sim.Predictions,
+		Mispredicts:     sim.Mispredicts,
+		CCEExecuted:     sim.CCEExecuted,
+		CCEFlushed:      sim.CCEFlushed,
+		StallSync:       sim.StallSync,
+		MaxCCBOccupancy: sim.MaxCCBOccupancy,
+	}, nil
+}

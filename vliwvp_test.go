@@ -1,0 +1,109 @@
+package vliwvp_test
+
+import (
+	"testing"
+
+	"vliwvp"
+)
+
+const facadeSrc = `
+var a[256]
+func main() {
+	for var i = 0; i < 256; i = i + 1 { a[i] = i * 4 }
+	var s = 0
+	for var i = 0; i < 256; i = i + 1 {
+		var x = a[i]
+		s = s + x * 3 - (x >> 1)
+	}
+	print(s)
+	return s
+}`
+
+func TestFacadePipeline(t *testing.T) {
+	sys, err := vliwvp.NewSystem(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := sys.Compile(facadeSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden, err := prog.Interpret()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, err := prog.Profile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := prog.Speculate(prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spec.Sites()) == 0 {
+		t.Fatal("no prediction sites selected")
+	}
+	base, err := prog.Simulate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := spec.Simulate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Value != golden.Value || fast.Value != golden.Value {
+		t.Errorf("values diverge: golden %d, base %d, fast %d", golden.Value, base.Value, fast.Value)
+	}
+	if len(fast.Output) != 1 || fast.Output[0] != golden.Output[0] {
+		t.Errorf("output diverges: %v vs %v", fast.Output, golden.Output)
+	}
+	if fast.Cycles >= base.Cycles {
+		t.Errorf("speculated %d cycles, baseline %d — expected speedup", fast.Cycles, base.Cycles)
+	}
+	if fast.Predictions == 0 {
+		t.Error("no dynamic predictions")
+	}
+}
+
+func TestNewSystemRejectsUnknownWidth(t *testing.T) {
+	if _, err := vliwvp.NewSystem(7); err == nil {
+		t.Error("accepted 7-wide")
+	}
+}
+
+func TestCompileBenchmark(t *testing.T) {
+	sys, err := vliwvp.NewSystem(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.CompileBenchmark("nope"); err == nil {
+		t.Error("accepted unknown benchmark")
+	}
+	prog, err := sys.CompileBenchmark("compress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := prog.Interpret()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DynOps == 0 {
+		t.Error("benchmark did no work")
+	}
+}
+
+func TestBenchmarksExposed(t *testing.T) {
+	if len(vliwvp.Benchmarks()) != 8 {
+		t.Errorf("want 8 benchmarks, got %d", len(vliwvp.Benchmarks()))
+	}
+	if vliwvp.MachineDesc("8-wide") == nil {
+		t.Error("MachineDesc(8-wide) missing")
+	}
+}
+
+func TestCompileErrorsSurface(t *testing.T) {
+	sys, _ := vliwvp.NewSystem(4)
+	if _, err := sys.Compile(`func main() { return undefined_var }`); err == nil {
+		t.Error("compile error swallowed")
+	}
+}
