@@ -5,23 +5,34 @@
 //
 // Usage:
 //
-//	vpexp -exp table2|table3|table4|fig8|baseline|speedup|all [-mach 4-wide]
+//	vpexp -exp table2|table3|table4|fig8|baseline|speedup|all [-mach 4-wide] [-j N]
 //	vpexp -exp threshold|predictors|ccb|regions|hyperblocks|disambig|ablations
+//	vpexp -oracle [-mach 4-wide] [-j N]
+//
+// -j bounds the worker pool the experiment cells fan across; any value
+// renders byte-identical tables. -oracle differentially tests the
+// dual-engine simulator against the sequential interpreter over the full
+// benchmark/configuration grid and exits nonzero on any divergence.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"vliwvp/internal/exp"
 	"vliwvp/internal/machine"
+	"vliwvp/internal/oracle"
+	"vliwvp/internal/workload"
 )
 
 func main() {
 	which := flag.String("exp", "all", "experiment: table2, table3, table4, fig8, baseline, speedup, all, "+
 		"or an ablation: threshold, predictors, ccb, regions, disambig, ablations")
 	mach := flag.String("mach", "4-wide", "machine description for single-width experiments")
+	jobs := flag.Int("j", runtime.NumCPU(), "max concurrent experiment cells (tables are identical at any value)")
+	oracleMode := flag.Bool("oracle", false, "differentially test the simulator against the interpreter and exit")
 	flag.Parse()
 
 	d := machine.ByName(*mach)
@@ -29,22 +40,32 @@ func main() {
 		fmt.Fprintf(os.Stderr, "vpexp: unknown machine %q\n", *mach)
 		os.Exit(2)
 	}
-	r := exp.NewRunner(d)
 
+	if *oracleMode {
+		runOracle(d, *jobs)
+		return
+	}
+
+	r := exp.NewRunner(d)
+	r.Jobs = *jobs
+
+	matched := false
 	run := func(name string, f func() error) {
 		if *which != "all" && *which != name {
 			return
 		}
+		matched = true
 		if err := f(); err != nil {
 			fmt.Fprintf(os.Stderr, "vpexp: %s: %v\n", name, err)
 			os.Exit(1)
 		}
 	}
-	runAblation := func(name string, f func(*machine.Desc) (fmt.Stringer, error)) {
+	runAblation := func(name string, f func(*machine.Desc, int) (fmt.Stringer, error)) {
 		if *which != "ablations" && *which != name {
 			return
 		}
-		t, err := f(d)
+		matched = true
+		t, err := f(d, *jobs)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "vpexp: %s: %v\n", name, err)
 			os.Exit(1)
@@ -77,7 +98,7 @@ func main() {
 		return nil
 	})
 	run("table4", func() error {
-		t, _, err := exp.RenderTable4()
+		t, _, err := exp.RenderTable4(*jobs)
 		if err != nil {
 			return err
 		}
@@ -101,10 +122,45 @@ func main() {
 		return nil
 	})
 
-	runAblation("threshold", func(d *machine.Desc) (fmt.Stringer, error) { return exp.RenderThresholdSweep(d) })
-	runAblation("predictors", func(d *machine.Desc) (fmt.Stringer, error) { return exp.RenderPredictorAblation(d) })
-	runAblation("ccb", func(d *machine.Desc) (fmt.Stringer, error) { return exp.RenderCCBSweep(d) })
-	runAblation("regions", func(d *machine.Desc) (fmt.Stringer, error) { return exp.RenderRegionAblation(d) })
-	runAblation("hyperblocks", func(d *machine.Desc) (fmt.Stringer, error) { return exp.RenderHyperblockMatrix(d) })
-	runAblation("disambig", func(d *machine.Desc) (fmt.Stringer, error) { return exp.RenderDisambiguationAblation(d) })
+	runAblation("threshold", exp2(exp.RenderThresholdSweep))
+	runAblation("predictors", exp2(exp.RenderPredictorAblation))
+	runAblation("ccb", exp2(exp.RenderCCBSweep))
+	runAblation("regions", exp2(exp.RenderRegionAblation))
+	runAblation("hyperblocks", exp2(exp.RenderHyperblockMatrix))
+	runAblation("disambig", exp2(exp.RenderDisambiguationAblation))
+
+	if !matched {
+		fmt.Fprintf(os.Stderr, "vpexp: unknown experiment %q\n", *which)
+		os.Exit(2)
+	}
+}
+
+// exp2 adapts a concrete table renderer to the runAblation signature.
+func exp2[T fmt.Stringer](f func(*machine.Desc, int) (T, error)) func(*machine.Desc, int) (fmt.Stringer, error) {
+	return func(d *machine.Desc, jobs int) (fmt.Stringer, error) { return f(d, jobs) }
+}
+
+// runOracle sweeps the standard differential-testing grid and reports one
+// line per cell. Any divergence (or harness failure) exits nonzero.
+func runOracle(d *machine.Desc, jobs int) {
+	cells := oracle.StandardCells(workload.All(), []*machine.Desc{d})
+	divs, err := oracle.CheckGrid(cells, jobs)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "vpexp: oracle: %v\n", err)
+		os.Exit(1)
+	}
+	bad := 0
+	for i, cell := range cells {
+		if divs[i] == nil {
+			fmt.Printf("ok      %-14s %s\n", cell.Bench.Name, cell.Label)
+			continue
+		}
+		bad++
+		fmt.Printf("DIVERGE %-14s %s\n        %v\n", cell.Bench.Name, cell.Label, divs[i])
+	}
+	if bad > 0 {
+		fmt.Printf("oracle: %d of %d cells diverged\n", bad, len(cells))
+		os.Exit(1)
+	}
+	fmt.Printf("oracle: %d cells, no divergence\n", len(cells))
 }

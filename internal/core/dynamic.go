@@ -186,12 +186,37 @@ func NewSimulator(prog *ir.Program, ps *sched.ProgSched, d *machine.Desc,
 	return s, nil
 }
 
-// Run executes the entry function and returns its result.
+// reset restores construction-time state so a reused Simulator's runs are
+// independent and reproducible: statistics (including MaxCCBOccupancy and
+// every stall counter), engine state, predictor tables, and the
+// architectural memory image all start fresh.
+func (s *Simulator) reset() {
+	s.Cycles, s.Instrs, s.Ops = 0, 0, 0
+	s.StallSync, s.StallScore, s.StallCCB, s.StallBar = 0, 0, 0, 0
+	s.CCEExecuted, s.CCEFlushed, s.Mispredicts, s.Predictions = 0, 0, 0, 0
+	s.StallRecovery = 0
+	s.MaxCCBOccupancy = 0
+	s.Output = nil
+	s.stallUntil, s.seq, s.cycle = 0, 0, 0
+	s.callDepth = 0
+	s.syncBusy = 0
+	s.simErr = nil
+	s.events = map[int64][]func(){}
+	s.ccb, s.ccbHead = nil, 0
+	s.stack = nil
+	s.preds = map[int]predict.Predictor{}
+	s.mem.Reset()
+}
+
+// Run executes the entry function and returns its result. Each call starts
+// from a fresh architectural state: a Simulator may be reused, and every
+// run reports independent statistics.
 func (s *Simulator) Run(entry string, args ...uint64) (uint64, error) {
 	f := s.Prog.Func(entry)
 	if f == nil {
 		return 0, fmt.Errorf("core: no function %q", entry)
 	}
+	s.reset()
 	root := s.newFrame(f, ir.NoReg)
 	copy(root.regs, args)
 	s.stack = append(s.stack, root)

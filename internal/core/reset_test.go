@@ -1,0 +1,132 @@
+package core_test
+
+import (
+	"testing"
+
+	"vliwvp/internal/core"
+	"vliwvp/internal/machine"
+)
+
+// resetKernel mixes hits and misses so every statistic the simulator
+// reports is nonzero: predictions, mispredictions, CCE activity, stalls,
+// CCB occupancy, and printed output.
+const resetKernel = `
+var a[256]
+var out[256]
+func main() {
+	for var i = 0; i < 256; i = i + 1 {
+		if i % 8 < 7 { a[i] = 5 } else { a[i] = (i * 2654435761) % 1000 }
+	}
+	var s = 0
+	for var i = 0; i < 256; i = i + 1 {
+		var x = a[i]
+		var y = x * 3 + 7
+		out[i] = y
+		s = s + y
+	}
+	print(s)
+	return s
+}`
+
+type simStats struct {
+	value                                     uint64
+	cycles, instrs, ops                       int64
+	stallSync, stallScore, stallCCB, stallBar int64
+	cceExecuted, cceFlushed                   int64
+	predictions, mispredicts, stallRecovery   int64
+	maxCCBOccupancy                           int
+	output                                    []string
+}
+
+func capture(t *testing.T, sim *core.Simulator) simStats {
+	t.Helper()
+	v, err := sim.Run("main")
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return simStats{
+		value:  v,
+		cycles: sim.Cycles, instrs: sim.Instrs, ops: sim.Ops,
+		stallSync: sim.StallSync, stallScore: sim.StallScore,
+		stallCCB: sim.StallCCB, stallBar: sim.StallBar,
+		cceExecuted: sim.CCEExecuted, cceFlushed: sim.CCEFlushed,
+		predictions: sim.Predictions, mispredicts: sim.Mispredicts,
+		stallRecovery:   sim.StallRecovery,
+		maxCCBOccupancy: sim.MaxCCBOccupancy,
+		output:          sim.Output,
+	}
+}
+
+func assertStatsEqual(t *testing.T, label string, a, b simStats) {
+	t.Helper()
+	if a.value != b.value {
+		t.Errorf("%s: value %d != %d", label, a.value, b.value)
+	}
+	if a.cycles != b.cycles || a.instrs != b.instrs || a.ops != b.ops {
+		t.Errorf("%s: cycles/instrs/ops (%d,%d,%d) != (%d,%d,%d)",
+			label, a.cycles, a.instrs, a.ops, b.cycles, b.instrs, b.ops)
+	}
+	if a.stallSync != b.stallSync || a.stallScore != b.stallScore ||
+		a.stallCCB != b.stallCCB || a.stallBar != b.stallBar || a.stallRecovery != b.stallRecovery {
+		t.Errorf("%s: stalls (%d,%d,%d,%d,%d) != (%d,%d,%d,%d,%d)", label,
+			a.stallSync, a.stallScore, a.stallCCB, a.stallBar, a.stallRecovery,
+			b.stallSync, b.stallScore, b.stallCCB, b.stallBar, b.stallRecovery)
+	}
+	if a.cceExecuted != b.cceExecuted || a.cceFlushed != b.cceFlushed {
+		t.Errorf("%s: CCE (%d,%d) != (%d,%d)", label, a.cceExecuted, a.cceFlushed, b.cceExecuted, b.cceFlushed)
+	}
+	if a.predictions != b.predictions || a.mispredicts != b.mispredicts {
+		t.Errorf("%s: predictions %d/%d != %d/%d", label, a.predictions, a.mispredicts, b.predictions, b.mispredicts)
+	}
+	if a.maxCCBOccupancy != b.maxCCBOccupancy {
+		t.Errorf("%s: MaxCCBOccupancy %d != %d", label, a.maxCCBOccupancy, b.maxCCBOccupancy)
+	}
+	if len(a.output) != len(b.output) {
+		t.Errorf("%s: output %v != %v", label, a.output, b.output)
+	} else {
+		for i := range a.output {
+			if a.output[i] != b.output[i] {
+				t.Errorf("%s: output[%d] %q != %q", label, i, a.output[i], b.output[i])
+			}
+		}
+	}
+}
+
+// TestSimulatorRunsAreIndependent is the regression test for reused
+// simulators: two back-to-back Run calls on one Simulator must report
+// identical, independent results — statistics (including MaxCCBOccupancy
+// and every stall counter), predictor tables, memory image, and output all
+// reset at the top of Run. Before the reset was added, the second run
+// inherited the first run's predictor tables and accumulated statistics.
+func TestSimulatorRunsAreIndependent(t *testing.T) {
+	sim, _ := buildSim(t, resetKernel, true, machine.W4)
+	first := capture(t, sim)
+	if first.predictions == 0 || first.mispredicts == 0 {
+		t.Fatalf("kernel under-exercises the machine: %+v", first)
+	}
+	if first.maxCCBOccupancy == 0 {
+		t.Fatalf("kernel never occupied the CCB; MaxCCBOccupancy reset cannot be observed")
+	}
+	second := capture(t, sim)
+	assertStatsEqual(t, "rerun on same simulator", first, second)
+
+	// A fresh simulator over the same program must agree too — the reused
+	// simulator carries no hidden state a fresh one lacks.
+	fresh, _ := buildSim(t, resetKernel, true, machine.W4)
+	assertStatsEqual(t, "fresh simulator", first, capture(t, fresh))
+}
+
+// TestSimulatorSerialRunsAreIndependent repeats the check in
+// serial-recovery mode, whose stall bookkeeping (stallUntil, StallRecovery)
+// also must reset between runs.
+func TestSimulatorSerialRunsAreIndependent(t *testing.T) {
+	sim, _ := buildSim(t, resetKernel, true, machine.W4)
+	sim.SerialRecovery = true
+	sim.BranchPenalty = 1
+	first := capture(t, sim)
+	if first.mispredicts == 0 {
+		t.Fatalf("kernel produced no mispredictions")
+	}
+	second := capture(t, sim)
+	assertStatsEqual(t, "serial rerun", first, second)
+}

@@ -1,0 +1,170 @@
+package core_test
+
+import (
+	"testing"
+
+	"vliwvp/internal/core"
+	"vliwvp/internal/interp"
+	"vliwvp/internal/machine"
+)
+
+// The tests here pin down edge cases of the serial-recovery baseline
+// machine ([4]): the per-mispredict stall is 2*BranchPenalty +
+// RecoveryLen[site], sites absent from the RecoveryLen map charge one
+// cycle, a zero branch penalty is legal, and recovery interacts correctly
+// with call/return barriers.
+
+// serialKernel mispredicts reliably: the array is ~87% constant with a
+// pseudo-random value every eighth element, so its loads clear the
+// selection threshold yet miss on the irregular elements.
+const serialKernel = `
+var a[256]
+var out[256]
+func main() {
+	for var i = 0; i < 256; i = i + 1 {
+		if i % 8 < 7 { a[i] = 5 } else { a[i] = (i * 2654435761) % 1000 }
+	}
+	var s = 0
+	for var i = 0; i < 256; i = i + 1 {
+		var x = a[i]
+		var y = x * 3 + 1
+		out[i] = y
+		s = s + y
+	}
+	return s
+}`
+
+// runSerial wires a speculating simulator in serial-recovery mode, runs it,
+// and validates the result against the sequential interpreter.
+func runSerial(t *testing.T, src string, recLen map[int]int, branchPenalty int) *core.Simulator {
+	t.Helper()
+	sim, orig := buildSim(t, src, true, machine.W4)
+	sim.SerialRecovery = true
+	sim.RecoveryLen = recLen
+	sim.BranchPenalty = branchPenalty
+	got, err := sim.Run("main")
+	if err != nil {
+		t.Fatalf("serial sim (bp=%d): %v", branchPenalty, err)
+	}
+	want, err := interp.New(orig).RunMain()
+	if err != nil {
+		t.Fatalf("interp: %v", err)
+	}
+	if got != want {
+		t.Fatalf("serial sim (bp=%d) returned %d, interp %d", branchPenalty, got, want)
+	}
+	return sim
+}
+
+// TestSerialRecoveryAbsentSitesChargeOneCycle: a nil (or empty) RecoveryLen
+// map must behave exactly like a map giving every site a one-cycle
+// recovery block — that is the documented default for absent sites.
+func TestSerialRecoveryAbsentSitesChargeOneCycle(t *testing.T) {
+	absent := runSerial(t, serialKernel, nil, 1)
+	if absent.Mispredicts == 0 {
+		t.Fatalf("kernel produced no mispredictions; the default-charge path was not exercised")
+	}
+
+	ones := map[int]int{}
+	for id := range absent.Schemes {
+		ones[id] = 1
+	}
+	explicit := runSerial(t, serialKernel, ones, 1)
+	if absent.Cycles != explicit.Cycles {
+		t.Errorf("absent RecoveryLen charged %d cycles, explicit len=1 charged %d", absent.Cycles, explicit.Cycles)
+	}
+	if absent.StallRecovery != explicit.StallRecovery {
+		t.Errorf("recovery stalls differ: absent %d, explicit %d", absent.StallRecovery, explicit.StallRecovery)
+	}
+
+	// A longer recovery block must cost strictly more.
+	long := map[int]int{}
+	for id := range absent.Schemes {
+		long[id] = 9
+	}
+	slow := runSerial(t, serialKernel, long, 1)
+	if slow.Cycles <= absent.Cycles {
+		t.Errorf("RecoveryLen=9 ran in %d cycles, not more than default's %d", slow.Cycles, absent.Cycles)
+	}
+}
+
+// TestSerialRecoveryZeroBranchPenalty: BranchPenalty=0 is legal (the stall
+// degenerates to the recovery length alone), stays semantically correct,
+// and never costs more than a positive penalty on the same program.
+func TestSerialRecoveryZeroBranchPenalty(t *testing.T) {
+	free := runSerial(t, serialKernel, nil, 0)
+	if free.Mispredicts == 0 {
+		t.Fatalf("kernel produced no mispredictions")
+	}
+	taxed := runSerial(t, serialKernel, nil, 2)
+	if free.Mispredicts != taxed.Mispredicts {
+		t.Fatalf("mispredict counts differ across penalties: %d vs %d", free.Mispredicts, taxed.Mispredicts)
+	}
+	if free.Cycles > taxed.Cycles {
+		t.Errorf("bp=0 ran in %d cycles, more than bp=2's %d", free.Cycles, taxed.Cycles)
+	}
+	if free.StallRecovery >= taxed.StallRecovery {
+		t.Errorf("bp=0 stalled %d recovery cycles, expected fewer than bp=2's %d",
+			free.StallRecovery, taxed.StallRecovery)
+	}
+}
+
+// serialCallKernel feeds a speculated load's value straight into a call, so
+// every mispredict resolves while the machine is parked at the call
+// boundary: the compiler inserts Synchronization-register wait bits before
+// the call, and the recovery stall must compose with that wait — not
+// deadlock or corrupt state.
+const serialCallKernel = `
+var a[256]
+func g(v) {
+	return v * 2 + 3
+}
+func main() {
+	for var i = 0; i < 256; i = i + 1 {
+		if i % 8 < 7 { a[i] = 5 } else { a[i] = (i * 2654435761) % 1000 }
+	}
+	var s = 0
+	for var i = 0; i < 256; i = i + 1 {
+		var x = a[i]
+		var y = x * 5 + 1
+		s = s + g(y)
+	}
+	return s
+}`
+
+func TestSerialRecoveryMispredictAtCallBoundary(t *testing.T) {
+	// Dual-engine reference: the call boundary forces full verification,
+	// observable as Synchronization-register stalls.
+	dual, orig := buildSim(t, serialCallKernel, true, machine.W4)
+	got, err := dual.Run("main")
+	if err != nil {
+		t.Fatalf("dual sim: %v", err)
+	}
+	want, err := interp.New(orig).RunMain()
+	if err != nil {
+		t.Fatalf("interp: %v", err)
+	}
+	if got != want {
+		t.Fatalf("dual sim returned %d, interp %d", got, want)
+	}
+	if dual.Mispredicts == 0 {
+		t.Fatalf("no mispredictions; call-boundary interaction not exercised")
+	}
+	if dual.StallSync == 0 {
+		t.Errorf("dual engine recorded no Synchronization stalls at the call boundary")
+	}
+
+	// Serial mode must stay correct at every branch penalty, convert the
+	// verification waits into recovery stalls, and agree with the dual
+	// engine on what was predicted.
+	for _, bp := range []int{0, 1, 2} {
+		sim := runSerial(t, serialCallKernel, nil, bp)
+		if sim.Predictions != dual.Predictions || sim.Mispredicts != dual.Mispredicts {
+			t.Errorf("bp=%d: predictions %d/%d differ from dual engine's %d/%d",
+				bp, sim.Predictions, sim.Mispredicts, dual.Predictions, dual.Mispredicts)
+		}
+		if bp > 0 && sim.StallRecovery == 0 {
+			t.Errorf("bp=%d: mispredicts at the call boundary charged no recovery stalls", bp)
+		}
+	}
+}

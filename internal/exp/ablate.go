@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"vliwvp/internal/machine"
+	"vliwvp/internal/pool"
 	"vliwvp/internal/profile"
 	"vliwvp/internal/stats"
 	"vliwvp/internal/workload"
@@ -14,6 +15,13 @@ import (
 // calls out: the 65% selection threshold, the max(stride, FCM) hybrid
 // profile, the CCB size, the conservative memory dependences, and the
 // superblock region-formation extension.
+//
+// Each driver fans its flat (configuration × benchmark) grid across a
+// worker pool (the jobs parameter) into index-addressed cells, then
+// aggregates serially in grid order — so tables are byte-identical at any
+// parallelism. The runners share the process-wide pipeline cache: a sweep
+// that varies only back-end knobs compiles and profiles each benchmark
+// once.
 
 // thresholdPoints are the selection thresholds swept (the paper keeps 0.65
 // "fairly low ... to analyze the misprediction cases as well").
@@ -23,32 +31,51 @@ var thresholdPoints = []float64{0.50, 0.65, 0.80, 0.95}
 // sites, the all-benchmark average best-case and measured schedule ratios,
 // and the misprediction share — the aggressiveness trade-off behind the
 // paper's threshold choice.
-func RenderThresholdSweep(d *machine.Desc) (*stats.Table, error) {
+func RenderThresholdSweep(d *machine.Desc, jobs int) (*stats.Table, error) {
 	t := &stats.Table{
 		Title:   fmt.Sprintf("Ablation: load-selection threshold (%s)", d.Name),
 		Headers: []string{"Threshold", "Sites", "Best ratio", "Measured ratio", "Mispredict share"},
 	}
-	for _, th := range thresholdPoints {
-		r := NewRunner(d)
-		r.Cfg.Threshold = th
+	runners := make([]*Runner, len(thresholdPoints))
+	for i, th := range thresholdPoints {
+		runners[i] = NewRunner(d)
+		runners[i].Cfg.Threshold = th
+	}
+	nb := len(runners[0].Benchmarks)
+	type cell struct {
+		sites          int
+		best, measured float64
+		preds, miss    float64
+	}
+	cells := make([]cell, len(thresholdPoints)*nb)
+	err := pool.ForEach(jobs, len(cells), func(i int) error {
+		r := runners[i/nb]
+		bd, err := r.Prepare(r.Benchmarks[i%nb])
+		if err != nil {
+			return err
+		}
+		row, err := Table3(bd)
+		if err != nil {
+			return err
+		}
+		p, m := mispredictShare(bd)
+		cells[i] = cell{sites: len(bd.Res.Sites), best: row.Best, measured: row.Measured, preds: p, miss: m}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for ti, th := range thresholdPoints {
 		sites := 0
 		var best, measured stats.WeightedMean
 		var preds, miss float64
-		for _, w := range r.Benchmarks {
-			bd, err := r.Prepare(w)
-			if err != nil {
-				return nil, err
-			}
-			sites += len(bd.Res.Sites)
-			row, err := Table3(bd)
-			if err != nil {
-				return nil, err
-			}
-			best.Add(row.Best, 1)
-			measured.Add(row.Measured, 1)
-			p, m := mispredictShare(bd)
-			preds += p
-			miss += m
+		for bi := 0; bi < nb; bi++ {
+			c := cells[ti*nb+bi]
+			sites += c.sites
+			best.Add(c.best, 1)
+			measured.Add(c.measured, 1)
+			preds += c.preds
+			miss += c.miss
 		}
 		share := 0.0
 		if preds > 0 {
@@ -77,8 +104,10 @@ func mispredictShare(bd *BenchData) (preds, miss float64) {
 }
 
 // RenderPredictorAblation compares selection and schedule quality when the
-// profile may use only stride, only FCM, or the paper's max of both.
-func RenderPredictorAblation(d *machine.Desc) (*stats.Table, error) {
+// profile may use only stride, only FCM, or the paper's max of both. The
+// shared front-end profile is cloned before masking, so the cached copy is
+// never mutated.
+func RenderPredictorAblation(d *machine.Desc, jobs int) (*stats.Table, error) {
 	t := &stats.Table{
 		Title:   fmt.Sprintf("Ablation: profiling predictor family (%s)", d.Name),
 		Headers: []string{"Profile", "Sites", "Best ratio", "Measured ratio"},
@@ -91,33 +120,49 @@ func RenderPredictorAblation(d *machine.Desc) (*stats.Table, error) {
 		{"fcm only", func(lp *profile.LoadProfile) { lp.StrideRate = 0 }},
 		{"max(stride,fcm)", func(lp *profile.LoadProfile) {}},
 	}
-	for _, fam := range families {
-		r := NewRunner(d)
+	r := NewRunner(d)
+	nb := len(r.Benchmarks)
+	type cell struct {
+		sites          int
+		best, measured float64
+	}
+	cells := make([]cell, len(families)*nb)
+	err := pool.ForEach(jobs, len(cells), func(i int) error {
+		fam, w := families[i/nb], r.Benchmarks[i%nb]
+		fe, err := r.frontEndFor(w)
+		if err != nil {
+			return err
+		}
+		lens, err := r.origLensFor(w, fe)
+		if err != nil {
+			return err
+		}
+		prof := fe.Prof.Clone()
+		for _, lp := range prof.Loads {
+			fam.mask(lp)
+		}
+		bd, err := r.prepareFrom(w, fe.Prog, prof, lens)
+		if err != nil {
+			return err
+		}
+		row, err := Table3(bd)
+		if err != nil {
+			return err
+		}
+		cells[i] = cell{sites: len(bd.Res.Sites), best: row.Best, measured: row.Measured}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for fi, fam := range families {
 		sites := 0
 		var best, measured stats.WeightedMean
-		for _, w := range r.Benchmarks {
-			prog, err := w.Compile()
-			if err != nil {
-				return nil, err
-			}
-			prof, err := profile.Collect(prog, "main")
-			if err != nil {
-				return nil, err
-			}
-			for _, lp := range prof.Loads {
-				fam.mask(lp)
-			}
-			bd, err := r.PrepareWithProfile(w, prog, prof)
-			if err != nil {
-				return nil, err
-			}
-			sites += len(bd.Res.Sites)
-			row, err := Table3(bd)
-			if err != nil {
-				return nil, err
-			}
-			best.Add(row.Best, 1)
-			measured.Add(row.Measured, 1)
+		for bi := 0; bi < nb; bi++ {
+			c := cells[fi*nb+bi]
+			sites += c.sites
+			best.Add(c.best, 1)
+			measured.Add(c.measured, 1)
 		}
 		t.AddRow(fam.name, fmt.Sprintf("%d", sites), stats.F(best.Mean()), stats.F(measured.Mean()))
 	}
@@ -139,28 +184,45 @@ const DefaultCCBPoint = 64
 // comparison population fixed across rows: with a shrinking bit budget the
 // set of speculated blocks changes, so per-block ratios would compare
 // different block populations.
-func RenderCCBSweep(d *machine.Desc) (*stats.Table, error) {
+func RenderCCBSweep(d *machine.Desc, jobs int) (*stats.Table, error) {
 	t := &stats.Table{
 		Title:   fmt.Sprintf("Ablation: Compensation Code Buffer capacity + bit budget (%s)", d.Name),
 		Headers: []string{"CCB entries", "Total spec cycles", "Sites", "vs full buffer"},
 	}
+	runners := make([]*Runner, len(ccbPoints))
+	for i, c := range ccbPoints {
+		runners[i] = NewRunner(d)
+		runners[i].CCBCapacity = c
+		runners[i].Cfg.MaxSyncBits = c
+	}
+	nb := len(runners[0].Benchmarks)
+	type cell struct {
+		cycles int64
+		sites  int
+	}
+	cells := make([]cell, len(ccbPoints)*nb)
+	err := pool.ForEach(jobs, len(cells), func(i int) error {
+		r, w := runners[i/nb], runners[i/nb].Benchmarks[i%nb]
+		row, err := r.Speedup(w)
+		if err != nil {
+			return err
+		}
+		bd, err := r.Prepare(w)
+		if err != nil {
+			return err
+		}
+		cells[i] = cell{cycles: row.SpecCycles, sites: len(bd.Res.Sites)}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	totals := make([]int64, len(ccbPoints))
 	sites := make([]int, len(ccbPoints))
-	for i, c := range ccbPoints {
-		r := NewRunner(d)
-		r.CCBCapacity = c
-		r.Cfg.MaxSyncBits = c
-		for _, w := range r.Benchmarks {
-			row, err := r.Speedup(w)
-			if err != nil {
-				return nil, err
-			}
-			totals[i] += row.SpecCycles
-			bd, err := r.Prepare(w)
-			if err != nil {
-				return nil, err
-			}
-			sites[i] += len(bd.Res.Sites)
+	for ci := range ccbPoints {
+		for bi := 0; bi < nb; bi++ {
+			totals[ci] += cells[ci*nb+bi].cycles
+			sites[ci] += cells[ci*nb+bi].sites
 		}
 	}
 	full := totals[len(totals)-1]
@@ -177,7 +239,7 @@ func RenderCCBSweep(d *machine.Desc) (*stats.Table, error) {
 // end to end: per-block ratios hide the cycles that region formation saves
 // by deleting block boundaries, so the columns are dynamic dual-engine
 // cycle counts (both validated against the sequential interpreter).
-func RenderRegionAblation(d *machine.Desc) (*stats.Table, error) {
+func RenderRegionAblation(d *machine.Desc, jobs int) (*stats.Table, error) {
 	t := &stats.Table{
 		Title: fmt.Sprintf("Extension: superblock region formation (%s)", d.Name),
 		Headers: []string{"Benchmark", "Spec cycles (blocks)", "Spec cycles (regions)",
@@ -186,35 +248,51 @@ func RenderRegionAblation(d *machine.Desc) (*stats.Table, error) {
 	base := NewRunner(d)
 	reg := NewRunner(d)
 	reg.Regions = true
-	var geo float64 = 1
-	n := 0
-	for _, w := range workload.All() {
+	benches := workload.All()
+	type cell struct {
+		cyclesB, cyclesR int64
+		sitesB, sitesR   int
+	}
+	cells := make([]cell, len(benches))
+	err := pool.ForEach(jobs, len(benches), func(i int) error {
+		w := benches[i]
 		rowB, err := base.Speedup(w)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		rowR, err := reg.Speedup(w)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		bdB, err := base.Prepare(w)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		bdR, err := reg.Prepare(w)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		gain := float64(rowB.SpecCycles) / float64(rowR.SpecCycles)
-		geo *= gain
-		n++
-		t.AddRow(w.Name,
-			fmt.Sprintf("%d", rowB.SpecCycles), fmt.Sprintf("%d", rowR.SpecCycles),
-			fmt.Sprintf("%.3fx", gain),
-			fmt.Sprintf("%d", len(bdB.Res.Sites)), fmt.Sprintf("%d", len(bdR.Res.Sites)))
+		cells[i] = cell{
+			cyclesB: rowB.SpecCycles, cyclesR: rowR.SpecCycles,
+			sitesB: len(bdB.Res.Sites), sitesR: len(bdR.Res.Sites),
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	if n > 0 {
-		t.AddRow("geomean", "", "", fmt.Sprintf("%.3fx", geoMean(geo, n)), "", "")
+	var geo float64 = 1
+	for i, w := range benches {
+		c := cells[i]
+		gain := float64(c.cyclesB) / float64(c.cyclesR)
+		geo *= gain
+		t.AddRow(w.Name,
+			fmt.Sprintf("%d", c.cyclesB), fmt.Sprintf("%d", c.cyclesR),
+			fmt.Sprintf("%.3fx", gain),
+			fmt.Sprintf("%d", c.sitesB), fmt.Sprintf("%d", c.sitesR))
+	}
+	if len(benches) > 0 {
+		t.AddRow("geomean", "", "", fmt.Sprintf("%.3fx", geoMean(geo, len(benches))), "", "")
 	}
 	return t, nil
 }
@@ -230,7 +308,7 @@ func geoMean(prod float64, n int) float64 {
 // matrix end to end: basic blocks, if-conversion only, superblocks only,
 // and both combined (if-conversion first, then trace formation over the
 // branch-reduced CFG) — all validated against the sequential interpreter.
-func RenderHyperblockMatrix(d *machine.Desc) (*stats.Table, error) {
+func RenderHyperblockMatrix(d *machine.Desc, jobs int) (*stats.Table, error) {
 	t := &stats.Table{
 		Title:   fmt.Sprintf("Extension: hyperblock-style region matrix (%s)", d.Name),
 		Headers: []string{"Configuration", "Total spec cycles", "vs basic blocks"},
@@ -244,17 +322,30 @@ func RenderHyperblockMatrix(d *machine.Desc) (*stats.Table, error) {
 		{"superblocks", false, true},
 		{"ifconv + superblocks", true, true},
 	}
-	totals := make([]int64, len(configs))
+	runners := make([]*Runner, len(configs))
 	for i, c := range configs {
-		r := NewRunner(d)
-		r.IfConvert = c.ifconv
-		r.Regions = c.regions
-		for _, w := range r.Benchmarks {
-			row, err := r.Speedup(w)
-			if err != nil {
-				return nil, fmt.Errorf("%s/%s: %w", c.name, w.Name, err)
-			}
-			totals[i] += row.SpecCycles
+		runners[i] = NewRunner(d)
+		runners[i].IfConvert = c.ifconv
+		runners[i].Regions = c.regions
+	}
+	nb := len(runners[0].Benchmarks)
+	cycles := make([]int64, len(configs)*nb)
+	err := pool.ForEach(jobs, len(cycles), func(i int) error {
+		r, w := runners[i/nb], runners[i/nb].Benchmarks[i%nb]
+		row, err := r.Speedup(w)
+		if err != nil {
+			return fmt.Errorf("%s/%s: %w", configs[i/nb].name, w.Name, err)
+		}
+		cycles[i] = row.SpecCycles
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	totals := make([]int64, len(configs))
+	for ci := range configs {
+		for bi := 0; bi < nb; bi++ {
+			totals[ci] += cycles[ci*nb+bi]
 		}
 	}
 	for i, c := range configs {
@@ -267,7 +358,7 @@ func RenderHyperblockMatrix(d *machine.Desc) (*stats.Table, error) {
 // RenderDisambiguationAblation quantifies the cost of the conservative
 // memory model the paper assumes: original schedule lengths with and
 // without the trivial static disambiguator.
-func RenderDisambiguationAblation(d *machine.Desc) (*stats.Table, error) {
+func RenderDisambiguationAblation(d *machine.Desc, jobs int) (*stats.Table, error) {
 	t := &stats.Table{
 		Title:   fmt.Sprintf("Ablation: conservative vs disambiguated memory dependences (%s)", d.Name),
 		Headers: []string{"Benchmark", "Time (conservative)", "Time (disambiguated)", "Ratio"},
@@ -276,20 +367,34 @@ func RenderDisambiguationAblation(d *machine.Desc) (*stats.Table, error) {
 	rel := NewRunner(d)
 	rel.DDG.Disambiguate = true
 	rel.Cfg.DDG.Disambiguate = true
-	for _, w := range workload.All() {
+	benches := workload.All()
+	type cell struct {
+		timeC, timeR float64
+	}
+	cells := make([]cell, len(benches))
+	err := pool.ForEach(jobs, len(benches), func(i int) error {
+		w := benches[i]
 		bdC, err := cons.Prepare(w)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		bdR, err := rel.Prepare(w)
 		if err != nil {
-			return nil, err
+			return err
 		}
+		cells[i] = cell{timeC: bdC.TotalTime, timeR: bdR.TotalTime}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, w := range benches {
+		c := cells[i]
 		ratio := 0.0
-		if bdC.TotalTime > 0 {
-			ratio = bdR.TotalTime / bdC.TotalTime
+		if c.timeC > 0 {
+			ratio = c.timeR / c.timeC
 		}
-		t.AddRow(w.Name, fmt.Sprintf("%.0f", bdC.TotalTime), fmt.Sprintf("%.0f", bdR.TotalTime), stats.F(ratio))
+		t.AddRow(w.Name, fmt.Sprintf("%.0f", c.timeC), fmt.Sprintf("%.0f", c.timeR), stats.F(ratio))
 	}
 	return t, nil
 }

@@ -210,34 +210,42 @@ func (r *Runner) icacheStudy(bd *BenchData, bm *baseline.Model, ic ICacheConfig)
 // RenderBaseline runs the comparison for every benchmark, including the
 // fully dynamic end-to-end cycle counts of both machines (the serial
 // [4]-style machine and the proposed dual-engine one, both validated
-// against the sequential interpreter).
+// against the sequential interpreter). Benchmarks fan across the runner's
+// worker pool; rows aggregate in input order.
 func RenderBaseline(r *Runner, ic ICacheConfig) (*stats.Table, []BaselineRow, error) {
 	t := &stats.Table{
 		Title: fmt.Sprintf("Comparison with static compensation blocks [4] (%s)", r.D.Name),
 		Headers: []string{"Benchmark", "Comp% [4]", "Comp% ours", "Sched [4]", "Sched ours",
 			"Code growth", "I$ miss [4]", "I$ miss ours", "Cycles [4]", "Cycles ours"},
 	}
-	var rows []BaselineRow
-	for _, b := range r.Benchmarks {
+	rows := make([]BaselineRow, len(r.Benchmarks))
+	err := r.forEach(len(r.Benchmarks), func(i int) error {
+		b := r.Benchmarks[i]
 		bd, err := r.Prepare(b)
 		if err != nil {
-			return nil, nil, err
+			return err
 		}
 		row, err := r.CompareBaseline(bd, ic)
 		if err != nil {
-			return nil, nil, err
+			return err
 		}
 		serial, err := r.SpeedupSerial(b)
 		if err != nil {
-			return nil, nil, err
+			return err
 		}
 		ours, err := r.Speedup(b)
 		if err != nil {
-			return nil, nil, err
+			return err
 		}
 		row.DynCyclesBase = serial.SpecCycles
 		row.DynCyclesOurs = ours.SpecCycles
-		rows = append(rows, row)
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, row := range rows {
 		t.AddRow(row.Name, stats.Pct(row.CompFracBase), stats.Pct(row.CompFracOurs),
 			stats.F(row.SchedRatioBase), stats.F(row.SchedRatioOurs),
 			fmt.Sprintf("%d", row.CodeGrowthInstrs),

@@ -1,0 +1,94 @@
+// Package cache provides the keyed, sharded, single-flight memoization
+// layer behind the parallel experiment runner. The experiment drivers share
+// one front-end pipeline (compile → if-convert → region formation → value
+// profile) and one baseline schedule per configuration fingerprint, so a
+// sweep that varies only back-end knobs (selection threshold, CCB capacity,
+// machine width) computes each front end exactly once — even when many
+// worker goroutines request it simultaneously.
+//
+// Values stored here are shared across goroutines and configurations, so
+// they must be immutable after publication. See DESIGN.md ("Compile-cache
+// keying") for what is safe to share and what is not.
+package cache
+
+import (
+	"hash/fnv"
+	"sync"
+)
+
+// shardCount spreads keys over independent locks so concurrent workers
+// requesting different keys do not serialize on one mutex.
+const shardCount = 32
+
+type entry struct {
+	once sync.Once
+	val  any
+	err  error
+}
+
+type shard struct {
+	mu      sync.Mutex
+	entries map[string]*entry
+}
+
+// Cache memoizes keyed computations with single-flight semantics: for each
+// key the compute function runs at most once, concurrent callers block on
+// the first computation, and both values and errors are memoized (an error
+// is as deterministic as a value — re-running would produce the same one).
+type Cache struct {
+	shards [shardCount]shard
+}
+
+// New returns an empty cache.
+func New() *Cache {
+	c := &Cache{}
+	for i := range c.shards {
+		c.shards[i].entries = map[string]*entry{}
+	}
+	return c
+}
+
+func (c *Cache) shard(key string) *shard {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return &c.shards[h.Sum32()%shardCount]
+}
+
+// Do returns the memoized result for key, running compute at most once per
+// key over the cache's lifetime. compute must return a value that is safe
+// to share: either immutable, or documented read-only.
+func (c *Cache) Do(key string, compute func() (any, error)) (any, error) {
+	s := c.shard(key)
+	s.mu.Lock()
+	e := s.entries[key]
+	if e == nil {
+		e = &entry{}
+		s.entries[key] = e
+	}
+	s.mu.Unlock()
+	e.once.Do(func() { e.val, e.err = compute() })
+	return e.val, e.err
+}
+
+// Len reports the number of memoized keys (including failed computations).
+func (c *Cache) Len() int {
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += len(s.entries)
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// Flush drops every entry. Outstanding computations finish against the old
+// entries; subsequent Do calls recompute.
+func (c *Cache) Flush() {
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		s.entries = map[string]*entry{}
+		s.mu.Unlock()
+	}
+}

@@ -1,0 +1,100 @@
+package cache_test
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"vliwvp/internal/exp/cache"
+)
+
+func TestDoMemoizesPerKey(t *testing.T) {
+	c := cache.New()
+	calls := 0
+	get := func(key string) int {
+		v, err := c.Do(key, func() (any, error) {
+			calls++
+			return calls, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v.(int)
+	}
+	if a, b := get("k1"), get("k1"); a != b {
+		t.Errorf("same key returned different values: %d, %d", a, b)
+	}
+	if get("k2") == get("k1") {
+		t.Error("distinct keys shared a value")
+	}
+	if calls != 2 {
+		t.Errorf("compute ran %d times, want 2", calls)
+	}
+	if c.Len() != 2 {
+		t.Errorf("Len() = %d, want 2", c.Len())
+	}
+}
+
+func TestDoSingleFlightUnderConcurrency(t *testing.T) {
+	c := cache.New()
+	var computes atomic.Int32
+	var wg sync.WaitGroup
+	const workers = 32
+	results := make([]int32, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			v, err := c.Do("shared", func() (any, error) {
+				return computes.Add(1), nil
+			})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[w] = v.(int32)
+		}(w)
+	}
+	wg.Wait()
+	if n := computes.Load(); n != 1 {
+		t.Errorf("compute ran %d times under contention, want 1", n)
+	}
+	for w, v := range results {
+		if v != 1 {
+			t.Errorf("worker %d saw value %d, want 1", w, v)
+		}
+	}
+}
+
+func TestDoMemoizesErrors(t *testing.T) {
+	c := cache.New()
+	calls := 0
+	fail := func() (any, error) {
+		calls++
+		return nil, fmt.Errorf("boom %d", calls)
+	}
+	_, err1 := c.Do("bad", fail)
+	_, err2 := c.Do("bad", fail)
+	if err1 == nil || err2 == nil || err1.Error() != "boom 1" || err2.Error() != "boom 1" {
+		t.Errorf("errors not memoized: %v, %v", err1, err2)
+	}
+	if calls != 1 {
+		t.Errorf("failed compute ran %d times, want 1", calls)
+	}
+}
+
+func TestFlush(t *testing.T) {
+	c := cache.New()
+	calls := 0
+	compute := func() (any, error) { calls++; return calls, nil }
+	c.Do("k", compute)
+	c.Flush()
+	if c.Len() != 0 {
+		t.Errorf("Len() = %d after Flush, want 0", c.Len())
+	}
+	v, _ := c.Do("k", compute)
+	if v.(int) != 2 || calls != 2 {
+		t.Errorf("Flush did not force recompute: v=%v calls=%d", v, calls)
+	}
+}

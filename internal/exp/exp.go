@@ -2,16 +2,26 @@
 // (§3) from the pipeline in this repository: compile → optimize → value
 // profile → select & transform → schedule → outcome profile → dual-engine
 // timing. See DESIGN.md's per-experiment index for the mapping.
+//
+// The Render* drivers fan independent (benchmark, configuration) cells out
+// across a bounded worker pool (Runner.Jobs) and aggregate in input order,
+// so parallel runs render byte-identical tables. Configuration-independent
+// pipeline prefixes are shared through a keyed single-flight cache (see
+// frontend.go), so an ablation sweep compiles and profiles each benchmark
+// once rather than once per point.
 package exp
 
 import (
 	"fmt"
+	"sync"
 
 	"vliwvp/internal/core"
 	"vliwvp/internal/ddg"
+	"vliwvp/internal/exp/cache"
 	"vliwvp/internal/ifconv"
 	"vliwvp/internal/ir"
 	"vliwvp/internal/machine"
+	"vliwvp/internal/pool"
 	"vliwvp/internal/profile"
 	"vliwvp/internal/regions"
 	"vliwvp/internal/sched"
@@ -37,6 +47,13 @@ type Runner struct {
 	// CCBCapacity overrides the Compensation Code Buffer size in the
 	// timing model (0 = default).
 	CCBCapacity int
+	// Jobs bounds the worker pool the Render* drivers fan benchmarks and
+	// configurations across. 0 or 1 runs serially; any value produces
+	// byte-identical tables (results aggregate in input order).
+	Jobs int
+	// Cache overrides the process-wide pipeline cache (tests isolate with
+	// private caches). Nil uses the shared one.
+	Cache *cache.Cache
 }
 
 // NewRunner uses the paper's settings: the given machine, 65% load
@@ -51,6 +68,11 @@ func NewRunner(d *machine.Desc) *Runner {
 	}
 }
 
+// forEach fans fn over [0, n) on the runner's worker pool.
+func (r *Runner) forEach(n int, fn func(i int) error) error {
+	return pool.ForEach(r.Jobs, n, fn)
+}
+
 // BlockData is the per-speculated-block measurement state.
 type BlockData struct {
 	Key      profile.BlockKey
@@ -58,6 +80,10 @@ type BlockData struct {
 	NumSites int
 	Sched    *sched.BlockSched
 	An       *core.BlockAnalysis
+	// mu guards lenByMask and timing: a BenchData may be shared across
+	// worker goroutines (and is memoized across tests), so the per-mask
+	// timing memo must be race-free.
+	mu sync.Mutex
 	// lenByMask caches the dual-engine timing per outcome mask.
 	lenByMask map[uint32]core.BlockResult
 	timing    *core.Timing
@@ -65,6 +91,8 @@ type BlockData struct {
 
 // Result returns the dual-engine timing of the block under an outcome mask.
 func (bd *BlockData) Result(mask uint32) (core.BlockResult, error) {
+	bd.mu.Lock()
+	defer bd.mu.Unlock()
 	if r, ok := bd.lenByMask[mask]; ok {
 		return r, nil
 	}
@@ -92,48 +120,51 @@ type BenchData struct {
 	// estimated original execution time that fractions are reported
 	// against.
 	TotalTime float64
-	// origLens caches original schedule lengths of all blocks.
+	// origLens caches original schedule lengths of all blocks. It may be a
+	// cache-shared map; it is read-only after construction.
 	origLens map[profile.BlockKey]int
 }
 
 // Prepare runs the full profile-and-transform pipeline for one benchmark.
+// The configuration-independent prefix (compile, optional if-conversion and
+// region formation, value profiling, original-schedule lengths) is served
+// from the pipeline cache and shared across configurations.
 func (r *Runner) Prepare(b *workload.Benchmark) (*BenchData, error) {
-	prog, err := b.Compile()
+	fe, err := r.frontEndFor(b)
 	if err != nil {
 		return nil, err
 	}
-	if r.IfConvert {
-		ifconv.Convert(prog, r.IfConvCfg)
-		if err := prog.Validate(); err != nil {
-			return nil, fmt.Errorf("%s after if-conversion: %w", b.Name, err)
-		}
-	}
-	if r.Regions {
-		// Region formation duplicates code (fresh op IDs), so it uses its
-		// own edge profile and the value profile is collected afterwards.
-		prof0, err := profile.Collect(prog, "main")
-		if err != nil {
-			return nil, fmt.Errorf("%s: %w", b.Name, err)
-		}
-		regions.Form(prog, prof0, r.RegionsCfg)
-		if err := prog.Validate(); err != nil {
-			return nil, fmt.Errorf("%s after region formation: %w", b.Name, err)
-		}
-	}
-	prof, err := profile.Collect(prog, "main")
+	lens, err := r.origLensFor(b, fe)
 	if err != nil {
-		return nil, fmt.Errorf("%s: %w", b.Name, err)
+		return nil, err
 	}
-	return r.prepareFrom(b, prog, prof)
+	return r.prepareFrom(b, fe.Prog, fe.Prof, lens)
 }
 
 // PrepareWithProfile is Prepare with a caller-supplied value profile
-// (useful for predictor ablations that rescore the same program).
+// (useful for predictor ablations that rescore the same program). Nothing
+// is read from or written to the pipeline cache on this path.
 func (r *Runner) PrepareWithProfile(b *workload.Benchmark, prog *ir.Program, prof *profile.Profile) (*BenchData, error) {
-	return r.prepareFrom(b, prog, prof)
+	return r.prepareFrom(b, prog, prof, nil)
 }
 
-func (r *Runner) prepareFrom(b *workload.Benchmark, prog *ir.Program, prof *profile.Profile) (*BenchData, error) {
+// computeOrigLens schedules every block of the untransformed program and
+// records its length. prog is read-only here.
+func (r *Runner) computeOrigLens(prog *ir.Program) map[profile.BlockKey]int {
+	lens := map[profile.BlockKey]int{}
+	for _, f := range prog.Funcs {
+		for _, blk := range f.Blocks {
+			g := ddg.Build(blk, r.D.Latency, r.DDG)
+			bk := profile.BlockKey{Func: f.Name, Block: blk.ID}
+			lens[bk] = sched.ScheduleBlock(blk, g, r.D).Length()
+		}
+	}
+	return lens
+}
+
+// prepareFrom finishes preparation from a front end. lens may be nil (they
+// are recomputed) or a cache-shared read-only map.
+func (r *Runner) prepareFrom(b *workload.Benchmark, prog *ir.Program, prof *profile.Profile, lens map[profile.BlockKey]int) (*BenchData, error) {
 	res, err := speculate.Transform(prog, prof, r.Cfg)
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", b.Name, err)
@@ -143,6 +174,9 @@ func (r *Runner) prepareFrom(b *workload.Benchmark, prog *ir.Program, prof *prof
 		return nil, fmt.Errorf("%s: %w", b.Name, err)
 	}
 
+	if lens == nil {
+		lens = r.computeOrigLens(prog)
+	}
 	bd := &BenchData{
 		Bench:    b,
 		Prog:     prog,
@@ -150,17 +184,14 @@ func (r *Runner) prepareFrom(b *workload.Benchmark, prog *ir.Program, prof *prof
 		Res:      res,
 		Out:      out,
 		Blocks:   map[profile.BlockKey]*BlockData{},
-		origLens: map[profile.BlockKey]int{},
+		origLens: lens,
 	}
 
-	// Original schedule lengths and total time, over every block.
+	// Total original time, accumulated in program order for determinism.
 	for _, f := range prog.Funcs {
 		for _, blk := range f.Blocks {
-			g := ddg.Build(blk, r.D.Latency, r.DDG)
-			l := sched.ScheduleBlock(blk, g, r.D).Length()
 			bk := profile.BlockKey{Func: f.Name, Block: blk.ID}
-			bd.origLens[bk] = l
-			bd.TotalTime += float64(prof.BlockFreq[bk]) * float64(l)
+			bd.TotalTime += float64(prof.BlockFreq[bk]) * float64(lens[bk])
 		}
 	}
 
@@ -182,7 +213,7 @@ func (r *Runner) prepareFrom(b *workload.Benchmark, prog *ir.Program, prof *prof
 		}
 		bd.Blocks[bk] = &BlockData{
 			Key:       bk,
-			OrigLen:   bd.origLens[bk],
+			OrigLen:   lens[bk],
 			NumSites:  len(info.SiteIDs),
 			Sched:     bs,
 			An:        an,

@@ -1,0 +1,165 @@
+package exp
+
+// This file is the caching layer between the experiment drivers and the
+// compile pipeline. Every product stored here is immutable after
+// publication and is shared read-only across worker goroutines and across
+// runner configurations:
+//
+//   - frontEnd: the machine-independent pipeline prefix (compile →
+//     if-convert → region formation → value profile), keyed by benchmark
+//     source hash and the pass configurations.
+//   - origLens: original schedule lengths of every block, keyed by front
+//     end + machine description + DDG options.
+//   - interp run: the sequential reference result of the front-end program.
+//   - base run: the baseline (no-speculation) dual-engine cycle count,
+//     validated against the interp run when computed.
+//
+// Anything downstream of speculate.Transform is configuration-dependent and
+// deliberately NOT cached here. See DESIGN.md ("Compile-cache keying").
+
+import (
+	"fmt"
+
+	"vliwvp/internal/exp/cache"
+	"vliwvp/internal/ifconv"
+	"vliwvp/internal/interp"
+	"vliwvp/internal/ir"
+	"vliwvp/internal/profile"
+	"vliwvp/internal/regions"
+	"vliwvp/internal/workload"
+)
+
+// sharedCache serves every Runner whose Cache field is nil, so independent
+// drivers in one process (e.g. the ablation suite) share front ends.
+var sharedCache = cache.New()
+
+// frontEnd is the machine-independent pipeline prefix for one benchmark
+// under one (IfConvert, Regions) configuration. Prog and Prof are read-only
+// after construction.
+type frontEnd struct {
+	Prog *ir.Program
+	Prof *profile.Profile
+}
+
+// baseRun is the cached baseline (no value speculation) end-to-end run.
+type baseRun struct {
+	Cycles int64
+	Value  uint64
+}
+
+func (r *Runner) cacheFor() *cache.Cache {
+	if r.Cache != nil {
+		return r.Cache
+	}
+	return sharedCache
+}
+
+// frontKey fingerprints everything the front end depends on: the program
+// source (by hash, so workload edits invalidate) and the two front-end pass
+// configurations. The machine description is deliberately absent — the
+// front end is machine-independent.
+func (r *Runner) frontKey(b *workload.Benchmark) string {
+	return fmt.Sprintf("fe|%s|%s|ifc=%v:%+v|reg=%v:%+v",
+		b.Name, b.SourceHash(), r.IfConvert, r.IfConvCfg, r.Regions, r.RegionsCfg)
+}
+
+// frontEndFor compiles, optionally if-converts and forms regions, and value
+// profiles the benchmark — once per front-end key per cache.
+func (r *Runner) frontEndFor(b *workload.Benchmark) (*frontEnd, error) {
+	v, err := r.cacheFor().Do(r.frontKey(b), func() (any, error) {
+		prog, err := b.Compile()
+		if err != nil {
+			return nil, err
+		}
+		if r.IfConvert {
+			ifconv.Convert(prog, r.IfConvCfg)
+			if err := prog.Validate(); err != nil {
+				return nil, fmt.Errorf("%s after if-conversion: %w", b.Name, err)
+			}
+		}
+		if r.Regions {
+			// Region formation duplicates code (fresh op IDs), so it uses its
+			// own edge profile and the value profile is collected afterwards.
+			prof0, err := profile.Collect(prog, "main")
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", b.Name, err)
+			}
+			regions.Form(prog, prof0, r.RegionsCfg)
+			if err := prog.Validate(); err != nil {
+				return nil, fmt.Errorf("%s after region formation: %w", b.Name, err)
+			}
+		}
+		prof, err := profile.Collect(prog, "main")
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", b.Name, err)
+		}
+		return &frontEnd{Prog: prog, Prof: prof}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*frontEnd), nil
+}
+
+// origLensFor returns the original schedule length of every block of the
+// front-end program, shared across configurations that agree on machine and
+// DDG options. The returned map is read-only.
+func (r *Runner) origLensFor(b *workload.Benchmark, fe *frontEnd) (map[profile.BlockKey]int, error) {
+	key := fmt.Sprintf("lens|%s|d=%+v|g=%+v", r.frontKey(b), *r.D, r.DDG)
+	v, err := r.cacheFor().Do(key, func() (any, error) {
+		return r.computeOrigLens(fe.Prog), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(map[profile.BlockKey]int), nil
+}
+
+// interpRunFor returns the sequential reference result of the front-end
+// program — the value every simulated run must reproduce.
+func (r *Runner) interpRunFor(b *workload.Benchmark, fe *frontEnd) (uint64, error) {
+	key := "interp|" + r.frontKey(b)
+	v, err := r.cacheFor().Do(key, func() (any, error) {
+		got, err := interp.New(fe.Prog).RunMain()
+		if err != nil {
+			return nil, fmt.Errorf("%s interp: %w", b.Name, err)
+		}
+		return got, nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	return v.(uint64), nil
+}
+
+// baseRunFor returns the baseline end-to-end dual-engine run (the program
+// without value speculation), validated against the interpreter the first
+// time it is computed. The untransformed program issues no predictions, so
+// the run is independent of CCB capacity and speculation config; sweeps
+// over those knobs all share one baseline run per (front end, machine,
+// DDG).
+func (r *Runner) baseRunFor(b *workload.Benchmark, fe *frontEnd) (baseRun, error) {
+	key := fmt.Sprintf("base|%s|d=%+v|g=%+v", r.frontKey(b), *r.D, r.DDG)
+	v, err := r.cacheFor().Do(key, func() (any, error) {
+		sim, err := r.NewSimulatorFor(fe.Prog, nil)
+		if err != nil {
+			return nil, err
+		}
+		got, err := sim.Run("main")
+		if err != nil {
+			return nil, fmt.Errorf("%s baseline sim: %w", b.Name, err)
+		}
+		want, err := r.interpRunFor(b, fe)
+		if err != nil {
+			return nil, err
+		}
+		if got != want {
+			return nil, fmt.Errorf("%s: baseline sim result %d != interp %d", b.Name, got, want)
+		}
+		return baseRun{Cycles: sim.Cycles, Value: got}, nil
+	})
+	if err != nil {
+		return baseRun{}, err
+	}
+	return v.(baseRun), nil
+}

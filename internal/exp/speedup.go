@@ -6,11 +6,8 @@ import (
 
 	"vliwvp/internal/baseline"
 	"vliwvp/internal/core"
-	"vliwvp/internal/ifconv"
-	"vliwvp/internal/interp"
 	"vliwvp/internal/ir"
 	"vliwvp/internal/profile"
-	"vliwvp/internal/regions"
 	"vliwvp/internal/sched"
 	"vliwvp/internal/speculate"
 	"vliwvp/internal/stats"
@@ -67,35 +64,16 @@ func (r *Runner) NewSimulatorFor(prog *ir.Program, schemes map[int]profile.Schem
 	return sim, nil
 }
 
-// Speedup runs one benchmark end to end both ways and validates both runs
-// against the sequential interpreter result.
+// Speedup runs one benchmark end to end both ways. The baseline run comes
+// from the pipeline cache (validated against the sequential interpreter
+// when first computed); the speculative run is validated against it.
 func (r *Runner) Speedup(b *workload.Benchmark) (SpeedupRow, error) {
 	row := SpeedupRow{Name: b.Name}
-	prog, err := b.Compile()
+	fe, err := r.frontEndFor(b)
 	if err != nil {
 		return row, err
 	}
-	if r.IfConvert {
-		ifconv.Convert(prog, r.IfConvCfg)
-		if err := prog.Validate(); err != nil {
-			return row, fmt.Errorf("%s after if-conversion: %w", b.Name, err)
-		}
-	}
-	if r.Regions {
-		prof0, err := profile.Collect(prog, "main")
-		if err != nil {
-			return row, err
-		}
-		regions.Form(prog, prof0, r.RegionsCfg)
-		if err := prog.Validate(); err != nil {
-			return row, fmt.Errorf("%s after region formation: %w", b.Name, err)
-		}
-	}
-	prof, err := profile.Collect(prog, "main")
-	if err != nil {
-		return row, err
-	}
-	res, err := speculate.Transform(prog, prof, r.Cfg)
+	res, err := speculate.Transform(fe.Prog, fe.Prof, r.Cfg)
 	if err != nil {
 		return row, err
 	}
@@ -104,13 +82,9 @@ func (r *Runner) Speedup(b *workload.Benchmark) (SpeedupRow, error) {
 		schemes[site.ID] = site.Scheme
 	}
 
-	baseSim, err := r.NewSimulatorFor(prog, nil)
+	base, err := r.baseRunFor(b, fe)
 	if err != nil {
 		return row, err
-	}
-	baseV, err := baseSim.Run("main")
-	if err != nil {
-		return row, fmt.Errorf("%s baseline sim: %w", b.Name, err)
 	}
 	specSim, err := r.NewSimulatorFor(res.Prog, schemes)
 	if err != nil {
@@ -120,14 +94,14 @@ func (r *Runner) Speedup(b *workload.Benchmark) (SpeedupRow, error) {
 	if err != nil {
 		return row, fmt.Errorf("%s speculative sim: %w", b.Name, err)
 	}
-	if baseV != specV {
-		return row, fmt.Errorf("%s: speculative result %d != baseline %d", b.Name, specV, baseV)
+	if base.Value != specV {
+		return row, fmt.Errorf("%s: speculative result %d != baseline %d", b.Name, specV, base.Value)
 	}
 
-	row.BaseCycles = baseSim.Cycles
+	row.BaseCycles = base.Cycles
 	row.SpecCycles = specSim.Cycles
 	if specSim.Cycles > 0 {
-		row.Speedup = float64(baseSim.Cycles) / float64(specSim.Cycles)
+		row.Speedup = float64(base.Cycles) / float64(specSim.Cycles)
 	}
 	row.Predictions = specSim.Predictions
 	row.Mispredicts = specSim.Mispredicts
@@ -142,25 +116,11 @@ func (r *Runner) Speedup(b *workload.Benchmark) (SpeedupRow, error) {
 // Engine) and returns its cycle count, validated against the interpreter.
 func (r *Runner) SpeedupSerial(b *workload.Benchmark) (SpeedupRow, error) {
 	row := SpeedupRow{Name: b.Name}
-	prog, err := b.Compile()
+	fe, err := r.frontEndFor(b)
 	if err != nil {
 		return row, err
 	}
-	if r.IfConvert {
-		ifconv.Convert(prog, r.IfConvCfg)
-	}
-	if r.Regions {
-		prof0, err := profile.Collect(prog, "main")
-		if err != nil {
-			return row, err
-		}
-		regions.Form(prog, prof0, r.RegionsCfg)
-	}
-	prof, err := profile.Collect(prog, "main")
-	if err != nil {
-		return row, err
-	}
-	res, err := speculate.Transform(prog, prof, r.Cfg)
+	res, err := speculate.Transform(fe.Prog, fe.Prof, r.Cfg)
 	if err != nil {
 		return row, err
 	}
@@ -192,8 +152,7 @@ func (r *Runner) SpeedupSerial(b *workload.Benchmark) (SpeedupRow, error) {
 	if err != nil {
 		return row, fmt.Errorf("%s serial baseline sim: %w", b.Name, err)
 	}
-	m := interp.New(prog)
-	want, err := m.RunMain()
+	want, err := r.interpRunFor(b, fe)
 	if err != nil {
 		return row, err
 	}
@@ -209,21 +168,28 @@ func (r *Runner) SpeedupSerial(b *workload.Benchmark) (SpeedupRow, error) {
 	return row, nil
 }
 
-// RenderSpeedup runs the dynamic speedup experiment for every benchmark.
+// RenderSpeedup runs the dynamic speedup experiment for every benchmark,
+// fanned across the runner's worker pool; rows aggregate in input order.
 func RenderSpeedup(r *Runner) (*stats.Table, []SpeedupRow, error) {
 	t := &stats.Table{
 		Title: fmt.Sprintf("Dynamic dual-engine speedup (%s)", r.D.Name),
 		Headers: []string{"Benchmark", "Base cycles", "Spec cycles", "Speedup",
 			"Preds", "Mispred", "CCE exec", "CCE flush"},
 	}
-	var rows []SpeedupRow
-	var geo float64 = 1
-	for _, b := range r.Benchmarks {
-		row, err := r.Speedup(b)
+	rows := make([]SpeedupRow, len(r.Benchmarks))
+	err := r.forEach(len(r.Benchmarks), func(i int) error {
+		row, err := r.Speedup(r.Benchmarks[i])
 		if err != nil {
-			return nil, nil, err
+			return err
 		}
-		rows = append(rows, row)
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	var geo float64 = 1
+	for _, row := range rows {
 		geo *= row.Speedup
 		t.AddRow(row.Name,
 			fmt.Sprintf("%d", row.BaseCycles), fmt.Sprintf("%d", row.SpecCycles),

@@ -4,9 +4,16 @@ import (
 	"fmt"
 
 	"vliwvp/internal/machine"
+	"vliwvp/internal/pool"
 	"vliwvp/internal/stats"
 	"vliwvp/internal/workload"
 )
+
+// The Render* drivers here all follow the same two-phase shape: phase 1
+// fans the per-benchmark work across the worker pool into index-addressed
+// slots, phase 2 aggregates the slots serially in input order. Averages,
+// histogram totals, and row order are therefore independent of goroutine
+// scheduling, and a parallel run renders byte-identical tables.
 
 // Table2Row is one benchmark's fraction of execution time spent in
 // speculated blocks whose predictions were all correct (best case) or all
@@ -108,19 +115,36 @@ type Table4Row struct {
 	ExTime8, SchedLen8 float64
 }
 
+// prepareAll prepares every benchmark of the runner on the worker pool.
+func (r *Runner) prepareAll() ([]*BenchData, error) {
+	bds := make([]*BenchData, len(r.Benchmarks))
+	err := r.forEach(len(r.Benchmarks), func(i int) error {
+		bd, err := r.Prepare(r.Benchmarks[i])
+		if err != nil {
+			return err
+		}
+		bds[i] = bd
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return bds, nil
+}
+
 // RenderTable2 runs Table 2 for every benchmark and renders it.
 func RenderTable2(r *Runner) (*stats.Table, []Table2Row, error) {
 	t := &stats.Table{
 		Title:   fmt.Sprintf("Table 2: fraction of execution time in speculated blocks (%s)", r.D.Name),
 		Headers: []string{"Benchmark", "Best case", "Worst case"},
 	}
+	bds, err := r.prepareAll()
+	if err != nil {
+		return nil, nil, err
+	}
 	var rows []Table2Row
 	var best, worst stats.WeightedMean
-	for _, b := range r.Benchmarks {
-		bd, err := r.Prepare(b)
-		if err != nil {
-			return nil, nil, err
-		}
+	for _, bd := range bds {
 		row := Table2(bd)
 		rows = append(rows, row)
 		t.AddRow(row.Name, stats.F(row.BestFrac), stats.F(row.WorstFrac))
@@ -137,18 +161,24 @@ func RenderTable3(r *Runner) (*stats.Table, []Table3Row, error) {
 		Title:   fmt.Sprintf("Table 3: effective schedule length of speculated blocks / original (%s)", r.D.Name),
 		Headers: []string{"Benchmark", "Best case", "Worst case", "Measured"},
 	}
-	var rows []Table3Row
+	bds, err := r.prepareAll()
+	if err != nil {
+		return nil, nil, err
+	}
+	rows := make([]Table3Row, len(bds))
+	err = r.forEach(len(bds), func(i int) error {
+		row, err := Table3(bds[i])
+		if err != nil {
+			return err
+		}
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
 	var best, worst stats.WeightedMean
-	for _, b := range r.Benchmarks {
-		bd, err := r.Prepare(b)
-		if err != nil {
-			return nil, nil, err
-		}
-		row, err := Table3(bd)
-		if err != nil {
-			return nil, nil, err
-		}
-		rows = append(rows, row)
+	for _, row := range rows {
 		t.AddRow(row.Name, stats.F(row.Best), stats.F(row.Worst), stats.F(row.Measured))
 		best.Add(row.Best, 1)
 		worst.Add(row.Worst, 1)
@@ -164,20 +194,27 @@ func RenderFigure8(r *Runner) (*stats.Table, *stats.Histogram, error) {
 		Title:   fmt.Sprintf("Figure 8: distribution of schedule-length change, all-correct case (%s)", r.D.Name),
 		Headers: []string{"Benchmark", "degraded", "0", "1-2", "3-4", "5-8", ">8"},
 	}
-	for _, b := range r.Benchmarks {
-		bd, err := r.Prepare(b)
+	bds, err := r.prepareAll()
+	if err != nil {
+		return nil, nil, err
+	}
+	hists := make([]*stats.Histogram, len(bds))
+	err = r.forEach(len(bds), func(i int) error {
+		h, err := Figure8(bds[i])
 		if err != nil {
-			return nil, nil, err
+			return err
 		}
-		h, err := Figure8(bd)
-		if err != nil {
-			return nil, nil, err
-		}
-		cells := []string{b.Name}
-		for i := range h.Buckets {
-			cells = append(cells, stats.Pct(h.Fraction(i)))
-			overall.Buckets[i].Count += h.Buckets[i].Count
-
+		hists[i] = h
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	for i, h := range hists {
+		cells := []string{r.Benchmarks[i].Name}
+		for j := range h.Buckets {
+			cells = append(cells, stats.Pct(h.Fraction(j)))
+			overall.Buckets[j].Count += h.Buckets[j].Count
 		}
 		overall.Total += h.Total
 		t.AddRow(cells...)
@@ -190,39 +227,45 @@ func RenderFigure8(r *Runner) (*stats.Table, *stats.Histogram, error) {
 	return t, overall, nil
 }
 
-// RenderTable4 compares best-case metrics at widths 4 and 8.
-func RenderTable4() (*stats.Table, []Table4Row, error) {
+// RenderTable4 compares best-case metrics at widths 4 and 8, fanning each
+// (benchmark, width) pair across the worker pool.
+func RenderTable4(jobs int) (*stats.Table, []Table4Row, error) {
 	r4 := NewRunner(machine.W4)
 	r8 := NewRunner(machine.W8)
 	t := &stats.Table{
 		Title:   "Table 4: best case at issue width 4 vs 8",
 		Headers: []string{"Benchmark", "ExTime frac (4)", "Sched frac (4)", "ExTime frac (8)", "Sched frac (8)"},
 	}
-	var rows []Table4Row
-	for _, b := range workload.All() {
-		bd4, err := r4.Prepare(b)
+	benches := workload.All()
+	rows := make([]Table4Row, len(benches))
+	err := pool.ForEach(jobs, 2*len(benches), func(cell int) error {
+		b := benches[cell/2]
+		r := r4
+		if cell%2 == 1 {
+			r = r8
+		}
+		bd, err := r.Prepare(b)
 		if err != nil {
-			return nil, nil, err
+			return err
 		}
-		bd8, err := r8.Prepare(b)
+		t2 := Table2(bd)
+		t3, err := Table3(bd)
 		if err != nil {
-			return nil, nil, err
+			return err
 		}
-		t2a, t2b := Table2(bd4), Table2(bd8)
-		t3a, err := Table3(bd4)
-		if err != nil {
-			return nil, nil, err
+		// Each cell owns two distinct fields of its row; no lock needed.
+		if cell%2 == 0 {
+			rows[cell/2].Name = b.Name
+			rows[cell/2].ExTime4, rows[cell/2].SchedLen4 = t2.BestFrac, t3.Best
+		} else {
+			rows[cell/2].ExTime8, rows[cell/2].SchedLen8 = t2.BestFrac, t3.Best
 		}
-		t3b, err := Table3(bd8)
-		if err != nil {
-			return nil, nil, err
-		}
-		row := Table4Row{
-			Name:    b.Name,
-			ExTime4: t2a.BestFrac, SchedLen4: t3a.Best,
-			ExTime8: t2b.BestFrac, SchedLen8: t3b.Best,
-		}
-		rows = append(rows, row)
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, row := range rows {
 		t.AddRow(row.Name, stats.F(row.ExTime4), stats.F(row.SchedLen4),
 			stats.F(row.ExTime8), stats.F(row.SchedLen8))
 	}

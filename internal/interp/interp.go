@@ -53,6 +53,21 @@ func New(p *ir.Program) *Machine {
 	return m
 }
 
+// Reset restores the machine to its initial state — the program's linked
+// memory image, empty output, zero step count — so one Machine can serve
+// several independent runs (the dual-engine simulator resets its embedded
+// machine between reused-Simulator runs).
+func (m *Machine) Reset() {
+	for i := range m.Mem {
+		m.Mem[i] = 0
+	}
+	for _, g := range m.Prog.Globals {
+		copy(m.Mem[g.Addr:g.Addr+g.Size], g.Init)
+	}
+	m.Output = nil
+	m.Steps = 0
+}
+
 // Run executes the named function with integer arguments and returns its
 // result register value.
 func (m *Machine) Run(name string, args ...uint64) (uint64, error) {

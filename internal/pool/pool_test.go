@@ -1,0 +1,76 @@
+package pool_test
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"vliwvp/internal/pool"
+)
+
+func TestForEachVisitsEveryIndexOnce(t *testing.T) {
+	for _, jobs := range []int{0, 1, 3, 8, 100} {
+		n := 57
+		counts := make([]int32, n)
+		if err := pool.ForEach(jobs, n, func(i int) error {
+			atomic.AddInt32(&counts[i], 1)
+			return nil
+		}); err != nil {
+			t.Fatalf("jobs=%d: %v", jobs, err)
+		}
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("jobs=%d: index %d visited %d times", jobs, i, c)
+			}
+		}
+	}
+}
+
+func TestForEachReturnsLowestIndexError(t *testing.T) {
+	// Fail at indices 40 and 7; index 7 must win on every schedule. The
+	// high index finishes first (no sleep) to stress the determinism.
+	for _, jobs := range []int{1, 2, 8} {
+		err := pool.ForEach(jobs, 64, func(i int) error {
+			switch i {
+			case 7:
+				time.Sleep(5 * time.Millisecond)
+				return fmt.Errorf("err-7")
+			case 40:
+				return fmt.Errorf("err-40")
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "err-7" {
+			t.Errorf("jobs=%d: got %v, want err-7", jobs, err)
+		}
+	}
+}
+
+func TestForEachBoundsConcurrency(t *testing.T) {
+	const jobs = 4
+	var inFlight, peak atomic.Int32
+	if err := pool.ForEach(jobs, 64, func(i int) error {
+		cur := inFlight.Add(1)
+		for {
+			p := peak.Load()
+			if cur <= p || peak.CompareAndSwap(p, cur) {
+				break
+			}
+		}
+		time.Sleep(time.Millisecond)
+		inFlight.Add(-1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > jobs {
+		t.Errorf("peak concurrency %d exceeds jobs=%d", p, jobs)
+	}
+}
+
+func TestForEachZeroItems(t *testing.T) {
+	if err := pool.ForEach(8, 0, func(int) error { return fmt.Errorf("called") }); err != nil {
+		t.Fatal(err)
+	}
+}

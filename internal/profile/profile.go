@@ -97,6 +97,29 @@ func (p *Profile) Load(fn string, opID int) *LoadProfile {
 	return p.Loads[LoadKey{Func: fn, OpID: opID}]
 }
 
+// Clone deep-copies the profile. Callers that rescore or mask predictor
+// rates (the predictor-family ablation) clone first, so a profile shared
+// through the experiment front-end cache is never mutated.
+func (p *Profile) Clone() *Profile {
+	c := &Profile{
+		Loads:     make(map[LoadKey]*LoadProfile, len(p.Loads)),
+		BlockFreq: make(map[BlockKey]int64, len(p.BlockFreq)),
+		EdgeFreq:  make(map[EdgeKey]int64, len(p.EdgeFreq)),
+		DynOps:    p.DynOps,
+	}
+	for k, lp := range p.Loads {
+		dup := *lp
+		c.Loads[k] = &dup
+	}
+	for k, v := range p.BlockFreq {
+		c.BlockFreq[k] = v
+	}
+	for k, v := range p.EdgeFreq {
+		c.EdgeFreq[k] = v
+	}
+	return c
+}
+
 // Freq returns the execution count of a block.
 func (p *Profile) Freq(fn string, block int) int64 {
 	return p.BlockFreq[BlockKey{Func: fn, Block: block}]

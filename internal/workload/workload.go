@@ -25,6 +25,8 @@ package workload
 
 import (
 	"fmt"
+	"hash/fnv"
+	"strconv"
 
 	"vliwvp/internal/ir"
 	"vliwvp/internal/lang"
@@ -37,6 +39,15 @@ type Benchmark struct {
 	Suite       string // "SPECint95-like" or "SPECfp95-like"
 	Description string
 	Source      string
+}
+
+// SourceHash fingerprints the kernel source. Cache keys use it alongside
+// the name so an ad-hoc Benchmark reusing a stock name cannot alias a
+// cached pipeline.
+func (b *Benchmark) SourceHash() string {
+	h := fnv.New64a()
+	h.Write([]byte(b.Source))
+	return strconv.FormatUint(h.Sum64(), 16)
 }
 
 // Compile parses, lowers, and optimizes the kernel.
