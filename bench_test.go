@@ -6,6 +6,7 @@
 package vliwvp_test
 
 import (
+	"io"
 	"math"
 	"sync"
 	"testing"
@@ -16,6 +17,7 @@ import (
 	"vliwvp/internal/exp"
 	"vliwvp/internal/interp"
 	"vliwvp/internal/machine"
+	"vliwvp/internal/obs"
 	"vliwvp/internal/predict"
 	"vliwvp/internal/profile"
 	"vliwvp/internal/sched"
@@ -305,6 +307,78 @@ func BenchmarkTimingModel(b *testing.B) {
 		if _, err := tm.SimulateBlock(bs, an, uint32(i)&3); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// timingSetup builds the timing model over the paper's worked example for
+// the trace-cost benchmarks.
+func timingSetup(b *testing.B) (*core.Timing, *sched.BlockSched, *core.BlockAnalysis) {
+	b.Helper()
+	d := machine.W4
+	prog, f, err := core.PaperExample()
+	if err != nil {
+		b.Fatal(err)
+	}
+	l4, l7 := core.PaperExampleLoadIDs(f)
+	prof := &profile.Profile{
+		Loads: map[profile.LoadKey]*profile.LoadProfile{
+			{Func: "example", OpID: l4}: {Count: 1000, StrideRate: 0.9},
+			{Func: "example", OpID: l7}: {Count: 1000, StrideRate: 0.9},
+		},
+		BlockFreq: map[profile.BlockKey]int64{{Func: "example", Block: 0}: 1000},
+	}
+	cfg := speculate.DefaultConfig(d)
+	cfg.CriticalOnly = false
+	res, err := speculate.Transform(prog, prof, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	blk := res.Prog.Func("example").Blocks[0]
+	g := speculate.BuildGraph(blk, d, ddg.Options{})
+	bs := sched.ScheduleBlock(blk, g, d)
+	an, err := core.Analyze(blk)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return core.NewTiming(d), bs, an
+}
+
+// BenchmarkTimingModelNoSink is the zero-alloc acceptance benchmark: with
+// no event sink attached the timing model must report 0 allocs/op — the
+// typed-event layer costs nothing when disabled.
+func BenchmarkTimingModelNoSink(b *testing.B) {
+	tm, bs, an := timingSetup(b)
+	// Warm the reusable scratch before measuring.
+	for mask := uint32(0); mask < 4; mask++ {
+		if _, err := tm.SimulateBlock(bs, an, mask); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tm.SimulateBlock(bs, an, uint32(i)&3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTimingModelJSONLSink measures the enabled-path cost of the
+// typed event layer for comparison against BenchmarkTimingModelNoSink.
+func BenchmarkTimingModelJSONLSink(b *testing.B) {
+	tm, bs, an := timingSetup(b)
+	sink := obs.NewJSONLSink(io.Discard)
+	tm.Sink = sink
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tm.SimulateBlock(bs, an, uint32(i)&3); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if err := sink.Close(); err != nil {
+		b.Fatal(err)
 	}
 }
 

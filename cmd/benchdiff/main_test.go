@@ -1,0 +1,159 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"testing"
+
+	"vliwvp/internal/exp"
+)
+
+func writeFile(path string, data []byte) error { return os.WriteFile(path, data, 0o644) }
+
+func record(entries ...exp.BenchEntry) *exp.BenchRecord {
+	return &exp.BenchRecord{
+		Schema:    exp.BenchSchema,
+		GoVersion: "go1.22.0",
+		Machine:   "4-wide",
+		Count:     5,
+		Entries:   entries,
+	}
+}
+
+func writeRecord(t *testing.T, dir, name string, rec *exp.BenchRecord) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := rec.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	path := dir + "/" + name
+	if err := writeFile(path, buf.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// compare loads two records and replays the gating logic from main,
+// returning the failure lines — keeps the test independent of os.Exit.
+func compare(t *testing.T, basePath, newPath string, tol, wallTol float64) []string {
+	t.Helper()
+	base, err := load(basePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	now, err := load(newPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fails []string
+	for _, be := range base.Entries {
+		ne := now.Entry(be.Name)
+		if ne == nil {
+			fails = append(fails, be.Name+" missing")
+			continue
+		}
+		for _, c := range []struct {
+			metric    string
+			base, now int64
+			tol       float64
+		}{
+			{"cycles", be.Cycles, ne.Cycles, tol},
+			{"allocs_per_op", be.AllocsPerOp, ne.AllocsPerOp, tol},
+			{"wall_ns", be.WallNS, ne.WallNS, wallTol},
+		} {
+			if fail, _ := check(be.Name, c.metric, c.base, c.now, c.tol); fail != "" {
+				fails = append(fails, fail)
+			}
+		}
+	}
+	return fails
+}
+
+func TestGatePassesIdenticalRecords(t *testing.T) {
+	dir := t.TempDir()
+	rec := record(
+		exp.BenchEntry{Name: "sim/compress", Cycles: 100000, WallNS: 5e6, AllocsPerOp: 2000, BytesPerOp: 1 << 20},
+		exp.BenchEntry{Name: "predict/stride", WallNS: 4e5, AllocsPerOp: 3, BytesPerOp: 64},
+	)
+	basePath := writeRecord(t, dir, "base.json", rec)
+	newPath := writeRecord(t, dir, "new.json", rec)
+	if fails := compare(t, basePath, newPath, 0.10, 0); len(fails) != 0 {
+		t.Errorf("identical records failed the gate: %v", fails)
+	}
+}
+
+// TestGateFailsOnSyntheticSlowdown is the acceptance check: a doctored
+// record with +25% cycles and +50% allocations must fail a 10% gate.
+func TestGateFailsOnSyntheticSlowdown(t *testing.T) {
+	dir := t.TempDir()
+	basePath := writeRecord(t, dir, "base.json", record(
+		exp.BenchEntry{Name: "sim/compress", Cycles: 100000, WallNS: 5e6, AllocsPerOp: 2000, BytesPerOp: 1 << 20},
+	))
+	newPath := writeRecord(t, dir, "new.json", record(
+		exp.BenchEntry{Name: "sim/compress", Cycles: 125000, WallNS: 5e6, AllocsPerOp: 3000, BytesPerOp: 1 << 20},
+	))
+	fails := compare(t, basePath, newPath, 0.10, 0)
+	if len(fails) != 2 {
+		t.Fatalf("want 2 failures (cycles, allocs), got %d: %v", len(fails), fails)
+	}
+	joined := strings.Join(fails, "\n")
+	if !strings.Contains(joined, "cycles") || !strings.Contains(joined, "allocs_per_op") {
+		t.Errorf("failure lines do not name the regressed metrics: %v", fails)
+	}
+}
+
+func TestGateIgnoresWallByDefaultButCanGateIt(t *testing.T) {
+	dir := t.TempDir()
+	basePath := writeRecord(t, dir, "base.json", record(
+		exp.BenchEntry{Name: "sim/compress", Cycles: 100000, WallNS: 5e6, AllocsPerOp: 2000},
+	))
+	newPath := writeRecord(t, dir, "new.json", record(
+		exp.BenchEntry{Name: "sim/compress", Cycles: 100000, WallNS: 50e6, AllocsPerOp: 2000},
+	))
+	if fails := compare(t, basePath, newPath, 0.10, 0); len(fails) != 0 {
+		t.Errorf("10x wall slowdown failed the gate with wall-tol=0: %v", fails)
+	}
+	if fails := compare(t, basePath, newPath, 0.10, 0.5); len(fails) != 1 {
+		t.Errorf("10x wall slowdown passed a 50%% wall gate: %v", fails)
+	}
+}
+
+func TestGateFailsOnMissingEntry(t *testing.T) {
+	dir := t.TempDir()
+	basePath := writeRecord(t, dir, "base.json", record(
+		exp.BenchEntry{Name: "sim/compress", Cycles: 100000, AllocsPerOp: 2000},
+		exp.BenchEntry{Name: "sim/li", Cycles: 90000, AllocsPerOp: 1800},
+	))
+	newPath := writeRecord(t, dir, "new.json", record(
+		exp.BenchEntry{Name: "sim/compress", Cycles: 100000, AllocsPerOp: 2000},
+	))
+	fails := compare(t, basePath, newPath, 0.10, 0)
+	if len(fails) != 1 || !strings.Contains(fails[0], "sim/li") {
+		t.Errorf("dropped entry not flagged: %v", fails)
+	}
+}
+
+func TestGateAllowsImprovement(t *testing.T) {
+	dir := t.TempDir()
+	basePath := writeRecord(t, dir, "base.json", record(
+		exp.BenchEntry{Name: "sim/compress", Cycles: 100000, AllocsPerOp: 2000},
+	))
+	newPath := writeRecord(t, dir, "new.json", record(
+		exp.BenchEntry{Name: "sim/compress", Cycles: 50000, AllocsPerOp: 100},
+	))
+	if fails := compare(t, basePath, newPath, 0.10, 0); len(fails) != 0 {
+		t.Errorf("improvement failed the gate: %v", fails)
+	}
+}
+
+func TestLoadRejectsWrongSchema(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/bad.json"
+	if err := writeFile(path, []byte(`{"schema":"other/v9","entries":[]}`)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := load(path); err == nil {
+		t.Error("wrong schema accepted")
+	}
+}

@@ -8,21 +8,35 @@
 //	vpexp -exp table2|table3|table4|fig8|baseline|speedup|all [-mach 4-wide] [-j N]
 //	vpexp -exp threshold|predictors|ccb|regions|hyperblocks|disambig|ablations
 //	vpexp -oracle [-mach 4-wide] [-j N]
+//	vpexp -sim compress [-trace t.jsonl -trace-format jsonl] [-stats-json m.json]
+//	vpexp -bench-json BENCH.json [-bench-count 5]
 //
 // -j bounds the worker pool the experiment cells fan across; any value
 // renders byte-identical tables. -oracle differentially tests the
 // dual-engine simulator against the sequential interpreter over the full
 // benchmark/configuration grid and exits nonzero on any divergence.
+//
+// -sim runs one benchmark on the speculative dual-engine machine and is
+// the observability entry point: -trace streams the typed event log
+// (-trace-format text, jsonl, or chrome — the last loads into
+// chrome://tracing / Perfetto), and -stats-json writes the metrics
+// snapshot (stall causes, CCB occupancy histogram, prediction and
+// compensation counters). -bench-json runs the pinned benchmark grid and
+// writes the perf record cmd/benchdiff gates CI with. -cpuprofile and
+// -memprofile capture pprof profiles of whichever mode runs.
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 
 	"vliwvp/internal/exp"
 	"vliwvp/internal/machine"
+	"vliwvp/internal/obs"
 	"vliwvp/internal/oracle"
 	"vliwvp/internal/workload"
 )
@@ -33,6 +47,14 @@ func main() {
 	mach := flag.String("mach", "4-wide", "machine description for single-width experiments")
 	jobs := flag.Int("j", runtime.NumCPU(), "max concurrent experiment cells (tables are identical at any value)")
 	oracleMode := flag.Bool("oracle", false, "differentially test the simulator against the interpreter and exit")
+	simBench := flag.String("sim", "", "run one benchmark on the speculative dual-engine machine (observability mode)")
+	traceFile := flag.String("trace", "", "with -sim: write the event trace to this file ('-' for stdout)")
+	traceFormat := flag.String("trace-format", "text", "trace encoding: text, jsonl, or chrome")
+	statsJSON := flag.String("stats-json", "", "with -sim: write the metrics snapshot (counters + histograms) as JSON")
+	benchJSON := flag.String("bench-json", "", "run the pinned benchmark grid and write the perf record here")
+	benchCount := flag.Int("bench-count", 5, "with -bench-json: repetitions per entry (min is kept)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 
 	d := machine.ByName(*mach)
@@ -41,8 +63,43 @@ func main() {
 		os.Exit(2)
 	}
 
-	if *oracleMode {
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatal(err)
+			}
+		}()
+	}
+
+	switch {
+	case *oracleMode:
 		runOracle(d, *jobs)
+		return
+	case *simBench != "":
+		if err := runSim(d, *simBench, *traceFile, *traceFormat, *statsJSON); err != nil {
+			fatal(err)
+		}
+		return
+	case *benchJSON != "":
+		if err := runBench(d, *benchJSON, *benchCount); err != nil {
+			fatal(err)
+		}
 		return
 	}
 
@@ -135,9 +192,131 @@ func main() {
 	}
 }
 
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "vpexp: %v\n", err)
+	os.Exit(1)
+}
+
 // exp2 adapts a concrete table renderer to the runAblation signature.
 func exp2[T fmt.Stringer](f func(*machine.Desc, int) (T, error)) func(*machine.Desc, int) (fmt.Stringer, error) {
 	return func(d *machine.Desc, jobs int) (fmt.Stringer, error) { return f(d, jobs) }
+}
+
+// openSink builds the event sink for -trace/-trace-format. The returned
+// close func flushes and finalizes the underlying file.
+func openSink(path, format string) (obs.EventSink, func() error, error) {
+	var w *os.File
+	var err error
+	closeFile := func() error { return nil }
+	if path == "-" {
+		w = os.Stdout
+	} else {
+		w, err = os.Create(path)
+		if err != nil {
+			return nil, nil, err
+		}
+		closeFile = w.Close
+	}
+	switch format {
+	case "text":
+		s := obs.NewTextSink(w)
+		return s, func() error {
+			if err := s.Close(); err != nil {
+				closeFile()
+				return err
+			}
+			return closeFile()
+		}, nil
+	case "jsonl":
+		s := obs.NewJSONLSink(w)
+		return s, func() error {
+			if err := s.Close(); err != nil {
+				closeFile()
+				return err
+			}
+			return closeFile()
+		}, nil
+	case "chrome":
+		s := obs.NewChromeSink(w)
+		return s, func() error {
+			if err := s.Close(); err != nil {
+				closeFile()
+				return err
+			}
+			return closeFile()
+		}, nil
+	default:
+		closeFile()
+		return nil, nil, fmt.Errorf("unknown trace format %q (want text, jsonl, or chrome)", format)
+	}
+}
+
+// runSim executes one benchmark on the speculative dual-engine machine
+// with the requested observability attachments.
+func runSim(d *machine.Desc, bench, traceFile, traceFormat, statsJSON string) error {
+	w := workload.ByName(bench)
+	if w == nil {
+		return fmt.Errorf("unknown benchmark %q (have compress, ijpeg, li, m88ksim, vortex, hydro2d, swim, tomcatv)", bench)
+	}
+	r := exp.NewRunner(d)
+	sim, err := r.SpecSim(w)
+	if err != nil {
+		return err
+	}
+	if traceFile != "" {
+		sink, closeSink, err := openSink(traceFile, traceFormat)
+		if err != nil {
+			return err
+		}
+		sim.Sink = sink
+		defer func() {
+			if err := closeSink(); err != nil {
+				fmt.Fprintf(os.Stderr, "vpexp: closing trace: %v\n", err)
+			}
+		}()
+	}
+	v, err := sim.Run("main")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("sim %s on %s: result=%d cycles=%d instrs=%d preds=%d mispred=%d cce=%d flush=%d\n",
+		bench, d.Name, v, sim.Cycles, sim.Instrs,
+		sim.Predictions, sim.Mispredicts, sim.CCEExecuted, sim.CCEFlushed)
+	if statsJSON != "" {
+		f, err := os.Create(statsJSON)
+		if err != nil {
+			return err
+		}
+		snap := sim.Metrics()
+		if err := snap.WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	return nil
+}
+
+// runBench measures the pinned benchmark grid and writes the perf record.
+func runBench(d *machine.Desc, path string, count int) error {
+	rec, err := exp.RunBenchGrid(d, count, os.Stderr)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(f)
+	if err := rec.WriteJSON(bw); err != nil {
+		f.Close()
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // runOracle sweeps the standard differential-testing grid and reports one

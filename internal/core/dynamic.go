@@ -3,12 +3,14 @@ package core
 import (
 	"fmt"
 	"math"
+	"math/bits"
 	"sort"
 	"strconv"
 
 	"vliwvp/internal/interp"
 	"vliwvp/internal/ir"
 	"vliwvp/internal/machine"
+	"vliwvp/internal/obs"
 	"vliwvp/internal/predict"
 	"vliwvp/internal/profile"
 	"vliwvp/internal/sched"
@@ -30,7 +32,14 @@ type Simulator struct {
 	CCBCapacity int
 	// MaxCycles aborts runaway simulations.
 	MaxCycles int64
-	// Debug, when set, receives a line per engine event (verbose).
+	// Sink, when set, receives a typed obs.Event per engine event:
+	// instruction issues, stalls, predictions, CCB captures, verification
+	// verdicts, compensation flushes/re-executions, and register
+	// write-backs. With neither Sink nor Debug attached, the issue/stall
+	// path performs no event work at all.
+	Sink obs.EventSink
+	// Debug is the legacy text hook (a line per engine event), rendered
+	// from the typed events by the obs narrator. Ignored when Sink is set.
 	Debug func(cycle int64, msg string)
 
 	// SerialRecovery switches the machine to the prior scheme the paper
@@ -67,6 +76,10 @@ type Simulator struct {
 	// empirical sizing requirement for the buffer (compare the E10 sweep).
 	MaxCCBOccupancy int
 	Output          []string
+	// ccbOcc tallies the live CCB occupancy observed at each speculative
+	// capture into power-of-two buckets (<=1, <=2, <=4, ... and overflow);
+	// Metrics exports it as the "ccb.occupancy" histogram.
+	ccbOcc [ccbOccBuckets]int64
 
 	// internal state
 	stallUntil int64 // serial-mode recovery stall horizon
@@ -196,6 +209,7 @@ func (s *Simulator) reset() {
 	s.CCEExecuted, s.CCEFlushed, s.Mispredicts, s.Predictions = 0, 0, 0, 0
 	s.StallRecovery = 0
 	s.MaxCCBOccupancy = 0
+	s.ccbOcc = [ccbOccBuckets]int64{}
 	s.Output = nil
 	s.stallUntil, s.seq, s.cycle = 0, 0, 0
 	s.callDepth = 0
@@ -206,6 +220,61 @@ func (s *Simulator) reset() {
 	s.stack = nil
 	s.preds = map[int]predict.Predictor{}
 	s.mem.Reset()
+}
+
+// ccbOccBuckets sizes the occupancy histogram: buckets <=1, <=2, <=4 ...
+// <=1024 plus overflow.
+const ccbOccBuckets = 12
+
+// tracing reports whether any event consumer is attached; emitters guard
+// on it so the disabled path builds no events.
+func (s *Simulator) tracing() bool { return s.Sink != nil || s.Debug != nil }
+
+// emit delivers one event to the typed sink, or narrates it into the
+// legacy Debug hook.
+func (s *Simulator) emit(e *obs.Event) {
+	if s.Sink != nil {
+		s.Sink.Event(e)
+		return
+	}
+	if s.Debug != nil {
+		s.Debug(e.Cycle, obs.Narrate(e))
+	}
+}
+
+// Metrics returns the observability snapshot of the most recent Run (or
+// the zeroed state before any run): every stall cause, prediction and
+// compensation counter, plus the CCB occupancy histogram. Snapshots of
+// identical runs are identical (see reset).
+func (s *Simulator) Metrics() obs.Snapshot {
+	reg := obs.NewRegistry()
+	s.PublishMetrics(reg)
+	return reg.Snapshot()
+}
+
+// PublishMetrics writes the run's counters and histograms into a shared
+// registry (callers aggregating several simulators snapshot the registry
+// once at the end).
+func (s *Simulator) PublishMetrics(reg *obs.Registry) {
+	set := func(name string, v int64) { reg.Counter(name).Set(v) }
+	set("sim.cycles", s.Cycles)
+	set("sim.instrs", s.Instrs)
+	set("sim.ops", s.Ops)
+	set("stall.sync", s.StallSync)
+	set("stall.scoreboard", s.StallScore)
+	set("stall.ccb", s.StallCCB)
+	set("stall.barrier", s.StallBar)
+	set("stall.recovery", s.StallRecovery)
+	set("pred.predictions", s.Predictions)
+	set("pred.mispredicted", s.Mispredicts)
+	set("pred.verified", s.Predictions-s.Mispredicts)
+	set("cce.flushed", s.CCEFlushed)
+	set("cce.executed", s.CCEExecuted)
+	set("ccb.max_occupancy", int64(s.MaxCCBOccupancy))
+	h := reg.Histogram("ccb.occupancy", obs.Pow2Bounds(ccbOccBuckets-1))
+	for i, n := range s.ccbOcc {
+		h.SetBucket(i, n)
+	}
 }
 
 // Run executes the entry function and returns its result. Each call starts
@@ -305,6 +374,10 @@ func (s *Simulator) stepVLIW() (bool, error) {
 	// Synchronization-register stall.
 	if in.WaitBits&s.syncBusy != 0 {
 		s.StallSync++
+		if s.tracing() {
+			s.emit(&obs.Event{Cycle: s.cycle, Engine: obs.EngineVLIW,
+				Kind: obs.KindStallSync, Bit: -1, Wait: in.WaitBits, Busy: s.syncBusy})
+		}
 		return false, nil
 	}
 	// Scoreboard stall: every source (and destination) register must have
@@ -313,11 +386,19 @@ func (s *Simulator) stepVLIW() (bool, error) {
 		for _, u := range op.Uses() {
 			if fr.readyAt[u] > s.cycle {
 				s.StallScore++
+				if s.tracing() {
+					s.emit(&obs.Event{Cycle: s.cycle, Engine: obs.EngineVLIW,
+						Kind: obs.KindStallScore, Op: op, Bit: -1, Reg: u})
+				}
 				return false, nil
 			}
 		}
 		if d := op.Def(); d != ir.NoReg && fr.readyAt[d] > s.cycle {
 			s.StallScore++
+			if s.tracing() {
+				s.emit(&obs.Event{Cycle: s.cycle, Engine: obs.EngineVLIW,
+					Kind: obs.KindStallScore, Op: op, Bit: -1, Reg: d})
+			}
 			return false, nil
 		}
 	}
@@ -329,22 +410,36 @@ func (s *Simulator) stepVLIW() (bool, error) {
 		}
 		if op.SyncBit != ir.NoBit && op.Code != ir.CheckLd && s.syncBusy&(1<<uint(op.SyncBit)) != 0 {
 			s.StallSync++
+			if s.tracing() {
+				s.emit(&obs.Event{Cycle: s.cycle, Engine: obs.EngineVLIW,
+					Kind: obs.KindStallSync, Op: op, Bit: op.SyncBit,
+					Wait: 1 << uint(op.SyncBit), Busy: s.syncBusy})
+			}
 			return false, nil
 		}
 		if op.Code == ir.Call || op.Code == ir.Ret {
 			if s.syncBusy != 0 || s.ccbHead < len(s.ccb) {
 				s.StallBar++
+				if s.tracing() {
+					s.emit(&obs.Event{Cycle: s.cycle, Engine: obs.EngineVLIW,
+						Kind: obs.KindStallBarrier, Op: op, Bit: -1, Busy: s.syncBusy})
+				}
 				return false, nil
 			}
 		}
 	}
 	if specNeeded > 0 && len(s.ccb)-s.ccbHead+specNeeded > s.CCBCapacity {
 		s.StallCCB++
+		if s.tracing() {
+			s.emit(&obs.Event{Cycle: s.cycle, Engine: obs.EngineVLIW,
+				Kind: obs.KindStallCCB, Bit: -1})
+		}
 		return false, nil
 	}
 
-	if s.Debug != nil && in.WaitBits&s.syncBusy == 0 {
-		s.Debug(s.cycle, fmt.Sprintf("%s b%d i%d issue", fr.f.Name, fr.blockID, fr.instrIdx))
+	if s.tracing() {
+		s.emit(&obs.Event{Cycle: s.cycle, Engine: obs.EngineVLIW, Kind: obs.KindInstrIssue,
+			Bit: -1, Func: fr.f.Name, Block: fr.blockID, Instr: fr.instrIdx})
 	}
 	// Issue. Operations within one long instruction execute in program
 	// order so same-cycle anti-dependences (reader packed with a later
@@ -393,6 +488,10 @@ func (s *Simulator) issueDataOp(fr *frame, op *ir.Op) error {
 		v, _ := p.Predict() // cold predictors supply 0 (and mispredict)
 		si.predicted = v
 		s.syncBusy |= 1 << uint(op.SyncBit)
+		if s.tracing() {
+			s.emit(&obs.Event{Cycle: s.cycle, Engine: obs.EngineVLIW,
+				Kind: obs.KindLdPredIssue, Op: op, Bit: op.SyncBit, Predicted: int64(v)})
+		}
 		s.writeReg(fr, op.Dest, v, lat)
 		s.Predictions++
 		return nil
@@ -407,11 +506,19 @@ func (s *Simulator) issueDataOp(fr *frame, op *ir.Op) error {
 		actual := s.mem.Mem[addr]
 		bit := uint64(1) << uint(an.Sites[li].Bit)
 		seq := s.nextSeq(fr, op.Dest)
+		if s.tracing() {
+			s.emit(&obs.Event{Cycle: s.cycle, Engine: obs.EngineVLIW,
+				Kind: obs.KindCheckIssue, Op: op, Bit: -1, Done: s.cycle + lat,
+				Site: op.PredID, Correct: actual == si.predicted})
+		}
 		s.at(s.cycle+lat, func() {
 			si.resolved = true
 			si.actual = actual
-			if s.Debug != nil {
-				s.Debug(s.cycle, fmt.Sprintf("check site %d: predicted %d actual %d", op.PredID, int64(si.predicted), int64(actual)))
+			if s.tracing() {
+				s.emit(&obs.Event{Cycle: s.cycle, Engine: obs.EngineVLIW,
+					Kind: obs.KindCheckResolve, Op: op, Bit: -1, Site: op.PredID,
+					Predicted: int64(si.predicted), Actual: int64(actual),
+					Correct: actual == si.predicted})
 			}
 			s.syncBusy &^= bit // the LdPred bit always clears
 			if actual == si.predicted {
@@ -474,6 +581,10 @@ func (s *Simulator) issueSpecOp(fr *frame, an *BlockAnalysis, op *ir.Op) error {
 		if err != nil {
 			return fmt.Errorf("core: %s: %w", op, err)
 		}
+		if s.tracing() {
+			s.emit(&obs.Event{Cycle: s.cycle, Engine: obs.EngineVLIW,
+				Kind: obs.KindPlainIssue, Op: op, Bit: -1})
+		}
 		s.writeReg(fr, op.Dest, v, int64(s.D.Latency(op)))
 		return nil
 	}
@@ -511,10 +622,43 @@ func (s *Simulator) issueSpecOp(fr *frame, an *BlockAnalysis, op *ir.Op) error {
 
 	fr.inst.entryOf[idx] = e
 	s.ccb = append(s.ccb, e)
-	if live := len(s.ccb) - s.ccbHead; live > s.MaxCCBOccupancy {
+	live := len(s.ccb) - s.ccbHead
+	if live > s.MaxCCBOccupancy {
 		s.MaxCCBOccupancy = live
 	}
+	occ := bits.Len(uint(live - 1))
+	if occ >= ccbOccBuckets {
+		occ = ccbOccBuckets - 1
+	}
+	s.ccbOcc[occ]++
+	if s.tracing() {
+		s.emit(&obs.Event{Cycle: s.cycle, Engine: obs.EngineVLIW,
+			Kind: obs.KindBufferCCB, Op: op, Bit: op.SyncBit,
+			Operands: dynSiteStates(fr.inst, info.PredSet)})
+	}
 	return nil
+}
+
+// dynSiteStates renders the dynamic verification state of every prediction
+// site a buffered op depends on, in the paper's notation: PN before the
+// site's check resolves, then C or R (see DESIGN.md §8).
+func dynSiteStates(inst *blockInst, set uint32) []obs.SiteState {
+	var out []obs.SiteState
+	for li, si := range inst.sites {
+		if set&(1<<uint(li)) == 0 {
+			continue
+		}
+		state := obs.StatePN
+		if si.resolved {
+			if si.correct {
+				state = obs.StateC
+			} else {
+				state = obs.StateR
+			}
+		}
+		out = append(out, obs.SiteState{Site: li, State: state})
+	}
+	return out
 }
 
 // issueControl handles branches, calls, and returns (issued after the data
@@ -636,6 +780,10 @@ func (s *Simulator) drainResolvedSerial() {
 			e.recomputed = true
 			e.newValue = v
 			e.doneAt = s.cycle
+			if s.tracing() {
+				s.emit(&obs.Event{Cycle: s.cycle, Engine: obs.EngineCCE,
+					Kind: obs.KindCCEExecute, Op: e.op, Bit: e.op.SyncBit, Done: e.doneAt})
+			}
 			// Re-issue under a fresh sequence number: the recovery block's
 			// write supersedes the original operation's still-in-flight
 			// predicted-path writeback.
@@ -646,6 +794,10 @@ func (s *Simulator) drainResolvedSerial() {
 			if e.issueErr != nil {
 				s.simErr = fmt.Errorf("core: %s: %w", e.op, e.issueErr)
 				return
+			}
+			if s.tracing() {
+				s.emit(&obs.Event{Cycle: s.cycle, Engine: obs.EngineCCE,
+					Kind: obs.KindCCEFlush, Op: e.op, Bit: -1})
 			}
 			s.CCEFlushed++
 		}
@@ -691,14 +843,15 @@ func (s *Simulator) stepCCE() {
 	if e.op.SyncBit != ir.NoBit {
 		bit = 1 << uint(e.op.SyncBit)
 	}
-	if s.Debug != nil {
-		s.Debug(s.cycle, fmt.Sprintf("CCE dispatch %v (wrong=%v)", e.op, wrong))
-	}
 	if !wrong {
 		// Flush: the VLIW-computed value was correct. A deferred
 		// speculative fault on an all-correct path is a real fault.
 		if e.issueErr != nil {
 			s.simErr = fmt.Errorf("core: %s: %w", e.op, e.issueErr)
+		}
+		if s.tracing() {
+			s.emit(&obs.Event{Cycle: s.cycle, Engine: obs.EngineCCE,
+				Kind: obs.KindCCEFlush, Op: e.op, Bit: -1})
 		}
 		if !e.bitCleared {
 			e.bitCleared = true
@@ -727,6 +880,10 @@ func (s *Simulator) stepCCE() {
 	e.recomputed = true
 	e.newValue = v
 	e.doneAt = s.cycle + lat
+	if s.tracing() {
+		s.emit(&obs.Event{Cycle: s.cycle, Engine: obs.EngineCCE,
+			Kind: obs.KindCCEExecute, Op: e.op, Bit: e.op.SyncBit, Done: e.doneAt})
+	}
 	fr, op, seq := e.fr, e.op, e.seq
 	cleared := e.bitCleared
 	e.bitCleared = true
@@ -842,13 +999,16 @@ func (s *Simulator) applyWrite(fr *frame, r ir.Reg, v uint64, seq int64) {
 		return
 	}
 	if fr.lastSeq[r] != seq {
-		if s.Debug != nil {
-			s.Debug(s.cycle, fmt.Sprintf("write %v=%d SUPPRESSED (seq %d != last %d)", r, int64(v), seq, fr.lastSeq[r]))
+		if s.tracing() {
+			s.emit(&obs.Event{Cycle: s.cycle, Engine: obs.EngineVLIW,
+				Kind: obs.KindRegWriteSuppressed, Bit: -1, Reg: r,
+				Value: int64(v), Seq: seq, LastSeq: fr.lastSeq[r]})
 		}
 		return
 	}
-	if s.Debug != nil {
-		s.Debug(s.cycle, fmt.Sprintf("write %v=%d (seq %d)", r, int64(v), seq))
+	if s.tracing() {
+		s.emit(&obs.Event{Cycle: s.cycle, Engine: obs.EngineVLIW,
+			Kind: obs.KindRegWrite, Bit: -1, Reg: r, Value: int64(v), Seq: seq})
 	}
 	fr.regs[r] = v
 }

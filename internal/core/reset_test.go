@@ -1,6 +1,7 @@
 package core_test
 
 import (
+	"reflect"
 	"testing"
 
 	"vliwvp/internal/core"
@@ -114,6 +115,48 @@ func TestSimulatorRunsAreIndependent(t *testing.T) {
 	// simulator carries no hidden state a fresh one lacks.
 	fresh, _ := buildSim(t, resetKernel, true, machine.W4)
 	assertStatsEqual(t, "fresh simulator", first, capture(t, fresh))
+}
+
+// TestMetricsSnapshotAcrossRuns extends the reset contract to the
+// observability layer: the metrics snapshot (every stall-cause counter,
+// prediction/compensation counters, and the CCB occupancy histogram) of a
+// rerun on the same simulator must equal the first run's, and equal a
+// fresh simulator's — i.e. the occupancy tally and counters all reset.
+func TestMetricsSnapshotAcrossRuns(t *testing.T) {
+	sim, _ := buildSim(t, resetKernel, true, machine.W4)
+	capture(t, sim)
+	first := sim.Metrics()
+	if first.Counters["pred.predictions"] == 0 || first.Counters["pred.mispredicted"] == 0 {
+		t.Fatalf("kernel under-exercises the metrics: %+v", first.Counters)
+	}
+	occ := first.Histograms["ccb.occupancy"]
+	var occTotal int64
+	for _, n := range occ.Counts {
+		occTotal += n
+	}
+	if occTotal == 0 {
+		t.Fatal("occupancy histogram empty; reset cannot be observed")
+	}
+
+	capture(t, sim)
+	second := sim.Metrics()
+	if !reflect.DeepEqual(first, second) {
+		t.Errorf("metrics snapshot changed across reruns:\nfirst  %+v\nsecond %+v", first, second)
+	}
+
+	fresh, _ := buildSim(t, resetKernel, true, machine.W4)
+	capture(t, fresh)
+	if got := fresh.Metrics(); !reflect.DeepEqual(first, got) {
+		t.Errorf("fresh simulator metrics differ:\nreused %+v\nfresh  %+v", first, got)
+	}
+
+	// The snapshot is consistent with the public statistics fields.
+	if first.Counters["sim.cycles"] != sim.Cycles ||
+		first.Counters["stall.sync"] != sim.StallSync ||
+		first.Counters["cce.executed"] != sim.CCEExecuted ||
+		first.Counters["ccb.max_occupancy"] != int64(sim.MaxCCBOccupancy) {
+		t.Errorf("snapshot disagrees with simulator statistics: %+v", first.Counters)
+	}
 }
 
 // TestSimulatorSerialRunsAreIndependent repeats the check in

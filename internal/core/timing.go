@@ -6,6 +6,7 @@ import (
 
 	"vliwvp/internal/ir"
 	"vliwvp/internal/machine"
+	"vliwvp/internal/obs"
 	"vliwvp/internal/sched"
 )
 
@@ -23,6 +24,11 @@ import (
 //     Engine finishes re-executing it;
 //   - a speculative op that issues after all its predictions verified
 //     correct is issued as a plain operation (no bit, no CCB entry).
+//
+// A Timing reuses internal scratch buffers across SimulateBlock calls, so
+// the untraced steady state allocates nothing; consequently a Timing is
+// not safe for concurrent use (callers that share one across goroutines
+// must serialize, as exp.BlockData does).
 type Timing struct {
 	D *machine.Desc
 	// CCBCapacity bounds in-flight speculative operations; the VLIW Engine
@@ -33,9 +39,21 @@ type Timing struct {
 	CCBCapacity int
 	// MaxCycles guards against deadlock bugs.
 	MaxCycles int
-	// Trace, when set, receives a line per engine event — the cycle-by-cycle
-	// CCB/OVB narrative of the paper's Figure 7.
+	// Sink, when set, receives a typed obs.Event per engine event — the
+	// cycle-by-cycle CCB/OVB narrative of the paper's Figure 7. With no
+	// sink attached the event path is skipped entirely (no rendering, no
+	// allocation).
+	Sink obs.EventSink
+	// Trace is the legacy text hook: a line per engine event, rendered by
+	// the obs narrator byte-for-byte as the original tracer did. Ignored
+	// when Sink is set.
 	Trace func(cycle int, event string)
+
+	// Scratch reused across SimulateBlock calls (see the type comment).
+	resolveAt  []int
+	clearAt    map[int]uint64
+	ccb        []ccbEntry
+	valueReady map[int]int
 }
 
 // DefaultCCBCapacity matches a small dedicated buffer (entries).
@@ -73,13 +91,24 @@ type ccbEntry struct {
 	doneAt    int
 }
 
+// sink resolves the effective event sink for one simulation: the typed
+// sink if attached, else the legacy text hook adapted through the
+// narrator, else nil (tracing fully disabled).
+func (t *Timing) sink() obs.EventSink {
+	if t.Sink != nil {
+		return t.Sink
+	}
+	if t.Trace != nil {
+		trace := t.Trace
+		return obs.TextFunc(func(cycle int64, line string) { trace(int(cycle), line) })
+	}
+	return nil
+}
+
 // SimulateBlock plays one instance of the block. bs must be the schedule of
 // an.Block.
 func (t *Timing) SimulateBlock(bs *sched.BlockSched, an *BlockAnalysis, outcome uint32) (BlockResult, error) {
-	trace := t.Trace
-	if trace == nil {
-		trace = func(int, string) {}
-	}
+	sink := t.sink()
 	if bs.Block != an.Block {
 		return BlockResult{}, fmt.Errorf("core: schedule and analysis disagree on block")
 	}
@@ -94,18 +123,31 @@ func (t *Timing) SimulateBlock(bs *sched.BlockSched, an *BlockAnalysis, outcome 
 
 	var res BlockResult
 	nSites := len(an.Sites)
-	resolveAt := make([]int, nSites) // cycle the site's check completes (-1 unknown)
+	// Reset reused scratch.
+	if cap(t.resolveAt) < nSites {
+		t.resolveAt = make([]int, nSites)
+	}
+	resolveAt := t.resolveAt[:nSites] // cycle the site's check completes (-1 unknown)
 	for i := range resolveAt {
 		resolveAt[i] = -1
 	}
-	var syncBusy uint64
-	clearAt := map[int]uint64{} // cycle -> bits cleared at start of that cycle
+	if t.clearAt == nil {
+		t.clearAt = make(map[int]uint64)
+	} else {
+		clear(t.clearAt)
+	}
+	clearAt := t.clearAt // cycle -> bits cleared at start of that cycle
+	if t.valueReady == nil {
+		t.valueReady = make(map[int]int)
+	} else {
+		clear(t.valueReady)
+	}
+	valueReady := t.valueReady // opIdx of a recomputed producer -> cycle value available
+	t.ccb = t.ccb[:0]
 
-	var ccb []ccbEntry
+	var syncBusy uint64
 	head := 0
 	live := 0 // undispatched entries
-
-	valueReady := map[int]int{} // opIdx of a recomputed producer -> cycle value available
 
 	resolvedCorrect := func(set uint32, cycle int) bool {
 		for set != 0 {
@@ -151,8 +193,8 @@ func (t *Timing) SimulateBlock(bs *sched.BlockSched, an *BlockAnalysis, outcome 
 		}
 		// Clear bits of buffered speculative ops whose every prediction is
 		// now verified correct (the paper's check-driven ClearBits).
-		for i := head; i < len(ccb); i++ {
-			e := &ccb[i]
+		for i := head; i < len(t.ccb); i++ {
+			e := &t.ccb[i]
 			if e.bitLive && !e.recompute && resolvedCorrect(e.predSet, cycle) {
 				syncBusy &^= 1 << uint(e.bit)
 				e.bitLive = false
@@ -171,31 +213,47 @@ func (t *Timing) SimulateBlock(bs *sched.BlockSched, an *BlockAnalysis, outcome 
 			switch {
 			case in.WaitBits&syncBusy != 0:
 				res.StallCycles++
-				trace(cycle, fmt.Sprintf("VLIW stall: wait mask %#x against busy %#x", in.WaitBits, syncBusy))
+				if sink != nil {
+					sink.Event(&obs.Event{Cycle: int64(cycle), Engine: obs.EngineVLIW,
+						Kind: obs.KindStallSync, Bit: -1, Wait: in.WaitBits, Busy: syncBusy})
+				}
 			case specNeeded > 0 && live+specNeeded > capacity:
 				res.StallCycles++
-				trace(cycle, "VLIW stall: CCB full")
+				if sink != nil {
+					sink.Event(&obs.Event{Cycle: int64(cycle), Engine: obs.EngineVLIW,
+						Kind: obs.KindStallCCB, Bit: -1})
+				}
 			default:
 				for _, op := range in.Ops {
 					idx := an.IndexOf(op)
 					switch {
 					case op.Code == ir.LdPred:
 						syncBusy |= 1 << uint(op.SyncBit)
-						trace(cycle, fmt.Sprintf("issue %v: predicted value loaded, bit %d set", op, op.SyncBit))
+						if sink != nil {
+							sink.Event(&obs.Event{Cycle: int64(cycle), Engine: obs.EngineVLIW,
+								Kind: obs.KindLdPredIssue, Op: op, Bit: op.SyncBit})
+						}
 					case op.Code == ir.CheckLd:
 						li := an.SiteLocal[op.PredID]
 						done := cycle + t.D.Latency(op)
 						resolveAt[li] = done
 						clearAt[done] |= 1 << uint(an.Sites[li].Bit)
-						correct := outcome&(1<<uint(li)) != 0
-						trace(cycle, fmt.Sprintf("issue %v: verification completes cycle %d (%s)", op, done, verdict(correct)))
+						if sink != nil {
+							correct := outcome&(1<<uint(li)) != 0
+							sink.Event(&obs.Event{Cycle: int64(cycle), Engine: obs.EngineVLIW,
+								Kind: obs.KindCheckIssue, Op: op, Bit: -1,
+								Done: int64(done), Correct: correct, Site: li})
+						}
 					case op.Speculative:
 						if resolvedCorrect(an.Info[idx].PredSet, cycle) {
-							trace(cycle, fmt.Sprintf("issue %v: predictions already verified, plain issue", op))
+							if sink != nil {
+								sink.Event(&obs.Event{Cycle: int64(cycle), Engine: obs.EngineVLIW,
+									Kind: obs.KindPlainIssue, Op: op, Bit: -1})
+							}
 							break // verified before issue: plain operation
 						}
 						syncBusy |= 1 << uint(op.SyncBit)
-						ccb = append(ccb, ccbEntry{
+						t.ccb = append(t.ccb, ccbEntry{
 							opIdx:     idx,
 							predSet:   an.Info[idx].PredSet,
 							recompute: an.Info[idx].PredSet&^outcome != 0,
@@ -203,7 +261,11 @@ func (t *Timing) SimulateBlock(bs *sched.BlockSched, an *BlockAnalysis, outcome 
 							bitLive:   true,
 						})
 						live++
-						trace(cycle, fmt.Sprintf("issue %v: buffered in CCB (operand states %s)", op, operandStates(an, idx, resolveAt, outcome, cycle)))
+						if sink != nil {
+							sink.Event(&obs.Event{Cycle: int64(cycle), Engine: obs.EngineVLIW,
+								Kind: obs.KindBufferCCB, Op: op, Bit: op.SyncBit,
+								Operands: operandSiteStates(an, idx, resolveAt, outcome, cycle)})
+						}
 					}
 				}
 				lastIssue = cycle
@@ -212,8 +274,8 @@ func (t *Timing) SimulateBlock(bs *sched.BlockSched, an *BlockAnalysis, outcome 
 		}
 
 		// --- Compensation Code Engine: dispatch at most one entry. ---
-		if head < len(ccb) {
-			e := &ccb[head]
+		if head < len(t.ccb) {
+			e := &t.ccb[head]
 			if resolved(e.predSet, cycle) {
 				if !e.recompute {
 					// Flush (bit already cleared by verification).
@@ -221,7 +283,10 @@ func (t *Timing) SimulateBlock(bs *sched.BlockSched, an *BlockAnalysis, outcome 
 						clearAt[cycle+1] |= 1 << uint(e.bit)
 						e.bitLive = false
 					}
-					trace(cycle, fmt.Sprintf("CCE flush %v: all operands correct", an.Block.Ops[e.opIdx]))
+					if sink != nil {
+						sink.Event(&obs.Event{Cycle: int64(cycle), Engine: obs.EngineCCE,
+							Kind: obs.KindCCEFlush, Op: an.Block.Ops[e.opIdx], Bit: -1})
+					}
 					res.CCEFlushed++
 					if cycle > res.DrainCycle {
 						res.DrainCycle = cycle
@@ -235,7 +300,10 @@ func (t *Timing) SimulateBlock(bs *sched.BlockSched, an *BlockAnalysis, outcome 
 					valueReady[e.opIdx] = e.doneAt
 					clearAt[e.doneAt] |= 1 << uint(e.bit)
 					e.bitLive = false
-					trace(cycle, fmt.Sprintf("CCE execute %v: recompute completes cycle %d, bit %d clears", an.Block.Ops[e.opIdx], e.doneAt, e.bit))
+					if sink != nil {
+						sink.Event(&obs.Event{Cycle: int64(cycle), Engine: obs.EngineCCE,
+							Kind: obs.KindCCEExecute, Op: op, Bit: e.bit, Done: int64(e.doneAt)})
+					}
 					res.CCEExecuted++
 					if e.doneAt > res.DrainCycle {
 						res.DrainCycle = e.doneAt
@@ -246,7 +314,7 @@ func (t *Timing) SimulateBlock(bs *sched.BlockSched, an *BlockAnalysis, outcome 
 			}
 		}
 
-		if instr >= len(bs.Instrs) && head >= len(ccb) && syncBusy == 0 && len(clearAt) == 0 {
+		if instr >= len(bs.Instrs) && head >= len(t.ccb) && syncBusy == 0 && len(clearAt) == 0 {
 			break
 		}
 	}
@@ -254,38 +322,28 @@ func (t *Timing) SimulateBlock(bs *sched.BlockSched, an *BlockAnalysis, outcome 
 	return res, nil
 }
 
-func verdict(correct bool) string {
-	if correct {
-		return "correct"
-	}
-	return "MISPREDICT"
-}
-
-// operandStates renders a speculative op's operand states in the paper's
-// Table 1/2 notation: PN (prediction not verified), RN (recompute not
-// verified), C (correct), R (needs recompute).
-func operandStates(an *BlockAnalysis, idx int, resolveAt []int, outcome uint32, cycle int) string {
+// operandSiteStates renders a speculative op's operand states in the
+// paper's Table 1/2 notation (see obs.OperandState): only built when a
+// sink is attached.
+func operandSiteStates(an *BlockAnalysis, idx int, resolveAt []int, outcome uint32, cycle int) []obs.SiteState {
 	set := an.Info[idx].PredSet
 	if set == 0 {
-		return "C"
+		return nil
 	}
-	out := ""
+	var out []obs.SiteState
 	for li := range an.Sites {
 		if set&(1<<uint(li)) == 0 {
 			continue
 		}
-		state := "RN"
+		state := obs.StateRN
 		if resolveAt[li] >= 0 && cycle >= resolveAt[li] {
 			if outcome&(1<<uint(li)) != 0 {
-				state = "C"
+				state = obs.StateC
 			} else {
-				state = "R"
+				state = obs.StateR
 			}
 		}
-		if out != "" {
-			out += ","
-		}
-		out += fmt.Sprintf("site%d:%s", li, state)
+		out = append(out, obs.SiteState{Site: li, State: state})
 	}
 	return out
 }

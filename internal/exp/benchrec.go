@@ -1,0 +1,282 @@
+package exp
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"vliwvp/internal/core"
+	"vliwvp/internal/ddg"
+	"vliwvp/internal/machine"
+	"vliwvp/internal/predict"
+	"vliwvp/internal/profile"
+	"vliwvp/internal/sched"
+	"vliwvp/internal/speculate"
+	"vliwvp/internal/workload"
+)
+
+// BenchSchema identifies the perf-record format version; cmd/benchdiff
+// refuses to compare records with mismatched schemas.
+const BenchSchema = "vliwvp-bench/v1"
+
+// BenchEntry is one pinned benchmark's measurement. Cycles (simulated) and
+// AllocsPerOp are deterministic for a given Go release, so CI gates on
+// them; WallNS is hardware-dependent and is compared only when explicitly
+// asked.
+type BenchEntry struct {
+	Name        string `json:"name"`
+	Cycles      int64  `json:"cycles,omitempty"`
+	WallNS      int64  `json:"wall_ns"`
+	AllocsPerOp int64  `json:"allocs_per_op"`
+	BytesPerOp  int64  `json:"bytes_per_op"`
+}
+
+// BenchRecord is the machine-readable perf trajectory artifact
+// (BENCH_*.json): the pinned micro+experiment benchmark grid under one
+// machine description.
+type BenchRecord struct {
+	Schema    string       `json:"schema"`
+	GoVersion string       `json:"go_version"`
+	Machine   string       `json:"machine"`
+	Count     int          `json:"count"`
+	Entries   []BenchEntry `json:"entries"`
+}
+
+// WriteJSON renders the record.
+func (r *BenchRecord) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// ReadBenchRecord parses a perf record and checks its schema.
+func ReadBenchRecord(rd io.Reader) (*BenchRecord, error) {
+	var rec BenchRecord
+	if err := json.NewDecoder(rd).Decode(&rec); err != nil {
+		return nil, err
+	}
+	if rec.Schema != BenchSchema {
+		return nil, fmt.Errorf("unsupported bench schema %q (want %q)", rec.Schema, BenchSchema)
+	}
+	return &rec, nil
+}
+
+// Entry returns the named entry, or nil.
+func (r *BenchRecord) Entry(name string) *BenchEntry {
+	for i := range r.Entries {
+		if r.Entries[i].Name == name {
+			return &r.Entries[i]
+		}
+	}
+	return nil
+}
+
+// measure runs f count times and keeps the best (minimum) wall time and
+// per-run allocation figures — min is the standard noise-robust statistic
+// for a deterministic workload. Allocation counts come from MemStats
+// deltas, so measured sections must not run concurrent allocators.
+func measure(count int, f func() error) (BenchEntry, error) {
+	if count < 1 {
+		count = 1
+	}
+	var e BenchEntry
+	var ms runtime.MemStats
+	for i := 0; i < count; i++ {
+		runtime.ReadMemStats(&ms)
+		m0, b0 := ms.Mallocs, ms.TotalAlloc
+		t0 := time.Now()
+		if err := f(); err != nil {
+			return e, err
+		}
+		wall := time.Since(t0).Nanoseconds()
+		runtime.ReadMemStats(&ms)
+		allocs, bytes := int64(ms.Mallocs-m0), int64(ms.TotalAlloc-b0)
+		if i == 0 || wall < e.WallNS {
+			e.WallNS = wall
+		}
+		if i == 0 || allocs < e.AllocsPerOp {
+			e.AllocsPerOp = allocs
+		}
+		if i == 0 || bytes < e.BytesPerOp {
+			e.BytesPerOp = bytes
+		}
+	}
+	return e, nil
+}
+
+// paperTiming builds the dual-engine timing model over the paper's worked
+// example block (the BenchmarkTimingModel setup).
+func paperTiming(d *machine.Desc) (*core.Timing, *sched.BlockSched, *core.BlockAnalysis, error) {
+	prog, f, err := core.PaperExample()
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	l4, l7 := core.PaperExampleLoadIDs(f)
+	prof := &profile.Profile{
+		Loads: map[profile.LoadKey]*profile.LoadProfile{
+			{Func: "example", OpID: l4}: {Count: 1000, StrideRate: 0.9},
+			{Func: "example", OpID: l7}: {Count: 1000, StrideRate: 0.9},
+		},
+		BlockFreq: map[profile.BlockKey]int64{{Func: "example", Block: 0}: 1000},
+	}
+	cfg := speculate.DefaultConfig(d)
+	cfg.CriticalOnly = false
+	res, err := speculate.Transform(prog, prof, cfg)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	blk := res.Prog.Func("example").Blocks[0]
+	g := speculate.BuildGraph(blk, d, ddg.Options{})
+	bs := sched.ScheduleBlock(blk, g, d)
+	an, err := core.Analyze(blk)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return core.NewTiming(d), bs, an, nil
+}
+
+// benchSims is the pinned end-to-end simulation subset: small enough for a
+// -count=5 CI run, varied enough to cover predictor-friendly (compress),
+// pointer-chasing (li) and state-machine (m88ksim) behavior.
+var benchSims = []string{"compress", "li", "m88ksim"}
+
+// RunBenchGrid measures the pinned micro+experiment benchmark grid count
+// times each and returns the perf record. log, when non-nil, receives one
+// progress line per entry.
+func RunBenchGrid(d *machine.Desc, count int, log io.Writer) (*BenchRecord, error) {
+	rec := &BenchRecord{
+		Schema:    BenchSchema,
+		GoVersion: runtime.Version(),
+		Machine:   d.Name,
+		Count:     count,
+	}
+	logf := func(format string, args ...any) {
+		if log != nil {
+			fmt.Fprintf(log, format, args...)
+		}
+	}
+	add := func(name string, cycles int64, f func() error) error {
+		e, err := measure(count, f)
+		if err != nil {
+			return fmt.Errorf("bench %s: %w", name, err)
+		}
+		e.Name, e.Cycles = name, cycles
+		rec.Entries = append(rec.Entries, e)
+		logf("bench %-22s %12d ns  %9d allocs  %12d cycles\n",
+			name, e.WallNS, e.AllocsPerOp, e.Cycles)
+		return nil
+	}
+
+	// End-to-end dual-engine simulations (speculative machine, live
+	// predictors). The simulator is built once outside the measured
+	// section — the entry times simulation, not compilation — and cycles
+	// are recorded from the deterministic run.
+	r := NewRunner(d)
+	for _, name := range benchSims {
+		w := workload.ByName(name)
+		if w == nil {
+			return nil, fmt.Errorf("bench: unknown workload %q", name)
+		}
+		sim, err := r.SpecSim(w)
+		if err != nil {
+			return nil, err
+		}
+		var cycles int64
+		warm := func() error {
+			if _, err := sim.Run("main"); err != nil {
+				return err
+			}
+			cycles = sim.Cycles
+			return nil
+		}
+		if err := warm(); err != nil {
+			return nil, fmt.Errorf("bench sim/%s: %w", name, err)
+		}
+		if err := add("sim/"+name, cycles, warm); err != nil {
+			return nil, err
+		}
+	}
+
+	// Pipeline component micro-benchmarks.
+	vortex, err := workload.Vortex.Compile()
+	if err != nil {
+		return nil, err
+	}
+	if err := add("compile/vortex", 0, func() error {
+		_, err := workload.Vortex.Compile()
+		return err
+	}); err != nil {
+		return nil, err
+	}
+	if err := add("profile/m88ksim", 0, func() error {
+		prog, err := workload.M88ksim.Compile()
+		if err != nil {
+			return err
+		}
+		_, err = profile.Collect(prog, "main")
+		return err
+	}); err != nil {
+		return nil, err
+	}
+	if err := add("schedule/vortex", 0, func() error {
+		for _, f := range vortex.Funcs {
+			for _, blk := range f.Blocks {
+				g := ddg.Build(blk, d.Latency, ddg.Options{})
+				sched.ScheduleBlock(blk, g, d)
+			}
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	vortexProf, err := profile.Collect(vortex, "main")
+	if err != nil {
+		return nil, err
+	}
+	specCfg := speculate.DefaultConfig(d)
+	if err := add("speculate/vortex", 0, func() error {
+		_, err := speculate.Transform(vortex, vortexProf, specCfg)
+		return err
+	}); err != nil {
+		return nil, err
+	}
+	tm, bs, an, err := paperTiming(d)
+	if err != nil {
+		return nil, err
+	}
+	var mask uint32
+	if err := add("timing/example", 0, func() error {
+		for i := 0; i < 1024; i++ {
+			if _, err := tm.SimulateBlock(bs, an, mask&3); err != nil {
+				return err
+			}
+			mask++
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	if err := add("predict/stride", 0, func() error {
+		p := predict.NewStride()
+		for i := 0; i < 1<<16; i++ {
+			p.Predict()
+			p.Update(uint64(i * 8))
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	if err := add("predict/fcm", 0, func() error {
+		p := predict.NewFCM(predict.DefaultFCMOrder, predict.DefaultFCMTableBits)
+		for i := 0; i < 1<<16; i++ {
+			p.Predict()
+			p.Update(uint64(i % 17))
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	return rec, nil
+}

@@ -64,6 +64,26 @@ func (r *Runner) NewSimulatorFor(prog *ir.Program, schemes map[int]profile.Schem
 	return sim, nil
 }
 
+// SpecSim wires the speculative (transformed) dual-engine simulator for
+// one benchmark, with per-site predictor schemes attached — the simulator
+// the speedup experiment, the vpexp trace/stats modes, and the bench grid
+// all run.
+func (r *Runner) SpecSim(b *workload.Benchmark) (*core.Simulator, error) {
+	fe, err := r.frontEndFor(b)
+	if err != nil {
+		return nil, err
+	}
+	res, err := speculate.Transform(fe.Prog, fe.Prof, r.Cfg)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", b.Name, err)
+	}
+	schemes := map[int]profile.Scheme{}
+	for _, site := range res.Sites {
+		schemes[site.ID] = site.Scheme
+	}
+	return r.NewSimulatorFor(res.Prog, schemes)
+}
+
 // Speedup runs one benchmark end to end both ways. The baseline run comes
 // from the pipeline cache (validated against the sequential interpreter
 // when first computed); the speculative run is validated against it.
@@ -73,20 +93,11 @@ func (r *Runner) Speedup(b *workload.Benchmark) (SpeedupRow, error) {
 	if err != nil {
 		return row, err
 	}
-	res, err := speculate.Transform(fe.Prog, fe.Prof, r.Cfg)
-	if err != nil {
-		return row, err
-	}
-	schemes := map[int]profile.Scheme{}
-	for _, site := range res.Sites {
-		schemes[site.ID] = site.Scheme
-	}
-
 	base, err := r.baseRunFor(b, fe)
 	if err != nil {
 		return row, err
 	}
-	specSim, err := r.NewSimulatorFor(res.Prog, schemes)
+	specSim, err := r.SpecSim(b)
 	if err != nil {
 		return row, err
 	}

@@ -1,0 +1,118 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// ChromeSink emits the Chrome trace_event JSON array format, loadable in
+// chrome://tracing and Perfetto. One simulated cycle maps to one
+// microsecond of trace time; the VLIW Engine and the Compensation Code
+// Engine render as two threads of one process. Events with a known
+// completion cycle (checks, recomputes) become complete ("X") slices;
+// everything else is an instant ("i") event.
+type ChromeSink struct {
+	w     *bufio.Writer
+	err   error
+	first bool
+}
+
+// chromeEvent is one trace_event record.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Phase string         `json:"ph"`
+	TS    int64          `json:"ts"`
+	Dur   int64          `json:"dur,omitempty"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// NewChromeSink starts the trace array on w. Close must be called to
+// terminate the JSON document.
+func NewChromeSink(w io.Writer) *ChromeSink {
+	s := &ChromeSink{w: bufio.NewWriter(w), first: true}
+	// Thread names make the two engines legible in the trace viewer.
+	s.write(chromeEvent{Name: "thread_name", Phase: "M", PID: 1, TID: 0,
+		Args: map[string]any{"name": "VLIW Engine"}})
+	s.write(chromeEvent{Name: "thread_name", Phase: "M", PID: 1, TID: 1,
+		Args: map[string]any{"name": "Compensation Code Engine"}})
+	return s
+}
+
+func (s *ChromeSink) write(ce chromeEvent) {
+	if s.err != nil {
+		return
+	}
+	b, err := json.Marshal(&ce)
+	if err != nil {
+		s.err = err
+		return
+	}
+	if s.first {
+		s.first = false
+		if _, err := s.w.WriteString("{\"traceEvents\":[\n"); err != nil {
+			s.err = err
+			return
+		}
+	} else if _, err := s.w.WriteString(",\n"); err != nil {
+		s.err = err
+		return
+	}
+	_, s.err = s.w.Write(b)
+}
+
+// Event converts and buffers one pipeline event.
+func (s *ChromeSink) Event(e *Event) {
+	ce := chromeEvent{
+		Name:  e.Kind.String(),
+		Phase: "i",
+		Scope: "t",
+		TS:    e.Cycle,
+		PID:   1,
+		TID:   int(e.Engine),
+	}
+	if e.Op != nil {
+		ce.Name = fmt.Sprintf("%s %s", e.Kind, e.Op)
+	}
+	if e.Done > e.Cycle {
+		ce.Phase = "X"
+		ce.Scope = ""
+		ce.Dur = e.Done - e.Cycle
+	}
+	args := map[string]any{}
+	switch e.Kind {
+	case KindStallSync:
+		args["wait"] = fmt.Sprintf("%#x", e.Wait)
+		args["busy"] = fmt.Sprintf("%#x", e.Busy)
+	case KindBufferCCB:
+		args["operands"] = FormatOperands(e.Operands)
+	case KindCheckIssue, KindCheckResolve:
+		args["correct"] = e.Correct
+	case KindInstrIssue:
+		args["loc"] = fmt.Sprintf("%s b%d i%d", e.Func, e.Block, e.Instr)
+	}
+	if len(args) > 0 {
+		ce.Args = args
+	}
+	s.write(ce)
+}
+
+// Close terminates the JSON document and flushes.
+func (s *ChromeSink) Close() error {
+	if s.err != nil {
+		return s.err
+	}
+	if s.first {
+		if _, err := s.w.WriteString("{\"traceEvents\":["); err != nil {
+			return err
+		}
+	}
+	if _, err := s.w.WriteString("\n]}\n"); err != nil {
+		return err
+	}
+	return s.w.Flush()
+}

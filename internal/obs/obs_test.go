@@ -1,0 +1,277 @@
+package obs_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"vliwvp/internal/ir"
+	"vliwvp/internal/obs"
+)
+
+func specOp() *ir.Op {
+	return &ir.Op{Code: ir.Add, Dest: 3, A: 1, B: 2, C: ir.NoReg,
+		PredID: ir.NoPred, SyncBit: 5, Speculative: true}
+}
+
+// sampleEvents covers every kind once with representative payloads.
+func sampleEvents() []*obs.Event {
+	op := specOp()
+	return []*obs.Event{
+		{Cycle: 0, Engine: obs.EngineVLIW, Kind: obs.KindStallSync, Bit: -1, Wait: 0x6, Busy: 0x2},
+		{Cycle: 1, Engine: obs.EngineVLIW, Kind: obs.KindStallCCB, Bit: -1},
+		{Cycle: 1, Engine: obs.EngineVLIW, Kind: obs.KindStallScore, Op: op, Bit: -1, Reg: 1},
+		{Cycle: 2, Engine: obs.EngineVLIW, Kind: obs.KindStallBarrier, Op: op, Bit: -1, Busy: 0x1},
+		{Cycle: 3, Engine: obs.EngineVLIW, Kind: obs.KindLdPredIssue, Op: op, Bit: 5, Predicted: 42},
+		{Cycle: 4, Engine: obs.EngineVLIW, Kind: obs.KindCheckIssue, Op: op, Bit: -1, Done: 6, Correct: true, Site: 1},
+		{Cycle: 5, Engine: obs.EngineVLIW, Kind: obs.KindPlainIssue, Op: op, Bit: -1},
+		{Cycle: 5, Engine: obs.EngineVLIW, Kind: obs.KindBufferCCB, Op: op, Bit: 5,
+			Operands: []obs.SiteState{{Site: 0, State: obs.StateRN}, {Site: 1, State: obs.StateC}}},
+		{Cycle: 6, Engine: obs.EngineCCE, Kind: obs.KindCCEFlush, Op: op, Bit: -1},
+		{Cycle: 7, Engine: obs.EngineCCE, Kind: obs.KindCCEExecute, Op: op, Bit: 5, Done: 9},
+		{Cycle: 8, Engine: obs.EngineVLIW, Kind: obs.KindInstrIssue, Bit: -1, Func: "main", Block: 2, Instr: 1},
+		{Cycle: 9, Engine: obs.EngineVLIW, Kind: obs.KindCheckResolve, Op: op, Bit: -1, Site: 3, Predicted: 42, Actual: 41, Correct: false},
+		{Cycle: 10, Engine: obs.EngineVLIW, Kind: obs.KindRegWrite, Bit: -1, Reg: 3, Value: -7, Seq: 12},
+		{Cycle: 11, Engine: obs.EngineVLIW, Kind: obs.KindRegWriteSuppressed, Bit: -1, Reg: 3, Value: 9, Seq: 12, LastSeq: 14},
+	}
+}
+
+// TestNarrateLegacyFormats locks the narrator to the exact strings the
+// pre-typed-event tracer produced (the byte-for-byte compatibility the
+// trace tests and downstream diff tooling rely on).
+func TestNarrateLegacyFormats(t *testing.T) {
+	op := specOp()
+	cases := []struct {
+		e    obs.Event
+		want string
+	}{
+		{obs.Event{Kind: obs.KindStallSync, Wait: 0x6, Busy: 0x2},
+			fmt.Sprintf("VLIW stall: wait mask %#x against busy %#x", uint64(0x6), uint64(0x2))},
+		{obs.Event{Kind: obs.KindStallCCB}, "VLIW stall: CCB full"},
+		{obs.Event{Kind: obs.KindLdPredIssue, Op: op, Bit: 5},
+			fmt.Sprintf("issue %v: predicted value loaded, bit %d set", op, 5)},
+		{obs.Event{Kind: obs.KindCheckIssue, Op: op, Done: 9, Correct: true},
+			fmt.Sprintf("issue %v: verification completes cycle %d (correct)", op, 9)},
+		{obs.Event{Kind: obs.KindCheckIssue, Op: op, Done: 9, Correct: false},
+			fmt.Sprintf("issue %v: verification completes cycle %d (MISPREDICT)", op, 9)},
+		{obs.Event{Kind: obs.KindPlainIssue, Op: op},
+			fmt.Sprintf("issue %v: predictions already verified, plain issue", op)},
+		{obs.Event{Kind: obs.KindBufferCCB, Op: op,
+			Operands: []obs.SiteState{{Site: 0, State: obs.StateRN}, {Site: 2, State: obs.StateR}}},
+			fmt.Sprintf("issue %v: buffered in CCB (operand states site0:RN,site2:R)", op)},
+		{obs.Event{Kind: obs.KindBufferCCB, Op: op},
+			fmt.Sprintf("issue %v: buffered in CCB (operand states C)", op)},
+		{obs.Event{Kind: obs.KindCCEFlush, Op: op},
+			fmt.Sprintf("CCE flush %v: all operands correct", op)},
+		{obs.Event{Kind: obs.KindCCEExecute, Op: op, Done: 11, Bit: 5},
+			fmt.Sprintf("CCE execute %v: recompute completes cycle %d, bit %d clears", op, 11, 5)},
+		{obs.Event{Kind: obs.KindInstrIssue, Func: "main", Block: 2, Instr: 1}, "main b2 i1 issue"},
+		{obs.Event{Kind: obs.KindCheckResolve, Site: 3, Predicted: 42, Actual: -1},
+			"check site 3: predicted 42 actual -1"},
+		{obs.Event{Kind: obs.KindRegWrite, Reg: 3, Value: -7, Seq: 12}, "write r3=-7 (seq 12)"},
+		{obs.Event{Kind: obs.KindRegWriteSuppressed, Reg: 3, Value: 9, Seq: 12, LastSeq: 14},
+			"write r3=9 SUPPRESSED (seq 12 != last 14)"},
+	}
+	for _, c := range cases {
+		if got := obs.Narrate(&c.e); got != c.want {
+			t.Errorf("Narrate(%s):\n got %q\nwant %q", c.e.Kind, got, c.want)
+		}
+	}
+}
+
+// TestJSONLRoundTrip encodes the full kind coverage through the JSONL sink
+// and decodes it back, checking the fields the wire format carries.
+func TestJSONLRoundTrip(t *testing.T) {
+	events := sampleEvents()
+	var buf bytes.Buffer
+	sink := obs.NewJSONLSink(&buf)
+	for _, e := range events {
+		sink.Event(e)
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if n := strings.Count(buf.String(), "\n"); n != len(events) {
+		t.Fatalf("got %d lines, want %d", n, len(events))
+	}
+
+	recs, err := obs.DecodeJSONL(&buf)
+	if err != nil {
+		t.Fatalf("DecodeJSONL: %v", err)
+	}
+	if len(recs) != len(events) {
+		t.Fatalf("decoded %d records, want %d", len(recs), len(events))
+	}
+	for i, rec := range recs {
+		want := events[i]
+		got, err := rec.EventOf()
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if got.Kind != want.Kind || got.Cycle != want.Cycle || got.Engine != want.Engine {
+			t.Errorf("record %d: kind/cycle/engine = %v/%d/%v, want %v/%d/%v",
+				i, got.Kind, got.Cycle, got.Engine, want.Kind, want.Cycle, want.Engine)
+		}
+		if got.Done != want.Done || got.Wait != want.Wait || got.Busy != want.Busy {
+			t.Errorf("record %d: done/wait/busy mismatch", i)
+		}
+		if got.Site != want.Site || got.Predicted != want.Predicted || got.Actual != want.Actual {
+			t.Errorf("record %d: site/predicted/actual mismatch", i)
+		}
+		if got.Value != want.Value || got.Seq != want.Seq || got.LastSeq != want.LastSeq {
+			t.Errorf("record %d: value/seq mismatch", i)
+		}
+		if !reflect.DeepEqual(got.Operands, want.Operands) {
+			t.Errorf("record %d: operands %v, want %v", i, got.Operands, want.Operands)
+		}
+		if want.Op != nil && rec.Op != want.Op.String() {
+			t.Errorf("record %d: op %q, want %q", i, rec.Op, want.Op.String())
+		}
+	}
+}
+
+// TestChromeTraceValid checks the Chrome sink emits a well-formed
+// trace_event JSON document with the fields chrome://tracing requires.
+func TestChromeTraceValid(t *testing.T) {
+	var buf bytes.Buffer
+	sink := obs.NewChromeSink(&buf)
+	for _, e := range sampleEvents() {
+		sink.Event(e)
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	var doc struct {
+		TraceEvents []struct {
+			Name  string         `json:"name"`
+			Phase string         `json:"ph"`
+			TS    *int64         `json:"ts"`
+			Dur   int64          `json:"dur"`
+			PID   *int           `json:"pid"`
+			TID   *int           `json:"tid"`
+			Args  map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid trace JSON: %v\n%s", err, buf.String())
+	}
+	// 2 thread_name metadata records + one record per event.
+	if want := len(sampleEvents()) + 2; len(doc.TraceEvents) != want {
+		t.Fatalf("got %d trace events, want %d", len(doc.TraceEvents), want)
+	}
+	sawComplete := false
+	for i, ce := range doc.TraceEvents {
+		if ce.Name == "" || ce.Phase == "" || ce.TS == nil || ce.PID == nil || ce.TID == nil {
+			t.Errorf("event %d missing required fields: %+v", i, ce)
+		}
+		switch ce.Phase {
+		case "M", "i", "X":
+		default:
+			t.Errorf("event %d: unexpected phase %q", i, ce.Phase)
+		}
+		if ce.Phase == "X" {
+			sawComplete = true
+			if ce.Dur <= 0 {
+				t.Errorf("event %d: complete slice with dur %d", i, ce.Dur)
+			}
+		}
+	}
+	if !sawComplete {
+		t.Error("no complete (X) slice emitted for check/recompute events")
+	}
+}
+
+// TestChromeTraceEmptyValid checks the degenerate no-event document is
+// still valid JSON.
+func TestChromeTraceEmptyValid(t *testing.T) {
+	var buf bytes.Buffer
+	sink := obs.NewChromeSink(&buf)
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+}
+
+// TestTextSinkLines checks the writer-backed narrator prefixes cycles.
+func TestTextSinkLines(t *testing.T) {
+	var buf bytes.Buffer
+	sink := obs.NewTextSink(&buf)
+	sink.Event(&obs.Event{Cycle: 7, Kind: obs.KindStallCCB, Bit: -1})
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := buf.String(), "cycle 7: VLIW stall: CCB full\n"; got != want {
+		t.Errorf("got %q, want %q", got, want)
+	}
+}
+
+// TestRegistrySnapshot exercises counters, histogram bucketing, and the
+// JSON export.
+func TestRegistrySnapshot(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := reg.Counter("stall.sync")
+	c.Add(3)
+	c.Inc()
+	if reg.Counter("stall.sync") != c {
+		t.Error("Counter not idempotent")
+	}
+	h := reg.Histogram("ccb.occupancy", obs.Pow2Bounds(3)) // bounds 1,2,4 + overflow
+	for _, v := range []int64{1, 1, 2, 3, 4, 5, 100} {
+		h.Observe(v)
+	}
+	s := reg.Snapshot()
+	if s.Counters["stall.sync"] != 4 {
+		t.Errorf("counter = %d, want 4", s.Counters["stall.sync"])
+	}
+	hs := s.Histograms["ccb.occupancy"]
+	if want := []int64{2, 1, 2, 2}; !reflect.DeepEqual(hs.Counts, want) {
+		t.Errorf("histogram counts = %v, want %v", hs.Counts, want)
+	}
+
+	// Snapshot is frozen: later mutation must not leak in.
+	c.Inc()
+	if s.Counters["stall.sync"] != 4 {
+		t.Error("snapshot aliases live counter")
+	}
+
+	var buf bytes.Buffer
+	if err := s.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back obs.Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("snapshot JSON invalid: %v", err)
+	}
+	if !reflect.DeepEqual(back.Counters, s.Counters) || !reflect.DeepEqual(back.Histograms, s.Histograms) {
+		t.Error("snapshot JSON round-trip mismatch")
+	}
+
+	// Two registries fed identically snapshot identically (per-run
+	// reproducibility contract).
+	reg2 := obs.NewRegistry()
+	reg2.Counter("stall.sync").Set(5)
+	reg2.Histogram("ccb.occupancy", obs.Pow2Bounds(3))
+	reg3 := obs.NewRegistry()
+	reg3.Counter("stall.sync").Set(5)
+	reg3.Histogram("ccb.occupancy", obs.Pow2Bounds(3))
+	if !reflect.DeepEqual(reg2.Snapshot(), reg3.Snapshot()) {
+		t.Error("identical registries snapshot differently")
+	}
+}
+
+// TestKindStringRoundTrip keeps the wire names bijective.
+func TestKindStringRoundTrip(t *testing.T) {
+	for k := obs.KindStallSync; k <= obs.KindRegWriteSuppressed; k++ {
+		got, ok := obs.KindFromString(k.String())
+		if !ok || got != k {
+			t.Errorf("kind %d: round-trip via %q failed", k, k.String())
+		}
+	}
+}

@@ -1,0 +1,167 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// Counter is one named monotonic (or set-per-run) integer metric.
+type Counter struct {
+	name string
+	v    int64
+}
+
+// Add increments the counter.
+func (c *Counter) Add(n int64) { c.v += n }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v++ }
+
+// Set overwrites the value (per-run snapshot publication).
+func (c *Counter) Set(n int64) { c.v = n }
+
+// Value reads the counter.
+func (c *Counter) Value() int64 { return c.v }
+
+// Name returns the registered name.
+func (c *Counter) Name() string { return c.name }
+
+// Histogram distributes integer observations over explicit upper bounds:
+// counts[i] tallies observations v with v <= Bounds[i] (first matching
+// bound wins); the final implicit bucket is overflow.
+type Histogram struct {
+	name   string
+	bounds []int64
+	counts []int64
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v int64) {
+	for i, b := range h.bounds {
+		if v <= b {
+			h.counts[i]++
+			return
+		}
+	}
+	h.counts[len(h.counts)-1]++
+}
+
+// SetBucket overwrites one bucket (bulk publication from an engine's
+// internal tally). Index len(bounds) is the overflow bucket.
+func (h *Histogram) SetBucket(i int, n int64) { h.counts[i] = n }
+
+// Buckets returns the count slice (len(bounds)+1, last is overflow).
+func (h *Histogram) Buckets() []int64 { return h.counts }
+
+// Pow2Bounds returns bounds 1, 2, 4, ... 2^(n-1).
+func Pow2Bounds(n int) []int64 {
+	b := make([]int64, n)
+	for i := range b {
+		b[i] = 1 << uint(i)
+	}
+	return b
+}
+
+// Registry is a named collection of counters and histograms. Metric
+// registration is idempotent; snapshotting is cheap and deterministic
+// (names sort lexicographically).
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		hists:    map[string]*Histogram{},
+	}
+}
+
+// Counter returns the named counter, creating it at zero on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{name: name}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Histogram returns the named histogram, creating it with the given
+// bounds on first use. Re-registering with different bounds panics — a
+// metric's shape is part of its identity.
+func (r *Registry) Histogram(name string, bounds []int64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = &Histogram{name: name, bounds: append([]int64(nil), bounds...),
+			counts: make([]int64, len(bounds)+1)}
+		r.hists[name] = h
+		return h
+	}
+	if len(h.bounds) != len(bounds) {
+		panic(fmt.Sprintf("obs: histogram %q re-registered with %d bounds (had %d)",
+			name, len(bounds), len(h.bounds)))
+	}
+	return h
+}
+
+// HistSnapshot is a histogram's frozen state.
+type HistSnapshot struct {
+	// Bounds are inclusive upper bounds; Counts has one extra overflow
+	// bucket.
+	Bounds []int64 `json:"bounds"`
+	Counts []int64 `json:"counts"`
+}
+
+// Snapshot is a registry's frozen, JSON-exportable state.
+type Snapshot struct {
+	Counters   map[string]int64        `json:"counters"`
+	Histograms map[string]HistSnapshot `json:"histograms,omitempty"`
+}
+
+// Snapshot freezes the registry.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := Snapshot{Counters: make(map[string]int64, len(r.counters))}
+	for n, c := range r.counters {
+		s.Counters[n] = c.v
+	}
+	if len(r.hists) > 0 {
+		s.Histograms = make(map[string]HistSnapshot, len(r.hists))
+		for n, h := range r.hists {
+			s.Histograms[n] = HistSnapshot{
+				Bounds: append([]int64(nil), h.bounds...),
+				Counts: append([]int64(nil), h.counts...),
+			}
+		}
+	}
+	return s
+}
+
+// WriteJSON renders the snapshot as indented JSON with sorted keys
+// (encoding/json sorts map keys, so output is deterministic).
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// Names returns the counter names in sorted order (rendering helpers).
+func (s Snapshot) Names() []string {
+	names := make([]string, 0, len(s.Counters))
+	for n := range s.Counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

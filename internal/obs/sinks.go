@@ -1,0 +1,188 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// TextSink writes the narrator's one-line-per-event text trace, prefixed
+// with the cycle number.
+type TextSink struct {
+	w *bufio.Writer
+}
+
+// NewTextSink wraps a writer.
+func NewTextSink(w io.Writer) *TextSink {
+	return &TextSink{w: bufio.NewWriter(w)}
+}
+
+// Event writes one "cycle N: ..." line.
+func (s *TextSink) Event(e *Event) {
+	fmt.Fprintf(s.w, "cycle %d: %s\n", e.Cycle, Narrate(e))
+}
+
+// Close flushes buffered lines.
+func (s *TextSink) Close() error { return s.w.Flush() }
+
+// Record is the JSONL wire form of an Event. Fields absent from a kind are
+// omitted; Op is rendered in the IR's assembly syntax.
+type Record struct {
+	Cycle    int64             `json:"cycle"`
+	Engine   string            `json:"engine"`
+	Kind     string            `json:"kind"`
+	Op       string            `json:"op,omitempty"`
+	Bit      *int              `json:"bit,omitempty"`
+	Done     int64             `json:"done,omitempty"`
+	Correct  *bool             `json:"correct,omitempty"`
+	Wait     uint64            `json:"wait,omitempty"`
+	Busy     uint64            `json:"busy,omitempty"`
+	Operands []SiteStateRecord `json:"operands,omitempty"`
+	Func     string            `json:"func,omitempty"`
+	Block    int               `json:"block,omitempty"`
+	Instr    int               `json:"instr,omitempty"`
+	Site     int               `json:"site,omitempty"`
+	Pred     int64             `json:"predicted,omitempty"`
+	Actual   int64             `json:"actual,omitempty"`
+	Reg      string            `json:"reg,omitempty"`
+	Value    int64             `json:"value,omitempty"`
+	Seq      int64             `json:"seq,omitempty"`
+	LastSeq  int64             `json:"last_seq,omitempty"`
+}
+
+// SiteStateRecord is the wire form of a SiteState.
+type SiteStateRecord struct {
+	Site  int    `json:"site"`
+	State string `json:"state"`
+}
+
+// recordOf converts an event for serialization.
+func recordOf(e *Event) Record {
+	r := Record{
+		Cycle:   e.Cycle,
+		Engine:  e.Engine.String(),
+		Kind:    e.Kind.String(),
+		Done:    e.Done,
+		Wait:    e.Wait,
+		Busy:    e.Busy,
+		Func:    e.Func,
+		Block:   e.Block,
+		Instr:   e.Instr,
+		Site:    e.Site,
+		Pred:    e.Predicted,
+		Actual:  e.Actual,
+		Value:   e.Value,
+		Seq:     e.Seq,
+		LastSeq: e.LastSeq,
+	}
+	if e.Op != nil {
+		r.Op = e.Op.String()
+	}
+	if e.Kind == KindRegWrite || e.Kind == KindRegWriteSuppressed {
+		r.Reg = e.Reg.String()
+	}
+	if e.Bit >= 0 && (e.Kind == KindLdPredIssue || e.Kind == KindBufferCCB || e.Kind == KindCCEExecute) {
+		bit := e.Bit
+		r.Bit = &bit
+	}
+	if e.Kind == KindCheckIssue || e.Kind == KindCheckResolve {
+		c := e.Correct
+		r.Correct = &c
+	}
+	for _, o := range e.Operands {
+		r.Operands = append(r.Operands, SiteStateRecord{Site: o.Site, State: o.State.String()})
+	}
+	return r
+}
+
+// EventOf inverts recordOf for the fields the wire form carries (Op and
+// Reg come back as their rendered strings, not IR references, so they are
+// not reconstructed). It is the decode half of the JSONL round-trip.
+func (r *Record) EventOf() (Event, error) {
+	k, ok := KindFromString(r.Kind)
+	if !ok {
+		return Event{}, fmt.Errorf("obs: unknown event kind %q", r.Kind)
+	}
+	e := Event{
+		Cycle:     r.Cycle,
+		Kind:      k,
+		Bit:       -1,
+		Done:      r.Done,
+		Wait:      r.Wait,
+		Busy:      r.Busy,
+		Func:      r.Func,
+		Block:     r.Block,
+		Instr:     r.Instr,
+		Site:      r.Site,
+		Predicted: r.Pred,
+		Actual:    r.Actual,
+		Value:     r.Value,
+		Seq:       r.Seq,
+		LastSeq:   r.LastSeq,
+	}
+	if r.Engine == EngineCCE.String() {
+		e.Engine = EngineCCE
+	}
+	if r.Bit != nil {
+		e.Bit = *r.Bit
+	}
+	if r.Correct != nil {
+		e.Correct = *r.Correct
+	}
+	for _, o := range r.Operands {
+		st, ok := OperandStateFromString(o.State)
+		if !ok {
+			return Event{}, fmt.Errorf("obs: unknown operand state %q", o.State)
+		}
+		e.Operands = append(e.Operands, SiteState{Site: o.Site, State: st})
+	}
+	return e, nil
+}
+
+// JSONLSink writes one JSON object per event, one per line — the
+// machine-readable twin of the text narrator.
+type JSONLSink struct {
+	w   *bufio.Writer
+	enc *json.Encoder
+	err error
+}
+
+// NewJSONLSink wraps a writer.
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	bw := bufio.NewWriter(w)
+	return &JSONLSink{w: bw, enc: json.NewEncoder(bw)}
+}
+
+// Event encodes one record line. The first encode error sticks and is
+// reported by Close.
+func (s *JSONLSink) Event(e *Event) {
+	if s.err != nil {
+		return
+	}
+	r := recordOf(e)
+	s.err = s.enc.Encode(&r)
+}
+
+// Close flushes and reports any sticky encode error.
+func (s *JSONLSink) Close() error {
+	if s.err != nil {
+		return s.err
+	}
+	return s.w.Flush()
+}
+
+// DecodeJSONL reads back a JSONL trace (the round-trip used by tests and
+// external tooling).
+func DecodeJSONL(r io.Reader) ([]Record, error) {
+	dec := json.NewDecoder(r)
+	var out []Record
+	for dec.More() {
+		var rec Record
+		if err := dec.Decode(&rec); err != nil {
+			return nil, err
+		}
+		out = append(out, rec)
+	}
+	return out, nil
+}
