@@ -10,11 +10,20 @@
 //	vpexp -oracle [-mach 4-wide] [-j N]
 //	vpexp -sim compress [-trace t.jsonl -trace-format jsonl] [-stats-json m.json]
 //	vpexp -bench-json BENCH.json [-bench-count 5]
+//	vpexp -conform [-progen-seed 1] [-progen-count 200] [-j N]
+//	vpexp -progen-seed 17 -progen-count 2
 //
 // -j bounds the worker pool the experiment cells fan across; any value
 // renders byte-identical tables. -oracle differentially tests the
 // dual-engine simulator against the sequential interpreter over the full
 // benchmark/configuration grid and exits nonzero on any divergence.
+//
+// -conform runs the metamorphic conformance suite (internal/conform):
+// -progen-count generated programs starting at -progen-seed, each checked
+// across the configuration lattice, exiting nonzero with a minimized,
+// seed-reproducible program for any violated invariant. Without -conform,
+// -progen-count alone prints the generated VL programs, which is how a
+// reported counterexample seed is inspected.
 //
 // -sim runs one benchmark on the speculative dual-engine machine and is
 // the observability entry point: -trace streams the typed event log
@@ -34,10 +43,12 @@ import (
 	"runtime"
 	"runtime/pprof"
 
+	"vliwvp/internal/conform"
 	"vliwvp/internal/exp"
 	"vliwvp/internal/machine"
 	"vliwvp/internal/obs"
 	"vliwvp/internal/oracle"
+	"vliwvp/internal/progen"
 	"vliwvp/internal/workload"
 )
 
@@ -53,6 +64,9 @@ func main() {
 	statsJSON := flag.String("stats-json", "", "with -sim: write the metrics snapshot (counters + histograms) as JSON")
 	benchJSON := flag.String("bench-json", "", "run the pinned benchmark grid and write the perf record here")
 	benchCount := flag.Int("bench-count", 5, "with -bench-json: repetitions per entry (min is kept)")
+	conformMode := flag.Bool("conform", false, "run the metamorphic conformance suite over generated programs and exit")
+	progenSeed := flag.Int64("progen-seed", 1, "first program-generator seed for -conform (or for printing programs)")
+	progenCount := flag.Int("progen-count", 0, "number of generated programs; default 200 under -conform")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -88,6 +102,18 @@ func main() {
 	}
 
 	switch {
+	case *conformMode:
+		n := *progenCount
+		if n <= 0 {
+			n = 200
+		}
+		runConform(*progenSeed, n, *jobs)
+		return
+	case *progenCount > 0:
+		for i := 0; i < *progenCount; i++ {
+			fmt.Print(progen.Render(progen.Generate(*progenSeed+int64(i), progen.Options{})))
+		}
+		return
 	case *oracleMode:
 		runOracle(d, *jobs)
 		return
@@ -317,6 +343,27 @@ func runBench(d *machine.Desc, path string, count int) error {
 		return err
 	}
 	return f.Close()
+}
+
+// runConform checks n generated programs (seeds seed..seed+n-1) against
+// the metamorphic invariants across the configuration lattice and exits
+// nonzero on any violation, printing each minimized counterexample.
+func runConform(seed int64, n, jobs int) {
+	fails, stats, err := conform.Run(seed, n, conform.Options{Jobs: jobs})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "vpexp: conform: %v\n", err)
+		os.Exit(1)
+	}
+	for _, f := range fails {
+		fmt.Print(f.Report())
+	}
+	fmt.Printf("conform: %d programs x %d lattice cells, %d predictions (%d mispredicted), %d CCE re-executions, %d sweeps\n",
+		stats.Programs, len(conform.DefaultLattice()), stats.Predictions,
+		stats.Mispredicts, stats.CCEExecuted, stats.MonotoneSweeps)
+	if len(fails) > 0 {
+		fmt.Printf("conform: %d of %d seeds violated an invariant\n", len(fails), n)
+		os.Exit(1)
+	}
 }
 
 // runOracle sweeps the standard differential-testing grid and reports one

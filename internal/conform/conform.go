@@ -1,0 +1,660 @@
+// Package conform is the metamorphic conformance harness over the
+// dual-engine simulator: it feeds seed-generated programs (internal/progen)
+// through the full pipeline — front end, optimizer, profiling, value
+// speculation, VLIW scheduling, dynamic simulation — under a lattice of
+// machine configurations, and asserts cross-configuration invariants no
+// single golden run can check:
+//
+//  1. Architectural conformance: for every configuration, the simulated
+//     return value, output, and final memory image match the sequential
+//     interpreter.
+//  2. Perfect prediction helps: replaying a site's recorded value stream
+//     (a perfect predictor) never costs more cycles than the unspeculated
+//     program, nor more than the same machine with trained predictors.
+//  3. CCB monotonicity: at a fixed program and schedule, growing the
+//     Compensation Code Buffer past the speculative window never costs a
+//     cycle (above the window the buffer never limits issue, so cycles
+//     are capacity-independent — the strong form of monotone
+//     non-increasing), and capacities below the window may wedge or
+//     shift timing but must stay architecturally exact.
+//  4. Metrics self-consistency: the typed event stream, the simulator's
+//     counters, and the published metrics snapshot all agree (every
+//     buffered entry is eventually flushed or re-executed, every
+//     prediction is checked and resolved, every stall event has its
+//     counter).
+//
+// A violated invariant produces a Failure carrying the seed and a
+// shrunken program (progen.Minimize re-runs the harness while deleting
+// fragments), so every report is a one-command reproduction.
+package conform
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+	"strings"
+
+	"vliwvp/internal/core"
+	"vliwvp/internal/ddg"
+	"vliwvp/internal/interp"
+	"vliwvp/internal/ir"
+	"vliwvp/internal/lang"
+	"vliwvp/internal/machine"
+	"vliwvp/internal/obs"
+	optpass "vliwvp/internal/opt"
+	"vliwvp/internal/pool"
+	"vliwvp/internal/predict"
+	"vliwvp/internal/profile"
+	"vliwvp/internal/progen"
+	"vliwvp/internal/sched"
+	"vliwvp/internal/speculate"
+)
+
+// Cell is one configuration of the conformance lattice.
+type Cell struct {
+	Name           string
+	D              *machine.Desc
+	CCBCapacity    int     // 0 = simulator default
+	Threshold      float64 // 0 = speculation default
+	SerialRecovery bool
+	BranchPenalty  int
+}
+
+// DefaultLattice spans machine widths, CCB pressure, recovery models, and
+// speculation aggressiveness. Like the oracle, cells with a small CCB
+// clamp the transform's Synchronization-bit window to the capacity so the
+// speculative window always fits the buffer (the deadlock-freedom
+// co-design constraint).
+func DefaultLattice() []Cell {
+	return []Cell{
+		{Name: "w2-dual", D: machine.W2},
+		{Name: "w4-dual", D: machine.W4},
+		{Name: "w4-ccb4", D: machine.W4, CCBCapacity: 4},
+		{Name: "w4-ccb1", D: machine.W4, CCBCapacity: 1},
+		{Name: "w8-dual", D: machine.W8},
+		{Name: "w4-thresh50", D: machine.W4, Threshold: 0.5},
+		{Name: "w4-serial", D: machine.W4, SerialRecovery: true, BranchPenalty: 1},
+		{Name: "w8-serial-bp0", D: machine.W8, SerialRecovery: true},
+	}
+}
+
+// Options configures a conformance run. The zero value means defaults.
+type Options struct {
+	// Lattice is the configuration set (default DefaultLattice).
+	Lattice []Cell
+	// Gen parameterizes the program generator.
+	Gen progen.Options
+	// Jobs bounds seed-level parallelism in Run.
+	Jobs int
+	// Tamper, when set, is applied to every dynamic simulator the harness
+	// builds, immediately before running. It exists so tests can inject a
+	// deliberate bug (e.g. core.Simulator.FaultCCEWritebackXor) and prove
+	// the suite catches it with a minimized reproduction.
+	Tamper func(*core.Simulator)
+}
+
+func (o Options) withDefaults() Options {
+	if o.Lattice == nil {
+		o.Lattice = DefaultLattice()
+	}
+	if o.Jobs <= 0 {
+		o.Jobs = 1
+	}
+	return o
+}
+
+// Failure reports one violated invariant, minimized.
+type Failure struct {
+	Seed      int64
+	Invariant string // "arch", "perfect", "ccb-monotone", "metrics"
+	Cell      string
+	Detail    string
+	Source    string // minimized VL program reproducing the violation
+}
+
+// Report renders the failure with everything needed to reproduce it.
+func (f *Failure) Report() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "conformance: invariant %q violated (cell %s, seed %d)\n", f.Invariant, f.Cell, f.Seed)
+	fmt.Fprintf(&b, "  %s\n", f.Detail)
+	fmt.Fprintf(&b, "  reproduce: vpexp -conform -progen-seed %d -progen-count 1\n", f.Seed)
+	b.WriteString("  minimized program:\n")
+	for _, line := range strings.Split(strings.TrimRight(f.Source, "\n"), "\n") {
+		fmt.Fprintf(&b, "\t%s\n", line)
+	}
+	return b.String()
+}
+
+// Stats aggregates coverage evidence across a run, so the suite can
+// assert it is not passing vacuously (no predictions, no mispredictions,
+// nothing ever buffered).
+type Stats struct {
+	Programs       int
+	Cells          int
+	Predictions    int64
+	Mispredicts    int64
+	CCEExecuted    int64
+	CCEFlushed     int64
+	CCBStallCells  int // runs that stalled on a full CCB at least once
+	MonotoneSweeps int // programs that ran the CCB capacity sweep
+	PressureRuns   int // completed sweep runs below the speculative window
+}
+
+func (s *Stats) add(o Stats) {
+	s.Programs += o.Programs
+	s.Cells += o.Cells
+	s.Predictions += o.Predictions
+	s.Mispredicts += o.Mispredicts
+	s.CCEExecuted += o.CCEExecuted
+	s.CCEFlushed += o.CCEFlushed
+	s.CCBStallCells += o.CCBStallCells
+	s.MonotoneSweeps += o.MonotoneSweeps
+	s.PressureRuns += o.PressureRuns
+}
+
+// Run checks n consecutive seeds starting at startSeed, fanning across
+// opt.Jobs workers. It returns every failure (one per failing seed,
+// minimized) plus aggregate coverage stats; err reports harness breakage
+// (a generated program that does not compile, or a simulator error on a
+// well-formed run), which is always a bug.
+func Run(startSeed int64, n int, opt Options) ([]*Failure, Stats, error) {
+	opt = opt.withDefaults()
+	fails := make([]*Failure, n)
+	stats := make([]Stats, n)
+	err := pool.ForEach(opt.Jobs, n, func(i int) error {
+		f, st, err := CheckSeed(startSeed+int64(i), opt)
+		fails[i], stats[i] = f, st
+		return err
+	})
+	var out []*Failure
+	var total Stats
+	for i := range fails {
+		if fails[i] != nil {
+			out = append(out, fails[i])
+		}
+		total.add(stats[i])
+	}
+	return out, total, err
+}
+
+// CheckSeed generates one program and checks every invariant across the
+// lattice. On a violation it shrinks the program while the same invariant
+// keeps failing and returns the minimized Failure.
+func CheckSeed(seed int64, opt Options) (*Failure, Stats, error) {
+	opt = opt.withDefaults()
+	spec := progen.Generate(seed, opt.Gen)
+	fail, stats, err := checkSpec(spec, opt)
+	if err != nil || fail == nil {
+		return nil, stats, err
+	}
+	min := progen.Minimize(spec, func(s progen.Spec) bool {
+		f, _, err := checkSpec(s, opt)
+		return err == nil && f != nil && f.Invariant == fail.Invariant
+	})
+	// Re-derive the failure from the minimized spec so cell and detail
+	// describe the program actually reported.
+	if f, _, err := checkSpec(min, opt); err == nil && f != nil {
+		fail = f
+	}
+	fail.Seed = seed
+	fail.Source = progen.Render(min)
+	return fail, stats, nil
+}
+
+// refResult is the sequential interpreter's architectural outcome.
+type refResult struct {
+	value  uint64
+	output []string
+	mem    []uint64
+}
+
+// checkSpec runs the full invariant battery over one spec and returns the
+// first violation (cells in lattice order, arch before metrics before
+// perfect within a cell, then the CCB monotonicity sweep).
+func checkSpec(spec progen.Spec, opt Options) (*Failure, Stats, error) {
+	src := progen.Render(spec)
+	prog, err := lang.Compile(src)
+	if err != nil {
+		return nil, Stats{}, fmt.Errorf("conform: seed %d does not compile: %w", spec.Seed, err)
+	}
+	optpass.Optimize(prog)
+	if err := prog.Validate(); err != nil {
+		return nil, Stats{}, fmt.Errorf("conform: seed %d invalid after optimize: %w", spec.Seed, err)
+	}
+
+	m := interp.New(prog)
+	v, err := m.Run("main")
+	if err != nil {
+		return nil, Stats{}, fmt.Errorf("conform: seed %d interp: %w", spec.Seed, err)
+	}
+	ref := &refResult{value: v, output: m.Output, mem: append([]uint64(nil), m.Mem...)}
+
+	prof, err := profile.Collect(prog, "main")
+	if err != nil {
+		return nil, Stats{}, fmt.Errorf("conform: seed %d profile: %w", spec.Seed, err)
+	}
+
+	stats := Stats{Programs: 1}
+	baseCycles := map[*machine.Desc]int64{}
+	for _, cell := range opt.Lattice {
+		fail, err := checkCell(prog, prof, ref, cell, opt, baseCycles, &stats)
+		if err != nil {
+			return nil, stats, fmt.Errorf("conform: seed %d cell %s: %w", spec.Seed, cell.Name, err)
+		}
+		if fail != nil {
+			return fail, stats, nil
+		}
+	}
+	fail, err := checkMonotone(prog, prof, ref, opt, &stats)
+	if err != nil {
+		return nil, stats, fmt.Errorf("conform: seed %d: %w", spec.Seed, err)
+	}
+	return fail, stats, nil
+}
+
+// transform applies the speculation pass for a cell, clamping the
+// Synchronization-bit window to the CCB capacity (the same co-design rule
+// oracle.Config enforces).
+func transform(prog *ir.Program, prof *profile.Profile, cell Cell) (*speculate.Result, map[int]profile.Scheme, error) {
+	cfg := speculate.DefaultConfig(cell.D)
+	if cell.Threshold > 0 {
+		cfg.Threshold = cell.Threshold
+	}
+	if cell.CCBCapacity > 0 && cfg.MaxSyncBits > cell.CCBCapacity {
+		cfg.MaxSyncBits = cell.CCBCapacity
+	}
+	res, err := speculate.Transform(prog, prof, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	schemes := map[int]profile.Scheme{}
+	for _, site := range res.Sites {
+		schemes[site.ID] = site.Scheme
+	}
+	return res, schemes, nil
+}
+
+// schedule builds the per-block VLIW schedules for a (possibly
+// transformed) program.
+func schedule(prog *ir.Program, d *machine.Desc) (*sched.ProgSched, error) {
+	ps := &sched.ProgSched{Prog: prog, Funcs: map[string]*sched.FuncSched{}}
+	for _, f := range prog.Funcs {
+		fs := &sched.FuncSched{F: f, Blocks: make([]*sched.BlockSched, len(f.Blocks))}
+		for i, b := range f.Blocks {
+			g := speculate.BuildGraph(b, d, ddg.Options{})
+			fs.Blocks[i] = sched.ScheduleBlock(b, g, d)
+			if err := fs.Blocks[i].Validate(g, d); err != nil {
+				return nil, fmt.Errorf("%s b%d: %w", f.Name, i, err)
+			}
+		}
+		ps.Funcs[f.Name] = fs
+	}
+	return ps, nil
+}
+
+// buildSim wires a dynamic simulator for one cell over an already
+// transformed program.
+func buildSim(res *speculate.Result, schemes map[int]profile.Scheme, cell Cell, opt Options) (*core.Simulator, error) {
+	ps, err := schedule(res.Prog, cell.D)
+	if err != nil {
+		return nil, err
+	}
+	sim, err := core.NewSimulator(res.Prog, ps, cell.D, schemes)
+	if err != nil {
+		return nil, err
+	}
+	if cell.CCBCapacity > 0 {
+		sim.CCBCapacity = cell.CCBCapacity
+	}
+	sim.SerialRecovery = cell.SerialRecovery
+	sim.BranchPenalty = cell.BranchPenalty
+	if opt.Tamper != nil {
+		opt.Tamper(sim)
+	}
+	return sim, nil
+}
+
+// archDiff compares a simulator run against the interpreter reference and
+// returns a human-readable mismatch, or "".
+func archDiff(ref *refResult, v uint64, sim *core.Simulator) string {
+	if v != ref.value {
+		return fmt.Sprintf("return value %d, interpreter got %d", v, ref.value)
+	}
+	if len(sim.Output) != len(ref.output) {
+		return fmt.Sprintf("emitted %d output lines, interpreter %d", len(sim.Output), len(ref.output))
+	}
+	for i := range ref.output {
+		if sim.Output[i] != ref.output[i] {
+			return fmt.Sprintf("output[%d] = %q, interpreter %q", i, sim.Output[i], ref.output[i])
+		}
+	}
+	mem := sim.Memory()
+	if len(mem) != len(ref.mem) {
+		return fmt.Sprintf("memory image %d words, interpreter %d", len(mem), len(ref.mem))
+	}
+	for i := range ref.mem {
+		if mem[i] != ref.mem[i] {
+			return fmt.Sprintf("mem[%d] = %d, interpreter %d", i, mem[i], ref.mem[i])
+		}
+	}
+	return ""
+}
+
+// checkCell validates invariants 1, 4, and 2 for one lattice cell.
+func checkCell(prog *ir.Program, prof *profile.Profile, ref *refResult, cell Cell,
+	opt Options, baseCycles map[*machine.Desc]int64, stats *Stats) (*Failure, error) {
+
+	res, schemes, err := transform(prog, prof, cell)
+	if err != nil {
+		return nil, err
+	}
+	// Invariant 0: the transformed program still satisfies the IR
+	// validator (including the speculation-form checks).
+	if err := res.Prog.Validate(); err != nil {
+		return &Failure{Invariant: "arch", Cell: cell.Name,
+			Detail: fmt.Sprintf("transformed program invalid: %v", err)}, nil
+	}
+	sim, err := buildSim(res, schemes, cell, opt)
+	if err != nil {
+		return nil, err
+	}
+	sink := &countSink{}
+	sim.Sink = sink
+
+	// The trained-predictor run doubles as the recording run for the
+	// perfect-replay comparison.
+	logs := map[int][]uint64{}
+	recIDs := map[*predict.Recorder]int{}
+	sim.NewPredictor = func(id int) predict.Predictor {
+		var inner predict.Predictor
+		if schemes[id] == profile.SchemeFCM {
+			inner = predict.NewFCM(predict.DefaultFCMOrder, predict.DefaultFCMTableBits)
+		} else {
+			inner = predict.NewStride()
+		}
+		r := &predict.Recorder{P: inner}
+		recIDs[r] = id
+		return r
+	}
+
+	v, err := sim.Run("main")
+	if err != nil {
+		// A simulator error on a program the interpreter accepts is an
+		// architectural divergence (e.g. a wild speculative address that
+		// escaped recovery), not harness breakage.
+		return &Failure{Invariant: "arch", Cell: cell.Name,
+			Detail: fmt.Sprintf("simulator error: %v", err)}, nil
+	}
+	trainedCycles := sim.Cycles
+
+	stats.Cells++
+	stats.Predictions += sim.Predictions
+	stats.Mispredicts += sim.Mispredicts
+	stats.CCEExecuted += sim.CCEExecuted
+	stats.CCEFlushed += sim.CCEFlushed
+	if sim.StallCCB > 0 {
+		stats.CCBStallCells++
+	}
+
+	// Invariant 1: architectural conformance.
+	if d := archDiff(ref, v, sim); d != "" {
+		return &Failure{Invariant: "arch", Cell: cell.Name, Detail: d}, nil
+	}
+	// Invariant 4: event stream vs counters vs snapshot.
+	if d := sink.diff(sim, cell); d != "" {
+		return &Failure{Invariant: "metrics", Cell: cell.Name, Detail: d}, nil
+	}
+
+	// Invariant 2: perfect prediction never loses. Dual-engine cells with
+	// an unconstrained CCB only: a deliberately starved buffer or the
+	// serial-recovery machine are allowed to lose to the unspeculated
+	// baseline.
+	if cell.SerialRecovery || cell.CCBCapacity > 0 || sim.Predictions == 0 {
+		return nil, nil
+	}
+	for r, id := range recIDs {
+		logs[id] = r.Log
+	}
+	sim.NewPredictor = func(id int) predict.Predictor {
+		return &predict.Replay{Seq: logs[id]}
+	}
+	pv, err := sim.Run("main")
+	if err != nil {
+		return nil, fmt.Errorf("perfect-replay run: %w", err)
+	}
+	if d := archDiff(ref, pv, sim); d != "" {
+		return &Failure{Invariant: "arch", Cell: cell.Name,
+			Detail: "under perfect replay: " + d}, nil
+	}
+	if sim.Mispredicts != 0 {
+		return &Failure{Invariant: "perfect", Cell: cell.Name,
+			Detail: fmt.Sprintf("replayed predictor still mispredicted %d of %d", sim.Mispredicts, sim.Predictions)}, nil
+	}
+	if sim.Cycles > trainedCycles {
+		return &Failure{Invariant: "perfect", Cell: cell.Name,
+			Detail: fmt.Sprintf("perfect replay took %d cycles, trained predictors %d", sim.Cycles, trainedCycles)}, nil
+	}
+	// Against the unspeculated baseline, perfect prediction is not free:
+	// every site adds exactly two operations (LdPred + CheckLd, the
+	// check a real load competing for memory ports) and call barriers
+	// drain the CCB. Each of those costs at most a bounded number of
+	// cycles — an issue slot each, a memory-port conflict for the check,
+	// a bounded share of a barrier drain — so the implementable form of
+	// the paper's "prediction never loses" claim is a per-prediction
+	// overhead allowance (4 cycles/site is a conservative ceiling); a
+	// violation means speculation cost something that does NOT scale
+	// with the speculation the program performed — a stall pathology or
+	// a wedge, exactly what this invariant exists to catch. On a 2-wide
+	// machine even that bound does not hold (the machine has no spare
+	// slots at all), so the baseline comparison covers the >=4-wide
+	// configurations the paper evaluates.
+	if cell.D.Width < 4 {
+		return nil, nil
+	}
+	base, ok := baseCycles[cell.D]
+	if !ok {
+		base, err = baselineCycles(prog, cell, opt)
+		if err != nil {
+			return nil, err
+		}
+		baseCycles[cell.D] = base
+	}
+	if allowed := base + 4*sim.Predictions + 64; sim.Cycles > allowed {
+		return &Failure{Invariant: "perfect", Cell: cell.Name,
+			Detail: fmt.Sprintf("perfect replay took %d cycles; unspeculated baseline %d + overhead allowance for %d predictions gives only %d",
+				sim.Cycles, base, sim.Predictions, allowed)}, nil
+	}
+	return nil, nil
+}
+
+// baselineCycles runs the untransformed program on the same machine:
+// scheduled, scoreboarded, but with no speculation anywhere.
+func baselineCycles(prog *ir.Program, cell Cell, opt Options) (int64, error) {
+	base := prog.Clone()
+	ps, err := schedule(base, cell.D)
+	if err != nil {
+		return 0, err
+	}
+	sim, err := core.NewSimulator(base, ps, cell.D, nil)
+	if err != nil {
+		return 0, err
+	}
+	if opt.Tamper != nil {
+		opt.Tamper(sim)
+	}
+	if _, err := sim.Run("main"); err != nil {
+		return 0, fmt.Errorf("baseline run: %w", err)
+	}
+	return sim.Cycles, nil
+}
+
+// checkMonotone sweeps CCB capacity at a fixed program and schedule
+// (4-wide, dual-engine). At or above the widest per-block
+// Synchronization-bit window the machine is deadlock free by co-design
+// and the buffer never limits issue, so cycles must not depend on the
+// capacity at all — equality, the strong form of "monotone non-increasing
+// in capacity". Below the window the sweep creates real buffer pressure;
+// there the machine may wedge (skipped) and cycles may move in either
+// direction — a CCB stall delays a LdPred past earlier check resolutions,
+// which retrains the predictors and changes the misprediction pattern
+// itself — but completed runs must still be architecturally exact.
+func checkMonotone(prog *ir.Program, prof *profile.Profile, ref *refResult, opt Options, stats *Stats) (*Failure, error) {
+	cell := Cell{Name: "ccb-sweep", D: machine.W4}
+	res, schemes, err := transform(prog, prof, cell)
+	if err != nil {
+		return nil, err
+	}
+	maxBits := 0
+	for _, bi := range res.Blocks {
+		if n := bits.OnesCount64(bi.BitsUsed); n > maxBits {
+			maxBits = n
+		}
+	}
+	if maxBits == 0 {
+		return nil, nil // nothing speculated: nothing to sweep
+	}
+	sim, err := buildSim(res, schemes, cell, opt)
+	if err != nil {
+		return nil, err
+	}
+	// Reference run exactly at the floor: every capacity at or above the
+	// window must reproduce its cycle count.
+	sim.CCBCapacity = maxBits
+	fv, err := sim.Run("main")
+	if err != nil {
+		return &Failure{Invariant: "ccb-monotone", Cell: cell.Name,
+			Detail: fmt.Sprintf("wedged at CCB capacity %d >= speculative window %d: %v",
+				maxBits, maxBits, err)}, nil
+	}
+	if d := archDiff(ref, fv, sim); d != "" {
+		return &Failure{Invariant: "arch", Cell: cell.Name,
+			Detail: fmt.Sprintf("at CCB capacity %d: %s", maxBits, d)}, nil
+	}
+	refCycles := sim.Cycles
+	sim.MaxCycles = 16*refCycles + 50000
+
+	caps := []int{1, maxBits / 2, maxBits - 1, maxBits + 1, 2 * maxBits, core.DefaultCCBCapacity}
+	sort.Ints(caps)
+	stats.MonotoneSweeps++
+	for i, c := range caps {
+		if c < 1 || c == maxBits || (i > 0 && c == caps[i-1]) {
+			continue
+		}
+		sim.CCBCapacity = c
+		v, err := sim.Run("main")
+		if err != nil {
+			if c > maxBits {
+				// At or above the window the machine must not wedge.
+				return &Failure{Invariant: "ccb-monotone", Cell: cell.Name,
+					Detail: fmt.Sprintf("wedged at CCB capacity %d > speculative window %d: %v",
+						c, maxBits, err)}, nil
+			}
+			continue // sub-floor wedge: a legal refusal, treated as +inf
+		}
+		if d := archDiff(ref, v, sim); d != "" {
+			return &Failure{Invariant: "arch", Cell: cell.Name,
+				Detail: fmt.Sprintf("at CCB capacity %d: %s", c, d)}, nil
+		}
+		if c > maxBits {
+			if sim.Cycles != refCycles {
+				return &Failure{Invariant: "ccb-monotone", Cell: cell.Name,
+					Detail: fmt.Sprintf("CCB %d took %d cycles, CCB %d (the %d-bit speculative window, above which the buffer never limits issue) took %d",
+						c, sim.Cycles, maxBits, maxBits, refCycles)}, nil
+			}
+			continue
+		}
+		stats.PressureRuns++
+		if sim.StallCCB > 0 {
+			stats.CCBStallCells++
+		}
+	}
+	return nil, nil
+}
+
+// countSink tallies the typed event stream for the self-consistency
+// invariant.
+type countSink struct {
+	kinds      map[obs.Kind]int64
+	resolveBad int64
+}
+
+func (c *countSink) Event(e *obs.Event) {
+	if c.kinds == nil {
+		c.kinds = map[obs.Kind]int64{}
+	}
+	c.kinds[e.Kind]++
+	if e.Kind == obs.KindCheckResolve && !e.Correct {
+		c.resolveBad++
+	}
+}
+
+// diff cross-checks the event stream against the simulator's counters and
+// its published metrics snapshot. It must be called after a successful
+// Run with the sink attached for the whole run.
+func (c *countSink) diff(sim *core.Simulator, cell Cell) string {
+	k := func(kind obs.Kind) int64 { return c.kinds[kind] }
+	type eq struct {
+		name string
+		a, b int64
+	}
+	checks := []eq{
+		{"ldpred-issue events vs Predictions", k(obs.KindLdPredIssue), sim.Predictions},
+		{"check-issue events vs Predictions", k(obs.KindCheckIssue), sim.Predictions},
+		{"check-resolve events vs Predictions", k(obs.KindCheckResolve), sim.Predictions},
+		{"incorrect resolves vs Mispredicts", c.resolveBad, sim.Mispredicts},
+		{"cce-flush events vs CCEFlushed", k(obs.KindCCEFlush), sim.CCEFlushed},
+		{"cce-execute events vs CCEExecuted", k(obs.KindCCEExecute), sim.CCEExecuted},
+		{"ccb captures vs flushed+executed", k(obs.KindBufferCCB), sim.CCEFlushed + sim.CCEExecuted},
+		{"stall.sync events vs StallSync", k(obs.KindStallSync), sim.StallSync},
+		{"stall.scoreboard events vs StallScore", k(obs.KindStallScore), sim.StallScore},
+		{"stall.ccb events vs StallCCB", k(obs.KindStallCCB), sim.StallCCB},
+		{"stall.barrier events vs StallBar", k(obs.KindStallBarrier), sim.StallBar},
+		{"instr-issue events vs Instrs", k(obs.KindInstrIssue), sim.Instrs},
+	}
+	for _, ch := range checks {
+		if ch.a != ch.b {
+			return fmt.Sprintf("%s: %d != %d", ch.name, ch.a, ch.b)
+		}
+	}
+
+	snap := sim.Metrics()
+	scalar := []eq{
+		{"snapshot sim.cycles", snap.Counters["sim.cycles"], sim.Cycles},
+		{"snapshot pred.predictions", snap.Counters["pred.predictions"], sim.Predictions},
+		{"snapshot pred.verified", snap.Counters["pred.verified"], sim.Predictions - sim.Mispredicts},
+		{"snapshot stall.recovery", snap.Counters["stall.recovery"], sim.StallRecovery},
+		{"snapshot ccb.max_occupancy", snap.Counters["ccb.max_occupancy"], int64(sim.MaxCCBOccupancy)},
+	}
+	for _, ch := range scalar {
+		if ch.a != ch.b {
+			return fmt.Sprintf("%s: %d != %d", ch.name, ch.a, ch.b)
+		}
+	}
+	if !cell.SerialRecovery && sim.StallRecovery != 0 {
+		return fmt.Sprintf("dual-engine run charged %d recovery stalls", sim.StallRecovery)
+	}
+	hist, ok := snap.Histograms["ccb.occupancy"]
+	if !ok {
+		return "snapshot missing ccb.occupancy histogram"
+	}
+	var histTotal int64
+	for _, n := range hist.Counts {
+		histTotal += n
+	}
+	if histTotal != c.kinds[obs.KindBufferCCB] {
+		return fmt.Sprintf("ccb.occupancy histogram totals %d samples, %d entries were buffered",
+			histTotal, c.kinds[obs.KindBufferCCB])
+	}
+	capacity := sim.CCBCapacity
+	if capacity <= 0 {
+		capacity = core.DefaultCCBCapacity
+	}
+	if sim.MaxCCBOccupancy > capacity {
+		return fmt.Sprintf("max CCB occupancy %d exceeds capacity %d", sim.MaxCCBOccupancy, capacity)
+	}
+	if (sim.MaxCCBOccupancy == 0) != (histTotal == 0) {
+		return fmt.Sprintf("max occupancy %d inconsistent with %d buffered entries",
+			sim.MaxCCBOccupancy, histTotal)
+	}
+	return ""
+}

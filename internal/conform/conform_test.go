@@ -1,0 +1,113 @@
+package conform
+
+import (
+	"flag"
+	"runtime"
+	"strings"
+	"testing"
+
+	"vliwvp/internal/core"
+)
+
+// -seeds sets the per-run program budget; CI pins it to 200 in the
+// conformance job, local runs default smaller.
+var seedBudget = flag.Int("seeds", 48, "number of generated programs the conformance suite checks")
+
+// TestConformance is the suite's main entry: seedBudget generated
+// programs, each checked across the full configuration lattice against
+// all four metamorphic invariants.
+func TestConformance(t *testing.T) {
+	n := *seedBudget
+	if testing.Short() && n > 8 {
+		n = 8
+	}
+	fails, stats, err := Run(1, n, Options{Jobs: runtime.GOMAXPROCS(0)})
+	if err != nil {
+		t.Fatalf("harness error: %v", err)
+	}
+	for _, f := range fails {
+		t.Errorf("%s", f.Report())
+	}
+
+	// Vacuity guards: a passing run must actually have exercised the
+	// machinery the invariants are about.
+	t.Logf("conformance stats: %+v", stats)
+	if stats.Programs != n {
+		t.Errorf("checked %d programs, want %d", stats.Programs, n)
+	}
+	if stats.Predictions == 0 {
+		t.Error("no load was ever predicted across the whole corpus")
+	}
+	if stats.Mispredicts == 0 {
+		t.Error("no prediction ever missed: the recovery machinery went untested")
+	}
+	if stats.CCEExecuted == 0 {
+		t.Error("the Compensation Code Engine never re-executed an operation")
+	}
+	if stats.CCEFlushed == 0 {
+		t.Error("the Compensation Code Engine never flushed a correct entry")
+	}
+	if stats.MonotoneSweeps == 0 {
+		t.Error("no program ran the CCB capacity sweep")
+	}
+	if !testing.Short() {
+		if stats.PressureRuns == 0 {
+			t.Error("no sweep run ever completed below the speculative window")
+		}
+		if stats.CCBStallCells == 0 {
+			t.Error("no run ever stalled on a full CCB: the capacity limit went untested")
+		}
+	}
+}
+
+// TestConformanceCatchesInjectedCCEBug proves the suite's teeth: with a
+// deliberately corrupted CCE write-back datapath, some seed must produce
+// an architectural divergence, reported with the seed and a minimized
+// program.
+func TestConformanceCatchesInjectedCCEBug(t *testing.T) {
+	opt := Options{
+		Tamper: func(s *core.Simulator) { s.FaultCCEWritebackXor = 1 << 6 },
+	}
+	var caught *Failure
+	var seed int64
+	for seed = 1; seed <= 40 && caught == nil; seed++ {
+		f, _, err := CheckSeed(seed, opt)
+		if err != nil {
+			t.Fatalf("seed %d: harness error: %v", seed, err)
+		}
+		caught = f
+	}
+	if caught == nil {
+		t.Fatal("injected CCE write-back corruption went undetected across 40 seeds")
+	}
+	if caught.Invariant != "arch" {
+		t.Errorf("injected bug reported as %q, want \"arch\"", caught.Invariant)
+	}
+	rep := caught.Report()
+	if !strings.Contains(rep, "-progen-seed") || caught.Seed == 0 {
+		t.Errorf("report missing reproducible seed:\n%s", rep)
+	}
+	if !strings.Contains(rep, "func main()") {
+		t.Errorf("report missing the minimized program:\n%s", rep)
+	}
+	if caught.Source == "" {
+		t.Error("failure carries no minimized source")
+	}
+	t.Logf("caught with seed %d:\n%s", caught.Seed, rep)
+}
+
+// TestPerfectReplayBeatsTrained spot-checks the record/replay plumbing on
+// one seed directly: CheckSeed must pass honestly (no tamper), and the
+// stats must show mispredictions existed for at least one seed, meaning
+// the perfect-replay comparison was non-trivial.
+func TestCheckSeedCleanPasses(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		f, _, err := CheckSeed(seed, Options{})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if f != nil {
+			t.Fatalf("seed %d failed:\n%s", seed, f.Report())
+		}
+	}
+}

@@ -1,0 +1,187 @@
+package core_test
+
+import (
+	"strings"
+	"testing"
+
+	"vliwvp/internal/core"
+	"vliwvp/internal/interp"
+	"vliwvp/internal/machine"
+	"vliwvp/internal/obs"
+)
+
+// The strided kernel's loop block allocates a 6-bit speculative window
+// with a peak runtime CCB occupancy of 4, which gives the capacity sweep
+// below all three regimes: free-flowing (>= 4), stalling-but-live (2..3),
+// and wedged (<= 1).
+
+// TestCCBCapacityZeroWedges pins the dynamic simulator's convention at the
+// empty-buffer boundary: capacity 0 is a literal refusal to capture, not
+// "use the default". The first long instruction carrying a speculative
+// operation can never issue, and the run must die on the cycle guard
+// instead of looping forever.
+func TestCCBCapacityZeroWedges(t *testing.T) {
+	sim, _ := buildSim(t, stridedKernel, true, machine.W4)
+	sim.CCBCapacity = 0
+	sim.MaxCycles = 50000
+	_, err := sim.Run("main")
+	if err == nil {
+		t.Fatal("capacity-0 run completed; expected a wedge")
+	}
+	if !strings.Contains(err.Error(), "cycles") {
+		t.Errorf("wedge error %q does not mention the cycle guard", err)
+	}
+	if sim.StallCCB == 0 {
+		t.Error("wedged run charged no CCB stalls")
+	}
+	if sim.CCEExecuted != 0 || sim.CCEFlushed != 0 {
+		t.Errorf("capacity-0 run still drained entries: executed %d, flushed %d",
+			sim.CCEExecuted, sim.CCEFlushed)
+	}
+	if sim.MaxCCBOccupancy != 0 {
+		t.Errorf("capacity-0 run buffered %d entries", sim.MaxCCBOccupancy)
+	}
+}
+
+// TestCCBCapacityOneWedgesAfterProgress: a single-entry buffer is big
+// enough to start speculating (one entry captured, one prediction made)
+// but too small for the kernel's multi-op speculative window, so the run
+// wedges only after partial progress — distinct from the capacity-0 case,
+// which never captures at all.
+func TestCCBCapacityOneWedgesAfterProgress(t *testing.T) {
+	sim, _ := buildSim(t, stridedKernel, true, machine.W4)
+	sim.CCBCapacity = 1
+	sim.MaxCycles = 50000
+	if _, err := sim.Run("main"); err == nil {
+		t.Fatal("capacity-1 run completed; expected a wedge")
+	}
+	if sim.MaxCCBOccupancy != 1 {
+		t.Errorf("peak occupancy %d, want the single entry filled", sim.MaxCCBOccupancy)
+	}
+	if sim.Predictions == 0 {
+		t.Error("capacity-1 run never got as far as a prediction")
+	}
+}
+
+// TestCCBSmallestLiveCapacity: at capacity 2 the kernel stalls on buffer
+// space every iteration yet completes with the architectural result, and
+// the stall counter, the typed event stream, and the occupancy metric all
+// agree.
+func TestCCBSmallestLiveCapacity(t *testing.T) {
+	sim, orig := buildSim(t, stridedKernel, true, machine.W4)
+	sim.CCBCapacity = 2
+	sink := &collectSink{}
+	sim.Sink = sink
+	got, err := sim.Run("main")
+	if err != nil {
+		t.Fatalf("capacity-2 run: %v", err)
+	}
+	want, err := interp.New(orig).RunMain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("capacity-2 result %d, interpreter %d", got, want)
+	}
+	if sim.StallCCB == 0 {
+		t.Error("two-entry buffer under a wider speculative window never stalled on CCB space")
+	}
+	var stallEvents int64
+	for _, e := range sink.events {
+		if e.Kind == obs.KindStallCCB {
+			stallEvents++
+		}
+	}
+	if stallEvents != sim.StallCCB {
+		t.Errorf("%d stall.ccb events, counter says %d", stallEvents, sim.StallCCB)
+	}
+	if sim.MaxCCBOccupancy != 2 {
+		t.Errorf("peak occupancy %d with a 2-entry buffer", sim.MaxCCBOccupancy)
+	}
+}
+
+// TestCCBFullCapacityNeverStalls: at the default capacity the speculative
+// window always fits, so the buffer must never be the limiting resource,
+// and shrinking down to the peak occupancy must not change the cycle count.
+func TestCCBFullCapacityNeverStalls(t *testing.T) {
+	sim, _ := buildSim(t, stridedKernel, true, machine.W4)
+	if _, err := sim.Run("main"); err != nil {
+		t.Fatal(err)
+	}
+	if sim.StallCCB != 0 {
+		t.Errorf("default-capacity run charged %d CCB stalls", sim.StallCCB)
+	}
+	peak, cycles := sim.MaxCCBOccupancy, sim.Cycles
+	if peak <= 0 || peak > core.DefaultCCBCapacity {
+		t.Errorf("peak occupancy %d outside (0, %d]", peak, core.DefaultCCBCapacity)
+	}
+	trim, _ := buildSim(t, stridedKernel, true, machine.W4)
+	trim.CCBCapacity = peak
+	if _, err := trim.Run("main"); err != nil {
+		t.Fatal(err)
+	}
+	if trim.StallCCB != 0 || trim.Cycles != cycles {
+		t.Errorf("capacity %d (the peak occupancy) ran %d cycles with %d stalls; default capacity ran %d with 0",
+			peak, trim.Cycles, trim.StallCCB, cycles)
+	}
+}
+
+// TestCCBDrainsFIFO pins the buffer discipline against the event stream:
+// every captured entry is drained exactly once (flush or re-execute), and
+// matching the i-th capture with the i-th drain never goes backwards in
+// time — the definition of first-in, first-out.
+func TestCCBDrainsFIFO(t *testing.T) {
+	for _, capa := range []int{2, 3, core.DefaultCCBCapacity} {
+		sim, _ := buildSim(t, stridedKernel, true, machine.W4)
+		sim.CCBCapacity = capa
+		sink := &collectSink{}
+		sim.Sink = sink
+		if _, err := sim.Run("main"); err != nil {
+			t.Fatalf("capacity %d: %v", capa, err)
+		}
+		var captures, drains []obs.Event
+		for _, e := range sink.events {
+			switch e.Kind {
+			case obs.KindBufferCCB:
+				captures = append(captures, e)
+			case obs.KindCCEFlush, obs.KindCCEExecute:
+				drains = append(drains, e)
+			}
+		}
+		if len(captures) == 0 {
+			t.Fatalf("capacity %d: nothing was ever buffered", capa)
+		}
+		if len(captures) != len(drains) {
+			t.Fatalf("capacity %d: %d captures but %d drains", capa, len(captures), len(drains))
+		}
+		for i := range captures {
+			if drains[i].Cycle < captures[i].Cycle {
+				t.Fatalf("capacity %d: drain %d at cycle %d precedes its capture at cycle %d",
+					capa, i, drains[i].Cycle, captures[i].Cycle)
+			}
+		}
+	}
+}
+
+// TestTimingCCBZeroMeansDefault pins the static Timing model's divergent
+// convention: capacity <= 0 falls back to the default buffer size rather
+// than refusing to capture, so a zero-capacity Timing run completes.
+func TestTimingCCBZeroMeansDefault(t *testing.T) {
+	d := machine.W4
+	_, bs, an := paperSetup(t, d)
+	zero := core.NewTiming(d)
+	zero.CCBCapacity = 0
+	rZero, err := zero.SimulateBlock(bs, an, 0)
+	if err != nil {
+		t.Fatalf("zero-capacity timing run: %v", err)
+	}
+	def := core.NewTiming(d)
+	rDef, err := def.SimulateBlock(bs, an, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rZero.Length != rDef.Length {
+		t.Errorf("capacity 0 length %d, default capacity length %d — <=0 must mean default",
+			rZero.Length, rDef.Length)
+	}
+}

@@ -27,6 +27,12 @@ type Simulator struct {
 	Analyses map[string][]*BlockAnalysis
 	// Schemes selects the predictor family per prediction site ID.
 	Schemes map[int]profile.Scheme
+	// NewPredictor, when set, overrides Schemes: it is invoked once per
+	// prediction site per Run to build that site's predictor. The
+	// conformance harness uses it to record a site's value stream with
+	// predict.Recorder and then replay it through predict.Replay as a
+	// perfect predictor. Returning nil falls back to the Schemes choice.
+	NewPredictor func(predID int) predict.Predictor
 
 	// CCBCapacity bounds in-flight speculative operations.
 	CCBCapacity int
@@ -56,6 +62,14 @@ type Simulator struct {
 	// BranchPenalty is the taken-branch cost into and out of a recovery
 	// block (serial mode only).
 	BranchPenalty int
+
+	// FaultCCEWritebackXor, when nonzero, corrupts every compensation
+	// re-execution result by XORing it with this mask before write-back.
+	// It models a CCE write-back datapath bug and exists so the
+	// conformance suite can prove it catches one (the architectural
+	// results then diverge from the sequential interpreter whenever a
+	// misprediction forces a re-execution). Never set outside tests.
+	FaultCCEWritebackXor uint64
 
 	// Results.
 	Cycles      int64
@@ -777,6 +791,7 @@ func (s *Simulator) drainResolvedSerial() {
 				s.simErr = fmt.Errorf("core: serial recovery of %s: %w", e.op, err)
 				return
 			}
+			v ^= s.FaultCCEWritebackXor
 			e.recomputed = true
 			e.newValue = v
 			e.doneAt = s.cycle
@@ -876,6 +891,7 @@ func (s *Simulator) stepCCE() {
 		s.simErr = fmt.Errorf("core: compensation re-execution of %s: %w", e.op, err)
 		return
 	}
+	v ^= s.FaultCCEWritebackXor
 	lat := int64(s.D.Latency(e.op))
 	e.recomputed = true
 	e.newValue = v
@@ -1024,10 +1040,15 @@ func (s *Simulator) at(cycle int64, f func()) {
 func (s *Simulator) sitePredictor(predID int) predict.Predictor {
 	p := s.preds[predID]
 	if p == nil {
-		if s.Schemes[predID] == profile.SchemeFCM {
-			p = predict.NewFCM(predict.DefaultFCMOrder, predict.DefaultFCMTableBits)
-		} else {
-			p = predict.NewStride()
+		if s.NewPredictor != nil {
+			p = s.NewPredictor(predID)
+		}
+		if p == nil {
+			if s.Schemes[predID] == profile.SchemeFCM {
+				p = predict.NewFCM(predict.DefaultFCMOrder, predict.DefaultFCMTableBits)
+			} else {
+				p = predict.NewStride()
+			}
 		}
 		s.preds[predID] = p
 	}

@@ -199,6 +199,36 @@ func RunBenchGrid(d *machine.Desc, count int, log io.Writer) (*BenchRecord, erro
 		}
 	}
 
+	// Generated-corpus row: a pinned progen slice through the same
+	// dual-engine pipeline, so the perf trajectory also tracks the
+	// synthetic workloads the conformance suite exercises.
+	gen := workload.Generated(1, 4)
+	genSims := make([]*core.Simulator, len(gen))
+	for i, w := range gen {
+		sim, err := r.SpecSim(w)
+		if err != nil {
+			return nil, fmt.Errorf("bench sim/gen-corpus (%s): %w", w.Name, err)
+		}
+		genSims[i] = sim
+	}
+	var genCycles int64
+	runGen := func() error {
+		genCycles = 0
+		for i, sim := range genSims {
+			if _, err := sim.Run("main"); err != nil {
+				return fmt.Errorf("%s: %w", gen[i].Name, err)
+			}
+			genCycles += sim.Cycles
+		}
+		return nil
+	}
+	if err := runGen(); err != nil {
+		return nil, fmt.Errorf("bench sim/gen-corpus: %w", err)
+	}
+	if err := add("sim/gen-corpus", genCycles, runGen); err != nil {
+		return nil, err
+	}
+
 	// Pipeline component micro-benchmarks.
 	vortex, err := workload.Vortex.Compile()
 	if err != nil {

@@ -20,6 +20,9 @@ func (f *Func) Validate() error {
 			if err := f.checkRegs(op); err != nil {
 				return fmt.Errorf("%s b%d: %w", f.Name, b.ID, err)
 			}
+			if err := checkSpecForm(op); err != nil {
+				return fmt.Errorf("%s b%d: %w", f.Name, b.ID, err)
+			}
 		}
 		switch t := b.Terminator(); {
 		case t == nil && len(b.Succs) != 1:
@@ -68,6 +71,54 @@ func (f *Func) checkRegs(op *Op) error {
 	for _, a := range op.Args {
 		if err := check(a, "arg"); err != nil {
 			return err
+		}
+	}
+	return nil
+}
+
+// checkSpecForm enforces the speculation-metadata invariants the transform
+// establishes and every later pass (scheduler, simulators) relies on: a
+// LdPred carries a site ID, a Synchronization bit, and a destination; a
+// CheckLd carries the site ID, the address base, and the architectural
+// destination; a Speculative op owns a Synchronization bit and must be
+// pure (stores, calls, and control flow are never issued speculatively);
+// ClearBits is check-prediction encoding only.
+func checkSpecForm(op *Op) error {
+	switch op.Code {
+	case LdPred:
+		if op.PredID == NoPred {
+			return fmt.Errorf("op %s: ldpred without prediction site", op)
+		}
+		if op.SyncBit == NoBit {
+			return fmt.Errorf("op %s: ldpred without sync bit", op)
+		}
+		if op.Dest == NoReg {
+			return fmt.Errorf("op %s: ldpred without destination", op)
+		}
+	case CheckLd:
+		if op.PredID == NoPred {
+			return fmt.Errorf("op %s: checkld without prediction site", op)
+		}
+		if op.Dest == NoReg {
+			return fmt.Errorf("op %s: checkld without destination", op)
+		}
+		if op.A == NoReg {
+			return fmt.Errorf("op %s: checkld without address base", op)
+		}
+	default:
+		if op.ClearBits != 0 {
+			return fmt.Errorf("op %s: clear-bits encoding on non-check op", op)
+		}
+	}
+	if op.SyncBit != NoBit && (op.SyncBit < 0 || op.SyncBit >= 64) {
+		return fmt.Errorf("op %s: sync bit %d out of range [0,64)", op, op.SyncBit)
+	}
+	if op.Speculative {
+		if op.SyncBit == NoBit {
+			return fmt.Errorf("op %s: speculative op without sync bit", op)
+		}
+		if !op.Code.IsPure() {
+			return fmt.Errorf("op %s: impure op marked speculative", op)
 		}
 	}
 	return nil

@@ -1,0 +1,82 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+// specFunc builds a minimal function whose single speculative site is
+// well-formed: a LdPred/CheckLd pair plus one speculative consumer, the
+// shape the transform emits. Tests then break one invariant at a time.
+func specFunc() (*Func, *Op, *Op, *Op) {
+	f := NewFunc("spec")
+	addr, pred, arch, use := f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg()
+
+	lea := f.NewOp(Lea)
+	lea.Dest, lea.Sym = addr, "g"
+
+	lp := f.NewOp(LdPred)
+	lp.Dest, lp.A = pred, addr
+	lp.PredID, lp.SyncBit = 0, 3
+
+	sp := f.NewOp(Add)
+	sp.Dest, sp.A, sp.B = use, pred, pred
+	sp.Speculative, sp.SyncBit = true, 3
+
+	ck := f.NewOp(CheckLd)
+	ck.Dest, ck.A = arch, addr
+	ck.PredID, ck.SyncBit = 0, 3
+	ck.ClearBits = 1 << 3
+
+	ret := f.NewOp(Ret)
+	ret.A = arch
+
+	b := f.Blocks[0]
+	b.Ops = append(b.Ops, lea, lp, sp, ck, ret)
+	return f, lp, sp, ck
+}
+
+func TestValidateAcceptsWellFormedSpeculation(t *testing.T) {
+	f, _, _, _ := specFunc()
+	if err := f.Validate(); err != nil {
+		t.Fatalf("Validate() = %v, want nil", err)
+	}
+}
+
+// TestValidateSpecFormTable breaks each speculation-metadata invariant in
+// turn and checks the validator names the breakage.
+func TestValidateSpecFormTable(t *testing.T) {
+	cases := []struct {
+		name   string
+		break_ func(lp, sp, ck *Op)
+		want   string
+	}{
+		{"ldpred-no-site", func(lp, sp, ck *Op) { lp.PredID = NoPred }, "without prediction site"},
+		{"ldpred-no-sync-bit", func(lp, sp, ck *Op) { lp.SyncBit = NoBit }, "without sync bit"},
+		{"ldpred-no-dest", func(lp, sp, ck *Op) { lp.Dest = NoReg }, "without destination"},
+		{"checkld-no-site", func(lp, sp, ck *Op) { ck.PredID = NoPred }, "without prediction site"},
+		{"checkld-no-dest", func(lp, sp, ck *Op) { ck.Dest = NoReg }, "without destination"},
+		{"checkld-no-addr", func(lp, sp, ck *Op) { ck.A = NoReg }, "without address base"},
+		{"clear-bits-leak", func(lp, sp, ck *Op) { sp.ClearBits = 1 }, "clear-bits encoding"},
+		{"sync-bit-overflow", func(lp, sp, ck *Op) { lp.SyncBit = 64 }, "out of range"},
+		{"speculative-no-bit", func(lp, sp, ck *Op) { sp.SyncBit = NoBit }, "without sync bit"},
+		{
+			"speculative-impure",
+			func(lp, sp, ck *Op) { sp.Code = Store; sp.Dest = NoReg },
+			"impure op marked speculative",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			f, lp, sp, ck := specFunc()
+			tc.break_(lp, sp, ck)
+			err := f.Validate()
+			if err == nil {
+				t.Fatal("Validate() accepted the malformed op")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}

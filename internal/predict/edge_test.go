@@ -1,0 +1,195 @@
+package predict
+
+import "testing"
+
+// TestStrideEdgeTable drives the two-delta stride predictor through the
+// numeric edges: zero stride, negative strides (two's-complement deltas),
+// and sequences that wrap the uint64 boundary in both directions. All
+// arithmetic is mod 2^64, so a locked stride must keep hitting straight
+// through the wrap.
+func TestStrideEdgeTable(t *testing.T) {
+	neg := func(v uint64) uint64 { return -v }
+	cases := []struct {
+		name    string
+		start   uint64
+		stride  uint64
+		n       int
+		minRate float64
+	}{
+		{"zero-stride", 7, 0, 100, 0.97},
+		{"negative-small", 1 << 20, neg(5), 100, 0.97},
+		{"negative-one", 50, neg(1), 100, 0.97},
+		{"wrap-ascending", ^uint64(0) - 10, 3, 100, 0.97},
+		{"wrap-descending", 10, neg(7), 100, 0.97},
+		{"wrap-huge-stride", 5, 1 << 63, 100, 0.97},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if r := MeasureRate(NewStride(), seqStride(tc.n, tc.start, tc.stride)); r < tc.minRate {
+				t.Errorf("rate %.3f, want >= %.2f", r, tc.minRate)
+			}
+		})
+	}
+}
+
+// TestStrideExactAcrossWrap pins exact predictions, not just a rate:
+// once the delta repeats, every prediction equals last+stride even as the
+// sequence crosses the uint64 boundary.
+func TestStrideExactAcrossWrap(t *testing.T) {
+	p := NewStride()
+	v := ^uint64(0) - 5 // three steps of +4 from here wrap past zero
+	for i := 0; i < 3; i++ {
+		p.Update(v)
+		v += 4
+	}
+	for i := 0; i < 8; i++ {
+		pred, ok := p.Predict()
+		if !ok || pred != v {
+			t.Fatalf("step %d: predicted (%d, %v), want (%d, true)", i, pred, ok, v)
+		}
+		p.Update(v)
+		v += 4
+	}
+}
+
+// TestFCMPeriodEdges covers the degenerate and oversized context periods:
+// a period-1 (constant) stream is the smallest learnable context, and a
+// period longer than the table has more distinct contexts than slots, so
+// the predictor degrades (collisions evict) but must stay a valid
+// predictor. The table rows vary order and table size together.
+func TestFCMPeriodEdges(t *testing.T) {
+	period16 := make([]uint64, 16)
+	for i := range period16 {
+		period16[i] = uint64(1000 + 37*i)
+	}
+	cases := []struct {
+		name      string
+		order     int
+		tableBits int
+		seq       []uint64
+		minRate   float64
+		maxRate   float64
+	}{
+		{"period-1-order-1", 1, 4, seqConst(100, 42), 0.9, 1},
+		{"period-1-default", DefaultFCMOrder, DefaultFCMTableBits, seqConst(100, 42), 0.9, 1},
+		{"period-16-big-table", 2, 12, seqPeriodic(320, period16), 0.9, 1},
+		// 16 distinct order-2 contexts hashed into 4 slots: collisions are
+		// guaranteed, perfection is impossible, validity is required.
+		{"period-16-tiny-table", 2, 2, seqPeriodic(320, period16), 0, 0.9},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := MeasureRate(NewFCM(tc.order, tc.tableBits), tc.seq)
+			if r < tc.minRate || r > tc.maxRate {
+				t.Errorf("rate %.3f outside [%.2f, %.2f]", r, tc.minRate, tc.maxRate)
+			}
+		})
+	}
+}
+
+// TestFCMTinyTableStillBeatenByBigTable pins that the degradation in the
+// oversized-period row above really is collision damage: the same stream
+// through a table large enough to hold every context predicts strictly
+// better.
+func TestFCMTinyTableStillBeatenByBigTable(t *testing.T) {
+	period := make([]uint64, 16)
+	for i := range period {
+		period[i] = uint64(i * i)
+	}
+	seq := seqPeriodic(320, period)
+	big := MeasureRate(NewFCM(2, 12), seq)
+	tiny := MeasureRate(NewFCM(2, 2), seq)
+	if big <= tiny {
+		t.Errorf("big table %.3f not above tiny table %.3f on a period-16 stream", big, tiny)
+	}
+}
+
+// TestFCMConstructorClampsDegenerateSizes: order < 1 and tableBits < 2 are
+// clamped, not rejected, and the clamped predictor still learns.
+func TestFCMConstructorClampsDegenerateSizes(t *testing.T) {
+	p := NewFCM(0, 0)
+	if r := MeasureRate(p, seqConst(50, 9)); r < 0.9 {
+		t.Errorf("clamped FCM rate %.3f on constant stream, want >= 0.9", r)
+	}
+}
+
+// TestHybridTieBreaksToStride pins the tournament's tie rule: with equal
+// hit counts and both components offering (different) predictions, the
+// hybrid sides with stride — the cheaper of the paper's two hardware
+// schemes. Tipping the count by a single FCM hit flips the choice.
+func TestHybridTieBreaksToStride(t *testing.T) {
+	h := NewHybrid(1, 4)
+	// Stride component: locked on +10, will predict 40.
+	for _, v := range []uint64{10, 20, 30} {
+		h.stride.Update(v)
+	}
+	// FCM component (order 1): context 7 maps to 99, history sits at 7,
+	// so it will predict 99.
+	for _, v := range []uint64{7, 99, 7} {
+		h.fcm.Update(v)
+	}
+	if sv, ok := h.stride.Predict(); !ok || sv != 40 {
+		t.Fatalf("stride component predicts (%d, %v), want (40, true)", sv, ok)
+	}
+	if fv, ok := h.fcm.Predict(); !ok || fv != 99 {
+		t.Fatalf("fcm component predicts (%d, %v), want (99, true)", fv, ok)
+	}
+
+	h.sHits, h.fHits = 3, 3
+	if v, ok := h.Predict(); !ok || v != 40 {
+		t.Errorf("tied tournament predicted (%d, %v), want stride's (40, true)", v, ok)
+	}
+	h.fHits++
+	if v, ok := h.Predict(); !ok || v != 99 {
+		t.Errorf("fcm-ahead tournament predicted (%d, %v), want fcm's (99, true)", v, ok)
+	}
+}
+
+// TestRecorderLogsUpdateOrder: the Recorder passes predictions through
+// untouched and logs exactly the training stream, which is what the
+// conformance harness replays as a perfect predictor.
+func TestRecorderLogsUpdateOrder(t *testing.T) {
+	r := &Recorder{P: NewStride()}
+	seq := seqStride(10, 3, 5)
+	for _, v := range seq {
+		r.Update(v)
+	}
+	if len(r.Log) != len(seq) {
+		t.Fatalf("logged %d values, trained with %d", len(r.Log), len(seq))
+	}
+	for i, v := range seq {
+		if r.Log[i] != v {
+			t.Fatalf("log[%d] = %d, want %d", i, r.Log[i], v)
+		}
+	}
+	want, wantOK := r.P.Predict()
+	got, gotOK := r.Predict()
+	if got != want || gotOK != wantOK {
+		t.Errorf("Recorder.Predict = (%d, %v), inner = (%d, %v)", got, gotOK, want, wantOK)
+	}
+	r.Reset()
+	if len(r.Log) != 0 {
+		t.Error("Reset kept the log")
+	}
+}
+
+// TestReplayAdvancesOnPredict: Replay consumes its sequence on Predict
+// (prediction order, not training order), ignores Update, reports cold
+// when exhausted, and rewinds on Reset.
+func TestReplayAdvancesOnPredict(t *testing.T) {
+	p := &Replay{Seq: []uint64{4, 8, 15}}
+	for i, want := range p.Seq {
+		p.Update(uint64(1000 + i)) // must not advance or disturb anything
+		v, ok := p.Predict()
+		if !ok || v != want {
+			t.Fatalf("predict %d = (%d, %v), want (%d, true)", i, v, ok, want)
+		}
+	}
+	if _, ok := p.Predict(); ok {
+		t.Error("exhausted replay still claims a prediction")
+	}
+	p.Reset()
+	if v, ok := p.Predict(); !ok || v != 4 {
+		t.Errorf("after Reset, predict = (%d, %v), want (4, true)", v, ok)
+	}
+}

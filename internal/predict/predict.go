@@ -222,6 +222,63 @@ func (p *Hybrid) Reset() {
 	p.sHits, p.fHits = 0, 0
 }
 
+// Recorder wraps a predictor and logs every training value in Update
+// order. The conformance harness records a site's dynamic value stream on
+// one simulation, then replays it through a Replay predictor to model a
+// perfect (oracle) value predictor on the next.
+type Recorder struct {
+	P   Predictor
+	Log []uint64
+}
+
+// Predict implements Predictor.
+func (r *Recorder) Predict() (uint64, bool) { return r.P.Predict() }
+
+// Update implements Predictor.
+func (r *Recorder) Update(actual uint64) {
+	r.Log = append(r.Log, actual)
+	r.P.Update(actual)
+}
+
+// Name implements Predictor.
+func (r *Recorder) Name() string { return "record(" + r.P.Name() + ")" }
+
+// Reset implements Predictor.
+func (r *Recorder) Reset() {
+	r.P.Reset()
+	r.Log = nil
+}
+
+// Replay predicts a prerecorded value sequence — the conformance
+// harness's perfect predictor. Unlike the trained predictors it advances
+// on Predict, not Update: the in-order engine issues the i-th LdPred of a
+// site before the (i-1)-th check has resolved (and trained), so aligning
+// on prediction order is what makes every prediction correct.
+type Replay struct {
+	Seq []uint64
+	i   int
+}
+
+// Predict implements Predictor. It consumes the next recorded value; an
+// exhausted sequence reports cold (ok=false).
+func (p *Replay) Predict() (uint64, bool) {
+	if p.i >= len(p.Seq) {
+		return 0, false
+	}
+	v := p.Seq[p.i]
+	p.i++
+	return v, true
+}
+
+// Update implements Predictor (no training; the sequence is the truth).
+func (p *Replay) Update(actual uint64) {}
+
+// Name implements Predictor.
+func (p *Replay) Name() string { return "replay" }
+
+// Reset implements Predictor.
+func (p *Replay) Reset() { p.i = 0 }
+
 // RateMeter measures a predictor's hit rate over a streamed value sequence.
 type RateMeter struct {
 	P     Predictor

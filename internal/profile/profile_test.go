@@ -278,4 +278,10 @@ func TestProfileRateAndBestAgree(t *testing.T) {
 	if lp.Rate() != 0.9 || lp.Best() != profile.SchemeStride {
 		t.Errorf("Rate/Best inconsistent: %v %v", lp.Rate(), lp.Best())
 	}
+	// Equal profiled rates tie-break to the stride scheme, matching the
+	// runtime hybrid's tournament rule.
+	lp = &profile.LoadProfile{StrideRate: 0.7, FCMRate: 0.7}
+	if lp.Rate() != 0.7 || lp.Best() != profile.SchemeStride {
+		t.Errorf("tied rates chose %v (rate %v), want stride", lp.Best(), lp.Rate())
+	}
 }

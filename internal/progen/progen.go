@@ -1,0 +1,541 @@
+// Package progen is the deterministic, seed-driven workload generator
+// behind the metamorphic conformance suite (internal/conform). It
+// synthesizes VL programs with controllable value-locality profiles —
+// constant, strided, and FCM-periodic load streams, data-dependent
+// (unpredictable) accesses, pointer-chase chains, branchy regions, and
+// call barriers — so generated kernels exercise the predictor, CCB, and
+// CCE state space far beyond the hand-written corpus in internal/workload.
+//
+// Generation is split into two pure stages so counterexamples shrink:
+// Generate(seed) derives a typed Spec from its own rand.Rand (no global
+// RNG state), and Render turns a Spec into VL source as a pure function
+// of the Spec. Minimize greedily deletes fragments, arrays, and loop
+// iterations while a caller-supplied failure predicate keeps holding, so
+// a failing seed is reported alongside the smallest program that still
+// reproduces it.
+package progen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Pattern classifies an array's initialization contents, which — scanned
+// sequentially — become the value stream a load site exposes to the
+// predictors.
+type Pattern uint8
+
+const (
+	// PatConst fills the array with one value (last-value predictable).
+	PatConst Pattern = iota
+	// PatStride fills a[i] = Base + i*Step (stride predictable).
+	PatStride
+	// PatPeriodic fills a[i] = Base + (i%Period)*Step (FCM predictable,
+	// stride hostile for Period > 1).
+	PatPeriodic
+	// PatRandom fills a hash of the index (predictor hostile).
+	PatRandom
+	// PatChase fills a permutation of [0,Size): p = a[p] is a full-cycle
+	// pointer chase with a load-to-load dependence.
+	PatChase
+)
+
+func (p Pattern) String() string {
+	switch p {
+	case PatConst:
+		return "const"
+	case PatStride:
+		return "stride"
+	case PatPeriodic:
+		return "periodic"
+	case PatRandom:
+		return "random"
+	case PatChase:
+		return "chase"
+	}
+	return fmt.Sprintf("pattern(%d)", uint8(p))
+}
+
+// Array is one generated global array.
+type Array struct {
+	Name    string
+	Size    int // power of two
+	Pattern Pattern
+	Base    int64
+	Step    int64 // stride/periodic step; chase multiplier (odd)
+	Period  int   // PatPeriodic only
+}
+
+// FragKind classifies one loop-body fragment.
+type FragKind uint8
+
+const (
+	// FragLoad is a load-use chain: Target = Arr[Index], Chain dependent
+	// ops, then an accumulate (guaranteeing the load a true dependent, so
+	// the speculation pass can select it).
+	FragLoad FragKind = iota
+	// FragArith assigns a pure scalar expression.
+	FragArith
+	// FragStore writes the out array (stores are never speculated and
+	// force check placement).
+	FragStore
+	// FragChase advances the pointer chase: p = Arr[p]; acc = acc + p.
+	FragChase
+	// FragBranch is a two-armed conditional region.
+	FragBranch
+	// FragCall accumulates through the helper function (a call barrier
+	// that drains the CCB and Synchronization register).
+	FragCall
+)
+
+// Frag is one loop-body fragment. Which fields are meaningful depends on
+// Kind; expression fields hold rendered VL snippets chosen at generation
+// time, so rendering is a pure function of the Spec.
+type Frag struct {
+	Kind   FragKind
+	Target string // scalar written (FragLoad/FragArith/FragCall)
+	Arr    string // array read (FragLoad/FragChase)
+	Index  string // index expression (FragLoad)
+	Chain  int    // dependent ops after the load (FragLoad)
+	RHS    string // right-hand side (FragArith/FragStore)
+	Cond   string // condition (FragBranch)
+	Then   []Frag // FragBranch arms
+	Else   []Frag
+}
+
+// Spec is a complete generated program description. Render is pure over
+// it, so any Spec-level shrink (dropping fragments, arrays, iterations)
+// yields a runnable smaller program.
+type Spec struct {
+	Seed      int64
+	Trip      int // main loop iterations
+	Arrays    []Array
+	Frags     []Frag
+	UseHelper bool
+}
+
+// Options bounds generation. The zero value means defaults.
+type Options struct {
+	MaxFrags  int // top-level loop-body fragments (default 6)
+	MaxArrays int // data arrays before the optional chase array (default 3)
+	TripMin   int // main loop iteration range (default 64..160)
+	TripMax   int
+	NoCall    bool // suppress helper-call fragments
+	NoBranch  bool // suppress branch fragments
+	NoChase   bool // suppress the pointer-chase array
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxFrags <= 0 {
+		o.MaxFrags = 6
+	}
+	if o.MaxArrays <= 0 {
+		o.MaxArrays = 3
+	}
+	if o.TripMin <= 0 {
+		o.TripMin = 64
+	}
+	if o.TripMax < o.TripMin {
+		o.TripMax = o.TripMin + 96
+	}
+	return o
+}
+
+// outSize is the fixed result-array length every generated program folds
+// into its checksum.
+const outSize = 64
+
+// scalars is the fixed local working set; every generated program
+// declares all of them so fragments can be dropped independently.
+var scalars = []string{"x", "y", "z"}
+
+// Generate derives a program spec from the seed. Equal seeds and options
+// give equal specs; the generator owns its rand.Rand, so results are
+// independent of call order and of any other generator running in the
+// process.
+func Generate(seed int64, opt Options) Spec {
+	o := opt.withDefaults()
+	rng := rand.New(rand.NewSource(seed))
+	s := Spec{
+		Seed: seed,
+		Trip: o.TripMin + rng.Intn(o.TripMax-o.TripMin+1),
+	}
+
+	// Data arrays. The first is always predictor friendly so every
+	// program offers at least one speculation candidate.
+	n := 1 + rng.Intn(o.MaxArrays)
+	for i := 0; i < n; i++ {
+		s.Arrays = append(s.Arrays, randomArray(rng, fmt.Sprintf("a%d", i), i == 0))
+	}
+	var chase string
+	if !o.NoChase && rng.Intn(2) == 0 {
+		a := chaseArray(rng)
+		s.Arrays = append(s.Arrays, a)
+		chase = a.Name
+	}
+
+	// Loop body: the first fragment is a load-use chain over the
+	// predictable array; the rest mix kinds.
+	nf := 2 + rng.Intn(o.MaxFrags-1)
+	s.Frags = append(s.Frags, loadFrag(rng, s.Arrays[0]))
+	for len(s.Frags) < nf {
+		s.Frags = append(s.Frags, randomFrag(rng, &s, chase, o, true))
+	}
+	return s
+}
+
+func randomArray(rng *rand.Rand, name string, predictable bool) Array {
+	sizes := []int{64, 128, 256}
+	a := Array{
+		Name: name,
+		Size: sizes[rng.Intn(len(sizes))],
+		Base: rng.Int63n(1000),
+		Step: 1 + rng.Int63n(9),
+	}
+	if rng.Intn(4) == 0 {
+		a.Step = -a.Step
+	}
+	switch w := rng.Intn(10); {
+	case w < 2:
+		a.Pattern = PatConst
+	case w < 5:
+		a.Pattern = PatStride
+	case w < 8:
+		a.Pattern = PatPeriodic
+		periods := []int{2, 3, 4, 6, 8}
+		a.Period = periods[rng.Intn(len(periods))]
+	default:
+		a.Pattern = PatRandom
+	}
+	if predictable && a.Pattern == PatRandom {
+		a.Pattern = PatStride
+	}
+	return a
+}
+
+func chaseArray(rng *rand.Rand) Array {
+	sizes := []int{64, 128}
+	size := sizes[rng.Intn(len(sizes))]
+	// An odd multiplier is coprime with the power-of-two size, so
+	// i -> (i*Step+Base) mod Size is a permutation and p = c0[p] walks a
+	// cycle without ever leaving [0,Size).
+	return Array{
+		Name:    "c0",
+		Size:    size,
+		Pattern: PatChase,
+		Step:    int64(2*rng.Intn(size/2) + 1),
+		Base:    int64(rng.Intn(size)),
+	}
+}
+
+func loadFrag(rng *rand.Rand, a Array) Frag {
+	mask := a.Size - 1
+	idx := []string{
+		fmt.Sprintf("i & %d", mask),
+		fmt.Sprintf("(i * 2) & %d", mask),
+		fmt.Sprintf("(i + %d) & %d", rng.Intn(16), mask),
+	}
+	// A data-dependent index makes the value stream predictor hostile;
+	// keep it a minority choice so most loads stay speculable.
+	if rng.Intn(4) == 0 {
+		idx = append(idx, fmt.Sprintf("(x ^ i) & %d", mask))
+	}
+	return Frag{
+		Kind:   FragLoad,
+		Target: scalars[rng.Intn(len(scalars))],
+		Arr:    a.Name,
+		Index:  idx[rng.Intn(len(idx))],
+		Chain:  rng.Intn(3),
+	}
+}
+
+func arithFrag(rng *rand.Rand) Frag {
+	ops := []string{"+", "-", "*", "^", "&", "|"}
+	terms := []string{"x", "y", "z", "i"}
+	lhs := terms[rng.Intn(len(terms))]
+	rhs := terms[rng.Intn(len(terms))]
+	return Frag{
+		Kind:   FragArith,
+		Target: scalars[rng.Intn(len(scalars))],
+		RHS: fmt.Sprintf("%s %s %s + %d", lhs,
+			ops[rng.Intn(len(ops))], rhs, rng.Intn(100)),
+	}
+}
+
+func storeFrag(rng *rand.Rand) Frag {
+	exprs := []string{"x + y", "x ^ z", "y * 3 + z", "acc & 1023", "x"}
+	return Frag{
+		Kind: FragStore,
+		RHS:  exprs[rng.Intn(len(exprs))],
+	}
+}
+
+func condExpr(rng *rand.Rand) string {
+	conds := []string{
+		"(i & 3) == 0",
+		"x > y",
+		"(z & 1) == 1",
+		"i % 5 < 2",
+		"acc > 100000",
+	}
+	return conds[rng.Intn(len(conds))]
+}
+
+// randomFrag picks one fragment. Branch fragments recurse exactly one
+// level (their arms hold only flat fragments).
+func randomFrag(rng *rand.Rand, s *Spec, chase string, o Options, top bool) Frag {
+	for {
+		switch w := rng.Intn(20); {
+		case w < 7:
+			return loadFrag(rng, s.Arrays[rng.Intn(len(s.Arrays))])
+		case w < 11:
+			return arithFrag(rng)
+		case w < 14:
+			return storeFrag(rng)
+		case w < 16:
+			if chase == "" {
+				continue
+			}
+			return Frag{Kind: FragChase, Arr: chase}
+		case w < 19:
+			if !top || o.NoBranch {
+				continue
+			}
+			f := Frag{Kind: FragBranch, Cond: condExpr(rng)}
+			for i := 0; i < 1+rng.Intn(2); i++ {
+				f.Then = append(f.Then, randomFrag(rng, s, chase, o, false))
+			}
+			for i := 0; i < 1+rng.Intn(2); i++ {
+				f.Else = append(f.Else, randomFrag(rng, s, chase, o, false))
+			}
+			return f
+		default:
+			if o.NoCall {
+				continue
+			}
+			s.UseHelper = true
+			return Frag{
+				Kind:   FragCall,
+				Target: scalars[rng.Intn(len(scalars))],
+			}
+		}
+	}
+}
+
+// Render emits the spec as VL source. It is a pure function of the spec:
+// equal specs render byte-identical programs.
+func Render(s Spec) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# progen seed=%d\n", s.Seed)
+	for _, a := range s.Arrays {
+		fmt.Fprintf(&b, "var %s[%d]\n", a.Name, a.Size)
+	}
+	fmt.Fprintf(&b, "var out[%d]\n", outSize)
+	if s.UseHelper {
+		b.WriteString("func helper(a) {\n\treturn a * 2 + 3\n}\n")
+	}
+	b.WriteString("func main() {\n")
+	for _, a := range s.Arrays {
+		renderInit(&b, a)
+	}
+	b.WriteString("\tvar x = 1\n\tvar y = 2\n\tvar z = 3\n\tvar acc = 0\n\tvar p = 0\n")
+	fmt.Fprintf(&b, "\tfor var i = 0; i < %d; i = i + 1 {\n", s.Trip)
+	for _, f := range s.Frags {
+		renderFrag(&b, f, 2)
+	}
+	b.WriteString("\t}\n")
+	b.WriteString("\tvar chk = acc + x + y * 3 + z * 5 + p * 7\n")
+	fmt.Fprintf(&b, "\tfor var i = 0; i < %d; i = i + 1 {\n\t\tchk = chk + out[i]\n\t}\n", outSize)
+	b.WriteString("\tprint(chk)\n\treturn chk\n}\n")
+	return b.String()
+}
+
+func renderInit(b *strings.Builder, a Array) {
+	fmt.Fprintf(b, "\tfor var i = 0; i < %d; i = i + 1 {\n", a.Size)
+	switch a.Pattern {
+	case PatConst:
+		fmt.Fprintf(b, "\t\t%s[i] = %d\n", a.Name, a.Base)
+	case PatStride:
+		fmt.Fprintf(b, "\t\t%s[i] = %d + i * %d\n", a.Name, a.Base, a.Step)
+	case PatPeriodic:
+		fmt.Fprintf(b, "\t\t%s[i] = %d + i %% %d * %d\n", a.Name, a.Base, a.Period, a.Step)
+	case PatRandom:
+		// Quadratic in i: consecutive deltas never repeat, so the
+		// two-delta stride predictor cannot lock on.
+		fmt.Fprintf(b, "\t\t%s[i] = i * i * 2654435761 %% 16381\n", a.Name)
+	case PatChase:
+		fmt.Fprintf(b, "\t\t%s[i] = (i * %d + %d) %% %d\n", a.Name, a.Step, a.Base, a.Size)
+	}
+	b.WriteString("\t}\n")
+}
+
+func renderFrag(b *strings.Builder, f Frag, depth int) {
+	ind := strings.Repeat("\t", depth)
+	switch f.Kind {
+	case FragLoad:
+		fmt.Fprintf(b, "%s%s = %s[%s]\n", ind, f.Target, f.Arr, f.Index)
+		for i := 0; i < f.Chain; i++ {
+			fmt.Fprintf(b, "%s%s = %s * 3 + 7\n", ind, f.Target, f.Target)
+		}
+		fmt.Fprintf(b, "%sacc = acc + %s\n", ind, f.Target)
+	case FragArith:
+		fmt.Fprintf(b, "%s%s = %s\n", ind, f.Target, f.RHS)
+	case FragStore:
+		fmt.Fprintf(b, "%sout[i & %d] = %s\n", ind, outSize-1, f.RHS)
+	case FragChase:
+		fmt.Fprintf(b, "%sp = %s[p]\n", ind, f.Arr)
+		fmt.Fprintf(b, "%sacc = acc + p\n", ind)
+	case FragBranch:
+		fmt.Fprintf(b, "%sif %s {\n", ind, f.Cond)
+		for _, t := range f.Then {
+			renderFrag(b, t, depth+1)
+		}
+		fmt.Fprintf(b, "%s} else {\n", ind)
+		for _, e := range f.Else {
+			renderFrag(b, e, depth+1)
+		}
+		fmt.Fprintf(b, "%s}\n", ind)
+	case FragCall:
+		fmt.Fprintf(b, "%s%s = %s + helper(%s & 15)\n", ind, f.Target, f.Target, f.Target)
+	}
+}
+
+// clone deep-copies a spec so Minimize's trial mutations never alias the
+// caller's fragments.
+func clone(s Spec) Spec {
+	c := s
+	c.Arrays = append([]Array(nil), s.Arrays...)
+	c.Frags = cloneFrags(s.Frags)
+	return c
+}
+
+func cloneFrags(fs []Frag) []Frag {
+	out := make([]Frag, len(fs))
+	for i, f := range fs {
+		out[i] = f
+		out[i].Then = cloneFrags(f.Then)
+		out[i].Else = cloneFrags(f.Else)
+	}
+	return out
+}
+
+// arraysUsed collects the array names fragments still reference.
+func arraysUsed(fs []Frag) map[string]bool {
+	used := map[string]bool{}
+	var walk func([]Frag)
+	walk = func(fs []Frag) {
+		for _, f := range fs {
+			if f.Arr != "" {
+				used[f.Arr] = true
+			}
+			walk(f.Then)
+			walk(f.Else)
+		}
+	}
+	walk(fs)
+	return used
+}
+
+func usesHelper(fs []Frag) bool {
+	for _, f := range fs {
+		if f.Kind == FragCall || usesHelper(f.Then) || usesHelper(f.Else) {
+			return true
+		}
+	}
+	return false
+}
+
+// Minimize greedily shrinks a failing spec while fails keeps returning
+// true: it deletes loop-body fragments (outer and branch-arm), drops
+// arrays no fragment references, halves the trip count, and removes the
+// helper, iterating to a fixpoint. fails must be a pure predicate of the
+// spec (typically: "the conformance invariant still breaks").
+func Minimize(s Spec, fails func(Spec) bool) Spec {
+	best := clone(s)
+	for {
+		trial, ok := shrinkOnce(best, fails)
+		if !ok {
+			break
+		}
+		best = trial
+	}
+	return tidy(best)
+}
+
+// shrinkOnce tries every single-step reduction of the spec and returns
+// the first that still fails; searching restarts from the reduced spec so
+// fragment indices never go stale.
+func shrinkOnce(best Spec, fails func(Spec) bool) (Spec, bool) {
+	// Drop one top-level fragment.
+	for i := range best.Frags {
+		if len(best.Frags) == 1 {
+			break
+		}
+		trial := clone(best)
+		trial.Frags = append(trial.Frags[:i], trial.Frags[i+1:]...)
+		trial = tidy(trial)
+		if fails(trial) {
+			return trial, true
+		}
+	}
+	// Drop one branch-arm fragment (removing the branch outright once
+	// both arms are empty).
+	for i := range best.Frags {
+		f := best.Frags[i]
+		if f.Kind != FragBranch {
+			continue
+		}
+		for arm := 0; arm < 2; arm++ {
+			n := len(f.Then)
+			if arm == 1 {
+				n = len(f.Else)
+			}
+			for j := 0; j < n; j++ {
+				trial := clone(best)
+				tf := &trial.Frags[i]
+				af := &tf.Then
+				if arm == 1 {
+					af = &tf.Else
+				}
+				*af = append((*af)[:j], (*af)[j+1:]...)
+				if len(tf.Then)+len(tf.Else) == 0 {
+					if len(trial.Frags) == 1 {
+						continue
+					}
+					trial.Frags = append(trial.Frags[:i], trial.Frags[i+1:]...)
+				}
+				trial = tidy(trial)
+				if fails(trial) {
+					return trial, true
+				}
+			}
+		}
+	}
+	// Halve the trip count.
+	if best.Trip > 8 {
+		trial := clone(best)
+		trial.Trip = best.Trip / 2
+		if trial.Trip < 8 {
+			trial.Trip = 8
+		}
+		if fails(trial) {
+			return trial, true
+		}
+	}
+	return best, false
+}
+
+// tidy drops arrays and the helper once no fragment references them.
+func tidy(s Spec) Spec {
+	used := arraysUsed(s.Frags)
+	kept := s.Arrays[:0:0]
+	for _, a := range s.Arrays {
+		if used[a.Name] {
+			kept = append(kept, a)
+		}
+	}
+	s.Arrays = kept
+	s.UseHelper = usesHelper(s.Frags)
+	return s
+}

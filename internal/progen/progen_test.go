@@ -1,0 +1,191 @@
+package progen
+
+import (
+	"strings"
+	"testing"
+
+	"vliwvp/internal/interp"
+	"vliwvp/internal/lang"
+	"vliwvp/internal/machine"
+	"vliwvp/internal/opt"
+	"vliwvp/internal/profile"
+	"vliwvp/internal/speculate"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		a := Render(Generate(seed, Options{}))
+		b := Render(Generate(seed, Options{}))
+		if a != b {
+			t.Fatalf("seed %d: two generations differ:\n%s\n----\n%s", seed, a, b)
+		}
+	}
+	if Render(Generate(1, Options{})) == Render(Generate(2, Options{})) {
+		t.Error("seeds 1 and 2 rendered identical programs")
+	}
+}
+
+func TestGeneratedProgramsCompileAndRun(t *testing.T) {
+	withSites := 0
+	for seed := int64(1); seed <= 40; seed++ {
+		s := Generate(seed, Options{})
+		src := Render(s)
+		prog, err := lang.Compile(src)
+		if err != nil {
+			t.Fatalf("seed %d: compile: %v\n%s", seed, err, src)
+		}
+		opt.Optimize(prog)
+		if err := prog.Validate(); err != nil {
+			t.Fatalf("seed %d: validate: %v", seed, err)
+		}
+		m := interp.New(prog)
+		if _, err := m.Run("main"); err != nil {
+			t.Fatalf("seed %d: interp: %v\n%s", seed, err, src)
+		}
+		prof, err := profile.Collect(prog, "main")
+		if err != nil {
+			t.Fatalf("seed %d: profile: %v", seed, err)
+		}
+		res, err := speculate.Transform(prog, prof, speculate.DefaultConfig(machine.W4))
+		if err != nil {
+			t.Fatalf("seed %d: speculate: %v", seed, err)
+		}
+		if len(res.Sites) > 0 {
+			withSites++
+		}
+	}
+	// The generator exists to feed the speculation machinery: most
+	// programs must offer at least one selected prediction site.
+	if withSites < 30 {
+		t.Errorf("only %d/40 generated programs produced speculation sites", withSites)
+	}
+}
+
+// locality builds a one-load spec over the given array and returns that
+// load's measured profile rates.
+func locality(t *testing.T, a Array) *profile.LoadProfile {
+	t.Helper()
+	s := Spec{
+		Seed:   0,
+		Trip:   128,
+		Arrays: []Array{a},
+		Frags: []Frag{{
+			Kind: FragLoad, Target: "x", Arr: a.Name, Index: "i & 63",
+		}},
+	}
+	src := Render(s)
+	prog, err := lang.Compile(src)
+	if err != nil {
+		t.Fatalf("compile: %v\n%s", err, src)
+	}
+	opt.Optimize(prog)
+	prof, err := profile.Collect(prog, "main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var best *profile.LoadProfile
+	for _, lp := range prof.Loads {
+		if best == nil || lp.Count > best.Count {
+			best = lp
+		}
+	}
+	if best == nil {
+		t.Fatalf("no load profiled in:\n%s", src)
+	}
+	return best
+}
+
+// TestPatternsShapeLocality pins the generator's contract: the declared
+// pattern controls the value-locality profile the predictors measure.
+func TestPatternsShapeLocality(t *testing.T) {
+	con := locality(t, Array{Name: "a0", Size: 64, Pattern: PatConst, Base: 5})
+	if con.StrideRate < 0.9 {
+		t.Errorf("const array: stride rate %.2f, want >= 0.9", con.StrideRate)
+	}
+	str := locality(t, Array{Name: "a0", Size: 64, Pattern: PatStride, Base: 3, Step: 7})
+	if str.StrideRate < 0.9 {
+		t.Errorf("stride array: stride rate %.2f, want >= 0.9", str.StrideRate)
+	}
+	per := locality(t, Array{Name: "a0", Size: 64, Pattern: PatPeriodic, Base: 1, Step: 5, Period: 3})
+	if per.FCMRate < 0.8 {
+		t.Errorf("periodic array: FCM rate %.2f, want >= 0.8", per.FCMRate)
+	}
+	if per.StrideRate >= per.FCMRate {
+		t.Errorf("periodic array: stride rate %.2f not below FCM rate %.2f",
+			per.StrideRate, per.FCMRate)
+	}
+	rnd := locality(t, Array{Name: "a0", Size: 64, Pattern: PatRandom})
+	if rnd.StrideRate > 0.3 {
+		t.Errorf("random array: stride rate %.2f, want <= 0.3", rnd.StrideRate)
+	}
+}
+
+// TestChasePermutation checks the pointer-chase array is a permutation,
+// so p = c0[p] can never escape the array.
+func TestChasePermutation(t *testing.T) {
+	for seed := int64(1); seed <= 50; seed++ {
+		s := Generate(seed, Options{})
+		for _, a := range s.Arrays {
+			if a.Pattern != PatChase {
+				continue
+			}
+			seen := make([]bool, a.Size)
+			for i := 0; i < a.Size; i++ {
+				v := (int64(i)*a.Step + a.Base) % int64(a.Size)
+				if v < 0 || v >= int64(a.Size) || seen[v] {
+					t.Fatalf("seed %d: chase array not a permutation at %d -> %d", seed, i, v)
+				}
+				seen[v] = true
+			}
+		}
+	}
+}
+
+func hasKind(fs []Frag, k FragKind) bool {
+	for _, f := range fs {
+		if f.Kind == k || hasKind(f.Then, k) || hasKind(f.Else, k) {
+			return true
+		}
+	}
+	return false
+}
+
+// TestMinimizeShrinksToCore drives the shrinker with a structural failure
+// predicate ("the program still contains a load fragment") and checks it
+// reaches the minimal program satisfying it.
+func TestMinimizeShrinksToCore(t *testing.T) {
+	var s Spec
+	for seed := int64(1); ; seed++ {
+		s = Generate(seed, Options{})
+		if len(s.Frags) >= 4 && len(s.Arrays) >= 2 {
+			break
+		}
+	}
+	fails := func(sp Spec) bool { return hasKind(sp.Frags, FragLoad) }
+	min := Minimize(s, fails)
+	if !fails(min) {
+		t.Fatal("minimized spec no longer satisfies the failure predicate")
+	}
+	if len(min.Frags) != 1 {
+		t.Errorf("minimized to %d fragments, want 1", len(min.Frags))
+	}
+	if min.Trip != 8 {
+		t.Errorf("minimized trip %d, want 8", min.Trip)
+	}
+	if len(min.Arrays) != 1 {
+		t.Errorf("minimized to %d arrays, want 1", len(min.Arrays))
+	}
+	// The minimized program must still be runnable.
+	src := Render(min)
+	prog, err := lang.Compile(src)
+	if err != nil {
+		t.Fatalf("minimized program does not compile: %v\n%s", err, src)
+	}
+	opt.Optimize(prog)
+	if _, err := interp.New(prog).Run("main"); err != nil {
+		t.Fatalf("minimized program does not run: %v\n%s", err, src)
+	}
+	if !strings.Contains(src, "# progen seed=") {
+		t.Error("rendered source missing the seed banner")
+	}
+}

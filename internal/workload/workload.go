@@ -31,6 +31,7 @@ import (
 	"vliwvp/internal/ir"
 	"vliwvp/internal/lang"
 	"vliwvp/internal/opt"
+	"vliwvp/internal/progen"
 )
 
 // Benchmark is one runnable kernel.
@@ -68,6 +69,27 @@ func All() []*Benchmark {
 	return []*Benchmark{
 		Compress, Ijpeg, Li, M88ksim, Vortex, Hydro2d, Swim, Tomcatv,
 	}
+}
+
+// Generated returns n synthetic kernels from the progen generator,
+// derived from consecutive seeds starting at seed. Each kernel's
+// generation owns an explicit per-kernel rand.Rand seeded from its own
+// position — no RNG state is shared across entries — so the corpus is a
+// pure function of (seed, index): order-independent, stable under
+// `go test -shuffle=on`, and any prefix of a longer corpus equals the
+// shorter one.
+func Generated(seed int64, n int) []*Benchmark {
+	out := make([]*Benchmark, 0, n)
+	for i := 0; i < n; i++ {
+		s := seed + int64(i)
+		out = append(out, &Benchmark{
+			Name:        fmt.Sprintf("gen%d", s),
+			Suite:       "progen",
+			Description: fmt.Sprintf("synthetic kernel generated from progen seed %d", s),
+			Source:      progen.Render(progen.Generate(s, progen.Options{})),
+		})
+	}
+	return out
 }
 
 // ByName returns a benchmark by name, or nil.

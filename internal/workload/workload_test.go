@@ -92,6 +92,45 @@ func TestBenchmarksOfferPredictableLoads(t *testing.T) {
 	}
 }
 
+// TestGeneratedCorpusIsOrderIndependent pins the explicit per-kernel RNG
+// threading: two calls agree exactly, and a longer corpus extends a
+// shorter one without perturbing it (no RNG state shared across table
+// entries), which is what keeps `go test -shuffle=on` deterministic.
+func TestGeneratedCorpusIsOrderIndependent(t *testing.T) {
+	a := workload.Generated(7, 5)
+	b := workload.Generated(7, 5)
+	long := workload.Generated(7, 9)
+	if len(a) != 5 || len(long) != 9 {
+		t.Fatalf("corpus sizes %d, %d; want 5, 9", len(a), len(long))
+	}
+	for i := range a {
+		if a[i].Source != b[i].Source || a[i].Name != b[i].Name {
+			t.Errorf("entry %d differs between identical calls", i)
+		}
+		if a[i].Source != long[i].Source {
+			t.Errorf("entry %d differs between Generated(7,5) and Generated(7,9)", i)
+		}
+	}
+	if workload.Generated(8, 1)[0].Source == a[0].Source {
+		t.Error("different seeds produced identical kernels")
+	}
+}
+
+func TestGeneratedKernelsCompileAndRun(t *testing.T) {
+	for _, b := range workload.Generated(1, 6) {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			prog, err := b.Compile()
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			if _, err := interp.New(prog).RunMain(); err != nil {
+				t.Fatalf("run: %v", err)
+			}
+		})
+	}
+}
+
 func TestByName(t *testing.T) {
 	if workload.ByName("compress") != workload.Compress {
 		t.Error("ByName(compress) wrong")
