@@ -17,11 +17,8 @@ import (
 	"os"
 
 	"vliwvp"
-	"vliwvp/internal/ddg"
-	"vliwvp/internal/lang"
 	"vliwvp/internal/machine"
-	"vliwvp/internal/opt"
-	"vliwvp/internal/sched"
+	"vliwvp/internal/pipeline"
 	"vliwvp/internal/workload"
 )
 
@@ -133,11 +130,15 @@ func cmdCompile(args []string) error {
 		}
 		src = string(data)
 	}
-	p, err := lang.Compile(src)
-	if err != nil {
+	mgr := pipeline.NewManager()
+	ctx := &pipeline.Ctx{Source: src}
+	compilePlan := pipeline.Plan{Name: "compile", Passes: []pipeline.Pass{
+		pipeline.Lower{}, pipeline.Opt{},
+	}}
+	if err := mgr.Run(compilePlan, ctx); err != nil {
 		return err
 	}
-	opt.Optimize(p)
+	p := ctx.Prog
 	fmt.Print(p)
 	if !*dumpSched {
 		return nil
@@ -146,10 +147,15 @@ func cmdCompile(args []string) error {
 	if d == nil {
 		return fmt.Errorf("unknown machine %q", *mach)
 	}
+	ctx.Machine = d
+	schedPlan := pipeline.Plan{Name: "schedule", Passes: []pipeline.Pass{pipeline.Schedule{}}}
+	if err := mgr.Run(schedPlan, ctx); err != nil {
+		return err
+	}
 	for _, f := range p.Funcs {
-		for _, b := range f.Blocks {
-			g := ddg.Build(b, d.Latency, ddg.Options{})
-			s := sched.ScheduleBlock(b, g, d)
+		fsched := ctx.Sched.Funcs[f.Name]
+		for i, b := range f.Blocks {
+			s := fsched.Blocks[i]
 			fmt.Printf("\nschedule %s b%d (%d cycles):\n", f.Name, b.ID, s.Length())
 			for c, in := range s.Instrs {
 				for _, op := range in.Ops {

@@ -33,6 +33,14 @@
 // compensation counters). -bench-json runs the pinned benchmark grid and
 // writes the perf record cmd/benchdiff gates CI with. -cpuprofile and
 // -memprofile capture pprof profiles of whichever mode runs.
+//
+// Three flags expose the compile pipeline itself: -passes prints the pass
+// plans the current configuration composes (with each pass's cache-key
+// fingerprint) and exits; -validate-ir checks the IR between every pass
+// (structural passes are always checked; this extends the check to all of
+// them, as `go test` does); -dump-ir DIR writes the IR after every pass to
+// DIR, one file per (plan, pass), bypassing the pass cache so each dump
+// reflects a full recompute.
 package main
 
 import (
@@ -40,14 +48,17 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 
 	"vliwvp/internal/conform"
 	"vliwvp/internal/exp"
+	"vliwvp/internal/ir"
 	"vliwvp/internal/machine"
 	"vliwvp/internal/obs"
 	"vliwvp/internal/oracle"
+	"vliwvp/internal/pipeline"
 	"vliwvp/internal/progen"
 	"vliwvp/internal/workload"
 )
@@ -64,6 +75,9 @@ func main() {
 	statsJSON := flag.String("stats-json", "", "with -sim: write the metrics snapshot (counters + histograms) as JSON")
 	benchJSON := flag.String("bench-json", "", "run the pinned benchmark grid and write the perf record here")
 	benchCount := flag.Int("bench-count", 5, "with -bench-json: repetitions per entry (min is kept)")
+	validateIR := flag.Bool("validate-ir", false, "validate the IR after every compile pass (always on under go test)")
+	dumpIR := flag.String("dump-ir", "", "write the IR after every compile pass to this directory (disables the pass cache)")
+	listPasses := flag.Bool("passes", false, "print the pass plans the current configuration composes and exit")
 	conformMode := flag.Bool("conform", false, "run the metamorphic conformance suite over generated programs and exit")
 	progenSeed := flag.Int64("progen-seed", 1, "first program-generator seed for -conform (or for printing programs)")
 	progenCount := flag.Int("progen-count", 0, "number of generated programs; default 200 under -conform")
@@ -75,6 +89,24 @@ func main() {
 	if d == nil {
 		fmt.Fprintf(os.Stderr, "vpexp: unknown machine %q\n", *mach)
 		os.Exit(2)
+	}
+
+	// tune applies the pipeline-debugging flags to every runner this
+	// invocation constructs.
+	tune := func(r *exp.Runner) {
+		r.ValidateIR = *validateIR
+		if *dumpIR != "" {
+			dump, err := irDumper(*dumpIR)
+			if err != nil {
+				fatal(err)
+			}
+			r.DumpIR = dump
+		}
+	}
+
+	if *listPasses {
+		printPlans(exp.NewRunner(d))
+		return
 	}
 
 	if *cpuProfile != "" {
@@ -118,7 +150,7 @@ func main() {
 		runOracle(d, *jobs)
 		return
 	case *simBench != "":
-		if err := runSim(d, *simBench, *traceFile, *traceFormat, *statsJSON); err != nil {
+		if err := runSim(d, tune, *simBench, *traceFile, *traceFormat, *statsJSON); err != nil {
 			fatal(err)
 		}
 		return
@@ -131,6 +163,7 @@ func main() {
 
 	r := exp.NewRunner(d)
 	r.Jobs = *jobs
+	tune(r)
 
 	matched := false
 	run := func(name string, f func() error) {
@@ -228,6 +261,39 @@ func exp2[T fmt.Stringer](f func(*machine.Desc, int) (T, error)) func(*machine.D
 	return func(d *machine.Desc, jobs int) (fmt.Stringer, error) { return f(d, jobs) }
 }
 
+// printPlans lists every pass plan the runner's configuration composes, in
+// execution order, with each pass's cache-key fingerprint where it has one.
+func printPlans(r *exp.Runner) {
+	for _, pl := range r.Plans() {
+		fmt.Printf("%s:\n", pl.Name)
+		for i, p := range pl.Passes {
+			if f, ok := p.(interface{ Fingerprint() string }); ok {
+				fmt.Printf("  %2d %-10s %s\n", i, p.Name(), f.Fingerprint())
+			} else {
+				fmt.Printf("  %2d %s\n", i, p.Name())
+			}
+		}
+	}
+}
+
+// irDumper builds a post-pass IR dump hook writing one file per (plan,
+// pass) into dir. Attaching a dump hook bypasses the pass cache, so every
+// dump reflects a full recompute of its plan.
+func irDumper(dir string) (pipeline.DumpFunc, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return func(plan, pass string, index int, prog *ir.Program) {
+		if prog == nil {
+			return
+		}
+		name := fmt.Sprintf("%s-%02d-%s.ir", plan, index, pass)
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(prog.String()), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "vpexp: dump-ir: %v\n", err)
+		}
+	}, nil
+}
+
 // openSink builds the event sink for -trace/-trace-format. The returned
 // close func flushes and finalizes the underlying file.
 func openSink(path, format string) (obs.EventSink, func() error, error) {
@@ -279,12 +345,13 @@ func openSink(path, format string) (obs.EventSink, func() error, error) {
 
 // runSim executes one benchmark on the speculative dual-engine machine
 // with the requested observability attachments.
-func runSim(d *machine.Desc, bench, traceFile, traceFormat, statsJSON string) error {
+func runSim(d *machine.Desc, tune func(*exp.Runner), bench, traceFile, traceFormat, statsJSON string) error {
 	w := workload.ByName(bench)
 	if w == nil {
 		return fmt.Errorf("unknown benchmark %q (have compress, ijpeg, li, m88ksim, vortex, hydro2d, swim, tomcatv)", bench)
 	}
 	r := exp.NewRunner(d)
+	tune(r)
 	sim, err := r.SpecSim(w)
 	if err != nil {
 		return err

@@ -38,10 +38,9 @@ import (
 	"vliwvp/internal/ddg"
 	"vliwvp/internal/interp"
 	"vliwvp/internal/ir"
-	"vliwvp/internal/lang"
 	"vliwvp/internal/machine"
 	"vliwvp/internal/obs"
-	optpass "vliwvp/internal/opt"
+	"vliwvp/internal/pipeline"
 	"vliwvp/internal/pool"
 	"vliwvp/internal/predict"
 	"vliwvp/internal/profile"
@@ -49,6 +48,12 @@ import (
 	"vliwvp/internal/sched"
 	"vliwvp/internal/speculate"
 )
+
+// mgr executes every conformance pipeline run. Generated programs are
+// unique per seed, so no cache or key is attached; under `go test` the
+// manager validates the IR after every pass, in production (vpexp
+// -conform) after the structural ones.
+var mgr = pipeline.NewManager()
 
 // Cell is one configuration of the conformance lattice.
 type Cell struct {
@@ -213,14 +218,17 @@ type refResult struct {
 // perfect within a cell, then the CCB monotonicity sweep).
 func checkSpec(spec progen.Spec, opt Options) (*Failure, Stats, error) {
 	src := progen.Render(spec)
-	prog, err := lang.Compile(src)
-	if err != nil {
-		return nil, Stats{}, fmt.Errorf("conform: seed %d does not compile: %w", spec.Seed, err)
+	fctx := &pipeline.Ctx{Source: src}
+	frontPlan := pipeline.Plan{Name: "conform-front", Passes: []pipeline.Pass{
+		pipeline.Lower{}, pipeline.Opt{}, pipeline.Profile{},
+	}}
+	if err := mgr.Run(frontPlan, fctx); err != nil {
+		// A generated program that fails to compile, optimize to valid IR,
+		// or profile is harness breakage, always a bug; the PassError names
+		// the offending pass.
+		return nil, Stats{}, fmt.Errorf("conform: seed %d front end: %w", spec.Seed, err)
 	}
-	optpass.Optimize(prog)
-	if err := prog.Validate(); err != nil {
-		return nil, Stats{}, fmt.Errorf("conform: seed %d invalid after optimize: %w", spec.Seed, err)
-	}
+	prog, prof := fctx.Prog, fctx.Prof
 
 	m := interp.New(prog)
 	v, err := m.Run("main")
@@ -228,11 +236,6 @@ func checkSpec(spec progen.Spec, opt Options) (*Failure, Stats, error) {
 		return nil, Stats{}, fmt.Errorf("conform: seed %d interp: %w", spec.Seed, err)
 	}
 	ref := &refResult{value: v, output: m.Output, mem: append([]uint64(nil), m.Mem...)}
-
-	prof, err := profile.Collect(prog, "main")
-	if err != nil {
-		return nil, Stats{}, fmt.Errorf("conform: seed %d profile: %w", spec.Seed, err)
-	}
 
 	stats := Stats{Programs: 1}
 	baseCycles := map[*machine.Desc]int64{}
@@ -254,7 +257,9 @@ func checkSpec(spec progen.Spec, opt Options) (*Failure, Stats, error) {
 
 // transform applies the speculation pass for a cell, clamping the
 // Synchronization-bit window to the CCB capacity (the same co-design rule
-// oracle.Config enforces).
+// oracle.Config enforces). The pass manager validates the transformed
+// program; callers map a validation error (pipeline.IsValidation) to an
+// "arch" invariant failure rather than harness breakage.
 func transform(prog *ir.Program, prof *profile.Profile, cell Cell) (*speculate.Result, map[int]profile.Scheme, error) {
 	cfg := speculate.DefaultConfig(cell.D)
 	if cell.Threshold > 0 {
@@ -263,33 +268,38 @@ func transform(prog *ir.Program, prof *profile.Profile, cell Cell) (*speculate.R
 	if cell.CCBCapacity > 0 && cfg.MaxSyncBits > cell.CCBCapacity {
 		cfg.MaxSyncBits = cell.CCBCapacity
 	}
-	res, err := speculate.Transform(prog, prof, cfg)
-	if err != nil {
+	plan := pipeline.Plan{Name: "conform-speculate", Passes: []pipeline.Pass{
+		pipeline.Speculate{Cfg: cfg},
+	}}
+	ctx := &pipeline.Ctx{Prog: prog, Prof: prof, Machine: cell.D, Shared: true}
+	if err := mgr.Run(plan, ctx); err != nil {
 		return nil, nil, err
 	}
-	schemes := map[int]profile.Scheme{}
-	for _, site := range res.Sites {
-		schemes[site.ID] = site.Scheme
+	return ctx.Spec, ctx.Schemes, nil
+}
+
+// specFailure maps a speculation-pipeline validation error to the "arch"
+// invariant failure it is (the transform produced invalid IR); any other
+// error is harness breakage, returned as-is.
+func specFailure(err error, cell Cell) (*Failure, error) {
+	if pipeline.IsValidation(err) {
+		return &Failure{Invariant: "arch", Cell: cell.Name,
+			Detail: fmt.Sprintf("transformed program invalid: %v", err)}, nil
 	}
-	return res, schemes, nil
+	return nil, err
 }
 
 // schedule builds the per-block VLIW schedules for a (possibly
 // transformed) program.
 func schedule(prog *ir.Program, d *machine.Desc) (*sched.ProgSched, error) {
-	ps := &sched.ProgSched{Prog: prog, Funcs: map[string]*sched.FuncSched{}}
-	for _, f := range prog.Funcs {
-		fs := &sched.FuncSched{F: f, Blocks: make([]*sched.BlockSched, len(f.Blocks))}
-		for i, b := range f.Blocks {
-			g := speculate.BuildGraph(b, d, ddg.Options{})
-			fs.Blocks[i] = sched.ScheduleBlock(b, g, d)
-			if err := fs.Blocks[i].Validate(g, d); err != nil {
-				return nil, fmt.Errorf("%s b%d: %w", f.Name, i, err)
-			}
-		}
-		ps.Funcs[f.Name] = fs
+	plan := pipeline.Plan{Name: "conform-schedule", Passes: []pipeline.Pass{
+		pipeline.Schedule{DDG: ddg.Options{}},
+	}}
+	ctx := &pipeline.Ctx{Prog: prog, Machine: d, Shared: true}
+	if err := mgr.Run(plan, ctx); err != nil {
+		return nil, err
 	}
-	return ps, nil
+	return ctx.Sched, nil
 }
 
 // buildSim wires a dynamic simulator for one cell over an already
@@ -346,13 +356,10 @@ func checkCell(prog *ir.Program, prof *profile.Profile, ref *refResult, cell Cel
 
 	res, schemes, err := transform(prog, prof, cell)
 	if err != nil {
-		return nil, err
-	}
-	// Invariant 0: the transformed program still satisfies the IR
-	// validator (including the speculation-form checks).
-	if err := res.Prog.Validate(); err != nil {
-		return &Failure{Invariant: "arch", Cell: cell.Name,
-			Detail: fmt.Sprintf("transformed program invalid: %v", err)}, nil
+		// Invariant 0: the transformed program still satisfies the IR
+		// validator (including the speculation-form checks). The pass
+		// manager runs it between passes and names the offender.
+		return specFailure(err, cell)
 	}
 	sim, err := buildSim(res, schemes, cell, opt)
 	if err != nil {
@@ -502,7 +509,7 @@ func checkMonotone(prog *ir.Program, prof *profile.Profile, ref *refResult, opt 
 	cell := Cell{Name: "ccb-sweep", D: machine.W4}
 	res, schemes, err := transform(prog, prof, cell)
 	if err != nil {
-		return nil, err
+		return specFailure(err, cell)
 	}
 	maxBits := 0
 	for _, bi := range res.Blocks {

@@ -70,6 +70,19 @@ func (c *Cache) Do(key string, compute func() (any, error)) (any, error) {
 	return e.val, e.err
 }
 
+// Forget drops one key. The pass manager uses it to guarantee a failing
+// pass leaves no cache entry at all — not even a memoized error — so a
+// plan that errors mid-flight can be retried from a clean slate and
+// Len-based accounting never counts partial compiles. An in-flight
+// computation for the key finishes against the forgotten entry; callers
+// already blocked on it still observe its result.
+func (c *Cache) Forget(key string) {
+	s := c.shard(key)
+	s.mu.Lock()
+	delete(s.entries, key)
+	s.mu.Unlock()
+}
+
 // Len reports the number of memoized keys (including failed computations).
 func (c *Cache) Len() int {
 	n := 0

@@ -1,0 +1,50 @@
+package cache
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestForgetDropsEntry proves Forget removes both value and error entries:
+// the next Do recomputes, where an untouched key stays memoized.
+func TestForgetDropsEntry(t *testing.T) {
+	c := New()
+	calls := 0
+	compute := func() (any, error) { calls++; return calls, nil }
+	if v, _ := c.Do("k", compute); v.(int) != 1 {
+		t.Fatalf("first Do = %v, want 1", v)
+	}
+	if v, _ := c.Do("k", compute); v.(int) != 1 {
+		t.Fatalf("memoized Do = %v, want 1", v)
+	}
+	c.Forget("k")
+	if v, _ := c.Do("k", compute); v.(int) != 2 {
+		t.Fatalf("post-Forget Do = %v, want recompute (2)", v)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", c.Len())
+	}
+
+	// Errors are memoized by Do; Forget is how a caller opts a failed
+	// computation out of that (the pipeline manager's no-partial-entry
+	// guarantee).
+	boom := errors.New("boom")
+	fails := 0
+	failing := func() (any, error) { fails++; return nil, boom }
+	if _, err := c.Do("bad", failing); !errors.Is(err, boom) {
+		t.Fatalf("want boom, got %v", err)
+	}
+	if _, err := c.Do("bad", failing); !errors.Is(err, boom) || fails != 1 {
+		t.Fatalf("error not memoized: fails=%d err=%v", fails, err)
+	}
+	c.Forget("bad")
+	if c.Len() != 1 {
+		t.Fatalf("Len after Forget = %d, want 1", c.Len())
+	}
+	if _, err := c.Do("bad", failing); !errors.Is(err, boom) || fails != 2 {
+		t.Fatalf("post-Forget error Do: fails=%d err=%v", fails, err)
+	}
+
+	// Forgetting a missing key is a no-op.
+	c.Forget("absent")
+}

@@ -21,6 +21,8 @@ import (
 	"vliwvp/internal/ifconv"
 	"vliwvp/internal/ir"
 	"vliwvp/internal/machine"
+	"vliwvp/internal/obs"
+	"vliwvp/internal/pipeline"
 	"vliwvp/internal/pool"
 	"vliwvp/internal/profile"
 	"vliwvp/internal/regions"
@@ -54,6 +56,16 @@ type Runner struct {
 	// Cache overrides the process-wide pipeline cache (tests isolate with
 	// private caches). Nil uses the shared one.
 	Cache *cache.Cache
+	// ValidateIR forces between-pass IR validation on every pipeline run
+	// (the manager also turns it on by itself under `go test`). Wired to
+	// vpexp -validate-ir.
+	ValidateIR bool
+	// PassSink, when non-nil, receives one event per executed or
+	// cache-served pipeline pass. Nil costs nothing.
+	PassSink obs.PassSink
+	// DumpIR, when non-nil, receives the IR after every pipeline pass.
+	// Dump runs bypass the compile cache. Wired to vpexp -dump-ir.
+	DumpIR pipeline.DumpFunc
 }
 
 // NewRunner uses the paper's settings: the given machine, 65% load
@@ -165,10 +177,11 @@ func (r *Runner) computeOrigLens(prog *ir.Program) map[profile.BlockKey]int {
 // prepareFrom finishes preparation from a front end. lens may be nil (they
 // are recomputed) or a cache-shared read-only map.
 func (r *Runner) prepareFrom(b *workload.Benchmark, prog *ir.Program, prof *profile.Profile, lens map[profile.BlockKey]int) (*BenchData, error) {
-	res, err := speculate.Transform(prog, prof, r.Cfg)
-	if err != nil {
+	ctx := &pipeline.Ctx{Prog: prog, Prof: prof, Machine: r.D, Shared: true}
+	if err := r.manager().Run(r.SpeculatePlan(), ctx); err != nil {
 		return nil, fmt.Errorf("%s: %w", b.Name, err)
 	}
+	res := ctx.Spec
 	out, err := profile.CollectOutcomes(prog, res.Selection, "main")
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", b.Name, err)

@@ -21,11 +21,10 @@ import (
 	"fmt"
 
 	"vliwvp/internal/exp/cache"
-	"vliwvp/internal/ifconv"
 	"vliwvp/internal/interp"
 	"vliwvp/internal/ir"
+	"vliwvp/internal/pipeline"
 	"vliwvp/internal/profile"
-	"vliwvp/internal/regions"
 	"vliwvp/internal/workload"
 )
 
@@ -54,51 +53,97 @@ func (r *Runner) cacheFor() *cache.Cache {
 	return sharedCache
 }
 
-// frontKey fingerprints everything the front end depends on: the program
-// source (by hash, so workload edits invalidate) and the two front-end pass
-// configurations. The machine description is deliberately absent — the
-// front end is machine-independent.
+// manager wires a pass manager over the runner's configuration: the
+// runner's cache (per-pass memoization), optional pass-event sink, optional
+// IR dump hook, and between-pass validation (always on when ValidateIR is
+// set; the manager itself defaults it on under `go test`).
+func (r *Runner) manager() *pipeline.Manager {
+	m := pipeline.NewManager()
+	if r.ValidateIR {
+		m.ValidateEach = true
+	}
+	m.Cache = r.cacheFor()
+	m.Sink = r.PassSink
+	m.Dump = r.DumpIR
+	return m
+}
+
+// frontBase fingerprints the front end's input: the program source (by
+// hash, so workload edits invalidate). Pass configurations enter the key
+// per pass, via the plan. The machine description is deliberately absent —
+// the front end is machine-independent.
+func (r *Runner) frontBase(b *workload.Benchmark) string {
+	return "fe|" + b.Name + "|" + b.SourceHash()
+}
+
+// frontKey is the cumulative per-pass cache key of the full front-end
+// plan; the lens/interp/base caches key off it.
 func (r *Runner) frontKey(b *workload.Benchmark) string {
-	return fmt.Sprintf("fe|%s|%s|ifc=%v:%+v|reg=%v:%+v",
-		b.Name, b.SourceHash(), r.IfConvert, r.IfConvCfg, r.Regions, r.RegionsCfg)
+	pl := r.FrontPlan()
+	return pl.Key(r.frontBase(b), len(pl.Passes))
+}
+
+// FrontPlan is the machine-independent pipeline prefix the runner's
+// configuration selects: compile, optimize, optional if-conversion and
+// region formation, value profile. Every pass in it is cacheable, so runs
+// that agree on a prefix share its per-pass cache entries.
+func (r *Runner) FrontPlan() pipeline.Plan {
+	passes := []pipeline.Pass{pipeline.Lower{}, pipeline.Opt{}}
+	name := "frontend"
+	if r.IfConvert {
+		passes = append(passes, pipeline.IfConvert{Cfg: r.IfConvCfg})
+		name += "+ifconv"
+	}
+	if r.Regions {
+		// Region formation duplicates code (fresh op IDs), so the pass uses
+		// its own edge profile and the value profile is collected afterwards.
+		passes = append(passes, pipeline.Regions{Cfg: r.RegionsCfg})
+		name += "+regions"
+	}
+	passes = append(passes, pipeline.Profile{})
+	return pipeline.Plan{Name: name, Passes: passes}
+}
+
+// SpeculatePlan is the configuration-dependent speculation step: select
+// prediction sites and insert LdPred/CheckLd pairs. Its product is not
+// cached (it varies with every swept knob), so it runs live downstream of
+// the cached front end.
+func (r *Runner) SpeculatePlan() pipeline.Plan {
+	return pipeline.Plan{Name: "speculate", Passes: []pipeline.Pass{
+		pipeline.Speculate{Cfg: r.Cfg},
+	}}
+}
+
+// SchedulePlan is the back-end scheduling step: list-schedule every block
+// of the current program for the runner's machine and DDG options.
+func (r *Runner) SchedulePlan() pipeline.Plan {
+	return pipeline.Plan{Name: "schedule", Passes: []pipeline.Pass{
+		pipeline.Schedule{DDG: r.DDG},
+	}}
+}
+
+// SpecPlan is speculation followed by whole-program scheduling — the
+// suffix the speedup and trace drivers run after the front end.
+func (r *Runner) SpecPlan() pipeline.Plan {
+	return pipeline.Plan{Name: "speculate+schedule", Passes: []pipeline.Pass{
+		pipeline.Speculate{Cfg: r.Cfg}, pipeline.Schedule{DDG: r.DDG},
+	}}
+}
+
+// Plans lists every plan the runner's current configuration composes, in
+// execution order (vpexp -passes prints these).
+func (r *Runner) Plans() []pipeline.Plan {
+	return []pipeline.Plan{r.FrontPlan(), r.SpeculatePlan(), r.SchedulePlan()}
 }
 
 // frontEndFor compiles, optionally if-converts and forms regions, and value
-// profiles the benchmark — once per front-end key per cache.
+// profiles the benchmark — once per (pass, key) per cache.
 func (r *Runner) frontEndFor(b *workload.Benchmark) (*frontEnd, error) {
-	v, err := r.cacheFor().Do(r.frontKey(b), func() (any, error) {
-		prog, err := b.Compile()
-		if err != nil {
-			return nil, err
-		}
-		if r.IfConvert {
-			ifconv.Convert(prog, r.IfConvCfg)
-			if err := prog.Validate(); err != nil {
-				return nil, fmt.Errorf("%s after if-conversion: %w", b.Name, err)
-			}
-		}
-		if r.Regions {
-			// Region formation duplicates code (fresh op IDs), so it uses its
-			// own edge profile and the value profile is collected afterwards.
-			prof0, err := profile.Collect(prog, "main")
-			if err != nil {
-				return nil, fmt.Errorf("%s: %w", b.Name, err)
-			}
-			regions.Form(prog, prof0, r.RegionsCfg)
-			if err := prog.Validate(); err != nil {
-				return nil, fmt.Errorf("%s after region formation: %w", b.Name, err)
-			}
-		}
-		prof, err := profile.Collect(prog, "main")
-		if err != nil {
-			return nil, fmt.Errorf("%s: %w", b.Name, err)
-		}
-		return &frontEnd{Prog: prog, Prof: prof}, nil
-	})
-	if err != nil {
-		return nil, err
+	ctx := &pipeline.Ctx{Source: b.Source, Key: r.frontBase(b), Machine: r.D}
+	if err := r.manager().Run(r.FrontPlan(), ctx); err != nil {
+		return nil, fmt.Errorf("%s: %w", b.Name, err)
 	}
-	return v.(*frontEnd), nil
+	return &frontEnd{Prog: ctx.Prog, Prof: ctx.Prof}, nil
 }
 
 // origLensFor returns the original schedule length of every block of the

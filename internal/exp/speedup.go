@@ -7,6 +7,7 @@ import (
 	"vliwvp/internal/baseline"
 	"vliwvp/internal/core"
 	"vliwvp/internal/ir"
+	"vliwvp/internal/pipeline"
 	"vliwvp/internal/profile"
 	"vliwvp/internal/sched"
 	"vliwvp/internal/speculate"
@@ -30,30 +31,18 @@ type SpeedupRow struct {
 	StallSync   int64
 }
 
-// scheduleAll builds validated schedules for a whole program.
+// scheduleAll builds validated schedules for a whole program via the
+// schedule plan.
 func (r *Runner) scheduleAll(prog *ir.Program) (*sched.ProgSched, error) {
-	ps := &sched.ProgSched{Prog: prog, Funcs: map[string]*sched.FuncSched{}}
-	for _, f := range prog.Funcs {
-		fs := &sched.FuncSched{F: f, Blocks: make([]*sched.BlockSched, len(f.Blocks))}
-		for i, b := range f.Blocks {
-			g := speculate.BuildGraph(b, r.D, r.DDG)
-			fs.Blocks[i] = sched.ScheduleBlock(b, g, r.D)
-			if err := fs.Blocks[i].Validate(g, r.D); err != nil {
-				return nil, fmt.Errorf("%s b%d: %w", f.Name, i, err)
-			}
-		}
-		ps.Funcs[f.Name] = fs
-	}
-	return ps, nil
-}
-
-// NewSimulatorFor wires a dual-engine simulator for an arbitrary program
-// (transformed or not).
-func (r *Runner) NewSimulatorFor(prog *ir.Program, schemes map[int]profile.Scheme) (*core.Simulator, error) {
-	ps, err := r.scheduleAll(prog)
-	if err != nil {
+	ctx := &pipeline.Ctx{Prog: prog, Machine: r.D, Shared: true}
+	if err := r.manager().Run(r.SchedulePlan(), ctx); err != nil {
 		return nil, err
 	}
+	return ctx.Sched, nil
+}
+
+// newSim wires a dual-engine simulator over an already scheduled program.
+func (r *Runner) newSim(prog *ir.Program, ps *sched.ProgSched, schemes map[int]profile.Scheme) (*core.Simulator, error) {
 	sim, err := core.NewSimulator(prog, ps, r.D, schemes)
 	if err != nil {
 		return nil, err
@@ -64,24 +53,53 @@ func (r *Runner) NewSimulatorFor(prog *ir.Program, schemes map[int]profile.Schem
 	return sim, nil
 }
 
+// NewSimulatorFor wires a dual-engine simulator for an arbitrary program
+// (transformed or not).
+func (r *Runner) NewSimulatorFor(prog *ir.Program, schemes map[int]profile.Scheme) (*core.Simulator, error) {
+	ps, err := r.scheduleAll(prog)
+	if err != nil {
+		return nil, err
+	}
+	return r.newSim(prog, ps, schemes)
+}
+
+// specRun executes the speculate+schedule suffix over a benchmark's cached
+// front end.
+func (r *Runner) specRun(b *workload.Benchmark) (*pipeline.Ctx, error) {
+	fe, err := r.frontEndFor(b)
+	if err != nil {
+		return nil, err
+	}
+	ctx := &pipeline.Ctx{Prog: fe.Prog, Prof: fe.Prof, Machine: r.D, Shared: true}
+	if err := r.manager().Run(r.SpecPlan(), ctx); err != nil {
+		return nil, fmt.Errorf("%s: %w", b.Name, err)
+	}
+	return ctx, nil
+}
+
 // SpecSim wires the speculative (transformed) dual-engine simulator for
 // one benchmark, with per-site predictor schemes attached — the simulator
 // the speedup experiment, the vpexp trace/stats modes, and the bench grid
 // all run.
 func (r *Runner) SpecSim(b *workload.Benchmark) (*core.Simulator, error) {
-	fe, err := r.frontEndFor(b)
+	ctx, err := r.specRun(b)
 	if err != nil {
 		return nil, err
 	}
-	res, err := speculate.Transform(fe.Prog, fe.Prof, r.Cfg)
+	return r.newSim(ctx.Prog, ctx.Sched, ctx.Schemes)
+}
+
+// SpecSchedule runs the full compile flow for one benchmark — front end,
+// speculation, whole-program scheduling — and returns the speculated
+// program's schedules together with the transform result. It is the entry
+// point the golden-equivalence suite pins: its output must stay byte-stable
+// across refactors of the pipeline plumbing.
+func (r *Runner) SpecSchedule(b *workload.Benchmark) (*sched.ProgSched, *speculate.Result, error) {
+	ctx, err := r.specRun(b)
 	if err != nil {
-		return nil, fmt.Errorf("%s: %w", b.Name, err)
+		return nil, nil, err
 	}
-	schemes := map[int]profile.Scheme{}
-	for _, site := range res.Sites {
-		schemes[site.ID] = site.Scheme
-	}
-	return r.NewSimulatorFor(res.Prog, schemes)
+	return ctx.Sched, ctx.Spec, nil
 }
 
 // Speedup runs one benchmark end to end both ways. The baseline run comes
@@ -131,10 +149,11 @@ func (r *Runner) SpeedupSerial(b *workload.Benchmark) (SpeedupRow, error) {
 	if err != nil {
 		return row, err
 	}
-	res, err := speculate.Transform(fe.Prog, fe.Prof, r.Cfg)
+	ctx, err := r.specRun(b)
 	if err != nil {
 		return row, err
 	}
+	res := ctx.Spec
 	bm, err := baseline.Build(res, r.D, r.DDG, baseline.DefaultConfig())
 	if err != nil {
 		return row, err
@@ -148,11 +167,7 @@ func (r *Runner) SpeedupSerial(b *workload.Benchmark) (SpeedupRow, error) {
 			}
 		}
 	}
-	schemes := map[int]profile.Scheme{}
-	for _, site := range res.Sites {
-		schemes[site.ID] = site.Scheme
-	}
-	sim, err := r.NewSimulatorFor(res.Prog, schemes)
+	sim, err := r.newSim(ctx.Prog, ctx.Sched, ctx.Schemes)
 	if err != nil {
 		return row, err
 	}

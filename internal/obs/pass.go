@@ -1,0 +1,74 @@
+package obs
+
+// Compile-pipeline observability. Where Event covers the cycle-level
+// incidents of the dual-engine machine, PassEvent covers the compile side:
+// one event per executed (or cache-served) pipeline pass, carrying the
+// plan it ran under, its position, wall duration, cache disposition, and
+// failure. The same discipline as EventSink applies: emitters hold a
+// nil-checkable PassSink and construct events only when one is attached,
+// so the disabled path costs a pointer compare and zero allocations.
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// PassEvent describes one pipeline pass execution.
+type PassEvent struct {
+	// Plan and Pass name the plan and the pass within it; Index is the
+	// pass's position in the plan (0-based).
+	Plan  string
+	Pass  string
+	Index int
+	// Duration is the pass's wall-clock run time (zero for cache hits).
+	Duration time.Duration
+	// CacheHit reports that the pass's product was served from the
+	// per-pass compile cache instead of being recomputed.
+	CacheHit bool
+	// Err is the failure message ("" on success). A failing pass is the
+	// last event of its plan.
+	Err string
+}
+
+// PassSink receives pipeline pass events. Implementations must not retain
+// e past the call: emitters may reuse the backing storage.
+type PassSink interface {
+	PassEvent(e *PassEvent)
+}
+
+// NarratePass renders a pass event as a stable one-line summary.
+func NarratePass(e *PassEvent) string {
+	switch {
+	case e.Err != "":
+		return fmt.Sprintf("pass %s/%s#%d: FAILED: %s", e.Plan, e.Pass, e.Index, e.Err)
+	case e.CacheHit:
+		return fmt.Sprintf("pass %s/%s#%d: cache hit", e.Plan, e.Pass, e.Index)
+	default:
+		return fmt.Sprintf("pass %s/%s#%d: %v", e.Plan, e.Pass, e.Index, e.Duration)
+	}
+}
+
+// PassLogger is a PassSink that writes one narrated line per event. It is
+// safe for concurrent use (plans run on worker pools).
+type PassLogger struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+// NewPassLogger returns a logging sink over w.
+func NewPassLogger(w io.Writer) *PassLogger { return &PassLogger{w: w} }
+
+// PassEvent writes the narrated line.
+func (l *PassLogger) PassEvent(e *PassEvent) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	fmt.Fprintln(l.w, NarratePass(e))
+}
+
+// PassFunc adapts a function into a PassSink.
+type PassFunc func(e *PassEvent)
+
+// PassEvent forwards the event.
+func (f PassFunc) PassEvent(e *PassEvent) { f(e) }

@@ -1,0 +1,44 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestNarratePass(t *testing.T) {
+	cases := []struct {
+		e    PassEvent
+		want string
+	}{
+		{PassEvent{Plan: "frontend", Pass: "opt", Index: 1, Duration: 2 * time.Millisecond},
+			"pass frontend/opt#1: 2ms"},
+		{PassEvent{Plan: "frontend", Pass: "lower", Index: 0, CacheHit: true},
+			"pass frontend/lower#0: cache hit"},
+		{PassEvent{Plan: "spec", Pass: "speculate", Index: 0, Err: "no profile"},
+			"pass spec/speculate#0: FAILED: no profile"},
+	}
+	for _, c := range cases {
+		if got := NarratePass(&c.e); got != c.want {
+			t.Errorf("NarratePass(%+v) = %q, want %q", c.e, got, c.want)
+		}
+	}
+}
+
+func TestPassLoggerAndFunc(t *testing.T) {
+	var sb strings.Builder
+	l := NewPassLogger(&sb)
+	l.PassEvent(&PassEvent{Plan: "p", Pass: "a", Index: 0, Duration: time.Microsecond})
+	l.PassEvent(&PassEvent{Plan: "p", Pass: "b", Index: 1, CacheHit: true})
+	want := "pass p/a#0: 1µs\npass p/b#1: cache hit\n"
+	if sb.String() != want {
+		t.Errorf("logger wrote %q, want %q", sb.String(), want)
+	}
+
+	var got []string
+	f := PassFunc(func(e *PassEvent) { got = append(got, e.Pass) })
+	f.PassEvent(&PassEvent{Pass: "x"})
+	if len(got) != 1 || got[0] != "x" {
+		t.Errorf("PassFunc saw %v", got)
+	}
+}

@@ -21,14 +21,20 @@ import (
 	"vliwvp/internal/ddg"
 	"vliwvp/internal/interp"
 	"vliwvp/internal/ir"
-	"vliwvp/internal/lang"
 	"vliwvp/internal/machine"
+	"vliwvp/internal/pipeline"
 	"vliwvp/internal/pool"
 	"vliwvp/internal/profile"
-	"vliwvp/internal/sched"
 	"vliwvp/internal/speculate"
 	"vliwvp/internal/workload"
 )
+
+// mgr executes the oracle's pipeline runs. The oracle shares the pass
+// spine (internal/pipeline) with the experiment harness but none of the
+// harness's caching or preparation plumbing — no cache or key is attached,
+// so every check compiles and schedules from scratch and cross-checks what
+// internal/exp serves from its cache.
+var mgr = pipeline.NewManager()
 
 // Config fixes one differential-check configuration.
 type Config struct {
@@ -127,23 +133,19 @@ func refRun(prog *ir.Program) (*refResult, error) {
 	return &refResult{value: v, output: m.Output, mem: m.Mem}, nil
 }
 
-// buildSim schedules the transformed program and wires a simulator. It is
-// deliberately independent of internal/exp so the oracle cross-checks the
-// experiment harness rather than trusting its plumbing.
+// buildSim schedules the transformed program and wires a simulator. It
+// runs its own schedule plan — independent of internal/exp's cached
+// preparation — so the oracle cross-checks the experiment harness rather
+// than trusting its plumbing.
 func buildSim(prog *ir.Program, schemes map[int]profile.Scheme, recLen map[int]int, cfg Config) (*core.Simulator, error) {
-	ps := &sched.ProgSched{Prog: prog, Funcs: map[string]*sched.FuncSched{}}
-	for _, f := range prog.Funcs {
-		fs := &sched.FuncSched{F: f, Blocks: make([]*sched.BlockSched, len(f.Blocks))}
-		for i, b := range f.Blocks {
-			g := speculate.BuildGraph(b, cfg.D, cfg.DDG)
-			fs.Blocks[i] = sched.ScheduleBlock(b, g, cfg.D)
-			if err := fs.Blocks[i].Validate(g, cfg.D); err != nil {
-				return nil, fmt.Errorf("oracle: %s b%d: %w", f.Name, i, err)
-			}
-		}
-		ps.Funcs[f.Name] = fs
+	plan := pipeline.Plan{Name: "oracle-schedule", Passes: []pipeline.Pass{
+		pipeline.Schedule{DDG: cfg.DDG},
+	}}
+	ctx := &pipeline.Ctx{Prog: prog, Machine: cfg.D, Shared: true}
+	if err := mgr.Run(plan, ctx); err != nil {
+		return nil, fmt.Errorf("oracle: %w", err)
 	}
-	sim, err := core.NewSimulator(prog, ps, cfg.D, schemes)
+	sim, err := core.NewSimulator(prog, ctx.Sched, cfg.D, schemes)
 	if err != nil {
 		return nil, err
 	}
@@ -206,18 +208,16 @@ func CheckProgram(name string, prog *ir.Program, cfg Config) (*Divergence, error
 	if err != nil {
 		return nil, err
 	}
-	prof, err := profile.Collect(prog, "main")
-	if err != nil {
-		return nil, fmt.Errorf("oracle: profile %s: %w", name, err)
+	plan := pipeline.Plan{Name: "oracle-speculate", Passes: []pipeline.Pass{
+		pipeline.Profile{}, pipeline.Speculate{Cfg: cfg.Spec},
+	}}
+	ctx := &pipeline.Ctx{Prog: prog, Machine: cfg.D, Shared: true}
+	if err := mgr.Run(plan, ctx); err != nil {
+		return nil, fmt.Errorf("oracle: %s: %w", name, err)
 	}
-	res, err := speculate.Transform(prog, prof, cfg.Spec)
-	if err != nil {
-		return nil, fmt.Errorf("oracle: transform %s: %w", name, err)
-	}
-	schemes := map[int]profile.Scheme{}
+	res, schemes := ctx.Spec, ctx.Schemes
 	siteIDs := make([]int, 0, len(res.Sites))
 	for _, site := range res.Sites {
-		schemes[site.ID] = site.Scheme
 		siteIDs = append(siteIDs, site.ID)
 	}
 	sort.Ints(siteIDs)
@@ -317,13 +317,15 @@ func minimize(div *Divergence, ref *refResult, prog *ir.Program, recLen map[int]
 	}
 }
 
-// CheckSource compiles VL source and differentially tests it.
+// CheckSource compiles VL source (unoptimized, so the oracle also covers
+// pre-optimizer programs) and differentially tests it.
 func CheckSource(name, src string, cfg Config) (*Divergence, error) {
-	prog, err := lang.Compile(src)
-	if err != nil {
+	plan := pipeline.Plan{Name: "oracle-lower", Passes: []pipeline.Pass{pipeline.Lower{}}}
+	ctx := &pipeline.Ctx{Source: src}
+	if err := mgr.Run(plan, ctx); err != nil {
 		return nil, fmt.Errorf("oracle: compile %s: %w", name, err)
 	}
-	return CheckProgram(name, prog, cfg)
+	return CheckProgram(name, ctx.Prog, cfg)
 }
 
 // CheckBenchmark differentially tests one workload benchmark.

@@ -1,0 +1,346 @@
+package pipeline
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"vliwvp/internal/exp/cache"
+	"vliwvp/internal/ifconv"
+	"vliwvp/internal/ir"
+	"vliwvp/internal/machine"
+	"vliwvp/internal/obs"
+	"vliwvp/internal/progen"
+	"vliwvp/internal/speculate"
+)
+
+// testSource is a deterministic generated program; every test compiles the
+// same source so cache keys are meaningful across sub-tests.
+func testSource() string {
+	return progen.Render(progen.Generate(7, progen.Options{}))
+}
+
+// fullPlan is the complete compile flow: source → schedules.
+func fullPlan(d *machine.Desc) Plan {
+	return Plan{Name: "full", Passes: []Pass{
+		Lower{}, Opt{}, IfConvert{Cfg: ifconv.DefaultConfig()}, Profile{},
+		Speculate{Cfg: speculate.DefaultConfig(d)}, Schedule{},
+	}}
+}
+
+func TestFullPlanEndToEnd(t *testing.T) {
+	d := machine.W4
+	m := NewManager()
+	m.Cache = cache.New()
+	ctx := &Ctx{Source: testSource(), Key: "t|full", Machine: d}
+	if err := m.Run(fullPlan(d), ctx); err != nil {
+		t.Fatal(err)
+	}
+	if ctx.Prog == nil || ctx.Prof == nil || ctx.Spec == nil || ctx.Sched == nil {
+		t.Fatalf("missing artifacts: prog=%v prof=%v spec=%v sched=%v",
+			ctx.Prog != nil, ctx.Prof != nil, ctx.Spec != nil, ctx.Sched != nil)
+	}
+	if ctx.Prog != ctx.Spec.Prog {
+		t.Error("ctx.Prog is not the speculated program")
+	}
+	if len(ctx.Schemes) != len(ctx.Spec.Sites) {
+		t.Errorf("schemes: %d entries, %d sites", len(ctx.Schemes), len(ctx.Spec.Sites))
+	}
+	// The cacheable prefix (lower, opt, ifconv, profile) memoized per pass.
+	if got := m.Cache.Len(); got != 4 {
+		t.Errorf("cache entries = %d, want 4 (one per cacheable pass)", got)
+	}
+	// A second run serves the prefix shared and read-only.
+	ctx2 := &Ctx{Source: testSource(), Key: "t|full", Machine: d}
+	if err := m.Run(fullPlan(d), ctx2); err != nil {
+		t.Fatal(err)
+	}
+	if m.Cache.Len() != 4 {
+		t.Errorf("second run grew the cache to %d entries", m.Cache.Len())
+	}
+}
+
+// nopPass is the hot-path stand-in for the zero-allocation test.
+type nopPass struct{ name string }
+
+func (p nopPass) Name() string              { return p.name }
+func (nopPass) Run(*Ctx, *ir.Program) error { return nil }
+func (nopPass) Mutates() bool               { return false }
+
+// TestManagerZeroAllocWithoutSink pins the pipeline half of the repo's
+// no-sink guarantee: running a plan with no sink, no cache and no dump
+// allocates nothing, so production binaries pay nothing for the
+// observability hooks (mirrors core's TestTimingZeroAllocWithoutSink).
+func TestManagerZeroAllocWithoutSink(t *testing.T) {
+	m := &Manager{}
+	plan := Plan{Name: "hot", Passes: []Pass{nopPass{"a"}, nopPass{"b"}, nopPass{"c"}}}
+	ctx := &Ctx{}
+	if avg := testing.AllocsPerRun(200, func() {
+		if err := m.Run(plan, ctx); err != nil {
+			t.Fatal(err)
+		}
+	}); avg != 0 {
+		t.Errorf("no-sink Run allocates %.1f/op, want 0", avg)
+	}
+
+	// Sanity: with a sink attached the same plan does allocate (events are
+	// built) and every pass is narrated.
+	var events []obs.PassEvent
+	m.Sink = obs.PassFunc(func(e *obs.PassEvent) { events = append(events, *e) })
+	if avg := testing.AllocsPerRun(10, func() {
+		events = events[:0]
+		if err := m.Run(plan, ctx); err != nil {
+			t.Fatal(err)
+		}
+	}); avg == 0 {
+		t.Error("sink path reports 0 allocs/op; the no-sink result proves nothing")
+	}
+	if len(events) != 3 {
+		t.Fatalf("sink saw %d events, want 3", len(events))
+	}
+	for i, e := range events {
+		if e.Plan != "hot" || e.Index != i || e.CacheHit || e.Err != "" {
+			t.Errorf("event %d = %+v", i, e)
+		}
+	}
+}
+
+// TestPrefixCacheSharedAcrossPlans proves per-pass (not per-plan)
+// memoization: two plans that agree on a leading pass sequence share those
+// entries, and cache-served prefixes are flagged on the event stream.
+func TestPrefixCacheSharedAcrossPlans(t *testing.T) {
+	src := testSource()
+	m := NewManager()
+	m.Cache = cache.New()
+	var events []obs.PassEvent
+	m.Sink = obs.PassFunc(func(e *obs.PassEvent) { events = append(events, *e) })
+
+	planA := Plan{Name: "A", Passes: []Pass{Lower{}, Opt{}, Profile{}}}
+	if err := m.Run(planA, &Ctx{Source: src, Key: "t|share"}); err != nil {
+		t.Fatal(err)
+	}
+	if m.Cache.Len() != 3 {
+		t.Fatalf("after plan A: %d entries, want 3", m.Cache.Len())
+	}
+	for _, e := range events {
+		if e.CacheHit {
+			t.Errorf("cold run reported cache hit: %+v", e)
+		}
+	}
+
+	// Plan B diverges after [lower, opt]: only its new suffix computes.
+	events = events[:0]
+	planB := Plan{Name: "B", Passes: []Pass{
+		Lower{}, Opt{}, IfConvert{Cfg: ifconv.DefaultConfig()}, Profile{},
+	}}
+	if err := m.Run(planB, &Ctx{Source: src, Key: "t|share"}); err != nil {
+		t.Fatal(err)
+	}
+	if m.Cache.Len() != 5 {
+		t.Fatalf("after plan B: %d entries, want 5 (2 shared + 2 new)", m.Cache.Len())
+	}
+	var hits, runs []string
+	for _, e := range events {
+		if e.CacheHit {
+			hits = append(hits, e.Pass)
+		} else {
+			runs = append(runs, e.Pass)
+		}
+	}
+	if len(hits) != 1 || hits[0] != "opt" {
+		t.Errorf("cache hits %v, want the shared prefix end [opt]", hits)
+	}
+	if len(runs) != 2 || runs[0] != "ifconv" || runs[1] != "profile" {
+		t.Errorf("computed passes %v, want [ifconv profile]", runs)
+	}
+
+	// Re-running plan B is a pure prefix hit: one event, no new entries.
+	events = events[:0]
+	ctx := &Ctx{Source: src, Key: "t|share"}
+	if err := m.Run(planB, ctx); err != nil {
+		t.Fatal(err)
+	}
+	if m.Cache.Len() != 5 || len(events) != 1 || !events[0].CacheHit || events[0].Pass != "profile" {
+		t.Errorf("warm rerun: %d entries, events %+v", m.Cache.Len(), events)
+	}
+	if !ctx.Shared {
+		t.Error("cache-served state not marked Shared")
+	}
+}
+
+// failingPass is a cacheable pass that always errors, counting attempts.
+type failingPass struct{ runs *int }
+
+func (failingPass) Name() string    { return "explode" }
+func (failingPass) Cacheable() bool { return true }
+func (f failingPass) Run(*Ctx, *ir.Program) error {
+	*f.runs++
+	return errors.New("boom")
+}
+
+// TestFailingPassLeavesNoPartialCacheEntry pins the manager's error
+// contract: a pass erroring mid-plan reports a *PassError naming it, the
+// successfully computed prefix stays cached, and the failing pass's own
+// key is absent — not even the error is memoized, so a retry re-executes
+// it.
+func TestFailingPassLeavesNoPartialCacheEntry(t *testing.T) {
+	m := NewManager()
+	m.Cache = cache.New()
+	runs := 0
+	plan := Plan{Name: "doomed", Passes: []Pass{
+		Lower{}, Opt{}, failingPass{&runs}, Profile{},
+	}}
+	ctx := &Ctx{Source: testSource(), Key: "t|fail"}
+	err := m.Run(plan, ctx)
+	var pe *PassError
+	if !errors.As(err, &pe) {
+		t.Fatalf("error %v is not a *PassError", err)
+	}
+	if pe.Plan != "doomed" || pe.Pass != "explode" || pe.Index != 2 || pe.Validation {
+		t.Errorf("PassError = %+v", pe)
+	}
+	if runs != 1 {
+		t.Fatalf("failing pass ran %d times, want 1", runs)
+	}
+	// The two successful prefix passes stay memoized; the failing pass's
+	// key — and everything after it — is absent.
+	if got := m.Cache.Len(); got != 2 {
+		t.Errorf("cache entries after failure = %d, want 2 (lower, opt)", got)
+	}
+
+	// Retry: the prefix is served from cache, the failing pass re-executes
+	// (no memoized error), and the cache is unchanged.
+	err = m.Run(plan, &Ctx{Source: testSource(), Key: "t|fail"})
+	if !errors.As(err, &pe) || pe.Pass != "explode" {
+		t.Fatalf("retry error = %v", err)
+	}
+	if runs != 2 {
+		t.Errorf("failing pass ran %d times across two attempts, want 2", runs)
+	}
+	if got := m.Cache.Len(); got != 2 {
+		t.Errorf("cache entries after retry = %d, want 2", got)
+	}
+}
+
+// corruptPass breaks the program's IR without reporting an error — the
+// between-pass validator must catch it and name this pass.
+type corruptPass struct{}
+
+func (corruptPass) Name() string { return "corrupt" }
+func (corruptPass) Run(_ *Ctx, p *ir.Program) error {
+	p.Funcs[0].Blocks[0].Ops[0].A = ir.Reg(9999)
+	return nil
+}
+
+// TestValidationNamesPassAndMinimizesRepro pins the debugging workflow the
+// pass manager enables: when ir.Validate trips between passes, the error
+// names the offending pass, IsValidation distinguishes it from pass
+// failures, and progen.Minimize shrinks the triggering program to a
+// minimal repro whose seed the report carries.
+func TestValidationNamesPassAndMinimizesRepro(t *testing.T) {
+	const seed = 7
+	m := NewManager()
+	plan := Plan{Name: "corruptor", Passes: []Pass{Lower{}, Opt{}, corruptPass{}}}
+	failsWith := func(s progen.Spec) bool {
+		err := m.Run(plan, &Ctx{Source: progen.Render(s)})
+		var pe *PassError
+		return errors.As(err, &pe) && pe.Pass == "corrupt" && pe.Validation
+	}
+
+	spec := progen.Generate(seed, progen.Options{})
+	if !failsWith(spec) {
+		t.Fatal("corrupting pass did not trip the between-pass validator")
+	}
+	err := m.Run(plan, &Ctx{Source: progen.Render(spec)})
+	if !IsValidation(err) {
+		t.Fatalf("IsValidation(%v) = false", err)
+	}
+	var pe *PassError
+	errors.As(err, &pe)
+	if pe.Pass != "corrupt" || pe.Index != 2 {
+		t.Errorf("validation PassError = %+v, want pass %q at #2", pe, "corrupt")
+	}
+	if IsValidation(errors.New("plain")) {
+		t.Error("IsValidation accepted a non-pipeline error")
+	}
+
+	// The repro report: the minimized spec still fails identically and is
+	// reproducible from its seed alone.
+	min := progen.Minimize(spec, failsWith)
+	if !failsWith(min) {
+		t.Fatal("minimized spec no longer fails")
+	}
+	if min.Seed != seed {
+		t.Errorf("minimized spec lost its seed: %d, want %d", min.Seed, seed)
+	}
+	if len(min.Frags) > len(spec.Frags) {
+		t.Errorf("minimize grew the program: %d frags from %d", len(min.Frags), len(spec.Frags))
+	}
+	t.Logf("repro: seed=%d frags=%d→%d trip=%d→%d\n%s",
+		min.Seed, len(spec.Frags), len(min.Frags), spec.Trip, min.Trip,
+		fmt.Sprintf("pass %s: %v", pe.Pass, pe.Err))
+}
+
+// TestDumpDisablesCacheAndSeesEveryPass pins -dump-ir semantics: with a
+// dump hook attached every pass genuinely runs (no cache serving) and the
+// hook sees the program after each program-producing pass.
+func TestDumpDisablesCacheAndSeesEveryPass(t *testing.T) {
+	m := NewManager()
+	m.Cache = cache.New()
+	var dumped []string
+	m.Dump = func(plan, pass string, index int, prog *ir.Program) {
+		dumped = append(dumped, fmt.Sprintf("%s/%s#%d", plan, pass, index))
+	}
+	plan := Plan{Name: "D", Passes: []Pass{Lower{}, Opt{}, Profile{}}}
+	if err := m.Run(plan, &Ctx{Source: testSource(), Key: "t|dump"}); err != nil {
+		t.Fatal(err)
+	}
+	if m.Cache.Len() != 0 {
+		t.Errorf("dump run populated the cache (%d entries)", m.Cache.Len())
+	}
+	want := []string{"D/lower#0", "D/opt#1", "D/profile#2"}
+	if len(dumped) != len(want) {
+		t.Fatalf("dumped %v, want %v", dumped, want)
+	}
+	for i := range want {
+		if dumped[i] != want[i] {
+			t.Fatalf("dumped %v, want %v", dumped, want)
+		}
+	}
+}
+
+// TestSharedPrefixCloneForMutators proves a mutating suffix pass never
+// writes through cache-shared state: the memoized program is cloned first.
+type touchPass struct{}
+
+func (touchPass) Name() string { return "touch" }
+func (touchPass) Run(_ *Ctx, p *ir.Program) error {
+	p.Funcs[0].Name = p.Funcs[0].Name + "_touched"
+	return nil
+}
+
+func TestSharedPrefixCloneForMutators(t *testing.T) {
+	src := testSource()
+	m := &Manager{Cache: cache.New()}
+	base := Plan{Name: "base", Passes: []Pass{Lower{}, Opt{}}}
+	ctx0 := &Ctx{Source: src, Key: "t|mut"}
+	if err := m.Run(base, ctx0); err != nil {
+		t.Fatal(err)
+	}
+	cachedName := ctx0.Prog.Funcs[0].Name
+
+	mutating := Plan{Name: "mut", Passes: []Pass{Lower{}, Opt{}, touchPass{}}}
+	ctx := &Ctx{Source: src, Key: "t|mut"}
+	if err := m.Run(mutating, ctx); err != nil {
+		t.Fatal(err)
+	}
+	if ctx.Shared {
+		t.Error("ctx still marked Shared after a mutating pass")
+	}
+	if ctx.Prog == ctx0.Prog {
+		t.Fatal("mutating pass ran directly on the cache-shared program")
+	}
+	if ctx0.Prog.Funcs[0].Name != cachedName {
+		t.Errorf("cache-shared program mutated: %q", ctx0.Prog.Funcs[0].Name)
+	}
+}

@@ -29,8 +29,7 @@ import (
 	"strconv"
 
 	"vliwvp/internal/ir"
-	"vliwvp/internal/lang"
-	"vliwvp/internal/opt"
+	"vliwvp/internal/pipeline"
 	"vliwvp/internal/progen"
 )
 
@@ -51,17 +50,21 @@ func (b *Benchmark) SourceHash() string {
 	return strconv.FormatUint(h.Sum64(), 16)
 }
 
-// Compile parses, lowers, and optimizes the kernel.
+// compilePlan is the kernel compile flow: lower, then optimize (validated
+// by the pass manager — opt is a structural pass).
+var compilePlan = pipeline.Plan{Name: "workload", Passes: []pipeline.Pass{
+	pipeline.Lower{}, pipeline.Opt{},
+}}
+
+// Compile parses, lowers, and optimizes the kernel through the standard
+// compile pipeline. The returned program is freshly built (never
+// cache-shared), so callers may mutate it.
 func (b *Benchmark) Compile() (*ir.Program, error) {
-	prog, err := lang.Compile(b.Source)
-	if err != nil {
+	ctx := &pipeline.Ctx{Source: b.Source}
+	if err := pipeline.NewManager().Run(compilePlan, ctx); err != nil {
 		return nil, fmt.Errorf("workload %s: %w", b.Name, err)
 	}
-	opt.Optimize(prog)
-	if err := prog.Validate(); err != nil {
-		return nil, fmt.Errorf("workload %s: %w", b.Name, err)
-	}
-	return prog, nil
+	return ctx.Prog, nil
 }
 
 // All returns the benchmarks in the paper's table order.

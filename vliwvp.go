@@ -29,9 +29,8 @@ import (
 	"vliwvp/internal/ifconv"
 	"vliwvp/internal/interp"
 	"vliwvp/internal/ir"
-	"vliwvp/internal/lang"
 	"vliwvp/internal/machine"
-	"vliwvp/internal/opt"
+	"vliwvp/internal/pipeline"
 	"vliwvp/internal/profile"
 	"vliwvp/internal/regions"
 	"vliwvp/internal/speculate"
@@ -74,53 +73,45 @@ func (s *System) Experiments() *exp.Runner {
 	return r
 }
 
+// compilePlan is the system's compile flow: lower, optimize, then the
+// optional region passes (if-conversion, superblock formation). Every pass
+// is validated by the pipeline manager at its historical checkpoints.
+func (s *System) compilePlan() pipeline.Plan {
+	passes := []pipeline.Pass{pipeline.Lower{}, pipeline.Opt{}}
+	name := "compile"
+	if s.IfConvert {
+		passes = append(passes, pipeline.IfConvert{Cfg: ifconv.DefaultConfig()})
+		name += "+ifconv"
+	}
+	if s.Regions {
+		passes = append(passes, pipeline.Regions{Cfg: regions.DefaultConfig()})
+		name += "+regions"
+	}
+	return pipeline.Plan{Name: name, Passes: passes}
+}
+
 // Compile parses VL source, lowers it to IR, optimizes it, and applies the
 // system's optional region passes (if-conversion, superblock formation).
 func (s *System) Compile(src string) (*Program, error) {
-	p, err := lang.Compile(src)
-	if err != nil {
+	ctx := &pipeline.Ctx{Source: src, Machine: s.Machine}
+	if err := pipeline.NewManager().Run(s.compilePlan(), ctx); err != nil {
 		return nil, err
 	}
-	opt.Optimize(p)
-	if err := s.applyRegionPasses(p); err != nil {
-		return nil, err
-	}
-	if err := p.Validate(); err != nil {
-		return nil, err
-	}
-	return &Program{sys: s, IR: p}, nil
+	return &Program{sys: s, IR: ctx.Prog}, nil
 }
 
-// applyRegionPasses runs the optional pre-speculation region passes.
-func (s *System) applyRegionPasses(p *ir.Program) error {
-	if s.IfConvert {
-		ifconv.Convert(p, ifconv.DefaultConfig())
-	}
-	if s.Regions {
-		prof, err := profile.Collect(p, "main")
-		if err != nil {
-			return fmt.Errorf("vliwvp: region-formation profile: %w", err)
-		}
-		regions.Form(p, prof, regions.DefaultConfig())
-	}
-	return nil
-}
-
-// CompileBenchmark compiles one of the built-in benchmark kernels with the
-// system's optional region passes.
+// CompileBenchmark compiles one of the built-in benchmark kernels. It is
+// the same pipeline invocation as Compile, rooted at the kernel's source.
 func (s *System) CompileBenchmark(name string) (*Program, error) {
 	b := workload.ByName(name)
 	if b == nil {
 		return nil, fmt.Errorf("vliwvp: unknown benchmark %q", name)
 	}
-	p, err := b.Compile()
+	p, err := s.Compile(b.Source)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("workload %s: %w", b.Name, err)
 	}
-	if err := s.applyRegionPasses(p); err != nil {
-		return nil, err
-	}
-	return &Program{sys: s, IR: p}, nil
+	return p, nil
 }
 
 // Benchmarks lists the built-in benchmark kernels (the paper's SPEC95
@@ -160,11 +151,14 @@ func (p *Program) Profile() (*profile.Profile, error) {
 // insert LdPred and check-prediction forms, mark speculative and
 // non-speculative operations, and assign Synchronization-register bits.
 func (p *Program) Speculate(prof *profile.Profile) (*SpecProgram, error) {
-	res, err := speculate.Transform(p.IR, prof, p.sys.Config)
-	if err != nil {
+	plan := pipeline.Plan{Name: "speculate", Passes: []pipeline.Pass{
+		pipeline.Speculate{Cfg: p.sys.Config},
+	}}
+	ctx := &pipeline.Ctx{Prog: p.IR, Prof: prof, Machine: p.sys.Machine}
+	if err := pipeline.NewManager().Run(plan, ctx); err != nil {
 		return nil, err
 	}
-	return &SpecProgram{sys: p.sys, Res: res}, nil
+	return &SpecProgram{sys: p.sys, Res: ctx.Spec}, nil
 }
 
 // SimResult is the outcome of a dual-engine simulation.
