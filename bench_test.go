@@ -363,6 +363,79 @@ func BenchmarkTimingModelNoSink(b *testing.B) {
 	}
 }
 
+// BenchmarkSimulatorRunNoSink extends the zero-alloc acceptance property
+// to the full decode-once engine: a warmed simulator must report 0
+// allocs/op for an entire end-to-end Run with no sink — pooled frames,
+// block instances, the event wheel, and predictor tables all recycle. The
+// benchmark asserts the zero (via testing.AllocsPerRun) before timing, so
+// a pooling regression fails `go test -bench` rather than drifting.
+func BenchmarkSimulatorRunNoSink(b *testing.B) {
+	sim := decodedCompressSim(b)
+	if allocs := testing.AllocsPerRun(2, func() {
+		if _, err := sim.Run("main"); err != nil {
+			b.Fatal(err)
+		}
+	}); allocs != 0 {
+		b.Fatalf("steady-state Run allocates %.1f objects over %d cycles, want 0", allocs, sim.Cycles)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Run("main"); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(sim.Cycles)*float64(b.N)/b.Elapsed().Seconds(), "cycles/s")
+}
+
+// BenchmarkBatchRunAllNoSink measures batched corpus execution over one
+// image and asserts the same steady-state zero-allocation property for
+// Batch.RunAllInto.
+func BenchmarkBatchRunAllNoSink(b *testing.B) {
+	sim := decodedCompressSim(b)
+	items := []core.BatchItem{
+		{Name: "a", Img: sim.Image(), Schemes: sim.Schemes},
+		{Name: "b", Img: sim.Image(), Schemes: sim.Schemes},
+	}
+	batch := core.NewBatch()
+	dst := make([]core.BatchResult, 0, len(items))
+	run := func() {
+		dst = batch.RunAllInto(dst[:0], items)
+		for i := range dst {
+			if dst[i].Err != nil {
+				b.Fatalf("%s: %v", dst[i].Name, dst[i].Err)
+			}
+		}
+	}
+	run() // warm the pooled simulator
+	if allocs := testing.AllocsPerRun(2, run); allocs != 0 {
+		b.Fatalf("steady-state RunAllInto allocates %.1f objects, want 0", allocs)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		run()
+	}
+}
+
+// decodedCompressSim wires the speculative compress kernel onto the
+// decode-once engine and warms its pools (compress never prints, so the
+// steady state is allocation-free).
+func decodedCompressSim(b *testing.B) *core.Simulator {
+	b.Helper()
+	r := exp.NewRunner(machine.W4)
+	sim, err := r.SpecSim(workload.ByName("compress"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := sim.Run("main"); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return sim
+}
+
 // BenchmarkTimingModelJSONLSink measures the enabled-path cost of the
 // typed event layer for comparison against BenchmarkTimingModelNoSink.
 func BenchmarkTimingModelJSONLSink(b *testing.B) {

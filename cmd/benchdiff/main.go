@@ -13,6 +13,14 @@
 // but missing from the new record fails (a silently dropped benchmark is
 // a gate escape); new entries absent from the baseline are reported and
 // pass.
+//
+// Two absolute gates ride on top of the relative comparison, both
+// evaluated within the new record alone (so they hold on any host):
+// sim/decoded-grid must report zero allocations per run — the decode-once
+// engine's steady-state pooling contract — and the sim/legacy-grid to
+// sim/decoded-grid wall-time ratio must stay at or above -engine-speedup
+// (default 2.0), since both rows are measured back-to-back on the same
+// machine over identical compile products.
 package main
 
 import (
@@ -56,6 +64,8 @@ func main() {
 	newPath := flag.String("new", "", "freshly measured perf record to gate")
 	tol := flag.Float64("tol", 0.10, "relative tolerance for cycles and allocations")
 	wallTol := flag.Float64("wall-tol", 0, "relative tolerance for wall time (0 = ignore wall time)")
+	engineSpeedup := flag.Float64("engine-speedup", 2.0,
+		"minimum legacy/decoded wall-time ratio within the new record (0 = skip)")
 	flag.Parse()
 	if *newPath == "" {
 		fmt.Fprintln(os.Stderr, "benchdiff: -new is required")
@@ -105,6 +115,26 @@ func main() {
 	for _, ne := range now.Entries {
 		if base.Entry(ne.Name) == nil {
 			fmt.Printf("note: new entry %s (no baseline; not gated)\n", ne.Name)
+		}
+	}
+
+	// Absolute gates on the engine-comparison rows of the new record.
+	if dec := now.Entry("sim/decoded-grid"); dec != nil {
+		if dec.AllocsPerOp != 0 {
+			fails = append(fails, fmt.Sprintf(
+				"FAIL %-22s %-14s %12d allocs (decoded engine must be allocation-free in steady state)",
+				dec.Name, "allocs_per_op", dec.AllocsPerOp))
+		}
+		if leg := now.Entry("sim/legacy-grid"); leg != nil && *engineSpeedup > 0 && dec.WallNS > 0 {
+			ratio := float64(leg.WallNS) / float64(dec.WallNS)
+			if ratio < *engineSpeedup {
+				fails = append(fails, fmt.Sprintf(
+					"FAIL %-22s %-14s %.2fx legacy/decoded wall ratio (< %.2fx floor)",
+					dec.Name, "wall_ratio", ratio, *engineSpeedup))
+			} else {
+				fmt.Printf("ok   %-22s %-14s %.2fx legacy/decoded wall ratio (>= %.2fx floor)\n",
+					dec.Name, "wall_ratio", ratio, *engineSpeedup)
+			}
 		}
 	}
 

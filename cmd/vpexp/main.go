@@ -12,6 +12,7 @@
 //	vpexp -bench-json BENCH.json [-bench-count 5]
 //	vpexp -conform [-progen-seed 1] [-progen-count 200] [-j N]
 //	vpexp -progen-seed 17 -progen-count 2
+//	vpexp -batch 64 [-progen-seed 1] [-mach 4-wide] [-j N]
 //
 // -j bounds the worker pool the experiment cells fan across; any value
 // renders byte-identical tables. -oracle differentially tests the
@@ -24,6 +25,12 @@
 // seed-reproducible program for any violated invariant. Without -conform,
 // -progen-count alone prints the generated VL programs, which is how a
 // reported counterexample seed is inspected.
+//
+// -batch compiles a seed-reproducible progen corpus once (decoded images
+// come from the pass cache) and executes every kernel through one batched
+// simulator, reusing decode products, predictor tables, and pooled frames
+// across the corpus; each kernel's result is validated against the
+// sequential interpreter.
 //
 // -sim runs one benchmark on the speculative dual-engine machine and is
 // the observability entry point: -trace streams the typed event log
@@ -79,6 +86,7 @@ func main() {
 	dumpIR := flag.String("dump-ir", "", "write the IR after every compile pass to this directory (disables the pass cache)")
 	listPasses := flag.Bool("passes", false, "print the pass plans the current configuration composes and exit")
 	conformMode := flag.Bool("conform", false, "run the metamorphic conformance suite over generated programs and exit")
+	batchCount := flag.Int("batch", 0, "run N generated kernels (from -progen-seed) through one batched simulator and exit")
 	progenSeed := flag.Int64("progen-seed", 1, "first program-generator seed for -conform (or for printing programs)")
 	progenCount := flag.Int("progen-count", 0, "number of generated programs; default 200 under -conform")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -140,6 +148,11 @@ func main() {
 			n = 200
 		}
 		runConform(*progenSeed, n, *jobs)
+		return
+	case *batchCount > 0:
+		if err := runBatch(d, tune, *progenSeed, *batchCount, *jobs); err != nil {
+			fatal(err)
+		}
 		return
 	case *progenCount > 0:
 		for i := 0; i < *progenCount; i++ {
@@ -387,6 +400,20 @@ func runSim(d *machine.Desc, tune func(*exp.Runner), bench, traceFile, traceForm
 		}
 		return f.Close()
 	}
+	return nil
+}
+
+// runBatch compiles a generated corpus and executes it through one batched
+// simulator, printing the per-kernel table.
+func runBatch(d *machine.Desc, tune func(*exp.Runner), seed int64, n, jobs int) error {
+	r := exp.NewRunner(d)
+	r.Jobs = jobs
+	tune(r)
+	t, _, err := exp.RenderBatch(r, seed, n)
+	if err != nil {
+		return err
+	}
+	fmt.Println(t)
 	return nil
 }
 

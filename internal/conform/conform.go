@@ -45,7 +45,6 @@ import (
 	"vliwvp/internal/predict"
 	"vliwvp/internal/profile"
 	"vliwvp/internal/progen"
-	"vliwvp/internal/sched"
 	"vliwvp/internal/speculate"
 )
 
@@ -206,6 +205,21 @@ func CheckSeed(seed int64, opt Options) (*Failure, Stats, error) {
 	return fail, stats, nil
 }
 
+// Compile runs the conformance front end — lower, optimize, value
+// profile — over VL source (typically progen output). Exported so the
+// engine-diff suite compiles its corpus exactly the way the conformance
+// harness does.
+func Compile(src string) (*ir.Program, *profile.Profile, error) {
+	fctx := &pipeline.Ctx{Source: src}
+	frontPlan := pipeline.Plan{Name: "conform-front", Passes: []pipeline.Pass{
+		pipeline.Lower{}, pipeline.Opt{}, pipeline.Profile{},
+	}}
+	if err := mgr.Run(frontPlan, fctx); err != nil {
+		return nil, nil, err
+	}
+	return fctx.Prog, fctx.Prof, nil
+}
+
 // refResult is the sequential interpreter's architectural outcome.
 type refResult struct {
 	value  uint64
@@ -218,17 +232,13 @@ type refResult struct {
 // perfect within a cell, then the CCB monotonicity sweep).
 func checkSpec(spec progen.Spec, opt Options) (*Failure, Stats, error) {
 	src := progen.Render(spec)
-	fctx := &pipeline.Ctx{Source: src}
-	frontPlan := pipeline.Plan{Name: "conform-front", Passes: []pipeline.Pass{
-		pipeline.Lower{}, pipeline.Opt{}, pipeline.Profile{},
-	}}
-	if err := mgr.Run(frontPlan, fctx); err != nil {
+	prog, prof, err := Compile(src)
+	if err != nil {
 		// A generated program that fails to compile, optimize to valid IR,
 		// or profile is harness breakage, always a bug; the PassError names
 		// the offending pass.
 		return nil, Stats{}, fmt.Errorf("conform: seed %d front end: %w", spec.Seed, err)
 	}
-	prog, prof := fctx.Prog, fctx.Prof
 
 	m := interp.New(prog)
 	v, err := m.Run("main")
@@ -289,30 +299,67 @@ func specFailure(err error, cell Cell) (*Failure, error) {
 	return nil, err
 }
 
-// schedule builds the per-block VLIW schedules for a (possibly
-// transformed) program.
-func schedule(prog *ir.Program, d *machine.Desc) (*sched.ProgSched, error) {
+// scheduleDecode builds the per-block VLIW schedules for a (possibly
+// transformed) program and lowers the result into the simulator's dense
+// image through the pipeline decode pass.
+func scheduleDecode(prog *ir.Program, d *machine.Desc) (*core.Image, error) {
 	plan := pipeline.Plan{Name: "conform-schedule", Passes: []pipeline.Pass{
-		pipeline.Schedule{DDG: ddg.Options{}},
+		pipeline.Schedule{DDG: ddg.Options{}}, pipeline.Decode{},
 	}}
 	ctx := &pipeline.Ctx{Prog: prog, Machine: d, Shared: true}
 	if err := mgr.Run(plan, ctx); err != nil {
 		return nil, err
 	}
-	return ctx.Sched, nil
+	return ctx.Image, nil
+}
+
+// CellPipeline is one cell's compiled speculative pipeline: the transform
+// result, the decoded execution image, and the per-site predictor schemes.
+// The image is immutable — any number of simulators (one per engine, one
+// per goroutine) may bind to it. The engine-diff suite uses this to run
+// the decoded and legacy engines over identical compiles.
+type CellPipeline struct {
+	Spec    *speculate.Result
+	Img     *core.Image
+	Schemes map[int]profile.Scheme
+}
+
+// PrepareCell runs a cell's speculative pipeline — transform (with the
+// cell's CCB-clamped Synchronization-bit budget), schedule, decode — over
+// a compiled front end. A pipeline validation error means the transform
+// produced invalid IR (map it with pipeline.IsValidation); any other error
+// is harness breakage.
+func PrepareCell(prog *ir.Program, prof *profile.Profile, cell Cell) (*CellPipeline, error) {
+	res, schemes, err := transform(prog, prof, cell)
+	if err != nil {
+		return nil, err
+	}
+	img, err := scheduleDecode(res.Prog, cell.D)
+	if err != nil {
+		return nil, err
+	}
+	return &CellPipeline{Spec: res, Img: img, Schemes: schemes}, nil
+}
+
+// NewSim binds a fresh decoded-engine simulator to the compiled cell.
+func (cp *CellPipeline) NewSim(cell Cell) *core.Simulator {
+	sim := core.NewSimulatorFromImage(cp.Img, cp.Schemes)
+	if cell.CCBCapacity > 0 {
+		sim.CCBCapacity = cell.CCBCapacity
+	}
+	sim.SerialRecovery = cell.SerialRecovery
+	sim.BranchPenalty = cell.BranchPenalty
+	return sim
 }
 
 // buildSim wires a dynamic simulator for one cell over an already
 // transformed program.
 func buildSim(res *speculate.Result, schemes map[int]profile.Scheme, cell Cell, opt Options) (*core.Simulator, error) {
-	ps, err := schedule(res.Prog, cell.D)
+	img, err := scheduleDecode(res.Prog, cell.D)
 	if err != nil {
 		return nil, err
 	}
-	sim, err := core.NewSimulator(res.Prog, ps, cell.D, schemes)
-	if err != nil {
-		return nil, err
-	}
+	sim := core.NewSimulatorFromImage(img, schemes)
 	if cell.CCBCapacity > 0 {
 		sim.CCBCapacity = cell.CCBCapacity
 	}
@@ -478,14 +525,11 @@ func checkCell(prog *ir.Program, prof *profile.Profile, ref *refResult, cell Cel
 // scheduled, scoreboarded, but with no speculation anywhere.
 func baselineCycles(prog *ir.Program, cell Cell, opt Options) (int64, error) {
 	base := prog.Clone()
-	ps, err := schedule(base, cell.D)
+	img, err := scheduleDecode(base, cell.D)
 	if err != nil {
 		return 0, err
 	}
-	sim, err := core.NewSimulator(base, ps, cell.D, nil)
-	if err != nil {
-		return 0, err
-	}
+	sim := core.NewSimulatorFromImage(img, nil)
 	if opt.Tamper != nil {
 		opt.Tamper(sim)
 	}

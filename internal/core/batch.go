@@ -1,0 +1,116 @@
+package core
+
+import (
+	"vliwvp/internal/profile"
+)
+
+// Batch runs a corpus of decoded programs through reusable simulators,
+// amortizing the costs a one-shot NewSimulator+Run pays per program:
+// every distinct Image gets exactly one Simulator, so repeat executions
+// of the same image (sweep repetitions, warm benchmark loops, multi-arg
+// corpora) hit the frame/instance pools, the retained predictor table,
+// and the preallocated event wheel instead of reallocating them. The
+// images themselves are decoded by the caller — typically once per
+// program via the pipeline's decode pass and cached — so a corpus sweep
+// decodes N programs once and simulates them M times at steady-state
+// zero allocation per cycle.
+//
+// A Batch is not safe for concurrent use; callers that fan a corpus
+// across goroutines use one Batch per worker (as exp.RunBatchCorpus
+// does), which also keeps per-image predictor state deterministic.
+type Batch struct {
+	// CCBCapacity overrides the Compensation Code Buffer size on every
+	// simulator the batch builds (0 = DefaultCCBCapacity).
+	CCBCapacity int
+	// MaxCycles overrides the runaway guard (0 = the simulator default).
+	MaxCycles int64
+
+	sims map[*Image]*Simulator
+}
+
+// BatchItem is one corpus execution: a decoded image, the predictor
+// schemes of its sites, and the entry call.
+type BatchItem struct {
+	Name    string
+	Img     *Image
+	Schemes map[int]profile.Scheme
+	// Entry is the function to run ("main" when empty).
+	Entry string
+	Args  []uint64
+}
+
+// BatchResult is one item's outcome and headline statistics.
+type BatchResult struct {
+	Name  string
+	Value uint64
+	Err   error
+
+	Cycles      int64
+	Instrs      int64
+	Ops         int64
+	Predictions int64
+	Mispredicts int64
+	CCEExecuted int64
+	CCEFlushed  int64
+	Output      []string
+}
+
+// NewBatch returns an empty batch.
+func NewBatch() *Batch {
+	return &Batch{sims: make(map[*Image]*Simulator)}
+}
+
+// simFor returns the batch's simulator for an image, building it on first
+// use and rebinding its per-item configuration otherwise.
+func (b *Batch) simFor(it *BatchItem) *Simulator {
+	sim := b.sims[it.Img]
+	if sim == nil {
+		sim = NewSimulatorFromImage(it.Img, it.Schemes)
+		if b.CCBCapacity > 0 {
+			sim.CCBCapacity = b.CCBCapacity
+		}
+		if b.MaxCycles > 0 {
+			sim.MaxCycles = b.MaxCycles
+		}
+		b.sims[it.Img] = sim
+		return sim
+	}
+	// Same image, possibly different schemes: the predictor table notices
+	// per-site scheme changes and rebuilds only those slots.
+	sim.Schemes = it.Schemes
+	return sim
+}
+
+// RunAll executes every item in order and returns one result per item. A
+// failing item reports its error in its result; the batch continues.
+func (b *Batch) RunAll(items []BatchItem) []BatchResult {
+	return b.RunAllInto(make([]BatchResult, 0, len(items)), items)
+}
+
+// RunAllInto is RunAll appending into a caller-owned slice, so steady-state
+// repeat sweeps (dst = prev[:0]) allocate nothing for the results either.
+func (b *Batch) RunAllInto(dst []BatchResult, items []BatchItem) []BatchResult {
+	for i := range items {
+		it := &items[i]
+		sim := b.simFor(it)
+		entry := it.Entry
+		if entry == "" {
+			entry = "main"
+		}
+		v, err := sim.Run(entry, it.Args...)
+		dst = append(dst, BatchResult{
+			Name:        it.Name,
+			Value:       v,
+			Err:         err,
+			Cycles:      sim.Cycles,
+			Instrs:      sim.Instrs,
+			Ops:         sim.Ops,
+			Predictions: sim.Predictions,
+			Mispredicts: sim.Mispredicts,
+			CCEExecuted: sim.CCEExecuted,
+			CCEFlushed:  sim.CCEFlushed,
+			Output:      sim.Output,
+		})
+	}
+	return dst
+}

@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"math"
 	"math/bits"
-	"sort"
 	"strconv"
 
 	"vliwvp/internal/interp"
@@ -20,6 +19,25 @@ import (
 // value-predictor tables and full architectural state. Its results are
 // validated against the sequential interpreter: same memory image, same
 // output, same return value — only faster in cycles.
+//
+// This is the decode-once engine: NewSimulator lowers the program into a
+// dense Image (see image.go) exactly once, and Run executes against flat
+// arrays — a ring-buffer event wheel instead of a cycle-keyed closure map,
+// pooled frames and block instances instead of per-call allocations, and a
+// dense predictor slice instead of a map. With no Sink or Debug attached,
+// the warmed steady state allocates nothing per cycle; the engine-diff
+// suite pins it cycle-, event-, and state-identical to LegacySimulator.
+//
+// Pooling invariants (the Reset contract):
+//   - a frame is recycled only when it is dead (popped or reset) AND no
+//     in-flight wheel event still references it (pin count zero) — late
+//     write-backs to a dead frame must still arbitrate and trace exactly
+//     as the legacy engine's closures did;
+//   - a block instance is recycled only when no frame runs it, no CCB
+//     entry of it is live, and no check-resolve event references it;
+//   - acquisition clears registers, scoreboard, sequence numbers, site
+//     state, and CCB entry links, so no Synchronization bits, CCB state,
+//     or predictor state can leak between Run calls (reset_test.go).
 type Simulator struct {
 	Prog     *ir.Program
 	Sched    *sched.ProgSched
@@ -96,26 +114,45 @@ type Simulator struct {
 	ccbOcc [ccbOccBuckets]int64
 
 	// internal state
+	img        *Image
 	stallUntil int64 // serial-mode recovery stall horizon
 	seq        int64
 	mem        *interp.Machine // reused for operation semantics + memory
-	preds      map[int]predict.Predictor
 	syncBusy   uint64
 	cycle      int64
-	events     map[int64][]func()
-	ccb        []*dynEntry
+	wheel      eventWheel
+	ccb        []ccbRef
 	ccbHead    int
 	stack      []*frame
 	scratch    []uint64
 	simErr     error
 	callDepth  int
+	finalRegs  []uint64
+
+	// Predictor table, dense by prediction-site ID. predRun marks the run
+	// epoch each slot was (re)initialized in, so reusable predictors are
+	// Reset instead of reallocated and the NewPredictor hook still fires
+	// once per site per Run.
+	preds      []predict.Predictor
+	predRun    []int64
+	predCustom []bool
+	predScheme []profile.Scheme
+	runEpoch   int64
+
+	// Pools (see the type comment for the recycling invariants).
+	framePool []*frame
+	instPool  []*blockInst
 }
+
+// ccbOccBuckets sizes the occupancy histogram: buckets <=1, <=2, <=4 ...
+// <=1024 plus overflow.
+const ccbOccBuckets = 12
+
+const maxSimCallDepth = 1000
 
 // frame is one activation record.
 type frame struct {
-	f        *ir.Func
-	fs       *sched.FuncSched
-	ans      []*BlockAnalysis
+	fn       *imgFunc
 	regs     []uint64
 	readyAt  []int64 // scoreboard: cycle each register's pending write lands
 	lastSeq  []int64 // sequence number of the newest writer per register
@@ -125,14 +162,25 @@ type frame struct {
 	retDest  ir.Reg     // caller-side destination (stored on the CALLEE's frame)
 	returned bool
 	retVal   uint64
+
+	pins   int32 // in-flight wheel events referencing this frame
+	dead   bool  // popped (or reset); recyclable once pins reach zero
+	pooled bool
 }
 
-// blockInst is the per-dynamic-instance speculation state of a block.
+// blockInst is the per-dynamic-instance speculation state of a block. Its
+// CCB entries live in a reusable slab addressed by index (entryOf stores
+// index+1, 0 = none) so recycling never chases stale pointers.
 type blockInst struct {
-	an    *BlockAnalysis
-	sites []*siteInst
-	// entryOf maps op index -> CCB entry created by this instance.
-	entryOf map[int]*dynEntry
+	blk     *imgBlock
+	sites   []siteInst
+	entries []dynEntry
+	entryOf []int32 // block op index -> slab index + 1
+
+	live   int32 // CCB entries of this instance not yet retired
+	pins   int32 // in-flight check-resolve events referencing this instance
+	active bool  // some frame's current instance
+	pooled bool
 }
 
 // siteInst is one dynamic prediction.
@@ -143,29 +191,19 @@ type siteInst struct {
 	actual    uint64
 }
 
-// operand sources for CCB entries.
-type srcKind uint8
-
-const (
-	srcCorrect srcKind = iota
-	srcLdPred
-	srcSpec
-)
-
 type operandRef struct {
-	kind  srcKind
-	reg   ir.Reg
-	value uint64 // value observed at VLIW issue
-	site  *siteInst
-	src   *dynEntry
+	kind   srcKind
+	reg    ir.Reg
+	value  uint64 // value observed at VLIW issue
+	siteLi int32  // srcLdPred: block-local site index
+	srcIdx int32  // srcSpec: producer's slab index, -1 when it issued plain
 }
 
 // dynEntry is one Compensation Code Buffer entry (with its Operand Value
 // Buffer slots inlined).
 type dynEntry struct {
 	op       *ir.Op
-	opIdx    int
-	inst     *blockInst
+	opIdx    int32
 	fr       *frame
 	operands []operandRef
 	seq      int64 // write sequence of the entry's own VLIW write
@@ -177,46 +215,58 @@ type dynEntry struct {
 	bitCleared bool
 }
 
+// ccbRef addresses one buffered entry: the owning instance plus its slab
+// index (stable across slab growth, unlike a pointer).
+type ccbRef struct {
+	inst *blockInst
+	idx  int32
+}
+
 // NewSimulator wires a simulator for a scheduled (optionally transformed)
-// program.
+// program: it decodes the program into a dense image and binds an engine
+// to it. Use NewSimulatorFromImage to share one decoded image across
+// several simulators (or a Batch).
 func NewSimulator(prog *ir.Program, ps *sched.ProgSched, d *machine.Desc,
 	schemes map[int]profile.Scheme) (*Simulator, error) {
 
+	img, err := DecodeImage(prog, ps, d)
+	if err != nil {
+		return nil, err
+	}
+	return NewSimulatorFromImage(img, schemes), nil
+}
+
+// NewSimulatorFromImage binds a fresh engine to an already-decoded image.
+// The image is read-only and may be shared.
+func NewSimulatorFromImage(img *Image, schemes map[int]profile.Scheme) *Simulator {
 	s := &Simulator{
-		Prog:        prog,
-		Sched:       ps,
-		D:           d,
-		Analyses:    map[string][]*BlockAnalysis{},
+		Prog:        img.Prog,
+		Sched:       img.Sched,
+		D:           img.D,
+		Analyses:    img.analyses,
 		Schemes:     schemes,
 		CCBCapacity: DefaultCCBCapacity,
 		MaxCycles:   1 << 34,
-		preds:       map[int]predict.Predictor{},
-		events:      map[int64][]func(){},
+		img:         img,
+		scratch:     make([]uint64, img.maxRegs),
+		mem:         interp.New(img.Prog),
+		preds:       make([]predict.Predictor, img.numSites),
+		predRun:     make([]int64, img.numSites),
+		predCustom:  make([]bool, img.numSites),
+		predScheme:  make([]profile.Scheme, img.numSites),
 	}
-	maxRegs := 0
-	for _, f := range prog.Funcs {
-		ans := make([]*BlockAnalysis, len(f.Blocks))
-		for i, b := range f.Blocks {
-			an, err := Analyze(b)
-			if err != nil {
-				return nil, err
-			}
-			ans[i] = an
-		}
-		s.Analyses[f.Name] = ans
-		if f.NumRegs > maxRegs {
-			maxRegs = f.NumRegs
-		}
-	}
-	s.scratch = make([]uint64, maxRegs)
-	s.mem = interp.New(prog)
-	return s, nil
+	return s
 }
+
+// Image returns the decoded image the simulator executes.
+func (s *Simulator) Image() *Image { return s.img }
 
 // reset restores construction-time state so a reused Simulator's runs are
 // independent and reproducible: statistics (including MaxCCBOccupancy and
 // every stall counter), engine state, predictor tables, and the
-// architectural memory image all start fresh.
+// architectural memory image all start fresh. Frames and block instances
+// from the previous run return to the pools; the event wheel drains
+// unexecuted (drain-on-reset covers aborted runs).
 func (s *Simulator) reset() {
 	s.Cycles, s.Instrs, s.Ops = 0, 0, 0
 	s.StallSync, s.StallScore, s.StallCCB, s.StallBar = 0, 0, 0, 0
@@ -229,16 +279,23 @@ func (s *Simulator) reset() {
 	s.callDepth = 0
 	s.syncBusy = 0
 	s.simErr = nil
-	s.events = map[int64][]func(){}
-	s.ccb, s.ccbHead = nil, 0
-	s.stack = nil
-	s.preds = map[int]predict.Predictor{}
+	s.wheel.reset()
+	s.ccb, s.ccbHead = s.ccb[:0], 0
+	for _, fr := range s.stack {
+		if bi := fr.inst; bi != nil {
+			fr.inst = nil
+			bi.active = false
+			bi.pins, bi.live = 0, 0 // references died with the wheel and CCB
+			s.maybeReleaseInst(bi)
+		}
+		fr.dead = true
+		fr.pins = 0
+		s.maybeReleaseFrame(fr)
+	}
+	s.stack = s.stack[:0]
+	s.runEpoch++ // lazily invalidates the whole predictor table
 	s.mem.Reset()
 }
-
-// ccbOccBuckets sizes the occupancy histogram: buckets <=1, <=2, <=4 ...
-// <=1024 plus overflow.
-const ccbOccBuckets = 12
 
 // tracing reports whether any event consumer is attached; emitters guard
 // on it so the disabled path builds no events.
@@ -293,14 +350,16 @@ func (s *Simulator) PublishMetrics(reg *obs.Registry) {
 
 // Run executes the entry function and returns its result. Each call starts
 // from a fresh architectural state: a Simulator may be reused, and every
-// run reports independent statistics.
+// run reports independent statistics. After the first call, reuse hits the
+// frame/instance pools and the retained predictor table, so an untraced
+// steady-state Run performs no per-cycle heap allocation.
 func (s *Simulator) Run(entry string, args ...uint64) (uint64, error) {
-	f := s.Prog.Func(entry)
-	if f == nil {
+	fn := s.img.funcs[entry]
+	if fn == nil {
 		return 0, fmt.Errorf("core: no function %q", entry)
 	}
 	s.reset()
-	root := s.newFrame(f, ir.NoReg)
+	root := s.acquireFrame(fn, ir.NoReg)
 	copy(root.regs, args)
 	s.stack = append(s.stack, root)
 
@@ -310,12 +369,7 @@ func (s *Simulator) Run(entry string, args ...uint64) (uint64, error) {
 		}
 		// 1. Apply this cycle's events (bit clears, register write-backs,
 		// check resolutions).
-		if evs, ok := s.events[s.cycle]; ok {
-			for _, ev := range evs {
-				ev()
-			}
-			delete(s.events, s.cycle)
-		}
+		s.wheel.run(s.cycle, s.execEvent)
 		if s.simErr != nil {
 			return 0, s.simErr
 		}
@@ -334,34 +388,232 @@ func (s *Simulator) Run(entry string, args ...uint64) (uint64, error) {
 
 		if done {
 			// Drain: let outstanding events (writes) land for determinism.
-			for len(s.events) > 0 {
+			for s.wheel.len() > 0 {
 				s.cycle++
-				if evs, ok := s.events[s.cycle]; ok {
-					for _, ev := range evs {
-						ev()
-					}
-					delete(s.events, s.cycle)
-				}
+				s.wheel.run(s.cycle, s.execEvent)
 			}
 			s.Cycles = s.cycle + 1
 			s.Output = s.mem.Output
+			s.finalRegs = append(s.finalRegs[:0], root.regs...)
 			return root.retVal, s.simErr
 		}
 		s.cycle++
 	}
 }
 
-func (s *Simulator) newFrame(f *ir.Func, retDest ir.Reg) *frame {
-	return &frame{
-		f:       f,
-		fs:      s.Sched.Funcs[f.Name],
-		ans:     s.Analyses[f.Name],
-		regs:    make([]uint64, f.NumRegs),
-		readyAt: make([]int64, f.NumRegs),
-		lastSeq: make([]int64, f.NumRegs),
-		blockID: f.Entry,
-		retDest: retDest,
+// FinalRegs returns the root frame's register file as of the end of the
+// most recent successful Run (the architectural register state the
+// engine-diff suite compares). The slice is reused across runs.
+func (s *Simulator) FinalRegs() []uint64 { return s.finalRegs }
+
+// acquireFrame takes a frame from the pool (or allocates the first time)
+// and initializes it to the zero activation state of fn.
+func (s *Simulator) acquireFrame(fn *imgFunc, retDest ir.Reg) *frame {
+	var fr *frame
+	if n := len(s.framePool); n > 0 {
+		fr = s.framePool[n-1]
+		s.framePool = s.framePool[:n-1]
+	} else {
+		fr = &frame{}
 	}
+	fr.fn = fn
+	fr.regs = resizeU64(fr.regs, fn.numRegs)
+	fr.readyAt = resizeI64(fr.readyAt, fn.numRegs)
+	fr.lastSeq = resizeI64(fr.lastSeq, fn.numRegs)
+	fr.blockID = fn.entry
+	fr.instrIdx = 0
+	fr.inst = nil
+	fr.retDest = retDest
+	fr.returned = false
+	fr.retVal = 0
+	fr.pins = 0
+	fr.dead = false
+	fr.pooled = false
+	return fr
+}
+
+func (s *Simulator) maybeReleaseFrame(fr *frame) {
+	if fr.dead && fr.pins == 0 && !fr.pooled {
+		fr.pooled = true
+		fr.fn = nil
+		fr.inst = nil
+		s.framePool = append(s.framePool, fr)
+	}
+}
+
+// acquireInst takes a block instance from the pool and initializes it for
+// blk: sites zeroed, entry slab emptied, entry links cleared.
+func (s *Simulator) acquireInst(blk *imgBlock) *blockInst {
+	var bi *blockInst
+	if n := len(s.instPool); n > 0 {
+		bi = s.instPool[n-1]
+		s.instPool = s.instPool[:n-1]
+	} else {
+		bi = &blockInst{}
+	}
+	bi.blk = blk
+	bi.sites = resizeSites(bi.sites, len(blk.an.Sites))
+	bi.entryOf = resizeI32(bi.entryOf, len(blk.ops))
+	bi.entries = bi.entries[:0]
+	bi.live, bi.pins = 0, 0
+	bi.active = true
+	bi.pooled = false
+	return bi
+}
+
+func (s *Simulator) maybeReleaseInst(bi *blockInst) {
+	if !bi.active && bi.live == 0 && bi.pins == 0 && !bi.pooled {
+		bi.pooled = true
+		bi.blk = nil
+		s.instPool = append(s.instPool, bi)
+	}
+}
+
+// newEntry extends the instance's CCB slab by one zeroed entry (retaining
+// its operand slice capacity) and returns the slab index. Callers must
+// re-take entry pointers after any newEntry call: the slab may move.
+func (bi *blockInst) newEntry() int32 {
+	if len(bi.entries) < cap(bi.entries) {
+		bi.entries = bi.entries[:len(bi.entries)+1]
+	} else {
+		bi.entries = append(bi.entries, dynEntry{})
+	}
+	e := &bi.entries[len(bi.entries)-1]
+	ops := e.operands[:0]
+	*e = dynEntry{}
+	e.operands = ops
+	return int32(len(bi.entries) - 1)
+}
+
+func resizeU64(s []uint64, n int) []uint64 {
+	if cap(s) < n {
+		return make([]uint64, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}
+
+func resizeI64(s []int64, n int) []int64 {
+	if cap(s) < n {
+		return make([]int64, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}
+
+func resizeI32(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}
+
+func resizeSites(s []siteInst, n int) []siteInst {
+	if cap(s) < n {
+		return make([]siteInst, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = siteInst{}
+	}
+	return s
+}
+
+// schedule enqueues a typed event, pinning the pooled objects it
+// references; cycles at or before the current one execute immediately
+// (the legacy at() contract — unreachable with stock latencies, all >= 1).
+func (s *Simulator) schedule(cycle int64, ev wev) {
+	if cycle <= s.cycle {
+		s.execEventBody(&ev)
+		return
+	}
+	if ev.fr != nil {
+		ev.fr.pins++
+	}
+	if ev.inst != nil {
+		ev.inst.pins++
+	}
+	s.wheel.schedule(s.cycle, cycle, ev)
+}
+
+// execEvent runs one matured event and releases its pins.
+func (s *Simulator) execEvent(ev *wev) {
+	s.execEventBody(ev)
+	if ev.fr != nil {
+		ev.fr.pins--
+		s.maybeReleaseFrame(ev.fr)
+	}
+	if ev.inst != nil {
+		ev.inst.pins--
+		s.maybeReleaseInst(ev.inst)
+	}
+}
+
+// execEventBody applies an event's semantic action (the body of the
+// closure the legacy engine would have scheduled).
+func (s *Simulator) execEventBody(ev *wev) {
+	switch ev.kind {
+	case wevWrite:
+		s.applyWrite(ev.fr, ev.reg, ev.val, ev.seq)
+	case wevClearBits:
+		s.syncBusy &^= ev.mask
+	case wevCCEWriteback:
+		s.syncBusy &^= ev.mask // mask is zero when verification already cleared the bit
+		s.applyWrite(ev.fr, ev.reg, ev.val, ev.seq)
+	case wevCheckResolve:
+		s.resolveCheck(ev)
+	}
+}
+
+// resolveCheck completes a check-prediction load: the body of the legacy
+// engine's check closure, verbatim.
+func (s *Simulator) resolveCheck(ev *wev) {
+	si := &ev.inst.sites[ev.li]
+	actual := ev.val
+	si.resolved = true
+	si.actual = actual
+	if s.tracing() {
+		s.emit(&obs.Event{Cycle: s.cycle, Engine: obs.EngineVLIW,
+			Kind: obs.KindCheckResolve, Op: ev.op, Bit: -1, Site: ev.op.PredID,
+			Predicted: int64(si.predicted), Actual: int64(actual),
+			Correct: actual == si.predicted})
+	}
+	s.syncBusy &^= ev.mask // the LdPred bit always clears
+	if actual == si.predicted {
+		si.correct = true
+		s.clearVerifiedBits()
+	} else {
+		s.Mispredicts++
+		s.applyWrite(ev.fr, ev.reg, actual, ev.seq)
+		if s.SerialRecovery {
+			// Branch to the statically scheduled recovery block,
+			// run it serially on the main engine, branch back.
+			pen := s.BranchPenalty
+			rl, ok := s.RecoveryLen[ev.op.PredID]
+			if !ok {
+				rl = 1
+			}
+			until := s.cycle + int64(2*pen+rl)
+			if until > s.stallUntil {
+				s.stallUntil = until
+			}
+		}
+	}
+	if s.SerialRecovery {
+		s.drainResolvedSerial()
+	}
+	p := s.sitePredictor(ev.op.PredID)
+	p.Update(actual)
 }
 
 // stepVLIW attempts to issue the current long instruction of the top frame.
@@ -375,74 +627,72 @@ func (s *Simulator) stepVLIW() (bool, error) {
 		s.StallRecovery++
 		return false, nil
 	}
-	bs := fr.fs.Blocks[fr.blockID]
+	blk := &fr.fn.blocks[fr.blockID]
 	if fr.inst == nil {
-		fr.inst = s.newBlockInst(fr)
+		fr.inst = s.acquireInst(blk)
 	}
-	if fr.instrIdx >= len(bs.Instrs) {
+	if fr.instrIdx >= len(blk.instrs) {
 		// Empty block (no terminator would be invalid; handled at build).
-		return false, fmt.Errorf("core: ran off schedule of %s b%d", fr.f.Name, fr.blockID)
+		return false, fmt.Errorf("core: ran off schedule of %s b%d", fr.fn.f.Name, fr.blockID)
 	}
-	in := bs.Instrs[fr.instrIdx]
+	in := &blk.instrs[fr.instrIdx]
 
 	// Synchronization-register stall.
-	if in.WaitBits&s.syncBusy != 0 {
+	if in.waitBits&s.syncBusy != 0 {
 		s.StallSync++
 		if s.tracing() {
 			s.emit(&obs.Event{Cycle: s.cycle, Engine: obs.EngineVLIW,
-				Kind: obs.KindStallSync, Bit: -1, Wait: in.WaitBits, Busy: s.syncBusy})
+				Kind: obs.KindStallSync, Bit: -1, Wait: in.waitBits, Busy: s.syncBusy})
 		}
 		return false, nil
 	}
 	// Scoreboard stall: every source (and destination) register must have
 	// its pending write landed.
-	for _, op := range in.Ops {
-		for _, u := range op.Uses() {
+	for _, idx := range in.ops {
+		o := &blk.ops[idx]
+		for _, u := range o.uses {
 			if fr.readyAt[u] > s.cycle {
 				s.StallScore++
 				if s.tracing() {
 					s.emit(&obs.Event{Cycle: s.cycle, Engine: obs.EngineVLIW,
-						Kind: obs.KindStallScore, Op: op, Bit: -1, Reg: u})
+						Kind: obs.KindStallScore, Op: o.op, Bit: -1, Reg: u})
 				}
 				return false, nil
 			}
 		}
-		if d := op.Def(); d != ir.NoReg && fr.readyAt[d] > s.cycle {
+		if d := o.def; d != ir.NoReg && fr.readyAt[d] > s.cycle {
 			s.StallScore++
 			if s.tracing() {
 				s.emit(&obs.Event{Cycle: s.cycle, Engine: obs.EngineVLIW,
-					Kind: obs.KindStallScore, Op: op, Bit: -1, Reg: d})
+					Kind: obs.KindStallScore, Op: o.op, Bit: -1, Reg: d})
 			}
 			return false, nil
 		}
 	}
-	// Structural stalls: CCB space, Synchronization bit reuse, barriers.
-	specNeeded := 0
-	for _, op := range in.Ops {
-		if op.Speculative {
-			specNeeded++
-		}
-		if op.SyncBit != ir.NoBit && op.Code != ir.CheckLd && s.syncBusy&(1<<uint(op.SyncBit)) != 0 {
+	// Structural stalls: Synchronization bit reuse, barriers, CCB space.
+	for _, idx := range in.ops {
+		o := &blk.ops[idx]
+		if o.bitMask != 0 && o.op.Code != ir.CheckLd && s.syncBusy&o.bitMask != 0 {
 			s.StallSync++
 			if s.tracing() {
 				s.emit(&obs.Event{Cycle: s.cycle, Engine: obs.EngineVLIW,
-					Kind: obs.KindStallSync, Op: op, Bit: op.SyncBit,
-					Wait: 1 << uint(op.SyncBit), Busy: s.syncBusy})
+					Kind: obs.KindStallSync, Op: o.op, Bit: o.op.SyncBit,
+					Wait: o.bitMask, Busy: s.syncBusy})
 			}
 			return false, nil
 		}
-		if op.Code == ir.Call || op.Code == ir.Ret {
+		if o.op.Code == ir.Call || o.op.Code == ir.Ret {
 			if s.syncBusy != 0 || s.ccbHead < len(s.ccb) {
 				s.StallBar++
 				if s.tracing() {
 					s.emit(&obs.Event{Cycle: s.cycle, Engine: obs.EngineVLIW,
-						Kind: obs.KindStallBarrier, Op: op, Bit: -1, Busy: s.syncBusy})
+						Kind: obs.KindStallBarrier, Op: o.op, Bit: -1, Busy: s.syncBusy})
 				}
 				return false, nil
 			}
 		}
 	}
-	if specNeeded > 0 && len(s.ccb)-s.ccbHead+specNeeded > s.CCBCapacity {
+	if in.spec > 0 && len(s.ccb)-s.ccbHead+in.spec > s.CCBCapacity {
 		s.StallCCB++
 		if s.tracing() {
 			s.emit(&obs.Event{Cycle: s.cycle, Engine: obs.EngineVLIW,
@@ -453,129 +703,81 @@ func (s *Simulator) stepVLIW() (bool, error) {
 
 	if s.tracing() {
 		s.emit(&obs.Event{Cycle: s.cycle, Engine: obs.EngineVLIW, Kind: obs.KindInstrIssue,
-			Bit: -1, Func: fr.f.Name, Block: fr.blockID, Instr: fr.instrIdx})
+			Bit: -1, Func: fr.fn.f.Name, Block: fr.blockID, Instr: fr.instrIdx})
 	}
 	// Issue. Operations within one long instruction execute in program
-	// order so same-cycle anti-dependences (reader packed with a later
-	// writer) read the old value.
+	// order (the presorted issue list) so same-cycle anti-dependences
+	// (reader packed with a later writer) read the old value.
 	s.Instrs++
-	an := fr.ans[fr.blockID]
-	ops := append([]*ir.Op(nil), in.Ops...)
-	sort.Slice(ops, func(i, j int) bool { return an.IndexOf(ops[i]) < an.IndexOf(ops[j]) })
-	var control *ir.Op
-	for _, op := range ops {
+	var control *imgOp
+	for _, idx := range in.sorted {
+		o := &blk.ops[idx]
 		s.Ops++
-		if op.Code.IsTerminator() || op.Code == ir.Call {
-			control = op // handled after data ops so same-cycle state is set
+		if o.isControl {
+			control = o // handled after data ops so same-cycle state is set
 			continue
 		}
-		if err := s.issueDataOp(fr, op); err != nil {
+		if err := s.issueDataOp(fr, blk, o); err != nil {
 			return false, err
 		}
 	}
 	fr.instrIdx++
 	if control != nil {
-		return s.issueControl(fr, control)
+		return s.issueControl(fr, blk, control)
 	}
 	return false, nil
 }
 
-func (s *Simulator) newBlockInst(fr *frame) *blockInst {
-	an := fr.ans[fr.blockID]
-	bi := &blockInst{an: an, entryOf: map[int]*dynEntry{}}
-	for range an.Sites {
-		bi.sites = append(bi.sites, &siteInst{})
-	}
-	return bi
-}
-
 // issueDataOp performs the VLIW-side execution of one non-control op.
-func (s *Simulator) issueDataOp(fr *frame, op *ir.Op) error {
-	an := fr.ans[fr.blockID]
-	lat := int64(s.D.Latency(op))
-
+func (s *Simulator) issueDataOp(fr *frame, blk *imgBlock, o *imgOp) error {
+	op := o.op
 	switch op.Code {
 	case ir.LdPred:
-		li := an.SiteLocal[op.PredID]
-		si := fr.inst.sites[li]
+		si := &fr.inst.sites[o.siteLocal]
 		p := s.sitePredictor(op.PredID)
 		v, _ := p.Predict() // cold predictors supply 0 (and mispredict)
 		si.predicted = v
-		s.syncBusy |= 1 << uint(op.SyncBit)
+		s.syncBusy |= o.bitMask
 		if s.tracing() {
 			s.emit(&obs.Event{Cycle: s.cycle, Engine: obs.EngineVLIW,
 				Kind: obs.KindLdPredIssue, Op: op, Bit: op.SyncBit, Predicted: int64(v)})
 		}
-		s.writeReg(fr, op.Dest, v, lat)
+		s.writeReg(fr, op.Dest, v, o.lat)
 		s.Predictions++
 		return nil
 
 	case ir.CheckLd:
-		li := an.SiteLocal[op.PredID]
-		si := fr.inst.sites[li]
+		li := o.siteLocal
+		si := &fr.inst.sites[li]
 		addr := int64(fr.regs[op.A]) + op.Imm
 		if addr < 1 || addr >= int64(len(s.mem.Mem)) {
-			return fmt.Errorf("core: %s: check load address %d out of range", fr.f.Name, addr)
+			return fmt.Errorf("core: %s: check load address %d out of range", fr.fn.f.Name, addr)
 		}
 		actual := s.mem.Mem[addr]
-		bit := uint64(1) << uint(an.Sites[li].Bit)
+		bit := blk.siteMask[li]
 		seq := s.nextSeq(fr, op.Dest)
 		if s.tracing() {
 			s.emit(&obs.Event{Cycle: s.cycle, Engine: obs.EngineVLIW,
-				Kind: obs.KindCheckIssue, Op: op, Bit: -1, Done: s.cycle + lat,
+				Kind: obs.KindCheckIssue, Op: op, Bit: -1, Done: s.cycle + o.lat,
 				Site: op.PredID, Correct: actual == si.predicted})
 		}
-		s.at(s.cycle+lat, func() {
-			si.resolved = true
-			si.actual = actual
-			if s.tracing() {
-				s.emit(&obs.Event{Cycle: s.cycle, Engine: obs.EngineVLIW,
-					Kind: obs.KindCheckResolve, Op: op, Bit: -1, Site: op.PredID,
-					Predicted: int64(si.predicted), Actual: int64(actual),
-					Correct: actual == si.predicted})
-			}
-			s.syncBusy &^= bit // the LdPred bit always clears
-			if actual == si.predicted {
-				si.correct = true
-				s.clearVerifiedBits()
-			} else {
-				s.Mispredicts++
-				s.applyWrite(fr, op.Dest, actual, seq)
-				if s.SerialRecovery {
-					// Branch to the statically scheduled recovery block,
-					// run it serially on the main engine, branch back.
-					pen := s.BranchPenalty
-					rl, ok := s.RecoveryLen[op.PredID]
-					if !ok {
-						rl = 1
-					}
-					until := s.cycle + int64(2*pen+rl)
-					if until > s.stallUntil {
-						s.stallUntil = until
-					}
-				}
-			}
-			if s.SerialRecovery {
-				s.drainResolvedSerial()
-			}
-			p := s.sitePredictor(op.PredID)
-			p.Update(actual)
-		})
-		fr.readyAt[op.Dest] = s.cycle + lat
+		s.schedule(s.cycle+o.lat, wev{kind: wevCheckResolve, fr: fr, inst: fr.inst,
+			op: op, li: li, reg: op.Dest, val: actual, seq: seq, mask: bit})
+		fr.readyAt[op.Dest] = s.cycle + o.lat
 		return nil
 
 	default:
 		if op.Speculative {
-			return s.issueSpecOp(fr, an, op)
+			return s.issueSpecOp(fr, blk, o)
 		}
 		// Non-speculative: operands are verified correct; execute with
 		// architectural state and real fault semantics.
-		v, err := s.execValue(fr.f, op, fr.regs)
+		v, err := s.execValue(fr.fn.f, op, fr.regs)
 		if err != nil {
-			return fmt.Errorf("core: %s b%d %s: %w", fr.f.Name, fr.blockID, op, err)
+			return fmt.Errorf("core: %s b%d %s: %w", fr.fn.f.Name, fr.blockID, op, err)
 		}
-		if d := op.Def(); d != ir.NoReg {
-			s.writeReg(fr, d, v, lat)
+		if d := o.def; d != ir.NoReg {
+			s.writeReg(fr, d, v, o.lat)
 		}
 		return nil
 	}
@@ -583,15 +785,14 @@ func (s *Simulator) issueDataOp(fr *frame, op *ir.Op) error {
 
 // issueSpecOp executes a speculative op with (possibly predicted) register
 // values and buffers it in the CCB for verification-driven flush/re-execute.
-func (s *Simulator) issueSpecOp(fr *frame, an *BlockAnalysis, op *ir.Op) error {
-	idx := an.IndexOf(op)
-	uses := op.Uses()
-	info := an.Info[idx]
+func (s *Simulator) issueSpecOp(fr *frame, blk *imgBlock, o *imgOp) error {
+	op := o.op
+	inst := fr.inst
 
 	// If every prediction this op consumes has already verified correct,
 	// its operands are plain correct values: issue it as an ordinary op.
-	if s.predsVerifiedCorrect(fr.inst, info.PredSet) {
-		v, err := s.execValue(fr.f, op, fr.regs)
+	if s.predsVerifiedCorrect(inst, o.predSet) {
+		v, err := s.execValue(fr.fn.f, op, fr.regs)
 		if err != nil {
 			return fmt.Errorf("core: %s: %w", op, err)
 		}
@@ -599,22 +800,23 @@ func (s *Simulator) issueSpecOp(fr *frame, an *BlockAnalysis, op *ir.Op) error {
 			s.emit(&obs.Event{Cycle: s.cycle, Engine: obs.EngineVLIW,
 				Kind: obs.KindPlainIssue, Op: op, Bit: -1})
 		}
-		s.writeReg(fr, op.Dest, v, int64(s.D.Latency(op)))
+		s.writeReg(fr, op.Dest, v, o.lat)
 		return nil
 	}
 
-	e := &dynEntry{op: op, opIdx: idx, inst: fr.inst, fr: fr}
-	for k, u := range uses {
-		ref := operandRef{kind: srcCorrect, reg: u, value: fr.regs[u]}
-		if p := info.Producers[k]; p >= 0 {
-			prod := an.Block.Ops[p]
-			switch {
-			case prod.Code == ir.LdPred:
-				ref.kind = srcLdPred
-				ref.site = fr.inst.sites[an.SiteLocal[prod.PredID]]
-			case prod.Speculative:
-				ref.kind = srcSpec
-				ref.src = fr.inst.entryOf[p]
+	ei := inst.newEntry()
+	e := &inst.entries[ei]
+	e.op, e.opIdx, e.fr = op, o.idx, fr
+	for k, u := range o.uses {
+		ref := operandRef{kind: o.srcKinds[k], reg: u, value: fr.regs[u], siteLi: -1, srcIdx: -1}
+		switch ref.kind {
+		case srcLdPred:
+			ref.siteLi = o.prodSite[k]
+		case srcSpec:
+			// The producer only has an entry if it was itself buffered (it
+			// may have issued plain after its predictions verified).
+			if x := inst.entryOf[o.producers[k]]; x != 0 {
+				ref.srcIdx = x - 1
 			}
 		}
 		e.operands = append(e.operands, ref)
@@ -623,19 +825,19 @@ func (s *Simulator) issueSpecOp(fr *frame, an *BlockAnalysis, op *ir.Op) error {
 	// Execute on the VLIW engine with current (predicted) values.
 	// Speculative faults are deferred: a poison zero result stands in until
 	// verification decides whether the fault was real.
-	v, err := s.execValue(fr.f, op, fr.regs)
+	v, err := s.execValue(fr.fn.f, op, fr.regs)
 	if err != nil {
 		e.issueErr = err
 		v = 0
 	}
-	lat := int64(s.D.Latency(op))
-	s.syncBusy |= 1 << uint(op.SyncBit)
+	s.syncBusy |= o.bitMask
 	e.seq = s.nextSeq(fr, op.Dest)
-	s.applyWriteAt(fr, op.Dest, v, e.seq, s.cycle+lat)
-	fr.readyAt[op.Dest] = s.cycle + lat
+	s.schedule(s.cycle+o.lat, wev{kind: wevWrite, fr: fr, reg: op.Dest, val: v, seq: e.seq})
+	fr.readyAt[op.Dest] = s.cycle + o.lat
 
-	fr.inst.entryOf[idx] = e
-	s.ccb = append(s.ccb, e)
+	inst.entryOf[o.idx] = ei + 1
+	inst.live++
+	s.ccb = append(s.ccb, ccbRef{inst: inst, idx: ei})
 	live := len(s.ccb) - s.ccbHead
 	if live > s.MaxCCBOccupancy {
 		s.MaxCCBOccupancy = live
@@ -648,7 +850,7 @@ func (s *Simulator) issueSpecOp(fr *frame, an *BlockAnalysis, op *ir.Op) error {
 	if s.tracing() {
 		s.emit(&obs.Event{Cycle: s.cycle, Engine: obs.EngineVLIW,
 			Kind: obs.KindBufferCCB, Op: op, Bit: op.SyncBit,
-			Operands: dynSiteStates(fr.inst, info.PredSet)})
+			Operands: dynSiteStates(inst, o.predSet)})
 	}
 	return nil
 }
@@ -658,10 +860,11 @@ func (s *Simulator) issueSpecOp(fr *frame, an *BlockAnalysis, op *ir.Op) error {
 // site's check resolves, then C or R (see DESIGN.md §8).
 func dynSiteStates(inst *blockInst, set uint32) []obs.SiteState {
 	var out []obs.SiteState
-	for li, si := range inst.sites {
+	for li := range inst.sites {
 		if set&(1<<uint(li)) == 0 {
 			continue
 		}
+		si := &inst.sites[li]
 		state := obs.StatePN
 		if si.resolved {
 			if si.correct {
@@ -677,17 +880,17 @@ func dynSiteStates(inst *blockInst, set uint32) []obs.SiteState {
 
 // issueControl handles branches, calls, and returns (issued after the data
 // ops of the same long instruction).
-func (s *Simulator) issueControl(fr *frame, op *ir.Op) (bool, error) {
-	b := fr.f.Blocks[fr.blockID]
+func (s *Simulator) issueControl(fr *frame, blk *imgBlock, o *imgOp) (bool, error) {
+	op := o.op
 	switch op.Code {
 	case ir.Jmp:
-		s.enterBlock(fr, b.Succs[0])
+		s.enterBlock(fr, blk.succs[0])
 		return false, nil
 	case ir.Br:
 		if fr.regs[op.A] != 0 {
-			s.enterBlock(fr, b.Succs[0])
+			s.enterBlock(fr, blk.succs[0])
 		} else {
-			s.enterBlock(fr, b.Succs[1])
+			s.enterBlock(fr, blk.succs[1])
 		}
 		return false, nil
 	case ir.Call:
@@ -705,9 +908,13 @@ func (s *Simulator) issueControl(fr *frame, op *ir.Op) (bool, error) {
 }
 
 func (s *Simulator) enterBlock(fr *frame, next int) {
+	if bi := fr.inst; bi != nil {
+		fr.inst = nil
+		bi.active = false
+		s.maybeReleaseInst(bi)
+	}
 	fr.blockID = next
 	fr.instrIdx = 0
-	fr.inst = nil
 }
 
 func (s *Simulator) issueCall(fr *frame, op *ir.Op) error {
@@ -720,7 +927,7 @@ func (s *Simulator) issueCall(fr *frame, op *ir.Op) error {
 		s.mem.Output = append(s.mem.Output, strconv.FormatFloat(v, 'g', -1, 64))
 		return nil
 	}
-	callee := s.Prog.Func(op.Sym)
+	callee := s.img.funcs[op.Sym]
 	if callee == nil {
 		return fmt.Errorf("core: call to unknown %q", op.Sym)
 	}
@@ -728,15 +935,13 @@ func (s *Simulator) issueCall(fr *frame, op *ir.Op) error {
 		return fmt.Errorf("core: call depth exceeded at %q", op.Sym)
 	}
 	s.callDepth++
-	nf := s.newFrame(callee, op.Dest)
+	nf := s.acquireFrame(callee, op.Dest)
 	for i, a := range op.Args {
 		nf.regs[i] = fr.regs[a]
 	}
 	s.stack = append(s.stack, nf)
 	return nil
 }
-
-const maxSimCallDepth = 1000
 
 // popFrame retires a returned frame, delivering the return value.
 func (s *Simulator) popFrame(fr *frame) (bool, error) {
@@ -749,6 +954,13 @@ func (s *Simulator) popFrame(fr *frame) (bool, error) {
 	if fr.retDest != ir.NoReg {
 		s.writeReg(caller, fr.retDest, fr.retVal, 1)
 	}
+	if bi := fr.inst; bi != nil {
+		fr.inst = nil
+		bi.active = false
+		s.maybeReleaseInst(bi)
+	}
+	fr.dead = true
+	s.maybeReleaseFrame(fr)
 	return false, nil
 }
 
@@ -759,14 +971,16 @@ func (s *Simulator) popFrame(fr *frame) (bool, error) {
 // already charged as a stall when the misprediction was detected.
 func (s *Simulator) drainResolvedSerial() {
 	for s.ccbHead < len(s.ccb) {
-		e := s.ccb[s.ccbHead]
-		need := e.inst.an.Info[e.opIdx].PredSet
+		r := s.ccb[s.ccbHead]
+		e := &r.inst.entries[r.idx]
+		need := r.inst.blk.ops[e.opIdx].predSet
 		wrong := false
 		resolved := true
-		for li, si := range e.inst.sites {
+		for li := range r.inst.sites {
 			if need&(1<<uint(li)) == 0 {
 				continue
 			}
+			si := &r.inst.sites[li]
 			if !si.resolved {
 				resolved = false
 				break
@@ -778,15 +992,13 @@ func (s *Simulator) drainResolvedSerial() {
 		if !resolved {
 			return
 		}
-		bit := uint64(0)
-		if e.op.SyncBit != ir.NoBit {
-			bit = 1 << uint(e.op.SyncBit)
-		}
+		bit := r.inst.blk.ops[e.opIdx].bitMask
 		if wrong {
-			for _, ref := range e.operands {
-				s.scratch[ref.reg] = ref.correctedValue()
+			for i := range e.operands {
+				ref := &e.operands[i]
+				s.scratch[ref.reg] = correctedValue(r.inst, ref)
 			}
-			v, err := s.execValue(e.fr.f, e.op, s.scratch)
+			v, err := s.execValue(e.fr.fn.f, e.op, s.scratch)
 			if err != nil {
 				s.simErr = fmt.Errorf("core: serial recovery of %s: %w", e.op, err)
 				return
@@ -820,9 +1032,17 @@ func (s *Simulator) drainResolvedSerial() {
 			e.bitCleared = true
 			s.syncBusy &^= bit
 		}
-		s.ccbHead++
+		s.retireHead(r.inst)
 	}
 	s.compactCCB()
+}
+
+// retireHead advances past the CCB head entry and lets its owning
+// instance return to the pool once nothing references it.
+func (s *Simulator) retireHead(inst *blockInst) {
+	s.ccbHead++
+	inst.live--
+	s.maybeReleaseInst(inst)
 }
 
 // stepCCE dispatches at most one Compensation Code Buffer entry per cycle.
@@ -837,14 +1057,16 @@ func (s *Simulator) stepCCE() {
 	if s.ccbHead >= len(s.ccb) {
 		return
 	}
-	e := s.ccb[s.ccbHead]
+	r := s.ccb[s.ccbHead]
+	e := &r.inst.entries[r.idx]
 	// All involved predictions must be verified.
-	need := e.inst.an.Info[e.opIdx].PredSet
+	need := r.inst.blk.ops[e.opIdx].predSet
 	wrong := false
-	for li, si := range e.inst.sites {
+	for li := range r.inst.sites {
 		if need&(1<<uint(li)) == 0 {
 			continue
 		}
+		si := &r.inst.sites[li]
 		if !si.resolved {
 			return // stall
 		}
@@ -854,10 +1076,7 @@ func (s *Simulator) stepCCE() {
 	}
 
 	defer s.compactCCB()
-	bit := uint64(0)
-	if e.op.SyncBit != ir.NoBit {
-		bit = 1 << uint(e.op.SyncBit)
-	}
+	bit := r.inst.blk.ops[e.opIdx].bitMask
 	if !wrong {
 		// Flush: the VLIW-computed value was correct. A deferred
 		// speculative fault on an all-correct path is a real fault.
@@ -870,29 +1089,34 @@ func (s *Simulator) stepCCE() {
 		}
 		if !e.bitCleared {
 			e.bitCleared = true
-			s.at(s.cycle+1, func() { s.syncBusy &^= bit })
+			s.schedule(s.cycle+1, wev{kind: wevClearBits, mask: bit})
 		}
 		s.CCEFlushed++
-		s.ccbHead++
+		s.retireHead(r.inst)
 		return
 	}
 	// Re-execute with corrected operand values once they are available.
-	for _, ref := range e.operands {
-		if ref.kind == srcSpec && ref.src != nil && ref.src.recomputed && ref.src.doneAt > s.cycle {
-			return // corrected producer value still in the pipeline
+	for i := range e.operands {
+		ref := &e.operands[i]
+		if ref.kind == srcSpec && ref.srcIdx >= 0 {
+			src := &r.inst.entries[ref.srcIdx]
+			if src.recomputed && src.doneAt > s.cycle {
+				return // corrected producer value still in the pipeline
+			}
 		}
 	}
-	for _, ref := range e.operands {
-		s.scratch[ref.reg] = ref.correctedValue()
+	for i := range e.operands {
+		ref := &e.operands[i]
+		s.scratch[ref.reg] = correctedValue(r.inst, ref)
 	}
-	v, err := s.execValue(e.fr.f, e.op, s.scratch)
+	v, err := s.execValue(e.fr.fn.f, e.op, s.scratch)
 	if err != nil {
 		// Correct operands and still faulting: a real fault.
 		s.simErr = fmt.Errorf("core: compensation re-execution of %s: %w", e.op, err)
 		return
 	}
 	v ^= s.FaultCCEWritebackXor
-	lat := int64(s.D.Latency(e.op))
+	lat := r.inst.blk.ops[e.opIdx].lat
 	e.recomputed = true
 	e.newValue = v
 	e.doneAt = s.cycle + lat
@@ -900,26 +1124,25 @@ func (s *Simulator) stepCCE() {
 		s.emit(&obs.Event{Cycle: s.cycle, Engine: obs.EngineCCE,
 			Kind: obs.KindCCEExecute, Op: e.op, Bit: e.op.SyncBit, Done: e.doneAt})
 	}
-	fr, op, seq := e.fr, e.op, e.seq
-	cleared := e.bitCleared
+	mask := uint64(0)
+	if !e.bitCleared {
+		mask = bit
+	}
 	e.bitCleared = true
-	s.at(e.doneAt, func() {
-		if !cleared {
-			s.syncBusy &^= bit
-		}
-		s.applyWrite(fr, op.Dest, v, seq)
-	})
+	s.schedule(e.doneAt, wev{kind: wevCCEWriteback, fr: e.fr, reg: e.op.Dest,
+		val: v, seq: e.seq, mask: mask})
 	s.CCEExecuted++
-	s.ccbHead++
+	s.retireHead(r.inst)
 }
 
 // predsVerifiedCorrect reports whether every site in the local predset has
 // resolved as a correct prediction.
 func (s *Simulator) predsVerifiedCorrect(inst *blockInst, set uint32) bool {
-	for li, si := range inst.sites {
+	for li := range inst.sites {
 		if set&(1<<uint(li)) == 0 {
 			continue
 		}
+		si := &inst.sites[li]
 		if !si.resolved || !si.correct {
 			return false
 		}
@@ -934,21 +1157,25 @@ func (s *Simulator) predsVerifiedCorrect(inst *blockInst, set uint32) bool {
 // verifies).
 func (s *Simulator) clearVerifiedBits() {
 	for i := s.ccbHead; i < len(s.ccb); i++ {
-		e := s.ccb[i]
-		if e.bitCleared || e.op.SyncBit == ir.NoBit {
+		r := s.ccb[i]
+		e := &r.inst.entries[r.idx]
+		o := &r.inst.blk.ops[e.opIdx]
+		if e.bitCleared || o.bitMask == 0 {
 			continue
 		}
-		if s.predsVerifiedCorrect(e.inst, e.inst.an.Info[e.opIdx].PredSet) {
-			s.syncBusy &^= 1 << uint(e.op.SyncBit)
+		if s.predsVerifiedCorrect(r.inst, o.predSet) {
+			s.syncBusy &^= o.bitMask
 			e.bitCleared = true
 		}
 	}
 }
 
-// compactCCB reclaims retired entries occasionally.
+// compactCCB reclaims retired entries occasionally (in place: the backing
+// array is reused, so the steady state allocates nothing).
 func (s *Simulator) compactCCB() {
 	if s.ccbHead > 256 && s.ccbHead*2 > len(s.ccb) {
-		s.ccb = append([]*dynEntry(nil), s.ccb[s.ccbHead:]...)
+		n := copy(s.ccb, s.ccb[s.ccbHead:])
+		s.ccb = s.ccb[:n]
 		s.ccbHead = 0
 	}
 }
@@ -956,16 +1183,20 @@ func (s *Simulator) compactCCB() {
 // correctedValue resolves an operand through the Operand Value Buffer
 // semantics: predicted values are replaced by their verified values,
 // speculatively computed values by their recomputed ones.
-func (r *operandRef) correctedValue() uint64 {
+func correctedValue(inst *blockInst, r *operandRef) uint64 {
 	switch r.kind {
 	case srcLdPred:
-		if r.site.resolved {
-			return r.site.actual
+		si := &inst.sites[r.siteLi]
+		if si.resolved {
+			return si.actual
 		}
 		return r.value
 	case srcSpec:
-		if r.src != nil && r.src.recomputed {
-			return r.src.newValue
+		if r.srcIdx >= 0 {
+			src := &inst.entries[r.srcIdx]
+			if src.recomputed {
+				return src.newValue
+			}
 		}
 		return r.value
 	default:
@@ -991,7 +1222,7 @@ func (s *Simulator) writeReg(fr *frame, r ir.Reg, v uint64, lat int64) {
 		return
 	}
 	seq := s.nextSeq(fr, r)
-	s.applyWriteAt(fr, r, v, seq, s.cycle+lat)
+	s.schedule(s.cycle+lat, wev{kind: wevWrite, fr: fr, reg: r, val: v, seq: seq})
 	fr.readyAt[r] = s.cycle + lat
 }
 
@@ -1001,10 +1232,6 @@ func (s *Simulator) nextSeq(fr *frame, r ir.Reg) int64 {
 		fr.lastSeq[r] = s.seq
 	}
 	return s.seq
-}
-
-func (s *Simulator) applyWriteAt(fr *frame, r ir.Reg, v uint64, seq, when int64) {
-	s.at(when, func() { s.applyWrite(fr, r, v, seq) })
 }
 
 // applyWrite commits a register value unless a newer writer has claimed the
@@ -1029,29 +1256,39 @@ func (s *Simulator) applyWrite(fr *frame, r ir.Reg, v uint64, seq int64) {
 	fr.regs[r] = v
 }
 
-func (s *Simulator) at(cycle int64, f func()) {
-	if cycle <= s.cycle {
-		f()
-		return
-	}
-	s.events[cycle] = append(s.events[cycle], f)
-}
-
+// sitePredictor resolves (or lazily builds) the predictor of a site for
+// the current run. Default-scheme predictors are recycled across runs via
+// Reset — a reset predictor is indistinguishable from a cold one — while
+// the NewPredictor hook, when set, is honored once per site per run
+// exactly as the legacy engine's per-run map did.
 func (s *Simulator) sitePredictor(predID int) predict.Predictor {
-	p := s.preds[predID]
-	if p == nil {
-		if s.NewPredictor != nil {
-			p = s.NewPredictor(predID)
-		}
-		if p == nil {
-			if s.Schemes[predID] == profile.SchemeFCM {
-				p = predict.NewFCM(predict.DefaultFCMOrder, predict.DefaultFCMTableBits)
-			} else {
-				p = predict.NewStride()
-			}
-		}
-		s.preds[predID] = p
+	if s.predRun[predID] == s.runEpoch {
+		return s.preds[predID]
 	}
+	var p predict.Predictor
+	custom := false
+	scheme := s.Schemes[predID]
+	if s.NewPredictor != nil {
+		p = s.NewPredictor(predID)
+		custom = p != nil
+	}
+	if p == nil {
+		// Recycle the previous run's predictor when it was built by the
+		// same default scheme: Reset restores the freshly-constructed state
+		// (pinned by the predictor tests), so reuse is unobservable.
+		if old := s.preds[predID]; old != nil && !s.predCustom[predID] && s.predScheme[predID] == scheme {
+			old.Reset()
+			p = old
+		} else if scheme == profile.SchemeFCM {
+			p = predict.NewFCM(predict.DefaultFCMOrder, predict.DefaultFCMTableBits)
+		} else {
+			p = predict.NewStride()
+		}
+	}
+	s.preds[predID] = p
+	s.predRun[predID] = s.runEpoch
+	s.predCustom[predID] = custom
+	s.predScheme[predID] = scheme
 	return p
 }
 

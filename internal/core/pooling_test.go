@@ -1,0 +1,224 @@
+package core
+
+// White-box tests for the pooled-state reset contract: after any Run —
+// successful or aborted mid-flight — no Synchronization-register bit, CCB
+// entry, in-flight event, or pinned pooled object may survive into the
+// next Run. These see the engine's internals; the black-box rerun checks
+// live in reset_test.go and the cross-engine checks in enginediff_test.go.
+
+import (
+	"testing"
+
+	"vliwvp/internal/ddg"
+	"vliwvp/internal/lang"
+	"vliwvp/internal/machine"
+	"vliwvp/internal/opt"
+	"vliwvp/internal/profile"
+	"vliwvp/internal/sched"
+	"vliwvp/internal/speculate"
+)
+
+// poolKernel forces predictions, mispredictions, and CCE work so the
+// pools, CCB, and Synchronization register all see traffic.
+const poolKernel = `
+var a[128]
+func main() {
+	for var i = 0; i < 128; i = i + 1 {
+		if i % 8 < 7 { a[i] = 5 } else { a[i] = (i * 2654435761) % 1000 }
+	}
+	var s = 0
+	for var i = 0; i < 128; i = i + 1 {
+		var x = a[i]
+		s = s + x * 3 + 7
+	}
+	return s
+}`
+
+// decodeKernel compiles poolKernel through the speculative pipeline into
+// an image, bypassing the pass manager (this is package core; the managed
+// path is covered by the conform and exp suites).
+func decodeKernel(t *testing.T, d *machine.Desc) (*Image, map[int]profile.Scheme) {
+	t.Helper()
+	prog, err := lang.Compile(poolKernel)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	opt.Optimize(prog)
+	prof, err := profile.Collect(prog, "main")
+	if err != nil {
+		t.Fatalf("profile: %v", err)
+	}
+	res, err := speculate.Transform(prog, prof, speculate.DefaultConfig(d))
+	if err != nil {
+		t.Fatalf("Transform: %v", err)
+	}
+	schemes := map[int]profile.Scheme{}
+	for _, site := range res.Sites {
+		schemes[site.ID] = site.Scheme
+	}
+	ps := &sched.ProgSched{Prog: res.Prog, Funcs: map[string]*sched.FuncSched{}}
+	for _, f := range res.Prog.Funcs {
+		fs := &sched.FuncSched{F: f, Blocks: make([]*sched.BlockSched, len(f.Blocks))}
+		for i, b := range f.Blocks {
+			g := speculate.BuildGraph(b, d, ddg.Options{})
+			fs.Blocks[i] = sched.ScheduleBlock(b, g, d)
+		}
+		ps.Funcs[f.Name] = fs
+	}
+	img, err := DecodeImage(res.Prog, ps, d)
+	if err != nil {
+		t.Fatalf("DecodeImage: %v", err)
+	}
+	return img, schemes
+}
+
+// assertQuiescent checks every piece of recycled state a finished (or
+// reset) simulator must not carry into the next Run.
+func assertQuiescent(t *testing.T, label string, s *Simulator) {
+	t.Helper()
+	if s.syncBusy != 0 {
+		t.Errorf("%s: Synchronization register leaks bits %#x", label, s.syncBusy)
+	}
+	if live := len(s.ccb) - s.ccbHead; live != 0 {
+		t.Errorf("%s: %d CCB entries survive", label, live)
+	}
+	if s.wheel.len() != 0 {
+		t.Errorf("%s: %d events in flight", label, s.wheel.len())
+	}
+	// A finished run leaves exactly its returned root frame on the stack
+	// (released by the next Run's reset); anything deeper is a leak, and
+	// the root must hold no event pins.
+	if len(s.stack) > 1 {
+		t.Errorf("%s: %d frames on the stack", label, len(s.stack))
+	} else if len(s.stack) == 1 {
+		root := s.stack[0]
+		if !root.returned || root.pins != 0 {
+			t.Errorf("%s: root frame returned=%v pins=%d", label, root.returned, root.pins)
+		}
+	}
+	for i, fr := range s.framePool {
+		if fr.pins != 0 || !fr.pooled {
+			t.Errorf("%s: framePool[%d] pins=%d pooled=%v", label, i, fr.pins, fr.pooled)
+		}
+		if fr.inst != nil {
+			t.Errorf("%s: framePool[%d] still references a block instance", label, i)
+		}
+	}
+	for i, bi := range s.instPool {
+		if bi.pins != 0 || bi.live != 0 || bi.active || !bi.pooled {
+			t.Errorf("%s: instPool[%d] pins=%d live=%d active=%v pooled=%v",
+				label, i, bi.pins, bi.live, bi.active, bi.pooled)
+		}
+		if n := len(bi.entries) - int(countEntryRefs(bi)); len(bi.entryOf) != 0 && n < 0 {
+			t.Errorf("%s: instPool[%d] inconsistent entry table", label, i)
+		}
+	}
+}
+
+func countEntryRefs(bi *blockInst) int32 {
+	var n int32
+	for _, e := range bi.entryOf {
+		if e != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+func TestPooledStateQuiescentAfterRun(t *testing.T) {
+	img, schemes := decodeKernel(t, machine.W4)
+	s := NewSimulatorFromImage(img, schemes)
+	first, err := s.Run("main")
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if s.Mispredicts == 0 || s.CCEExecuted == 0 {
+		t.Fatalf("kernel under-exercises the pools: mispred=%d cce=%d", s.Mispredicts, s.CCEExecuted)
+	}
+	assertQuiescent(t, "after run 1", s)
+	cycles := s.Cycles
+	for i := 2; i <= 4; i++ {
+		v, err := s.Run("main")
+		if err != nil {
+			t.Fatalf("Run %d: %v", i, err)
+		}
+		if v != first || s.Cycles != cycles {
+			t.Fatalf("run %d: (%d, %d cycles) != first (%d, %d cycles)", i, v, s.Cycles, first, cycles)
+		}
+		assertQuiescent(t, "after rerun", s)
+	}
+}
+
+// TestPooledStateAfterAbortedRun kills a run mid-flight via MaxCycles —
+// leaving live CCB entries, pinned frames, and in-flight events — and
+// requires the next Run to produce the untainted result. This is the
+// force-release path of reset().
+func TestPooledStateAfterAbortedRun(t *testing.T) {
+	img, schemes := decodeKernel(t, machine.W4)
+	ref := NewSimulatorFromImage(img, schemes)
+	want, err := ref.Run("main")
+	if err != nil {
+		t.Fatalf("reference run: %v", err)
+	}
+	wantCycles, wantMispred := ref.Cycles, ref.Mispredicts
+
+	s := NewSimulatorFromImage(img, schemes)
+	// Abort at several depths: mid-loop, and at a point where CCB entries
+	// and checks are guaranteed in flight.
+	for _, limit := range []int64{5, 40, wantCycles / 2} {
+		s.MaxCycles = limit
+		if _, err := s.Run("main"); err == nil {
+			t.Fatalf("run with MaxCycles=%d did not abort", limit)
+		}
+		s.MaxCycles = 1 << 34
+		v, err := s.Run("main")
+		if err != nil {
+			t.Fatalf("run after abort(%d): %v", limit, err)
+		}
+		if v != want || s.Cycles != wantCycles || s.Mispredicts != wantMispred {
+			t.Fatalf("after abort(%d): (%d, %d cycles, %d mispred) != reference (%d, %d, %d)",
+				limit, v, s.Cycles, s.Mispredicts, want, wantCycles, wantMispred)
+		}
+		assertQuiescent(t, "after abort+rerun", s)
+	}
+}
+
+// TestPredictorStateIsolatedAcrossRuns pins the predictor-table reset: a
+// rerun must see virgin predictor state (identical mispredict trajectory),
+// and rebinding Schemes on a reused simulator must rebuild predictors of
+// the new family rather than recycling a stale one — the Batch rebind
+// path.
+func TestPredictorStateIsolatedAcrossRuns(t *testing.T) {
+	img, schemes := decodeKernel(t, machine.W4)
+	if len(schemes) == 0 {
+		t.Skip("kernel selected no prediction sites")
+	}
+	flipped := map[int]profile.Scheme{}
+	for id, sc := range schemes {
+		if sc == profile.SchemeStride {
+			flipped[id] = profile.SchemeFCM
+		} else {
+			flipped[id] = profile.SchemeStride
+		}
+	}
+	fresh := NewSimulatorFromImage(img, flipped)
+	wantV, err := fresh.Run("main")
+	if err != nil {
+		t.Fatalf("fresh flipped run: %v", err)
+	}
+	wantMispred := fresh.Mispredicts
+
+	s := NewSimulatorFromImage(img, schemes)
+	if _, err := s.Run("main"); err != nil {
+		t.Fatalf("first run: %v", err)
+	}
+	s.Schemes = flipped
+	v, err := s.Run("main")
+	if err != nil {
+		t.Fatalf("rebound run: %v", err)
+	}
+	if v != wantV || s.Mispredicts != wantMispred {
+		t.Fatalf("rebound schemes: (%d, %d mispred) != fresh (%d, %d)",
+			v, s.Mispredicts, wantV, wantMispred)
+	}
+}

@@ -50,11 +50,25 @@ type Timing struct {
 	Trace func(cycle int, event string)
 
 	// Scratch reused across SimulateBlock calls (see the type comment).
-	resolveAt  []int
-	clearAt    map[int]uint64
-	ccb        []ccbEntry
-	valueReady map[int]int
+	resolveAt []int
+	ccb       []ccbEntry
+	// clearWheel is a power-of-two ring of cycle -> Synchronization bits to
+	// clear at the start of that cycle (replacing a map keyed by cycle):
+	// slot cycle&(len-1), valid because every scheduled clear lands within
+	// one operation latency of the current cycle, far below the ring size.
+	// clearPending counts occupied slots (the old map's len()).
+	clearWheel   []uint64
+	clearPending int
+	// valueReady is indexed by block op index: the cycle a recomputed
+	// producer's corrected value becomes available, -1 when not recomputed.
+	valueReady []int
 }
+
+// clearWheelSlots sizes the timing model's bit-clear ring. Power of two,
+// and far larger than any operation latency (stock max is 8); insertion
+// checks the horizon so an exotic machine description degrades to an error
+// rather than silent bit merging.
+const clearWheelSlots = 256
 
 // DefaultCCBCapacity matches a small dedicated buffer (entries).
 const DefaultCCBCapacity = 64
@@ -131,18 +145,35 @@ func (t *Timing) SimulateBlock(bs *sched.BlockSched, an *BlockAnalysis, outcome 
 	for i := range resolveAt {
 		resolveAt[i] = -1
 	}
-	if t.clearAt == nil {
-		t.clearAt = make(map[int]uint64)
+	if t.clearWheel == nil {
+		t.clearWheel = make([]uint64, clearWheelSlots)
 	} else {
-		clear(t.clearAt)
+		for i := range t.clearWheel {
+			t.clearWheel[i] = 0
+		}
 	}
-	clearAt := t.clearAt // cycle -> bits cleared at start of that cycle
-	if t.valueReady == nil {
-		t.valueReady = make(map[int]int)
-	} else {
-		clear(t.valueReady)
+	t.clearPending = 0
+	clearHorizonErr := false
+	// scheduleClear records bits to clear at the start of the given cycle.
+	scheduleClear := func(now, cycle int, bitMask uint64) {
+		if cycle-now >= clearWheelSlots {
+			clearHorizonErr = true
+			return
+		}
+		slot := &t.clearWheel[cycle&(clearWheelSlots-1)]
+		if *slot == 0 {
+			t.clearPending++
+		}
+		*slot |= bitMask
 	}
-	valueReady := t.valueReady // opIdx of a recomputed producer -> cycle value available
+	nOps := len(an.Block.Ops)
+	if cap(t.valueReady) < nOps {
+		t.valueReady = make([]int, nOps)
+	}
+	valueReady := t.valueReady[:nOps]
+	for i := range valueReady {
+		valueReady[i] = -1
+	}
 	t.ccb = t.ccb[:0]
 
 	var syncBusy uint64
@@ -174,7 +205,7 @@ func (t *Timing) SimulateBlock(bs *sched.BlockSched, an *BlockAnalysis, outcome 
 			if p < 0 {
 				continue
 			}
-			if r, ok := valueReady[p]; ok && cycle < r {
+			if r := valueReady[p]; r >= 0 && cycle < r {
 				return false
 			}
 		}
@@ -187,9 +218,13 @@ func (t *Timing) SimulateBlock(bs *sched.BlockSched, an *BlockAnalysis, outcome 
 		if cycle > maxCycles {
 			return res, fmt.Errorf("core: block timing exceeded %d cycles (CCB capacity %d too small for the speculative window?)", maxCycles, capacity)
 		}
-		if b, ok := clearAt[cycle]; ok {
-			syncBusy &^= b
-			delete(clearAt, cycle)
+		if clearHorizonErr {
+			return res, fmt.Errorf("core: operation latency exceeds the %d-cycle clear horizon", clearWheelSlots)
+		}
+		if slot := &t.clearWheel[cycle&(clearWheelSlots-1)]; *slot != 0 {
+			syncBusy &^= *slot
+			*slot = 0
+			t.clearPending--
 		}
 		// Clear bits of buffered speculative ops whose every prediction is
 		// now verified correct (the paper's check-driven ClearBits).
@@ -237,7 +272,7 @@ func (t *Timing) SimulateBlock(bs *sched.BlockSched, an *BlockAnalysis, outcome 
 						li := an.SiteLocal[op.PredID]
 						done := cycle + t.D.Latency(op)
 						resolveAt[li] = done
-						clearAt[done] |= 1 << uint(an.Sites[li].Bit)
+						scheduleClear(cycle, done, 1<<uint(an.Sites[li].Bit))
 						if sink != nil {
 							correct := outcome&(1<<uint(li)) != 0
 							sink.Event(&obs.Event{Cycle: int64(cycle), Engine: obs.EngineVLIW,
@@ -280,7 +315,7 @@ func (t *Timing) SimulateBlock(bs *sched.BlockSched, an *BlockAnalysis, outcome 
 				if !e.recompute {
 					// Flush (bit already cleared by verification).
 					if e.bitLive {
-						clearAt[cycle+1] |= 1 << uint(e.bit)
+						scheduleClear(cycle, cycle+1, 1<<uint(e.bit))
 						e.bitLive = false
 					}
 					if sink != nil {
@@ -298,7 +333,7 @@ func (t *Timing) SimulateBlock(bs *sched.BlockSched, an *BlockAnalysis, outcome 
 					lat := t.D.Latency(op)
 					e.doneAt = cycle + lat
 					valueReady[e.opIdx] = e.doneAt
-					clearAt[e.doneAt] |= 1 << uint(e.bit)
+					scheduleClear(cycle, e.doneAt, 1<<uint(e.bit))
 					e.bitLive = false
 					if sink != nil {
 						sink.Event(&obs.Event{Cycle: int64(cycle), Engine: obs.EngineCCE,
@@ -314,7 +349,7 @@ func (t *Timing) SimulateBlock(bs *sched.BlockSched, an *BlockAnalysis, outcome 
 			}
 		}
 
-		if instr >= len(bs.Instrs) && head >= len(t.ccb) && syncBusy == 0 && len(clearAt) == 0 {
+		if instr >= len(bs.Instrs) && head >= len(t.ccb) && syncBusy == 0 && t.clearPending == 0 {
 			break
 		}
 	}

@@ -1,0 +1,98 @@
+package exp
+
+// Batched corpus execution: the vpexp -batch workflow. A progen corpus is
+// compiled through the speculative pipeline (front ends and decoded images
+// served from the per-pass cache), then executed through one core.Batch,
+// which amortizes decode, predictor tables, and simulator pools across the
+// whole corpus. Every kernel's architectural result is validated against
+// the sequential interpreter, so a corpus sweep doubles as a broad
+// differential check.
+
+import (
+	"fmt"
+
+	"vliwvp/internal/core"
+	"vliwvp/internal/stats"
+	"vliwvp/internal/workload"
+)
+
+// BatchItems compiles each benchmark through the runner's speculative
+// pipeline and returns the corpus as batch items (decoded images plus
+// per-site schemes). Compilation fans across the runner's worker pool;
+// items return in input order.
+func (r *Runner) BatchItems(bs []*workload.Benchmark) ([]core.BatchItem, error) {
+	items := make([]core.BatchItem, len(bs))
+	err := r.forEach(len(bs), func(i int) error {
+		si, err := r.specImageFor(bs[i])
+		if err != nil {
+			return err
+		}
+		items[i] = core.BatchItem{Name: bs[i].Name, Img: si.Img, Schemes: si.Schemes}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return items, nil
+}
+
+// RunBatchCorpus compiles n progen kernels (consecutive seeds from seed)
+// and executes them through one batch, validating each result against the
+// sequential interpreter. A simulator error or an interpreter mismatch is
+// returned as an error naming the kernel — the corpus is seed-reproducible.
+func (r *Runner) RunBatchCorpus(seed int64, n int) ([]core.BatchResult, error) {
+	bs := workload.Generated(seed, n)
+	items, err := r.BatchItems(bs)
+	if err != nil {
+		return nil, err
+	}
+	batch := core.NewBatch()
+	if r.CCBCapacity > 0 {
+		batch.CCBCapacity = r.CCBCapacity
+	}
+	results := batch.RunAll(items)
+	for i := range results {
+		res := &results[i]
+		if res.Err != nil {
+			return results, fmt.Errorf("batch %s: %w", res.Name, res.Err)
+		}
+		fe, err := r.frontEndFor(bs[i])
+		if err != nil {
+			return results, err
+		}
+		want, err := r.interpRunFor(bs[i], fe)
+		if err != nil {
+			return results, err
+		}
+		if res.Value != want {
+			return results, fmt.Errorf("batch %s: simulated result %d != interpreter %d",
+				res.Name, res.Value, want)
+		}
+	}
+	return results, nil
+}
+
+// RenderBatch runs the batched corpus and renders its per-kernel table.
+func RenderBatch(r *Runner, seed int64, n int) (*stats.Table, []core.BatchResult, error) {
+	results, err := r.RunBatchCorpus(seed, n)
+	if err != nil {
+		return nil, nil, err
+	}
+	t := &stats.Table{
+		Title: fmt.Sprintf("Batched corpus execution (%s, %d kernels from seed %d)",
+			r.D.Name, n, seed),
+		Headers: []string{"Kernel", "Cycles", "Instrs", "Ops", "Preds", "Mispred",
+			"CCE exec", "CCE flush"},
+	}
+	var cycles int64
+	for _, res := range results {
+		cycles += res.Cycles
+		t.AddRow(res.Name,
+			fmt.Sprintf("%d", res.Cycles), fmt.Sprintf("%d", res.Instrs),
+			fmt.Sprintf("%d", res.Ops), fmt.Sprintf("%d", res.Predictions),
+			fmt.Sprintf("%d", res.Mispredicts), fmt.Sprintf("%d", res.CCEExecuted),
+			fmt.Sprintf("%d", res.CCEFlushed))
+	}
+	t.AddRow("total", fmt.Sprintf("%d", cycles), "", "", "", "", "", "")
+	return t, results, nil
+}

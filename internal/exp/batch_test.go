@@ -1,0 +1,63 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+
+	"vliwvp/internal/machine"
+	"vliwvp/internal/workload"
+)
+
+// TestRunBatchCorpus pins the batched corpus workflow: every kernel
+// validates against the interpreter inside RunBatchCorpus, results come
+// back in seed order, and a rerun over the same corpus (cache-warm,
+// pooled simulators reused) reports identical cycle counts.
+func TestRunBatchCorpus(t *testing.T) {
+	r := NewRunner(machine.W4)
+	const seed, n = 1, 6
+	first, err := r.RunBatchCorpus(seed, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first) != n {
+		t.Fatalf("got %d results, want %d", len(first), n)
+	}
+	for i, res := range first {
+		if want := workload.Generated(seed, n)[i].Name; res.Name != want {
+			t.Errorf("result %d named %q, want %q", i, res.Name, want)
+		}
+		if res.Cycles <= 0 || res.Instrs <= 0 {
+			t.Errorf("%s: degenerate run: %+v", res.Name, res)
+		}
+	}
+	second, err := r.RunBatchCorpus(seed, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range first {
+		if first[i].Cycles != second[i].Cycles || first[i].Value != second[i].Value {
+			t.Errorf("%s: rerun diverged: (%d, %d) != (%d, %d)", first[i].Name,
+				first[i].Cycles, first[i].Value, second[i].Cycles, second[i].Value)
+		}
+	}
+}
+
+func TestRenderBatch(t *testing.T) {
+	r := NewRunner(machine.W4)
+	tbl, results, err := RenderBatch(r, 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 4 {
+		t.Fatalf("got %d results, want 4", len(results))
+	}
+	out := tbl.String()
+	for _, res := range results {
+		if !strings.Contains(out, res.Name) {
+			t.Errorf("table missing kernel %q:\n%s", res.Name, out)
+		}
+	}
+	if !strings.Contains(out, "total") {
+		t.Errorf("table missing total row:\n%s", out)
+	}
+}

@@ -20,6 +20,7 @@ package exp
 import (
 	"fmt"
 
+	"vliwvp/internal/core"
 	"vliwvp/internal/exp/cache"
 	"vliwvp/internal/interp"
 	"vliwvp/internal/ir"
@@ -115,18 +116,20 @@ func (r *Runner) SpeculatePlan() pipeline.Plan {
 }
 
 // SchedulePlan is the back-end scheduling step: list-schedule every block
-// of the current program for the runner's machine and DDG options.
+// of the current program for the runner's machine and DDG options, then
+// decode the result into the simulator's dense image.
 func (r *Runner) SchedulePlan() pipeline.Plan {
 	return pipeline.Plan{Name: "schedule", Passes: []pipeline.Pass{
-		pipeline.Schedule{DDG: r.DDG},
+		pipeline.Schedule{DDG: r.DDG}, pipeline.Decode{},
 	}}
 }
 
-// SpecPlan is speculation followed by whole-program scheduling — the
-// suffix the speedup and trace drivers run after the front end.
+// SpecPlan is speculation followed by whole-program scheduling and image
+// decode — the suffix the speedup and trace drivers run after the front
+// end.
 func (r *Runner) SpecPlan() pipeline.Plan {
 	return pipeline.Plan{Name: "speculate+schedule", Passes: []pipeline.Pass{
-		pipeline.Speculate{Cfg: r.Cfg}, pipeline.Schedule{DDG: r.DDG},
+		pipeline.Speculate{Cfg: r.Cfg}, pipeline.Schedule{DDG: r.DDG}, pipeline.Decode{},
 	}}
 }
 
@@ -144,6 +147,39 @@ func (r *Runner) frontEndFor(b *workload.Benchmark) (*frontEnd, error) {
 		return nil, fmt.Errorf("%s: %w", b.Name, err)
 	}
 	return &frontEnd{Prog: ctx.Prog, Prof: ctx.Prof}, nil
+}
+
+// specImage is the cached decoded product of the full speculative
+// pipeline for one benchmark: the execution image and the per-site
+// predictor schemes. Both are immutable and shared across goroutines —
+// any number of simulators or batches bind to one image.
+type specImage struct {
+	Img     *core.Image
+	Schemes map[int]profile.Scheme
+}
+
+// specImageFor returns the benchmark's decoded image under the runner's
+// speculative configuration, computed once per cache. The key composes the
+// front-end key with every SpecPlan pass fingerprint (speculation config,
+// DDG options, image format version) and the machine description, so
+// images cache exactly as finely as the pipeline products they decode.
+func (r *Runner) specImageFor(b *workload.Benchmark) (*specImage, error) {
+	pl := r.SpecPlan()
+	key := fmt.Sprintf("img|%s|d=%+v", pl.Key(r.frontKey(b), len(pl.Passes)), *r.D)
+	v, err := r.cacheFor().Do(key, func() (any, error) {
+		ctx, err := r.specRun(b)
+		if err != nil {
+			return nil, err
+		}
+		if ctx.Image == nil {
+			return nil, fmt.Errorf("%s: spec plan produced no image", b.Name)
+		}
+		return &specImage{Img: ctx.Image, Schemes: ctx.Schemes}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*specImage), nil
 }
 
 // origLensFor returns the original schedule length of every block of the

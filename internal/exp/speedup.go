@@ -32,35 +32,33 @@ type SpeedupRow struct {
 }
 
 // scheduleAll builds validated schedules for a whole program via the
-// schedule plan.
-func (r *Runner) scheduleAll(prog *ir.Program) (*sched.ProgSched, error) {
+// schedule plan and decodes them into the simulator image.
+func (r *Runner) scheduleAll(prog *ir.Program) (*core.Image, error) {
 	ctx := &pipeline.Ctx{Prog: prog, Machine: r.D, Shared: true}
 	if err := r.manager().Run(r.SchedulePlan(), ctx); err != nil {
 		return nil, err
 	}
-	return ctx.Sched, nil
+	return ctx.Image, nil
 }
 
-// newSim wires a dual-engine simulator over an already scheduled program.
-func (r *Runner) newSim(prog *ir.Program, ps *sched.ProgSched, schemes map[int]profile.Scheme) (*core.Simulator, error) {
-	sim, err := core.NewSimulator(prog, ps, r.D, schemes)
-	if err != nil {
-		return nil, err
-	}
+// newSim binds a dual-engine simulator to a decoded image with the
+// runner's configuration applied.
+func (r *Runner) newSim(img *core.Image, schemes map[int]profile.Scheme) *core.Simulator {
+	sim := core.NewSimulatorFromImage(img, schemes)
 	if r.CCBCapacity > 0 {
 		sim.CCBCapacity = r.CCBCapacity
 	}
-	return sim, nil
+	return sim
 }
 
 // NewSimulatorFor wires a dual-engine simulator for an arbitrary program
 // (transformed or not).
 func (r *Runner) NewSimulatorFor(prog *ir.Program, schemes map[int]profile.Scheme) (*core.Simulator, error) {
-	ps, err := r.scheduleAll(prog)
+	img, err := r.scheduleAll(prog)
 	if err != nil {
 		return nil, err
 	}
-	return r.newSim(prog, ps, schemes)
+	return r.newSim(img, schemes), nil
 }
 
 // specRun executes the speculate+schedule suffix over a benchmark's cached
@@ -82,11 +80,11 @@ func (r *Runner) specRun(b *workload.Benchmark) (*pipeline.Ctx, error) {
 // the speedup experiment, the vpexp trace/stats modes, and the bench grid
 // all run.
 func (r *Runner) SpecSim(b *workload.Benchmark) (*core.Simulator, error) {
-	ctx, err := r.specRun(b)
+	si, err := r.specImageFor(b)
 	if err != nil {
 		return nil, err
 	}
-	return r.newSim(ctx.Prog, ctx.Sched, ctx.Schemes)
+	return r.newSim(si.Img, si.Schemes), nil
 }
 
 // SpecSchedule runs the full compile flow for one benchmark — front end,
@@ -167,10 +165,10 @@ func (r *Runner) SpeedupSerial(b *workload.Benchmark) (SpeedupRow, error) {
 			}
 		}
 	}
-	sim, err := r.newSim(ctx.Prog, ctx.Sched, ctx.Schemes)
-	if err != nil {
-		return row, err
+	if ctx.Image == nil {
+		return row, fmt.Errorf("%s: spec plan produced no image", b.Name)
 	}
+	sim := r.newSim(ctx.Image, ctx.Schemes)
 	sim.SerialRecovery = true
 	sim.RecoveryLen = recLen
 	sim.BranchPenalty = baseline.DefaultConfig().BranchPenalty

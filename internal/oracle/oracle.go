@@ -25,6 +25,7 @@ import (
 	"vliwvp/internal/pipeline"
 	"vliwvp/internal/pool"
 	"vliwvp/internal/profile"
+	"vliwvp/internal/sched"
 	"vliwvp/internal/speculate"
 	"vliwvp/internal/workload"
 )
@@ -52,6 +53,12 @@ type Config struct {
 	SerialRecovery bool
 	// BranchPenalty is the serial machine's taken-branch cost.
 	BranchPenalty int
+	// Engine selects the simulator implementation under test: "" or
+	// "decoded" drives the decode-once core.Simulator, "legacy" drives the
+	// retained core.LegacySimulator — so the oracle cross-checks BOTH
+	// engines against the interpreter, independently of the engine-diff
+	// suite that pins them against each other.
+	Engine string
 	// trialMaxCycles bounds minimization trials: shrinking the CCB under a
 	// program compiled for a larger speculative window can wedge the
 	// machine, and a wedged trial must abort fast, not run to the
@@ -133,11 +140,10 @@ func refRun(prog *ir.Program) (*refResult, error) {
 	return &refResult{value: v, output: m.Output, mem: m.Mem}, nil
 }
 
-// buildSim schedules the transformed program and wires a simulator. It
-// runs its own schedule plan — independent of internal/exp's cached
-// preparation — so the oracle cross-checks the experiment harness rather
-// than trusting its plumbing.
-func buildSim(prog *ir.Program, schemes map[int]profile.Scheme, recLen map[int]int, cfg Config) (*core.Simulator, error) {
+// scheduleFor runs the oracle's own schedule plan — independent of
+// internal/exp's cached preparation — so the oracle cross-checks the
+// experiment harness rather than trusting its plumbing.
+func scheduleFor(prog *ir.Program, cfg Config) (*sched.ProgSched, error) {
 	plan := pipeline.Plan{Name: "oracle-schedule", Passes: []pipeline.Pass{
 		pipeline.Schedule{DDG: cfg.DDG},
 	}}
@@ -145,54 +151,95 @@ func buildSim(prog *ir.Program, schemes map[int]profile.Scheme, recLen map[int]i
 	if err := mgr.Run(plan, ctx); err != nil {
 		return nil, fmt.Errorf("oracle: %w", err)
 	}
-	sim, err := core.NewSimulator(prog, ctx.Sched, cfg.D, schemes)
+	return ctx.Sched, nil
+}
+
+// simRun is the architectural outcome of one simulator run, from either
+// engine implementation.
+type simRun struct {
+	value  uint64
+	err    error
+	output []string
+	mem    []uint64
+}
+
+// runEngine schedules the transformed program and executes it on the
+// configured engine (decoded by default, legacy on request).
+func runEngine(prog *ir.Program, schemes map[int]profile.Scheme, recLen map[int]int, cfg Config) (simRun, error) {
+	ps, err := scheduleFor(prog, cfg)
 	if err != nil {
-		return nil, err
+		return simRun{}, err
 	}
-	if cfg.CCBCapacity > 0 {
-		sim.CCBCapacity = cfg.CCBCapacity
+	switch cfg.Engine {
+	case "", "decoded":
+		sim, err := core.NewSimulator(prog, ps, cfg.D, schemes)
+		if err != nil {
+			return simRun{}, err
+		}
+		if cfg.CCBCapacity > 0 {
+			sim.CCBCapacity = cfg.CCBCapacity
+		}
+		if cfg.SerialRecovery {
+			sim.SerialRecovery = true
+			sim.RecoveryLen = recLen
+			sim.BranchPenalty = cfg.BranchPenalty
+		}
+		if cfg.trialMaxCycles > 0 {
+			sim.MaxCycles = cfg.trialMaxCycles
+		}
+		v, err := sim.Run("main")
+		return simRun{value: v, err: err, output: sim.Output, mem: sim.Memory()}, nil
+	case "legacy":
+		sim, err := core.NewLegacySimulator(prog, ps, cfg.D, schemes)
+		if err != nil {
+			return simRun{}, err
+		}
+		if cfg.CCBCapacity > 0 {
+			sim.CCBCapacity = cfg.CCBCapacity
+		}
+		if cfg.SerialRecovery {
+			sim.SerialRecovery = true
+			sim.RecoveryLen = recLen
+			sim.BranchPenalty = cfg.BranchPenalty
+		}
+		if cfg.trialMaxCycles > 0 {
+			sim.MaxCycles = cfg.trialMaxCycles
+		}
+		v, err := sim.Run("main")
+		return simRun{value: v, err: err, output: sim.Output, mem: sim.Memory()}, nil
+	default:
+		return simRun{}, fmt.Errorf("oracle: unknown engine %q (want \"decoded\" or \"legacy\")", cfg.Engine)
 	}
-	if cfg.SerialRecovery {
-		sim.SerialRecovery = true
-		sim.RecoveryLen = recLen
-		sim.BranchPenalty = cfg.BranchPenalty
-	}
-	if cfg.trialMaxCycles > 0 {
-		sim.MaxCycles = cfg.trialMaxCycles
-	}
-	return sim, nil
 }
 
 // diff runs the simulator once and compares every architectural observable
 // against the reference. A simulator execution error is itself a
 // divergence (kind "sim-error"), not a check failure: the reference ran.
 func diff(ref *refResult, prog *ir.Program, schemes map[int]profile.Scheme, recLen map[int]int, cfg Config) (kind, detail string, err error) {
-	sim, err := buildSim(prog, schemes, recLen, cfg)
+	run, err := runEngine(prog, schemes, recLen, cfg)
 	if err != nil {
 		return "", "", err
 	}
-	got, err := sim.Run("main")
-	if err != nil {
-		return "sim-error", err.Error(), nil
+	if run.err != nil {
+		return "sim-error", run.err.Error(), nil
 	}
-	if got != ref.value {
-		return "value", fmt.Sprintf("simulator returned %d, interpreter %d", got, ref.value), nil
+	if run.value != ref.value {
+		return "value", fmt.Sprintf("simulator returned %d, interpreter %d", run.value, ref.value), nil
 	}
-	if len(sim.Output) != len(ref.output) {
-		return "output", fmt.Sprintf("simulator printed %d lines, interpreter %d", len(sim.Output), len(ref.output)), nil
+	if len(run.output) != len(ref.output) {
+		return "output", fmt.Sprintf("simulator printed %d lines, interpreter %d", len(run.output), len(ref.output)), nil
 	}
 	for i := range ref.output {
-		if sim.Output[i] != ref.output[i] {
-			return "output", fmt.Sprintf("line %d: simulator %q, interpreter %q", i, sim.Output[i], ref.output[i]), nil
+		if run.output[i] != ref.output[i] {
+			return "output", fmt.Sprintf("line %d: simulator %q, interpreter %q", i, run.output[i], ref.output[i]), nil
 		}
 	}
-	simMem := sim.Memory()
-	if len(simMem) != len(ref.mem) {
-		return "memory", fmt.Sprintf("memory size %d != %d", len(simMem), len(ref.mem)), nil
+	if len(run.mem) != len(ref.mem) {
+		return "memory", fmt.Sprintf("memory size %d != %d", len(run.mem), len(ref.mem)), nil
 	}
 	for i := range ref.mem {
-		if simMem[i] != ref.mem[i] {
-			return "memory", fmt.Sprintf("word %d: simulator %d, interpreter %d", i, simMem[i], ref.mem[i]), nil
+		if run.mem[i] != ref.mem[i] {
+			return "memory", fmt.Sprintf("word %d: simulator %d, interpreter %d", i, run.mem[i], ref.mem[i]), nil
 		}
 	}
 	return "", "", nil

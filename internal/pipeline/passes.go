@@ -8,6 +8,7 @@ package pipeline
 import (
 	"fmt"
 
+	"vliwvp/internal/core"
 	"vliwvp/internal/ddg"
 	"vliwvp/internal/ifconv"
 	"vliwvp/internal/ir"
@@ -217,5 +218,43 @@ func (s Schedule) Run(ctx *Ctx, p *ir.Program) error {
 		ps.Funcs[f.Name] = fs
 	}
 	ctx.Sched = ps
+	return nil
+}
+
+// Decode lowers the scheduled program into the simulator's dense execution
+// image (core.Image): flat per-block op arrays, precomputed operand lists
+// and Synchronization-bit masks, dense prediction-site IDs. It runs after
+// Schedule and publishes ctx.Image. The image is immutable and safe to
+// share — callers cache it per (program, schedule, machine) and bind any
+// number of simulators or batches to it.
+//
+// Decode is deliberately not Cacheable: the manager's memoized prefix
+// state carries only (Prog, Prof), so an image must be produced by a live
+// pass (or cached by the caller under the plan key, as internal/exp does).
+type Decode struct{}
+
+// Name implements Pass.
+func (Decode) Name() string { return "decode" }
+
+// Mutates reports that decoding reads the program without modifying it.
+func (Decode) Mutates() bool { return false }
+
+// Fingerprint contributes the image format version to derived cache keys,
+// so caller-side image caches invalidate when the format evolves.
+func (Decode) Fingerprint() string { return core.ImageFormatVersion }
+
+// Run implements Pass.
+func (Decode) Run(ctx *Ctx, p *ir.Program) error {
+	if ctx.Machine == nil {
+		return fmt.Errorf("decode: no machine description on ctx")
+	}
+	if ctx.Sched == nil {
+		return fmt.Errorf("decode: no schedule on ctx (run the schedule pass first)")
+	}
+	img, err := core.DecodeImage(p, ctx.Sched, ctx.Machine)
+	if err != nil {
+		return err
+	}
+	ctx.Image = img
 	return nil
 }

@@ -37,6 +37,7 @@ import (
 	"testing"
 	"time"
 
+	"vliwvp/internal/core"
 	"vliwvp/internal/exp/cache"
 	"vliwvp/internal/ir"
 	"vliwvp/internal/machine"
@@ -73,6 +74,8 @@ type Ctx struct {
 	// Sched is the whole-program VLIW schedule (set by the schedule
 	// pass).
 	Sched *sched.ProgSched
+	// Image is the decoded simulator image (set by the decode pass).
+	Image *core.Image
 	// Shared reports that Prog/Prof are cache-shared state: read-only,
 	// potentially referenced by other goroutines and configurations.
 	Shared bool
