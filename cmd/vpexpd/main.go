@@ -1,0 +1,149 @@
+// Command vpexpd is the compile-and-simulate daemon: an HTTP/JSON
+// service over the vliwvp pipeline. Clients POST VL programs (inline
+// source, stock benchmarks, or progen seeds) plus machine/config grids
+// to /v1/run; the daemon compiles through the pass-manager pipeline
+// (coalescing identical concurrent compiles into one), executes each
+// grid cell on pooled decoded-engine simulators, and answers with
+// schedules, cycle counts, stats snapshots, and optionally a streamed
+// NDJSON event trace.
+//
+// Usage:
+//
+//	vpexpd [-addr :8642] [-workers N] [-queue N] [budget flags]
+//	vpexpd -selfcheck [-sc-concurrency N] [-sc-duration 2s] [-sc-rps N]
+//	        [-sc-cold 0.1] [-sc-seed 1]
+//
+// The budget flags bound what a single request may ask for; see
+// internal/serve.Budgets for the rejection contract each maps to.
+//
+// On SIGTERM/SIGINT the daemon drains: admission stops (healthz flips to
+// 503 so load balancers stop routing), in-flight requests complete,
+// queued ones are answered 503 with Retry-After, and the process exits
+// after the listener shuts down — nonzero if the pooled simulators fail
+// their quiescence check.
+//
+// -selfcheck runs the in-process load harness (internal/serve/loadtest)
+// against a fresh server instead of listening: a short mixed
+// cached/cold workload whose report must show zero dropped in-budget
+// requests and zero result mismatches. It exercises the same handler,
+// queue, and worker pool the daemon serves with, so it doubles as a
+// smoke test of a build before deployment.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"vliwvp/internal/serve"
+	"vliwvp/internal/serve/loadtest"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8642", "listen address")
+		workers      = flag.Int("workers", 0, "executor goroutines (0 = NumCPU)")
+		queue        = flag.Int("queue", 0, "max queued requests beyond executing ones (0 = default)")
+		maxBody      = flag.Int64("max-body", 0, "max request body bytes (0 = default)")
+		maxSource    = flag.Int("max-source", 0, "max inline program bytes (0 = default)")
+		maxCells     = flag.Int("max-cells", 0, "max machines x configs per request (0 = default)")
+		maxCycles    = flag.Int64("max-cycles", 0, "max simulated cycles per cell (0 = default)")
+		maxArgs      = flag.Int("max-args", 0, "max entry arguments (0 = default)")
+		cacheEntries = flag.Int("cache-entries", 0, "compile-cache entry budget before flush (0 = default)")
+		drainWait    = flag.Duration("drain-timeout", 30*time.Second, "max wait for in-flight requests on shutdown")
+
+		selfcheck = flag.Bool("selfcheck", false, "run the in-process load harness and exit")
+		scConc    = flag.Int("sc-concurrency", 8, "selfcheck client goroutines")
+		scDur     = flag.Duration("sc-duration", 2*time.Second, "selfcheck duration")
+		scRPS     = flag.Int("sc-rps", 0, "selfcheck paced arrival rate (0 = closed loop)")
+		scCold    = flag.Float64("sc-cold", 0.05, "selfcheck fraction of uncached-compile requests")
+		scSeed    = flag.Int64("sc-seed", 1, "selfcheck progen seed")
+	)
+	flag.Parse()
+
+	budgets := serve.Budgets{
+		MaxBodyBytes:    *maxBody,
+		MaxSourceBytes:  *maxSource,
+		MaxCells:        *maxCells,
+		MaxCycles:       *maxCycles,
+		MaxArgs:         *maxArgs,
+		Workers:         *workers,
+		MaxQueue:        *queue,
+		MaxCacheEntries: *cacheEntries,
+	}
+	srv := serve.New(budgets)
+
+	if *selfcheck {
+		os.Exit(runSelfcheck(srv, loadtest.Config{
+			Concurrency: *scConc,
+			Duration:    *scDur,
+			RPS:         *scRPS,
+			ColdFrac:    *scCold,
+			Seed:        *scSeed,
+		}, *drainWait))
+	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "vpexpd: listening on %s (workers=%d queue=%d)\n",
+		*addr, srv.Budgets().Workers, srv.Budgets().MaxQueue)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case err := <-errc:
+		fmt.Fprintf(os.Stderr, "vpexpd: serve: %v\n", err)
+		os.Exit(1)
+	case sig := <-sigc:
+		fmt.Fprintf(os.Stderr, "vpexpd: %v: draining (timeout %v)\n", sig, *drainWait)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainWait)
+	defer cancel()
+	code := 0
+	if err := srv.Shutdown(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "vpexpd: drain: %v\n", err)
+		code = 1
+	}
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "vpexpd: http shutdown: %v\n", err)
+		code = 1
+	}
+	if err := srv.CheckQuiescent(); err != nil {
+		fmt.Fprintf(os.Stderr, "vpexpd: quiescence: %v\n", err)
+		code = 1
+	}
+	fmt.Fprintln(os.Stderr, "vpexpd: shut down cleanly")
+	os.Exit(code)
+}
+
+// runSelfcheck exercises the serving spine in-process and reports.
+func runSelfcheck(srv *serve.Server, cfg loadtest.Config, drainWait time.Duration) int {
+	fmt.Fprintf(os.Stderr, "vpexpd selfcheck: concurrency=%d duration=%v rps=%d cold=%.2f seed=%d\n",
+		cfg.Concurrency, cfg.Duration, cfg.RPS, cfg.ColdFrac, cfg.Seed)
+	rep := loadtest.Run(srv, cfg)
+	fmt.Println(rep.String())
+
+	ctx, cancel := context.WithTimeout(context.Background(), drainWait)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "vpexpd selfcheck: shutdown: %v\n", err)
+		return 1
+	}
+	if err := srv.CheckQuiescent(); err != nil {
+		fmt.Fprintf(os.Stderr, "vpexpd selfcheck: quiescence: %v\n", err)
+		return 1
+	}
+	if err := rep.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "vpexpd selfcheck: FAIL: %v\n", err)
+		return 1
+	}
+	fmt.Fprintln(os.Stderr, "vpexpd selfcheck: OK")
+	return 0
+}

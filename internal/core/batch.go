@@ -1,6 +1,8 @@
 package core
 
 import (
+	"fmt"
+
 	"vliwvp/internal/profile"
 )
 
@@ -37,6 +39,13 @@ type BatchItem struct {
 	// Entry is the function to run ("main" when empty).
 	Entry string
 	Args  []uint64
+	// CCBCapacity overrides the batch/default CCB size for this item
+	// (0 = inherit). Rebinding is per run: a pooled simulator picks the
+	// item's capacity up each time it executes.
+	CCBCapacity int
+	// MaxCycles overrides the batch/default runaway guard for this item
+	// (0 = inherit). Services use it as the per-request cycle budget.
+	MaxCycles int64
 }
 
 // BatchResult is one item's outcome and headline statistics.
@@ -61,24 +70,62 @@ func NewBatch() *Batch {
 }
 
 // simFor returns the batch's simulator for an image, building it on first
-// use and rebinding its per-item configuration otherwise.
+// use and rebinding its per-item configuration otherwise. CCB capacity and
+// the cycle guard rebind on every call (item override, else batch override,
+// else engine default), so one pooled simulator can serve items with
+// different per-run budgets.
 func (b *Batch) simFor(it *BatchItem) *Simulator {
 	sim := b.sims[it.Img]
 	if sim == nil {
 		sim = NewSimulatorFromImage(it.Img, it.Schemes)
-		if b.CCBCapacity > 0 {
-			sim.CCBCapacity = b.CCBCapacity
-		}
-		if b.MaxCycles > 0 {
-			sim.MaxCycles = b.MaxCycles
-		}
 		b.sims[it.Img] = sim
-		return sim
+	} else {
+		// Same image, possibly different schemes: the predictor table
+		// notices per-site scheme changes and rebuilds only those slots.
+		sim.Schemes = it.Schemes
 	}
-	// Same image, possibly different schemes: the predictor table notices
-	// per-site scheme changes and rebuilds only those slots.
-	sim.Schemes = it.Schemes
+	sim.CCBCapacity = DefaultCCBCapacity
+	if b.CCBCapacity > 0 {
+		sim.CCBCapacity = b.CCBCapacity
+	}
+	if it.CCBCapacity > 0 {
+		sim.CCBCapacity = it.CCBCapacity
+	}
+	sim.MaxCycles = DefaultMaxCycles
+	if b.MaxCycles > 0 {
+		sim.MaxCycles = b.MaxCycles
+	}
+	if it.MaxCycles > 0 {
+		sim.MaxCycles = it.MaxCycles
+	}
 	return sim
+}
+
+// SimFor exposes the pooled simulator RunAll would use for an item,
+// configured exactly as a RunAll execution of the item would configure it.
+// Callers that need direct simulator access — attaching an event sink,
+// snapshotting per-run metrics — run the item themselves via sim.Run and
+// still hit the batch's pools on the next request for the same image.
+func (b *Batch) SimFor(it *BatchItem) *Simulator { return b.simFor(it) }
+
+// NumSims reports how many pooled simulators the batch has built (one per
+// distinct image it has executed).
+func (b *Batch) NumSims() int { return len(b.sims) }
+
+// CheckQuiescent verifies the pooled-state reset contract on every
+// simulator the batch holds; see Simulator.CheckQuiescent. Only call it
+// when no item is mid-run.
+func (b *Batch) CheckQuiescent() error {
+	for img, sim := range b.sims {
+		if err := sim.CheckQuiescent(); err != nil {
+			name := "<image>"
+			if img.Prog != nil && len(img.Prog.Funcs) > 0 {
+				name = img.Prog.Funcs[0].Name
+			}
+			return fmt.Errorf("batch sim %s: %w", name, err)
+		}
+	}
+	return nil
 }
 
 // RunAll executes every item in order and returns one result per item. A

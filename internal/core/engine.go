@@ -246,7 +246,7 @@ func NewSimulatorFromImage(img *Image, schemes map[int]profile.Scheme) *Simulato
 		Analyses:    img.analyses,
 		Schemes:     schemes,
 		CCBCapacity: DefaultCCBCapacity,
-		MaxCycles:   1 << 34,
+		MaxCycles:   DefaultMaxCycles,
 		img:         img,
 		scratch:     make([]uint64, img.maxRegs),
 		mem:         interp.New(img.Prog),
@@ -365,7 +365,7 @@ func (s *Simulator) Run(entry string, args ...uint64) (uint64, error) {
 
 	for {
 		if s.cycle > s.MaxCycles {
-			return 0, fmt.Errorf("core: exceeded %d cycles (deadlock?)", s.MaxCycles)
+			return 0, fmt.Errorf("core: exceeded %d cycles (deadlock?): %w", s.MaxCycles, ErrCycleLimit)
 		}
 		// 1. Apply this cycle's events (bit clears, register write-backs,
 		// check resolutions).

@@ -76,39 +76,13 @@ func decodeKernel(t *testing.T, d *machine.Desc) (*Image, map[int]profile.Scheme
 // reset) simulator must not carry into the next Run.
 func assertQuiescent(t *testing.T, label string, s *Simulator) {
 	t.Helper()
-	if s.syncBusy != 0 {
-		t.Errorf("%s: Synchronization register leaks bits %#x", label, s.syncBusy)
-	}
-	if live := len(s.ccb) - s.ccbHead; live != 0 {
-		t.Errorf("%s: %d CCB entries survive", label, live)
-	}
-	if s.wheel.len() != 0 {
-		t.Errorf("%s: %d events in flight", label, s.wheel.len())
-	}
-	// A finished run leaves exactly its returned root frame on the stack
-	// (released by the next Run's reset); anything deeper is a leak, and
-	// the root must hold no event pins.
-	if len(s.stack) > 1 {
-		t.Errorf("%s: %d frames on the stack", label, len(s.stack))
-	} else if len(s.stack) == 1 {
-		root := s.stack[0]
-		if !root.returned || root.pins != 0 {
-			t.Errorf("%s: root frame returned=%v pins=%d", label, root.returned, root.pins)
-		}
-	}
-	for i, fr := range s.framePool {
-		if fr.pins != 0 || !fr.pooled {
-			t.Errorf("%s: framePool[%d] pins=%d pooled=%v", label, i, fr.pins, fr.pooled)
-		}
-		if fr.inst != nil {
-			t.Errorf("%s: framePool[%d] still references a block instance", label, i)
-		}
+	// The exported contract check covers sync bits, CCB, wheel, stack, and
+	// both pools (quiesce.go); the entry-table consistency probe below is
+	// white-box-only.
+	if err := s.CheckQuiescent(); err != nil {
+		t.Errorf("%s: %v", label, err)
 	}
 	for i, bi := range s.instPool {
-		if bi.pins != 0 || bi.live != 0 || bi.active || !bi.pooled {
-			t.Errorf("%s: instPool[%d] pins=%d live=%d active=%v pooled=%v",
-				label, i, bi.pins, bi.live, bi.active, bi.pooled)
-		}
 		if n := len(bi.entries) - int(countEntryRefs(bi)); len(bi.entryOf) != 0 && n < 0 {
 			t.Errorf("%s: instPool[%d] inconsistent entry table", label, i)
 		}

@@ -1,0 +1,72 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// DefaultMaxCycles is the runaway guard a freshly built Simulator starts
+// with; per-run overrides (Simulator.MaxCycles, BatchItem.MaxCycles)
+// replace it for one binding and rebinding restores it.
+const DefaultMaxCycles = 1 << 34
+
+// ErrCycleLimit marks a run aborted by the MaxCycles guard. Callers that
+// impose per-request cycle budgets (the serving layer) unwrap it to
+// distinguish a budget abort from a genuine execution failure.
+var ErrCycleLimit = errors.New("cycle limit exceeded")
+
+// Reset restores construction-time state without running anything: every
+// frame and block instance returns to its pool, the event wheel drains,
+// and statistics zero. Run performs this implicitly; hosts that abort a
+// run (per-request cycle budgets) call it explicitly so pooled resources
+// are returned — and CheckQuiescent passes — without waiting for the
+// simulator's next reuse.
+func (s *Simulator) Reset() { s.reset() }
+
+// CheckQuiescent verifies the pooled-state reset contract on a simulator
+// that is not mid-run: no Synchronization-register bit, live CCB entry,
+// in-flight wheel event, leaked stack frame, or pinned pooled object may
+// survive a completed (or reset) Run. It returns the first violation
+// found, or nil.
+//
+// This is the exported twin of the white-box assertions the pooling tests
+// introduced with the decode-once engine; long-running services call it
+// after draining to prove their pooled simulators leak nothing.
+func (s *Simulator) CheckQuiescent() error {
+	if s.syncBusy != 0 {
+		return fmt.Errorf("core: Synchronization register leaks bits %#x", s.syncBusy)
+	}
+	if live := len(s.ccb) - s.ccbHead; live != 0 {
+		return fmt.Errorf("core: %d CCB entries survive", live)
+	}
+	if s.wheel.len() != 0 {
+		return fmt.Errorf("core: %d events in flight", s.wheel.len())
+	}
+	// A finished run leaves exactly its returned root frame on the stack
+	// (released by the next Run's reset); anything deeper is a leak, and
+	// the root must hold no event pins.
+	switch {
+	case len(s.stack) > 1:
+		return fmt.Errorf("core: %d frames on the stack", len(s.stack))
+	case len(s.stack) == 1:
+		root := s.stack[0]
+		if !root.returned || root.pins != 0 {
+			return fmt.Errorf("core: root frame returned=%v pins=%d", root.returned, root.pins)
+		}
+	}
+	for i, fr := range s.framePool {
+		if fr.pins != 0 || !fr.pooled {
+			return fmt.Errorf("core: framePool[%d] pins=%d pooled=%v", i, fr.pins, fr.pooled)
+		}
+		if fr.inst != nil {
+			return fmt.Errorf("core: framePool[%d] still references a block instance", i)
+		}
+	}
+	for i, bi := range s.instPool {
+		if bi.pins != 0 || bi.live != 0 || bi.active || !bi.pooled {
+			return fmt.Errorf("core: instPool[%d] pins=%d live=%d active=%v pooled=%v",
+				i, bi.pins, bi.live, bi.active, bi.pooled)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,96 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"vliwvp/internal/machine"
+)
+
+// TestErrCycleLimitSentinel pins the budget-abort contract the serving
+// layer branches on: a MaxCycles abort unwraps to ErrCycleLimit, a normal
+// run does not see it, and the aborted simulator Reset()s to quiescence
+// without waiting for its next Run.
+func TestErrCycleLimitSentinel(t *testing.T) {
+	img, schemes := decodeKernel(t, machine.W4)
+	s := NewSimulatorFromImage(img, schemes)
+	s.MaxCycles = 3
+	_, err := s.Run("main")
+	if err == nil {
+		t.Fatal("run with MaxCycles=3 did not abort")
+	}
+	if !errors.Is(err, ErrCycleLimit) {
+		t.Fatalf("abort error %v does not unwrap to ErrCycleLimit", err)
+	}
+	// Mid-run residue is expected before Reset; after it, none.
+	s.Reset()
+	if err := s.CheckQuiescent(); err != nil {
+		t.Fatalf("after Reset: %v", err)
+	}
+
+	s.MaxCycles = DefaultMaxCycles
+	if _, err := s.Run("main"); err != nil {
+		t.Fatalf("run after reset: %v", err)
+	}
+	if err := s.CheckQuiescent(); err != nil {
+		t.Fatalf("after full run: %v", err)
+	}
+}
+
+// TestBatchRebindsPerItemCaps pins the per-item rebinding contract: one
+// pooled simulator serves items with different CCB capacities and cycle
+// budgets, and an item with no override restores the defaults rather
+// than inheriting the previous item's caps.
+func TestBatchRebindsPerItemCaps(t *testing.T) {
+	img, schemes := decodeKernel(t, machine.W4)
+	b := NewBatch()
+
+	base := BatchItem{Name: "k", Img: img, Schemes: schemes}
+	simA := b.SimFor(&base)
+	if simA.CCBCapacity != DefaultCCBCapacity || simA.MaxCycles != DefaultMaxCycles {
+		t.Fatalf("defaults: ccb=%d max=%d", simA.CCBCapacity, simA.MaxCycles)
+	}
+
+	tight := base
+	tight.CCBCapacity, tight.MaxCycles = 2, 7
+	simB := b.SimFor(&tight)
+	if simB != simA {
+		t.Fatal("same image produced a second simulator")
+	}
+	if simB.CCBCapacity != 2 || simB.MaxCycles != 7 {
+		t.Fatalf("item override: ccb=%d max=%d, want 2, 7", simB.CCBCapacity, simB.MaxCycles)
+	}
+	if _, err := b.SimFor(&tight).Run("main"); !errors.Is(err, ErrCycleLimit) {
+		t.Fatalf("tight item did not hit its cycle budget: %v", err)
+	}
+	b.SimFor(&tight).Reset()
+
+	// Rebinding back to no override restores defaults — the stale-cap bug
+	// a pooled server would otherwise carry between requests.
+	simC := b.SimFor(&base)
+	if simC.CCBCapacity != DefaultCCBCapacity || simC.MaxCycles != DefaultMaxCycles {
+		t.Fatalf("rebind to defaults: ccb=%d max=%d", simC.CCBCapacity, simC.MaxCycles)
+	}
+	if _, err := simC.Run("main"); err != nil {
+		t.Fatalf("default rerun: %v", err)
+	}
+
+	// Batch-level override sits between item override and defaults.
+	b.CCBCapacity, b.MaxCycles = 4, 9999999
+	simD := b.SimFor(&base)
+	if simD.CCBCapacity != 4 || simD.MaxCycles != 9999999 {
+		t.Fatalf("batch override: ccb=%d max=%d", simD.CCBCapacity, simD.MaxCycles)
+	}
+	simE := b.SimFor(&tight)
+	if simE.CCBCapacity != 2 || simE.MaxCycles != 7 {
+		t.Fatalf("item override over batch: ccb=%d max=%d", simE.CCBCapacity, simE.MaxCycles)
+	}
+
+	if b.NumSims() != 1 {
+		t.Fatalf("NumSims = %d, want 1", b.NumSims())
+	}
+	b.SimFor(&base).Reset()
+	if err := b.CheckQuiescent(); err != nil {
+		t.Fatalf("batch quiescence: %v", err)
+	}
+}

@@ -37,6 +37,13 @@ type shard struct {
 // is as deterministic as a value — re-running would produce the same one).
 type Cache struct {
 	shards [shardCount]shard
+
+	// Hook, when non-nil, observes every Do call after its entry resolves:
+	// ran reports whether this caller executed compute (false means the
+	// result was served by single-flight coalescing or an earlier memo).
+	// Set it before the cache is shared across goroutines; the serving
+	// layer uses it to pin compile-vs-coalesced counters.
+	Hook func(key string, ran bool)
 }
 
 // New returns an empty cache.
@@ -66,7 +73,11 @@ func (c *Cache) Do(key string, compute func() (any, error)) (any, error) {
 		s.entries[key] = e
 	}
 	s.mu.Unlock()
-	e.once.Do(func() { e.val, e.err = compute() })
+	ran := false
+	e.once.Do(func() { e.val, e.err = compute(); ran = true })
+	if c.Hook != nil {
+		c.Hook(key, ran)
+	}
 	return e.val, e.err
 }
 

@@ -1,0 +1,73 @@
+package cache_test
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"vliwvp/internal/exp/cache"
+)
+
+// TestHookObservesComputeVsCoalesce pins the Hook contract the serving
+// layer's compile counters build on: across any interleaving, exactly one
+// Do caller per key observes ran=true and every other observes ran=false.
+func TestHookObservesComputeVsCoalesce(t *testing.T) {
+	c := cache.New()
+	var computed, coalesced atomic.Int64
+	c.Hook = func(key string, ran bool) {
+		if ran {
+			computed.Add(1)
+		} else {
+			coalesced.Add(1)
+		}
+	}
+
+	const callers = 16
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			if _, err := c.Do("k", func() (any, error) { return 1, nil }); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	close(start)
+	wg.Wait()
+
+	if got := computed.Load(); got != 1 {
+		t.Errorf("computed = %d, want exactly 1", got)
+	}
+	if got := coalesced.Load(); got != callers-1 {
+		t.Errorf("coalesced = %d, want %d", got, callers-1)
+	}
+
+	// A later hit on the same key is also a coalesce (ran=false).
+	if _, err := c.Do("k", func() (any, error) { return 2, nil }); err != nil {
+		t.Fatal(err)
+	}
+	if got := coalesced.Load(); got != callers {
+		t.Errorf("after warm hit: coalesced = %d, want %d", got, callers)
+	}
+
+	// The hook sees the key it fired for, and errors still report ran=true
+	// for the computing caller.
+	var sawKey string
+	var sawRan bool
+	c.Hook = func(key string, ran bool) { sawKey, sawRan = key, ran }
+	if _, err := c.Do("k2", func() (any, error) { return nil, errFail }); err == nil {
+		t.Fatal("error from compute was swallowed")
+	}
+	if sawKey != "k2" || !sawRan {
+		t.Errorf("hook saw (%q, %v), want (\"k2\", true)", sawKey, sawRan)
+	}
+}
+
+var errFail = &failErr{}
+
+type failErr struct{}
+
+func (*failErr) Error() string { return "compute failed" }

@@ -20,7 +20,6 @@ package exp
 import (
 	"fmt"
 
-	"vliwvp/internal/core"
 	"vliwvp/internal/exp/cache"
 	"vliwvp/internal/interp"
 	"vliwvp/internal/ir"
@@ -149,23 +148,14 @@ func (r *Runner) frontEndFor(b *workload.Benchmark) (*frontEnd, error) {
 	return &frontEnd{Prog: ctx.Prog, Prof: ctx.Prof}, nil
 }
 
-// specImage is the cached decoded product of the full speculative
-// pipeline for one benchmark: the execution image and the per-site
-// predictor schemes. Both are immutable and shared across goroutines —
-// any number of simulators or batches bind to one image.
-type specImage struct {
-	Img     *core.Image
-	Schemes map[int]profile.Scheme
-}
-
-// specImageFor returns the benchmark's decoded image under the runner's
-// speculative configuration, computed once per cache. The key composes the
-// front-end key with every SpecPlan pass fingerprint (speculation config,
-// DDG options, image format version) and the machine description, so
-// images cache exactly as finely as the pipeline products they decode.
-func (r *Runner) specImageFor(b *workload.Benchmark) (*specImage, error) {
-	pl := r.SpecPlan()
-	key := fmt.Sprintf("img|%s|d=%+v", pl.Key(r.frontKey(b), len(pl.Passes)), *r.D)
+// specImageFor returns the benchmark's compiled product (decoded image,
+// per-site schemes, rendered schedule) under the runner's speculative
+// configuration, computed once per cache. The key composes the front-end
+// key with every SpecPlan pass fingerprint (speculation config, DDG
+// options, image format version) and the machine description, so images
+// cache exactly as finely as the pipeline products they decode.
+func (r *Runner) specImageFor(b *workload.Benchmark) (*Compiled, error) {
+	key := r.CompiledKey(b)
 	v, err := r.cacheFor().Do(key, func() (any, error) {
 		ctx, err := r.specRun(b)
 		if err != nil {
@@ -174,12 +164,16 @@ func (r *Runner) specImageFor(b *workload.Benchmark) (*specImage, error) {
 		if ctx.Image == nil {
 			return nil, fmt.Errorf("%s: spec plan produced no image", b.Name)
 		}
-		return &specImage{Img: ctx.Image, Schemes: ctx.Schemes}, nil
+		return &Compiled{
+			Img:      ctx.Image,
+			Schemes:  ctx.Schemes,
+			Schedule: RenderSchedule(ctx.Prog, ctx.Sched),
+		}, nil
 	})
 	if err != nil {
 		return nil, err
 	}
-	return v.(*specImage), nil
+	return v.(*Compiled), nil
 }
 
 // origLensFor returns the original schedule length of every block of the

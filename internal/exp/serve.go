@@ -1,0 +1,92 @@
+package exp
+
+// Exported cache hooks for the serving layer (internal/serve). The daemon
+// compiles arbitrary programs through the same per-pass pipeline cache the
+// experiment drivers share, so concurrent identical requests coalesce onto
+// one compile (cache single-flight) and repeat requests are pure lookups.
+// Everything a request needs downstream of compilation — the decoded
+// image, per-site predictor schemes, the rendered schedule — is one cache
+// entry under the cumulative pass-fingerprint key CompiledKey reports.
+
+import (
+	"fmt"
+	"strings"
+
+	"vliwvp/internal/core"
+	"vliwvp/internal/ir"
+	"vliwvp/internal/profile"
+	"vliwvp/internal/sched"
+	"vliwvp/internal/workload"
+)
+
+// CompiledPrefix prefixes every compiled-product cache key; cache hooks
+// use it to tell compile entries from pass-level and helper entries.
+const CompiledPrefix = "img|"
+
+// Compiled is the cached product of the full speculative compile of one
+// benchmark under one runner configuration: the decoded execution image,
+// the per-site predictor schemes, and the rendered whole-program schedule.
+// All fields are immutable and shared across goroutines — any number of
+// simulators or batches bind to one image.
+type Compiled struct {
+	Img     *core.Image
+	Schemes map[int]profile.Scheme
+	// Schedule is the human-readable whole-program VLIW schedule (one
+	// line per long instruction with its wait mask), rendered once at
+	// compile time so serving it costs a cache lookup.
+	Schedule string
+}
+
+// Compiled returns the benchmark's compiled product under the runner's
+// configuration, served from the pipeline cache: concurrent callers with
+// the same key block on one compilation (single-flight), later callers
+// get a pure lookup.
+func (r *Runner) Compiled(b *workload.Benchmark) (*Compiled, error) {
+	return r.specImageFor(b)
+}
+
+// CompiledKey is the cache key Compiled products live under: the
+// cumulative per-pass fingerprint of the front-end plan plus every
+// SpecPlan pass (speculation config, DDG options, image format version)
+// plus the machine description. Two requests agreeing on this key are the
+// same compile.
+func (r *Runner) CompiledKey(b *workload.Benchmark) string {
+	pl := r.SpecPlan()
+	return fmt.Sprintf("%s%s|d=%+v", CompiledPrefix, pl.Key(r.frontKey(b), len(pl.Passes)), *r.D)
+}
+
+// CacheLen reports how many entries the runner's pipeline cache holds
+// (serving-layer cache-budget accounting).
+func (r *Runner) CacheLen() int { return r.cacheFor().Len() }
+
+// FlushCache drops every entry from the runner's pipeline cache (the
+// serving layer's crude-but-bounded answer to cold-plan cache growth).
+func (r *Runner) FlushCache() { r.cacheFor().Flush() }
+
+// RenderSchedule renders a whole-program schedule in the fixture format
+// the golden-equivalence suite pins: per function, per block, one line per
+// long instruction with its Synchronization wait mask and bracketed ops.
+func RenderSchedule(prog *ir.Program, ps *sched.ProgSched) string {
+	if prog == nil || ps == nil {
+		return ""
+	}
+	var sb strings.Builder
+	for _, f := range prog.Funcs {
+		fs := ps.Funcs[f.Name]
+		if fs == nil {
+			continue
+		}
+		fmt.Fprintf(&sb, "func %s\n", f.Name)
+		for i, bs := range fs.Blocks {
+			fmt.Fprintf(&sb, "b%d len=%d\n", i, bs.Length())
+			for c, in := range bs.Instrs {
+				fmt.Fprintf(&sb, "  c%d wait=%#x:", c, in.WaitBits)
+				for _, op := range in.Ops {
+					fmt.Fprintf(&sb, " [%s]", op)
+				}
+				sb.WriteByte('\n')
+			}
+		}
+	}
+	return sb.String()
+}

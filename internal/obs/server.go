@@ -1,0 +1,166 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Server-side metrics. The Registry above is deliberately unsynchronized:
+// one simulator mutates it during one run, and Snapshot happens after. A
+// long-running daemon mutates metrics from many goroutines at once —
+// request admission, worker pools, cache hooks — so SyncRegistry provides
+// the same named-counter/histogram model on atomics, exporting through the
+// identical Snapshot type (and therefore the same JSON wire format).
+
+// SyncCounter is a named counter safe for concurrent use.
+type SyncCounter struct {
+	name string
+	v    atomic.Int64
+}
+
+// Add increments the counter.
+func (c *SyncCounter) Add(n int64) { c.v.Add(n) }
+
+// Inc adds one.
+func (c *SyncCounter) Inc() { c.v.Add(1) }
+
+// Set overwrites the value (gauge-style publication: queue depth,
+// in-flight requests).
+func (c *SyncCounter) Set(n int64) { c.v.Store(n) }
+
+// Value reads the counter.
+func (c *SyncCounter) Value() int64 { return c.v.Load() }
+
+// Name returns the registered name.
+func (c *SyncCounter) Name() string { return c.name }
+
+// SyncHistogram distributes observations over explicit upper bounds, like
+// Histogram, but is safe for concurrent Observe calls.
+type SyncHistogram struct {
+	name   string
+	bounds []int64
+	counts []atomic.Int64
+}
+
+// Observe records one observation: counts[i] tallies v <= bounds[i]
+// (first matching bound wins); the final implicit bucket is overflow.
+func (h *SyncHistogram) Observe(v int64) {
+	for i, b := range h.bounds {
+		if v <= b {
+			h.counts[i].Add(1)
+			return
+		}
+	}
+	h.counts[len(h.counts)-1].Add(1)
+}
+
+// Name returns the registered name.
+func (h *SyncHistogram) Name() string { return h.name }
+
+// Total sums every bucket (the number of observations so far).
+func (h *SyncHistogram) Total() int64 {
+	var n int64
+	for i := range h.counts {
+		n += h.counts[i].Load()
+	}
+	return n
+}
+
+// Quantile returns an upper bound on the q-quantile (0 < q <= 1) of the
+// observations: the bound of the first bucket at which the cumulative
+// count reaches q of the total. The overflow bucket reports the largest
+// finite bound plus one. With no observations it returns 0.
+func (h *SyncHistogram) Quantile(q float64) int64 {
+	total := h.Total()
+	if total == 0 {
+		return 0
+	}
+	want := int64(q * float64(total))
+	if want < 1 {
+		want = 1
+	}
+	var cum int64
+	for i, b := range h.bounds {
+		cum += h.counts[i].Load()
+		if cum >= want {
+			return b
+		}
+	}
+	return h.bounds[len(h.bounds)-1] + 1
+}
+
+// SyncRegistry is a named collection of concurrent-safe counters and
+// histograms. Registration is idempotent and snapshotting reuses the
+// Snapshot/WriteJSON export path of the per-run Registry.
+type SyncRegistry struct {
+	mu       sync.Mutex
+	counters map[string]*SyncCounter
+	hists    map[string]*SyncHistogram
+}
+
+// NewSyncRegistry returns an empty registry.
+func NewSyncRegistry() *SyncRegistry {
+	return &SyncRegistry{
+		counters: map[string]*SyncCounter{},
+		hists:    map[string]*SyncHistogram{},
+	}
+}
+
+// Counter returns the named counter, creating it at zero on first use.
+func (r *SyncRegistry) Counter(name string) *SyncCounter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &SyncCounter{name: name}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Histogram returns the named histogram, creating it with the given
+// bounds on first use. Re-registering with a different bound count panics
+// — a metric's shape is part of its identity.
+func (r *SyncRegistry) Histogram(name string, bounds []int64) *SyncHistogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = &SyncHistogram{name: name, bounds: append([]int64(nil), bounds...),
+			counts: make([]atomic.Int64, len(bounds)+1)}
+		r.hists[name] = h
+		return h
+	}
+	if len(h.bounds) != len(bounds) {
+		panic(fmt.Sprintf("obs: histogram %q re-registered with %d bounds (had %d)",
+			name, len(bounds), len(h.bounds)))
+	}
+	return h
+}
+
+// Snapshot freezes the registry. Concurrent mutation during a snapshot is
+// safe; each metric is read atomically (the snapshot is per-metric
+// consistent, not globally so — fine for monitoring endpoints).
+func (r *SyncRegistry) Snapshot() Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := Snapshot{Counters: make(map[string]int64, len(r.counters))}
+	for name, c := range r.counters {
+		s.Counters[name] = c.Value()
+	}
+	if len(r.hists) > 0 {
+		s.Histograms = make(map[string]HistSnapshot, len(r.hists))
+		for name, h := range r.hists {
+			hs := HistSnapshot{
+				Bounds: append([]int64(nil), h.bounds...),
+				Counts: make([]int64, len(h.counts)),
+			}
+			for i := range h.counts {
+				hs.Counts[i] = h.counts[i].Load()
+			}
+			s.Histograms[name] = hs
+		}
+	}
+	return s
+}

@@ -1,0 +1,111 @@
+package obs_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+
+	"vliwvp/internal/obs"
+)
+
+// TestSyncRegistryConcurrent hammers one counter and one histogram from
+// many goroutines and checks exact totals — the server-side registry must
+// lose no increments (run under -race in CI).
+func TestSyncRegistryConcurrent(t *testing.T) {
+	r := obs.NewSyncRegistry()
+	c := r.Counter("reqs")
+	h := r.Histogram("lat", obs.Pow2Bounds(8))
+
+	const workers, each = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				c.Inc()
+				h.Observe(int64(i % 300))
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if got := c.Value(); got != workers*each {
+		t.Errorf("counter = %d, want %d", got, workers*each)
+	}
+	if got := h.Total(); got != workers*each {
+		t.Errorf("histogram total = %d, want %d", got, workers*each)
+	}
+	// Pow2Bounds(8) tops out at 128; observations up to 299 land in the
+	// overflow bucket, which Quantile reports as last-bound+1.
+	if q := h.Quantile(1.0); q != 129 {
+		t.Errorf("q100 upper bound = %d, want 129 (overflow marker)", q)
+	}
+	if q := h.Quantile(0.01); q > 8 {
+		t.Errorf("q1 upper bound = %d, want a small bucket", q)
+	}
+
+	// Registration is idempotent: same handle back, and a shape change
+	// panics.
+	if r.Counter("reqs") != c {
+		t.Error("re-registering a counter returned a different handle")
+	}
+	if r.Histogram("lat", obs.Pow2Bounds(8)) != h {
+		t.Error("re-registering a histogram returned a different handle")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("re-registering with different bounds did not panic")
+			}
+		}()
+		r.Histogram("lat", obs.Pow2Bounds(4))
+	}()
+}
+
+// TestSyncRegistrySnapshotWire checks the snapshot reuses the per-run
+// registry's JSON wire format: counters and histograms land in the same
+// top-level fields with the same shapes.
+func TestSyncRegistrySnapshotWire(t *testing.T) {
+	r := obs.NewSyncRegistry()
+	r.Counter("a").Add(3)
+	r.Counter("gauge").Set(7)
+	r.Histogram("h", []int64{1, 2, 4}).Observe(3)
+
+	snap := r.Snapshot()
+	if snap.Counters["a"] != 3 || snap.Counters["gauge"] != 7 {
+		t.Errorf("counters = %v", snap.Counters)
+	}
+	hs, ok := snap.Histograms["h"]
+	if !ok || len(hs.Counts) != 4 {
+		t.Fatalf("histogram snapshot = %+v", hs)
+	}
+	if hs.Counts[2] != 1 {
+		t.Errorf("observation of 3 landed in %v, want bucket 2 (<=4)", hs.Counts)
+	}
+
+	var buf bytes.Buffer
+	if err := snap.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var wire struct {
+		Counters   map[string]int64 `json:"counters"`
+		Histograms map[string]struct {
+			Bounds []int64 `json:"bounds"`
+			Counts []int64 `json:"counts"`
+		} `json:"histograms"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &wire); err != nil {
+		t.Fatalf("wire format: %v (%s)", err, buf.String())
+	}
+	if wire.Counters["a"] != 3 || len(wire.Histograms["h"].Counts) != 4 {
+		t.Errorf("wire = %+v", wire)
+	}
+
+	// Snapshot is a copy: later mutation must not leak into it.
+	r.Counter("a").Add(10)
+	if snap.Counters["a"] != 3 {
+		t.Error("snapshot aliases live counters")
+	}
+}

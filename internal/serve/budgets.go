@@ -1,0 +1,79 @@
+package serve
+
+import "runtime"
+
+// Budgets is the daemon's admission-control configuration: every limit a
+// request is checked against before any compile or simulation work is
+// admitted on its behalf. The zero value of any field selects the default
+// (Normalize). Rejections map to exact HTTP statuses — see request.go's
+// error-code table — so clients can distinguish "shrink your request"
+// (4xx) from "retry later" (503).
+type Budgets struct {
+	// MaxBodyBytes caps the HTTP request body (413 body_too_large).
+	MaxBodyBytes int64
+	// MaxSourceBytes caps an inline VL program (413 program_too_large).
+	MaxSourceBytes int
+	// MaxCells caps machines × configs per request (422 grid_too_large).
+	MaxCells int
+	// MaxCycles caps the per-cell simulated-cycle budget. Requesting more
+	// is rejected at admission (422 cycle_budget); a run that exceeds the
+	// effective cap is aborted and reported as a cell-level cycle_limit
+	// error.
+	MaxCycles int64
+	// MaxArgs caps entry-function arguments (400 bad_request).
+	MaxArgs int
+	// Workers is the number of executor goroutines (each owns a pooled
+	// simulator batch).
+	Workers int
+	// MaxQueue bounds requests queued beyond the executing ones; an
+	// enqueue past it is backpressure (503 queue_full, Retry-After).
+	MaxQueue int
+	// MaxCacheEntries bounds the compile cache. When a compile pushes the
+	// entry count past it, the whole cache is flushed (crude, but keeps a
+	// cold-plan soak's memory bounded). 0 disables the bound.
+	MaxCacheEntries int
+}
+
+// DefaultBudgets returns the stock limits vpexpd ships with.
+func DefaultBudgets() Budgets {
+	return Budgets{
+		MaxBodyBytes:    1 << 20,
+		MaxSourceBytes:  64 << 10,
+		MaxCells:        64,
+		MaxCycles:       1 << 26, // ~67M cycles: every stock kernel fits with room
+		MaxArgs:         8,
+		Workers:         runtime.NumCPU(),
+		MaxQueue:        256,
+		MaxCacheEntries: 4096,
+	}
+}
+
+// Normalize fills zero fields from the defaults and clamps nonsense.
+func (b Budgets) Normalize() Budgets {
+	d := DefaultBudgets()
+	if b.MaxBodyBytes <= 0 {
+		b.MaxBodyBytes = d.MaxBodyBytes
+	}
+	if b.MaxSourceBytes <= 0 {
+		b.MaxSourceBytes = d.MaxSourceBytes
+	}
+	if b.MaxCells <= 0 {
+		b.MaxCells = d.MaxCells
+	}
+	if b.MaxCycles <= 0 {
+		b.MaxCycles = d.MaxCycles
+	}
+	if b.MaxArgs <= 0 {
+		b.MaxArgs = d.MaxArgs
+	}
+	if b.Workers <= 0 {
+		b.Workers = d.Workers
+	}
+	if b.MaxQueue <= 0 {
+		b.MaxQueue = d.MaxQueue
+	}
+	if b.MaxCacheEntries < 0 {
+		b.MaxCacheEntries = 0
+	}
+	return b
+}

@@ -1,0 +1,52 @@
+package serve
+
+import (
+	"testing"
+)
+
+// FuzzServeRequest drives the exported decode+validate entry with
+// arbitrary bytes: every input must produce either a valid request or a
+// typed *Error from the contract table — never a panic, and never an
+// error outside the contract. Admission is pure (no compile, no
+// simulation), so the fuzzer explores the full wire surface cheaply.
+func FuzzServeRequest(f *testing.F) {
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"benchmark":"compress"}`))
+	f.Add([]byte(`{"source":"func main() { return 1 }"}`))
+	f.Add([]byte(`{"seed":7,"machines":["4-wide","8-wide"],"configs":[{"threshold":0.5}]}`))
+	f.Add([]byte(`{"seed":7,"configs":[{"ccb_capacity":8,"if_convert":true,"regions":true}]}`))
+	f.Add([]byte(`{"benchmark":"li","entry":"main","args":[1,2],"max_cycles":1000}`))
+	f.Add([]byte(`{"benchmark":"li","stream":true,"include_schedule":true,"include_stats":true}`))
+	f.Add([]byte(`{"benchmark":"li","trace":true}`))
+	f.Add([]byte(`{"benchmark":"li"} trailing`))
+	f.Add([]byte(`{"unknown_field":1}`))
+	f.Add([]byte(`[]`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(``))
+	f.Add([]byte(`{"seed":-9223372036854775808,"max_cycles":9223372036854775807}`))
+
+	valid := map[int]map[string]bool{
+		400: {"malformed_json": true, "bad_request": true},
+		413: {"program_too_large": true},
+		422: {"grid_too_large": true, "cycle_budget": true},
+	}
+	budgets := DefaultBudgets()
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, apiErr := DecodeRequest(data, budgets)
+		if apiErr == nil {
+			if req == nil {
+				t.Fatal("nil request with nil error")
+			}
+			return
+		}
+		codes, ok := valid[apiErr.Status]
+		if !ok || !codes[apiErr.Code] {
+			t.Fatalf("rejection outside the contract table: status=%d code=%q (%s)",
+				apiErr.Status, apiErr.Code, apiErr.Message)
+		}
+		if apiErr.Message == "" {
+			t.Fatalf("rejection with empty message: %+v", apiErr)
+		}
+	})
+}

@@ -1,0 +1,200 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"vliwvp/internal/core"
+)
+
+func coreIsCycleLimit(err error) bool { return errors.Is(err, core.ErrCycleLimit) }
+
+// writeErr emits the error-body contract: the exact status, a JSON
+// {"error":{code,message}} body, and Retry-After on 503s.
+func writeErr(w http.ResponseWriter, e *Error) {
+	w.Header().Set("Content-Type", "application/json")
+	if e.RetryAfter > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(e.RetryAfter))
+	}
+	w.WriteHeader(e.Status)
+	json.NewEncoder(w).Encode(struct {
+		Error ErrBody `json:"error"`
+	}{ErrBody{Code: e.Code, Message: e.Message}})
+}
+
+// writeJSON emits a 2xx JSON body.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+// countErr tallies a rejection by code and writes it.
+func (s *Server) countErr(w http.ResponseWriter, e *Error) {
+	s.reg.Counter("serve.rejected." + e.Code).Inc()
+	writeErr(w, e)
+}
+
+// streamEncoder writes NDJSON stream lines. Nil-safe: a nil encoder (the
+// non-streaming path) ignores every call.
+type streamEncoder struct {
+	w     io.Writer
+	flush func()
+}
+
+func (e *streamEncoder) line(l *StreamLine) {
+	if e == nil {
+		return
+	}
+	b, err := json.Marshal(l)
+	if err != nil {
+		return
+	}
+	e.w.Write(append(b, '\n'))
+	if e.flush != nil {
+		e.flush()
+	}
+}
+
+func (e *streamEncoder) cell(c *CellResult) { e.line(&StreamLine{Cell: c}) }
+func (e *streamEncoder) done(d *DoneLine)   { e.line(&StreamLine{Done: d}) }
+
+// handleRun is POST /v1/run: decode, admission-check, enqueue with
+// backpressure, wait for the worker, answer.
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	t0 := time.Now()
+	defer func() { s.hLatency.Observe(time.Since(t0).Microseconds()) }()
+
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		s.countErr(w, errf(405, "method_not_allowed", "use POST"))
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.budgets.MaxBodyBytes))
+	if err != nil {
+		if isBodyTooLarge(err) {
+			s.countErr(w, errf(413, "body_too_large", "body exceeds %d bytes", s.budgets.MaxBodyBytes))
+		} else {
+			s.countErr(w, errf(400, "bad_request", "reading body: %v", err))
+		}
+		return
+	}
+	req, apiErr := decodeRequest(body)
+	if apiErr != nil {
+		s.countErr(w, apiErr)
+		return
+	}
+	spec, apiErr := validateRequest(req, s.budgets)
+	if apiErr != nil {
+		s.countErr(w, apiErr)
+		return
+	}
+
+	j := &job{
+		spec:     spec,
+		accepted: make(chan struct{}),
+		ready:    make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	streaming := req.Stream || req.Trace
+	if streaming {
+		j.w = w
+		j.flush = func() {
+			if f, ok := w.(http.Flusher); ok {
+				f.Flush()
+			}
+		}
+	} else {
+		// Non-streaming jobs never touch the ResponseWriter from the
+		// worker; the handler writes after completion.
+		close(j.ready)
+	}
+
+	if apiErr := s.admitJob(); apiErr != nil {
+		s.countErr(w, apiErr)
+		return
+	}
+	if apiErr := s.enqueue(j); apiErr != nil {
+		s.countErr(w, apiErr)
+		return
+	}
+	s.mAccepted.Inc()
+
+	if streaming {
+		// Hold the 200 until a worker actually starts the job: a queued
+		// job rejected by drain must still answer with a clean 503.
+		select {
+		case <-j.accepted:
+			w.Header().Set("Content-Type", "application/x-ndjson")
+			w.WriteHeader(http.StatusOK)
+			if f, ok := w.(http.Flusher); ok {
+				f.Flush()
+			}
+			close(j.ready)
+			<-j.done
+			s.mCompleted.Inc()
+			return
+		case <-j.done:
+			// Rejected while queued (drain) — nothing streamed yet.
+			s.countErr(w, j.apiErr)
+			return
+		}
+	}
+
+	<-j.done
+	switch {
+	case j.apiErr != nil:
+		s.countErr(w, j.apiErr)
+	default:
+		s.mCompleted.Inc()
+		writeJSON(w, http.StatusOK, j.resp)
+	}
+}
+
+// healthBody is the /healthz response shape.
+type healthBody struct {
+	Status     string `json:"status"`
+	QueueDepth int    `json:"queue_depth"`
+	Workers    int    `json:"workers"`
+	PooledSims int    `json:"pooled_sims"`
+	UptimeS    int64  `json:"uptime_s"`
+}
+
+// handleHealthz reports liveness; a draining server answers 503 so load
+// balancers stop routing to it while in-flight work completes.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		s.countErr(w, errf(405, "method_not_allowed", "use GET"))
+		return
+	}
+	h := healthBody{
+		Status:     "ok",
+		QueueDepth: len(s.jobs),
+		Workers:    len(s.workers),
+		PooledSims: s.NumPooledSims(),
+		UptimeS:    int64(time.Since(s.start).Seconds()),
+	}
+	status := http.StatusOK
+	if s.Draining() {
+		h.Status = "draining"
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, h)
+}
+
+// handleMetrics serves the server registry snapshot as JSON.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		s.countErr(w, errf(405, "method_not_allowed", "use GET"))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	s.reg.Snapshot().WriteJSON(w)
+}

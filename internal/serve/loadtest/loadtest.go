@@ -1,0 +1,341 @@
+// Package loadtest is the in-process load generator for the vpexpd
+// serving spine. It drives a serve.Server's handler directly (no
+// sockets), so what it measures is the daemon itself: admission control,
+// the bounded queue, worker scheduling, compile coalescing, and pooled
+// simulation — not kernel TCP behavior.
+//
+// Two uses: `vpexpd -selfcheck` runs a short mixed workload and reports,
+// and the CI soak test asserts the report's invariants (zero dropped
+// in-budget requests, zero value mismatches, bounded p99) under -race.
+package loadtest
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"vliwvp/internal/pool"
+	"vliwvp/internal/serve"
+)
+
+// Config shapes one load run.
+type Config struct {
+	// Concurrency is the number of closed-loop client goroutines. Keeping
+	// it at or below the server's MaxQueue guarantees no in-budget request
+	// can ever see queue_full, which is what the soak asserts.
+	Concurrency int
+	// Duration bounds the run by wall clock. If zero, Requests bounds it
+	// by count instead.
+	Duration time.Duration
+	// Requests is the total request count when Duration is zero.
+	Requests int
+	// RPS, when positive, paces each client to Concurrency-way-split
+	// open-loop arrivals instead of issuing back-to-back.
+	RPS int
+	// ColdFrac in [0,1] is the fraction of requests built from fresh
+	// progen seeds (never-cached compiles); the rest replay a small warm
+	// set that stays cache-hot.
+	ColdFrac float64
+	// WarmKernels is the size of the warm set (distinct cached programs).
+	// Defaults to 4.
+	WarmKernels int
+	// Machines is the machine grid each request sweeps. Defaults to
+	// ["4-wide"].
+	Machines []string
+	// Seed derives both the warm/cold progen kernels and the per-client
+	// workload mix.
+	Seed int64
+}
+
+func (c Config) normalize() Config {
+	if c.Concurrency <= 0 {
+		c.Concurrency = 8
+	}
+	if c.Duration <= 0 && c.Requests <= 0 {
+		c.Requests = 200
+	}
+	if c.WarmKernels <= 0 {
+		c.WarmKernels = 4
+	}
+	if len(c.Machines) == 0 {
+		c.Machines = []string{"4-wide"}
+	}
+	if c.ColdFrac < 0 {
+		c.ColdFrac = 0
+	}
+	if c.ColdFrac > 1 {
+		c.ColdFrac = 1
+	}
+	return c
+}
+
+// Report is the outcome of one load run.
+type Report struct {
+	Requests int            // requests issued
+	OK       int            // HTTP 200 with every cell successful
+	CellErrs int            // 200 responses containing at least one cell error
+	Rejected map[string]int // non-200 responses by error code
+	// Dropped counts in-budget requests that were refused (any non-200):
+	// a closed-loop run within the server's queue budget must report 0.
+	Dropped int
+	// Mismatched counts responses whose per-cell (value, cycles) differ
+	// from the first response observed for the same request body — the
+	// determinism check. Must be 0.
+	Mismatched int
+	Elapsed    time.Duration
+	RPS        float64 // achieved throughput (Requests / Elapsed)
+	P50        time.Duration
+	P90        time.Duration
+	P99        time.Duration
+	Max        time.Duration
+}
+
+// String renders the report for -selfcheck output.
+func (r Report) String() string {
+	return fmt.Sprintf(
+		"requests=%d ok=%d cell_errs=%d dropped=%d mismatched=%d rejected=%v\n"+
+			"elapsed=%v rps=%.0f p50=%v p90=%v p99=%v max=%v",
+		r.Requests, r.OK, r.CellErrs, r.Dropped, r.Mismatched, r.Rejected,
+		r.Elapsed.Round(time.Millisecond), r.RPS, r.P50, r.P90, r.P99, r.Max)
+}
+
+// Err returns a non-nil error if the run violated an invariant the soak
+// pins: dropped in-budget requests or nondeterministic results.
+func (r Report) Err() error {
+	if r.Dropped > 0 {
+		return fmt.Errorf("loadtest: %d in-budget requests dropped (rejected=%v)", r.Dropped, r.Rejected)
+	}
+	if r.Mismatched > 0 {
+		return fmt.Errorf("loadtest: %d responses mismatched the first-seen result", r.Mismatched)
+	}
+	if r.OK == 0 {
+		return fmt.Errorf("loadtest: no successful requests (rejected=%v)", r.Rejected)
+	}
+	return nil
+}
+
+// reqBody is one prebuilt request: its serialized JSON and a key under
+// which first-seen results are pinned for the determinism check.
+type reqBody struct {
+	key  string
+	body []byte
+}
+
+// cellFact is the replay-stable portion of a cell result.
+type cellFact struct {
+	Machine string
+	Value   uint64
+	Cycles  int64
+	Error   string
+}
+
+func buildBody(key string, req serve.Request) reqBody {
+	b, err := json.Marshal(req)
+	if err != nil {
+		panic("loadtest: marshal request: " + err.Error())
+	}
+	return reqBody{key: key, body: b}
+}
+
+// warmSet builds the cached-plan working set: WarmKernels distinct tiny
+// inline kernels (distinct sources, so distinct cache keys), each swept
+// over the configured machine grid in one request. The kernels simulate
+// in a few hundred cycles, so a warm request's cost is dominated by the
+// serving spine itself — decode, admission, cache lookup, pooled sim
+// dispatch, encode — which is what the throughput number should measure.
+func warmSet(cfg Config) []reqBody {
+	out := make([]reqBody, 0, cfg.WarmKernels)
+	for i := 0; i < cfg.WarmKernels; i++ {
+		src := fmt.Sprintf(`
+func main() {
+	var i = 0
+	var s = %d
+	while i < 32 {
+		s = s + i * 3 + %d
+		i = i + 1
+	}
+	return s
+}
+`, cfg.Seed+int64(i), i+1)
+		out = append(out, buildBody(
+			fmt.Sprintf("warm-%d-%d", cfg.Seed, i),
+			serve.Request{Source: src, Machines: cfg.Machines},
+		))
+	}
+	return out
+}
+
+// Run drives the server with cfg and reports. The server is used through
+// its public handler, exactly as an HTTP client would use it.
+func Run(s *serve.Server, cfg Config) Report {
+	cfg = cfg.normalize()
+	h := s.Handler()
+	warm := warmSet(cfg)
+
+	// Pre-touch every warm body once, serially, so the timed window
+	// measures cached-plan serving (and so first-seen results exist
+	// before concurrent replies race to publish them).
+	var facts sync.Map // key → []cellFact
+	for _, rb := range warm {
+		resp, code := post(h, rb.body)
+		if code == http.StatusOK && resp != nil {
+			facts.Store(rb.key, factsOf(resp))
+		}
+	}
+
+	var (
+		issued     atomic.Int64
+		okCount    atomic.Int64
+		cellErrs   atomic.Int64
+		dropped    atomic.Int64
+		mismatched atomic.Int64
+		coldSeq    atomic.Int64
+		rejectedMu sync.Mutex
+		rejected   = map[string]int{}
+	)
+	latencies := make([][]time.Duration, cfg.Concurrency)
+
+	deadline := time.Time{}
+	if cfg.Duration > 0 {
+		deadline = time.Now().Add(cfg.Duration)
+	}
+	var pace time.Duration
+	if cfg.RPS > 0 {
+		pace = time.Duration(cfg.Concurrency) * time.Second / time.Duration(cfg.RPS)
+	}
+
+	t0 := time.Now()
+	pool.ForEach(cfg.Concurrency, cfg.Concurrency, func(client int) error {
+		rng := rand.New(rand.NewSource(cfg.Seed ^ int64(client)*0x9e3779b9))
+		next := time.Now()
+		for {
+			if cfg.Duration > 0 {
+				if !time.Now().Before(deadline) {
+					return nil
+				}
+			} else if issued.Add(1) > int64(cfg.Requests) {
+				issued.Add(-1)
+				return nil
+			}
+			if pace > 0 {
+				if d := time.Until(next); d > 0 {
+					time.Sleep(d)
+				}
+				next = next.Add(pace)
+			}
+
+			rb := warm[rng.Intn(len(warm))]
+			cold := rng.Float64() < cfg.ColdFrac
+			if cold {
+				// Fresh seed far from the warm range: an uncached compile.
+				seed := cfg.Seed + 1_000_000 + coldSeq.Add(1)
+				rb = buildBody(fmt.Sprintf("cold-%d", seed),
+					serve.Request{Seed: &seed, Machines: cfg.Machines})
+			}
+			if cfg.Duration > 0 {
+				issued.Add(1)
+			}
+
+			start := time.Now()
+			resp, code := post(h, rb.body)
+			latencies[client] = append(latencies[client], time.Since(start))
+
+			if code != http.StatusOK {
+				dropped.Add(1)
+				rejectedMu.Lock()
+				rejected[fmt.Sprintf("%d", code)]++
+				rejectedMu.Unlock()
+				continue
+			}
+			got := factsOf(resp)
+			if anyCellErr(got) {
+				cellErrs.Add(1)
+			} else {
+				okCount.Add(1)
+			}
+			if prev, loaded := facts.LoadOrStore(rb.key, got); loaded {
+				if !sameFacts(prev.([]cellFact), got) {
+					mismatched.Add(1)
+				}
+			}
+		}
+	})
+	elapsed := time.Since(t0)
+
+	var all []time.Duration
+	for _, l := range latencies {
+		all = append(all, l...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+
+	rep := Report{
+		Requests:   int(issued.Load()),
+		OK:         int(okCount.Load()),
+		CellErrs:   int(cellErrs.Load()),
+		Dropped:    int(dropped.Load()),
+		Mismatched: int(mismatched.Load()),
+		Rejected:   rejected,
+		Elapsed:    elapsed,
+	}
+	if elapsed > 0 {
+		rep.RPS = float64(rep.Requests) / elapsed.Seconds()
+	}
+	if len(all) > 0 {
+		rep.P50 = all[len(all)*50/100]
+		rep.P90 = all[len(all)*90/100]
+		rep.P99 = all[len(all)*99/100]
+		rep.Max = all[len(all)-1]
+	}
+	return rep
+}
+
+// post issues one in-process request against the handler.
+func post(h http.Handler, body []byte) (*serve.RunResponse, int) {
+	req := httptest.NewRequest(http.MethodPost, "/v1/run", bytes.NewReader(body))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		return nil, rec.Code
+	}
+	var resp serve.RunResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		return nil, http.StatusInternalServerError
+	}
+	return &resp, rec.Code
+}
+
+func factsOf(resp *serve.RunResponse) []cellFact {
+	out := make([]cellFact, 0, len(resp.Cells))
+	for _, c := range resp.Cells {
+		out = append(out, cellFact{Machine: c.Machine, Value: c.Value, Cycles: c.Cycles, Error: c.Error})
+	}
+	return out
+}
+
+func anyCellErr(fs []cellFact) bool {
+	for _, f := range fs {
+		if f.Error != "" {
+			return true
+		}
+	}
+	return false
+}
+
+func sameFacts(a, b []cellFact) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

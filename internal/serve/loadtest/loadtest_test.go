@@ -1,0 +1,81 @@
+package loadtest
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"vliwvp/internal/serve"
+)
+
+// TestSoak is the CI soak: a short closed-loop mixed cached/cold run
+// under whatever instrumentation the job adds (-race in CI). With
+// Concurrency at or below the server's queue budget, every request is
+// in-budget by construction, so the run must drop none, every response
+// must replay the first-seen result exactly, and p99 latency must stay
+// bounded. Afterwards the server drains and its pools must be quiescent.
+func TestSoak(t *testing.T) {
+	s := serve.New(serve.Budgets{Workers: 2, MaxQueue: 16})
+	cfg := Config{
+		Concurrency: 4,
+		Requests:    300,
+		ColdFrac:    0.05,
+		WarmKernels: 4,
+		Seed:        1,
+	}
+	rep := Run(s, cfg)
+	t.Logf("soak: %s", rep)
+
+	if err := rep.Err(); err != nil {
+		t.Error(err)
+	}
+	if rep.Requests < cfg.Requests {
+		t.Errorf("issued %d requests, want %d", rep.Requests, cfg.Requests)
+	}
+	// The p99 bound is generous — CI runs this under -race on shared
+	// runners and a cold compile can land in the tail — but it still
+	// catches a wedged queue or a serialized worker pool.
+	if limit := 10 * time.Second; rep.P99 > limit {
+		t.Errorf("p99 latency %v exceeds %v", rep.P99, limit)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if err := s.CheckQuiescent(); err != nil {
+		t.Errorf("post-soak quiescence: %v", err)
+	}
+}
+
+// TestPacedSoak exercises the open-loop arrival path (RPS pacing) and the
+// duration-bounded mode.
+func TestPacedSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paced soak skipped in -short")
+	}
+	s := serve.New(serve.Budgets{Workers: 2, MaxQueue: 32})
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := s.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	}()
+	rep := Run(s, Config{
+		Concurrency: 4,
+		Duration:    500 * time.Millisecond,
+		RPS:         200,
+		Seed:        5,
+	})
+	t.Logf("paced: %s", rep)
+	if err := rep.Err(); err != nil {
+		t.Error(err)
+	}
+	// 200 RPS for 0.5s paced across 4 clients: allow wide scheduling
+	// slack but require actual pacing (well under closed-loop rates).
+	if rep.Requests < 20 {
+		t.Errorf("paced run issued only %d requests", rep.Requests)
+	}
+}

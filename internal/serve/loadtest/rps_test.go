@@ -1,0 +1,50 @@
+//go:build !race
+
+package loadtest
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"vliwvp/internal/serve"
+)
+
+// TestSustainedRPS is the throughput acceptance gate: the daemon must
+// sustain at least 2000 requests/second on cached plans. The run is
+// pure-warm (every request's compile is a cache hit) so what it measures
+// is the serving spine — decode, admission, queueing, pooled simulation,
+// encode. Excluded under -race: the detector's order-of-magnitude
+// slowdown would measure the instrumentation, not the server (the -race
+// soak asserts correctness instead; this test asserts speed).
+func TestSustainedRPS(t *testing.T) {
+	if testing.Short() {
+		t.Skip("throughput gate skipped in -short")
+	}
+	s := serve.New(serve.Budgets{Workers: 4, MaxQueue: 64})
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := s.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+		if err := s.CheckQuiescent(); err != nil {
+			t.Errorf("quiescence: %v", err)
+		}
+	}()
+
+	rep := Run(s, Config{
+		Concurrency: 8,
+		Duration:    2 * time.Second,
+		ColdFrac:    0,
+		WarmKernels: 4,
+		Seed:        1,
+	})
+	t.Logf("throughput: %s", rep)
+	if err := rep.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if rep.RPS < 2000 {
+		t.Errorf("sustained %.0f RPS on cached plans, want >= 2000", rep.RPS)
+	}
+}

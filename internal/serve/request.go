@@ -1,0 +1,356 @@
+package serve
+
+// The request decoder and admission validator: bytes in, either a fully
+// resolved runSpec (program, machine grid, config grid, caps) or a typed
+// *Error carrying the exact HTTP status and error-code contract the
+// handler tests and the fuzzer pin. Nothing here compiles or simulates —
+// admission is cheap by construction.
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"vliwvp/internal/machine"
+	"vliwvp/internal/obs"
+	"vliwvp/internal/workload"
+)
+
+// Config is one grid cell's knob set. The zero value is the paper's
+// default configuration (65% threshold, default CCB, no if-conversion or
+// region formation).
+type Config struct {
+	// Threshold overrides the profiled-prediction-rate selection
+	// threshold (nil = 0.65).
+	Threshold *float64 `json:"threshold,omitempty"`
+	// MaxPreds overrides the LdPred-sites-per-block cap (0 = default 4).
+	MaxPreds int `json:"max_preds,omitempty"`
+	// CCBCapacity overrides the Compensation Code Buffer size at
+	// simulation time (0 = default). It does not affect compilation, so
+	// cells differing only here share one compile.
+	CCBCapacity int `json:"ccb_capacity,omitempty"`
+	// IfConvert enables Select-based if-conversion of small diamonds.
+	IfConvert bool `json:"if_convert,omitempty"`
+	// Regions enables profile-guided superblock formation.
+	Regions bool `json:"regions,omitempty"`
+}
+
+// Request is the wire format of POST /v1/run. Exactly one of Benchmark,
+// Source, or Seed names the program; Machines × Configs spans the grid.
+type Request struct {
+	// Benchmark names a stock kernel (compress, ijpeg, li, m88ksim,
+	// vortex, hydro2d, swim, tomcatv).
+	Benchmark string `json:"benchmark,omitempty"`
+	// Source is an inline VL program.
+	Source string `json:"source,omitempty"`
+	// Seed generates a progen kernel (identical to `vpexp -progen-seed`).
+	Seed *int64 `json:"seed,omitempty"`
+
+	// Machines lists stock machine descriptions (default ["4-wide"]).
+	Machines []string `json:"machines,omitempty"`
+	// Configs lists config cells (default [{}]).
+	Configs []Config `json:"configs,omitempty"`
+
+	// Entry is the function to run (default "main").
+	Entry string `json:"entry,omitempty"`
+	// Args are the entry function's arguments.
+	Args []uint64 `json:"args,omitempty"`
+	// MaxCycles is the per-cell simulated-cycle budget (0 = the server
+	// cap; above the cap is rejected).
+	MaxCycles int64 `json:"max_cycles,omitempty"`
+
+	// IncludeSchedule returns the rendered whole-program VLIW schedule
+	// per distinct compile.
+	IncludeSchedule bool `json:"include_schedule,omitempty"`
+	// IncludeStats returns the per-cell metrics snapshot (stall causes,
+	// CCB occupancy histogram, prediction and compensation counters).
+	IncludeStats bool `json:"include_stats,omitempty"`
+	// Stream responds with chunked JSONL: one line per cell as it
+	// completes, then a done line.
+	Stream bool `json:"stream,omitempty"`
+	// Trace streams the typed simulator event log (JSONL) before the
+	// result line. Single-cell requests only.
+	Trace bool `json:"trace,omitempty"`
+}
+
+// CellResult is one grid cell's outcome.
+type CellResult struct {
+	Machine string `json:"machine"`
+	Config  Config `json:"config"`
+
+	Value       uint64   `json:"value"`
+	Cycles      int64    `json:"cycles"`
+	Instrs      int64    `json:"instrs"`
+	Ops         int64    `json:"ops"`
+	Predictions int64    `json:"predictions"`
+	Mispredicts int64    `json:"mispredicts"`
+	CCEExecuted int64    `json:"cce_executed"`
+	CCEFlushed  int64    `json:"cce_flushed"`
+	Output      []string `json:"output,omitempty"`
+
+	Schedule string        `json:"schedule,omitempty"`
+	Stats    *obs.Snapshot `json:"stats,omitempty"`
+
+	// Error reports a cell-level failure (the request itself was
+	// admitted; other cells may have succeeded). ErrorCode is
+	// "cycle_limit" for budget aborts, "sim_failed" otherwise.
+	Error     string `json:"error,omitempty"`
+	ErrorCode string `json:"error_code,omitempty"`
+}
+
+// RunResponse is the non-streaming response body of POST /v1/run.
+type RunResponse struct {
+	Name      string       `json:"name"`
+	Cells     []CellResult `json:"cells"`
+	ElapsedUS int64        `json:"elapsed_us"`
+}
+
+// StreamLine is one line of a streaming response: exactly one field set.
+type StreamLine struct {
+	Cell *CellResult `json:"cell,omitempty"`
+	Err  *ErrBody    `json:"error,omitempty"`
+	Done *DoneLine   `json:"done,omitempty"`
+}
+
+// DoneLine terminates a streaming response.
+type DoneLine struct {
+	Cells     int   `json:"cells"`
+	ElapsedUS int64 `json:"elapsed_us"`
+}
+
+// ErrBody is the error object every non-2xx response carries.
+type ErrBody struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// Error is a request rejection or failure with its HTTP contract.
+type Error struct {
+	Status     int // HTTP status code
+	Code       string
+	Message    string
+	RetryAfter int // seconds; >0 emits a Retry-After header (503s)
+}
+
+// Error satisfies the error interface.
+func (e *Error) Error() string { return fmt.Sprintf("%d %s: %s", e.Status, e.Code, e.Message) }
+
+// The full error-code table. Status and code are a contract: handler
+// tests pin them, and clients branch on code, not message.
+//
+//	400 malformed_json       body is not a single well-formed Request object
+//	400 bad_request          structurally valid but unusable (no program,
+//	                         unknown benchmark/machine, bad knob, bad entry,
+//	                         trace over a grid, too many args)
+//	404 not_found            unknown path
+//	405 method_not_allowed   wrong verb on a known path
+//	413 body_too_large       HTTP body exceeded Budgets.MaxBodyBytes
+//	413 program_too_large    inline source exceeded Budgets.MaxSourceBytes
+//	422 grid_too_large       machines × configs exceeded Budgets.MaxCells
+//	422 cycle_budget         max_cycles exceeded Budgets.MaxCycles
+//	422 compile_failed       the program did not compile
+//	500 internal             harness failure (a bug — never expected)
+//	503 queue_full           backpressure: queue at MaxQueue (Retry-After)
+//	503 draining             server is draining for shutdown (Retry-After)
+func errf(status int, code, format string, args ...any) *Error {
+	return &Error{Status: status, Code: code, Message: fmt.Sprintf(format, args...)}
+}
+
+// runSpec is the validated, resolved form of a Request: everything the
+// worker needs, nothing left to reject.
+type runSpec struct {
+	req   *Request
+	bench *workload.Benchmark
+	cells []cellSpec
+	entry string
+	args  []uint64
+	// maxCycles is the effective per-cell cycle cap (request value
+	// clamped into the budget; never zero).
+	maxCycles int64
+}
+
+// cellSpec is one (machine, config) grid point, in response order.
+type cellSpec struct {
+	d   *machine.Desc
+	cfg Config
+}
+
+// decodeRequest parses one Request object from body. Unknown fields,
+// type mismatches, and trailing garbage are all malformed_json: the wire
+// contract is strict so client bugs surface as 400s, not silent defaults.
+func decodeRequest(body []byte) (*Request, *Error) {
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	var req Request
+	if err := dec.Decode(&req); err != nil {
+		return nil, errf(400, "malformed_json", "decoding request: %v", err)
+	}
+	if dec.More() {
+		return nil, errf(400, "malformed_json", "trailing data after request object")
+	}
+	return &req, nil
+}
+
+// validEntry constrains entry names to identifiers (the decoder's
+// "no function" error would catch the rest, but a 400 here is clearer).
+func validEntry(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r == '_', r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// validateRequest admission-checks a decoded Request against the budgets
+// and resolves it into a runSpec.
+func validateRequest(req *Request, b Budgets) (*runSpec, *Error) {
+	// Exactly one program selector.
+	n := 0
+	if req.Benchmark != "" {
+		n++
+	}
+	if req.Source != "" {
+		n++
+	}
+	if req.Seed != nil {
+		n++
+	}
+	if n != 1 {
+		return nil, errf(400, "bad_request", "exactly one of benchmark, source, seed required (got %d)", n)
+	}
+
+	var bench *workload.Benchmark
+	switch {
+	case req.Benchmark != "":
+		bench = workload.ByName(req.Benchmark)
+		if bench == nil {
+			return nil, errf(400, "bad_request", "unknown benchmark %q", req.Benchmark)
+		}
+	case req.Source != "":
+		if len(req.Source) > b.MaxSourceBytes {
+			return nil, errf(413, "program_too_large", "source is %d bytes (budget %d)",
+				len(req.Source), b.MaxSourceBytes)
+		}
+		bench = &workload.Benchmark{
+			Name:   "adhoc",
+			Suite:  "serve",
+			Source: req.Source,
+		}
+		// The cache key includes the source hash, so "adhoc" cannot alias.
+		bench.Name = "adhoc-" + bench.SourceHash()
+	default:
+		bench = workload.Generated(*req.Seed, 1)[0]
+	}
+
+	machines := req.Machines
+	if len(machines) == 0 {
+		machines = []string{"4-wide"}
+	}
+	descs := make([]*machine.Desc, len(machines))
+	for i, name := range machines {
+		if descs[i] = machine.ByName(name); descs[i] == nil {
+			return nil, errf(400, "bad_request", "unknown machine %q (stock: 2-wide, 4-wide, 8-wide, 16-wide)", name)
+		}
+	}
+
+	configs := req.Configs
+	if len(configs) == 0 {
+		configs = []Config{{}}
+	}
+	for i, c := range configs {
+		if c.Threshold != nil && (*c.Threshold < 0 || *c.Threshold > 1) {
+			return nil, errf(400, "bad_request", "configs[%d]: threshold %v outside [0,1]", i, *c.Threshold)
+		}
+		if c.MaxPreds < 0 || c.MaxPreds > 16 {
+			return nil, errf(400, "bad_request", "configs[%d]: max_preds %d outside [0,16]", i, c.MaxPreds)
+		}
+		if c.CCBCapacity < 0 || c.CCBCapacity > 1<<16 {
+			return nil, errf(400, "bad_request", "configs[%d]: ccb_capacity %d outside [0,65536]", i, c.CCBCapacity)
+		}
+	}
+
+	cells := len(descs) * len(configs)
+	if cells > b.MaxCells {
+		return nil, errf(422, "grid_too_large", "%d machines x %d configs = %d cells (budget %d)",
+			len(descs), len(configs), cells, b.MaxCells)
+	}
+
+	if req.MaxCycles < 0 {
+		return nil, errf(400, "bad_request", "max_cycles %d is negative", req.MaxCycles)
+	}
+	if req.MaxCycles > b.MaxCycles {
+		return nil, errf(422, "cycle_budget", "max_cycles %d exceeds the per-cell budget %d",
+			req.MaxCycles, b.MaxCycles)
+	}
+	maxCycles := req.MaxCycles
+	if maxCycles == 0 {
+		maxCycles = b.MaxCycles
+	}
+
+	entry := req.Entry
+	if entry == "" {
+		entry = "main"
+	}
+	if !validEntry(entry) {
+		return nil, errf(400, "bad_request", "entry %q is not an identifier", req.Entry)
+	}
+	if len(req.Args) > b.MaxArgs {
+		return nil, errf(400, "bad_request", "%d args (budget %d)", len(req.Args), b.MaxArgs)
+	}
+
+	if req.Trace && req.Stream {
+		return nil, errf(400, "bad_request", "trace and stream are mutually exclusive")
+	}
+	if req.Trace && cells != 1 {
+		return nil, errf(400, "bad_request", "trace requires a single-cell grid (got %d cells)", cells)
+	}
+
+	spec := &runSpec{
+		req:       req,
+		bench:     bench,
+		cells:     make([]cellSpec, 0, cells),
+		entry:     entry,
+		args:      req.Args,
+		maxCycles: maxCycles,
+	}
+	// Machine-major cell order: all configs of machines[0], then
+	// machines[1], ... — the order cells appear in the response.
+	for _, d := range descs {
+		for _, c := range configs {
+			spec.cells = append(spec.cells, cellSpec{d: d, cfg: c})
+		}
+	}
+	return spec, nil
+}
+
+// DecodeRequest is the exported decode+validate entry the fuzzer drives:
+// any byte slice must produce either a valid spec or a typed *Error from
+// the contract table, never a panic.
+func DecodeRequest(body []byte, b Budgets) (*Request, *Error) {
+	req, derr := decodeRequest(body)
+	if derr != nil {
+		return nil, derr
+	}
+	if _, verr := validateRequest(req, b.Normalize()); verr != nil {
+		return nil, verr
+	}
+	return req, nil
+}
+
+// isBodyTooLarge detects http.MaxBytesReader truncation.
+func isBodyTooLarge(err error) bool {
+	var mbe *http.MaxBytesError
+	return errors.As(err, &mbe)
+}

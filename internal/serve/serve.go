@@ -1,0 +1,447 @@
+// Package serve is the compile-and-simulate daemon (vpexpd): a long-
+// running HTTP/JSON service that accepts VL programs (inline source,
+// stock benchmarks, or progen seeds) plus machine/config grids, compiles
+// them through the pass-manager pipeline, executes each grid cell on a
+// pooled decoded-engine simulator, and answers with schedules, cycle
+// counts, stats snapshots, and optionally a streamed event trace.
+//
+// The serving spine, in the order a request crosses it:
+//
+//   - Admission control (request.go): every budget — body size, program
+//     size, grid cells, cycle caps — is checked before any work is
+//     admitted, with an exact status/error-code contract per rejection.
+//   - Backpressure: a bounded queue in front of a fixed worker pool; an
+//     enqueue past MaxQueue is an immediate 503 with Retry-After, never
+//     an unbounded pile-up.
+//   - Request coalescing (this file + internal/exp/serve.go): compiles go
+//     through the single-flight pipeline cache keyed by cumulative pass
+//     fingerprints, so N concurrent identical requests perform exactly
+//     one compile and N-1 coalesced waits — pinned by counters the
+//     /metrics endpoint exports.
+//   - Pooled execution: each worker owns a core.Batch, so repeat requests
+//     for an image reuse its simulator (frame pools, predictor tables,
+//     event wheel) at steady-state zero allocation.
+//   - Graceful drain: Drain stops admission, lets in-flight requests
+//     complete, answers queued ones with 503 + Retry-After, and leaves
+//     every pooled simulator quiescent (CheckQuiescent proves it).
+//
+// Endpoints: POST /v1/run, GET /healthz, GET /metrics.
+package serve
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"vliwvp/internal/core"
+	"vliwvp/internal/exp"
+	"vliwvp/internal/exp/cache"
+	"vliwvp/internal/obs"
+)
+
+// Server is one daemon instance. Create with New, mount Handler on an
+// http.Server, and Shutdown on the way out.
+type Server struct {
+	budgets Budgets
+	reg     *obs.SyncRegistry
+	cache   *cache.Cache
+	mux     *http.ServeMux
+	start   time.Time
+
+	jobs     chan *job
+	stop     chan struct{}
+	stopOnce sync.Once
+	workers  []*worker
+	workerWG sync.WaitGroup
+
+	// admit guards the draining flag against jobWG.Add: a handler admits
+	// (checks draining and registers with jobWG) under RLock; Drain flips
+	// the flag under Lock, so after Drain acquires the lock no new job
+	// can register and jobWG.Wait covers everything admitted.
+	admit    sync.RWMutex
+	draining bool
+	jobWG    sync.WaitGroup
+
+	// Metric handles (all concurrent-safe; exported via /metrics).
+	mAccepted   *obs.SyncCounter
+	mCompleted  *obs.SyncCounter
+	mCompiled   *obs.SyncCounter
+	mCoalesced  *obs.SyncCounter
+	mCellsOK    *obs.SyncCounter
+	mCellsErr   *obs.SyncCounter
+	mQueueDepth *obs.SyncCounter
+	mFlushes    *obs.SyncCounter
+	hQueue      *obs.SyncHistogram
+	hLatency    *obs.SyncHistogram
+
+	// execGate, when non-nil, runs at the start of every job execution.
+	// Test-only: the drain test parks a worker here to pin the in-flight
+	// vs queued distinction.
+	execGate func(*job)
+}
+
+// worker is one executor goroutine's state: its pooled simulator batch.
+// nsims mirrors batch.NumSims for lock-free reads from /healthz (the
+// batch itself is touched only by the worker goroutine and by
+// CheckQuiescent after drain).
+type worker struct {
+	batch *core.Batch
+	nsims atomic.Int64
+}
+
+// job carries one admitted request through the queue.
+type job struct {
+	spec *runSpec
+
+	// Streaming plumbing. For stream/trace requests the worker writes the
+	// body itself: it closes accepted when it dequeues the job past the
+	// drain check, the handler then writes the 200 header and closes
+	// ready, and the worker streams. Non-streaming jobs have ready
+	// pre-closed and their result lands in resp/apiErr.
+	w        http.ResponseWriter
+	flush    func()
+	accepted chan struct{}
+	ready    chan struct{}
+	done     chan struct{}
+
+	resp   *RunResponse
+	apiErr *Error
+}
+
+// New builds a server with started workers. Budgets are normalized.
+func New(b Budgets) *Server {
+	b = b.Normalize()
+	s := &Server{
+		budgets: b,
+		reg:     obs.NewSyncRegistry(),
+		cache:   cache.New(),
+		jobs:    make(chan *job, b.MaxQueue),
+		stop:    make(chan struct{}),
+		start:   time.Now(),
+	}
+	s.mAccepted = s.reg.Counter("serve.requests.accepted")
+	s.mCompleted = s.reg.Counter("serve.requests.completed")
+	s.mCompiled = s.reg.Counter("serve.compile.computed")
+	s.mCoalesced = s.reg.Counter("serve.compile.coalesced")
+	s.mCellsOK = s.reg.Counter("serve.cells.ok")
+	s.mCellsErr = s.reg.Counter("serve.cells.error")
+	s.mQueueDepth = s.reg.Counter("serve.queue.depth")
+	s.mFlushes = s.reg.Counter("serve.cache.flushes")
+	s.hQueue = s.reg.Histogram("serve.queue.depth.observed", obs.Pow2Bounds(12))
+	// Latency in microseconds; pow-2 bounds up to ~67s.
+	s.hLatency = s.reg.Histogram("serve.request.latency_us", obs.Pow2Bounds(26))
+
+	// Compile-vs-coalesced accounting: the cache hook sees every Do on
+	// the server's pipeline cache; only full compiled products (the
+	// "img|" keys) count — per-pass prefix entries would double-book.
+	s.cache.Hook = func(key string, ran bool) {
+		if !strings.HasPrefix(key, exp.CompiledPrefix) {
+			return
+		}
+		if ran {
+			s.mCompiled.Inc()
+		} else {
+			s.mCoalesced.Inc()
+		}
+	}
+
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/v1/run", s.handleRun)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		s.countErr(w, errf(404, "not_found", "no handler for %s", r.URL.Path))
+	})
+
+	s.workers = make([]*worker, b.Workers)
+	for i := range s.workers {
+		w := &worker{batch: core.NewBatch()}
+		s.workers[i] = w
+		s.workerWG.Add(1)
+		go s.workerLoop(w)
+	}
+	return s
+}
+
+// Handler returns the daemon's HTTP handler (mount it on any server or
+// httptest fixture).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Metrics snapshots the server registry (what /metrics serves).
+func (s *Server) Metrics() obs.Snapshot { return s.reg.Snapshot() }
+
+// Budgets returns the normalized limits the server admits against.
+func (s *Server) Budgets() Budgets { return s.budgets }
+
+// Draining reports whether the server has begun draining.
+func (s *Server) Draining() bool {
+	s.admit.RLock()
+	defer s.admit.RUnlock()
+	return s.draining
+}
+
+// Drain stops admission and waits (bounded by ctx) until every admitted
+// request has been answered: in-flight requests complete normally, queued
+// requests are answered 503 draining with Retry-After. Idempotent.
+func (s *Server) Drain(ctx context.Context) error {
+	s.admit.Lock()
+	s.draining = true
+	s.admit.Unlock()
+	done := make(chan struct{})
+	go func() {
+		s.jobWG.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("serve: drain: %w", ctx.Err())
+	}
+}
+
+// Shutdown drains (bounded by ctx), then stops the worker pool. After a
+// clean Shutdown, CheckQuiescent must pass.
+func (s *Server) Shutdown(ctx context.Context) error {
+	err := s.Drain(ctx)
+	s.stopOnce.Do(func() { close(s.stop) })
+	s.workerWG.Wait()
+	// A timed-out drain may strand queued jobs with no worker left;
+	// answer them so their handlers unblock.
+	for {
+		select {
+		case j := <-s.jobs:
+			s.rejectQueued(j)
+		default:
+			return err
+		}
+	}
+}
+
+// CheckQuiescent verifies every pooled simulator in every worker batch
+// satisfies the reset contract (no leaked frames, CCB entries, events, or
+// Synchronization bits). Only meaningful when no request is executing —
+// i.e. after Drain or Shutdown.
+func (s *Server) CheckQuiescent() error {
+	for i, w := range s.workers {
+		if err := w.batch.CheckQuiescent(); err != nil {
+			return fmt.Errorf("worker %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// NumPooledSims reports the pooled simulators across all workers
+// (observability for tests and the selfcheck report).
+func (s *Server) NumPooledSims() int {
+	n := int64(0)
+	for _, w := range s.workers {
+		n += w.nsims.Load()
+	}
+	return int(n)
+}
+
+var errDraining = &Error{Status: 503, Code: "draining",
+	Message: "server is draining; retry against another instance", RetryAfter: 5}
+
+var errQueueFull = &Error{Status: 503, Code: "queue_full",
+	Message: "request queue is full; retry with backoff", RetryAfter: 1}
+
+// admitJob registers an admitted job or reports the drain rejection.
+func (s *Server) admitJob() *Error {
+	s.admit.RLock()
+	defer s.admit.RUnlock()
+	if s.draining {
+		return errDraining
+	}
+	s.jobWG.Add(1)
+	return nil
+}
+
+// enqueue places an admitted job on the queue, applying backpressure.
+func (s *Server) enqueue(j *job) *Error {
+	select {
+	case s.jobs <- j:
+		depth := int64(len(s.jobs))
+		s.mQueueDepth.Set(depth)
+		s.hQueue.Observe(depth)
+		return nil
+	default:
+		s.jobWG.Done()
+		return errQueueFull
+	}
+}
+
+// rejectQueued answers a queued job with the draining rejection.
+func (s *Server) rejectQueued(j *job) {
+	j.apiErr = errDraining
+	close(j.done)
+	s.jobWG.Done()
+}
+
+// workerLoop pulls jobs until the server stops. A job dequeued after
+// draining began was queued, not in-flight: it gets the 503.
+func (s *Server) workerLoop(w *worker) {
+	defer s.workerWG.Done()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case j := <-s.jobs:
+			s.mQueueDepth.Set(int64(len(s.jobs)))
+			if s.Draining() {
+				s.rejectQueued(j)
+				continue
+			}
+			close(j.accepted)
+			<-j.ready
+			s.execute(w, j)
+			close(j.done)
+			s.jobWG.Done()
+		}
+	}
+}
+
+// runnerFor builds the per-cell experiment runner: the server's shared
+// single-flight cache plus the cell's machine and config knobs.
+func (s *Server) runnerFor(c cellSpec) *exp.Runner {
+	r := exp.NewRunner(c.d)
+	r.Cache = s.cache
+	r.Jobs = 1
+	if c.cfg.Threshold != nil {
+		r.Cfg.Threshold = *c.cfg.Threshold
+	}
+	if c.cfg.MaxPreds > 0 {
+		r.Cfg.MaxPredsPerBlock = c.cfg.MaxPreds
+	}
+	r.IfConvert = c.cfg.IfConvert
+	r.Regions = c.cfg.Regions
+	// CCBCapacity is sim-time only (BatchItem), deliberately not set here
+	// so cells differing only in CCB share one compile.
+	return r
+}
+
+// execute runs every cell of a job on the worker's pooled batch.
+func (s *Server) execute(w *worker, j *job) {
+	if s.execGate != nil {
+		s.execGate(j)
+	}
+	t0 := time.Now()
+	spec := j.spec
+	resp := &RunResponse{Name: spec.bench.Name, Cells: make([]CellResult, 0, len(spec.cells))}
+
+	var enc *streamEncoder
+	if spec.req.Stream || spec.req.Trace {
+		enc = &streamEncoder{w: j.w, flush: j.flush}
+	}
+
+	// Distinct compiles may repeat across cells (CCB-only sweeps);
+	// schedule text is attached once per first use of a compile.
+	seenSchedule := map[string]bool{}
+
+	for _, c := range spec.cells {
+		r := s.runnerFor(c)
+		cell := CellResult{Machine: c.d.Name, Config: c.cfg}
+
+		compiled, err := r.Compiled(spec.bench)
+		if err != nil {
+			// The program failed to compile for this cell. With no
+			// successful cell yet and no bytes streamed, fail the whole
+			// request (the common case: bad source fails every cell);
+			// otherwise record a cell error and continue.
+			if len(resp.Cells) == 0 && enc == nil {
+				j.apiErr = errf(422, "compile_failed", "%v", err)
+				return
+			}
+			cell.Error, cell.ErrorCode = err.Error(), "compile_failed"
+			resp.Cells = append(resp.Cells, cell)
+			s.mCellsErr.Inc()
+			enc.cell(&cell)
+			continue
+		}
+		s.maybeFlushCache()
+
+		item := core.BatchItem{
+			Name:        spec.bench.Name,
+			Img:         compiled.Img,
+			Schemes:     compiled.Schemes,
+			Entry:       spec.entry,
+			Args:        spec.args,
+			CCBCapacity: c.cfg.CCBCapacity,
+			MaxCycles:   spec.maxCycles,
+		}
+		sim := w.batch.SimFor(&item)
+		if spec.req.Trace {
+			sink := obs.NewJSONLSink(j.w)
+			sim.Sink = sink
+			runCell(sim, spec, &cell)
+			sim.Sink = nil
+			if err := sink.Close(); err == nil {
+				j.flush()
+			}
+		} else {
+			runCell(sim, spec, &cell)
+		}
+		if spec.req.IncludeSchedule && !seenSchedule[r.CompiledKey(spec.bench)] {
+			seenSchedule[r.CompiledKey(spec.bench)] = true
+			cell.Schedule = compiled.Schedule
+		}
+		if spec.req.IncludeStats {
+			snap := sim.Metrics()
+			cell.Stats = &snap
+		}
+		if cell.Error == "" {
+			s.mCellsOK.Inc()
+		} else {
+			s.mCellsErr.Inc()
+		}
+		resp.Cells = append(resp.Cells, cell)
+		enc.cell(&cell)
+	}
+
+	resp.ElapsedUS = time.Since(t0).Microseconds()
+	w.nsims.Store(int64(w.batch.NumSims()))
+	if enc != nil {
+		enc.done(&DoneLine{Cells: len(resp.Cells), ElapsedUS: resp.ElapsedUS})
+	} else {
+		j.resp = resp
+	}
+}
+
+// runCell executes one simulation and fills the cell's result fields.
+func runCell(sim *core.Simulator, spec *runSpec, cell *CellResult) {
+	v, err := sim.Run(spec.entry, spec.args...)
+	if err != nil {
+		cell.Error = err.Error()
+		if coreIsCycleLimit(err) {
+			cell.ErrorCode = "cycle_limit"
+		} else {
+			cell.ErrorCode = "sim_failed"
+		}
+		// An aborted run holds frames and events until the next Run's
+		// reset; return them now so drain leaves nothing leaked.
+		sim.Reset()
+		return
+	}
+	cell.Value = v
+	cell.Cycles = sim.Cycles
+	cell.Instrs = sim.Instrs
+	cell.Ops = sim.Ops
+	cell.Predictions = sim.Predictions
+	cell.Mispredicts = sim.Mispredicts
+	cell.CCEExecuted = sim.CCEExecuted
+	cell.CCEFlushed = sim.CCEFlushed
+	cell.Output = sim.Output
+}
+
+// maybeFlushCache enforces the compile-cache entry budget.
+func (s *Server) maybeFlushCache() {
+	if s.budgets.MaxCacheEntries > 0 && s.cache.Len() > s.budgets.MaxCacheEntries {
+		s.cache.Flush()
+		s.mFlushes.Inc()
+	}
+}

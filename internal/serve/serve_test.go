@@ -1,0 +1,652 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"vliwvp/internal/exp"
+	"vliwvp/internal/machine"
+	"vliwvp/internal/workload"
+)
+
+// tinySrc is a fast deterministic kernel used throughout; distinct salt
+// values produce distinct programs (and so distinct cache keys).
+func tinySrc(salt int) string {
+	return fmt.Sprintf(`
+func main() {
+	var i = 0
+	var s = %d
+	while i < 16 {
+		s = s + i * 3
+		i = i + 1
+	}
+	return s
+}
+`, salt)
+}
+
+func newTestServer(t *testing.T, b Budgets) *Server {
+	t.Helper()
+	s := New(b)
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := s.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+		if err := s.CheckQuiescent(); err != nil {
+			t.Errorf("post-shutdown quiescence: %v", err)
+		}
+	})
+	return s
+}
+
+// post issues one in-process request and returns the recorder.
+func post(s *Server, path string, body []byte) *httptest.ResponseRecorder {
+	req := httptest.NewRequest(http.MethodPost, path, bytes.NewReader(body))
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, req)
+	return rec
+}
+
+func get(s *Server, path string) *httptest.ResponseRecorder {
+	req := httptest.NewRequest(http.MethodGet, path, nil)
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, req)
+	return rec
+}
+
+// errCode decodes the error-body contract and returns the code.
+func errCode(t *testing.T, rec *httptest.ResponseRecorder) string {
+	t.Helper()
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Errorf("error Content-Type = %q, want application/json", ct)
+	}
+	var body struct {
+		Error ErrBody `json:"error"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatalf("error body is not the contract shape: %v (body %q)", err, rec.Body.String())
+	}
+	if body.Error.Message == "" {
+		t.Errorf("error body has empty message")
+	}
+	return body.Error.Code
+}
+
+func mustJSON(t *testing.T, v any) []byte {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestBudgetRejections pins the exact HTTP status and error-code contract
+// for every admission-control rejection.
+func TestBudgetRejections(t *testing.T) {
+	thr := func(v float64) *float64 { return &v }
+	seed := int64(1)
+	budgets := Budgets{
+		MaxBodyBytes:   4 << 10,
+		MaxSourceBytes: 512,
+		MaxCells:       4,
+		MaxCycles:      1 << 20,
+		MaxArgs:        2,
+		Workers:        1,
+	}
+	s := newTestServer(t, budgets)
+
+	cases := []struct {
+		name       string
+		body       []byte
+		wantStatus int
+		wantCode   string
+	}{
+		{"malformed json", []byte(`{"benchmark":`), 400, "malformed_json"},
+		{"unknown field", []byte(`{"benchmrk":"compress"}`), 400, "malformed_json"},
+		{"wrong type", []byte(`{"benchmark":17}`), 400, "malformed_json"},
+		{"trailing garbage", []byte(`{"benchmark":"compress"} extra`), 400, "malformed_json"},
+		{"array not object", []byte(`[1,2,3]`), 400, "malformed_json"},
+		{"no program", []byte(`{}`), 400, "bad_request"},
+		{"two programs", mustJSON(t, Request{Benchmark: "compress", Seed: &seed}), 400, "bad_request"},
+		{"unknown benchmark", mustJSON(t, Request{Benchmark: "nope"}), 400, "bad_request"},
+		{"unknown machine", mustJSON(t, Request{Seed: &seed, Machines: []string{"5-wide"}}), 400, "bad_request"},
+		{"bad threshold", mustJSON(t, Request{Seed: &seed, Configs: []Config{{Threshold: thr(1.5)}}}), 400, "bad_request"},
+		{"bad max_preds", mustJSON(t, Request{Seed: &seed, Configs: []Config{{MaxPreds: 99}}}), 400, "bad_request"},
+		{"bad ccb", mustJSON(t, Request{Seed: &seed, Configs: []Config{{CCBCapacity: 1 << 20}}}), 400, "bad_request"},
+		{"bad entry", mustJSON(t, Request{Seed: &seed, Entry: "1abc"}), 400, "bad_request"},
+		{"too many args", mustJSON(t, Request{Seed: &seed, Args: []uint64{1, 2, 3}}), 400, "bad_request"},
+		{"negative max_cycles", mustJSON(t, Request{Seed: &seed, MaxCycles: -1}), 400, "bad_request"},
+		{"trace and stream", mustJSON(t, Request{Seed: &seed, Trace: true, Stream: true}), 400, "bad_request"},
+		{"trace over grid", mustJSON(t, Request{Seed: &seed, Trace: true, Machines: []string{"2-wide", "4-wide"}}), 400, "bad_request"},
+		{"oversized program", mustJSON(t, Request{Source: "func main() { return 0 }" + strings.Repeat("#", 600)}), 413, "program_too_large"},
+		{"oversized body", mustJSON(t, Request{Source: "x", Configs: make([]Config, 4000)}), 413, "body_too_large"},
+		{"grid too large", mustJSON(t, Request{Seed: &seed,
+			Machines: []string{"2-wide", "4-wide", "8-wide"},
+			Configs:  []Config{{}, {IfConvert: true}}}), 422, "grid_too_large"},
+		{"cycle budget", mustJSON(t, Request{Seed: &seed, MaxCycles: 1 << 30}), 422, "cycle_budget"},
+		{"compile failed", mustJSON(t, Request{Source: "func main( { nope"}), 422, "compile_failed"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rec := post(s, "/v1/run", tc.body)
+			if rec.Code != tc.wantStatus {
+				t.Fatalf("status = %d, want %d (body %s)", rec.Code, tc.wantStatus, rec.Body.String())
+			}
+			if code := errCode(t, rec); code != tc.wantCode {
+				t.Errorf("error code = %q, want %q", code, tc.wantCode)
+			}
+		})
+	}
+
+	t.Run("method not allowed", func(t *testing.T) {
+		rec := get(s, "/v1/run")
+		if rec.Code != 405 {
+			t.Fatalf("status = %d, want 405", rec.Code)
+		}
+		if code := errCode(t, rec); code != "method_not_allowed" {
+			t.Errorf("error code = %q, want method_not_allowed", code)
+		}
+		if allow := rec.Header().Get("Allow"); allow != "POST" {
+			t.Errorf("Allow = %q, want POST", allow)
+		}
+	})
+	t.Run("not found", func(t *testing.T) {
+		rec := get(s, "/v1/nope")
+		if rec.Code != 404 {
+			t.Fatalf("status = %d, want 404", rec.Code)
+		}
+		if code := errCode(t, rec); code != "not_found" {
+			t.Errorf("error code = %q, want not_found", code)
+		}
+	})
+}
+
+// TestRunBasics runs a tiny grid and checks the response shape: values,
+// schedule on request, stats on request, deterministic replay.
+func TestRunBasics(t *testing.T) {
+	s := newTestServer(t, Budgets{Workers: 2})
+	body := mustJSON(t, Request{
+		Source:          tinySrc(7),
+		Machines:        []string{"2-wide", "4-wide"},
+		Configs:         []Config{{}, {CCBCapacity: 4}},
+		IncludeSchedule: true,
+		IncludeStats:    true,
+	})
+
+	rec := post(s, "/v1/run", body)
+	if rec.Code != 200 {
+		t.Fatalf("status = %d: %s", rec.Code, rec.Body.String())
+	}
+	var resp RunResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Cells) != 4 {
+		t.Fatalf("got %d cells, want 4", len(resp.Cells))
+	}
+	// Machine-major order.
+	wantMachines := []string{"2-wide", "2-wide", "4-wide", "4-wide"}
+	for i, c := range resp.Cells {
+		if c.Error != "" {
+			t.Fatalf("cell %d: %s (%s)", i, c.Error, c.ErrorCode)
+		}
+		if c.Machine != wantMachines[i] {
+			t.Errorf("cell %d machine = %q, want %q", i, c.Machine, wantMachines[i])
+		}
+		if c.Value != resp.Cells[0].Value {
+			t.Errorf("cell %d value = %d, want %d (all cells compute the same function)",
+				i, c.Value, resp.Cells[0].Value)
+		}
+		if c.Cycles <= 0 {
+			t.Errorf("cell %d cycles = %d, want > 0", i, c.Cycles)
+		}
+		if c.Stats == nil {
+			t.Errorf("cell %d: include_stats set but stats missing", i)
+		}
+	}
+	// The schedule is attached once per distinct compile: CCB-only cells
+	// share a compile, so cells 0 and 2 (first per machine) carry it.
+	if resp.Cells[0].Schedule == "" || resp.Cells[2].Schedule == "" {
+		t.Errorf("schedule missing on first cell of a distinct compile")
+	}
+	if resp.Cells[1].Schedule != "" {
+		t.Errorf("schedule duplicated on a coalesced compile cell")
+	}
+	if !strings.Contains(resp.Cells[0].Schedule, "func main") {
+		t.Errorf("schedule does not render the entry function: %q", resp.Cells[0].Schedule[:min(80, len(resp.Cells[0].Schedule))])
+	}
+
+	// Deterministic replay: the same request answers byte-identically
+	// (modulo the elapsed_us timing field).
+	rec2 := post(s, "/v1/run", body)
+	if rec2.Code != 200 {
+		t.Fatalf("replay status = %d", rec2.Code)
+	}
+	norm := func(b []byte) string {
+		var r RunResponse
+		if err := json.Unmarshal(b, &r); err != nil {
+			t.Fatal(err)
+		}
+		r.ElapsedUS = 0
+		return string(mustJSON(t, r))
+	}
+	if a, b := norm(rec.Body.Bytes()), norm(rec2.Body.Bytes()); a != b {
+		t.Errorf("replayed response differs:\n%s\nvs\n%s", a, b)
+	}
+}
+
+// TestCLIEquivalence pins the server's results against the same
+// computation done directly through the experiment runner (what the
+// vpexp CLI drives): value, cycles, and rendered schedule must agree
+// exactly.
+func TestCLIEquivalence(t *testing.T) {
+	s := newTestServer(t, Budgets{Workers: 1})
+	bench := workload.Generated(3, 1)[0]
+	seed := int64(3)
+
+	rec := post(s, "/v1/run", mustJSON(t, Request{
+		Seed: &seed, Machines: []string{"4-wide"}, IncludeSchedule: true,
+	}))
+	if rec.Code != 200 {
+		t.Fatalf("status = %d: %s", rec.Code, rec.Body.String())
+	}
+	var resp RunResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Name != bench.Name {
+		t.Errorf("name = %q, want %q", resp.Name, bench.Name)
+	}
+	if len(resp.Cells) != 1 {
+		t.Fatalf("got %d cells, want 1", len(resp.Cells))
+	}
+	cell := resp.Cells[0]
+	if cell.Error != "" {
+		t.Fatalf("cell error: %s", cell.Error)
+	}
+
+	r := exp.NewRunner(machine.W4)
+	compiled, err := r.Compiled(bench)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := r.SpecSim(bench)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := sim.Run("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cell.Value != want {
+		t.Errorf("value = %d, direct runner computed %d", cell.Value, want)
+	}
+	if cell.Cycles != sim.Cycles {
+		t.Errorf("cycles = %d, direct runner computed %d", cell.Cycles, sim.Cycles)
+	}
+	if cell.Schedule != compiled.Schedule {
+		t.Errorf("schedule differs from the direct runner's rendering")
+	}
+}
+
+// TestCoalescing proves N identical concurrent requests for an uncached
+// program cause exactly one compile: the computed counter pins at 1 and
+// every other request coalesces onto it.
+func TestCoalescing(t *testing.T) {
+	const n = 8
+	s := newTestServer(t, Budgets{Workers: 4, MaxQueue: n})
+	body := mustJSON(t, Request{Source: tinySrc(991)})
+
+	var wg sync.WaitGroup
+	codes := make([]int, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			codes[i] = post(s, "/v1/run", body).Code
+		}(i)
+	}
+	wg.Wait()
+	for i, c := range codes {
+		if c != 200 {
+			t.Fatalf("request %d: status %d", i, c)
+		}
+	}
+
+	snap := s.Metrics()
+	computed := snap.Counters["serve.compile.computed"]
+	coalesced := snap.Counters["serve.compile.coalesced"]
+	if computed != 1 {
+		t.Errorf("serve.compile.computed = %d, want exactly 1", computed)
+	}
+	if coalesced != n-1 {
+		t.Errorf("serve.compile.coalesced = %d, want %d", coalesced, n-1)
+	}
+	if got := snap.Counters["serve.requests.completed"]; got != n {
+		t.Errorf("serve.requests.completed = %d, want %d", got, n)
+	}
+}
+
+// TestCycleLimit checks that a per-request cycle budget below the
+// program's need aborts the cell with the cycle_limit code — and that the
+// same pooled simulator still answers an unlimited request correctly
+// afterwards (the abort leaves no residue).
+func TestCycleLimit(t *testing.T) {
+	s := newTestServer(t, Budgets{Workers: 1})
+	limited := mustJSON(t, Request{Source: tinySrc(5), MaxCycles: 3})
+	rec := post(s, "/v1/run", limited)
+	if rec.Code != 200 {
+		t.Fatalf("status = %d: %s", rec.Code, rec.Body.String())
+	}
+	var resp RunResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Cells) != 1 || resp.Cells[0].ErrorCode != "cycle_limit" {
+		t.Fatalf("want one cycle_limit cell, got %+v", resp.Cells)
+	}
+
+	full := mustJSON(t, Request{Source: tinySrc(5)})
+	rec = post(s, "/v1/run", full)
+	if rec.Code != 200 {
+		t.Fatalf("unlimited rerun status = %d", rec.Code)
+	}
+	var resp2 RunResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp2); err != nil {
+		t.Fatal(err)
+	}
+	if resp2.Cells[0].Error != "" {
+		t.Fatalf("unlimited rerun on the same pooled sim failed: %s", resp2.Cells[0].Error)
+	}
+}
+
+// TestStreaming checks the NDJSON contract: one cell line per grid cell,
+// then a done line, with the x-ndjson content type.
+func TestStreaming(t *testing.T) {
+	s := newTestServer(t, Budgets{Workers: 1})
+	rec := post(s, "/v1/run", mustJSON(t, Request{
+		Source: tinySrc(12), Machines: []string{"2-wide", "4-wide"}, Stream: true,
+	}))
+	if rec.Code != 200 {
+		t.Fatalf("status = %d: %s", rec.Code, rec.Body.String())
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("Content-Type = %q, want application/x-ndjson", ct)
+	}
+	lines := strings.Split(strings.TrimSpace(rec.Body.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines, want 3 (2 cells + done):\n%s", len(lines), rec.Body.String())
+	}
+	var cells int
+	var done *DoneLine
+	for i, ln := range lines {
+		var sl StreamLine
+		if err := json.Unmarshal([]byte(ln), &sl); err != nil {
+			t.Fatalf("line %d: %v", i, err)
+		}
+		switch {
+		case sl.Cell != nil:
+			cells++
+			if sl.Cell.Error != "" {
+				t.Errorf("cell error: %s", sl.Cell.Error)
+			}
+		case sl.Done != nil:
+			done = sl.Done
+		default:
+			t.Errorf("line %d has no field set: %s", i, ln)
+		}
+	}
+	if cells != 2 || done == nil || done.Cells != 2 {
+		t.Errorf("cells = %d, done = %+v; want 2 cells and done.cells=2", cells, done)
+	}
+}
+
+// TestTrace checks the event-trace stream: JSONL simulator events
+// preceding the result cell line.
+func TestTrace(t *testing.T) {
+	s := newTestServer(t, Budgets{Workers: 1})
+	rec := post(s, "/v1/run", mustJSON(t, Request{Source: tinySrc(13), Trace: true}))
+	if rec.Code != 200 {
+		t.Fatalf("status = %d: %s", rec.Code, rec.Body.String())
+	}
+	lines := strings.Split(strings.TrimSpace(rec.Body.String()), "\n")
+	if len(lines) < 3 {
+		t.Fatalf("got %d lines, want events + cell + done", len(lines))
+	}
+	// Final two lines are the result cell and the done marker; everything
+	// before them is simulator events.
+	var cellLine, doneLine StreamLine
+	if err := json.Unmarshal([]byte(lines[len(lines)-2]), &cellLine); err != nil || cellLine.Cell == nil {
+		t.Fatalf("penultimate line is not a cell: %s", lines[len(lines)-2])
+	}
+	if err := json.Unmarshal([]byte(lines[len(lines)-1]), &doneLine); err != nil || doneLine.Done == nil {
+		t.Fatalf("final line is not done: %s", lines[len(lines)-1])
+	}
+	events := 0
+	for _, ln := range lines[:len(lines)-2] {
+		var ev map[string]any
+		if err := json.Unmarshal([]byte(ln), &ev); err != nil {
+			t.Fatalf("event line is not JSON: %s", ln)
+		}
+		events++
+	}
+	if events == 0 {
+		t.Errorf("trace produced no simulator events")
+	}
+}
+
+// TestGracefulDrain pins the drain contract with a parked worker:
+// in-flight requests complete with 200, queued ones answer 503 draining
+// with Retry-After, post-drain admissions answer 503 immediately,
+// /healthz flips to 503, and the pools quiesce with zero leaked frames.
+func TestGracefulDrain(t *testing.T) {
+	s := New(Budgets{Workers: 1, MaxQueue: 4})
+	// No newTestServer cleanup: this test shuts down explicitly.
+
+	gate := make(chan struct{})
+	entered := make(chan struct{}, 8)
+	s.execGate = func(*job) {
+		entered <- struct{}{}
+		<-gate
+	}
+
+	body := mustJSON(t, Request{Source: tinySrc(21)})
+	type result struct {
+		code       int
+		errCode    string
+		retryAfter string
+	}
+	results := make(chan result, 2)
+	fire := func() {
+		rec := post(s, "/v1/run", body)
+		r := result{code: rec.Code, retryAfter: rec.Header().Get("Retry-After")}
+		if rec.Code != 200 {
+			var b struct {
+				Error ErrBody `json:"error"`
+			}
+			json.Unmarshal(rec.Body.Bytes(), &b)
+			r.errCode = b.Error.Code
+		}
+		results <- r
+	}
+
+	go fire() // in-flight: parked at the gate
+	<-entered
+	go fire() // queued behind the parked worker
+
+	// Wait until the second job is actually queued so drain sees it.
+	deadline := time.After(5 * time.Second)
+	for len(s.jobs) == 0 {
+		select {
+		case <-deadline:
+			t.Fatal("second request never queued")
+		case <-time.After(time.Millisecond):
+		}
+	}
+
+	drained := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		drained <- s.Drain(ctx)
+	}()
+	for !s.Draining() {
+		time.Sleep(time.Millisecond)
+	}
+
+	// New work is refused at admission while draining.
+	rec := post(s, "/v1/run", body)
+	if rec.Code != 503 {
+		t.Fatalf("admission during drain: status = %d, want 503", rec.Code)
+	}
+	if code := errCode(t, rec); code != "draining" {
+		t.Errorf("admission during drain: code = %q, want draining", code)
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Errorf("draining rejection missing Retry-After")
+	}
+	if hrec := get(s, "/healthz"); hrec.Code != 503 {
+		t.Errorf("healthz during drain: status = %d, want 503", hrec.Code)
+	}
+
+	// Release the parked worker: the in-flight job completes, the queued
+	// one is answered 503, and drain finishes.
+	close(gate)
+	if err := <-drained; err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+
+	var got [2]result
+	for i := range got {
+		select {
+		case got[i] = <-results:
+		case <-time.After(10 * time.Second):
+			t.Fatal("request never answered")
+		}
+	}
+	// One 200 (the in-flight job) and one 503 draining (the queued job),
+	// in either completion order.
+	if got[0].code > got[1].code {
+		got[0], got[1] = got[1], got[0]
+	}
+	if got[0].code != 200 {
+		t.Errorf("in-flight request: status = %d, want 200", got[0].code)
+	}
+	if got[1].code != 503 || got[1].errCode != "draining" {
+		t.Errorf("queued request: status = %d code = %q, want 503 draining", got[1].code, got[1].errCode)
+	}
+	if got[1].retryAfter == "" {
+		t.Errorf("queued rejection missing Retry-After")
+	}
+
+	// Pools quiesce: no leaked frames, CCB entries, or pending events.
+	if err := s.CheckQuiescent(); err != nil {
+		t.Errorf("quiescence after drain: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+}
+
+// TestQueueFull pins backpressure: with the worker parked and the queue
+// at capacity, the next request answers 503 queue_full immediately.
+func TestQueueFull(t *testing.T) {
+	s := New(Budgets{Workers: 1, MaxQueue: 1})
+	gate := make(chan struct{})
+	entered := make(chan struct{}, 8)
+	s.execGate = func(*job) {
+		entered <- struct{}{}
+		<-gate
+	}
+	body := mustJSON(t, Request{Source: tinySrc(33)})
+
+	done := make(chan int, 2)
+	go func() { done <- post(s, "/v1/run", body).Code }()
+	<-entered // worker parked on request 1
+	go func() { done <- post(s, "/v1/run", body).Code }()
+	deadline := time.After(5 * time.Second)
+	for len(s.jobs) == 0 { // request 2 fills the queue
+		select {
+		case <-deadline:
+			t.Fatal("second request never queued")
+		case <-time.After(time.Millisecond):
+		}
+	}
+
+	rec := post(s, "/v1/run", body) // request 3 overflows
+	if rec.Code != 503 {
+		t.Fatalf("status = %d, want 503", rec.Code)
+	}
+	if code := errCode(t, rec); code != "queue_full" {
+		t.Errorf("code = %q, want queue_full", code)
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Errorf("queue_full missing Retry-After")
+	}
+
+	close(gate)
+	for i := 0; i < 2; i++ {
+		if code := <-done; code != 200 {
+			t.Errorf("parked/queued request: status = %d, want 200", code)
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if err := s.CheckQuiescent(); err != nil {
+		t.Errorf("quiescence: %v", err)
+	}
+}
+
+// TestHealthzAndMetrics smoke-checks the observability endpoints.
+func TestHealthzAndMetrics(t *testing.T) {
+	s := newTestServer(t, Budgets{Workers: 1})
+	if rec := post(s, "/v1/run", mustJSON(t, Request{Source: tinySrc(44)})); rec.Code != 200 {
+		t.Fatalf("run: status = %d", rec.Code)
+	}
+
+	rec := get(s, "/healthz")
+	if rec.Code != 200 {
+		t.Fatalf("healthz: status = %d", rec.Code)
+	}
+	var h struct {
+		Status     string `json:"status"`
+		Workers    int    `json:"workers"`
+		PooledSims int    `json:"pooled_sims"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" || h.Workers != 1 || h.PooledSims < 1 {
+		t.Errorf("healthz = %+v, want ok/1 worker/>=1 pooled sim", h)
+	}
+
+	rec = get(s, "/metrics")
+	if rec.Code != 200 {
+		t.Fatalf("metrics: status = %d", rec.Code)
+	}
+	var snap struct {
+		Counters map[string]int64 `json:"counters"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &snap); err != nil {
+		t.Fatalf("metrics body: %v", err)
+	}
+	if snap.Counters["serve.requests.completed"] != 1 {
+		t.Errorf("metrics completed = %d, want 1", snap.Counters["serve.requests.completed"])
+	}
+}
