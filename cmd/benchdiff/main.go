@@ -14,13 +14,15 @@
 // a gate escape); new entries absent from the baseline are reported and
 // pass.
 //
-// Two absolute gates ride on top of the relative comparison, both
-// evaluated within the new record alone (so they hold on any host):
-// sim/decoded-grid must report zero allocations per run — the decode-once
-// engine's steady-state pooling contract — and the sim/legacy-grid to
-// sim/decoded-grid wall-time ratio must stay at or above -engine-speedup
-// (default 2.0), since both rows are measured back-to-back on the same
-// machine over identical compile products.
+// Absolute gates ride on top of the relative comparison, all evaluated
+// within the new record alone (so they hold on any host):
+// sim/decoded-grid and sim/cached-grid must report zero allocations per
+// run — the decode-once engine's steady-state pooling contract, with and
+// without the memory hierarchy — sim/cached-grid must cost more cycles
+// than the flat grid (a hierarchy that charges nothing is miswired), and
+// the sim/legacy-grid to sim/decoded-grid wall-time ratio must stay at or
+// above -engine-speedup (default 2.0), since both rows are measured
+// back-to-back on the same machine over identical compile products.
 package main
 
 import (
@@ -124,6 +126,18 @@ func main() {
 			fails = append(fails, fmt.Sprintf(
 				"FAIL %-22s %-14s %12d allocs (decoded engine must be allocation-free in steady state)",
 				dec.Name, "allocs_per_op", dec.AllocsPerOp))
+		}
+		if cached := now.Entry("sim/cached-grid"); cached != nil {
+			if cached.AllocsPerOp != 0 {
+				fails = append(fails, fmt.Sprintf(
+					"FAIL %-22s %-14s %12d allocs (memory hierarchy must not break steady-state pooling)",
+					cached.Name, "allocs_per_op", cached.AllocsPerOp))
+			}
+			if cached.Cycles <= dec.Cycles {
+				fails = append(fails, fmt.Sprintf(
+					"FAIL %-22s %-14s %12d cycles not above flat grid %d (hierarchy charged nothing)",
+					cached.Name, "cycles", cached.Cycles, dec.Cycles))
+			}
 		}
 		if leg := now.Entry("sim/legacy-grid"); leg != nil && *engineSpeedup > 0 && dec.WallNS > 0 {
 			ratio := float64(leg.WallNS) / float64(dec.WallNS)

@@ -193,6 +193,7 @@ func cmdSim(args []string) error {
 	ifConv := fs.Bool("ifconv", false, "apply Select-based if-conversion before speculation")
 	regionsOn := fs.Bool("regions", false, "apply superblock region formation before speculation")
 	serial := fs.Bool("serial", false, "use the [4]-style serial-recovery machine (implies -spec, -bench only)")
+	cache := fs.String("cache", "", "memory hierarchy: flat, l1, l1-pf, l2, l2-pf (default flat)")
 	bench := fs.String("bench", "", "built-in benchmark name")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -203,6 +204,10 @@ func cmdSim(args []string) error {
 	}
 	sys.IfConvert = *ifConv
 	sys.Regions = *regionsOn
+	sys.Mem = machine.MemByName(*cache)
+	if sys.Mem == nil {
+		return fmt.Errorf("unknown cache %q (stock: flat, l1, l1-pf, l2, l2-pf)", *cache)
+	}
 	if *serial {
 		if *bench == "" {
 			return fmt.Errorf("-serial requires -bench <name>")
@@ -267,6 +272,10 @@ func cmdSim(args []string) error {
 		fmt.Printf("predictions: %d  mispredicts: %d  CCE executed: %d  flushed: %d  sync stalls: %d\n",
 			res.Predictions, res.Mispredicts, res.CCEExecuted, res.CCEFlushed, res.StallSync)
 		fmt.Printf("peak CCB occupancy: %d entries\n", res.MaxCCBOccupancy)
+	}
+	if !sys.Mem.Flat() {
+		fmt.Printf("memory (%s): D-misses: %d  I-misses: %d  fetch stalls: %d  prefetches: %d (%d useful)\n",
+			sys.Mem.Name, res.DMisses, res.IMisses, res.StallIFetch, res.PrefIssued, res.PrefUseful)
 	}
 	return nil
 }

@@ -6,9 +6,9 @@
 // Usage:
 //
 //	vpexp -exp table2|table3|table4|fig8|baseline|speedup|all [-mach 4-wide] [-j N]
-//	vpexp -exp threshold|predictors|ccb|regions|hyperblocks|disambig|ablations
+//	vpexp -exp threshold|predictors|ccb|regions|hyperblocks|disambig|memory|ablations
 //	vpexp -oracle [-mach 4-wide] [-j N]
-//	vpexp -sim compress [-trace t.jsonl -trace-format jsonl] [-stats-json m.json]
+//	vpexp -sim compress [-cache l2-pf] [-trace t.jsonl -trace-format jsonl] [-stats-json m.json]
 //	vpexp -bench-json BENCH.json [-bench-count 5]
 //	vpexp -conform [-progen-seed 1] [-progen-count 200] [-j N]
 //	vpexp -progen-seed 17 -progen-count 2
@@ -41,6 +41,12 @@
 // writes the perf record cmd/benchdiff gates CI with. -cpuprofile and
 // -memprofile capture pprof profiles of whichever mode runs.
 //
+// -cache binds a stock memory hierarchy (internal/machine: flat, l1,
+// l1-pf, l2, l2-pf) to every simulation this invocation runs. The
+// hierarchy is timing-only — architectural results never change, cycle
+// counts do. `-exp memory` sweeps all stock hierarchies in one table
+// (the generalised Fig. 10 axis).
+//
 // Three flags expose the compile pipeline itself: -passes prints the pass
 // plans the current configuration composes (with each pass's cache-key
 // fingerprint) and exits; -validate-ir checks the IR between every pass
@@ -72,8 +78,9 @@ import (
 
 func main() {
 	which := flag.String("exp", "all", "experiment: table2, table3, table4, fig8, baseline, speedup, all, "+
-		"or an ablation: threshold, predictors, ccb, regions, disambig, ablations")
+		"or an ablation: threshold, predictors, ccb, regions, disambig, memory, ablations")
 	mach := flag.String("mach", "4-wide", "machine description for single-width experiments")
+	cacheName := flag.String("cache", "", "memory hierarchy for simulations: flat, l1, l1-pf, l2, l2-pf (default flat)")
 	jobs := flag.Int("j", runtime.NumCPU(), "max concurrent experiment cells (tables are identical at any value)")
 	oracleMode := flag.Bool("oracle", false, "differentially test the simulator against the interpreter and exit")
 	simBench := flag.String("sim", "", "run one benchmark on the speculative dual-engine machine (observability mode)")
@@ -98,10 +105,16 @@ func main() {
 		fmt.Fprintf(os.Stderr, "vpexp: unknown machine %q\n", *mach)
 		os.Exit(2)
 	}
+	memCfg := machine.MemByName(*cacheName)
+	if memCfg == nil {
+		fmt.Fprintf(os.Stderr, "vpexp: unknown cache %q (stock: flat, l1, l1-pf, l2, l2-pf)\n", *cacheName)
+		os.Exit(2)
+	}
 
-	// tune applies the pipeline-debugging flags to every runner this
-	// invocation constructs.
+	// tune applies the pipeline-debugging flags and the memory hierarchy
+	// to every runner this invocation constructs.
 	tune := func(r *exp.Runner) {
+		r.Mem = memCfg
 		r.ValidateIR = *validateIR
 		if *dumpIR != "" {
 			dump, err := irDumper(*dumpIR)
@@ -257,6 +270,7 @@ func main() {
 	runAblation("regions", exp2(exp.RenderRegionAblation))
 	runAblation("hyperblocks", exp2(exp.RenderHyperblockMatrix))
 	runAblation("disambig", exp2(exp.RenderDisambiguationAblation))
+	runAblation("memory", exp2(exp.RenderMemLatAblation))
 
 	if !matched {
 		fmt.Fprintf(os.Stderr, "vpexp: unknown experiment %q\n", *which)
@@ -388,6 +402,11 @@ func runSim(d *machine.Desc, tune func(*exp.Runner), bench, traceFile, traceForm
 	fmt.Printf("sim %s on %s: result=%d cycles=%d instrs=%d preds=%d mispred=%d cce=%d flush=%d\n",
 		bench, d.Name, v, sim.Cycles, sim.Instrs,
 		sim.Predictions, sim.Mispredicts, sim.CCEExecuted, sim.CCEFlushed)
+	if !sim.MemCfg.Flat() {
+		fmt.Printf("mem %s: dhits=%d dmisses=%d imisses=%d stall-ifetch=%d pf-issued=%d pf-useful=%d\n",
+			sim.MemCfg.Name, sim.DHits, sim.DMisses, sim.IMisses,
+			sim.StallIFetch, sim.PrefIssued, sim.PrefUseful)
+	}
 	if statsJSON != "" {
 		f, err := os.Create(statsJSON)
 		if err != nil {

@@ -62,6 +62,10 @@ type Cell struct {
 	Threshold      float64 // 0 = speculation default
 	SerialRecovery bool
 	BranchPenalty  int
+	// Mem selects the memory-hierarchy model (nil = flat fixed-latency
+	// loads). Sim-time-only: it never reaches the compile side, so cells
+	// differing only in Mem share one CellPipeline.
+	Mem *machine.MemConfig
 }
 
 // DefaultLattice spans machine widths, CCB pressure, recovery models, and
@@ -80,6 +84,24 @@ func DefaultLattice() []Cell {
 		{Name: "w4-serial", D: machine.W4, SerialRecovery: true, BranchPenalty: 1},
 		{Name: "w8-serial-bp0", D: machine.W8, SerialRecovery: true},
 	}
+}
+
+// MemLattice spans the memory-hierarchy axis at a fixed 4-wide dual-engine
+// machine: every stock cache configuration (including the explicit flat
+// one, whose cycles must be byte-identical to a nil Mem), plus a
+// cache-under-CCB-pressure cell and a serial-recovery cell so dynamic load
+// latencies meet every recovery path. Architectural results must be
+// identical on every cell — only cycles may move.
+func MemLattice() []Cell {
+	cells := []Cell{{Name: "w4-mem-nil", D: machine.W4}}
+	for _, m := range machine.StockMem() {
+		cells = append(cells, Cell{Name: "w4-mem-" + m.Name, D: machine.W4, Mem: m})
+	}
+	cells = append(cells,
+		Cell{Name: "w4-mem-l1pf-ccb4", D: machine.W4, CCBCapacity: 4, Mem: machine.MemL1PF},
+		Cell{Name: "w4-mem-l2-serial", D: machine.W4, SerialRecovery: true, BranchPenalty: 1, Mem: machine.MemL2},
+	)
+	return cells
 }
 
 // Options configures a conformance run. The zero value means defaults.
@@ -142,6 +164,10 @@ type Stats struct {
 	CCBStallCells  int // runs that stalled on a full CCB at least once
 	MonotoneSweeps int // programs that ran the CCB capacity sweep
 	PressureRuns   int // completed sweep runs below the speculative window
+	// Memory-hierarchy coverage (nonzero only under a mem lattice).
+	MemMisses     int64 // demand misses across every cached cell
+	MemIMisses    int64 // instruction-cache misses
+	MemPrefetches int64 // prefetcher line fills issued
 }
 
 func (s *Stats) add(o Stats) {
@@ -154,6 +180,9 @@ func (s *Stats) add(o Stats) {
 	s.CCBStallCells += o.CCBStallCells
 	s.MonotoneSweeps += o.MonotoneSweeps
 	s.PressureRuns += o.PressureRuns
+	s.MemMisses += o.MemMisses
+	s.MemIMisses += o.MemIMisses
+	s.MemPrefetches += o.MemPrefetches
 }
 
 // Run checks n consecutive seeds starting at startSeed, fanning across
@@ -349,6 +378,7 @@ func (cp *CellPipeline) NewSim(cell Cell) *core.Simulator {
 	}
 	sim.SerialRecovery = cell.SerialRecovery
 	sim.BranchPenalty = cell.BranchPenalty
+	sim.MemCfg = cell.Mem
 	return sim
 }
 
@@ -365,6 +395,7 @@ func buildSim(res *speculate.Result, schemes map[int]profile.Scheme, cell Cell, 
 	}
 	sim.SerialRecovery = cell.SerialRecovery
 	sim.BranchPenalty = cell.BranchPenalty
+	sim.MemCfg = cell.Mem
 	if opt.Tamper != nil {
 		opt.Tamper(sim)
 	}
@@ -449,6 +480,9 @@ func checkCell(prog *ir.Program, prof *profile.Profile, ref *refResult, cell Cel
 	if sim.StallCCB > 0 {
 		stats.CCBStallCells++
 	}
+	stats.MemMisses += sim.DMisses
+	stats.MemIMisses += sim.IMisses
+	stats.MemPrefetches += sim.PrefIssued
 
 	// Invariant 1: architectural conformance.
 	if d := archDiff(ref, v, sim); d != "" {
@@ -460,10 +494,11 @@ func checkCell(prog *ir.Program, prof *profile.Profile, ref *refResult, cell Cel
 	}
 
 	// Invariant 2: perfect prediction never loses. Dual-engine cells with
-	// an unconstrained CCB only: a deliberately starved buffer or the
-	// serial-recovery machine are allowed to lose to the unspeculated
-	// baseline.
-	if cell.SerialRecovery || cell.CCBCapacity > 0 || sim.Predictions == 0 {
+	// an unconstrained CCB and flat load latency only: a deliberately
+	// starved buffer, the serial-recovery machine, or a cache model (whose
+	// check loads can miss where the training run hit) are allowed to lose
+	// to the unspeculated baseline.
+	if cell.SerialRecovery || cell.CCBCapacity > 0 || !cell.Mem.Flat() || sim.Predictions == 0 {
 		return nil, nil
 	}
 	for r, id := range recIDs {
@@ -661,6 +696,10 @@ func (c *countSink) diff(sim *core.Simulator, cell Cell) string {
 		{"stall.ccb events vs StallCCB", k(obs.KindStallCCB), sim.StallCCB},
 		{"stall.barrier events vs StallBar", k(obs.KindStallBarrier), sim.StallBar},
 		{"instr-issue events vs Instrs", k(obs.KindInstrIssue), sim.Instrs},
+		{"stall.ifetch events vs StallIFetch", k(obs.KindStallIFetch), sim.StallIFetch},
+		{"mem-hit events vs DHits", k(obs.KindMemHit), sim.DHits},
+		{"mem-miss events vs DMisses", k(obs.KindMemMiss), sim.DMisses},
+		{"mem-prefetch events vs PrefIssued", k(obs.KindMemPrefetch), sim.PrefIssued},
 	}
 	for _, ch := range checks {
 		if ch.a != ch.b {
@@ -675,6 +714,11 @@ func (c *countSink) diff(sim *core.Simulator, cell Cell) string {
 		{"snapshot pred.verified", snap.Counters["pred.verified"], sim.Predictions - sim.Mispredicts},
 		{"snapshot stall.recovery", snap.Counters["stall.recovery"], sim.StallRecovery},
 		{"snapshot ccb.max_occupancy", snap.Counters["ccb.max_occupancy"], int64(sim.MaxCCBOccupancy)},
+		{"snapshot mem.dhits", snap.Counters["mem.dhits"], sim.DHits},
+		{"snapshot mem.dmisses", snap.Counters["mem.dmisses"], sim.DMisses},
+		{"snapshot mem.imisses", snap.Counters["mem.imisses"], sim.IMisses},
+		{"snapshot mem.prefetch.issued", snap.Counters["mem.prefetch.issued"], sim.PrefIssued},
+		{"snapshot mem.prefetch.useful", snap.Counters["mem.prefetch.useful"], sim.PrefUseful},
 	}
 	for _, ch := range scalar {
 		if ch.a != ch.b {

@@ -60,6 +60,52 @@ func TestConformance(t *testing.T) {
 	}
 }
 
+// -mem-seeds sets the memory-hierarchy conformance budget; CI's memory
+// job pins it to 200 under -race.
+var memSeedBudget = flag.Int("mem-seeds", 24, "number of generated programs checked across the memory lattice")
+
+// TestMemConformance runs the invariant battery across the memory
+// lattice: every cache configuration — multi-level, prefetching,
+// I-cached, serial-recovery, CCB-starved — must stay architecturally
+// byte-identical to the interpreter and keep its event stream, counters,
+// and metrics snapshot mutually consistent; only cycles may move.
+func TestMemConformance(t *testing.T) {
+	n := *memSeedBudget
+	if testing.Short() && n > 6 {
+		n = 6
+	}
+	fails, stats, err := Run(1, n, Options{Jobs: runtime.GOMAXPROCS(0), Lattice: MemLattice()})
+	if err != nil {
+		t.Fatalf("harness error: %v", err)
+	}
+	for _, f := range fails {
+		t.Errorf("%s", f.Report())
+	}
+
+	// Vacuity guards: the lattice must actually have exercised the cache
+	// model — misses, I-cache pressure, prefetch issue, and recovery
+	// machinery under dynamic load latency.
+	t.Logf("memory conformance stats: %+v", stats)
+	if stats.Programs != n {
+		t.Errorf("checked %d programs, want %d", stats.Programs, n)
+	}
+	if stats.MemMisses == 0 {
+		t.Error("no demand load ever missed: the hierarchy went untested")
+	}
+	if stats.MemIMisses == 0 {
+		t.Error("no instruction fetch ever missed the I-cache")
+	}
+	if stats.MemPrefetches == 0 {
+		t.Error("the stride-stream prefetcher never issued a fill")
+	}
+	if stats.Mispredicts == 0 {
+		t.Error("no prediction ever missed under a cache model: recovery with dynamic latency went untested")
+	}
+	if stats.CCEExecuted == 0 {
+		t.Error("the Compensation Code Engine never re-executed under a cache model")
+	}
+}
+
 // TestConformanceCatchesInjectedCCEBug proves the suite's teeth: with a
 // deliberately corrupted CCE write-back datapath, some seed must produce
 // an architectural divergence, reported with the seed and a minimized

@@ -68,6 +68,37 @@ func TestSimulatorRunZeroAllocSteadyState(t *testing.T) {
 	}
 }
 
+func TestSimulatorRunZeroAllocWithCache(t *testing.T) {
+	// The memory hierarchy must preserve the steady-state guarantee for
+	// every stock config: the tag arrays, prefetcher streams, and the
+	// far-future miss latencies spilling past the event wheel all reuse
+	// pooled storage. MemRec stays nil — recording is a diff tool and may
+	// grow its trace.
+	for _, mem := range machine.StockMem() {
+		t.Run(mem.Name, func(t *testing.T) {
+			sim, _ := buildSim(t, allocKernel, true, machine.W4)
+			sim.MemCfg = mem
+			var want uint64
+			for i := 0; i < 2; i++ {
+				v, err := sim.Run("main")
+				if err != nil {
+					t.Fatal(err)
+				}
+				want = v
+			}
+			allocs := testing.AllocsPerRun(5, func() {
+				v, err := sim.Run("main")
+				if err != nil || v != want {
+					t.Fatalf("Run: v=%d err=%v", v, err)
+				}
+			})
+			if allocs != 0 {
+				t.Errorf("steady-state Run with %s allocates %.1f objects, want 0", mem.Name, allocs)
+			}
+		})
+	}
+}
+
 func TestBatchRunAllZeroAllocSteadyState(t *testing.T) {
 	sim, _ := buildSim(t, allocKernel, true, machine.W4)
 	img := sim.Image()

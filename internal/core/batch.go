@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"vliwvp/internal/machine"
 	"vliwvp/internal/profile"
 )
 
@@ -26,6 +27,9 @@ type Batch struct {
 	CCBCapacity int
 	// MaxCycles overrides the runaway guard (0 = the simulator default).
 	MaxCycles int64
+	// Mem sets the memory hierarchy on every simulator the batch builds
+	// (nil = flat fixed-latency loads); per-item Mem overrides it.
+	Mem *machine.MemConfig
 
 	sims map[*Image]*Simulator
 }
@@ -46,6 +50,11 @@ type BatchItem struct {
 	// MaxCycles overrides the batch/default runaway guard for this item
 	// (0 = inherit). Services use it as the per-request cycle budget.
 	MaxCycles int64
+	// Mem selects the memory-hierarchy model for this item (nil = the
+	// batch's Mem, else flat fixed-latency loads). Like CCBCapacity it is
+	// sim-time-only state: items differing only in Mem share one pooled
+	// simulator and rebind per run.
+	Mem *machine.MemConfig
 }
 
 // BatchResult is one item's outcome and headline statistics.
@@ -97,6 +106,10 @@ func (b *Batch) simFor(it *BatchItem) *Simulator {
 	}
 	if it.MaxCycles > 0 {
 		sim.MaxCycles = it.MaxCycles
+	}
+	sim.MemCfg = b.Mem
+	if it.Mem != nil {
+		sim.MemCfg = it.Mem
 	}
 	return sim
 }

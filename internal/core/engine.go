@@ -56,6 +56,17 @@ type Simulator struct {
 	CCBCapacity int
 	// MaxCycles aborts runaway simulations.
 	MaxCycles int64
+	// MemCfg selects the memory-hierarchy timing model (cache.go): nil is
+	// the paper's flat model (every load costs its machine latency,
+	// instruction fetch is free). Like CCBCapacity it is sim-time only —
+	// it never affects compilation or architectural results (the
+	// conformance suite pins that only cycle counts move).
+	MemCfg *machine.MemConfig
+	// MemRec, when set, records the next Run's per-access load latencies
+	// and per-fetch stall penalties (truncated at reset, so each Run
+	// records fresh). The memory engine-diff replays the trace through
+	// the legacy oracle.
+	MemRec *MemTrace
 	// Sink, when set, receives a typed obs.Event per engine event:
 	// instruction issues, stalls, predictions, CCB captures, verification
 	// verdicts, compensation flushes/re-executions, and register
@@ -104,6 +115,13 @@ type Simulator struct {
 	// StallRecovery counts serial-mode cycles spent in recovery blocks
 	// (including branch penalties).
 	StallRecovery int64
+	// Memory-hierarchy counters (all zero under the flat model).
+	DHits       int64 // demand loads that hit the first-level D-cache
+	DMisses     int64 // demand loads that missed it (lower level or memory)
+	IMisses     int64 // instruction fetches that missed the I-cache
+	StallIFetch int64 // cycles stalled on instruction fetch
+	PrefIssued  int64 // prefetch line fills issued
+	PrefUseful  int64 // demand hits on lines a prefetch brought in
 	// MaxCCBOccupancy is the peak number of in-flight CCB entries — the
 	// empirical sizing requirement for the buffer (compare the E10 sweep).
 	MaxCCBOccupancy int
@@ -115,7 +133,9 @@ type Simulator struct {
 
 	// internal state
 	img        *Image
-	stallUntil int64 // serial-mode recovery stall horizon
+	msys       *memSys     // hierarchy state, nil under the flat model
+	pf         *prefetcher // stride-stream prefetcher, nil when disabled
+	stallUntil int64       // serial-mode recovery stall horizon
 	seq        int64
 	mem        *interp.Machine // reused for operation semantics + memory
 	syncBusy   uint64
@@ -162,6 +182,12 @@ type frame struct {
 	retDest  ir.Reg     // caller-side destination (stored on the CALLEE's frame)
 	returned bool
 	retVal   uint64
+
+	// Instruction-fetch state (I-cache configs only): fetched marks the
+	// current instruction's fetch as already probed; fetchUntil is the
+	// cycle the fetch completes (stall until then).
+	fetched    bool
+	fetchUntil int64
 
 	pins   int32 // in-flight wheel events referencing this frame
 	dead   bool  // popped (or reset); recyclable once pins reach zero
@@ -272,6 +298,9 @@ func (s *Simulator) reset() {
 	s.StallSync, s.StallScore, s.StallCCB, s.StallBar = 0, 0, 0, 0
 	s.CCEExecuted, s.CCEFlushed, s.Mispredicts, s.Predictions = 0, 0, 0, 0
 	s.StallRecovery = 0
+	s.DHits, s.DMisses, s.IMisses, s.StallIFetch = 0, 0, 0, 0
+	s.PrefIssued, s.PrefUseful = 0, 0
+	s.resetMem()
 	s.MaxCCBOccupancy = 0
 	s.ccbOcc = [ccbOccBuckets]int64{}
 	s.Output = nil
@@ -295,6 +324,86 @@ func (s *Simulator) reset() {
 	s.stack = s.stack[:0]
 	s.runEpoch++ // lazily invalidates the whole predictor table
 	s.mem.Reset()
+}
+
+// resetMem reconciles the hierarchy state with MemCfg: (re)built on a
+// config rebinding, reset in place (no allocation) when the binding is
+// unchanged — the batch rebinding path stays zero-alloc in steady state.
+func (s *Simulator) resetMem() {
+	if s.MemRec != nil {
+		s.MemRec.Loads = s.MemRec.Loads[:0]
+		s.MemRec.Fetch = s.MemRec.Fetch[:0]
+	}
+	if s.MemCfg.Flat() {
+		// A nil or explicitly flat config is the legacy fixed-latency
+		// machine: no hierarchy state, no mem events, no counters — byte
+		// identical to the pre-hierarchy engine, not merely cycle equal.
+		s.msys, s.pf = nil, nil
+		return
+	}
+	if s.msys == nil || s.msys.cfg != s.MemCfg {
+		s.msys = newMemSys(s.MemCfg)
+	} else {
+		s.msys.reset()
+	}
+	if p := s.MemCfg.Prefetch; p.Degree > 0 {
+		if s.pf == nil || s.pf.params != p || len(s.pf.streams) < s.img.numLoadSites {
+			s.pf = newPrefetcher(p, s.img.numLoadSites)
+		} else {
+			s.pf.reset()
+		}
+	} else {
+		s.pf = nil
+	}
+}
+
+// loadAccess charges one D-hierarchy access for a load at word address
+// addr (flat is the static latency returned when no hierarchy is
+// configured). train gates prefetcher training: VLIW-path demand
+// accesses train; compensation re-executions do not (their corrected
+// addresses replay the past, not the stream's future).
+func (s *Simulator) loadAccess(flat int64, site int32, addr int64, train bool) int64 {
+	if s.msys == nil {
+		return flat
+	}
+	lat, lvl, prefHit := s.msys.dAccess(addr, s.cycle)
+	if lvl == 0 {
+		s.DHits++
+	} else {
+		s.DMisses++
+	}
+	if prefHit {
+		s.PrefUseful++
+	}
+	if s.tracing() {
+		kind, served := obs.KindMemHit, lvl+1
+		if lvl > 0 {
+			kind = obs.KindMemMiss
+			if lvl == len(s.msys.levels) {
+				served = 0 // main memory
+			}
+		}
+		s.emit(&obs.Event{Cycle: s.cycle, Engine: obs.EngineVLIW, Kind: kind,
+			Bit: -1, Addr: addr, Lat: lat, Level: served})
+	}
+	if s.MemRec != nil {
+		s.MemRec.Loads = append(s.MemRec.Loads, lat)
+	}
+	if train && s.pf != nil && site >= 0 {
+		if confirmed, delta := s.pf.observe(site, addr); confirmed {
+			for k := 1; k <= s.pf.params.Degree; k++ {
+				pa := addr + delta*int64(k)
+				if s.msys.prefetchFill(pa, s.cycle) {
+					s.PrefIssued++
+					if s.tracing() {
+						s.emit(&obs.Event{Cycle: s.cycle, Engine: obs.EngineVLIW,
+							Kind: obs.KindMemPrefetch, Bit: -1, Addr: pa, Site: int(site)})
+					}
+				}
+			}
+		}
+	}
+	return lat
 }
 
 // tracing reports whether any event consumer is attached; emitters guard
@@ -342,6 +451,12 @@ func (s *Simulator) PublishMetrics(reg *obs.Registry) {
 	set("cce.flushed", s.CCEFlushed)
 	set("cce.executed", s.CCEExecuted)
 	set("ccb.max_occupancy", int64(s.MaxCCBOccupancy))
+	set("mem.dhits", s.DHits)
+	set("mem.dmisses", s.DMisses)
+	set("mem.imisses", s.IMisses)
+	set("stall.ifetch", s.StallIFetch)
+	set("mem.prefetch.issued", s.PrefIssued)
+	set("mem.prefetch.useful", s.PrefUseful)
 	h := reg.Histogram("ccb.occupancy", obs.Pow2Bounds(ccbOccBuckets-1))
 	for i, n := range s.ccbOcc {
 		h.SetBucket(i, n)
@@ -357,6 +472,11 @@ func (s *Simulator) Run(entry string, args ...uint64) (uint64, error) {
 	fn := s.img.funcs[entry]
 	if fn == nil {
 		return 0, fmt.Errorf("core: no function %q", entry)
+	}
+	if s.MemCfg != nil {
+		if err := s.MemCfg.Validate(); err != nil {
+			return 0, err
+		}
 	}
 	s.reset()
 	root := s.acquireFrame(fn, ir.NoReg)
@@ -426,6 +546,8 @@ func (s *Simulator) acquireFrame(fn *imgFunc, retDest ir.Reg) *frame {
 	fr.retDest = retDest
 	fr.returned = false
 	fr.retVal = 0
+	fr.fetched = false
+	fr.fetchUntil = 0
 	fr.pins = 0
 	fr.dead = false
 	fr.pooled = false
@@ -637,6 +759,30 @@ func (s *Simulator) stepVLIW() (bool, error) {
 	}
 	in := &blk.instrs[fr.instrIdx]
 
+	// Instruction fetch: probe the I-cache once per dynamic instruction,
+	// then stall until the fetch completes.
+	if s.msys != nil && s.msys.hasICache() {
+		if !fr.fetched {
+			fr.fetched = true
+			pen, miss := s.msys.iAccess(in.fetchAddr, s.cycle)
+			fr.fetchUntil = s.cycle + pen
+			if miss {
+				s.IMisses++
+			}
+			if s.MemRec != nil {
+				s.MemRec.Fetch = append(s.MemRec.Fetch, pen)
+			}
+		}
+		if s.cycle < fr.fetchUntil {
+			s.StallIFetch++
+			if s.tracing() {
+				s.emit(&obs.Event{Cycle: s.cycle, Engine: obs.EngineVLIW,
+					Kind: obs.KindStallIFetch, Bit: -1})
+			}
+			return false, nil
+		}
+	}
+
 	// Synchronization-register stall.
 	if in.waitBits&s.syncBusy != 0 {
 		s.StallSync++
@@ -722,6 +868,7 @@ func (s *Simulator) stepVLIW() (bool, error) {
 		}
 	}
 	fr.instrIdx++
+	fr.fetched = false
 	if control != nil {
 		return s.issueControl(fr, blk, control)
 	}
@@ -755,15 +902,16 @@ func (s *Simulator) issueDataOp(fr *frame, blk *imgBlock, o *imgOp) error {
 		}
 		actual := s.mem.Mem[addr]
 		bit := blk.siteMask[li]
+		lat := s.loadAccess(o.lat, o.ldSite, addr, true)
 		seq := s.nextSeq(fr, op.Dest)
 		if s.tracing() {
 			s.emit(&obs.Event{Cycle: s.cycle, Engine: obs.EngineVLIW,
-				Kind: obs.KindCheckIssue, Op: op, Bit: -1, Done: s.cycle + o.lat,
+				Kind: obs.KindCheckIssue, Op: op, Bit: -1, Done: s.cycle + lat,
 				Site: op.PredID, Correct: actual == si.predicted})
 		}
-		s.schedule(s.cycle+o.lat, wev{kind: wevCheckResolve, fr: fr, inst: fr.inst,
+		s.schedule(s.cycle+lat, wev{kind: wevCheckResolve, fr: fr, inst: fr.inst,
 			op: op, li: li, reg: op.Dest, val: actual, seq: seq, mask: bit})
-		fr.readyAt[op.Dest] = s.cycle + o.lat
+		fr.readyAt[op.Dest] = s.cycle + lat
 		return nil
 
 	default:
@@ -772,12 +920,16 @@ func (s *Simulator) issueDataOp(fr *frame, blk *imgBlock, o *imgOp) error {
 		}
 		// Non-speculative: operands are verified correct; execute with
 		// architectural state and real fault semantics.
+		lat := o.lat
+		if op.Code == ir.Load && s.msys != nil {
+			lat = s.loadAccess(o.lat, o.ldSite, int64(fr.regs[op.A])+op.Imm, true)
+		}
 		v, err := s.execValue(fr.fn.f, op, fr.regs)
 		if err != nil {
 			return fmt.Errorf("core: %s b%d %s: %w", fr.fn.f.Name, fr.blockID, op, err)
 		}
 		if d := o.def; d != ir.NoReg {
-			s.writeReg(fr, d, v, o.lat)
+			s.writeReg(fr, d, v, lat)
 		}
 		return nil
 	}
@@ -792,6 +944,10 @@ func (s *Simulator) issueSpecOp(fr *frame, blk *imgBlock, o *imgOp) error {
 	// If every prediction this op consumes has already verified correct,
 	// its operands are plain correct values: issue it as an ordinary op.
 	if s.predsVerifiedCorrect(inst, o.predSet) {
+		lat := o.lat
+		if op.Code == ir.Load && s.msys != nil {
+			lat = s.loadAccess(o.lat, o.ldSite, int64(fr.regs[op.A])+op.Imm, true)
+		}
 		v, err := s.execValue(fr.fn.f, op, fr.regs)
 		if err != nil {
 			return fmt.Errorf("core: %s: %w", op, err)
@@ -800,7 +956,7 @@ func (s *Simulator) issueSpecOp(fr *frame, blk *imgBlock, o *imgOp) error {
 			s.emit(&obs.Event{Cycle: s.cycle, Engine: obs.EngineVLIW,
 				Kind: obs.KindPlainIssue, Op: op, Bit: -1})
 		}
-		s.writeReg(fr, op.Dest, v, o.lat)
+		s.writeReg(fr, op.Dest, v, lat)
 		return nil
 	}
 
@@ -824,7 +980,13 @@ func (s *Simulator) issueSpecOp(fr *frame, blk *imgBlock, o *imgOp) error {
 
 	// Execute on the VLIW engine with current (predicted) values.
 	// Speculative faults are deferred: a poison zero result stands in until
-	// verification decides whether the fault was real.
+	// verification decides whether the fault was real. A speculative load
+	// accesses the hierarchy with its (possibly mispredicted) address —
+	// the cache model tolerates any address, it is tags only.
+	lat := o.lat
+	if op.Code == ir.Load && s.msys != nil {
+		lat = s.loadAccess(o.lat, o.ldSite, int64(fr.regs[op.A])+op.Imm, true)
+	}
 	v, err := s.execValue(fr.fn.f, op, fr.regs)
 	if err != nil {
 		e.issueErr = err
@@ -832,8 +994,8 @@ func (s *Simulator) issueSpecOp(fr *frame, blk *imgBlock, o *imgOp) error {
 	}
 	s.syncBusy |= o.bitMask
 	e.seq = s.nextSeq(fr, op.Dest)
-	s.schedule(s.cycle+o.lat, wev{kind: wevWrite, fr: fr, reg: op.Dest, val: v, seq: e.seq})
-	fr.readyAt[op.Dest] = s.cycle + o.lat
+	s.schedule(s.cycle+lat, wev{kind: wevWrite, fr: fr, reg: op.Dest, val: v, seq: e.seq})
+	fr.readyAt[op.Dest] = s.cycle + lat
 
 	inst.entryOf[o.idx] = ei + 1
 	inst.live++
@@ -882,6 +1044,11 @@ func dynSiteStates(inst *blockInst, set uint32) []obs.SiteState {
 // ops of the same long instruction).
 func (s *Simulator) issueControl(fr *frame, blk *imgBlock, o *imgOp) (bool, error) {
 	op := o.op
+	if s.pf != nil && (op.Code == ir.Call || op.Code == ir.Ret) {
+		// Call/return barrier: the machine drains speculation here and the
+		// working set changes — every prefetch stream retrains.
+		s.pf.barrier()
+	}
 	switch op.Code {
 	case ir.Jmp:
 		s.enterBlock(fr, blk.succs[0])
@@ -915,6 +1082,7 @@ func (s *Simulator) enterBlock(fr *frame, next int) {
 	}
 	fr.blockID = next
 	fr.instrIdx = 0
+	fr.fetched = false
 }
 
 func (s *Simulator) issueCall(fr *frame, op *ir.Op) error {
@@ -1109,6 +1277,13 @@ func (s *Simulator) stepCCE() {
 		ref := &e.operands[i]
 		s.scratch[ref.reg] = correctedValue(r.inst, ref)
 	}
+	// A re-executed load accesses the hierarchy with its corrected
+	// address (before execValue, which may overwrite scratch[A] when the
+	// destination aliases a source). It does not train the prefetcher.
+	lat := r.inst.blk.ops[e.opIdx].lat
+	if e.op.Code == ir.Load && s.msys != nil {
+		lat = s.loadAccess(lat, -1, int64(s.scratch[e.op.A])+e.op.Imm, false)
+	}
 	v, err := s.execValue(e.fr.fn.f, e.op, s.scratch)
 	if err != nil {
 		// Correct operands and still faulting: a real fault.
@@ -1116,7 +1291,6 @@ func (s *Simulator) stepCCE() {
 		return
 	}
 	v ^= s.FaultCCEWritebackXor
-	lat := r.inst.blk.ops[e.opIdx].lat
 	e.recomputed = true
 	e.newValue = v
 	e.doneAt = s.cycle + lat

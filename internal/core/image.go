@@ -51,6 +51,7 @@ type imgOp struct {
 
 	idx       int32  // own block op index
 	siteLocal int32  // block-local site index (LdPred/CheckLd), -1 otherwise
+	ldSite    int32  // dense load-site ID (Load/CheckLd), -1 otherwise
 	bitMask   uint64 // 1<<SyncBit, 0 when the op has no Synchronization bit
 	predSet   uint32 // block-local sites this (speculative) op's value consumes
 
@@ -68,6 +69,10 @@ type imgOp struct {
 // imgInstr is one decoded long instruction.
 type imgInstr struct {
 	waitBits uint64
+	// fetchAddr is the instruction's address in the image-wide fetch
+	// space (one word per long instruction, assigned in decode order) —
+	// the I-cache indexes on it.
+	fetchAddr int64
 	// ops holds block op indexes in schedule order (the stall-check scan
 	// order of the legacy engine); sorted holds the same indexes in
 	// ascending block order (its issue order).
@@ -111,9 +116,11 @@ type Image struct {
 	// legacy-compatible map shape.
 	analyses map[string][]*BlockAnalysis
 
-	maxRegs  int
-	numSites int // dense predictor index space: max PredID + 1
-	numOps   int // total decoded ops (validator bookkeeping)
+	maxRegs      int
+	numSites     int // dense predictor index space: max PredID + 1
+	numOps       int // total decoded ops (validator bookkeeping)
+	numLoadSites int // dense load-site space: one ID per static Load/CheckLd
+	numInstrs    int // total long instructions: the fetch address space
 }
 
 // Analyses exposes the per-function block analyses (same shape the
@@ -122,6 +129,10 @@ func (img *Image) Analyses() map[string][]*BlockAnalysis { return img.analyses }
 
 // NumSites returns the dense prediction-site index space (max PredID+1).
 func (img *Image) NumSites() int { return img.numSites }
+
+// NumLoadSites returns the dense load-site space (one ID per static
+// Load/CheckLd op) — the stride-stream prefetcher's table size.
+func (img *Image) NumLoadSites() int { return img.numLoadSites }
 
 // ImageFormatVersion names the decoded image layout; it participates in
 // cache keys (the pipeline decode pass's Fingerprint) so caches invalidate
@@ -244,8 +255,13 @@ func decodeBlock(img *Image, fn *imgFunc, f *ir.Func, b *ir.Block, bs *sched.Blo
 			lat:       int64(d.Latency(op)),
 			idx:       int32(i),
 			siteLocal: -1,
+			ldSite:    -1,
 			predSet:   info.PredSet,
 			isControl: op.Code.IsTerminator() || op.Code == ir.Call,
+		}
+		if op.Code == ir.Load || op.Code == ir.CheckLd {
+			o.ldSite = int32(img.numLoadSites)
+			img.numLoadSites++
 		}
 		if op.SyncBit != ir.NoBit {
 			o.bitMask = 1 << uint(op.SyncBit)
@@ -308,6 +324,8 @@ func decodeBlock(img *Image, fn *imgFunc, f *ir.Func, b *ir.Block, bs *sched.Blo
 	for ii, in := range bs.Instrs {
 		di := &blk.instrs[ii]
 		di.waitBits = in.WaitBits
+		di.fetchAddr = int64(img.numInstrs)
+		img.numInstrs++
 		di.ops = make([]int32, len(in.Ops))
 		for k, op := range in.Ops {
 			idx := an.IndexOf(op)
@@ -373,6 +391,13 @@ func (img *Image) Validate() error {
 				if o.siteLocal >= 0 && int(o.siteLocal) >= nSites {
 					return fmt.Errorf("core: image %s b%d op%d: site local %d out of range", f.Name, bi, i, o.siteLocal)
 				}
+				if o.ldSite >= 0 && int(o.ldSite) >= img.numLoadSites {
+					return fmt.Errorf("core: image %s b%d op%d: load site %d outside dense space %d",
+						f.Name, bi, i, o.ldSite, img.numLoadSites)
+				}
+				if (o.op.Code == ir.Load || o.op.Code == ir.CheckLd) && o.ldSite < 0 {
+					return fmt.Errorf("core: image %s b%d op%d: load without a load-site ID", f.Name, bi, i)
+				}
 				if len(o.producers) != len(o.uses) || len(o.srcKinds) != len(o.uses) || len(o.prodSite) != len(o.uses) {
 					return fmt.Errorf("core: image %s b%d op%d: operand metadata arity mismatch", f.Name, bi, i)
 				}
@@ -387,6 +412,10 @@ func (img *Image) Validate() error {
 			}
 			for ii := range blk.instrs {
 				in := &blk.instrs[ii]
+				if in.fetchAddr < 0 || int(in.fetchAddr) >= img.numInstrs {
+					return fmt.Errorf("core: image %s b%d i%d: fetch address %d outside space %d",
+						f.Name, bi, ii, in.fetchAddr, img.numInstrs)
+				}
 				if len(in.sorted) != len(in.ops) {
 					return fmt.Errorf("core: image %s b%d i%d: sorted arity mismatch", f.Name, bi, ii)
 				}

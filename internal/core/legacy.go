@@ -42,6 +42,12 @@ type LegacySimulator struct {
 	CCBCapacity int
 	// MaxCycles aborts runaway simulations.
 	MaxCycles int64
+	// MemReplay, when set, drives this oracle with the per-access load
+	// latencies and per-fetch stall penalties a decoded-engine run
+	// recorded (Simulator.MemRec): the memory engine-diff's proof that a
+	// cache hierarchy changes latency numbers and nothing else. The
+	// legacy stepper has no cache model of its own.
+	MemReplay *MemTrace
 	// Sink, when set, receives a typed obs.Event per engine event:
 	// instruction issues, stalls, predictions, CCB captures, verification
 	// verdicts, compensation flushes/re-executions, and register
@@ -90,6 +96,9 @@ type LegacySimulator struct {
 	// StallRecovery counts serial-mode cycles spent in recovery blocks
 	// (including branch penalties).
 	StallRecovery int64
+	// StallIFetch counts cycles stalled on replayed instruction-fetch
+	// penalties (MemReplay runs only).
+	StallIFetch int64
 	// MaxCCBOccupancy is the peak number of in-flight CCB entries — the
 	// empirical sizing requirement for the buffer (compare the E10 sweep).
 	MaxCCBOccupancy int
@@ -100,6 +109,8 @@ type LegacySimulator struct {
 	ccbOcc [ccbOccBuckets]int64
 
 	// internal state
+	loadCur    int   // next MemReplay.Loads entry
+	fetchCur   int   // next MemReplay.Fetch entry
 	stallUntil int64 // serial-mode recovery stall horizon
 	seq        int64
 	mem        *interp.Machine // reused for operation semantics + memory
@@ -130,6 +141,10 @@ type legacyFrame struct {
 	retDest  ir.Reg           // caller-side destination (stored on the CALLEE's legacyFrame)
 	returned bool
 	retVal   uint64
+
+	// Replayed instruction-fetch state (MemReplay runs only).
+	fetched    bool
+	fetchUntil int64
 }
 
 // legacyBlockInst is the per-dynamic-instance speculation state of a block.
@@ -218,6 +233,8 @@ func (s *LegacySimulator) reset() {
 	s.StallSync, s.StallScore, s.StallCCB, s.StallBar = 0, 0, 0, 0
 	s.CCEExecuted, s.CCEFlushed, s.Mispredicts, s.Predictions = 0, 0, 0, 0
 	s.StallRecovery = 0
+	s.StallIFetch = 0
+	s.loadCur, s.fetchCur = 0, 0
 	s.MaxCCBOccupancy = 0
 	s.ccbOcc = [ccbOccBuckets]int64{}
 	s.Output = nil
@@ -271,6 +288,7 @@ func (s *LegacySimulator) PublishMetrics(reg *obs.Registry) {
 	set("stall.ccb", s.StallCCB)
 	set("stall.barrier", s.StallBar)
 	set("stall.recovery", s.StallRecovery)
+	set("stall.ifetch", s.StallIFetch)
 	set("pred.predictions", s.Predictions)
 	set("pred.mispredicted", s.Mispredicts)
 	set("pred.verified", s.Predictions-s.Mispredicts)
@@ -383,6 +401,29 @@ func (s *LegacySimulator) stepVLIW() (bool, error) {
 	}
 	in := bs.Instrs[fr.instrIdx]
 
+	// Replayed instruction fetch: consume one recorded penalty per
+	// dynamic instruction (mirroring the decoded engine's I-cache probe)
+	// and stall until the fetch completes.
+	if s.MemReplay != nil && len(s.MemReplay.Fetch) > 0 {
+		if !fr.fetched {
+			fr.fetched = true
+			pen := int64(0)
+			if s.fetchCur < len(s.MemReplay.Fetch) {
+				pen = s.MemReplay.Fetch[s.fetchCur]
+				s.fetchCur++
+			}
+			fr.fetchUntil = s.cycle + pen
+		}
+		if s.cycle < fr.fetchUntil {
+			s.StallIFetch++
+			if s.tracing() {
+				s.emit(&obs.Event{Cycle: s.cycle, Engine: obs.EngineVLIW,
+					Kind: obs.KindStallIFetch, Bit: -1})
+			}
+			return false, nil
+		}
+	}
+
 	// Synchronization-register stall.
 	if in.WaitBits&s.syncBusy != 0 {
 		s.StallSync++
@@ -472,10 +513,23 @@ func (s *LegacySimulator) stepVLIW() (bool, error) {
 		}
 	}
 	fr.instrIdx++
+	fr.fetched = false
 	if control != nil {
 		return s.issueControl(fr, control)
 	}
 	return false, nil
+}
+
+// replayLoadLat consumes the next recorded demand-load latency, or returns
+// the machine-description default when no replay is attached (or the trace
+// is exhausted — the engine-diff separately asserts full consumption).
+func (s *LegacySimulator) replayLoadLat(def int64) int64 {
+	if s.MemReplay == nil || s.loadCur >= len(s.MemReplay.Loads) {
+		return def
+	}
+	lat := s.MemReplay.Loads[s.loadCur]
+	s.loadCur++
+	return lat
 }
 
 func (s *LegacySimulator) newBlockInst(fr *legacyFrame) *legacyBlockInst {
@@ -516,6 +570,7 @@ func (s *LegacySimulator) issueDataOp(fr *legacyFrame, op *ir.Op) error {
 			return fmt.Errorf("core: %s: check load address %d out of range", fr.f.Name, addr)
 		}
 		actual := s.mem.Mem[addr]
+		lat = s.replayLoadLat(lat)
 		bit := uint64(1) << uint(an.Sites[li].Bit)
 		seq := s.nextSeq(fr, op.Dest)
 		if s.tracing() {
@@ -567,7 +622,12 @@ func (s *LegacySimulator) issueDataOp(fr *legacyFrame, op *ir.Op) error {
 			return s.issueSpecOp(fr, an, op)
 		}
 		// Non-speculative: operands are verified correct; execute with
-		// architectural state and real fault semantics.
+		// architectural state and real fault semantics. Load latencies
+		// replay before execution, matching the decoded engine's
+		// access-then-execute record order.
+		if op.Code == ir.Load {
+			lat = s.replayLoadLat(lat)
+		}
 		v, err := s.execValue(fr.f, op, fr.regs)
 		if err != nil {
 			return fmt.Errorf("core: %s b%d %s: %w", fr.f.Name, fr.blockID, op, err)
@@ -589,6 +649,10 @@ func (s *LegacySimulator) issueSpecOp(fr *legacyFrame, an *BlockAnalysis, op *ir
 	// If every prediction this op consumes has already verified correct,
 	// its operands are plain correct values: issue it as an ordinary op.
 	if s.predsVerifiedCorrect(fr.inst, info.PredSet) {
+		lat := int64(s.D.Latency(op))
+		if op.Code == ir.Load {
+			lat = s.replayLoadLat(lat)
+		}
 		v, err := s.execValue(fr.f, op, fr.regs)
 		if err != nil {
 			return fmt.Errorf("core: %s: %w", op, err)
@@ -597,7 +661,7 @@ func (s *LegacySimulator) issueSpecOp(fr *legacyFrame, an *BlockAnalysis, op *ir
 			s.emit(&obs.Event{Cycle: s.cycle, Engine: obs.EngineVLIW,
 				Kind: obs.KindPlainIssue, Op: op, Bit: -1})
 		}
-		s.writeReg(fr, op.Dest, v, int64(s.D.Latency(op)))
+		s.writeReg(fr, op.Dest, v, lat)
 		return nil
 	}
 
@@ -621,12 +685,15 @@ func (s *LegacySimulator) issueSpecOp(fr *legacyFrame, an *BlockAnalysis, op *ir
 	// Execute on the VLIW engine with current (predicted) values.
 	// Speculative faults are deferred: a poison zero result stands in until
 	// verification decides whether the fault was real.
+	lat := int64(s.D.Latency(op))
+	if op.Code == ir.Load {
+		lat = s.replayLoadLat(lat)
+	}
 	v, err := s.execValue(fr.f, op, fr.regs)
 	if err != nil {
 		e.issueErr = err
 		v = 0
 	}
-	lat := int64(s.D.Latency(op))
 	s.syncBusy |= 1 << uint(op.SyncBit)
 	e.seq = s.nextSeq(fr, op.Dest)
 	s.applyWriteAt(fr, op.Dest, v, e.seq, s.cycle+lat)
@@ -706,6 +773,7 @@ func (s *LegacySimulator) enterBlock(fr *legacyFrame, next int) {
 	fr.blockID = next
 	fr.instrIdx = 0
 	fr.inst = nil
+	fr.fetched = false
 }
 
 func (s *LegacySimulator) issueCall(fr *legacyFrame, op *ir.Op) error {
@@ -881,6 +949,10 @@ func (s *LegacySimulator) stepCCE() {
 	for _, ref := range e.operands {
 		s.scratch[ref.reg] = ref.correctedValue()
 	}
+	lat := int64(s.D.Latency(e.op))
+	if e.op.Code == ir.Load {
+		lat = s.replayLoadLat(lat)
+	}
 	v, err := s.execValue(e.fr.f, e.op, s.scratch)
 	if err != nil {
 		// Correct operands and still faulting: a real fault.
@@ -888,7 +960,6 @@ func (s *LegacySimulator) stepCCE() {
 		return
 	}
 	v ^= s.FaultCCEWritebackXor
-	lat := int64(s.D.Latency(e.op))
 	e.recomputed = true
 	e.newValue = v
 	e.doneAt = s.cycle + lat

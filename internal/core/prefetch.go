@@ -1,0 +1,75 @@
+package core
+
+import "vliwvp/internal/machine"
+
+// The stride-stream (delta-pattern) prefetcher: a dense per-load-site
+// table trained on the deltas between consecutive demand addresses of
+// the same static load. Once a site repeats the same nonzero delta
+// Confidence times in a row, every further access issues fills for the
+// next Degree strides ahead into L1. Streams are invalidated at
+// call/return barriers — the machine drains speculation there and the
+// working set usually changes, so stale strides would only pollute.
+//
+// Like the cache model, the prefetcher is timing-only: it probes and
+// fills tags, so a trained stride marching past the end of the heap is
+// harmless.
+
+// pfStream is one load site's training state.
+type pfStream struct {
+	last  int64 // previous demand address
+	delta int64 // candidate stride
+	conf  int32 // consecutive confirmations of delta
+	valid bool  // last is meaningful
+}
+
+type prefetcher struct {
+	params  machine.PrefetchParams
+	streams []pfStream // indexed by dense load-site ID
+}
+
+func newPrefetcher(params machine.PrefetchParams, sites int) *prefetcher {
+	return &prefetcher{params: params, streams: make([]pfStream, sites)}
+}
+
+func (p *prefetcher) reset() {
+	for i := range p.streams {
+		p.streams[i] = pfStream{}
+	}
+}
+
+// barrier invalidates every stream (call/return retraining).
+func (p *prefetcher) barrier() { p.reset() }
+
+// observe trains site on a demand access to addr and reports whether the
+// stream is confirmed (the caller then issues the fills, so it can emit
+// one event per prefetched line). delta is the trained stride.
+func (p *prefetcher) observe(site int32, addr int64) (confirmed bool, delta int64) {
+	st := &p.streams[site]
+	if !st.valid {
+		st.valid = true
+		st.last = addr
+		st.delta = 0
+		st.conf = 0
+		return false, 0
+	}
+	d := addr - st.last
+	st.last = addr
+	if d == 0 {
+		// Same address again: not a stream; drop any trained stride.
+		st.delta = 0
+		st.conf = 0
+		return false, 0
+	}
+	if d == st.delta {
+		if st.conf < 1<<30 {
+			st.conf++
+		}
+	} else {
+		st.delta = d
+		st.conf = 1
+	}
+	if int(st.conf) >= p.params.Confidence {
+		return true, d
+	}
+	return false, 0
+}

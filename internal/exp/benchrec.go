@@ -292,6 +292,39 @@ func RunBenchGrid(d *machine.Desc, count int, log io.Writer) (*BenchRecord, erro
 			decodedCycles, legacyCycles)
 	}
 
+	// Cached-grid row: the same batch and compile products with the
+	// L1+prefetcher hierarchy bound per item. The allocation gate holds
+	// here too — tag arrays and prefetcher streams are pooled with the
+	// simulator — and the architectural results must match the flat grid
+	// exactly (the hierarchy is timing-only).
+	cachedItems := make([]core.BatchItem, len(gridItems))
+	for i, it := range gridItems {
+		it.Mem = machine.MemL1PF
+		cachedItems[i] = it
+	}
+	var cachedCycles int64
+	runCached := func() error {
+		cachedCycles = 0
+		gridResults = batch.RunAllInto(gridResults[:0], cachedItems)
+		for i := range gridResults {
+			if gridResults[i].Err != nil {
+				return fmt.Errorf("%s: %w", gridResults[i].Name, gridResults[i].Err)
+			}
+			cachedCycles += gridResults[i].Cycles
+		}
+		return nil
+	}
+	if err := runCached(); err != nil {
+		return nil, fmt.Errorf("bench sim/cached-grid: %w", err)
+	}
+	if err := add("sim/cached-grid", cachedCycles, runCached); err != nil {
+		return nil, err
+	}
+	if cachedCycles <= decodedCycles {
+		return nil, fmt.Errorf("bench: cached grid %d cycles not above flat grid %d: the hierarchy charged nothing",
+			cachedCycles, decodedCycles)
+	}
+
 	// Pipeline component micro-benchmarks.
 	vortex, err := workload.Vortex.Compile()
 	if err != nil {

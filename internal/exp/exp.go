@@ -49,6 +49,11 @@ type Runner struct {
 	// CCBCapacity overrides the Compensation Code Buffer size in the
 	// timing model (0 = default).
 	CCBCapacity int
+	// Mem selects the memory hierarchy every simulator runs under (nil =
+	// the paper's flat model). Like CCBCapacity it is sim-time-only:
+	// compiled products are shared across memory configurations, but
+	// baseline runs cache per hierarchy (cycles depend on it).
+	Mem *machine.MemConfig
 	// Jobs bounds the worker pool the Render* drivers fan benchmarks and
 	// configurations across. 0 or 1 runs serially; any value produces
 	// byte-identical tables (results aggregate in input order).

@@ -212,9 +212,11 @@ func (r *Runner) interpRunFor(b *workload.Benchmark, fe *frontEnd) (uint64, erro
 // time it is computed. The untransformed program issues no predictions, so
 // the run is independent of CCB capacity and speculation config; sweeps
 // over those knobs all share one baseline run per (front end, machine,
-// DDG).
+// DDG, memory hierarchy). The hierarchy is part of the key: baseline
+// cycles move with cache latency even though the architectural result
+// does not.
 func (r *Runner) baseRunFor(b *workload.Benchmark, fe *frontEnd) (baseRun, error) {
-	key := fmt.Sprintf("base|%s|d=%+v|g=%+v", r.frontKey(b), *r.D, r.DDG)
+	key := fmt.Sprintf("base|%s|d=%+v|g=%+v|m=%s", r.frontKey(b), *r.D, r.DDG, r.Mem.Key())
 	v, err := r.cacheFor().Do(key, func() (any, error) {
 		sim, err := r.NewSimulatorFor(fe.Prog, nil)
 		if err != nil {

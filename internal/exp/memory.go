@@ -1,0 +1,64 @@
+package exp
+
+import (
+	"fmt"
+
+	"vliwvp/internal/machine"
+	"vliwvp/internal/pool"
+	"vliwvp/internal/stats"
+)
+
+// RenderMemLatAblation generalises the paper's Fig. 10 (speedup vs load
+// latency): instead of scaling one flat latency it sweeps the stock
+// memory hierarchies — flat, L1, L1+prefetch, L2, L2+prefetch — and
+// reports how the value-prediction benefit moves as the effective miss
+// latency grows. Both runs in every cell share one compiled product
+// (hierarchies are sim-time-only); only the baseline run re-simulates
+// per hierarchy. Architectural results stay pinned to the interpreter,
+// so any divergence here is a timing-model bug, not noise.
+func RenderMemLatAblation(d *machine.Desc, jobs int) (*stats.Table, error) {
+	t := &stats.Table{
+		Title: fmt.Sprintf("Generalised Fig. 10: value-prediction benefit vs memory hierarchy (%s)", d.Name),
+		Headers: []string{"Hierarchy", "Base cycles", "Spec cycles", "Speedup",
+			"D-misses", "I-misses", "Useful prefetches"},
+	}
+	mems := machine.StockMem()
+	runners := make([]*Runner, len(mems))
+	for i, m := range mems {
+		runners[i] = NewRunner(d)
+		runners[i].Mem = m
+	}
+	nb := len(runners[0].Benchmarks)
+	cells := make([]SpeedupRow, len(mems)*nb)
+	err := pool.ForEach(jobs, len(cells), func(i int) error {
+		r, w := runners[i/nb], runners[i/nb].Benchmarks[i%nb]
+		row, err := r.Speedup(w)
+		if err != nil {
+			return fmt.Errorf("%s/%s: %w", mems[i/nb].Name, w.Name, err)
+		}
+		cells[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for mi, m := range mems {
+		var base, spec, dmiss, imiss, pfUse int64
+		for bi := 0; bi < nb; bi++ {
+			c := cells[mi*nb+bi]
+			base += c.BaseCycles
+			spec += c.SpecCycles
+			dmiss += c.DMisses
+			imiss += c.IMisses
+			pfUse += c.PrefUseful
+		}
+		speedup := 0.0
+		if spec > 0 {
+			speedup = float64(base) / float64(spec)
+		}
+		t.AddRow(m.Name, fmt.Sprintf("%d", base), fmt.Sprintf("%d", spec),
+			fmt.Sprintf("%.3fx", speedup),
+			fmt.Sprintf("%d", dmiss), fmt.Sprintf("%d", imiss), fmt.Sprintf("%d", pfUse))
+	}
+	return t, nil
+}

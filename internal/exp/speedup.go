@@ -29,6 +29,11 @@ type SpeedupRow struct {
 	CCEExecuted int64
 	CCEFlushed  int64
 	StallSync   int64
+	// Memory-hierarchy counters from the speculative run (all zero under
+	// the flat model).
+	DMisses    int64
+	IMisses    int64
+	PrefUseful int64
 }
 
 // scheduleAll builds validated schedules for a whole program via the
@@ -48,6 +53,7 @@ func (r *Runner) newSim(img *core.Image, schemes map[int]profile.Scheme) *core.S
 	if r.CCBCapacity > 0 {
 		sim.CCBCapacity = r.CCBCapacity
 	}
+	sim.MemCfg = r.Mem
 	return sim
 }
 
@@ -135,6 +141,9 @@ func (r *Runner) Speedup(b *workload.Benchmark) (SpeedupRow, error) {
 	row.CCEExecuted = specSim.CCEExecuted
 	row.CCEFlushed = specSim.CCEFlushed
 	row.StallSync = specSim.StallSync
+	row.DMisses = specSim.DMisses
+	row.IMisses = specSim.IMisses
+	row.PrefUseful = specSim.PrefUseful
 	return row, nil
 }
 

@@ -1,0 +1,226 @@
+// Memory-hierarchy descriptions. The paper's experiments charge every
+// load a flat LatLoad cycles; the configs here generalise that into a
+// parameterised I$/D$ cache model (per-level size/associativity/line
+// size/hit latency, LRU replacement) plus an optional PC-indexed
+// stride-stream prefetcher, so load latency becomes dynamic per access.
+//
+// The hierarchy is strictly a *timing* model: it never changes
+// architectural state (registers, memory, output). The conformance suite
+// pins that contract — every cache configuration must produce
+// byte-identical architectural results, only cycle counts may move.
+package machine
+
+import "fmt"
+
+// CacheParams describes one cache level. All size knobs must be powers
+// of two: the simulator indexes sets and slices line offsets with shift
+// and mask arithmetic, and silently rounding a user's 48-line request to
+// 32 or 64 would make reported cycle counts lie about the configuration.
+// Validate rejects non-powers-of-two with a typed error instead.
+type CacheParams struct {
+	Lines     int // total cache lines (power of two)
+	Assoc     int // ways per set (power of two, <= Lines)
+	LineWords int // 64-bit words per line (power of two)
+	HitLat    int // cycles to serve a hit at this level (>= 1)
+}
+
+// Sets returns the number of sets (Lines / Assoc).
+func (c *CacheParams) Sets() int { return c.Lines / c.Assoc }
+
+// PrefetchParams configures the stride-stream prefetcher. Degree == 0
+// disables prefetching entirely.
+type PrefetchParams struct {
+	Degree     int // lines fetched ahead per trained stream (0 = off)
+	Confidence int // consecutive equal deltas required before issuing
+}
+
+// MemConfig is a full memory-hierarchy description: zero or more D-cache
+// levels (nearest first), an optional instruction cache, the
+// latency to main memory behind the last level, and the prefetcher. A
+// nil *MemConfig, or MemFlat(), reproduces the paper's flat model: every
+// load costs LatLoad cycles and instruction fetch is free.
+type MemConfig struct {
+	Name     string
+	Levels   []CacheParams  // D-cache levels, L1 first; empty = no D-cache
+	ICache   *CacheParams   // optional instruction cache
+	MemLat   int            // cycles to main memory behind the last level
+	Prefetch PrefetchParams // stride-stream prefetcher (L1 fills)
+}
+
+// ConfigError is the typed validation failure for memory configs. Field
+// names the offending knob, Value its rejected setting.
+type ConfigError struct {
+	Config string // config name
+	Field  string // e.g. "L1.Lines", "ICache.Assoc", "MemLat"
+	Value  int
+	Reason string // e.g. "must be a power of two"
+}
+
+func (e *ConfigError) Error() string {
+	return fmt.Sprintf("memory config %q: %s = %d %s", e.Config, e.Field, e.Value, e.Reason)
+}
+
+// powerOfTwo reports whether v is a positive power of two.
+func powerOfTwo(v int) bool { return v > 0 && v&(v-1) == 0 }
+
+// validateLevel checks one cache level's parameters.
+func (m *MemConfig) validateLevel(prefix string, c *CacheParams) error {
+	fail := func(field string, value int, reason string) error {
+		return &ConfigError{Config: m.Name, Field: prefix + "." + field, Value: value, Reason: reason}
+	}
+	if !powerOfTwo(c.Lines) {
+		return fail("Lines", c.Lines, "must be a power of two")
+	}
+	if !powerOfTwo(c.Assoc) {
+		return fail("Assoc", c.Assoc, "must be a power of two")
+	}
+	if c.Assoc > c.Lines {
+		return fail("Assoc", c.Assoc, fmt.Sprintf("exceeds Lines = %d", c.Lines))
+	}
+	if !powerOfTwo(c.LineWords) {
+		return fail("LineWords", c.LineWords, "must be a power of two")
+	}
+	if c.HitLat < 1 {
+		return fail("HitLat", c.HitLat, "must be >= 1")
+	}
+	return nil
+}
+
+// levelPrefix names D-cache level i (0-based) in validation errors. The
+// static table keeps the success path allocation-free: Validate runs on
+// every simulator Run, and an eager Sprintf per level would break the
+// engine's zero-alloc steady state.
+func levelPrefix(i int) string {
+	switch i {
+	case 0:
+		return "L1"
+	case 1:
+		return "L2"
+	case 2:
+		return "L3"
+	default:
+		return fmt.Sprintf("L%d", i+1)
+	}
+}
+
+// Validate checks the configuration. Every rejection is a *ConfigError.
+func (m *MemConfig) Validate() error {
+	for i := range m.Levels {
+		if err := m.validateLevel(levelPrefix(i), &m.Levels[i]); err != nil {
+			return err
+		}
+	}
+	if m.ICache != nil {
+		if err := m.validateLevel("ICache", m.ICache); err != nil {
+			return err
+		}
+	}
+	if m.MemLat < 1 {
+		return &ConfigError{Config: m.Name, Field: "MemLat", Value: m.MemLat, Reason: "must be >= 1"}
+	}
+	if m.Prefetch.Degree < 0 {
+		return &ConfigError{Config: m.Name, Field: "Prefetch.Degree", Value: m.Prefetch.Degree, Reason: "must be >= 0"}
+	}
+	if m.Prefetch.Degree > 0 {
+		if len(m.Levels) == 0 {
+			return &ConfigError{Config: m.Name, Field: "Prefetch.Degree", Value: m.Prefetch.Degree,
+				Reason: "requires at least one D-cache level to fill"}
+		}
+		if m.Prefetch.Confidence < 1 {
+			return &ConfigError{Config: m.Name, Field: "Prefetch.Confidence", Value: m.Prefetch.Confidence, Reason: "must be >= 1"}
+		}
+	}
+	return nil
+}
+
+// Flat reports whether the configuration is timing-equivalent to the
+// paper's flat model: no cache levels, no I-cache, LatLoad to memory.
+func (m *MemConfig) Flat() bool {
+	return m == nil || (len(m.Levels) == 0 && m.ICache == nil && m.MemLat == LatLoad)
+}
+
+// Key returns a canonical identity string for cache-keying baselines and
+// compiled products. Unlike %+v it never prints pointer addresses.
+func (m *MemConfig) Key() string {
+	if m == nil {
+		return "flat"
+	}
+	s := fmt.Sprintf("mem[lat=%d", m.MemLat)
+	for i := range m.Levels {
+		c := &m.Levels[i]
+		s += fmt.Sprintf(";L%d=%d/%d/%d/%d", i+1, c.Lines, c.Assoc, c.LineWords, c.HitLat)
+	}
+	if m.ICache != nil {
+		s += fmt.Sprintf(";I=%d/%d/%d/%d", m.ICache.Lines, m.ICache.Assoc, m.ICache.LineWords, m.ICache.HitLat)
+	}
+	if m.Prefetch.Degree > 0 {
+		s += fmt.Sprintf(";pf=%d/%d", m.Prefetch.Degree, m.Prefetch.Confidence)
+	}
+	return s + "]"
+}
+
+// Stock memory configurations. MemFlat reproduces today's cycle counts
+// exactly (the conformance suite pins this); the others trace the
+// generalised Fig. 10 axis from fast hits to slow memory.
+var (
+	// MemFlat: every load costs the paper's flat LatLoad cycles.
+	MemFlat = &MemConfig{Name: "flat", MemLat: LatLoad}
+
+	// MemL1: a small L1 D-cache in front of a 20-cycle memory.
+	MemL1 = &MemConfig{
+		Name:   "l1",
+		Levels: []CacheParams{{Lines: 64, Assoc: 4, LineWords: 4, HitLat: LatLoad}},
+		MemLat: 20,
+	}
+
+	// MemL1PF: MemL1 plus the stride-stream prefetcher.
+	MemL1PF = &MemConfig{
+		Name:     "l1-pf",
+		Levels:   []CacheParams{{Lines: 64, Assoc: 4, LineWords: 4, HitLat: LatLoad}},
+		MemLat:   20,
+		Prefetch: PrefetchParams{Degree: 2, Confidence: 2},
+	}
+
+	// MemL2: two D-cache levels, an I-cache, and a 60-cycle memory —
+	// the slow-memory point where value prediction earns its keep.
+	MemL2 = &MemConfig{
+		Name: "l2",
+		Levels: []CacheParams{
+			{Lines: 64, Assoc: 4, LineWords: 4, HitLat: LatLoad},
+			{Lines: 512, Assoc: 8, LineWords: 8, HitLat: 9},
+		},
+		ICache: &CacheParams{Lines: 128, Assoc: 2, LineWords: 8, HitLat: 1},
+		MemLat: 60,
+	}
+
+	// MemL2PF: MemL2 plus the prefetcher.
+	MemL2PF = &MemConfig{
+		Name: "l2-pf",
+		Levels: []CacheParams{
+			{Lines: 64, Assoc: 4, LineWords: 4, HitLat: LatLoad},
+			{Lines: 512, Assoc: 8, LineWords: 8, HitLat: 9},
+		},
+		ICache:   &CacheParams{Lines: 128, Assoc: 2, LineWords: 8, HitLat: 1},
+		MemLat:   60,
+		Prefetch: PrefetchParams{Degree: 4, Confidence: 2},
+	}
+)
+
+// StockMem lists the built-in memory configurations, flat first.
+func StockMem() []*MemConfig {
+	return []*MemConfig{MemFlat, MemL1, MemL1PF, MemL2, MemL2PF}
+}
+
+// MemByName returns the stock memory configuration with the given name,
+// or nil. The empty string resolves to MemFlat.
+func MemByName(name string) *MemConfig {
+	if name == "" {
+		return MemFlat
+	}
+	for _, m := range StockMem() {
+		if m.Name == name {
+			return m
+		}
+	}
+	return nil
+}

@@ -1,0 +1,136 @@
+package machine
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestMemConfigValidate is the satellite-task table: non-power-of-two
+// sizes and associativities must be rejected with a typed *ConfigError
+// naming the offending field, never silently rounded.
+func TestMemConfigValidate(t *testing.T) {
+	l1 := func(lines, assoc, words, hit int) []CacheParams {
+		return []CacheParams{{Lines: lines, Assoc: assoc, LineWords: words, HitLat: hit}}
+	}
+	tests := []struct {
+		name      string
+		cfg       MemConfig
+		wantField string // "" = valid
+		wantValue int
+	}{
+		{name: "flat", cfg: MemConfig{Name: "f", MemLat: 3}},
+		{name: "l1 ok", cfg: MemConfig{Name: "c", Levels: l1(64, 4, 4, 3), MemLat: 20}},
+		{name: "direct-mapped ok", cfg: MemConfig{Name: "c", Levels: l1(32, 1, 2, 1), MemLat: 10}},
+		{name: "fully-assoc ok", cfg: MemConfig{Name: "c", Levels: l1(16, 16, 4, 2), MemLat: 10}},
+		{name: "lines not pow2", cfg: MemConfig{Name: "c", Levels: l1(48, 4, 4, 3), MemLat: 20},
+			wantField: "L1.Lines", wantValue: 48},
+		{name: "lines zero", cfg: MemConfig{Name: "c", Levels: l1(0, 1, 4, 3), MemLat: 20},
+			wantField: "L1.Lines", wantValue: 0},
+		{name: "lines negative", cfg: MemConfig{Name: "c", Levels: l1(-64, 4, 4, 3), MemLat: 20},
+			wantField: "L1.Lines", wantValue: -64},
+		{name: "assoc not pow2", cfg: MemConfig{Name: "c", Levels: l1(64, 3, 4, 3), MemLat: 20},
+			wantField: "L1.Assoc", wantValue: 3},
+		{name: "assoc exceeds lines", cfg: MemConfig{Name: "c", Levels: l1(4, 8, 4, 3), MemLat: 20},
+			wantField: "L1.Assoc", wantValue: 8},
+		{name: "linewords not pow2", cfg: MemConfig{Name: "c", Levels: l1(64, 4, 5, 3), MemLat: 20},
+			wantField: "L1.LineWords", wantValue: 5},
+		{name: "hitlat zero", cfg: MemConfig{Name: "c", Levels: l1(64, 4, 4, 0), MemLat: 20},
+			wantField: "L1.HitLat", wantValue: 0},
+		{name: "second level not pow2", cfg: MemConfig{Name: "c",
+			Levels: append(l1(64, 4, 4, 3), CacheParams{Lines: 100, Assoc: 4, LineWords: 8, HitLat: 9}),
+			MemLat: 60}, wantField: "L2.Lines", wantValue: 100},
+		{name: "icache assoc not pow2", cfg: MemConfig{Name: "c", Levels: l1(64, 4, 4, 3),
+			ICache: &CacheParams{Lines: 64, Assoc: 6, LineWords: 8, HitLat: 1}, MemLat: 20},
+			wantField: "ICache.Assoc", wantValue: 6},
+		{name: "memlat zero", cfg: MemConfig{Name: "c", Levels: l1(64, 4, 4, 3)},
+			wantField: "MemLat", wantValue: 0},
+		{name: "prefetch negative degree", cfg: MemConfig{Name: "c", Levels: l1(64, 4, 4, 3),
+			MemLat: 20, Prefetch: PrefetchParams{Degree: -1, Confidence: 2}},
+			wantField: "Prefetch.Degree", wantValue: -1},
+		{name: "prefetch without cache", cfg: MemConfig{Name: "c", MemLat: 20,
+			Prefetch: PrefetchParams{Degree: 2, Confidence: 2}},
+			wantField: "Prefetch.Degree", wantValue: 2},
+		{name: "prefetch zero confidence", cfg: MemConfig{Name: "c", Levels: l1(64, 4, 4, 3),
+			MemLat: 20, Prefetch: PrefetchParams{Degree: 2}},
+			wantField: "Prefetch.Confidence", wantValue: 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := tt.cfg.Validate()
+			if tt.wantField == "" {
+				if err != nil {
+					t.Fatalf("Validate() = %v, want nil", err)
+				}
+				return
+			}
+			var ce *ConfigError
+			if !errors.As(err, &ce) {
+				t.Fatalf("Validate() = %v, want *ConfigError", err)
+			}
+			if ce.Field != tt.wantField || ce.Value != tt.wantValue {
+				t.Fatalf("ConfigError field=%q value=%d, want field=%q value=%d (%v)",
+					ce.Field, ce.Value, tt.wantField, tt.wantValue, err)
+			}
+			if ce.Config != tt.cfg.Name {
+				t.Fatalf("ConfigError config=%q, want %q", ce.Config, tt.cfg.Name)
+			}
+			if ce.Error() == "" {
+				t.Fatal("empty error string")
+			}
+		})
+	}
+}
+
+func TestStockMemValid(t *testing.T) {
+	seen := map[string]bool{}
+	for _, m := range StockMem() {
+		if err := m.Validate(); err != nil {
+			t.Errorf("stock config %q invalid: %v", m.Name, err)
+		}
+		if seen[m.Name] {
+			t.Errorf("duplicate stock config name %q", m.Name)
+		}
+		seen[m.Name] = true
+		if got := MemByName(m.Name); got != m {
+			t.Errorf("MemByName(%q) = %v, want the stock pointer", m.Name, got)
+		}
+	}
+	if !MemFlat.Flat() {
+		t.Error("MemFlat.Flat() = false")
+	}
+	var nilCfg *MemConfig
+	if !nilCfg.Flat() {
+		t.Error("(*MemConfig)(nil).Flat() = false")
+	}
+	if MemL1.Flat() {
+		t.Error("MemL1.Flat() = true")
+	}
+	if MemByName("") != MemFlat {
+		t.Error(`MemByName("") != MemFlat`)
+	}
+	if MemByName("no-such") != nil {
+		t.Error(`MemByName("no-such") != nil`)
+	}
+}
+
+// TestMemConfigKey pins that Key is canonical (no pointer addresses) and
+// distinguishes every stock config — it keys cached baseline runs.
+func TestMemConfigKey(t *testing.T) {
+	var nilCfg *MemConfig
+	if nilCfg.Key() != "flat" {
+		t.Errorf("nil Key() = %q, want \"flat\"", nilCfg.Key())
+	}
+	keys := map[string]string{}
+	for _, m := range StockMem() {
+		k := m.Key()
+		if prev, dup := keys[k]; dup {
+			t.Errorf("configs %q and %q share key %q", prev, m.Name, k)
+		}
+		keys[k] = m.Name
+	}
+	// Two structurally identical configs share a key even across copies.
+	a := *MemL2
+	if a.Key() != MemL2.Key() {
+		t.Errorf("copy key %q != original %q", a.Key(), MemL2.Key())
+	}
+}

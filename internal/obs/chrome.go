@@ -94,6 +94,13 @@ func (s *ChromeSink) Event(e *Event) {
 		args["correct"] = e.Correct
 	case KindInstrIssue:
 		args["loc"] = fmt.Sprintf("%s b%d i%d", e.Func, e.Block, e.Instr)
+	case KindMemHit, KindMemMiss:
+		args["addr"] = e.Addr
+		args["lat"] = e.Lat
+		args["level"] = e.Level
+	case KindMemPrefetch:
+		args["addr"] = e.Addr
+		args["site"] = e.Site
 	}
 	if len(args) > 0 {
 		ce.Args = args

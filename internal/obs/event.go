@@ -83,6 +83,18 @@ const (
 	// KindRegWriteSuppressed: a stale write-back lost the write-port
 	// arbitration to a younger writer (Seq vs LastSeq).
 	KindRegWriteSuppressed
+	// KindMemHit: a demand load hit the first-level D-cache (Addr, Lat;
+	// Level is 1).
+	KindMemHit
+	// KindMemMiss: a demand load missed the first-level D-cache; Level is
+	// the 1-based serving level, 0 for main memory (Addr, Lat).
+	KindMemMiss
+	// KindMemPrefetch: the stride-stream prefetcher issued a line fill
+	// (Addr; Site is the training load site).
+	KindMemPrefetch
+	// KindStallIFetch: the VLIW Engine stalled on an instruction fetch
+	// (emitted once per stalled cycle, like the other stall kinds).
+	KindStallIFetch
 )
 
 var kindNames = [...]string{
@@ -100,6 +112,10 @@ var kindNames = [...]string{
 	KindCheckResolve:       "check.resolve",
 	KindRegWrite:           "reg.write",
 	KindRegWriteSuppressed: "reg.write.suppressed",
+	KindMemHit:             "mem.hit",
+	KindMemMiss:            "mem.miss",
+	KindMemPrefetch:        "mem.prefetch",
+	KindStallIFetch:        "stall.ifetch",
 }
 
 // String returns the kind's stable wire name (used by the JSONL and Chrome
@@ -206,6 +222,12 @@ type Event struct {
 	Reg          ir.Reg
 	Value        int64
 	Seq, LastSeq int64
+	// Addr, Lat and Level describe memory-hierarchy events: the word
+	// address accessed, the access's total latency, and the 1-based cache
+	// level that served it (0 = main memory).
+	Addr  int64
+	Lat   int64
+	Level int
 }
 
 // EventSink receives pipeline events. Implementations must not retain e or
@@ -256,6 +278,17 @@ func Narrate(e *Event) string {
 		return fmt.Sprintf("write %v=%d (seq %d)", e.Reg, e.Value, e.Seq)
 	case KindRegWriteSuppressed:
 		return fmt.Sprintf("write %v=%d SUPPRESSED (seq %d != last %d)", e.Reg, e.Value, e.Seq, e.LastSeq)
+	case KindMemHit:
+		return fmt.Sprintf("mem load @%d: L1 hit (%d cycles)", e.Addr, e.Lat)
+	case KindMemMiss:
+		if e.Level == 0 {
+			return fmt.Sprintf("mem load @%d: miss to memory (%d cycles)", e.Addr, e.Lat)
+		}
+		return fmt.Sprintf("mem load @%d: miss, served by L%d (%d cycles)", e.Addr, e.Level, e.Lat)
+	case KindMemPrefetch:
+		return fmt.Sprintf("mem prefetch @%d issued (site %d)", e.Addr, e.Site)
+	case KindStallIFetch:
+		return "VLIW stall: instruction fetch"
 	}
 	return fmt.Sprintf("event %s", e.Kind)
 }

@@ -49,6 +49,9 @@ type Record struct {
 	Value    int64             `json:"value,omitempty"`
 	Seq      int64             `json:"seq,omitempty"`
 	LastSeq  int64             `json:"last_seq,omitempty"`
+	Addr     int64             `json:"addr,omitempty"`
+	Lat      int64             `json:"lat,omitempty"`
+	Level    int               `json:"level,omitempty"`
 }
 
 // SiteStateRecord is the wire form of a SiteState.
@@ -75,6 +78,9 @@ func recordOf(e *Event) Record {
 		Value:   e.Value,
 		Seq:     e.Seq,
 		LastSeq: e.LastSeq,
+		Addr:    e.Addr,
+		Lat:     e.Lat,
+		Level:   e.Level,
 	}
 	if e.Op != nil {
 		r.Op = e.Op.String()
@@ -120,6 +126,9 @@ func (r *Record) EventOf() (Event, error) {
 		Value:     r.Value,
 		Seq:       r.Seq,
 		LastSeq:   r.LastSeq,
+		Addr:      r.Addr,
+		Lat:       r.Lat,
+		Level:     r.Level,
 	}
 	if r.Engine == EngineCCE.String() {
 		e.Engine = EngineCCE

@@ -31,6 +31,10 @@ type Config struct {
 	// simulation time (0 = default). It does not affect compilation, so
 	// cells differing only here share one compile.
 	CCBCapacity int `json:"ccb_capacity,omitempty"`
+	// Cache names a stock memory hierarchy (flat, l1, l1-pf, l2, l2-pf;
+	// "" = flat). Like CCBCapacity it is sim-time only: cells differing
+	// only here share one compile.
+	Cache string `json:"cache,omitempty"`
 	// IfConvert enables Select-based if-conversion of small diamonds.
 	IfConvert bool `json:"if_convert,omitempty"`
 	// Regions enables profile-guided superblock formation.
@@ -278,6 +282,9 @@ func validateRequest(req *Request, b Budgets) (*runSpec, *Error) {
 		}
 		if c.CCBCapacity < 0 || c.CCBCapacity > 1<<16 {
 			return nil, errf(400, "bad_request", "configs[%d]: ccb_capacity %d outside [0,65536]", i, c.CCBCapacity)
+		}
+		if machine.MemByName(c.Cache) == nil {
+			return nil, errf(400, "bad_request", "configs[%d]: unknown cache %q (stock: flat, l1, l1-pf, l2, l2-pf)", i, c.Cache)
 		}
 	}
 

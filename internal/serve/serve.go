@@ -40,6 +40,7 @@ import (
 	"vliwvp/internal/core"
 	"vliwvp/internal/exp"
 	"vliwvp/internal/exp/cache"
+	"vliwvp/internal/machine"
 	"vliwvp/internal/obs"
 )
 
@@ -372,6 +373,7 @@ func (s *Server) execute(w *worker, j *job) {
 			Entry:       spec.entry,
 			Args:        spec.args,
 			CCBCapacity: c.cfg.CCBCapacity,
+			Mem:         machine.MemByName(c.cfg.Cache),
 			MaxCycles:   spec.maxCycles,
 		}
 		sim := w.batch.SimFor(&item)

@@ -124,6 +124,7 @@ func TestBudgetRejections(t *testing.T) {
 		{"bad threshold", mustJSON(t, Request{Seed: &seed, Configs: []Config{{Threshold: thr(1.5)}}}), 400, "bad_request"},
 		{"bad max_preds", mustJSON(t, Request{Seed: &seed, Configs: []Config{{MaxPreds: 99}}}), 400, "bad_request"},
 		{"bad ccb", mustJSON(t, Request{Seed: &seed, Configs: []Config{{CCBCapacity: 1 << 20}}}), 400, "bad_request"},
+		{"bad cache", mustJSON(t, Request{Seed: &seed, Configs: []Config{{Cache: "l9"}}}), 400, "bad_request"},
 		{"bad entry", mustJSON(t, Request{Seed: &seed, Entry: "1abc"}), 400, "bad_request"},
 		{"too many args", mustJSON(t, Request{Seed: &seed, Args: []uint64{1, 2, 3}}), 400, "bad_request"},
 		{"negative max_cycles", mustJSON(t, Request{Seed: &seed, MaxCycles: -1}), 400, "bad_request"},
@@ -243,6 +244,66 @@ func TestRunBasics(t *testing.T) {
 	}
 	if a, b := norm(rec.Body.Bytes()), norm(rec2.Body.Bytes()); a != b {
 		t.Errorf("replayed response differs:\n%s\nvs\n%s", a, b)
+	}
+}
+
+// TestRunCacheGrid pins the memory-hierarchy knob's wire contract: cells
+// differing only in cache share a compile and compute identical values
+// (the hierarchy is timing-only), the cached cell costs more cycles than
+// the flat one, and its stats snapshot exposes the miss counters.
+func TestRunCacheGrid(t *testing.T) {
+	s := newTestServer(t, Budgets{Workers: 1})
+	src := `
+var a[64]
+func main() {
+	var i = 0
+	while i < 64 {
+		a[i] = i * 7
+		i = i + 1
+	}
+	var s = 0
+	i = 0
+	while i < 64 {
+		s = s + a[i]
+		i = i + 1
+	}
+	return s
+}
+`
+	rec := post(s, "/v1/run", mustJSON(t, Request{
+		Source:       src,
+		Configs:      []Config{{}, {Cache: "l2-pf"}},
+		IncludeStats: true,
+	}))
+	if rec.Code != 200 {
+		t.Fatalf("status = %d: %s", rec.Code, rec.Body.String())
+	}
+	var resp RunResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Cells) != 2 {
+		t.Fatalf("got %d cells, want 2", len(resp.Cells))
+	}
+	flat, cached := resp.Cells[0], resp.Cells[1]
+	if flat.Error != "" || cached.Error != "" {
+		t.Fatalf("cell errors: %q / %q", flat.Error, cached.Error)
+	}
+	if flat.Value != cached.Value {
+		t.Errorf("cache changed the architectural result: flat %d, cached %d", flat.Value, cached.Value)
+	}
+	if cached.Cycles <= flat.Cycles {
+		t.Errorf("cached cell cycles = %d, want > flat %d (the hierarchy charged nothing)",
+			cached.Cycles, flat.Cycles)
+	}
+	if flat.Stats == nil || cached.Stats == nil {
+		t.Fatal("include_stats set but stats missing")
+	}
+	if n := cached.Stats.Counters["mem.dmisses"]; n == 0 {
+		t.Error("cached cell reports zero D-cache misses on a cold 64-word walk")
+	}
+	if n := flat.Stats.Counters["mem.dmisses"]; n != 0 {
+		t.Errorf("flat cell reports %d D-cache misses, want 0", n)
 	}
 }
 

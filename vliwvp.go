@@ -47,6 +47,9 @@ type System struct {
 	// Regions applies profile-guided superblock formation during Compile
 	// (trace growing with tail duplication).
 	Regions bool
+	// Mem selects the memory hierarchy simulations run under (nil = the
+	// paper's flat model). Timing-only: architectural results never move.
+	Mem *machine.MemConfig
 }
 
 // NewSystem returns a system for a stock machine width (2, 4, 8, or 16)
@@ -70,6 +73,7 @@ func (s *System) Experiments() *exp.Runner {
 	r.Cfg = s.Config
 	r.IfConvert = s.IfConvert
 	r.Regions = s.Regions
+	r.Mem = s.Mem
 	return r
 }
 
@@ -176,6 +180,12 @@ type SimResult struct {
 	StallSync   int64
 	// MaxCCBOccupancy is the peak in-flight Compensation Code Buffer depth.
 	MaxCCBOccupancy int
+	// Memory-hierarchy activity (all zero under the flat model).
+	DMisses     int64
+	IMisses     int64
+	StallIFetch int64
+	PrefIssued  int64
+	PrefUseful  int64
 }
 
 // Simulate runs the unspeculated program on the VLIW machine (the baseline
@@ -207,6 +217,7 @@ func simulate(s *System, prog *ir.Program, schemes map[int]profile.Scheme) (*Sim
 	r := exp.NewRunner(s.Machine)
 	r.Cfg = s.Config
 	r.DDG = ddg.Options{}
+	r.Mem = s.Mem
 	sim, err := r.NewSimulatorFor(prog, schemes)
 	if err != nil {
 		return nil, err
@@ -227,5 +238,10 @@ func simulate(s *System, prog *ir.Program, schemes map[int]profile.Scheme) (*Sim
 		CCEFlushed:      sim.CCEFlushed,
 		StallSync:       sim.StallSync,
 		MaxCCBOccupancy: sim.MaxCCBOccupancy,
+		DMisses:         sim.DMisses,
+		IMisses:         sim.IMisses,
+		StallIFetch:     sim.StallIFetch,
+		PrefIssued:      sim.PrefIssued,
+		PrefUseful:      sim.PrefUseful,
 	}, nil
 }
