@@ -15,10 +15,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"vliwvp"
 	"vliwvp/internal/machine"
 	"vliwvp/internal/pipeline"
+	"vliwvp/internal/predict"
 	"vliwvp/internal/workload"
 )
 
@@ -194,6 +196,7 @@ func cmdSim(args []string) error {
 	regionsOn := fs.Bool("regions", false, "apply superblock region formation before speculation")
 	serial := fs.Bool("serial", false, "use the [4]-style serial-recovery machine (implies -spec, -bench only)")
 	cache := fs.String("cache", "", "memory hierarchy: flat, l1, l1-pf, l2, l2-pf (default flat)")
+	predSpec := fs.String("predictor", "", "value-predictor config: profiled, auto, last, stride, fcm, hybrid, lnv, vtage, with name:key=val options (e.g. vtage:bits=12,conf=2)")
 	bench := fs.String("bench", "", "built-in benchmark name")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -207,6 +210,13 @@ func cmdSim(args []string) error {
 	sys.Mem = machine.MemByName(*cache)
 	if sys.Mem == nil {
 		return fmt.Errorf("unknown cache %q (stock: flat, l1, l1-pf, l2, l2-pf)", *cache)
+	}
+	if *predSpec != "" {
+		pc, err := predict.Parse(*predSpec)
+		if err != nil {
+			return fmt.Errorf("bad -predictor (stock: %s): %w", strings.Join(predict.StockNames(), ", "), err)
+		}
+		sys.Config.Predictor = pc
 	}
 	if *serial {
 		if *bench == "" {
@@ -272,6 +282,10 @@ func cmdSim(args []string) error {
 		fmt.Printf("predictions: %d  mispredicts: %d  CCE executed: %d  flushed: %d  sync stalls: %d\n",
 			res.Predictions, res.Mispredicts, res.CCEExecuted, res.CCEFlushed, res.StallSync)
 		fmt.Printf("peak CCB occupancy: %d entries\n", res.MaxCCBOccupancy)
+	}
+	if res.Suppressed > 0 {
+		fmt.Printf("confidence gate: %d suppressed (%d would have been wrong)\n",
+			res.Suppressed, res.SuppressedWrong)
 	}
 	if !sys.Mem.Flat() {
 		fmt.Printf("memory (%s): D-misses: %d  I-misses: %d  fetch stalls: %d  prefetches: %d (%d useful)\n",

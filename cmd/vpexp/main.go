@@ -8,7 +8,7 @@
 //	vpexp -exp table2|table3|table4|fig8|baseline|speedup|all [-mach 4-wide] [-j N]
 //	vpexp -exp threshold|predictors|ccb|regions|hyperblocks|disambig|memory|ablations
 //	vpexp -oracle [-mach 4-wide] [-j N]
-//	vpexp -sim compress [-cache l2-pf] [-trace t.jsonl -trace-format jsonl] [-stats-json m.json]
+//	vpexp -sim compress [-cache l2-pf] [-predictor vtage:conf=2] [-trace t.jsonl] [-stats-json m.json]
 //	vpexp -bench-json BENCH.json [-bench-count 5]
 //	vpexp -conform [-progen-seed 1] [-progen-count 200] [-j N]
 //	vpexp -progen-seed 17 -progen-count 2
@@ -47,6 +47,13 @@
 // counts do. `-exp memory` sweeps all stock hierarchies in one table
 // (the generalised Fig. 10 axis).
 //
+// -predictor binds a value-predictor configuration (internal/predict:
+// profiled, auto, last, stride, fcm, hybrid, lnv, vtage, each accepting
+// name:key=val options such as vtage:bits=12,conf=2) to every compilation
+// and simulation this invocation runs; conf=N enables the runtime
+// confidence gate. `-exp predictors` sweeps the whole zoo in one grid
+// alongside the static profile-rescoping ablation.
+//
 // Three flags expose the compile pipeline itself: -passes prints the pass
 // plans the current configuration composes (with each pass's cache-key
 // fingerprint) and exits; -validate-ir checks the IR between every pass
@@ -64,6 +71,7 @@ import (
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 
 	"vliwvp/internal/conform"
 	"vliwvp/internal/exp"
@@ -72,6 +80,7 @@ import (
 	"vliwvp/internal/obs"
 	"vliwvp/internal/oracle"
 	"vliwvp/internal/pipeline"
+	"vliwvp/internal/predict"
 	"vliwvp/internal/progen"
 	"vliwvp/internal/workload"
 )
@@ -81,6 +90,7 @@ func main() {
 		"or an ablation: threshold, predictors, ccb, regions, disambig, memory, ablations")
 	mach := flag.String("mach", "4-wide", "machine description for single-width experiments")
 	cacheName := flag.String("cache", "", "memory hierarchy for simulations: flat, l1, l1-pf, l2, l2-pf (default flat)")
+	predSpec := flag.String("predictor", "", "value-predictor config for simulations: profiled, auto, last, stride, fcm, hybrid, lnv, vtage, with name:key=val options (e.g. vtage:bits=12,conf=2)")
 	jobs := flag.Int("j", runtime.NumCPU(), "max concurrent experiment cells (tables are identical at any value)")
 	oracleMode := flag.Bool("oracle", false, "differentially test the simulator against the interpreter and exit")
 	simBench := flag.String("sim", "", "run one benchmark on the speculative dual-engine machine (observability mode)")
@@ -110,11 +120,21 @@ func main() {
 		fmt.Fprintf(os.Stderr, "vpexp: unknown cache %q (stock: flat, l1, l1-pf, l2, l2-pf)\n", *cacheName)
 		os.Exit(2)
 	}
+	var predCfg *predict.Config
+	if *predSpec != "" {
+		var err error
+		if predCfg, err = predict.Parse(*predSpec); err != nil {
+			fmt.Fprintf(os.Stderr, "vpexp: bad -predictor (stock: %s): %v\n",
+				strings.Join(predict.StockNames(), ", "), err)
+			os.Exit(2)
+		}
+	}
 
-	// tune applies the pipeline-debugging flags and the memory hierarchy
-	// to every runner this invocation constructs.
+	// tune applies the pipeline-debugging flags, the memory hierarchy, and
+	// the predictor config to every runner this invocation constructs.
 	tune := func(r *exp.Runner) {
 		r.Mem = memCfg
+		r.Cfg.Predictor = predCfg
 		r.ValidateIR = *validateIR
 		if *dumpIR != "" {
 			dump, err := irDumper(*dumpIR)
@@ -265,7 +285,19 @@ func main() {
 	})
 
 	runAblation("threshold", exp2(exp.RenderThresholdSweep))
-	runAblation("predictors", exp2(exp.RenderPredictorAblation))
+	// "predictors" renders both halves of the zoo comparison: the static
+	// profile-rescoping ablation and the dynamic per-scheme grid.
+	runAblation("predictors", func(d *machine.Desc, jobs int) (fmt.Stringer, error) {
+		static, err := exp.RenderPredictorAblation(d, jobs)
+		if err != nil {
+			return nil, err
+		}
+		zoo, err := exp.RenderPredictorZoo(d, jobs)
+		if err != nil {
+			return nil, err
+		}
+		return stringers{static, zoo}, nil
+	})
 	runAblation("ccb", exp2(exp.RenderCCBSweep))
 	runAblation("regions", exp2(exp.RenderRegionAblation))
 	runAblation("hyperblocks", exp2(exp.RenderHyperblockMatrix))
@@ -286,6 +318,18 @@ func fatal(err error) {
 // exp2 adapts a concrete table renderer to the runAblation signature.
 func exp2[T fmt.Stringer](f func(*machine.Desc, int) (T, error)) func(*machine.Desc, int) (fmt.Stringer, error) {
 	return func(d *machine.Desc, jobs int) (fmt.Stringer, error) { return f(d, jobs) }
+}
+
+// stringers renders several tables as one blank-line-separated block, for
+// experiments that print more than one table.
+type stringers []fmt.Stringer
+
+func (s stringers) String() string {
+	parts := make([]string, len(s))
+	for i, t := range s {
+		parts[i] = t.String()
+	}
+	return strings.Join(parts, "\n\n")
 }
 
 // printPlans lists every pass plan the runner's configuration composes, in

@@ -66,6 +66,12 @@ type Cell struct {
 	// loads). Sim-time-only: it never reaches the compile side, so cells
 	// differing only in Mem share one CellPipeline.
 	Mem *machine.MemConfig
+	// Pred selects the predictor configuration (nil = profiled scheme
+	// selection, default tables, no confidence gating). Unlike Mem it is
+	// compile-side too: the speculate pass selects sites by the named
+	// scheme's profiled rate, so cells differing in Pred compile their own
+	// pipelines.
+	Pred *predict.Config
 }
 
 // DefaultLattice spans machine widths, CCB pressure, recovery models, and
@@ -100,6 +106,44 @@ func MemLattice() []Cell {
 	cells = append(cells,
 		Cell{Name: "w4-mem-l1pf-ccb4", D: machine.W4, CCBCapacity: 4, Mem: machine.MemL1PF},
 		Cell{Name: "w4-mem-l2-serial", D: machine.W4, SerialRecovery: true, BranchPenalty: 1, Mem: machine.MemL2},
+	)
+	return cells
+}
+
+// PredLattice spans the predictor axis at a fixed 4-wide dual-engine
+// machine: every stock scheme with gating off and on (a low threshold, so
+// gated cells still predict — the suite's vacuity guards demand real
+// predictions AND real suppressions), plus an alias-prone tiny VTAGE
+// table and a serial-recovery gated cell so the reduced suppressed-site
+// stall meets the recovery path. Architectural results must match the
+// interpreter on every cell regardless of scheme or gating.
+func PredLattice() []Cell {
+	cells := []Cell{{Name: "w4-pred-nil", D: machine.W4}}
+	for _, name := range predict.StockNames() {
+		plain, err := predict.Parse(name)
+		if err != nil {
+			panic(err) // stock names always parse
+		}
+		gated, err := predict.Parse(name + ":conf=1,cbits=2")
+		if err != nil {
+			panic(err)
+		}
+		cells = append(cells,
+			Cell{Name: "w4-pred-" + name, D: machine.W4, Pred: plain},
+			Cell{Name: "w4-pred-" + name + "-gated", D: machine.W4, Pred: gated},
+		)
+	}
+	tiny, err := predict.Parse("vtage:bits=2")
+	if err != nil {
+		panic(err)
+	}
+	serial, err := predict.Parse("profiled:conf=2")
+	if err != nil {
+		panic(err)
+	}
+	cells = append(cells,
+		Cell{Name: "w4-pred-vtage-tiny", D: machine.W4, Pred: tiny},
+		Cell{Name: "w4-pred-serial-gated", D: machine.W4, SerialRecovery: true, BranchPenalty: 1, Pred: serial},
 	)
 	return cells
 }
@@ -164,6 +208,9 @@ type Stats struct {
 	CCBStallCells  int // runs that stalled on a full CCB at least once
 	MonotoneSweeps int // programs that ran the CCB capacity sweep
 	PressureRuns   int // completed sweep runs below the speculative window
+	// Confidence-gating coverage (nonzero only under a predictor lattice).
+	Suppressed      int64 // LdPred issues gated off by confidence counters
+	SuppressedWrong int64 // suppressed issues whose prediction was wrong
 	// Memory-hierarchy coverage (nonzero only under a mem lattice).
 	MemMisses     int64 // demand misses across every cached cell
 	MemIMisses    int64 // instruction-cache misses
@@ -180,6 +227,8 @@ func (s *Stats) add(o Stats) {
 	s.CCBStallCells += o.CCBStallCells
 	s.MonotoneSweeps += o.MonotoneSweeps
 	s.PressureRuns += o.PressureRuns
+	s.Suppressed += o.Suppressed
+	s.SuppressedWrong += o.SuppressedWrong
 	s.MemMisses += o.MemMisses
 	s.MemIMisses += o.MemIMisses
 	s.MemPrefetches += o.MemPrefetches
@@ -301,6 +350,7 @@ func checkSpec(spec progen.Spec, opt Options) (*Failure, Stats, error) {
 // "arch" invariant failure rather than harness breakage.
 func transform(prog *ir.Program, prof *profile.Profile, cell Cell) (*speculate.Result, map[int]profile.Scheme, error) {
 	cfg := speculate.DefaultConfig(cell.D)
+	cfg.Predictor = cell.Pred
 	if cell.Threshold > 0 {
 		cfg.Threshold = cell.Threshold
 	}
@@ -379,6 +429,7 @@ func (cp *CellPipeline) NewSim(cell Cell) *core.Simulator {
 	sim.SerialRecovery = cell.SerialRecovery
 	sim.BranchPenalty = cell.BranchPenalty
 	sim.MemCfg = cell.Mem
+	sim.PredCfg = cell.Pred
 	return sim
 }
 
@@ -396,6 +447,7 @@ func buildSim(res *speculate.Result, schemes map[int]profile.Scheme, cell Cell, 
 	sim.SerialRecovery = cell.SerialRecovery
 	sim.BranchPenalty = cell.BranchPenalty
 	sim.MemCfg = cell.Mem
+	sim.PredCfg = cell.Pred
 	if opt.Tamper != nil {
 		opt.Tamper(sim)
 	}
@@ -447,19 +499,25 @@ func checkCell(prog *ir.Program, prof *profile.Profile, ref *refResult, cell Cel
 	sim.Sink = sink
 
 	// The trained-predictor run doubles as the recording run for the
-	// perfect-replay comparison.
+	// perfect-replay comparison. Predictor-axis cells (Pred set) skip the
+	// replay entirely and must NOT install the recorder: the recorder's
+	// inner predictor would bypass the forced scheme, and the axis exists
+	// to run the real zoo predictors end to end.
+	replayable := cell.Pred == nil
 	logs := map[int][]uint64{}
 	recIDs := map[*predict.Recorder]int{}
-	sim.NewPredictor = func(id int) predict.Predictor {
-		var inner predict.Predictor
-		if schemes[id] == profile.SchemeFCM {
-			inner = predict.NewFCM(predict.DefaultFCMOrder, predict.DefaultFCMTableBits)
-		} else {
-			inner = predict.NewStride()
+	if replayable {
+		sim.NewPredictor = func(id int) predict.Predictor {
+			var inner predict.Predictor
+			if schemes[id] == profile.SchemeFCM {
+				inner = predict.NewFCM(predict.DefaultFCMOrder, predict.DefaultFCMTableBits)
+			} else {
+				inner = predict.NewStride()
+			}
+			r := &predict.Recorder{P: inner}
+			recIDs[r] = id
+			return r
 		}
-		r := &predict.Recorder{P: inner}
-		recIDs[r] = id
-		return r
 	}
 
 	v, err := sim.Run("main")
@@ -480,6 +538,8 @@ func checkCell(prog *ir.Program, prof *profile.Profile, ref *refResult, cell Cel
 	if sim.StallCCB > 0 {
 		stats.CCBStallCells++
 	}
+	stats.Suppressed += sim.Suppressed
+	stats.SuppressedWrong += sim.SuppressedWrong
 	stats.MemMisses += sim.DMisses
 	stats.MemIMisses += sim.IMisses
 	stats.MemPrefetches += sim.PrefIssued
@@ -497,8 +557,10 @@ func checkCell(prog *ir.Program, prof *profile.Profile, ref *refResult, cell Cel
 	// an unconstrained CCB and flat load latency only: a deliberately
 	// starved buffer, the serial-recovery machine, or a cache model (whose
 	// check loads can miss where the training run hit) are allowed to lose
-	// to the unspeculated baseline.
-	if cell.SerialRecovery || cell.CCBCapacity > 0 || !cell.Mem.Flat() || sim.Predictions == 0 {
+	// to the unspeculated baseline. Predictor-axis cells skip too — no
+	// recorder ran (see above), and a gated machine deliberately forgoes
+	// prediction wins at unconfident sites.
+	if !replayable || cell.SerialRecovery || cell.CCBCapacity > 0 || !cell.Mem.Flat() || sim.Predictions == 0 {
 		return nil, nil
 	}
 	for r, id := range recIDs {
@@ -661,7 +723,8 @@ func checkMonotone(prog *ir.Program, prof *profile.Profile, ref *refResult, opt 
 // invariant.
 type countSink struct {
 	kinds      map[obs.Kind]int64
-	resolveBad int64
+	resolveBad int64 // trusted (non-gated) resolves with a wrong prediction
+	gatedBad   int64 // gated resolves whose prediction was wrong
 }
 
 func (c *countSink) Event(e *obs.Event) {
@@ -670,7 +733,11 @@ func (c *countSink) Event(e *obs.Event) {
 	}
 	c.kinds[e.Kind]++
 	if e.Kind == obs.KindCheckResolve && !e.Correct {
-		c.resolveBad++
+		if e.Gated {
+			c.gatedBad++
+		} else {
+			c.resolveBad++
+		}
 	}
 }
 
@@ -685,9 +752,11 @@ func (c *countSink) diff(sim *core.Simulator, cell Cell) string {
 	}
 	checks := []eq{
 		{"ldpred-issue events vs Predictions", k(obs.KindLdPredIssue), sim.Predictions},
-		{"check-issue events vs Predictions", k(obs.KindCheckIssue), sim.Predictions},
-		{"check-resolve events vs Predictions", k(obs.KindCheckResolve), sim.Predictions},
-		{"incorrect resolves vs Mispredicts", c.resolveBad, sim.Mispredicts},
+		{"pred-suppress events vs Suppressed", k(obs.KindPredSuppress), sim.Suppressed},
+		{"check-issue events vs Predictions+Suppressed", k(obs.KindCheckIssue), sim.Predictions + sim.Suppressed},
+		{"check-resolve events vs Predictions+Suppressed", k(obs.KindCheckResolve), sim.Predictions + sim.Suppressed},
+		{"incorrect trusted resolves vs Mispredicts", c.resolveBad, sim.Mispredicts},
+		{"incorrect gated resolves vs SuppressedWrong", c.gatedBad, sim.SuppressedWrong},
 		{"cce-flush events vs CCEFlushed", k(obs.KindCCEFlush), sim.CCEFlushed},
 		{"cce-execute events vs CCEExecuted", k(obs.KindCCEExecute), sim.CCEExecuted},
 		{"ccb captures vs flushed+executed", k(obs.KindBufferCCB), sim.CCEFlushed + sim.CCEExecuted},
@@ -712,6 +781,8 @@ func (c *countSink) diff(sim *core.Simulator, cell Cell) string {
 		{"snapshot sim.cycles", snap.Counters["sim.cycles"], sim.Cycles},
 		{"snapshot pred.predictions", snap.Counters["pred.predictions"], sim.Predictions},
 		{"snapshot pred.verified", snap.Counters["pred.verified"], sim.Predictions - sim.Mispredicts},
+		{"snapshot pred.suppressed", snap.Counters["pred.suppressed"], sim.Suppressed},
+		{"snapshot pred.suppressed_wrong", snap.Counters["pred.suppressed_wrong"], sim.SuppressedWrong},
 		{"snapshot stall.recovery", snap.Counters["stall.recovery"], sim.StallRecovery},
 		{"snapshot ccb.max_occupancy", snap.Counters["ccb.max_occupancy"], int64(sim.MaxCCBOccupancy)},
 		{"snapshot mem.dhits", snap.Counters["mem.dhits"], sim.DHits},
@@ -727,6 +798,9 @@ func (c *countSink) diff(sim *core.Simulator, cell Cell) string {
 	}
 	if !cell.SerialRecovery && sim.StallRecovery != 0 {
 		return fmt.Sprintf("dual-engine run charged %d recovery stalls", sim.StallRecovery)
+	}
+	if !cell.Pred.Gating() && sim.Suppressed+sim.SuppressedWrong != 0 {
+		return fmt.Sprintf("ungated run suppressed %d issues (%d wrong)", sim.Suppressed, sim.SuppressedWrong)
 	}
 	hist, ok := snap.Histograms["ccb.occupancy"]
 	if !ok {

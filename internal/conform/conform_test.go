@@ -106,6 +106,87 @@ func TestMemConformance(t *testing.T) {
 	}
 }
 
+// -pred-seeds sets the predictor-axis conformance budget; CI's predictor
+// job pins it to 200 under -race.
+var predSeedBudget = flag.Int("pred-seeds", 24, "number of generated programs checked across the predictor lattice")
+
+// TestPredConformance runs the invariant battery across the predictor
+// lattice: every stock scheme, gated and ungated, plus the alias-prone
+// tiny VTAGE table and the serial-recovery gated machine must stay
+// architecturally byte-identical to the interpreter with a mutually
+// consistent event stream, counters, and snapshot; only cycles and the
+// prediction/suppression mix may move.
+func TestPredConformance(t *testing.T) {
+	n := *predSeedBudget
+	if testing.Short() && n > 6 {
+		n = 6
+	}
+	fails, stats, err := Run(1, n, Options{Jobs: runtime.GOMAXPROCS(0), Lattice: PredLattice()})
+	if err != nil {
+		t.Fatalf("harness error: %v", err)
+	}
+	for _, f := range fails {
+		t.Errorf("%s", f.Report())
+	}
+
+	// Vacuity guards: the lattice must actually have exercised the zoo and
+	// the gate — real trusted predictions, real suppressions, and real
+	// gate true-positives (suppressed issues that were in fact wrong), or
+	// the mis-gating fault injection below proves nothing.
+	t.Logf("predictor conformance stats: %+v", stats)
+	if stats.Programs != n {
+		t.Errorf("checked %d programs, want %d", stats.Programs, n)
+	}
+	if stats.Predictions == 0 {
+		t.Error("no load was ever predicted across the predictor lattice")
+	}
+	if stats.Mispredicts == 0 {
+		t.Error("no trusted prediction ever missed: recovery under the zoo went untested")
+	}
+	if stats.Suppressed == 0 {
+		t.Error("the confidence gate never suppressed an issue")
+	}
+	if stats.SuppressedWrong == 0 {
+		t.Error("no suppressed issue was ever wrong: the gate's repair path went untested")
+	}
+	if stats.CCEExecuted == 0 {
+		t.Error("the Compensation Code Engine never re-executed under the predictor lattice")
+	}
+}
+
+// TestConformanceCatchesInjectedMisgateBug proves the predictor axis has
+// teeth: with the confidence-gating logic deliberately broken (a
+// suppressed-and-wrong site treated as verified correct, so dependents
+// keep the stale predicted value), some seed must produce an
+// architectural divergence with a minimized reproduction.
+func TestConformanceCatchesInjectedMisgateBug(t *testing.T) {
+	opt := Options{
+		Lattice: PredLattice(),
+		Tamper:  func(s *core.Simulator) { s.FaultConfidenceMisgate = true },
+	}
+	var caught *Failure
+	for seed := int64(1); seed <= 40 && caught == nil; seed++ {
+		f, _, err := CheckSeed(seed, opt)
+		if err != nil {
+			t.Fatalf("seed %d: harness error: %v", seed, err)
+		}
+		caught = f
+	}
+	if caught == nil {
+		t.Fatal("injected confidence mis-gating went undetected across 40 seeds")
+	}
+	if caught.Invariant != "arch" {
+		t.Errorf("injected bug reported as %q, want \"arch\"", caught.Invariant)
+	}
+	if !strings.Contains(caught.Cell, "gated") {
+		t.Errorf("divergence caught on cell %q; mis-gating can only bite gated cells", caught.Cell)
+	}
+	if caught.Source == "" || caught.Seed == 0 {
+		t.Errorf("failure not reproducible: %+v", caught)
+	}
+	t.Logf("caught with seed %d on cell %s", caught.Seed, caught.Cell)
+}
+
 // TestConformanceCatchesInjectedCCEBug proves the suite's teeth: with a
 // deliberately corrupted CCE write-back datapath, some seed must produce
 // an architectural divergence, reported with the seed and a minimized

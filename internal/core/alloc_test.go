@@ -12,6 +12,8 @@ import (
 
 	"vliwvp/internal/core"
 	"vliwvp/internal/machine"
+	"vliwvp/internal/predict"
+	"vliwvp/internal/profile"
 )
 
 // allocKernel exercises predictions, mispredictions, CCE re-execution,
@@ -99,14 +101,69 @@ func TestSimulatorRunZeroAllocWithCache(t *testing.T) {
 	}
 }
 
+func TestSimulatorRunZeroAllocWithPredictors(t *testing.T) {
+	// The predictor zoo and the confidence gate must preserve the
+	// steady-state guarantee: the VTAGE tagged table, the LNV rings, and
+	// the confidence counters all reuse pooled storage across runs when
+	// the PredCfg binding is unchanged.
+	for _, spec := range []string{
+		"vtage", "lnv:depth=8", "fcm:conf=2", "vtage:conf=3,cbits=3", "profiled:conf=2",
+	} {
+		t.Run(spec, func(t *testing.T) {
+			cfg, err := predict.Parse(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sim, _ := buildSim(t, allocKernel, true, machine.W4)
+			// Force every site onto the config's scheme so the forced
+			// tables — not just the profile-chosen stride/FCM ones — are
+			// exercised ("profiled" keeps the profile's choices).
+			if sc, ok := profile.SchemeByName(cfg.SchemeName()); ok {
+				for id := range sim.Schemes {
+					sim.Schemes[id] = sc
+				}
+			}
+			sim.PredCfg = cfg
+			var want uint64
+			for i := 0; i < 2; i++ {
+				v, err := sim.Run("main")
+				if err != nil {
+					t.Fatal(err)
+				}
+				want = v
+			}
+			if cfg.Gating() && sim.Suppressed == 0 {
+				t.Fatalf("gated config never suppressed an issue (pred=%d)", sim.Predictions)
+			}
+			allocs := testing.AllocsPerRun(5, func() {
+				v, err := sim.Run("main")
+				if err != nil || v != want {
+					t.Fatalf("Run: v=%d err=%v", v, err)
+				}
+			})
+			if allocs != 0 {
+				t.Errorf("steady-state Run with %s allocates %.1f objects, want 0", spec, allocs)
+			}
+		})
+	}
+}
+
 func TestBatchRunAllZeroAllocSteadyState(t *testing.T) {
 	sim, _ := buildSim(t, allocKernel, true, machine.W4)
 	img := sim.Image()
+	gated, err := predict.Parse("vtage:conf=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim2, _ := buildSim(t, allocKernel, true, machine.W4)
 	// Two items bind the same image — the batch reuses one pooled
-	// simulator across them, rebinding schemes per item.
+	// simulator across them, rebinding schemes per item. The third runs a
+	// gated VTAGE config on its own image: a stable Pred pointer must
+	// reuse the pooled tagged table and confidence counters.
 	items := []core.BatchItem{
 		{Name: "a", Img: img, Schemes: sim.Schemes},
 		{Name: "b", Img: img, Schemes: sim.Schemes},
+		{Name: "c", Img: sim2.Image(), Schemes: sim2.Schemes, Pred: gated},
 	}
 	batch := core.NewBatch()
 	dst := make([]core.BatchResult, 0, len(items))

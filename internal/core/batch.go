@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"vliwvp/internal/machine"
+	"vliwvp/internal/predict"
 	"vliwvp/internal/profile"
 )
 
@@ -30,6 +31,10 @@ type Batch struct {
 	// Mem sets the memory hierarchy on every simulator the batch builds
 	// (nil = flat fixed-latency loads); per-item Mem overrides it.
 	Mem *machine.MemConfig
+	// Pred sets the predictor configuration on every simulator the batch
+	// builds (nil = legacy defaults, no gating); per-item Pred overrides
+	// it.
+	Pred *predict.Config
 
 	sims map[*Image]*Simulator
 }
@@ -55,6 +60,10 @@ type BatchItem struct {
 	// sim-time-only state: items differing only in Mem share one pooled
 	// simulator and rebind per run.
 	Mem *machine.MemConfig
+	// Pred selects the predictor configuration for this item (nil = the
+	// batch's Pred). Rebinds per run like Mem; an unchanged pointer reuses
+	// the pooled predictor tables allocation-free.
+	Pred *predict.Config
 }
 
 // BatchResult is one item's outcome and headline statistics.
@@ -110,6 +119,10 @@ func (b *Batch) simFor(it *BatchItem) *Simulator {
 	sim.MemCfg = b.Mem
 	if it.Mem != nil {
 		sim.MemCfg = it.Mem
+	}
+	sim.PredCfg = b.Pred
+	if it.Pred != nil {
+		sim.PredCfg = it.Pred
 	}
 	return sim
 }

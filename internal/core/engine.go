@@ -67,6 +67,19 @@ type Simulator struct {
 	// records fresh). The memory engine-diff replays the trace through
 	// the legacy oracle.
 	MemRec *MemTrace
+	// PredCfg parameterizes the hardware value predictors (table sizes for
+	// the forced schemes) and enables runtime confidence gating when its
+	// ConfThreshold is positive: each site carries a saturating counter
+	// trained on its check outcomes, and a LdPred at an unconfident site
+	// is suppressed — the datapath is unchanged (the predicted value is
+	// still written and the Synchronization bit set, keeping the schedule
+	// valid), but the site always takes the repair path at its check, so
+	// dependents re-execute from the verified value and the site never
+	// pays a misprediction recovery. Nil keeps the legacy behavior
+	// (default-sized tables, no gating), byte-identical to PR-7 runs.
+	// Like MemCfg it rebinds on pointer change; an unchanged binding
+	// reuses the predictor tables allocation-free.
+	PredCfg *predict.Config
 	// Sink, when set, receives a typed obs.Event per engine event:
 	// instruction issues, stalls, predictions, CCB captures, verification
 	// verdicts, compensation flushes/re-executions, and register
@@ -99,6 +112,13 @@ type Simulator struct {
 	// results then diverge from the sequential interpreter whenever a
 	// misprediction forces a re-execution). Never set outside tests.
 	FaultCCEWritebackXor uint64
+	// FaultConfidenceMisgate, when set, models a confidence-gating logic
+	// bug: a suppressed site whose prediction turns out WRONG is treated
+	// as verified correct — its dependents keep the stale predicted value
+	// instead of re-executing. The conformance suite's predictor axis
+	// must catch the resulting architectural divergence. Never set
+	// outside tests.
+	FaultConfidenceMisgate bool
 
 	// Results.
 	Cycles      int64
@@ -112,6 +132,12 @@ type Simulator struct {
 	CCEFlushed  int64
 	Mispredicts int64
 	Predictions int64
+	// Suppressed counts LdPred issues gated off by the confidence
+	// counters (not included in Predictions); SuppressedWrong counts the
+	// suppressed issues whose prediction would have been wrong — the
+	// gate's true positives.
+	Suppressed      int64
+	SuppressedWrong int64
 	// StallRecovery counts serial-mode cycles spent in recovery blocks
 	// (including branch penalties).
 	StallRecovery int64
@@ -158,6 +184,15 @@ type Simulator struct {
 	predCustom []bool
 	predScheme []profile.Scheme
 	runEpoch   int64
+	// conf holds the per-site confidence counters (dense by site ID,
+	// zeroed each reset); vtage is the run-shared tagged table the
+	// SchemeVTAGE site views address, reset once per run; predsFor is the
+	// PredCfg the current predictor table was built for (pointer
+	// identity, like msys.cfg), so rebinding a different config rebuilds
+	// the tables while an unchanged binding reuses them.
+	conf     []predict.ConfCounter
+	vtage    *predict.VTAGE
+	predsFor *predict.Config
 
 	// Pools (see the type comment for the recycling invariants).
 	framePool []*frame
@@ -214,7 +249,12 @@ type siteInst struct {
 	predicted uint64
 	resolved  bool
 	correct   bool
-	actual    uint64
+	// suppressed marks a confidence-gated issue: the predicted value was
+	// written (datapath unchanged) but the site takes the repair path at
+	// its check regardless of the comparison, so dependents re-execute
+	// from the verified value.
+	suppressed bool
+	actual     uint64
 }
 
 type operandRef struct {
@@ -280,6 +320,7 @@ func NewSimulatorFromImage(img *Image, schemes map[int]profile.Scheme) *Simulato
 		predRun:     make([]int64, img.numSites),
 		predCustom:  make([]bool, img.numSites),
 		predScheme:  make([]profile.Scheme, img.numSites),
+		conf:        make([]predict.ConfCounter, img.numSites),
 	}
 	return s
 }
@@ -297,6 +338,7 @@ func (s *Simulator) reset() {
 	s.Cycles, s.Instrs, s.Ops = 0, 0, 0
 	s.StallSync, s.StallScore, s.StallCCB, s.StallBar = 0, 0, 0, 0
 	s.CCEExecuted, s.CCEFlushed, s.Mispredicts, s.Predictions = 0, 0, 0, 0
+	s.Suppressed, s.SuppressedWrong = 0, 0
 	s.StallRecovery = 0
 	s.DHits, s.DMisses, s.IMisses, s.StallIFetch = 0, 0, 0, 0
 	s.PrefIssued, s.PrefUseful = 0, 0
@@ -323,6 +365,24 @@ func (s *Simulator) reset() {
 	}
 	s.stack = s.stack[:0]
 	s.runEpoch++ // lazily invalidates the whole predictor table
+	// Predictor-config rebinding mirrors resetMem: a different binding
+	// rebuilds the tables (their sizes are config-shaped); an unchanged
+	// binding keeps them for epoch-based lazy reuse. The shared VTAGE
+	// table resets here exactly once — site views reset lazily and must
+	// not clear it mid-run (see predict.VTAGE).
+	if s.predsFor != s.PredCfg {
+		s.predsFor = s.PredCfg
+		for i := range s.preds {
+			s.preds[i] = nil
+		}
+		s.vtage = nil
+	}
+	if s.vtage != nil {
+		s.vtage.Reset()
+	}
+	for i := range s.conf {
+		s.conf[i] = 0
+	}
 	s.mem.Reset()
 }
 
@@ -448,6 +508,8 @@ func (s *Simulator) PublishMetrics(reg *obs.Registry) {
 	set("pred.predictions", s.Predictions)
 	set("pred.mispredicted", s.Mispredicts)
 	set("pred.verified", s.Predictions-s.Mispredicts)
+	set("pred.suppressed", s.Suppressed)
+	set("pred.suppressed_wrong", s.SuppressedWrong)
 	set("cce.flushed", s.CCEFlushed)
 	set("cce.executed", s.CCEExecuted)
 	set("ccb.max_occupancy", int64(s.MaxCCBOccupancy))
@@ -477,6 +539,9 @@ func (s *Simulator) Run(entry string, args ...uint64) (uint64, error) {
 		if err := s.MemCfg.Validate(); err != nil {
 			return 0, err
 		}
+	}
+	if err := s.PredCfg.Validate(); err != nil {
+		return 0, err
 	}
 	s.reset()
 	root := s.acquireFrame(fn, ir.NoReg)
@@ -704,28 +769,48 @@ func (s *Simulator) resolveCheck(ev *wev) {
 	actual := ev.val
 	si.resolved = true
 	si.actual = actual
+	correct := actual == si.predicted
 	if s.tracing() {
 		s.emit(&obs.Event{Cycle: s.cycle, Engine: obs.EngineVLIW,
 			Kind: obs.KindCheckResolve, Op: ev.op, Bit: -1, Site: ev.op.PredID,
 			Predicted: int64(si.predicted), Actual: int64(actual),
-			Correct: actual == si.predicted})
+			Correct: correct, Gated: si.suppressed})
 	}
 	s.syncBusy &^= ev.mask // the LdPred bit always clears
-	if actual == si.predicted {
+	// A suppressed site always takes the repair path, even when the
+	// comparison happens to match: the machine committed to not trusting
+	// the prediction at issue time, so dependents wait for the verified
+	// value. The confidence counter still trains on the true outcome.
+	verified := correct && !si.suppressed
+	if si.suppressed && !correct {
+		s.SuppressedWrong++
+		if s.FaultConfidenceMisgate {
+			verified = true // injected bug: stale predicted value survives
+		}
+	}
+	if verified {
 		si.correct = true
 		s.clearVerifiedBits()
 	} else {
-		s.Mispredicts++
+		if !si.suppressed {
+			s.Mispredicts++
+		}
 		s.applyWrite(ev.fr, ev.reg, actual, ev.seq)
 		if s.SerialRecovery {
-			// Branch to the statically scheduled recovery block,
-			// run it serially on the main engine, branch back.
-			pen := s.BranchPenalty
+			// Branch to the statically scheduled recovery block, run it
+			// serially on the main engine, branch back. A suppressed site
+			// charges only the recovery schedule: the compiler lays the
+			// recovery code out as the fall-through path when the
+			// prediction was never trusted, so no branches are taken.
 			rl, ok := s.RecoveryLen[ev.op.PredID]
 			if !ok {
 				rl = 1
 			}
-			until := s.cycle + int64(2*pen+rl)
+			stall := int64(rl)
+			if !si.suppressed {
+				stall += int64(2 * s.BranchPenalty)
+			}
+			until := s.cycle + stall
 			if until > s.stallUntil {
 				s.stallUntil = until
 			}
@@ -733,6 +818,9 @@ func (s *Simulator) resolveCheck(ev *wev) {
 	}
 	if s.SerialRecovery {
 		s.drainResolvedSerial()
+	}
+	if s.PredCfg.Gating() {
+		s.conf[ev.op.PredID].Train(correct, s.PredCfg.ConfMax())
 	}
 	p := s.sitePredictor(ev.op.PredID)
 	p.Update(actual)
@@ -884,13 +972,27 @@ func (s *Simulator) issueDataOp(fr *frame, blk *imgBlock, o *imgOp) error {
 		p := s.sitePredictor(op.PredID)
 		v, _ := p.Predict() // cold predictors supply 0 (and mispredict)
 		si.predicted = v
+		// Confidence gate: an unconfident site's issue is suppressed. The
+		// datapath is unchanged (same write, same Synchronization bit, so
+		// the static schedule stays valid); only the check-time policy and
+		// the accounting differ.
+		si.suppressed = s.PredCfg.Gating() &&
+			!s.conf[op.PredID].Confident(s.PredCfg.ConfThreshold)
 		s.syncBusy |= o.bitMask
 		if s.tracing() {
+			kind := obs.KindLdPredIssue
+			if si.suppressed {
+				kind = obs.KindPredSuppress
+			}
 			s.emit(&obs.Event{Cycle: s.cycle, Engine: obs.EngineVLIW,
-				Kind: obs.KindLdPredIssue, Op: op, Bit: op.SyncBit, Predicted: int64(v)})
+				Kind: kind, Op: op, Bit: op.SyncBit, Predicted: int64(v)})
 		}
 		s.writeReg(fr, op.Dest, v, o.lat)
-		s.Predictions++
+		if si.suppressed {
+			s.Suppressed++
+		} else {
+			s.Predictions++
+		}
 		return nil
 
 	case ir.CheckLd:
@@ -1453,10 +1555,27 @@ func (s *Simulator) sitePredictor(predID int) predict.Predictor {
 		if old := s.preds[predID]; old != nil && !s.predCustom[predID] && s.predScheme[predID] == scheme {
 			old.Reset()
 			p = old
-		} else if scheme == profile.SchemeFCM {
-			p = predict.NewFCM(predict.DefaultFCMOrder, predict.DefaultFCMTableBits)
 		} else {
-			p = predict.NewStride()
+			switch scheme {
+			case profile.SchemeFCM:
+				p = predict.NewFCM(s.PredCfg.Order(), s.PredCfg.TableBits())
+			case profile.SchemeLast:
+				p = predict.NewLastValue()
+			case profile.SchemeLNV:
+				p = predict.NewLastN(s.PredCfg.Depth())
+			case profile.SchemeHybrid:
+				p = predict.NewHybrid(s.PredCfg.Order(), s.PredCfg.TableBits())
+			case profile.SchemeVTAGE:
+				// All VTAGE sites of a run share one tagged table — the
+				// hardware structure — built lazily at first use and reset
+				// once per run in reset().
+				if s.vtage == nil {
+					s.vtage = predict.NewVTAGE(s.PredCfg.TagTableBits())
+				}
+				p = s.vtage.Site(predID)
+			default:
+				p = predict.NewStride()
+			}
 		}
 	}
 	s.preds[predID] = p

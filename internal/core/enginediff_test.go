@@ -58,6 +58,7 @@ func runLegacy(cp *conform.CellPipeline, cell conform.Cell) (uint64, error, *cor
 	}
 	sim.SerialRecovery = cell.SerialRecovery
 	sim.BranchPenalty = cell.BranchPenalty
+	sim.PredCfg = cell.Pred
 	sink := &recSink{}
 	sim.Sink = sink
 	v, runErr := sim.Run("main")
@@ -100,6 +101,8 @@ func diffCell(cp *conform.CellPipeline, cell conform.Cell) string {
 		{"CCEFlushed", dsim.CCEFlushed, lsim.CCEFlushed},
 		{"Predictions", dsim.Predictions, lsim.Predictions},
 		{"Mispredicts", dsim.Mispredicts, lsim.Mispredicts},
+		{"Suppressed", dsim.Suppressed, lsim.Suppressed},
+		{"SuppressedWrong", dsim.SuppressedWrong, lsim.SuppressedWrong},
 		{"MaxCCBOccupancy", int64(dsim.MaxCCBOccupancy), int64(lsim.MaxCCBOccupancy)},
 	}
 	for _, c := range counters {
@@ -179,6 +182,35 @@ func TestEngineDiff(t *testing.T) {
 		}
 	}
 	lattice := conform.DefaultLattice()
+	for i := 0; i < n; i++ {
+		seed := int64(1 + i)
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			t.Parallel()
+			spec := progen.Generate(seed, progen.Options{})
+			msg := diffSpec(spec, lattice)
+			if msg == "" {
+				return
+			}
+			min := progen.Minimize(spec, func(s progen.Spec) bool {
+				return diffSpec(s, lattice) != ""
+			})
+			t.Fatalf("engines diverge at seed %d: %s\nminimized divergence: %s\nminimized program:\n%s",
+				seed, msg, diffSpec(min, lattice), progen.Render(min))
+		})
+	}
+}
+
+// TestEngineDiffPredictors pins the decoded engine to the legacy engine
+// across the predictor lattice: every zoo scheme and the confidence gate
+// must agree on cycles, counters (including Suppressed/SuppressedWrong),
+// the typed event stream (including the suppressed-issue narration and
+// the Gated resolve flag via Narrate parity), and architectural state.
+func TestEngineDiffPredictors(t *testing.T) {
+	n := 24
+	if testing.Short() {
+		n = 8
+	}
+	lattice := conform.PredLattice()
 	for i := 0; i < n; i++ {
 		seed := int64(1 + i)
 		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {

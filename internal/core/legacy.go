@@ -42,6 +42,11 @@ type LegacySimulator struct {
 	CCBCapacity int
 	// MaxCycles aborts runaway simulations.
 	MaxCycles int64
+	// PredCfg parameterizes the hardware value predictors and enables
+	// runtime confidence gating (see Simulator.PredCfg — the legacy
+	// oracle mirrors its semantics exactly so the engine-diff holds on
+	// gated runs). Nil keeps the original behavior.
+	PredCfg *predict.Config
 	// MemReplay, when set, drives this oracle with the per-access load
 	// latencies and per-fetch stall penalties a decoded-engine run
 	// recorded (Simulator.MemRec): the memory engine-diff's proof that a
@@ -80,6 +85,10 @@ type LegacySimulator struct {
 	// results then diverge from the sequential interpreter whenever a
 	// misprediction forces a re-execution). Never set outside tests.
 	FaultCCEWritebackXor uint64
+	// FaultConfidenceMisgate mirrors Simulator.FaultConfidenceMisgate: a
+	// suppressed site whose prediction turns out wrong is treated as
+	// verified correct. Never set outside tests.
+	FaultConfidenceMisgate bool
 
 	// Results.
 	Cycles      int64
@@ -93,6 +102,11 @@ type LegacySimulator struct {
 	CCEFlushed  int64
 	Mispredicts int64
 	Predictions int64
+	// Suppressed counts LdPred issues gated off by the confidence
+	// counters (not included in Predictions); SuppressedWrong counts the
+	// suppressed issues whose prediction would have been wrong.
+	Suppressed      int64
+	SuppressedWrong int64
 	// StallRecovery counts serial-mode cycles spent in recovery blocks
 	// (including branch penalties).
 	StallRecovery int64
@@ -115,6 +129,8 @@ type LegacySimulator struct {
 	seq        int64
 	mem        *interp.Machine // reused for operation semantics + memory
 	preds      map[int]predict.Predictor
+	conf       map[int]predict.ConfCounter
+	vtage      *predict.VTAGE // run-shared SchemeVTAGE table
 	syncBusy   uint64
 	cycle      int64
 	events     map[int64][]func()
@@ -160,7 +176,9 @@ type legacySiteInst struct {
 	predicted uint64
 	resolved  bool
 	correct   bool
-	actual    uint64
+	// suppressed marks a confidence-gated issue (see siteInst.suppressed).
+	suppressed bool
+	actual     uint64
 }
 
 type legacyOperandRef struct {
@@ -202,6 +220,7 @@ func NewLegacySimulator(prog *ir.Program, ps *sched.ProgSched, d *machine.Desc,
 		CCBCapacity: DefaultCCBCapacity,
 		MaxCycles:   1 << 34,
 		preds:       map[int]predict.Predictor{},
+		conf:        map[int]predict.ConfCounter{},
 		events:      map[int64][]func(){},
 	}
 	maxRegs := 0
@@ -232,6 +251,7 @@ func (s *LegacySimulator) reset() {
 	s.Cycles, s.Instrs, s.Ops = 0, 0, 0
 	s.StallSync, s.StallScore, s.StallCCB, s.StallBar = 0, 0, 0, 0
 	s.CCEExecuted, s.CCEFlushed, s.Mispredicts, s.Predictions = 0, 0, 0, 0
+	s.Suppressed, s.SuppressedWrong = 0, 0
 	s.StallRecovery = 0
 	s.StallIFetch = 0
 	s.loadCur, s.fetchCur = 0, 0
@@ -246,6 +266,8 @@ func (s *LegacySimulator) reset() {
 	s.ccb, s.ccbHead = nil, 0
 	s.stack = nil
 	s.preds = map[int]predict.Predictor{}
+	s.conf = map[int]predict.ConfCounter{}
+	s.vtage = nil
 	s.mem.Reset()
 }
 
@@ -292,6 +314,8 @@ func (s *LegacySimulator) PublishMetrics(reg *obs.Registry) {
 	set("pred.predictions", s.Predictions)
 	set("pred.mispredicted", s.Mispredicts)
 	set("pred.verified", s.Predictions-s.Mispredicts)
+	set("pred.suppressed", s.Suppressed)
+	set("pred.suppressed_wrong", s.SuppressedWrong)
 	set("cce.flushed", s.CCEFlushed)
 	set("cce.executed", s.CCEExecuted)
 	set("ccb.max_occupancy", int64(s.MaxCCBOccupancy))
@@ -308,6 +332,9 @@ func (s *LegacySimulator) Run(entry string, args ...uint64) (uint64, error) {
 	f := s.Prog.Func(entry)
 	if f == nil {
 		return 0, fmt.Errorf("core: no function %q", entry)
+	}
+	if err := s.PredCfg.Validate(); err != nil {
+		return 0, err
 	}
 	s.reset()
 	root := s.newFrame(f, ir.NoReg)
@@ -553,13 +580,23 @@ func (s *LegacySimulator) issueDataOp(fr *legacyFrame, op *ir.Op) error {
 		p := s.sitePredictor(op.PredID)
 		v, _ := p.Predict() // cold predictors supply 0 (and mispredict)
 		si.predicted = v
+		si.suppressed = s.PredCfg.Gating() &&
+			!s.conf[op.PredID].Confident(s.PredCfg.ConfThreshold)
 		s.syncBusy |= 1 << uint(op.SyncBit)
 		if s.tracing() {
+			kind := obs.KindLdPredIssue
+			if si.suppressed {
+				kind = obs.KindPredSuppress
+			}
 			s.emit(&obs.Event{Cycle: s.cycle, Engine: obs.EngineVLIW,
-				Kind: obs.KindLdPredIssue, Op: op, Bit: op.SyncBit, Predicted: int64(v)})
+				Kind: kind, Op: op, Bit: op.SyncBit, Predicted: int64(v)})
 		}
 		s.writeReg(fr, op.Dest, v, lat)
-		s.Predictions++
+		if si.suppressed {
+			s.Suppressed++
+		} else {
+			s.Predictions++
+		}
 		return nil
 
 	case ir.CheckLd:
@@ -581,28 +618,43 @@ func (s *LegacySimulator) issueDataOp(fr *legacyFrame, op *ir.Op) error {
 		s.at(s.cycle+lat, func() {
 			si.resolved = true
 			si.actual = actual
+			correct := actual == si.predicted
 			if s.tracing() {
 				s.emit(&obs.Event{Cycle: s.cycle, Engine: obs.EngineVLIW,
 					Kind: obs.KindCheckResolve, Op: op, Bit: -1, Site: op.PredID,
 					Predicted: int64(si.predicted), Actual: int64(actual),
-					Correct: actual == si.predicted})
+					Correct: correct, Gated: si.suppressed})
 			}
 			s.syncBusy &^= bit // the LdPred bit always clears
-			if actual == si.predicted {
+			verified := correct && !si.suppressed
+			if si.suppressed && !correct {
+				s.SuppressedWrong++
+				if s.FaultConfidenceMisgate {
+					verified = true
+				}
+			}
+			if verified {
 				si.correct = true
 				s.clearVerifiedBits()
 			} else {
-				s.Mispredicts++
+				if !si.suppressed {
+					s.Mispredicts++
+				}
 				s.applyWrite(fr, op.Dest, actual, seq)
 				if s.SerialRecovery {
 					// Branch to the statically scheduled recovery block,
-					// run it serially on the main engine, branch back.
-					pen := s.BranchPenalty
+					// run it serially on the main engine, branch back. A
+					// suppressed site charges only the recovery schedule
+					// (the fall-through path, no taken branches).
 					rl, ok := s.RecoveryLen[op.PredID]
 					if !ok {
 						rl = 1
 					}
-					until := s.cycle + int64(2*pen+rl)
+					stall := int64(rl)
+					if !si.suppressed {
+						stall += int64(2 * s.BranchPenalty)
+					}
+					until := s.cycle + stall
 					if until > s.stallUntil {
 						s.stallUntil = until
 					}
@@ -610,6 +662,11 @@ func (s *LegacySimulator) issueDataOp(fr *legacyFrame, op *ir.Op) error {
 			}
 			if s.SerialRecovery {
 				s.drainResolvedSerial()
+			}
+			if s.PredCfg.Gating() {
+				c := s.conf[op.PredID]
+				c.Train(correct, s.PredCfg.ConfMax())
+				s.conf[op.PredID] = c
 			}
 			p := s.sitePredictor(op.PredID)
 			p.Update(actual)
@@ -1111,9 +1168,21 @@ func (s *LegacySimulator) sitePredictor(predID int) predict.Predictor {
 			p = s.NewPredictor(predID)
 		}
 		if p == nil {
-			if s.Schemes[predID] == profile.SchemeFCM {
-				p = predict.NewFCM(predict.DefaultFCMOrder, predict.DefaultFCMTableBits)
-			} else {
+			switch s.Schemes[predID] {
+			case profile.SchemeFCM:
+				p = predict.NewFCM(s.PredCfg.Order(), s.PredCfg.TableBits())
+			case profile.SchemeLast:
+				p = predict.NewLastValue()
+			case profile.SchemeLNV:
+				p = predict.NewLastN(s.PredCfg.Depth())
+			case profile.SchemeHybrid:
+				p = predict.NewHybrid(s.PredCfg.Order(), s.PredCfg.TableBits())
+			case profile.SchemeVTAGE:
+				if s.vtage == nil {
+					s.vtage = predict.NewVTAGE(s.PredCfg.TagTableBits())
+				}
+				p = s.vtage.Site(predID)
+			default:
 				p = predict.NewStride()
 			}
 		}

@@ -62,6 +62,20 @@ func TestGoldenEquivalenceTables(t *testing.T) {
 	checkGolden(t, "tables.txt", sb.String())
 }
 
+// TestGoldenEquivalencePredictorZoo pins the dynamic predictor-zoo
+// ablation — per scheme per benchmark: trusted predictions, misses,
+// the confidence gate's suppression counters, accuracy, coverage, and
+// speedup — in its own fixture so the static tables.txt fixture stays
+// byte-identical to its pre-zoo state.
+func TestGoldenEquivalencePredictorZoo(t *testing.T) {
+	r := goldenRunner()
+	tab, err := RenderPredictorZoo(r.D, r.Jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "predzoo.txt", tab.String()+"\n")
+}
+
 func TestGoldenEquivalenceSchedules(t *testing.T) {
 	r := goldenRunner()
 	var sb strings.Builder

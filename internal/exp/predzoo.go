@@ -1,0 +1,97 @@
+package exp
+
+import (
+	"fmt"
+
+	"vliwvp/internal/machine"
+	"vliwvp/internal/pool"
+	"vliwvp/internal/predict"
+	"vliwvp/internal/stats"
+)
+
+// zooSpecs are the predictor configurations the zoo grid sweeps: every
+// forced hardware scheme, the per-site profiled and zoo-wide auto
+// selections, and a gated auto point showing what runtime confidence
+// counters add on top of static selection. Parsed specs double as the
+// row labels (canonical keys), so the table pins the config grammar too.
+var zooSpecs = []string{
+	"profiled", "last", "stride", "fcm", "hybrid", "lnv", "vtage",
+	"auto", "auto:conf=2",
+}
+
+// RenderPredictorZoo runs the end-to-end dynamic ablation over the
+// predictor zoo: per configuration and per benchmark, the trusted
+// predictions, their accuracy, the coverage the confidence gate leaves
+// trusted, and the whole-program speedup over the unspeculated baseline.
+// Unlike RenderPredictorAblation (which rescopes the static profile),
+// every cell here recompiles site selection under the named scheme and
+// runs the real hardware predictor tables in the dual-engine simulator —
+// the dynamic half of the zoo comparison. Baseline runs are shared
+// across configurations through the pipeline cache; each "(all)" row
+// aggregates its configuration with a cycle-weighted speedup.
+func RenderPredictorZoo(d *machine.Desc, jobs int) (*stats.Table, error) {
+	t := &stats.Table{
+		Title: fmt.Sprintf("Ablation: dynamic predictor zoo (%s)", d.Name),
+		Headers: []string{"Predictor", "Benchmark", "Preds", "Mispred",
+			"Supp", "SuppWrong", "Accuracy", "Coverage", "Speedup"},
+	}
+	runners := make([]*Runner, len(zooSpecs))
+	for i, spec := range zooSpecs {
+		cfg, err := predict.Parse(spec)
+		if err != nil {
+			return nil, fmt.Errorf("zoo spec %q: %w", spec, err)
+		}
+		runners[i] = NewRunner(d)
+		runners[i].Cfg.Predictor = cfg
+	}
+	nb := len(runners[0].Benchmarks)
+	cells := make([]SpeedupRow, len(zooSpecs)*nb)
+	err := pool.ForEach(jobs, len(cells), func(i int) error {
+		r, b := runners[i/nb], runners[i/nb].Benchmarks[i%nb]
+		row, err := r.Speedup(b)
+		if err != nil {
+			return fmt.Errorf("%s/%s: %w", zooSpecs[i/nb], b.Name, err)
+		}
+		cells[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	ratio := func(num, den int64) string {
+		if den == 0 {
+			return "-"
+		}
+		return stats.Pct(float64(num) / float64(den))
+	}
+	for si := range zooSpecs {
+		label := runners[si].Cfg.Predictor.Key()
+		var sum SpeedupRow
+		for bi := 0; bi < nb; bi++ {
+			c := cells[si*nb+bi]
+			sum.BaseCycles += c.BaseCycles
+			sum.SpecCycles += c.SpecCycles
+			sum.Predictions += c.Predictions
+			sum.Mispredicts += c.Mispredicts
+			sum.Suppressed += c.Suppressed
+			sum.SuppressedWrong += c.SuppressedWrong
+			t.AddRow(label, c.Name,
+				fmt.Sprintf("%d", c.Predictions), fmt.Sprintf("%d", c.Mispredicts),
+				fmt.Sprintf("%d", c.Suppressed), fmt.Sprintf("%d", c.SuppressedWrong),
+				ratio(c.Predictions-c.Mispredicts, c.Predictions),
+				ratio(c.Predictions, c.Predictions+c.Suppressed),
+				fmt.Sprintf("%.3f", c.Speedup))
+		}
+		speedup := 0.0
+		if sum.SpecCycles > 0 {
+			speedup = float64(sum.BaseCycles) / float64(sum.SpecCycles)
+		}
+		t.AddRow(label, "(all)",
+			fmt.Sprintf("%d", sum.Predictions), fmt.Sprintf("%d", sum.Mispredicts),
+			fmt.Sprintf("%d", sum.Suppressed), fmt.Sprintf("%d", sum.SuppressedWrong),
+			ratio(sum.Predictions-sum.Mispredicts, sum.Predictions),
+			ratio(sum.Predictions, sum.Predictions+sum.Suppressed),
+			fmt.Sprintf("%.3f", speedup))
+	}
+	return t, nil
+}

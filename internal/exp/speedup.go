@@ -26,9 +26,13 @@ type SpeedupRow struct {
 	Speedup     float64
 	Predictions int64
 	Mispredicts int64
-	CCEExecuted int64
-	CCEFlushed  int64
-	StallSync   int64
+	// Suppressed and SuppressedWrong are the confidence gate's counters
+	// (zero when the runner's predictor config leaves gating off).
+	Suppressed      int64
+	SuppressedWrong int64
+	CCEExecuted     int64
+	CCEFlushed      int64
+	StallSync       int64
 	// Memory-hierarchy counters from the speculative run (all zero under
 	// the flat model).
 	DMisses    int64
@@ -54,6 +58,7 @@ func (r *Runner) newSim(img *core.Image, schemes map[int]profile.Scheme) *core.S
 		sim.CCBCapacity = r.CCBCapacity
 	}
 	sim.MemCfg = r.Mem
+	sim.PredCfg = r.Cfg.Predictor
 	return sim
 }
 
@@ -138,6 +143,8 @@ func (r *Runner) Speedup(b *workload.Benchmark) (SpeedupRow, error) {
 	}
 	row.Predictions = specSim.Predictions
 	row.Mispredicts = specSim.Mispredicts
+	row.Suppressed = specSim.Suppressed
+	row.SuppressedWrong = specSim.SuppressedWrong
 	row.CCEExecuted = specSim.CCEExecuted
 	row.CCEFlushed = specSim.CCEFlushed
 	row.StallSync = specSim.StallSync

@@ -95,6 +95,11 @@ const (
 	// KindStallIFetch: the VLIW Engine stalled on an instruction fetch
 	// (emitted once per stalled cycle, like the other stall kinds).
 	KindStallIFetch
+	// KindPredSuppress: a load-prediction op issued with its prediction
+	// suppressed by the runtime confidence gate (emitted INSTEAD of
+	// KindLdPredIssue; Predicted carries the untrusted value). The site's
+	// check will take the repair path regardless of the comparison.
+	KindPredSuppress
 )
 
 var kindNames = [...]string{
@@ -116,6 +121,7 @@ var kindNames = [...]string{
 	KindMemMiss:            "mem.miss",
 	KindMemPrefetch:        "mem.prefetch",
 	KindStallIFetch:        "stall.ifetch",
+	KindPredSuppress:       "issue.ldpred.suppressed",
 }
 
 // String returns the kind's stable wire name (used by the JSONL and Chrome
@@ -204,6 +210,10 @@ type Event struct {
 	Done int64
 	// Correct is the verification verdict (check events).
 	Correct bool
+	// Gated marks a KindCheckResolve of a confidence-suppressed site: the
+	// repair path is taken regardless of Correct (which stays the truthful
+	// comparison verdict).
+	Gated bool
 	// Wait and Busy are the Synchronization-register masks of a sync
 	// stall.
 	Wait, Busy uint64
@@ -289,6 +299,8 @@ func Narrate(e *Event) string {
 		return fmt.Sprintf("mem prefetch @%d issued (site %d)", e.Addr, e.Site)
 	case KindStallIFetch:
 		return "VLIW stall: instruction fetch"
+	case KindPredSuppress:
+		return fmt.Sprintf("issue %v: prediction suppressed (unconfident), bit %d set", e.Op, e.Bit)
 	}
 	return fmt.Sprintf("event %s", e.Kind)
 }

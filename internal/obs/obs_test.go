@@ -74,6 +74,20 @@ func TestNarrateLegacyFormats(t *testing.T) {
 		{obs.Event{Kind: obs.KindRegWrite, Reg: 3, Value: -7, Seq: 12}, "write r3=-7 (seq 12)"},
 		{obs.Event{Kind: obs.KindRegWriteSuppressed, Reg: 3, Value: 9, Seq: 12, LastSeq: 14},
 			"write r3=9 SUPPRESSED (seq 12 != last 14)"},
+		{obs.Event{Kind: obs.KindStallScore}, "VLIW stall: scoreboard"},
+		{obs.Event{Kind: obs.KindStallBarrier}, "VLIW stall: call/return barrier"},
+		{obs.Event{Kind: obs.KindStallIFetch}, "VLIW stall: instruction fetch"},
+		{obs.Event{Kind: obs.KindMemHit, Addr: 96, Lat: 1},
+			"mem load @96: L1 hit (1 cycles)"},
+		{obs.Event{Kind: obs.KindMemMiss, Addr: 96, Lat: 40},
+			"mem load @96: miss to memory (40 cycles)"},
+		{obs.Event{Kind: obs.KindMemMiss, Addr: 96, Lat: 12, Level: 2},
+			"mem load @96: miss, served by L2 (12 cycles)"},
+		{obs.Event{Kind: obs.KindMemPrefetch, Addr: 104, Site: 3},
+			"mem prefetch @104 issued (site 3)"},
+		{obs.Event{Kind: obs.KindPredSuppress, Op: op, Bit: 5},
+			fmt.Sprintf("issue %v: prediction suppressed (unconfident), bit %d set", op, 5)},
+		{obs.Event{Kind: obs.Kind(250)}, "event kind(250)"},
 	}
 	for _, c := range cases {
 		if got := obs.Narrate(&c.e); got != c.want {
@@ -222,11 +236,22 @@ func TestRegistrySnapshot(t *testing.T) {
 	if reg.Counter("stall.sync") != c {
 		t.Error("Counter not idempotent")
 	}
+	if c.Value() != 4 || c.Name() != "stall.sync" {
+		t.Errorf("counter accessors = (%d, %q), want (4, stall.sync)", c.Value(), c.Name())
+	}
 	h := reg.Histogram("ccb.occupancy", obs.Pow2Bounds(3)) // bounds 1,2,4 + overflow
 	for _, v := range []int64{1, 1, 2, 3, 4, 5, 100} {
 		h.Observe(v)
 	}
+	// Bulk publication path: SetBucket overwrites, Buckets reads back.
+	h.SetBucket(3, 2)
+	if want := []int64{2, 1, 2, 2}; !reflect.DeepEqual(h.Buckets(), want) {
+		t.Errorf("buckets = %v, want %v", h.Buckets(), want)
+	}
 	s := reg.Snapshot()
+	if want := []string{"stall.sync"}; !reflect.DeepEqual(s.Names(), want) {
+		t.Errorf("Names = %v, want %v", s.Names(), want)
+	}
 	if s.Counters["stall.sync"] != 4 {
 		t.Errorf("counter = %d, want 4", s.Counters["stall.sync"])
 	}
@@ -268,10 +293,27 @@ func TestRegistrySnapshot(t *testing.T) {
 
 // TestKindStringRoundTrip keeps the wire names bijective.
 func TestKindStringRoundTrip(t *testing.T) {
-	for k := obs.KindStallSync; k <= obs.KindRegWriteSuppressed; k++ {
+	for k := obs.KindStallSync; k <= obs.KindPredSuppress; k++ {
 		got, ok := obs.KindFromString(k.String())
 		if !ok || got != k {
 			t.Errorf("kind %d: round-trip via %q failed", k, k.String())
 		}
+	}
+	if _, ok := obs.KindFromString("no.such.kind"); ok {
+		t.Error("KindFromString accepted an unknown name")
+	}
+}
+
+// TestOperandStateRoundTrip keeps the paper's two-letter notation
+// bijective (JSONL round-trips rely on it).
+func TestOperandStateRoundTrip(t *testing.T) {
+	for s := obs.StateC; s <= obs.StateRN; s++ {
+		got, ok := obs.OperandStateFromString(s.String())
+		if !ok || got != s {
+			t.Errorf("state %d: round-trip via %q failed", s, s.String())
+		}
+	}
+	if _, ok := obs.OperandStateFromString("XX"); ok {
+		t.Error("OperandStateFromString accepted an unknown name")
 	}
 }

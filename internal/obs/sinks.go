@@ -36,6 +36,7 @@ type Record struct {
 	Bit      *int              `json:"bit,omitempty"`
 	Done     int64             `json:"done,omitempty"`
 	Correct  *bool             `json:"correct,omitempty"`
+	Gated    bool              `json:"gated,omitempty"`
 	Wait     uint64            `json:"wait,omitempty"`
 	Busy     uint64            `json:"busy,omitempty"`
 	Operands []SiteStateRecord `json:"operands,omitempty"`
@@ -95,6 +96,7 @@ func recordOf(e *Event) Record {
 	if e.Kind == KindCheckIssue || e.Kind == KindCheckResolve {
 		c := e.Correct
 		r.Correct = &c
+		r.Gated = e.Gated
 	}
 	for _, o := range e.Operands {
 		r.Operands = append(r.Operands, SiteStateRecord{Site: o.Site, State: o.State.String()})
@@ -139,6 +141,7 @@ func (r *Record) EventOf() (Event, error) {
 	if r.Correct != nil {
 		e.Correct = *r.Correct
 	}
+	e.Gated = r.Gated
 	for _, o := range r.Operands {
 		st, ok := OperandStateFromString(o.State)
 		if !ok {

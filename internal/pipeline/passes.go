@@ -164,7 +164,12 @@ func (c Speculate) Fingerprint() string {
 		mach = cfg.Machine.Name
 	}
 	cfg.Machine = nil
-	return fmt.Sprintf("mach=%s %+v", mach, cfg)
+	// The predictor config enters by canonical key for the same reason the
+	// machine enters by name: %+v on a pointer field would render a
+	// process-local address, not the configuration.
+	pred := cfg.Predictor.Key()
+	cfg.Predictor = nil
+	return fmt.Sprintf("mach=%s pred=%s %+v", mach, pred, cfg)
 }
 
 // Run implements Pass.

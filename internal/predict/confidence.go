@@ -1,0 +1,26 @@
+package predict
+
+// DefaultConfBits is the confidence-counter width used when a config
+// leaves it unset: 3 bits, saturating at 7.
+const DefaultConfBits = 3
+
+// ConfCounter is one site's saturating confidence counter for runtime
+// LdPred gating: a correct prediction increments toward saturation, a
+// wrong one resets to zero (the standard reset-on-mispredict policy,
+// which makes a site re-earn trust after every miss). The zero value is
+// the cold state, so a slice of ConfCounter is reset by zeroing.
+type ConfCounter uint8
+
+// Train records one resolved prediction outcome.
+func (c *ConfCounter) Train(correct bool, max int) {
+	if !correct {
+		*c = 0
+		return
+	}
+	if int(*c) < max {
+		*c++
+	}
+}
+
+// Confident reports whether the counter has reached the issue threshold.
+func (c ConfCounter) Confident(threshold int) bool { return int(c) >= threshold }

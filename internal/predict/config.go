@@ -1,0 +1,297 @@
+package predict
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Config names and parameterizes the dynamic value-prediction scheme a
+// simulation runs with, mirroring machine.MemConfig for the memory axis: a
+// nil *Config means the legacy behavior (per-site profile-selected
+// stride/FCM, no runtime confidence gating), named stock configs cover the
+// zoo, and Key() renders a canonical string safe to embed in compiled-plan
+// cache keys.
+//
+// The scheme is a compile-side knob: it steers which loads the speculate
+// pass selects and which hardware predictor each site gets. Confidence
+// gating is the run-time half: per-site saturating counters suppress LdPred
+// issue at sites the hardware has recently mispredicted.
+type Config struct {
+	// Scheme is the stock scheme name: "profiled" (legacy profile argmax
+	// over stride/FCM), "auto" (argmax over the full zoo), or a forced
+	// scheme for every site: "last", "stride", "fcm", "hybrid", "lnv",
+	// "vtage".
+	Scheme string
+
+	// FCMOrder and FCMBits size the FCM component ("fcm" and "hybrid");
+	// zero means the package defaults.
+	FCMOrder int
+	FCMBits  int
+
+	// LNVDepth is the last-n-value ring depth ("lnv"); zero means
+	// DefaultLNVDepth.
+	LNVDepth int
+
+	// VTAGEBits sizes each tagged component table at 2^bits entries
+	// ("vtage"); zero means DefaultVTAGEBits.
+	VTAGEBits int
+
+	// ConfBits is the width of the per-site saturating confidence counter;
+	// zero means DefaultConfBits. ConfThreshold is the count a site must
+	// reach before its LdPred issues a prediction; zero disables gating
+	// entirely (every selected site always predicts — the legacy
+	// behavior). Gating composes with any scheme, including "profiled".
+	ConfBits      int
+	ConfThreshold int
+}
+
+// ConfigError is a typed predictor-config validation failure naming the
+// offending field, mirroring machine.ConfigError for memory configs.
+type ConfigError struct {
+	Config string // scheme spec as given, e.g. "vtage:bits=99"
+	Field  string // e.g. "Scheme", "VTAGEBits", "ConfThreshold"
+	Value  string // offending value as written
+	Reason string // e.g. "must be between 2 and 16"
+}
+
+func (e *ConfigError) Error() string {
+	return fmt.Sprintf("predictor config %q: %s = %s %s", e.Config, e.Field, e.Value, e.Reason)
+}
+
+// Stock scheme names, in the order user-facing messages list them.
+var stockSchemes = []string{"profiled", "auto", "last", "stride", "fcm", "hybrid", "lnv", "vtage"}
+
+// StockNames returns the accepted scheme names for error messages and
+// request validation.
+func StockNames() []string {
+	out := make([]string, len(stockSchemes))
+	copy(out, stockSchemes)
+	return out
+}
+
+func knownScheme(name string) bool {
+	for _, s := range stockSchemes {
+		if s == name {
+			return true
+		}
+	}
+	return false
+}
+
+// paramApplies maps each spec key to the schemes it parameterizes. The
+// confidence keys apply to every scheme.
+var paramApplies = map[string][]string{
+	"order": {"fcm", "hybrid"},
+	"bits":  {"fcm", "hybrid", "vtage"},
+	"depth": {"lnv"},
+	"conf":  stockSchemes,
+	"cbits": stockSchemes,
+}
+
+// Parse decodes a predictor spec of the form "name" or
+// "name:key=val,key=val". Accepted keys: order and bits (fcm, hybrid),
+// bits (vtage), depth (lnv), and conf / cbits (any scheme; conf > 0
+// enables runtime confidence gating with the given issue threshold, cbits
+// sets the counter width). Errors are *ConfigError values naming the
+// field, never a panic, for any input bytes.
+func Parse(spec string) (*Config, error) {
+	name, params, _ := strings.Cut(spec, ":")
+	if !knownScheme(name) {
+		return nil, &ConfigError{Config: spec, Field: "Scheme", Value: name,
+			Reason: "is not a stock scheme (" + strings.Join(stockSchemes, ", ") + ")"}
+	}
+	c := &Config{Scheme: name}
+	if params == "" {
+		if strings.Contains(spec, ":") {
+			return nil, &ConfigError{Config: spec, Field: "Params", Value: "",
+				Reason: "empty parameter list after ':'"}
+		}
+		return c, c.Validate()
+	}
+	seen := map[string]bool{}
+	for _, kv := range strings.Split(params, ",") {
+		key, val, ok := strings.Cut(kv, "=")
+		if !ok || key == "" {
+			return nil, &ConfigError{Config: spec, Field: "Params", Value: kv,
+				Reason: "is not key=value"}
+		}
+		applies, known := paramApplies[key]
+		if !known {
+			return nil, &ConfigError{Config: spec, Field: "Params", Value: key,
+				Reason: "is not a known parameter (order, bits, depth, conf, cbits)"}
+		}
+		if seen[key] {
+			return nil, &ConfigError{Config: spec, Field: "Params", Value: key,
+				Reason: "given more than once"}
+		}
+		seen[key] = true
+		ok = false
+		for _, s := range applies {
+			if s == name {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return nil, &ConfigError{Config: spec, Field: "Params", Value: key,
+				Reason: "does not apply to scheme " + strconv.Quote(name)}
+		}
+		n, err := strconv.Atoi(val)
+		if err != nil {
+			return nil, &ConfigError{Config: spec, Field: key, Value: val,
+				Reason: "is not an integer"}
+		}
+		switch key {
+		case "order":
+			c.FCMOrder = n
+		case "bits":
+			if name == "vtage" {
+				c.VTAGEBits = n
+			} else {
+				c.FCMBits = n
+			}
+		case "depth":
+			c.LNVDepth = n
+		case "conf":
+			c.ConfThreshold = n
+		case "cbits":
+			c.ConfBits = n
+		}
+	}
+	if err := c.Validate(); err != nil {
+		if ce, isCE := err.(*ConfigError); isCE {
+			ce.Config = spec // report the spec as written, not the normalized name
+		}
+		return nil, err
+	}
+	return c, nil
+}
+
+// Validate checks every parameter range. A nil config is valid (it means
+// "profiled" with gating off).
+func (c *Config) Validate() error {
+	if c == nil {
+		return nil
+	}
+	fail := func(field string, value int, reason string) error {
+		return &ConfigError{Config: c.Scheme, Field: field,
+			Value: strconv.Itoa(value), Reason: reason}
+	}
+	if !knownScheme(c.Scheme) {
+		return &ConfigError{Config: c.Scheme, Field: "Scheme", Value: c.Scheme,
+			Reason: "is not a stock scheme (" + strings.Join(stockSchemes, ", ") + ")"}
+	}
+	if c.FCMOrder != 0 && (c.FCMOrder < 1 || c.FCMOrder > 8) {
+		return fail("FCMOrder", c.FCMOrder, "must be between 1 and 8")
+	}
+	if c.FCMBits != 0 && (c.FCMBits < 2 || c.FCMBits > 20) {
+		return fail("FCMBits", c.FCMBits, "must be between 2 and 20")
+	}
+	if c.LNVDepth != 0 && (c.LNVDepth < 1 || c.LNVDepth > 64) {
+		return fail("LNVDepth", c.LNVDepth, "must be between 1 and 64")
+	}
+	if c.VTAGEBits != 0 && (c.VTAGEBits < 2 || c.VTAGEBits > 16) {
+		return fail("VTAGEBits", c.VTAGEBits, "must be between 2 and 16")
+	}
+	if c.ConfBits != 0 && (c.ConfBits < 1 || c.ConfBits > 8) {
+		return fail("ConfBits", c.ConfBits, "must be between 1 and 8")
+	}
+	if c.ConfThreshold < 0 {
+		return fail("ConfThreshold", c.ConfThreshold, "must be non-negative")
+	}
+	if max := c.ConfMax(); c.ConfThreshold > max {
+		return fail("ConfThreshold", c.ConfThreshold,
+			fmt.Sprintf("exceeds the %d-bit counter maximum %d", c.confBits(), max))
+	}
+	return nil
+}
+
+func (c *Config) confBits() int {
+	if c == nil || c.ConfBits == 0 {
+		return DefaultConfBits
+	}
+	return c.ConfBits
+}
+
+// ConfMax is the saturation value of the configured confidence counter.
+func (c *Config) ConfMax() int { return (1 << c.confBits()) - 1 }
+
+// Gating reports whether runtime confidence gating is enabled.
+func (c *Config) Gating() bool { return c != nil && c.ConfThreshold > 0 }
+
+// SchemeName returns the effective scheme name; nil means "profiled".
+func (c *Config) SchemeName() string {
+	if c == nil || c.Scheme == "" {
+		return "profiled"
+	}
+	return c.Scheme
+}
+
+// Order returns the effective FCM order.
+func (c *Config) Order() int {
+	if c == nil || c.FCMOrder == 0 {
+		return DefaultFCMOrder
+	}
+	return c.FCMOrder
+}
+
+// TableBits returns the effective FCM table size exponent.
+func (c *Config) TableBits() int {
+	if c == nil || c.FCMBits == 0 {
+		return DefaultFCMTableBits
+	}
+	return c.FCMBits
+}
+
+// Depth returns the effective last-n-value ring depth.
+func (c *Config) Depth() int {
+	if c == nil || c.LNVDepth == 0 {
+		return DefaultLNVDepth
+	}
+	return c.LNVDepth
+}
+
+// TagTableBits returns the effective VTAGE component table size exponent.
+func (c *Config) TagTableBits() int {
+	if c == nil || c.VTAGEBits == 0 {
+		return DefaultVTAGEBits
+	}
+	return c.VTAGEBits
+}
+
+// Key renders the canonical cache-key form: scheme name plus every
+// non-default parameter in a fixed order. Two configs with equal keys
+// behave identically; the nil config's key is "profiled". Compiled-plan
+// caches embed this key, so its format is load-bearing — change it only
+// with a cache-version bump.
+func (c *Config) Key() string {
+	if c == nil {
+		return "profiled"
+	}
+	var parts []string
+	add := func(k string, v int) {
+		if v != 0 {
+			parts = append(parts, k+"="+strconv.Itoa(v))
+		}
+	}
+	switch c.SchemeName() {
+	case "fcm", "hybrid":
+		add("order", c.FCMOrder)
+		add("bits", c.FCMBits)
+	case "lnv":
+		add("depth", c.LNVDepth)
+	case "vtage":
+		add("bits", c.VTAGEBits)
+	}
+	if c.ConfThreshold > 0 {
+		add("conf", c.ConfThreshold)
+		add("cbits", c.ConfBits)
+	}
+	if len(parts) == 0 {
+		return c.SchemeName()
+	}
+	sort.Strings(parts)
+	return c.SchemeName() + ":" + strings.Join(parts, ",")
+}

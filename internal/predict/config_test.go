@@ -1,0 +1,232 @@
+package predict
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// TestParsePredictorConfig drives the spec grammar through its accepting
+// rows (asserting the canonical Key) and its rejecting rows (asserting the
+// typed *ConfigError names the right field).
+func TestParsePredictorConfig(t *testing.T) {
+	valid := []struct {
+		spec string
+		key  string
+	}{
+		{"profiled", "profiled"},
+		{"auto", "auto"},
+		{"last", "last"},
+		{"stride", "stride"},
+		{"fcm", "fcm"},
+		{"hybrid", "hybrid"},
+		{"lnv", "lnv"},
+		{"vtage", "vtage"},
+		{"fcm:order=3,bits=10", "fcm:bits=10,order=3"},
+		{"hybrid:bits=8", "hybrid:bits=8"},
+		{"lnv:depth=8", "lnv:depth=8"},
+		{"vtage:bits=12", "vtage:bits=12"},
+		{"vtage:bits=12,conf=4", "vtage:bits=12,conf=4"},
+		{"vtage:conf=4,bits=12", "vtage:bits=12,conf=4"},
+		{"profiled:conf=3", "profiled:conf=3"},
+		{"profiled:conf=3,cbits=2", "profiled:cbits=2,conf=3"},
+		{"stride:conf=7", "stride:conf=7"},
+		// Zero means "default" and defaults are omitted from the key, so
+		// an explicit conf=0 keys identically to the bare name.
+		{"lnv:conf=0", "lnv"},
+	}
+	for _, tc := range valid {
+		c, err := Parse(tc.spec)
+		if err != nil {
+			t.Errorf("Parse(%q): unexpected error %v", tc.spec, err)
+			continue
+		}
+		if got := c.Key(); got != tc.key {
+			t.Errorf("Parse(%q).Key() = %q, want %q", tc.spec, got, tc.key)
+		}
+	}
+
+	invalid := []struct {
+		spec  string
+		field string
+	}{
+		{"", "Scheme"},
+		{"tage", "Scheme"},
+		{"VTAGE", "Scheme"},
+		{"vtage:", "Params"},
+		{"vtage:bits", "Params"},
+		{"vtage:=4", "Params"},
+		{"vtage:zap=4", "Params"},
+		{"vtage:bits=4,bits=5", "Params"},
+		{"last:depth=4", "Params"}, // depth only applies to lnv
+		{"stride:order=2", "Params"},
+		{"vtage:bits=zap", "bits"},
+		{"vtage:bits=1", "VTAGEBits"},
+		{"vtage:bits=17", "VTAGEBits"},
+		{"fcm:order=9", "FCMOrder"},
+		{"fcm:bits=21", "FCMBits"},
+		{"lnv:depth=65", "LNVDepth"},
+		{"lnv:depth=-1", "LNVDepth"},
+		{"vtage:cbits=9", "ConfBits"},
+		{"vtage:conf=-1", "ConfThreshold"},
+		{"vtage:conf=8", "ConfThreshold"},         // exceeds 3-bit default max 7
+		{"vtage:conf=4,cbits=1", "ConfThreshold"}, // exceeds 1-bit max 1
+	}
+	for _, tc := range invalid {
+		_, err := Parse(tc.spec)
+		if err == nil {
+			t.Errorf("Parse(%q): accepted, want *ConfigError on %s", tc.spec, tc.field)
+			continue
+		}
+		var ce *ConfigError
+		if !errors.As(err, &ce) {
+			t.Errorf("Parse(%q): error %T is not *ConfigError", tc.spec, err)
+			continue
+		}
+		if ce.Field != tc.field {
+			t.Errorf("Parse(%q): error names field %q, want %q (%v)", tc.spec, ce.Field, tc.field, err)
+		}
+		if ce.Config != tc.spec {
+			t.Errorf("Parse(%q): error names config %q, want the spec as written", tc.spec, ce.Config)
+		}
+		if !strings.Contains(err.Error(), tc.field) {
+			t.Errorf("Parse(%q): message %q does not name the field", tc.spec, err)
+		}
+	}
+}
+
+// TestConfigNilAndDefaults pins the nil-config contract the engine relies
+// on: nil means "profiled" with gating off and package-default sizes.
+func TestConfigNilAndDefaults(t *testing.T) {
+	var c *Config
+	if err := c.Validate(); err != nil {
+		t.Errorf("nil config invalid: %v", err)
+	}
+	if c.Key() != "profiled" || c.SchemeName() != "profiled" {
+		t.Errorf("nil config: Key %q SchemeName %q, want profiled", c.Key(), c.SchemeName())
+	}
+	if c.Gating() {
+		t.Error("nil config claims gating")
+	}
+	if c.Order() != DefaultFCMOrder || c.TableBits() != DefaultFCMTableBits ||
+		c.Depth() != DefaultLNVDepth || c.TagTableBits() != DefaultVTAGEBits ||
+		c.ConfMax() != (1<<DefaultConfBits)-1 {
+		t.Error("nil config does not report package defaults")
+	}
+	if !(&Config{Scheme: "vtage", ConfThreshold: 3}).Gating() {
+		t.Error("conf=3 config does not claim gating")
+	}
+}
+
+// TestStockNamesAllParse keeps the advertised stock list and the parser in
+// lockstep.
+func TestStockNamesAllParse(t *testing.T) {
+	for _, name := range StockNames() {
+		c, err := Parse(name)
+		if err != nil {
+			t.Errorf("stock name %q does not parse: %v", name, err)
+			continue
+		}
+		if c.Key() != name {
+			t.Errorf("stock name %q keys as %q", name, c.Key())
+		}
+	}
+}
+
+// FuzzPredictorConfig: arbitrary spec bytes must produce either a valid
+// config or a typed *ConfigError naming a field — never a panic — and the
+// canonical Key must be a fixed point of Parse.
+func FuzzPredictorConfig(f *testing.F) {
+	f.Add("profiled")
+	f.Add("vtage:bits=12,conf=4")
+	f.Add("fcm:order=3,bits=10")
+	f.Add("lnv:depth=8")
+	f.Add("hybrid:conf=7,cbits=3")
+	f.Add("vtage:bits=999999999999999999999")
+	f.Add("vtage:bits=4,bits=4")
+	f.Add("stride:depth=1")
+	f.Add(":::")
+	f.Add("profiled:conf=0,cbits=8")
+	f.Fuzz(func(t *testing.T, spec string) {
+		c, err := Parse(spec)
+		if err != nil {
+			var ce *ConfigError
+			if !errors.As(err, &ce) {
+				t.Fatalf("Parse(%q): error %T is not *ConfigError", spec, err)
+			}
+			if ce.Field == "" || ce.Error() == "" {
+				t.Fatalf("Parse(%q): untyped error %v", spec, err)
+			}
+			return
+		}
+		if verr := c.Validate(); verr != nil {
+			t.Fatalf("Parse(%q) accepted an invalid config: %v", spec, verr)
+		}
+		key := c.Key()
+		c2, err2 := Parse(key)
+		if err2 != nil {
+			t.Fatalf("canonical key %q of %q does not reparse: %v", key, spec, err2)
+		}
+		if c2.Key() != key {
+			t.Fatalf("Key not a fixed point: %q -> %q -> %q", spec, key, c2.Key())
+		}
+	})
+}
+
+// TestAccessorOverrides pins the non-default branch of every effective-
+// parameter accessor: a set field wins over the package default. (The
+// nil/zero branch is pinned by TestNilConfigDefaults.)
+func TestAccessorOverrides(t *testing.T) {
+	c := &Config{Scheme: "fcm", FCMOrder: 4, FCMBits: 8, LNVDepth: 7, VTAGEBits: 6}
+	if c.SchemeName() != "fcm" {
+		t.Errorf("SchemeName = %q, want fcm", c.SchemeName())
+	}
+	if c.Order() != 4 || c.TableBits() != 8 || c.Depth() != 7 || c.TagTableBits() != 6 {
+		t.Errorf("accessors ignored set fields: order=%d bits=%d depth=%d vbits=%d",
+			c.Order(), c.TableBits(), c.Depth(), c.TagTableBits())
+	}
+}
+
+// TestPredictorNames pins every hardware predictor's Name — the label
+// observability sinks and failure reports print.
+func TestPredictorNames(t *testing.T) {
+	if got := NewLastValue().Name(); got != "last" {
+		t.Errorf("LastValue.Name = %q", got)
+	}
+	if got := NewStride().Name(); got != "stride" {
+		t.Errorf("Stride.Name = %q", got)
+	}
+	if got := NewFCM(2, 4).Name(); got == "" {
+		t.Error("FCM.Name is empty")
+	}
+	if got := NewHybrid(2, 4).Name(); got != "hybrid" {
+		t.Errorf("Hybrid.Name = %q", got)
+	}
+	if got := NewLastN(4).Name(); got != "lnv" {
+		t.Errorf("LastN.Name = %q", got)
+	}
+	if got := NewVTAGE(4).Site(1).Name(); got != "vtage" {
+		t.Errorf("VTAGESite.Name = %q", got)
+	}
+}
+
+// TestLastNReset pins the allocation-free reset contract: a reset ring
+// forgets its history (back to the never-predicting cold state) without
+// reallocating, exactly what pooled-simulator reuse relies on.
+func TestLastNReset(t *testing.T) {
+	p := NewLastN(4)
+	for i := 0; i < 8; i++ {
+		p.Update(42)
+	}
+	if v, ok := p.Predict(); !ok || v != 42 {
+		t.Fatalf("trained ring predicts (%d, %v), want (42, true)", v, ok)
+	}
+	p.Reset()
+	if v, ok := p.Predict(); ok {
+		t.Fatalf("reset ring still predicts %d", v)
+	}
+	p.Update(7)
+	if v, ok := p.Predict(); !ok || v != 7 {
+		t.Errorf("retrained ring predicts (%d, %v), want (7, true)", v, ok)
+	}
+}

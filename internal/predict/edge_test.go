@@ -173,6 +173,204 @@ func TestRecorderLogsUpdateOrder(t *testing.T) {
 	}
 }
 
+// TestLastNTieBreakTable pins the last-n-value selection rule: the modal
+// ring value wins, and an exact frequency tie goes to the most recently
+// observed candidate. The final row pins that a new observation flips a
+// tie the other way.
+func TestLastNTieBreakTable(t *testing.T) {
+	cases := []struct {
+		name  string
+		depth int
+		feed  []uint64
+		want  uint64
+	}{
+		{"majority-wins", 4, []uint64{5, 5, 5, 7}, 5},
+		{"majority-wins-late", 4, []uint64{7, 5, 5, 5}, 5},
+		{"tie-to-most-recent", 4, []uint64{5, 5, 7, 7}, 7},
+		{"tie-flips-on-update", 4, []uint64{5, 5, 7, 7, 5}, 5},
+		{"depth-1-is-last-value", 1, []uint64{9, 3, 8}, 8},
+		{"clamped-depth", 0, []uint64{9, 3, 8}, 8},
+		{"ring-evicts-oldest", 3, []uint64{5, 5, 7, 7, 7}, 7},
+		{"partial-fill", 8, []uint64{4, 4, 6}, 4},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := NewLastN(tc.depth)
+			for _, v := range tc.feed {
+				p.Update(v)
+			}
+			if v, ok := p.Predict(); !ok || v != tc.want {
+				t.Errorf("predicted (%d, %v), want (%d, true)", v, ok, tc.want)
+			}
+		})
+	}
+	if _, ok := NewLastN(4).Predict(); ok {
+		t.Error("cold last-n predictor claims a prediction")
+	}
+}
+
+// TestLastNBeatsLastValueOnAlternation: the motivating stream — a value
+// that mostly repeats but takes periodic one-cycle excursions — thrashes
+// last-value (every excursion costs two misses) while the modal ring
+// predicts the dominant value throughout.
+func TestLastNBeatsLastValueOnAlternation(t *testing.T) {
+	seq := make([]uint64, 0, 120)
+	for i := 0; i < 30; i++ {
+		seq = append(seq, 100, 100, 100, 777) // 1-in-4 excursion
+	}
+	lnv := MeasureRate(NewLastN(4), seq)
+	last := MeasureRate(NewLastValue(), seq)
+	if lnv <= last {
+		t.Errorf("lnv %.3f not above last-value %.3f on excursion stream", lnv, last)
+	}
+}
+
+// TestVTAGEPeriodicAcrossRingWrap: a periodic stream longer than the
+// site's 8-deep history ring forces the ring to wrap continuously; since
+// every value in the pattern is distinct, the order-1 component alone
+// determines each successor, so the predictor must stay accurate through
+// the wraps — the pin that histAt indexing is consistent mod the ring
+// size.
+func TestVTAGEPeriodicAcrossRingWrap(t *testing.T) {
+	pattern := make([]uint64, 12) // period > vtageMaxHist
+	for i := range pattern {
+		pattern[i] = uint64(5000 + 31*i)
+	}
+	site := NewVTAGE(DefaultVTAGEBits).Site(0)
+	if r := MeasureRate(site, seqPeriodic(480, pattern)); r < 0.85 {
+		t.Errorf("rate %.3f on period-12 stream, want >= 0.85", r)
+	}
+}
+
+// TestVTAGETinyTableStillBeatenByBigTable mirrors the FCM pin: a stream
+// with more distinct contexts than a tiny table has slots degrades under
+// collisions and eviction, and a table large enough to hold every context
+// must predict strictly better.
+func TestVTAGETinyTableStillBeatenByBigTable(t *testing.T) {
+	pattern := make([]uint64, 64)
+	for i := range pattern {
+		pattern[i] = uint64(i*i + 17)
+	}
+	seq := seqPeriodic(640, pattern)
+	big := MeasureRate(NewVTAGE(12).Site(0), seq)
+	tiny := MeasureRate(NewVTAGE(2).Site(0), seq)
+	if big <= tiny {
+		t.Errorf("big table %.3f not above tiny table %.3f on a period-64 stream", big, tiny)
+	}
+}
+
+// TestVTAGETagAliasingBetweenSites pins that the table really is shared
+// hardware: with 4-entry components and 8-bit tags, some other site's
+// (index, tag) pair collides with a trained site's entry, and the aliased
+// site then reads a value it never observed. The colliding site is found
+// by searching site IDs with the same hash the predictor uses.
+func TestVTAGETagAliasingBetweenSites(t *testing.T) {
+	tab := NewVTAGE(2)
+	a := tab.Site(0)
+	// A constant stream never leaves the base predictor, so alternate two
+	// values: the base mispredicts every step and the order-1 component
+	// learns [99] -> 42 and [42] -> 99.
+	for i := 0; i < 20; i++ {
+		a.Update(42)
+		a.Update(99)
+	}
+	wantIdx, wantTag := a.hash(1) // context [99], entry holds 42
+	if e := &tab.comps[0][wantIdx]; e.ctr == 0 || e.tag != wantTag || e.value != 42 {
+		t.Fatalf("site 0 order-1 entry not trained: %+v", e)
+	}
+	for id := 1; id < 1<<20; id++ {
+		b := tab.Site(id)
+		b.Update(7) // one observation: base state only, no allocation yet
+		if idx, tag := b.hash(1); idx == wantIdx && tag == wantTag {
+			v, ok := b.Predict()
+			if !ok || v != 42 {
+				t.Fatalf("aliased site %d predicted (%d, %v), want site 0's (42, true)", id, v, ok)
+			}
+			return
+		}
+	}
+	t.Fatal("no aliasing site ID found in 2^20 candidates (hash changed?)")
+}
+
+// TestVTAGESiteResetKeepsSharedTable pins the lifecycle contract the
+// engine's lazy epoch reset depends on: resetting one site view clears
+// only its local history, never the shared table another site trained.
+func TestVTAGESiteResetKeepsSharedTable(t *testing.T) {
+	tab := NewVTAGE(6)
+	a, b := tab.Site(1), tab.Site(2)
+	for i := 0; i < 30; i++ {
+		a.Update(11)
+		a.Update(33) // alternate so the shared table actually trains
+		b.Update(22)
+	}
+	aIdx, aTag := a.hash(1)
+	before := tab.comps[0][aIdx]
+	if before.ctr == 0 || before.tag != aTag {
+		t.Fatalf("site 1 order-1 entry not trained: %+v", before)
+	}
+	b.Reset()
+	if got := tab.comps[0][aIdx]; got != before {
+		t.Errorf("sibling Reset changed a trained entry: %+v -> %+v", before, got)
+	}
+	if _, ok := b.Predict(); ok {
+		t.Error("reset site still claims a base prediction")
+	}
+	for i := 0; i < 30; i++ {
+		b.Update(22)
+	}
+	if v, ok := b.Predict(); !ok || v != 22 {
+		t.Errorf("retrained site predicted (%d, %v), want (22, true)", v, ok)
+	}
+	tab.Reset()
+	if got := tab.comps[0][aIdx]; got.ctr != 0 {
+		t.Errorf("table Reset left a live entry: %+v", got)
+	}
+}
+
+// TestConfCounterSaturationAndDecay drives the gating counter through its
+// edges: monotone climb to saturation (no overflow past max), threshold
+// crossing exactly at the configured count, and the reset-on-mispredict
+// decay that makes a site re-earn trust from zero.
+func TestConfCounterSaturationAndDecay(t *testing.T) {
+	var c ConfCounter
+	for i := 0; i < 20; i++ {
+		c.Train(true, 7)
+		if int(c) > 7 {
+			t.Fatalf("counter overflowed saturation: %d", c)
+		}
+	}
+	if int(c) != 7 {
+		t.Errorf("counter = %d after 20 correct, want saturated 7", c)
+	}
+	if !c.Confident(7) || !c.Confident(1) {
+		t.Error("saturated counter not confident")
+	}
+	c.Train(false, 7)
+	if int(c) != 0 {
+		t.Errorf("counter = %d after mispredict, want 0", c)
+	}
+	if c.Confident(1) {
+		t.Error("reset counter still confident at threshold 1")
+	}
+	for i := 0; i < 3; i++ {
+		c.Train(true, 7)
+	}
+	if c.Confident(4) || !c.Confident(3) {
+		t.Errorf("counter = %d: threshold crossing off by one", c)
+	}
+	// A 1-bit counter saturates at 1 and still obeys both policies.
+	var one ConfCounter
+	one.Train(true, 1)
+	one.Train(true, 1)
+	if int(one) != 1 || !one.Confident(1) {
+		t.Errorf("1-bit counter = %d, want 1 and confident", one)
+	}
+	one.Train(false, 1)
+	if int(one) != 0 {
+		t.Errorf("1-bit counter = %d after mispredict, want 0", one)
+	}
+}
+
 // TestReplayAdvancesOnPredict: Replay consumes its sequence on Predict
 // (prediction order, not training order), ignores Update, reports cold
 // when exhausted, and rewinds on Reset.

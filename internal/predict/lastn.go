@@ -1,0 +1,70 @@
+package predict
+
+// DefaultLNVDepth is the last-n-value ring depth used when a config leaves
+// it unset.
+const DefaultLNVDepth = 4
+
+// LastN is the last-n-value predictor: it remembers the most recent N
+// values of the sequence and predicts the most frequent one, breaking ties
+// toward the most recently observed. Depth 1 degenerates to last-value;
+// larger depths ride out short excursions in mostly-constant streams
+// (e.g. a pointer that alternates between two arenas) that would thrash a
+// pure last-value predictor.
+type LastN struct {
+	depth int
+	ring  []uint64
+	n     int // values stored, <= depth
+	head  int // next write slot
+}
+
+// NewLastN returns a cold last-n-value predictor; depth < 1 is clamped
+// to 1.
+func NewLastN(depth int) *LastN {
+	if depth < 1 {
+		depth = 1
+	}
+	return &LastN{depth: depth, ring: make([]uint64, depth)}
+}
+
+// at returns the i-th most recent value, i in [0, p.n).
+func (p *LastN) at(i int) uint64 {
+	return p.ring[((p.head-1-i)%p.depth+p.depth)%p.depth]
+}
+
+// Predict implements Predictor: the modal value of the ring, ties broken
+// toward recency. Quadratic in depth, which is small by construction.
+func (p *LastN) Predict() (uint64, bool) {
+	if p.n == 0 {
+		return 0, false
+	}
+	best, bestCount := p.at(0), 0
+	for i := 0; i < p.n; i++ {
+		v := p.at(i)
+		count := 0
+		for j := 0; j < p.n; j++ {
+			if p.at(j) == v {
+				count++
+			}
+		}
+		// Strict > keeps the earliest (most recent) candidate on ties.
+		if count > bestCount {
+			best, bestCount = v, count
+		}
+	}
+	return best, true
+}
+
+// Update implements Predictor.
+func (p *LastN) Update(actual uint64) {
+	p.ring[p.head] = actual
+	p.head = (p.head + 1) % p.depth
+	if p.n < p.depth {
+		p.n++
+	}
+}
+
+// Name implements Predictor.
+func (p *LastN) Name() string { return "lnv" }
+
+// Reset implements Predictor. The ring is retained (no allocation).
+func (p *LastN) Reset() { p.n, p.head = 0, 0 }

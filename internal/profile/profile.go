@@ -48,21 +48,71 @@ const (
 	SchemeStride Scheme = iota
 	// SchemeFCM selects the order-2 FCM predictor.
 	SchemeFCM
+	// SchemeLast selects the plain last-value predictor.
+	SchemeLast
+	// SchemeLNV selects the last-n-value (modal ring) predictor.
+	SchemeLNV
+	// SchemeVTAGE selects the tagged geometric-history context predictor
+	// (a shared table; sites address it through views).
+	SchemeVTAGE
+	// SchemeHybrid selects the stride/FCM tournament predictor.
+	SchemeHybrid
 )
 
 func (s Scheme) String() string {
-	if s == SchemeFCM {
+	switch s {
+	case SchemeFCM:
 		return "fcm"
+	case SchemeLast:
+		return "last"
+	case SchemeLNV:
+		return "lnv"
+	case SchemeVTAGE:
+		return "vtage"
+	case SchemeHybrid:
+		return "hybrid"
+	default:
+		return "stride"
 	}
-	return "stride"
 }
 
-// LoadProfile is the value profile of one static load site.
+// SchemeByName inverts Scheme.String for the forceable scheme names.
+func SchemeByName(name string) (Scheme, bool) {
+	switch name {
+	case "stride":
+		return SchemeStride, true
+	case "fcm":
+		return SchemeFCM, true
+	case "last":
+		return SchemeLast, true
+	case "lnv":
+		return SchemeLNV, true
+	case "vtage":
+		return SchemeVTAGE, true
+	case "hybrid":
+		return SchemeHybrid, true
+	}
+	return SchemeStride, false
+}
+
+// zooOrder fixes the tie-break order for zoo-wide argmax selection: the
+// paper's two families first (so "auto" degenerates to the legacy choice
+// when the new schemes don't strictly win), then the PR-8 additions.
+var zooOrder = [...]Scheme{SchemeStride, SchemeFCM, SchemeHybrid, SchemeLast, SchemeLNV, SchemeVTAGE}
+
+// LoadProfile is the value profile of one static load site. Collect
+// always meters every scheme of the zoo, so cached profiles are
+// predictor-config-independent; Rate and Best deliberately keep the
+// paper's stride/FCM semantics.
 type LoadProfile struct {
 	Key        LoadKey
 	Count      int64
 	StrideRate float64
 	FCMRate    float64
+	LastRate   float64
+	LNVRate    float64
+	VTAGERate  float64
+	HybridRate float64
 }
 
 // Rate is the site's predictability: max(stride, FCM), per the paper.
@@ -79,6 +129,37 @@ func (lp *LoadProfile) Best() Scheme {
 		return SchemeFCM
 	}
 	return SchemeStride
+}
+
+// RateOf returns the profiled rate of one scheme.
+func (lp *LoadProfile) RateOf(s Scheme) float64 {
+	switch s {
+	case SchemeFCM:
+		return lp.FCMRate
+	case SchemeLast:
+		return lp.LastRate
+	case SchemeLNV:
+		return lp.LNVRate
+	case SchemeVTAGE:
+		return lp.VTAGERate
+	case SchemeHybrid:
+		return lp.HybridRate
+	default:
+		return lp.StrideRate
+	}
+}
+
+// ZooBest is the zoo-wide argmax: the scheme with the highest profiled
+// rate across all five families, ties broken toward the earlier scheme in
+// the fixed zoo order (stride, fcm, last, lnv, vtage).
+func (lp *LoadProfile) ZooBest() (Scheme, float64) {
+	best, rate := zooOrder[0], lp.RateOf(zooOrder[0])
+	for _, s := range zooOrder[1:] {
+		if r := lp.RateOf(s); r > rate {
+			best, rate = s, r
+		}
+	}
+	return best, rate
 }
 
 // Profile holds the results of the value-profiling pass.
@@ -133,6 +214,10 @@ func (p *Profile) Edge(fn string, from, to int) int64 {
 type siteMeters struct {
 	stride predict.RateMeter
 	fcm    predict.RateMeter
+	last   predict.RateMeter
+	lnv    predict.RateMeter
+	vtage  predict.RateMeter
+	hybrid predict.RateMeter
 }
 
 // Collect runs the program once and gathers value and frequency profiles.
@@ -167,14 +252,27 @@ func Collect(prog *ir.Program, entry string, args ...uint64) (*Profile, error) {
 		k := LoadKey{Func: f.Name, OpID: op.ID}
 		s := sites[k]
 		if s == nil {
+			// Profiling meters every scheme of the zoo, whatever predictor
+			// the simulation will run with: cached profiles must be
+			// predictor-config-independent. The profiling VTAGE is a
+			// private per-site table — the profile measures each site's
+			// intrinsic predictability, not cross-site interference.
 			s = &siteMeters{
 				stride: predict.RateMeter{P: predict.NewStride()},
 				fcm:    predict.RateMeter{P: predict.NewFCM(predict.DefaultFCMOrder, predict.DefaultFCMTableBits)},
+				last:   predict.RateMeter{P: predict.NewLastValue()},
+				lnv:    predict.RateMeter{P: predict.NewLastN(predict.DefaultLNVDepth)},
+				vtage:  predict.RateMeter{P: predict.NewVTAGE(predict.DefaultVTAGEBits).Site(0)},
+				hybrid: predict.RateMeter{P: predict.NewHybrid(predict.DefaultFCMOrder, predict.DefaultFCMTableBits)},
 			}
 			sites[k] = s
 		}
 		s.stride.Observe(value)
 		s.fcm.Observe(value)
+		s.last.Observe(value)
+		s.lnv.Observe(value)
+		s.vtage.Observe(value)
+		s.hybrid.Observe(value)
 	}
 	if _, err := m.Run(entry, args...); err != nil {
 		return nil, fmt.Errorf("profile: %w", err)
@@ -185,6 +283,10 @@ func Collect(prog *ir.Program, entry string, args ...uint64) (*Profile, error) {
 			Count:      int64(s.stride.Total),
 			StrideRate: s.stride.Rate(),
 			FCMRate:    s.fcm.Rate(),
+			LastRate:   s.last.Rate(),
+			LNVRate:    s.lnv.Rate(),
+			VTAGERate:  s.vtage.Rate(),
+			HybridRate: s.hybrid.Rate(),
 		}
 	}
 	prof.DynOps = m.Steps
@@ -264,6 +366,10 @@ type OutcomeHooks struct {
 func StreamOutcomes(prog *ir.Program, sel *Selection, entry string, hooks OutcomeHooks, args ...uint64) error {
 	m := interp.New(prog)
 	preds := map[LoadKey]predict.Predictor{}
+	// VTAGE sites share one table per replay run, like the hardware they
+	// model; site IDs are assigned in first-execution order (deterministic
+	// for a deterministic program).
+	var vtage *predict.VTAGE
 	var stack []*openInstance
 
 	finalize := func(inst *openInstance) {
@@ -298,9 +404,21 @@ func StreamOutcomes(prog *ir.Program, sel *Selection, entry string, hooks Outcom
 		}
 		p := preds[k]
 		if p == nil {
-			if scheme == SchemeFCM {
+			switch scheme {
+			case SchemeFCM:
 				p = predict.NewFCM(predict.DefaultFCMOrder, predict.DefaultFCMTableBits)
-			} else {
+			case SchemeLast:
+				p = predict.NewLastValue()
+			case SchemeLNV:
+				p = predict.NewLastN(predict.DefaultLNVDepth)
+			case SchemeHybrid:
+				p = predict.NewHybrid(predict.DefaultFCMOrder, predict.DefaultFCMTableBits)
+			case SchemeVTAGE:
+				if vtage == nil {
+					vtage = predict.NewVTAGE(predict.DefaultVTAGEBits)
+				}
+				p = vtage.Site(len(preds))
+			default:
 				p = predict.NewStride()
 			}
 			preds[k] = p

@@ -285,3 +285,121 @@ func TestProfileRateAndBestAgree(t *testing.T) {
 		t.Errorf("tied rates chose %v (rate %v), want stride", lp.Best(), lp.Rate())
 	}
 }
+
+// TestSchemeNamesRoundTrip pins Scheme.String and SchemeByName as exact
+// inverses over the whole zoo, and SchemeByName's rejection of anything
+// else — the speculate pass and the CLIs both rely on the round trip.
+func TestSchemeNamesRoundTrip(t *testing.T) {
+	schemes := []profile.Scheme{
+		profile.SchemeStride, profile.SchemeFCM, profile.SchemeLast,
+		profile.SchemeLNV, profile.SchemeVTAGE, profile.SchemeHybrid,
+	}
+	seen := map[string]bool{}
+	for _, s := range schemes {
+		name := s.String()
+		if seen[name] {
+			t.Fatalf("duplicate scheme name %q", name)
+		}
+		seen[name] = true
+		got, ok := profile.SchemeByName(name)
+		if !ok || got != s {
+			t.Errorf("SchemeByName(%q) = %v, %v; want %v, true", name, got, ok, s)
+		}
+	}
+	for _, bad := range []string{"", "profiled", "auto", "tage", "STRIDE"} {
+		if _, ok := profile.SchemeByName(bad); ok {
+			t.Errorf("SchemeByName(%q) accepted a non-forceable name", bad)
+		}
+	}
+}
+
+// TestRateOfAndZooBest pins the zoo-wide argmax: RateOf must read the
+// matching meter, and ZooBest must break ties toward the paper's
+// families so "auto" degenerates to the legacy choice when the new
+// schemes don't strictly win.
+func TestRateOfAndZooBest(t *testing.T) {
+	lp := &profile.LoadProfile{
+		StrideRate: 0.5, FCMRate: 0.6, LastRate: 0.3,
+		LNVRate: 0.4, VTAGERate: 0.7, HybridRate: 0.6,
+	}
+	want := map[profile.Scheme]float64{
+		profile.SchemeStride: 0.5, profile.SchemeFCM: 0.6,
+		profile.SchemeLast: 0.3, profile.SchemeLNV: 0.4,
+		profile.SchemeVTAGE: 0.7, profile.SchemeHybrid: 0.6,
+	}
+	for s, r := range want {
+		if got := lp.RateOf(s); got != r {
+			t.Errorf("RateOf(%v) = %v, want %v", s, got, r)
+		}
+	}
+	if s, r := lp.ZooBest(); s != profile.SchemeVTAGE || r != 0.7 {
+		t.Errorf("ZooBest = %v, %v; want vtage, 0.7", s, r)
+	}
+	// A tie across every family must pick stride (zoo order head).
+	tie := &profile.LoadProfile{
+		StrideRate: 0.8, FCMRate: 0.8, LastRate: 0.8,
+		LNVRate: 0.8, VTAGERate: 0.8, HybridRate: 0.8,
+	}
+	if s, r := tie.ZooBest(); s != profile.SchemeStride || r != 0.8 {
+		t.Errorf("tied ZooBest = %v, %v; want stride, 0.8", s, r)
+	}
+	// The paper's pair beats an equal newcomer: fcm over vtage at 0.9.
+	legacy := &profile.LoadProfile{FCMRate: 0.9, VTAGERate: 0.9}
+	if s, _ := legacy.ZooBest(); s != profile.SchemeFCM {
+		t.Errorf("fcm/vtage tie broke to %v, want fcm", s)
+	}
+}
+
+// TestProfileCloneIsDeep pins Clone's independence contract: the
+// predictor-family ablation rescopes rates on a clone, and the shared
+// cached profile must never see it. Load and Edge are the accessors the
+// rescoring path reads through.
+func TestProfileCloneIsDeep(t *testing.T) {
+	src := `
+var a[8]
+func main() {
+	var s = 0
+	for var i = 0; i < 8; i = i + 1 {
+		a[i] = i
+	}
+	for var j = 0; j < 8; j = j + 1 {
+		s = s + a[j]
+	}
+	return s
+}
+`
+	prog := compile(t, src)
+	prof, err := profile.Collect(prog, "main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	loads := findLoads(prog.Funcs[0])
+	if len(loads) == 0 {
+		t.Fatal("kernel has no loads")
+	}
+	lp := prof.Load("main", loads[0].OpID)
+	if lp == nil {
+		t.Fatal("Load returned nil for an executed site")
+	}
+	clone := prof.Clone()
+	if clone.DynOps != prof.DynOps || len(clone.Loads) != len(prof.Loads) {
+		t.Fatalf("clone shape differs: %d/%d loads, %d/%d ops",
+			len(clone.Loads), len(prof.Loads), clone.DynOps, prof.DynOps)
+	}
+	clp := clone.Load("main", loads[0].OpID)
+	orig := lp.StrideRate
+	clp.StrideRate = -1
+	if lp.StrideRate != orig {
+		t.Error("mutating a cloned LoadProfile reached the original")
+	}
+	for k, v := range prof.EdgeFreq {
+		if clone.Edge(k.Func, k.From, k.To) != v {
+			t.Errorf("edge %v: clone %d != original %d", k, clone.Edge(k.Func, k.From, k.To), v)
+		}
+		clone.EdgeFreq[k] = v + 1
+		if prof.Edge(k.Func, k.From, k.To) != v {
+			t.Error("mutating a cloned edge count reached the original")
+		}
+		break
+	}
+}

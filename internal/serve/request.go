@@ -15,6 +15,7 @@ import (
 
 	"vliwvp/internal/machine"
 	"vliwvp/internal/obs"
+	"vliwvp/internal/predict"
 	"vliwvp/internal/workload"
 )
 
@@ -35,6 +36,11 @@ type Config struct {
 	// "" = flat). Like CCBCapacity it is sim-time only: cells differing
 	// only here share one compile.
 	Cache string `json:"cache,omitempty"`
+	// Predictor names a value-predictor config ("" = profiled): a stock
+	// scheme name (profiled, auto, last, stride, fcm, hybrid, lnv, vtage)
+	// with optional name:key=val options, e.g. "vtage:bits=12,conf=2".
+	// It affects site selection, so cells differing here compile apart.
+	Predictor string `json:"predictor,omitempty"`
 	// IfConvert enables Select-based if-conversion of small diamonds.
 	IfConvert bool `json:"if_convert,omitempty"`
 	// Regions enables profile-guided superblock formation.
@@ -285,6 +291,11 @@ func validateRequest(req *Request, b Budgets) (*runSpec, *Error) {
 		}
 		if machine.MemByName(c.Cache) == nil {
 			return nil, errf(400, "bad_request", "configs[%d]: unknown cache %q (stock: flat, l1, l1-pf, l2, l2-pf)", i, c.Cache)
+		}
+		if c.Predictor != "" {
+			if _, err := predict.Parse(c.Predictor); err != nil {
+				return nil, errf(400, "bad_request", "configs[%d]: %v", i, err)
+			}
 		}
 	}
 

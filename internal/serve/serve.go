@@ -42,6 +42,7 @@ import (
 	"vliwvp/internal/exp/cache"
 	"vliwvp/internal/machine"
 	"vliwvp/internal/obs"
+	"vliwvp/internal/predict"
 )
 
 // Server is one daemon instance. Create with New, mount Handler on an
@@ -321,6 +322,14 @@ func (s *Server) runnerFor(c cellSpec) *exp.Runner {
 	}
 	r.IfConvert = c.cfg.IfConvert
 	r.Regions = c.cfg.Regions
+	// The predictor knob affects site selection, so it belongs to the
+	// compile key; admission already validated the spec, so a parse error
+	// here is impossible and the nil fallback is just defensive.
+	if c.cfg.Predictor != "" {
+		if pc, err := predict.Parse(c.cfg.Predictor); err == nil {
+			r.Cfg.Predictor = pc
+		}
+	}
 	// CCBCapacity is sim-time only (BatchItem), deliberately not set here
 	// so cells differing only in CCB share one compile.
 	return r
@@ -374,6 +383,7 @@ func (s *Server) execute(w *worker, j *job) {
 			Args:        spec.args,
 			CCBCapacity: c.cfg.CCBCapacity,
 			Mem:         machine.MemByName(c.cfg.Cache),
+			Pred:        r.Cfg.Predictor,
 			MaxCycles:   spec.maxCycles,
 		}
 		sim := w.batch.SimFor(&item)

@@ -125,6 +125,8 @@ func TestBudgetRejections(t *testing.T) {
 		{"bad max_preds", mustJSON(t, Request{Seed: &seed, Configs: []Config{{MaxPreds: 99}}}), 400, "bad_request"},
 		{"bad ccb", mustJSON(t, Request{Seed: &seed, Configs: []Config{{CCBCapacity: 1 << 20}}}), 400, "bad_request"},
 		{"bad cache", mustJSON(t, Request{Seed: &seed, Configs: []Config{{Cache: "l9"}}}), 400, "bad_request"},
+		{"bad predictor", mustJSON(t, Request{Seed: &seed, Configs: []Config{{Predictor: "magic8ball"}}}), 400, "bad_request"},
+		{"bad predictor option", mustJSON(t, Request{Seed: &seed, Configs: []Config{{Predictor: "vtage:bits=99"}}}), 400, "bad_request"},
 		{"bad entry", mustJSON(t, Request{Seed: &seed, Entry: "1abc"}), 400, "bad_request"},
 		{"too many args", mustJSON(t, Request{Seed: &seed, Args: []uint64{1, 2, 3}}), 400, "bad_request"},
 		{"negative max_cycles", mustJSON(t, Request{Seed: &seed, MaxCycles: -1}), 400, "bad_request"},
@@ -304,6 +306,49 @@ func main() {
 	}
 	if n := flat.Stats.Counters["mem.dmisses"]; n != 0 {
 		t.Errorf("flat cell reports %d D-cache misses, want 0", n)
+	}
+}
+
+// TestRunPredictorGrid pins the predictor knob's wire contract: cells
+// differing in predictor compile apart but stay architecturally
+// identical, and a gated config surfaces the confidence-gate counters in
+// its stats snapshot while the default config reports none.
+func TestRunPredictorGrid(t *testing.T) {
+	s := newTestServer(t, Budgets{Workers: 1})
+	rec := post(s, "/v1/run", mustJSON(t, Request{
+		Benchmark:    "compress",
+		Configs:      []Config{{}, {Predictor: "vtage:conf=2"}},
+		IncludeStats: true,
+	}))
+	if rec.Code != 200 {
+		t.Fatalf("status = %d: %s", rec.Code, rec.Body.String())
+	}
+	var resp RunResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Cells) != 2 {
+		t.Fatalf("got %d cells, want 2", len(resp.Cells))
+	}
+	plain, gated := resp.Cells[0], resp.Cells[1]
+	if plain.Error != "" || gated.Error != "" {
+		t.Fatalf("cell errors: %q / %q", plain.Error, gated.Error)
+	}
+	if plain.Value != gated.Value {
+		t.Errorf("predictor changed the architectural result: plain %d, gated %d", plain.Value, gated.Value)
+	}
+	if plain.Predictions == 0 || gated.Predictions == 0 {
+		t.Fatalf("a cell never predicted (plain %d, gated %d): the knob went untested",
+			plain.Predictions, gated.Predictions)
+	}
+	if plain.Stats == nil || gated.Stats == nil {
+		t.Fatal("include_stats set but stats missing")
+	}
+	if n := gated.Stats.Counters["pred.suppressed"]; n == 0 {
+		t.Error("gated cell reports zero suppressed issues at conf=2")
+	}
+	if n := plain.Stats.Counters["pred.suppressed"]; n != 0 {
+		t.Errorf("ungated cell reports %d suppressed issues, want 0", n)
 	}
 }
 

@@ -26,6 +26,7 @@ import (
 	"vliwvp/internal/ddg"
 	"vliwvp/internal/ir"
 	"vliwvp/internal/machine"
+	"vliwvp/internal/predict"
 	"vliwvp/internal/profile"
 )
 
@@ -55,6 +56,30 @@ type Config struct {
 	Slack int
 	// MinCount ignores loads executed fewer times in the profile (noise).
 	MinCount int64
+	// Predictor selects the value-prediction scheme per site. Nil (or
+	// scheme "profiled") keeps the paper's policy: each site gets the
+	// better of stride and FCM from the profile. Scheme "auto" takes the
+	// zoo-wide profiled argmax per site; any other stock scheme forces
+	// that family on every site, gated by its own profiled rate against
+	// Threshold. The config also carries the runtime confidence-gating
+	// parameters the engine consumes.
+	Predictor *predict.Config
+}
+
+// siteRate applies the configured scheme policy to one profiled load,
+// returning the rate that competes against Threshold and the scheme the
+// site would run with.
+func siteRate(lp *profile.LoadProfile, cfg *Config) (float64, profile.Scheme) {
+	switch cfg.Predictor.SchemeName() {
+	case "profiled":
+		return lp.Rate(), lp.Best()
+	case "auto":
+		s, r := lp.ZooBest()
+		return r, s
+	default:
+		s, _ := profile.SchemeByName(cfg.Predictor.SchemeName())
+		return lp.RateOf(s), s
+	}
 }
 
 // DefaultConfig returns the paper's experimental settings on the given
@@ -112,6 +137,9 @@ type Result struct {
 func Transform(prog *ir.Program, prof *profile.Profile, cfg Config) (*Result, error) {
 	if cfg.Machine == nil {
 		return nil, fmt.Errorf("speculate: Config.Machine is required")
+	}
+	if err := cfg.Predictor.Validate(); err != nil {
+		return nil, fmt.Errorf("speculate: %w", err)
 	}
 	if cfg.Threshold <= 0 {
 		cfg.Threshold = 0.65
@@ -440,7 +468,11 @@ func selectCandidates(f *ir.Func, b *ir.Block, g *ddg.Graph,
 			continue
 		}
 		lp := prof.Load(f.Name, op.ID)
-		if lp == nil || lp.Count < cfg.MinCount || lp.Rate() < cfg.Threshold {
+		if lp == nil || lp.Count < cfg.MinCount {
+			continue
+		}
+		rate, scheme := siteRate(lp, &cfg)
+		if rate < cfg.Threshold {
 			continue
 		}
 		if cfg.CriticalOnly &&
@@ -452,7 +484,7 @@ func selectCandidates(f *ir.Func, b *ir.Block, g *ddg.Graph,
 			continue
 		}
 		cands = append(cands, candidate{
-			node: i, op: op, rate: lp.Rate(), scheme: lp.Best(), height: node.Height,
+			node: i, op: op, rate: rate, scheme: scheme, height: node.Height,
 		})
 	}
 	sort.SliceStable(cands, func(i, j int) bool { return cands[i].height > cands[j].height })

@@ -175,7 +175,12 @@ type SimResult struct {
 	// Prediction activity (zero for unspeculated programs).
 	Predictions int64
 	Mispredicts int64
-	CCEExecuted int64
+	// Suppressed and SuppressedWrong count issues the runtime confidence
+	// gate held back (zero unless the system's predictor config enables
+	// gating with a conf= threshold).
+	Suppressed      int64
+	SuppressedWrong int64
+	CCEExecuted     int64
 	CCEFlushed  int64
 	StallSync   int64
 	// MaxCCBOccupancy is the peak in-flight Compensation Code Buffer depth.
@@ -234,6 +239,8 @@ func simulate(s *System, prog *ir.Program, schemes map[int]profile.Scheme) (*Sim
 		Ops:             sim.Ops,
 		Predictions:     sim.Predictions,
 		Mispredicts:     sim.Mispredicts,
+		Suppressed:      sim.Suppressed,
+		SuppressedWrong: sim.SuppressedWrong,
 		CCEExecuted:     sim.CCEExecuted,
 		CCEFlushed:      sim.CCEFlushed,
 		StallSync:       sim.StallSync,
