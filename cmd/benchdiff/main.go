@@ -139,6 +139,18 @@ func main() {
 					cached.Name, "cycles", cached.Cycles, dec.Cycles))
 			}
 		}
+		if br := now.Entry("sim/branch-grid"); br != nil {
+			if br.AllocsPerOp != 0 {
+				fails = append(fails, fmt.Sprintf(
+					"FAIL %-22s %-14s %12d allocs (branch predictor must not break steady-state pooling)",
+					br.Name, "allocs_per_op", br.AllocsPerOp))
+			}
+			if br.Cycles <= dec.Cycles {
+				fails = append(fails, fmt.Sprintf(
+					"FAIL %-22s %-14s %12d cycles not above flat grid %d (control speculation charged nothing)",
+					br.Name, "cycles", br.Cycles, dec.Cycles))
+			}
+		}
 		if leg := now.Entry("sim/legacy-grid"); leg != nil && *engineSpeedup > 0 && dec.WallNS > 0 {
 			ratio := float64(leg.WallNS) / float64(dec.WallNS)
 			if ratio < *engineSpeedup {

@@ -197,6 +197,7 @@ func cmdSim(args []string) error {
 	serial := fs.Bool("serial", false, "use the [4]-style serial-recovery machine (implies -spec, -bench only)")
 	cache := fs.String("cache", "", "memory hierarchy: flat, l1, l1-pf, l2, l2-pf (default flat)")
 	predSpec := fs.String("predictor", "", "value-predictor config: profiled, auto, last, stride, fcm, hybrid, lnv, vtage, with name:key=val options (e.g. vtage:bits=12,conf=2)")
+	branchSpec := fs.String("branch", "", "branch-predictor config: taken, nottaken, bimodal, tage, with name:key=val options (e.g. tage:hist=32,tables=4)")
 	bench := fs.String("bench", "", "built-in benchmark name")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -217,6 +218,14 @@ func cmdSim(args []string) error {
 			return fmt.Errorf("bad -predictor (stock: %s): %w", strings.Join(predict.StockNames(), ", "), err)
 		}
 		sys.Config.Predictor = pc
+	}
+	if *branchSpec != "" {
+		bc, err := predict.ParseBranch(*branchSpec)
+		if err != nil {
+			return fmt.Errorf("bad -branch (stock: %s): %w", strings.Join(predict.StockBranchNames(), ", "), err)
+		}
+		sys.Config.Control = machine.DefaultControl()
+		sys.Config.Control.Branch = bc
 	}
 	if *serial {
 		if *bench == "" {
@@ -286,6 +295,11 @@ func cmdSim(args []string) error {
 	if res.Suppressed > 0 {
 		fmt.Printf("confidence gate: %d suppressed (%d would have been wrong)\n",
 			res.Suppressed, res.SuppressedWrong)
+	}
+	if res.BranchPredicts > 0 {
+		fmt.Printf("branch predictor (%s): %d lookups  %d mispredicts  %d in-flight flushes  %d redirect stalls\n",
+			sys.Config.Control.Branch.Key(), res.BranchPredicts, res.BranchMispredicts,
+			res.BranchFlushed, res.StallRedirect)
 	}
 	if !sys.Mem.Flat() {
 		fmt.Printf("memory (%s): D-misses: %d  I-misses: %d  fetch stalls: %d  prefetches: %d (%d useful)\n",

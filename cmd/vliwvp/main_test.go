@@ -1,0 +1,183 @@
+package main
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"vliwvp/internal/workload"
+)
+
+// capture runs a subcommand with os.Stdout redirected and returns what
+// it printed, failing the test if the command errors.
+func capture(t *testing.T, fn func() error) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	cmdErr := fn()
+	w.Close()
+	os.Stdout = old
+	out, err := io.ReadAll(r)
+	r.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmdErr != nil {
+		t.Fatalf("command failed: %v\noutput:\n%s", cmdErr, out)
+	}
+	return string(out)
+}
+
+func TestCmdRunBench(t *testing.T) {
+	out := capture(t, func() error { return cmdRun([]string{"-bench", "li"}) })
+	if !strings.Contains(out, "result: 2118471") {
+		t.Errorf("unexpected run output:\n%s", out)
+	}
+}
+
+func TestCmdRunSourceFile(t *testing.T) {
+	b := workload.ByName("li")
+	if b == nil {
+		t.Fatal("benchmark li missing")
+	}
+	path := filepath.Join(t.TempDir(), "li.vl")
+	if err := os.WriteFile(path, []byte(b.Source), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := capture(t, func() error { return cmdRun([]string{path}) })
+	if !strings.Contains(out, "result: 2118471") {
+		t.Errorf("unexpected run output:\n%s", out)
+	}
+}
+
+func TestCmdSimBranch(t *testing.T) {
+	out := capture(t, func() error {
+		return cmdSim([]string{"-bench", "li", "-spec", "-branch", "tage"})
+	})
+	// The simulated result must match the interpreter's, and binding a
+	// dynamic branch predictor must surface its counter line.
+	for _, want := range []string{
+		"result: 2118471",
+		"predictions:",
+		"branch predictor (tage):",
+		"redirect stalls",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("sim output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCmdSimPlain(t *testing.T) {
+	out := capture(t, func() error { return cmdSim([]string{"-bench", "li"}) })
+	if !strings.Contains(out, "cycles:") {
+		t.Errorf("sim output missing cycle line:\n%s", out)
+	}
+	if strings.Contains(out, "branch predictor") {
+		t.Errorf("static control must not print branch counters:\n%s", out)
+	}
+}
+
+func TestCmdSimCachePredictor(t *testing.T) {
+	out := capture(t, func() error {
+		return cmdSim([]string{"-bench", "li", "-spec", "-cache", "l1",
+			"-predictor", "vtage:conf=2", "-ifconv", "-regions"})
+	})
+	if !strings.Contains(out, "memory (l1):") {
+		t.Errorf("sim output missing memory line:\n%s", out)
+	}
+}
+
+func TestCmdSimSerial(t *testing.T) {
+	out := capture(t, func() error {
+		return cmdSim([]string{"-bench", "li", "-serial"})
+	})
+	if !strings.Contains(out, "serial-recovery machine [4]:") {
+		t.Errorf("sim output missing serial summary:\n%s", out)
+	}
+}
+
+func TestCmdSimErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"unknown machine", []string{"-mach", "7-wide", "-bench", "li"}, "unknown machine"},
+		{"unknown cache", []string{"-cache", "bogus", "-bench", "li"}, "unknown cache"},
+		{"bad predictor", []string{"-predictor", "bogus", "-bench", "li"}, "bad -predictor"},
+		{"bad branch", []string{"-branch", "gshare", "-bench", "li"}, "bad -branch"},
+		{"serial needs bench", []string{"-serial"}, "-serial requires -bench"},
+		{"serial unknown bench", []string{"-serial", "-bench", "nope"}, "unknown benchmark"},
+		{"no source", nil, "need exactly one source file"},
+		{"missing file", []string{"no-such-file.vl"}, "no-such-file.vl"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := cmdSim(tc.args)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("cmdSim(%q) = %v, want error containing %q", tc.args, err, tc.want)
+			}
+		})
+	}
+}
+
+func TestCmdProfile(t *testing.T) {
+	out := capture(t, func() error { return cmdProfile([]string{"-bench", "li"}) })
+	if !strings.Contains(out, "stride") || !strings.Contains(out, "executions") {
+		t.Errorf("profile output missing header:\n%s", out)
+	}
+}
+
+func TestCmdCompile(t *testing.T) {
+	out := capture(t, func() error {
+		return cmdCompile([]string{"-bench", "li", "-sched"})
+	})
+	if !strings.Contains(out, "schedule") {
+		t.Errorf("compile -sched output missing schedules:\n%s", out)
+	}
+
+	for _, tc := range []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"unknown bench", []string{"-bench", "nope"}, "unknown benchmark"},
+		{"unknown machine", []string{"-bench", "li", "-sched", "-mach", "bogus"}, "unknown machine"},
+		{"no source", nil, "need exactly one source file"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			err := cmdCompile(tc.args)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("cmdCompile(%q) = %v, want error containing %q", tc.args, err, tc.want)
+			}
+		})
+	}
+}
+
+func TestCmdBench(t *testing.T) {
+	out := capture(t, func() error { return cmdBench([]string{"-list"}) })
+	for _, want := range []string{"compress", "li", "m88ksim"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("bench -list missing %q:\n%s", want, out)
+		}
+	}
+	if err := cmdBench(nil); err == nil {
+		t.Error("cmdBench with no flags should error")
+	}
+}
+
+func TestLoadProgramErrors(t *testing.T) {
+	if err := cmdRun([]string{"no-such-file.vl"}); err == nil {
+		t.Error("cmdRun on a missing file should error")
+	}
+	if err := cmdRun(nil); err == nil {
+		t.Error("cmdRun with no source should error")
+	}
+}

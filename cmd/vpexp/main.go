@@ -6,9 +6,9 @@
 // Usage:
 //
 //	vpexp -exp table2|table3|table4|fig8|baseline|speedup|all [-mach 4-wide] [-j N]
-//	vpexp -exp threshold|predictors|ccb|regions|hyperblocks|disambig|memory|ablations
+//	vpexp -exp threshold|predictors|ccb|regions|hyperblocks|disambig|memory|combined|ablations
 //	vpexp -oracle [-mach 4-wide] [-j N]
-//	vpexp -sim compress [-cache l2-pf] [-predictor vtage:conf=2] [-trace t.jsonl] [-stats-json m.json]
+//	vpexp -sim compress [-cache l2-pf] [-predictor vtage:conf=2] [-branch tage] [-trace t.jsonl] [-stats-json m.json]
 //	vpexp -bench-json BENCH.json [-bench-count 5]
 //	vpexp -conform [-progen-seed 1] [-progen-count 200] [-j N]
 //	vpexp -progen-seed 17 -progen-count 2
@@ -54,6 +54,15 @@
 // confidence gate. `-exp predictors` sweeps the whole zoo in one grid
 // alongside the static profile-rescoping ablation.
 //
+// -branch binds a dynamic branch-direction predictor (internal/predict:
+// taken, nottaken, bimodal, tage, with name:key=val options such as
+// tage:hist=32,tables=4) to every simulation this invocation runs; taken
+// branches then cost a fetch-redirect bubble and mispredicted directions
+// pay the flush penalty and squash in-flight LdPred/CCB state (DESIGN.md
+// §15). `-exp combined` crosses the branch-predictor axis against the
+// value-predictor axis in one table — the unified control+value
+// speculation ablation (E16).
+//
 // Three flags expose the compile pipeline itself: -passes prints the pass
 // plans the current configuration composes (with each pass's cache-key
 // fingerprint) and exits; -validate-ir checks the IR between every pass
@@ -87,10 +96,11 @@ import (
 
 func main() {
 	which := flag.String("exp", "all", "experiment: table2, table3, table4, fig8, baseline, speedup, all, "+
-		"or an ablation: threshold, predictors, ccb, regions, disambig, memory, ablations")
+		"or an ablation: threshold, predictors, ccb, regions, disambig, memory, combined, ablations")
 	mach := flag.String("mach", "4-wide", "machine description for single-width experiments")
 	cacheName := flag.String("cache", "", "memory hierarchy for simulations: flat, l1, l1-pf, l2, l2-pf (default flat)")
 	predSpec := flag.String("predictor", "", "value-predictor config for simulations: profiled, auto, last, stride, fcm, hybrid, lnv, vtage, with name:key=val options (e.g. vtage:bits=12,conf=2)")
+	branchSpec := flag.String("branch", "", "branch-predictor config for simulations: taken, nottaken, bimodal, tage, with name:key=val options (e.g. tage:hist=32,tables=4)")
 	jobs := flag.Int("j", runtime.NumCPU(), "max concurrent experiment cells (tables are identical at any value)")
 	oracleMode := flag.Bool("oracle", false, "differentially test the simulator against the interpreter and exit")
 	simBench := flag.String("sim", "", "run one benchmark on the speculative dual-engine machine (observability mode)")
@@ -129,12 +139,25 @@ func main() {
 			os.Exit(2)
 		}
 	}
+	var branchCfg *predict.BranchConfig
+	if *branchSpec != "" {
+		var err error
+		if branchCfg, err = predict.ParseBranch(*branchSpec); err != nil {
+			fmt.Fprintf(os.Stderr, "vpexp: bad -branch (stock: %s): %v\n",
+				strings.Join(predict.StockBranchNames(), ", "), err)
+			os.Exit(2)
+		}
+	}
 
 	// tune applies the pipeline-debugging flags, the memory hierarchy, and
 	// the predictor config to every runner this invocation constructs.
 	tune := func(r *exp.Runner) {
 		r.Mem = memCfg
 		r.Cfg.Predictor = predCfg
+		if branchCfg != nil {
+			r.Cfg.Control = machine.DefaultControl()
+			r.Cfg.Control.Branch = branchCfg
+		}
 		r.ValidateIR = *validateIR
 		if *dumpIR != "" {
 			dump, err := irDumper(*dumpIR)
@@ -303,6 +326,7 @@ func main() {
 	runAblation("hyperblocks", exp2(exp.RenderHyperblockMatrix))
 	runAblation("disambig", exp2(exp.RenderDisambiguationAblation))
 	runAblation("memory", exp2(exp.RenderMemLatAblation))
+	runAblation("combined", exp2(exp.RenderCombined))
 
 	if !matched {
 		fmt.Fprintf(os.Stderr, "vpexp: unknown experiment %q\n", *which)
@@ -446,6 +470,11 @@ func runSim(d *machine.Desc, tune func(*exp.Runner), bench, traceFile, traceForm
 	fmt.Printf("sim %s on %s: result=%d cycles=%d instrs=%d preds=%d mispred=%d cce=%d flush=%d\n",
 		bench, d.Name, v, sim.Cycles, sim.Instrs,
 		sim.Predictions, sim.Mispredicts, sim.CCEExecuted, sim.CCEFlushed)
+	if sim.Control.Dynamic() {
+		fmt.Printf("branch %s: predicts=%d mispred=%d flushed=%d stall-redirect=%d\n",
+			sim.Control.Branch.Key(), sim.BranchPredicts, sim.BranchMispredicts,
+			sim.BranchFlushed, sim.StallRedirect)
+	}
 	if !sim.MemCfg.Flat() {
 		fmt.Printf("mem %s: dhits=%d dmisses=%d imisses=%d stall-ifetch=%d pf-issued=%d pf-useful=%d\n",
 			sim.MemCfg.Name, sim.DHits, sim.DMisses, sim.IMisses,

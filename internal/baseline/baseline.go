@@ -22,16 +22,12 @@ import (
 	"vliwvp/internal/speculate"
 )
 
-// Config parameterizes the baseline machine.
-type Config struct {
-	// BranchPenalty is the cost in cycles of each taken control transfer
-	// into and out of a compensation block.
-	BranchPenalty int
-}
-
 // DefaultConfig uses a one-cycle taken-branch penalty (charitable to the
-// baseline; the paper's critique holds even so).
-func DefaultConfig() Config { return Config{BranchPenalty: 1} }
+// baseline; the paper's critique holds even so). The baseline machine is
+// parameterized by the shared machine.ControlConfig: BranchPenalty is the
+// cost in cycles of each taken control transfer into and out of a
+// compensation block.
+func DefaultConfig() machine.ControlConfig { return machine.DefaultControl() }
 
 // BlockModel is the baseline timing of one speculated block.
 type BlockModel struct {
@@ -48,7 +44,7 @@ type BlockModel struct {
 
 // Model is the baseline view of a transformed program.
 type Model struct {
-	Cfg    Config
+	Ctrl   machine.ControlConfig
 	D      *machine.Desc
 	Blocks map[profile.BlockKey]*BlockModel
 }
@@ -56,8 +52,8 @@ type Model struct {
 // Build derives the baseline model from the speculation pass's output: the
 // same transformed blocks, plus one statically scheduled recovery block per
 // prediction site containing the operations speculated on that site.
-func Build(res *speculate.Result, d *machine.Desc, opts ddg.Options, cfg Config) (*Model, error) {
-	m := &Model{Cfg: cfg, D: d, Blocks: map[profile.BlockKey]*BlockModel{}}
+func Build(res *speculate.Result, d *machine.Desc, opts ddg.Options, ctrl machine.ControlConfig) (*Model, error) {
+	m := &Model{Ctrl: ctrl, D: d, Blocks: map[profile.BlockKey]*BlockModel{}}
 	for bk := range res.Blocks {
 		f := res.Prog.Func(bk.Func)
 		b := f.Blocks[bk.Block]
@@ -139,7 +135,7 @@ func (m *Model) CompCycles(bk profile.BlockKey, mask uint32) int {
 	for wrong != 0 {
 		li := bits.TrailingZeros32(wrong)
 		wrong &^= 1 << uint(li)
-		cycles += 2*m.Cfg.BranchPenalty + bm.RecoveryLen[li]
+		cycles += 2*m.Ctrl.BranchPenalty + bm.RecoveryLen[li]
 	}
 	return cycles
 }

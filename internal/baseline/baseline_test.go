@@ -113,7 +113,7 @@ func TestMispredictionsSerializeInBaseline(t *testing.T) {
 		}
 		// The baseline pays branch penalties per misprediction on top of
 		// the serial recovery blocks.
-		wantMin := bm.SpecLen + 2*m.Cfg.BranchPenalty + 1
+		wantMin := bm.SpecLen + 2*m.Ctrl.BranchPenalty + 1
 		if worstBase < wantMin {
 			t.Errorf("%v: baseline worst %d below minimum %d", bk, worstBase, wantMin)
 		}

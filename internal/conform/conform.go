@@ -61,7 +61,11 @@ type Cell struct {
 	CCBCapacity    int     // 0 = simulator default
 	Threshold      float64 // 0 = speculation default
 	SerialRecovery bool
-	BranchPenalty  int
+	// Ctrl is the control-speculation model: the serial-recovery branch
+	// penalty plus, when Ctrl.Branch is set, the modeled direction
+	// predictor with its redirect/flush latencies. The zero value is the
+	// pre-ControlConfig machine (free branches, no predictor).
+	Ctrl machine.ControlConfig
 	// Mem selects the memory-hierarchy model (nil = flat fixed-latency
 	// loads). Sim-time-only: it never reaches the compile side, so cells
 	// differing only in Mem share one CellPipeline.
@@ -87,7 +91,7 @@ func DefaultLattice() []Cell {
 		{Name: "w4-ccb1", D: machine.W4, CCBCapacity: 1},
 		{Name: "w8-dual", D: machine.W8},
 		{Name: "w4-thresh50", D: machine.W4, Threshold: 0.5},
-		{Name: "w4-serial", D: machine.W4, SerialRecovery: true, BranchPenalty: 1},
+		{Name: "w4-serial", D: machine.W4, SerialRecovery: true, Ctrl: machine.DefaultControl()},
 		{Name: "w8-serial-bp0", D: machine.W8, SerialRecovery: true},
 	}
 }
@@ -105,7 +109,7 @@ func MemLattice() []Cell {
 	}
 	cells = append(cells,
 		Cell{Name: "w4-mem-l1pf-ccb4", D: machine.W4, CCBCapacity: 4, Mem: machine.MemL1PF},
-		Cell{Name: "w4-mem-l2-serial", D: machine.W4, SerialRecovery: true, BranchPenalty: 1, Mem: machine.MemL2},
+		Cell{Name: "w4-mem-l2-serial", D: machine.W4, SerialRecovery: true, Ctrl: machine.DefaultControl(), Mem: machine.MemL2},
 	)
 	return cells
 }
@@ -143,7 +147,56 @@ func PredLattice() []Cell {
 	}
 	cells = append(cells,
 		Cell{Name: "w4-pred-vtage-tiny", D: machine.W4, Pred: tiny},
-		Cell{Name: "w4-pred-serial-gated", D: machine.W4, SerialRecovery: true, BranchPenalty: 1, Pred: serial},
+		Cell{Name: "w4-pred-serial-gated", D: machine.W4, SerialRecovery: true, Ctrl: machine.DefaultControl(), Pred: serial},
+	)
+	return cells
+}
+
+// BranchLattice spans the control-speculation axis at a fixed 4-wide
+// machine: every stock branch scheme (static and dynamic), a small
+// alias-prone TAGE with non-default latencies, branch prediction under
+// serial recovery, under value-confidence gating, and under CCB pressure,
+// plus the predictor-less cell whose branch counters must stay zero. The
+// mispredict flush is conservative by construction, so architectural
+// results must match the interpreter on every cell — only cycles and
+// accounting may move.
+func BranchLattice() []Cell {
+	mk := func(spec string) *predict.BranchConfig {
+		c, err := predict.ParseBranch(spec)
+		if err != nil {
+			panic(err) // stock specs always parse
+		}
+		return c
+	}
+	gated, err := predict.Parse("profiled:conf=1,cbits=2")
+	if err != nil {
+		panic(err)
+	}
+	cells := []Cell{{Name: "w4-branch-nil", D: machine.W4}}
+	for _, name := range predict.StockBranchNames() {
+		cells = append(cells, Cell{Name: "w4-branch-" + name, D: machine.W4,
+			Ctrl: machine.ControlConfig{Branch: mk(name)}})
+	}
+	cells = append(cells,
+		Cell{Name: "w4-branch-tage-small", D: machine.W4,
+			Ctrl: machine.ControlConfig{Branch: mk("tage:bits=4,hist=8,tables=2"), Flush: 6, Redirect: 2}},
+		Cell{Name: "w4-branch-bimodal-serial", D: machine.W4, SerialRecovery: true,
+			Ctrl: machine.ControlConfig{BranchPenalty: 1, Branch: mk("bimodal:bits=4")}},
+		Cell{Name: "w4-branch-tage-gated", D: machine.W4, Pred: gated,
+			Ctrl: machine.ControlConfig{Branch: mk("tage")}},
+		Cell{Name: "w4-branch-taken-ccb2", D: machine.W4, CCBCapacity: 2,
+			Ctrl: machine.ControlConfig{Branch: mk("taken")}},
+		// Memory-hierarchy cells: with a flat fixed-latency memory every
+		// check resolves within a couple of cycles of issue, so the
+		// mispredict flush window is empty and flush semantics go
+		// unexercised. Cache misses keep checks in flight across block
+		// boundaries — these cells are what give the flush path teeth.
+		Cell{Name: "w4-branch-tage-mem-l2", D: machine.W4, Mem: machine.MemL2,
+			Ctrl: machine.ControlConfig{Branch: mk("tage")}},
+		Cell{Name: "w4-branch-bimodal-mem-l1", D: machine.W4, Mem: machine.MemL1,
+			Ctrl: machine.ControlConfig{Branch: mk("bimodal")}},
+		Cell{Name: "w4-branch-nottaken-mem-l2pf", D: machine.W4, Mem: machine.MemL2PF,
+			Ctrl: machine.ControlConfig{Branch: mk("nottaken"), Flush: 5}},
 	)
 	return cells
 }
@@ -215,6 +268,10 @@ type Stats struct {
 	MemMisses     int64 // demand misses across every cached cell
 	MemIMisses    int64 // instruction-cache misses
 	MemPrefetches int64 // prefetcher line fills issued
+	// Control-speculation coverage (nonzero only under a branch lattice).
+	BranchPredicts    int64 // conditional branches the direction predictor called
+	BranchMispredicts int64 // of those, called wrong
+	BranchFlushed     int64 // in-flight sites and buffered CCB entries flushed by branch mispredicts
 }
 
 func (s *Stats) add(o Stats) {
@@ -232,6 +289,9 @@ func (s *Stats) add(o Stats) {
 	s.MemMisses += o.MemMisses
 	s.MemIMisses += o.MemIMisses
 	s.MemPrefetches += o.MemPrefetches
+	s.BranchPredicts += o.BranchPredicts
+	s.BranchMispredicts += o.BranchMispredicts
+	s.BranchFlushed += o.BranchFlushed
 }
 
 // Run checks n consecutive seeds starting at startSeed, fanning across
@@ -351,6 +411,7 @@ func checkSpec(spec progen.Spec, opt Options) (*Failure, Stats, error) {
 func transform(prog *ir.Program, prof *profile.Profile, cell Cell) (*speculate.Result, map[int]profile.Scheme, error) {
 	cfg := speculate.DefaultConfig(cell.D)
 	cfg.Predictor = cell.Pred
+	cfg.Control = cell.Ctrl
 	if cell.Threshold > 0 {
 		cfg.Threshold = cell.Threshold
 	}
@@ -420,16 +481,24 @@ func PrepareCell(prog *ir.Program, prof *profile.Profile, cell Cell) (*CellPipel
 	return &CellPipeline{Spec: res, Img: img, Schemes: schemes}, nil
 }
 
-// NewSim binds a fresh decoded-engine simulator to the compiled cell.
-func (cp *CellPipeline) NewSim(cell Cell) *core.Simulator {
-	sim := core.NewSimulatorFromImage(cp.Img, cp.Schemes)
+// applyCell copies a cell's runtime knobs onto a freshly built simulator —
+// the single place the Cell→Simulator wiring lives (NewSim and buildSim
+// both route through it, so a new knob cannot be wired into one and
+// forgotten in the other).
+func applyCell(sim *core.Simulator, cell Cell) {
 	if cell.CCBCapacity > 0 {
 		sim.CCBCapacity = cell.CCBCapacity
 	}
 	sim.SerialRecovery = cell.SerialRecovery
-	sim.BranchPenalty = cell.BranchPenalty
+	sim.Control = cell.Ctrl
 	sim.MemCfg = cell.Mem
 	sim.PredCfg = cell.Pred
+}
+
+// NewSim binds a fresh decoded-engine simulator to the compiled cell.
+func (cp *CellPipeline) NewSim(cell Cell) *core.Simulator {
+	sim := core.NewSimulatorFromImage(cp.Img, cp.Schemes)
+	applyCell(sim, cell)
 	return sim
 }
 
@@ -441,13 +510,7 @@ func buildSim(res *speculate.Result, schemes map[int]profile.Scheme, cell Cell, 
 		return nil, err
 	}
 	sim := core.NewSimulatorFromImage(img, schemes)
-	if cell.CCBCapacity > 0 {
-		sim.CCBCapacity = cell.CCBCapacity
-	}
-	sim.SerialRecovery = cell.SerialRecovery
-	sim.BranchPenalty = cell.BranchPenalty
-	sim.MemCfg = cell.Mem
-	sim.PredCfg = cell.Pred
+	applyCell(sim, cell)
 	if opt.Tamper != nil {
 		opt.Tamper(sim)
 	}
@@ -503,7 +566,7 @@ func checkCell(prog *ir.Program, prof *profile.Profile, ref *refResult, cell Cel
 	// replay entirely and must NOT install the recorder: the recorder's
 	// inner predictor would bypass the forced scheme, and the axis exists
 	// to run the real zoo predictors end to end.
-	replayable := cell.Pred == nil
+	replayable := cell.Pred == nil && !cell.Ctrl.Dynamic()
 	logs := map[int][]uint64{}
 	recIDs := map[*predict.Recorder]int{}
 	if replayable {
@@ -543,6 +606,9 @@ func checkCell(prog *ir.Program, prof *profile.Profile, ref *refResult, cell Cel
 	stats.MemMisses += sim.DMisses
 	stats.MemIMisses += sim.IMisses
 	stats.MemPrefetches += sim.PrefIssued
+	stats.BranchPredicts += sim.BranchPredicts
+	stats.BranchMispredicts += sim.BranchMispredicts
+	stats.BranchFlushed += sim.BranchFlushed
 
 	// Invariant 1: architectural conformance.
 	if d := archDiff(ref, v, sim); d != "" {
@@ -759,12 +825,15 @@ func (c *countSink) diff(sim *core.Simulator, cell Cell) string {
 		{"incorrect gated resolves vs SuppressedWrong", c.gatedBad, sim.SuppressedWrong},
 		{"cce-flush events vs CCEFlushed", k(obs.KindCCEFlush), sim.CCEFlushed},
 		{"cce-execute events vs CCEExecuted", k(obs.KindCCEExecute), sim.CCEExecuted},
-		{"ccb captures vs flushed+executed", k(obs.KindBufferCCB), sim.CCEFlushed + sim.CCEExecuted},
+		{"ccb captures vs flushed+executed+squashed", k(obs.KindBufferCCB),
+			sim.CCEFlushed + sim.CCEExecuted + sim.BranchSquashed},
 		{"stall.sync events vs StallSync", k(obs.KindStallSync), sim.StallSync},
 		{"stall.scoreboard events vs StallScore", k(obs.KindStallScore), sim.StallScore},
 		{"stall.ccb events vs StallCCB", k(obs.KindStallCCB), sim.StallCCB},
 		{"stall.barrier events vs StallBar", k(obs.KindStallBarrier), sim.StallBar},
 		{"instr-issue events vs Instrs", k(obs.KindInstrIssue), sim.Instrs},
+		{"branch-mispredict events vs BranchMispredicts", k(obs.KindBranchMispredict), sim.BranchMispredicts},
+		{"branch-flush events vs BranchFlushed", k(obs.KindBranchFlush), sim.BranchFlushed},
 		{"stall.ifetch events vs StallIFetch", k(obs.KindStallIFetch), sim.StallIFetch},
 		{"mem-hit events vs DHits", k(obs.KindMemHit), sim.DHits},
 		{"mem-miss events vs DMisses", k(obs.KindMemMiss), sim.DMisses},
@@ -784,6 +853,11 @@ func (c *countSink) diff(sim *core.Simulator, cell Cell) string {
 		{"snapshot pred.suppressed", snap.Counters["pred.suppressed"], sim.Suppressed},
 		{"snapshot pred.suppressed_wrong", snap.Counters["pred.suppressed_wrong"], sim.SuppressedWrong},
 		{"snapshot stall.recovery", snap.Counters["stall.recovery"], sim.StallRecovery},
+		{"snapshot stall.redirect", snap.Counters["stall.redirect"], sim.StallRedirect},
+		{"snapshot branch.predicts", snap.Counters["branch.predicts"], sim.BranchPredicts},
+		{"snapshot branch.mispredicted", snap.Counters["branch.mispredicted"], sim.BranchMispredicts},
+		{"snapshot branch.flushed", snap.Counters["branch.flushed"], sim.BranchFlushed},
+		{"snapshot branch.squashed", snap.Counters["branch.squashed"], sim.BranchSquashed},
 		{"snapshot ccb.max_occupancy", snap.Counters["ccb.max_occupancy"], int64(sim.MaxCCBOccupancy)},
 		{"snapshot mem.dhits", snap.Counters["mem.dhits"], sim.DHits},
 		{"snapshot mem.dmisses", snap.Counters["mem.dmisses"], sim.DMisses},
@@ -801,6 +875,16 @@ func (c *countSink) diff(sim *core.Simulator, cell Cell) string {
 	}
 	if !cell.Pred.Gating() && sim.Suppressed+sim.SuppressedWrong != 0 {
 		return fmt.Sprintf("ungated run suppressed %d issues (%d wrong)", sim.Suppressed, sim.SuppressedWrong)
+	}
+	if !cell.Ctrl.Dynamic() && sim.BranchPredicts+sim.BranchMispredicts+sim.BranchFlushed+sim.StallRedirect != 0 {
+		return fmt.Sprintf("predictor-less run recorded branch activity (%d predicts, %d mispredicts, %d flushed, %d redirect stalls)",
+			sim.BranchPredicts, sim.BranchMispredicts, sim.BranchFlushed, sim.StallRedirect)
+	}
+	if sim.BranchMispredicts > sim.BranchPredicts {
+		return fmt.Sprintf("%d branch mispredicts exceed %d predicts", sim.BranchMispredicts, sim.BranchPredicts)
+	}
+	if sim.BranchSquashed > sim.BranchFlushed {
+		return fmt.Sprintf("%d squashed CCB entries exceed %d total branch flushes", sim.BranchSquashed, sim.BranchFlushed)
 	}
 	hist, ok := snap.Histograms["ccb.occupancy"]
 	if !ok {

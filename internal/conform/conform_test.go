@@ -154,6 +154,55 @@ func TestPredConformance(t *testing.T) {
 	}
 }
 
+// -branch-seeds sets the control-speculation conformance budget; CI's
+// branch job pins it to 200 under -race.
+var branchSeedBudget = flag.Int("branch-seeds", 24, "number of generated programs checked across the branch lattice")
+
+// TestBranchConformance runs the invariant battery across the branch
+// lattice: every direction-predictor scheme — static, bimodal, TAGE,
+// shrunken-table TAGE, serial-recovery, CCB-starved, gated, and the
+// cache-backed cells whose long check latencies keep speculation in
+// flight across block boundaries — must stay architecturally
+// byte-identical to the interpreter with mutually consistent events,
+// counters, and snapshot; only timing may move with the control config.
+func TestBranchConformance(t *testing.T) {
+	n := *branchSeedBudget
+	if testing.Short() && n > 6 {
+		n = 6
+	}
+	fails, stats, err := Run(1, n, Options{Jobs: runtime.GOMAXPROCS(0), Lattice: BranchLattice()})
+	if err != nil {
+		t.Fatalf("harness error: %v", err)
+	}
+	for _, f := range fails {
+		t.Errorf("%s", f.Report())
+	}
+
+	// Vacuity guards: the lattice must actually have exercised the
+	// control-speculation model — real predictions, real mispredicts, and
+	// real wrong-path flushes of buffered speculation — or the
+	// flush-elision fault injection below proves nothing.
+	t.Logf("branch conformance stats: %+v", stats)
+	if stats.Programs != n {
+		t.Errorf("checked %d programs, want %d", stats.Programs, n)
+	}
+	if stats.BranchPredicts == 0 {
+		t.Error("no conditional branch was ever direction-predicted")
+	}
+	if stats.BranchMispredicts == 0 {
+		t.Error("no branch prediction ever missed: the flush machinery went untested")
+	}
+	if stats.BranchFlushed == 0 {
+		t.Error("no mispredict ever flushed in-flight speculation: the flush path is vacuous")
+	}
+	if stats.Mispredicts == 0 {
+		t.Error("no value prediction ever missed under the branch lattice")
+	}
+	if stats.CCEExecuted == 0 {
+		t.Error("the Compensation Code Engine never re-executed under the branch lattice")
+	}
+}
+
 // TestConformanceCatchesInjectedMisgateBug proves the predictor axis has
 // teeth: with the confidence-gating logic deliberately broken (a
 // suppressed-and-wrong site treated as verified correct, so dependents

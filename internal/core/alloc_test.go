@@ -148,6 +148,43 @@ func TestSimulatorRunZeroAllocWithPredictors(t *testing.T) {
 	}
 }
 
+func TestSimulatorRunZeroAllocWithBranch(t *testing.T) {
+	// The branch-direction predictor must preserve the steady-state
+	// guarantee: a stable Control.Branch pointer reuses the pooled TAGE /
+	// bimodal tables (Reset clears them in place between runs), and the
+	// mispredict flush walks retained pending-list and CCB storage.
+	for _, spec := range []string{"taken", "nottaken", "bimodal", "tage", "tage:bits=4,hist=8,tables=2"} {
+		t.Run(spec, func(t *testing.T) {
+			bc, err := predict.ParseBranch(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sim, _ := buildSim(t, allocKernel, true, machine.W4)
+			sim.Control = machine.ControlConfig{Branch: bc}
+			var want uint64
+			for i := 0; i < 2; i++ {
+				v, err := sim.Run("main")
+				if err != nil {
+					t.Fatal(err)
+				}
+				want = v
+			}
+			if sim.BranchPredicts == 0 {
+				t.Fatalf("kernel never exercised the branch predictor")
+			}
+			allocs := testing.AllocsPerRun(5, func() {
+				v, err := sim.Run("main")
+				if err != nil || v != want {
+					t.Fatalf("Run: v=%d err=%v", v, err)
+				}
+			})
+			if allocs != 0 {
+				t.Errorf("steady-state Run with branch=%s allocates %.1f objects, want 0", spec, allocs)
+			}
+		})
+	}
+}
+
 func TestBatchRunAllZeroAllocSteadyState(t *testing.T) {
 	sim, _ := buildSim(t, allocKernel, true, machine.W4)
 	img := sim.Image()

@@ -35,6 +35,10 @@ type Batch struct {
 	// builds (nil = legacy defaults, no gating); per-item Pred overrides
 	// it.
 	Pred *predict.Config
+	// Ctrl sets the control-speculation configuration on every simulator
+	// the batch builds (zero value = the pre-branch-predictor machine);
+	// a non-zero per-item Ctrl overrides it.
+	Ctrl machine.ControlConfig
 
 	sims map[*Image]*Simulator
 }
@@ -64,6 +68,11 @@ type BatchItem struct {
 	// batch's Pred). Rebinds per run like Mem; an unchanged pointer reuses
 	// the pooled predictor tables allocation-free.
 	Pred *predict.Config
+	// Ctrl selects the control-speculation configuration for this item
+	// (zero value = the batch's Ctrl). Rebinds per run; an unchanged
+	// Branch pointer reuses the pooled branch-predictor tables
+	// allocation-free.
+	Ctrl machine.ControlConfig
 }
 
 // BatchResult is one item's outcome and headline statistics.
@@ -123,6 +132,10 @@ func (b *Batch) simFor(it *BatchItem) *Simulator {
 	sim.PredCfg = b.Pred
 	if it.Pred != nil {
 		sim.PredCfg = it.Pred
+	}
+	sim.Control = b.Ctrl
+	if it.Ctrl != (machine.ControlConfig{}) {
+		sim.Control = it.Ctrl
 	}
 	return sim
 }

@@ -95,15 +95,20 @@ type Simulator struct {
 	// misprediction the main engine branches to a statically scheduled
 	// recovery block, executes it serially, and branches back. The
 	// architectural effects are applied immediately; the cost is charged
-	// as a front-end stall of 2*BranchPenalty + RecoveryLen[site].
+	// as a front-end stall of 2*Control.BranchPenalty + RecoveryLen[site].
 	SerialRecovery bool
 	// RecoveryLen gives each prediction site's recovery-block schedule
 	// length (from the baseline model). Sites absent from the map charge
 	// one cycle.
 	RecoveryLen map[int]int
-	// BranchPenalty is the taken-branch cost into and out of a recovery
-	// block (serial mode only).
-	BranchPenalty int
+	// Control is the control-speculation model (machine.ControlConfig):
+	// the serial-recovery taken-branch penalty plus, when Control.Branch
+	// selects a direction predictor, the redirect/flush latencies and the
+	// flush of in-flight LdPred state on a mispredicted branch. The zero
+	// value reproduces the pre-ControlConfig machine byte-for-byte. Like
+	// PredCfg, the predictor rebinds on Branch pointer change; an
+	// unchanged binding reuses the pooled tables allocation-free.
+	Control machine.ControlConfig
 
 	// FaultCCEWritebackXor, when nonzero, corrupts every compensation
 	// re-execution result by XORing it with this mask before write-back.
@@ -119,6 +124,14 @@ type Simulator struct {
 	// must catch the resulting architectural divergence. Never set
 	// outside tests.
 	FaultConfidenceMisgate bool
+	// FaultBranchFlushElide, when set, models a flush-logic bug: a
+	// mispredicted branch fails to flush the terminating block's
+	// unresolved LdPred sites. The flush is architecturally conservative
+	// (flushed-correct sites re-execute to identical values), so this
+	// fault is invisible to single-engine invariants — the branch
+	// engine-diff teeth test catches it as a decoded-vs-legacy cycle and
+	// event divergence instead. Never set outside tests.
+	FaultBranchFlushElide bool
 
 	// Results.
 	Cycles      int64
@@ -141,6 +154,12 @@ type Simulator struct {
 	// StallRecovery counts serial-mode cycles spent in recovery blocks
 	// (including branch penalties).
 	StallRecovery int64
+	// Branch-predictor counters (all zero while Control.Branch is nil).
+	BranchPredicts    int64 // conditional branches the direction predictor called
+	BranchMispredicts int64 // of those, called wrong
+	BranchFlushed     int64 // in-flight sites plus CCB entries flushed by branch mispredicts
+	BranchSquashed    int64 // of BranchFlushed, verified CCB entries squashed before CCE dispatch
+	StallRedirect     int64 // cycles stalled on fetch redirects and branch flushes
 	// Memory-hierarchy counters (all zero under the flat model).
 	DHits       int64 // demand loads that hit the first-level D-cache
 	DMisses     int64 // demand loads that missed it (lower level or memory)
@@ -158,22 +177,23 @@ type Simulator struct {
 	ccbOcc [ccbOccBuckets]int64
 
 	// internal state
-	img        *Image
-	msys       *memSys     // hierarchy state, nil under the flat model
-	pf         *prefetcher // stride-stream prefetcher, nil when disabled
-	stallUntil int64       // serial-mode recovery stall horizon
-	seq        int64
-	mem        *interp.Machine // reused for operation semantics + memory
-	syncBusy   uint64
-	cycle      int64
-	wheel      eventWheel
-	ccb        []ccbRef
-	ccbHead    int
-	stack      []*frame
-	scratch    []uint64
-	simErr     error
-	callDepth  int
-	finalRegs  []uint64
+	img           *Image
+	msys          *memSys     // hierarchy state, nil under the flat model
+	pf            *prefetcher // stride-stream prefetcher, nil when disabled
+	stallUntil    int64       // serial-mode recovery stall horizon
+	redirectUntil int64       // branch redirect/flush stall horizon
+	seq           int64
+	mem           *interp.Machine // reused for operation semantics + memory
+	syncBusy      uint64
+	cycle         int64
+	wheel         eventWheel
+	ccb           []ccbRef
+	ccbHead       int
+	stack         []*frame
+	scratch       []uint64
+	simErr        error
+	callDepth     int
+	finalRegs     []uint64
 
 	// Predictor table, dense by prediction-site ID. predRun marks the run
 	// epoch each slot was (re)initialized in, so reusable predictors are
@@ -193,10 +213,33 @@ type Simulator struct {
 	conf     []predict.ConfCounter
 	vtage    *predict.VTAGE
 	predsFor *predict.Config
+	// bp is the pooled branch-direction predictor (nil while
+	// Control.Branch is nil); bpFor is the BranchConfig it was built for
+	// (pointer identity, like predsFor) — rebinding rebuilds, an unchanged
+	// binding Resets in place.
+	bp    *predict.BranchPredictor
+	bpFor *predict.BranchConfig
+	// pending is the in-flight check list: one entry per issued, not yet
+	// resolved CheckLd, in issue order from pendingHead. A branch
+	// mispredict walks it to flush every in-flight prediction — the sites
+	// live in other blocks' pinned instances, unreachable from the
+	// branch's own frame. Entries pin their instance; resolveCheck sweeps
+	// resolved entries from the head (resolution is near-FIFO, and the
+	// final check of a run always drains the list). The backing array is
+	// retained across runs, so steady state appends allocate nothing.
+	pending     []pendingCheck
+	pendingHead int
 
 	// Pools (see the type comment for the recycling invariants).
 	framePool []*frame
 	instPool  []*blockInst
+}
+
+// pendingCheck names one in-flight check's site: the instance that owns
+// it (pinned while listed) and the site's block-local index.
+type pendingCheck struct {
+	inst *blockInst
+	li   int32
 }
 
 // ccbOccBuckets sizes the occupancy histogram: buckets <=1, <=2, <=4 ...
@@ -254,7 +297,13 @@ type siteInst struct {
 	// its check regardless of the comparison, so dependents re-execute
 	// from the verified value.
 	suppressed bool
-	actual     uint64
+	// flushed marks a site whose prediction was discarded by a branch
+	// mispredict while its check was still in flight: like a suppressed
+	// site it takes the repair path regardless of the comparison
+	// (conservative, so architecturally safe), but it is counted as a
+	// branch flush, not a value mispredict.
+	flushed bool
+	actual  uint64
 }
 
 type operandRef struct {
@@ -340,18 +389,25 @@ func (s *Simulator) reset() {
 	s.CCEExecuted, s.CCEFlushed, s.Mispredicts, s.Predictions = 0, 0, 0, 0
 	s.Suppressed, s.SuppressedWrong = 0, 0
 	s.StallRecovery = 0
+	s.BranchPredicts, s.BranchMispredicts, s.BranchFlushed, s.BranchSquashed, s.StallRedirect = 0, 0, 0, 0, 0
 	s.DHits, s.DMisses, s.IMisses, s.StallIFetch = 0, 0, 0, 0
 	s.PrefIssued, s.PrefUseful = 0, 0
 	s.resetMem()
 	s.MaxCCBOccupancy = 0
 	s.ccbOcc = [ccbOccBuckets]int64{}
 	s.Output = nil
-	s.stallUntil, s.seq, s.cycle = 0, 0, 0
+	s.stallUntil, s.redirectUntil, s.seq, s.cycle = 0, 0, 0, 0
 	s.callDepth = 0
 	s.syncBusy = 0
 	s.simErr = nil
 	s.wheel.reset()
 	s.ccb, s.ccbHead = s.ccb[:0], 0
+	// The pending-check list's pins die with the instances below; just
+	// clear the references so pooled instances aren't retained.
+	for i := range s.pending {
+		s.pending[i] = pendingCheck{}
+	}
+	s.pending, s.pendingHead = s.pending[:0], 0
 	for _, fr := range s.stack {
 		if bi := fr.inst; bi != nil {
 			fr.inst = nil
@@ -379,6 +435,17 @@ func (s *Simulator) reset() {
 	}
 	if s.vtage != nil {
 		s.vtage.Reset()
+	}
+	// Branch-predictor rebinding follows the same pattern: a different
+	// Control.Branch binding rebuilds the tables (their sizes are
+	// config-shaped); an unchanged binding Resets them in place — a reset
+	// predictor is indistinguishable from a cold one, so steady-state
+	// reuse allocates nothing.
+	if s.bpFor != s.Control.Branch {
+		s.bpFor = s.Control.Branch
+		s.bp = predict.NewBranchPredictor(s.Control.Branch)
+	} else if s.bp != nil {
+		s.bp.Reset()
 	}
 	for i := range s.conf {
 		s.conf[i] = 0
@@ -505,6 +572,11 @@ func (s *Simulator) PublishMetrics(reg *obs.Registry) {
 	set("stall.ccb", s.StallCCB)
 	set("stall.barrier", s.StallBar)
 	set("stall.recovery", s.StallRecovery)
+	set("stall.redirect", s.StallRedirect)
+	set("branch.predicts", s.BranchPredicts)
+	set("branch.mispredicted", s.BranchMispredicts)
+	set("branch.flushed", s.BranchFlushed)
+	set("branch.squashed", s.BranchSquashed)
 	set("pred.predictions", s.Predictions)
 	set("pred.mispredicted", s.Mispredicts)
 	set("pred.verified", s.Predictions-s.Mispredicts)
@@ -541,6 +613,9 @@ func (s *Simulator) Run(entry string, args ...uint64) (uint64, error) {
 		}
 	}
 	if err := s.PredCfg.Validate(); err != nil {
+		return 0, err
+	}
+	if err := s.Control.Validate(); err != nil {
 		return 0, err
 	}
 	s.reset()
@@ -774,14 +849,16 @@ func (s *Simulator) resolveCheck(ev *wev) {
 		s.emit(&obs.Event{Cycle: s.cycle, Engine: obs.EngineVLIW,
 			Kind: obs.KindCheckResolve, Op: ev.op, Bit: -1, Site: ev.op.PredID,
 			Predicted: int64(si.predicted), Actual: int64(actual),
-			Correct: correct, Gated: si.suppressed})
+			Correct: correct, Gated: si.suppressed, Flushed: si.flushed})
 	}
 	s.syncBusy &^= ev.mask // the LdPred bit always clears
 	// A suppressed site always takes the repair path, even when the
 	// comparison happens to match: the machine committed to not trusting
 	// the prediction at issue time, so dependents wait for the verified
 	// value. The confidence counter still trains on the true outcome.
-	verified := correct && !si.suppressed
+	// A branch-flushed site likewise repairs regardless of the comparison
+	// — its prediction was discarded with the mispredicted path.
+	verified := correct && !si.suppressed && !si.flushed
 	if si.suppressed && !correct {
 		s.SuppressedWrong++
 		if s.FaultConfidenceMisgate {
@@ -792,23 +869,23 @@ func (s *Simulator) resolveCheck(ev *wev) {
 		si.correct = true
 		s.clearVerifiedBits()
 	} else {
-		if !si.suppressed {
+		if !si.suppressed && !correct {
 			s.Mispredicts++
 		}
 		s.applyWrite(ev.fr, ev.reg, actual, ev.seq)
 		if s.SerialRecovery {
 			// Branch to the statically scheduled recovery block, run it
-			// serially on the main engine, branch back. A suppressed site
-			// charges only the recovery schedule: the compiler lays the
-			// recovery code out as the fall-through path when the
+			// serially on the main engine, branch back. A suppressed or
+			// flushed site charges only the recovery schedule: the compiler
+			// lays the recovery code out as the fall-through path when the
 			// prediction was never trusted, so no branches are taken.
 			rl, ok := s.RecoveryLen[ev.op.PredID]
 			if !ok {
 				rl = 1
 			}
 			stall := int64(rl)
-			if !si.suppressed {
-				stall += int64(2 * s.BranchPenalty)
+			if !si.suppressed && !correct {
+				stall += int64(2 * s.Control.BranchPenalty)
 			}
 			until := s.cycle + stall
 			if until > s.stallUntil {
@@ -824,6 +901,22 @@ func (s *Simulator) resolveCheck(ev *wev) {
 	}
 	p := s.sitePredictor(ev.op.PredID)
 	p.Update(actual)
+	// Sweep resolved entries off the pending-check list's head. Resolution
+	// is near-FIFO (issue order plus bounded latency spread), and the last
+	// check of a run always drains the list completely.
+	for s.pendingHead < len(s.pending) {
+		pc := s.pending[s.pendingHead]
+		if !pc.inst.sites[pc.li].resolved {
+			break
+		}
+		s.pending[s.pendingHead] = pendingCheck{}
+		s.pendingHead++
+		pc.inst.pins--
+		s.maybeReleaseInst(pc.inst)
+	}
+	if s.pendingHead == len(s.pending) {
+		s.pending, s.pendingHead = s.pending[:0], 0
+	}
 }
 
 // stepVLIW attempts to issue the current long instruction of the top frame.
@@ -832,6 +925,10 @@ func (s *Simulator) stepVLIW() (bool, error) {
 	fr := s.stack[len(s.stack)-1]
 	if fr.returned {
 		return s.popFrame(fr)
+	}
+	if s.cycle < s.redirectUntil {
+		s.StallRedirect++
+		return false, nil
 	}
 	if s.cycle < s.stallUntil {
 		s.StallRecovery++
@@ -1013,6 +1110,8 @@ func (s *Simulator) issueDataOp(fr *frame, blk *imgBlock, o *imgOp) error {
 		}
 		s.schedule(s.cycle+lat, wev{kind: wevCheckResolve, fr: fr, inst: fr.inst,
 			op: op, li: li, reg: op.Dest, val: actual, seq: seq, mask: bit})
+		fr.inst.pins++ // pinned by the pending-check list until swept
+		s.pending = append(s.pending, pendingCheck{inst: fr.inst, li: int32(li)})
 		fr.readyAt[op.Dest] = s.cycle + lat
 		return nil
 
@@ -1156,7 +1255,42 @@ func (s *Simulator) issueControl(fr *frame, blk *imgBlock, o *imgOp) (bool, erro
 		s.enterBlock(fr, blk.succs[0])
 		return false, nil
 	case ir.Br:
-		if fr.regs[op.A] != 0 {
+		taken := fr.regs[op.A] != 0
+		if s.Control.Dynamic() {
+			pc := branchPC(fr.fn.f.Name, fr.blockID)
+			pred := s.bp.Predict(pc)
+			s.BranchPredicts++
+			if pred != taken {
+				s.BranchMispredicts++
+				if s.tracing() {
+					var p int64
+					if pred {
+						p = 1
+					}
+					s.emit(&obs.Event{Cycle: s.cycle, Engine: obs.EngineVLIW,
+						Kind: obs.KindBranchMispredict, Bit: -1,
+						Func: fr.fn.f.Name, Block: fr.blockID, Predicted: p})
+				}
+				// The wrong-path flush discards every in-flight value
+				// prediction — the pending checks live in earlier blocks'
+				// pinned instances, not the branch's own — and stalls
+				// fetch for FlushLat.
+				if !s.FaultBranchFlushElide {
+					s.flushInFlight()
+				}
+				if until := s.cycle + int64(s.Control.FlushLat()); until > s.redirectUntil {
+					s.redirectUntil = until
+				}
+			} else if taken {
+				// Correctly predicted taken branch: the fetch-redirect
+				// bubble still costs RedirectLat.
+				if until := s.cycle + int64(s.Control.RedirectLat()); until > s.redirectUntil {
+					s.redirectUntil = until
+				}
+			}
+			s.bp.Update(pc, taken)
+		}
+		if taken {
 			s.enterBlock(fr, blk.succs[0])
 		} else {
 			s.enterBlock(fr, blk.succs[1])
@@ -1174,6 +1308,81 @@ func (s *Simulator) issueControl(fr *frame, blk *imgBlock, o *imgOp) (bool, erro
 		return s.popFrame(fr)
 	}
 	return false, fmt.Errorf("core: unexpected control op %s", op)
+}
+
+// flushInFlight discards the machine's in-flight speculation on a
+// mispredicted branch. Two populations go:
+//
+// Unresolved prediction sites (the pending-check list) are marked
+// branch-flushed: their checks are still in the event wheel (which pins
+// their instances), and each takes the repair path when it resolves.
+// The Synchronization-register discipline drains most speculation before
+// any control transfer, so this set is usually empty — it is the safety
+// net for sites whose checks outlive their block.
+//
+// Verified compensation-buffer entries are squashed wholesale: the CCE
+// would dispatch each as a one-cycle no-op flush, but the wrong-path
+// flush discards that queued bookkeeping with the rest of the pipeline.
+// Only the verified-correct head run retires early; an unresolved or
+// mispredicted entry stops the sweep, since repairs must still execute.
+//
+// Both halves are conservative by construction — a flushed-correct site
+// re-executes its dependents to identical values, and a squashed entry
+// was a no-op — so the flush changes timing and accounting, never
+// architectural state.
+func (s *Simulator) flushInFlight() {
+	for i := s.pendingHead; i < len(s.pending); i++ {
+		pc := s.pending[i]
+		si := &pc.inst.sites[pc.li]
+		if si.resolved || si.flushed {
+			continue
+		}
+		si.flushed = true
+		s.BranchFlushed++
+		if s.tracing() {
+			s.emit(&obs.Event{Cycle: s.cycle, Engine: obs.EngineVLIW,
+				Kind: obs.KindBranchFlush, Bit: -1, Site: pc.inst.blk.an.Sites[pc.li].PredID})
+		}
+	}
+	for s.ccbHead < len(s.ccb) {
+		r := s.ccb[s.ccbHead]
+		e := &r.inst.entries[r.idx]
+		if !s.predsVerifiedCorrect(r.inst, r.inst.blk.ops[e.opIdx].predSet) {
+			break
+		}
+		// A deferred speculative fault on an all-correct path is a real
+		// fault, exactly as on the CCE flush path.
+		if e.issueErr != nil {
+			s.simErr = fmt.Errorf("core: %s: %w", e.op, e.issueErr)
+		}
+		if s.tracing() {
+			s.emit(&obs.Event{Cycle: s.cycle, Engine: obs.EngineCCE,
+				Kind: obs.KindBranchFlush, Op: e.op, Bit: -1})
+		}
+		if !e.bitCleared {
+			e.bitCleared = true
+			s.schedule(s.cycle+1, wev{kind: wevClearBits, mask: r.inst.blk.ops[e.opIdx].bitMask})
+		}
+		s.BranchFlushed++
+		s.BranchSquashed++
+		s.retireHead(r.inst)
+	}
+	s.compactCCB()
+}
+
+// branchPC derives a stable, process-independent PC for the conditional
+// branch terminating block blockID of fnName: an FNV-1a fold of the name
+// and block ID. Both engines use it, so the shared BranchPredictor sees
+// identical indices, and it allocates nothing.
+func branchPC(fnName string, blockID int) uint64 {
+	var h uint64 = 14695981039346656037
+	for i := 0; i < len(fnName); i++ {
+		h ^= uint64(fnName[i])
+		h *= 1099511628211
+	}
+	h ^= uint64(blockID)
+	h *= 1099511628211
+	return h
 }
 
 func (s *Simulator) enterBlock(fr *frame, next int) {

@@ -47,8 +47,10 @@ func runDecoded(cp *conform.CellPipeline, cell conform.Cell) (uint64, error, *co
 }
 
 // runLegacy executes the cell on the legacy stepper with the identical
-// knob assignment conform.CellPipeline.NewSim applies.
-func runLegacy(cp *conform.CellPipeline, cell conform.Cell) (uint64, error, *core.LegacySimulator, *recSink, error) {
+// knob assignment conform.CellPipeline.NewSim applies. rec, when non-nil,
+// is a decoded-engine load-latency trace to replay (the legacy engine has
+// no cache model of its own).
+func runLegacy(cp *conform.CellPipeline, cell conform.Cell, rec *core.MemTrace) (uint64, error, *core.LegacySimulator, *recSink, error) {
 	sim, err := core.NewLegacySimulator(cp.Img.Prog, cp.Img.Sched, cell.D, cp.Schemes)
 	if err != nil {
 		return 0, nil, nil, nil, err
@@ -57,8 +59,9 @@ func runLegacy(cp *conform.CellPipeline, cell conform.Cell) (uint64, error, *cor
 		sim.CCBCapacity = cell.CCBCapacity
 	}
 	sim.SerialRecovery = cell.SerialRecovery
-	sim.BranchPenalty = cell.BranchPenalty
+	sim.Control = cell.Ctrl
 	sim.PredCfg = cell.Pred
+	sim.MemReplay = rec
 	sink := &recSink{}
 	sim.Sink = sink
 	v, runErr := sim.Run("main")
@@ -69,7 +72,7 @@ func runLegacy(cp *conform.CellPipeline, cell conform.Cell) (uint64, error, *cor
 // description of the first divergence, or "".
 func diffCell(cp *conform.CellPipeline, cell conform.Cell) string {
 	dv, derr, dsim, dsink := runDecoded(cp, cell)
-	lv, lerr, lsim, lsink, err := runLegacy(cp, cell)
+	lv, lerr, lsim, lsink, err := runLegacy(cp, cell, nil)
 	if err != nil {
 		return fmt.Sprintf("%s: legacy construction: %v", cell.Name, err)
 	}
@@ -97,6 +100,11 @@ func diffCell(cp *conform.CellPipeline, cell conform.Cell) string {
 		{"StallCCB", dsim.StallCCB, lsim.StallCCB},
 		{"StallBar", dsim.StallBar, lsim.StallBar},
 		{"StallRecovery", dsim.StallRecovery, lsim.StallRecovery},
+		{"StallRedirect", dsim.StallRedirect, lsim.StallRedirect},
+		{"BranchPredicts", dsim.BranchPredicts, lsim.BranchPredicts},
+		{"BranchMispredicts", dsim.BranchMispredicts, lsim.BranchMispredicts},
+		{"BranchFlushed", dsim.BranchFlushed, lsim.BranchFlushed},
+		{"BranchSquashed", dsim.BranchSquashed, lsim.BranchSquashed},
 		{"CCEExecuted", dsim.CCEExecuted, lsim.CCEExecuted},
 		{"CCEFlushed", dsim.CCEFlushed, lsim.CCEFlushed},
 		{"Predictions", dsim.Predictions, lsim.Predictions},
@@ -149,7 +157,9 @@ func diffU64(cell, what string, d, l []uint64) string {
 // diffSpec compiles one generated program and diffs the engines across
 // every lattice cell. Cells whose transform produces invalid IR are the
 // conformance suite's problem, not an engine divergence — both engines
-// get no program — so they are skipped here.
+// get no program — so they are skipped here. Cells with a memory
+// hierarchy diff through the record-and-replay protocol (the legacy
+// engine has no cache model).
 func diffSpec(spec progen.Spec, lattice []conform.Cell) string {
 	src := progen.Render(spec)
 	prog, prof, err := conform.Compile(src)
@@ -164,7 +174,13 @@ func diffSpec(spec progen.Spec, lattice []conform.Cell) string {
 			}
 			return fmt.Sprintf("%s: prepare: %v", cell.Name, err)
 		}
-		if msg := diffCell(cp, cell); msg != "" {
+		var msg string
+		if cell.Mem.Flat() {
+			msg = diffCell(cp, cell)
+		} else {
+			msg = diffMemCell(cp, cell)
+		}
+		if msg != "" {
 			return msg
 		}
 	}
@@ -227,6 +243,99 @@ func TestEngineDiffPredictors(t *testing.T) {
 				seed, msg, diffSpec(min, lattice), progen.Render(min))
 		})
 	}
+}
+
+// TestEngineDiffBranches pins the decoded engine to the legacy engine
+// across the branch lattice: every stock branch-predictor scheme, the
+// flush/redirect latency variants, and the combined value+branch cells
+// must agree on cycles, the branch counters (BranchPredicts,
+// BranchMispredicts, BranchFlushed, StallRedirect), the typed event
+// stream (branch.mispredict and branch.flush narration parity), and
+// architectural state.
+func TestEngineDiffBranches(t *testing.T) {
+	n := 24
+	if testing.Short() {
+		n = 8
+	}
+	lattice := conform.BranchLattice()
+	for i := 0; i < n; i++ {
+		seed := int64(1 + i)
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			t.Parallel()
+			spec := progen.Generate(seed, progen.Options{})
+			msg := diffSpec(spec, lattice)
+			if msg == "" {
+				return
+			}
+			min := progen.Minimize(spec, func(s progen.Spec) bool {
+				return diffSpec(s, lattice) != ""
+			})
+			t.Fatalf("engines diverge at seed %d: %s\nminimized divergence: %s\nminimized program:\n%s",
+				seed, msg, diffSpec(min, lattice), progen.Render(min))
+		})
+	}
+}
+
+// TestEngineDiffCatchesFlushElision is the suite's teeth check for the
+// branch-flush semantics: an injected fault that elides the mispredict
+// flush on the decoded engine only (FaultBranchFlushElide) is invisible
+// to single-engine architectural invariants — a flushed-but-correct site
+// re-executes with identical values — but MUST split the engines on some
+// seed (counters or event stream). If no seed diverges, the engine-diff
+// suite has lost its power over flush behavior.
+func TestEngineDiffCatchesFlushElision(t *testing.T) {
+	lattice := conform.BranchLattice()
+	diffOne := func(spec progen.Spec) string {
+		src := progen.Render(spec)
+		prog, prof, err := conform.Compile(src)
+		if err != nil {
+			return ""
+		}
+		for _, cell := range lattice {
+			if !cell.Ctrl.Dynamic() {
+				continue // no branch predictor, nothing to elide
+			}
+			cp, err := conform.PrepareCell(prog, prof, cell)
+			if err != nil {
+				continue
+			}
+			sim := cp.NewSim(cell)
+			sim.FaultBranchFlushElide = true
+			msink := &memFilterSink{}
+			sim.Sink = msink
+			sink := &msink.recSink
+			var rec *core.MemTrace
+			if !cell.Mem.Flat() {
+				rec = &core.MemTrace{}
+				sim.MemRec = rec
+			}
+			dv, derr := sim.Run("main")
+			lv, lerr, lsim, lsink, err := runLegacy(cp, cell, rec)
+			if err != nil || (derr == nil) != (lerr == nil) {
+				return fmt.Sprintf("%s: run split: derr=%v lerr=%v err=%v", cell.Name, derr, lerr, err)
+			}
+			if derr != nil {
+				continue
+			}
+			if dv != lv || sim.Cycles != lsim.Cycles ||
+				sim.BranchFlushed != lsim.BranchFlushed ||
+				sim.Mispredicts != lsim.Mispredicts {
+				return fmt.Sprintf("%s: fault visible (cycles %d vs %d, flushed %d vs %d)",
+					cell.Name, sim.Cycles, lsim.Cycles, sim.BranchFlushed, lsim.BranchFlushed)
+			}
+			if msg := diffStrings(cell.Name, "event stream", sink.lines, lsink.lines); msg != "" {
+				return msg
+			}
+		}
+		return ""
+	}
+	for i := 0; i < 60; i++ {
+		spec := progen.Generate(int64(1+i), progen.Options{})
+		if diffOne(spec) != "" {
+			return // the fault split the engines: the suite has teeth
+		}
+	}
+	t.Fatal("FaultBranchFlushElide never split the engines across 60 seeds; engine-diff has no teeth for branch flush")
 }
 
 // TestEngineDiffImageShared binds many decoded simulators to one image

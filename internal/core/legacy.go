@@ -74,9 +74,11 @@ type LegacySimulator struct {
 	// length (from the baseline model). Sites absent from the map charge
 	// one cycle.
 	RecoveryLen map[int]int
-	// BranchPenalty is the taken-branch cost into and out of a recovery
-	// block (serial mode only).
-	BranchPenalty int
+	// Control is the control-speculation model (see Simulator.Control —
+	// the legacy oracle mirrors its semantics exactly so the engine-diff
+	// holds across the branch lattice). The legacy engine rebuilds the
+	// branch predictor per run rather than pooling it.
+	Control machine.ControlConfig
 
 	// FaultCCEWritebackXor, when nonzero, corrupts every compensation
 	// re-execution result by XORing it with this mask before write-back.
@@ -89,6 +91,10 @@ type LegacySimulator struct {
 	// suppressed site whose prediction turns out wrong is treated as
 	// verified correct. Never set outside tests.
 	FaultConfidenceMisgate bool
+	// FaultBranchFlushElide mirrors Simulator.FaultBranchFlushElide: a
+	// mispredicted branch fails to flush in-flight LdPred sites. Never
+	// set outside tests.
+	FaultBranchFlushElide bool
 
 	// Results.
 	Cycles      int64
@@ -110,6 +116,13 @@ type LegacySimulator struct {
 	// StallRecovery counts serial-mode cycles spent in recovery blocks
 	// (including branch penalties).
 	StallRecovery int64
+	// Branch-predictor counters (see Simulator; zero while Control.Branch
+	// is nil).
+	BranchPredicts    int64
+	BranchMispredicts int64
+	BranchFlushed     int64
+	BranchSquashed    int64
+	StallRedirect     int64
 	// StallIFetch counts cycles stalled on replayed instruction-fetch
 	// penalties (MemReplay runs only).
 	StallIFetch int64
@@ -123,24 +136,31 @@ type LegacySimulator struct {
 	ccbOcc [ccbOccBuckets]int64
 
 	// internal state
-	loadCur    int   // next MemReplay.Loads entry
-	fetchCur   int   // next MemReplay.Fetch entry
-	stallUntil int64 // serial-mode recovery stall horizon
-	seq        int64
-	mem        *interp.Machine // reused for operation semantics + memory
-	preds      map[int]predict.Predictor
-	conf       map[int]predict.ConfCounter
-	vtage      *predict.VTAGE // run-shared SchemeVTAGE table
-	syncBusy   uint64
-	cycle      int64
-	events     map[int64][]func()
-	ccb        []*legacyDynEntry
-	ccbHead    int
-	stack      []*legacyFrame
-	scratch    []uint64
-	simErr     error
-	callDepth  int
-	finalRegs  []uint64
+	loadCur       int   // next MemReplay.Loads entry
+	fetchCur      int   // next MemReplay.Fetch entry
+	stallUntil    int64 // serial-mode recovery stall horizon
+	redirectUntil int64 // branch redirect/flush stall horizon
+	seq           int64
+	bp            *predict.BranchPredictor // rebuilt each run from Control.Branch
+	// pending is the in-flight check list (mirrors Simulator.pending):
+	// appended at CheckLd issue, head-swept as checks resolve, walked by
+	// a branch mispredict's flush.
+	pending     []legacyPending
+	pendingHead int
+	mem         *interp.Machine // reused for operation semantics + memory
+	preds       map[int]predict.Predictor
+	conf        map[int]predict.ConfCounter
+	vtage       *predict.VTAGE // run-shared SchemeVTAGE table
+	syncBusy    uint64
+	cycle       int64
+	events      map[int64][]func()
+	ccb         []*legacyDynEntry
+	ccbHead     int
+	stack       []*legacyFrame
+	scratch     []uint64
+	simErr      error
+	callDepth   int
+	finalRegs   []uint64
 }
 
 // legacyFrame is one activation record.
@@ -171,6 +191,13 @@ type legacyBlockInst struct {
 	entryOf map[int]*legacyDynEntry
 }
 
+// legacyPending names one in-flight check (mirrors pendingCheck; the
+// site instance is heap-allocated here, so no pinning is needed).
+type legacyPending struct {
+	si     *legacySiteInst
+	predID int
+}
+
 // legacySiteInst is one dynamic prediction.
 type legacySiteInst struct {
 	predicted uint64
@@ -178,7 +205,10 @@ type legacySiteInst struct {
 	correct   bool
 	// suppressed marks a confidence-gated issue (see siteInst.suppressed).
 	suppressed bool
-	actual     uint64
+	// flushed marks a site discarded by a branch mispredict while its
+	// check was in flight (see siteInst.flushed).
+	flushed bool
+	actual  uint64
 }
 
 type legacyOperandRef struct {
@@ -253,12 +283,13 @@ func (s *LegacySimulator) reset() {
 	s.CCEExecuted, s.CCEFlushed, s.Mispredicts, s.Predictions = 0, 0, 0, 0
 	s.Suppressed, s.SuppressedWrong = 0, 0
 	s.StallRecovery = 0
+	s.BranchPredicts, s.BranchMispredicts, s.BranchFlushed, s.BranchSquashed, s.StallRedirect = 0, 0, 0, 0, 0
 	s.StallIFetch = 0
 	s.loadCur, s.fetchCur = 0, 0
 	s.MaxCCBOccupancy = 0
 	s.ccbOcc = [ccbOccBuckets]int64{}
 	s.Output = nil
-	s.stallUntil, s.seq, s.cycle = 0, 0, 0
+	s.stallUntil, s.redirectUntil, s.seq, s.cycle = 0, 0, 0, 0
 	s.callDepth = 0
 	s.syncBusy = 0
 	s.simErr = nil
@@ -268,6 +299,8 @@ func (s *LegacySimulator) reset() {
 	s.preds = map[int]predict.Predictor{}
 	s.conf = map[int]predict.ConfCounter{}
 	s.vtage = nil
+	s.bp = predict.NewBranchPredictor(s.Control.Branch)
+	s.pending, s.pendingHead = nil, 0
 	s.mem.Reset()
 }
 
@@ -310,6 +343,11 @@ func (s *LegacySimulator) PublishMetrics(reg *obs.Registry) {
 	set("stall.ccb", s.StallCCB)
 	set("stall.barrier", s.StallBar)
 	set("stall.recovery", s.StallRecovery)
+	set("stall.redirect", s.StallRedirect)
+	set("branch.predicts", s.BranchPredicts)
+	set("branch.mispredicted", s.BranchMispredicts)
+	set("branch.flushed", s.BranchFlushed)
+	set("branch.squashed", s.BranchSquashed)
 	set("stall.ifetch", s.StallIFetch)
 	set("pred.predictions", s.Predictions)
 	set("pred.mispredicted", s.Mispredicts)
@@ -334,6 +372,9 @@ func (s *LegacySimulator) Run(entry string, args ...uint64) (uint64, error) {
 		return 0, fmt.Errorf("core: no function %q", entry)
 	}
 	if err := s.PredCfg.Validate(); err != nil {
+		return 0, err
+	}
+	if err := s.Control.Validate(); err != nil {
 		return 0, err
 	}
 	s.reset()
@@ -413,6 +454,10 @@ func (s *LegacySimulator) stepVLIW() (bool, error) {
 	fr := s.stack[len(s.stack)-1]
 	if fr.returned {
 		return s.popFrame(fr)
+	}
+	if s.cycle < s.redirectUntil {
+		s.StallRedirect++
+		return false, nil
 	}
 	if s.cycle < s.stallUntil {
 		s.StallRecovery++
@@ -623,10 +668,10 @@ func (s *LegacySimulator) issueDataOp(fr *legacyFrame, op *ir.Op) error {
 				s.emit(&obs.Event{Cycle: s.cycle, Engine: obs.EngineVLIW,
 					Kind: obs.KindCheckResolve, Op: op, Bit: -1, Site: op.PredID,
 					Predicted: int64(si.predicted), Actual: int64(actual),
-					Correct: correct, Gated: si.suppressed})
+					Correct: correct, Gated: si.suppressed, Flushed: si.flushed})
 			}
 			s.syncBusy &^= bit // the LdPred bit always clears
-			verified := correct && !si.suppressed
+			verified := correct && !si.suppressed && !si.flushed
 			if si.suppressed && !correct {
 				s.SuppressedWrong++
 				if s.FaultConfidenceMisgate {
@@ -637,22 +682,22 @@ func (s *LegacySimulator) issueDataOp(fr *legacyFrame, op *ir.Op) error {
 				si.correct = true
 				s.clearVerifiedBits()
 			} else {
-				if !si.suppressed {
+				if !si.suppressed && !correct {
 					s.Mispredicts++
 				}
 				s.applyWrite(fr, op.Dest, actual, seq)
 				if s.SerialRecovery {
 					// Branch to the statically scheduled recovery block,
 					// run it serially on the main engine, branch back. A
-					// suppressed site charges only the recovery schedule
-					// (the fall-through path, no taken branches).
+					// suppressed or flushed site charges only the recovery
+					// schedule (the fall-through path, no taken branches).
 					rl, ok := s.RecoveryLen[op.PredID]
 					if !ok {
 						rl = 1
 					}
 					stall := int64(rl)
-					if !si.suppressed {
-						stall += int64(2 * s.BranchPenalty)
+					if !si.suppressed && !correct {
+						stall += int64(2 * s.Control.BranchPenalty)
 					}
 					until := s.cycle + stall
 					if until > s.stallUntil {
@@ -670,7 +715,20 @@ func (s *LegacySimulator) issueDataOp(fr *legacyFrame, op *ir.Op) error {
 			}
 			p := s.sitePredictor(op.PredID)
 			p.Update(actual)
+			// Sweep resolved entries off the pending-check list's head
+			// (mirrors Simulator.resolveCheck).
+			for s.pendingHead < len(s.pending) {
+				if !s.pending[s.pendingHead].si.resolved {
+					break
+				}
+				s.pending[s.pendingHead] = legacyPending{}
+				s.pendingHead++
+			}
+			if s.pendingHead == len(s.pending) {
+				s.pending, s.pendingHead = s.pending[:0], 0
+			}
 		})
+		s.pending = append(s.pending, legacyPending{si: si, predID: op.PredID})
 		fr.readyAt[op.Dest] = s.cycle + lat
 		return nil
 
@@ -806,7 +864,36 @@ func (s *LegacySimulator) issueControl(fr *legacyFrame, op *ir.Op) (bool, error)
 		s.enterBlock(fr, b.Succs[0])
 		return false, nil
 	case ir.Br:
-		if fr.regs[op.A] != 0 {
+		taken := fr.regs[op.A] != 0
+		if s.Control.Dynamic() {
+			pc := branchPC(fr.f.Name, fr.blockID)
+			pred := s.bp.Predict(pc)
+			s.BranchPredicts++
+			if pred != taken {
+				s.BranchMispredicts++
+				if s.tracing() {
+					var p int64
+					if pred {
+						p = 1
+					}
+					s.emit(&obs.Event{Cycle: s.cycle, Engine: obs.EngineVLIW,
+						Kind: obs.KindBranchMispredict, Bit: -1,
+						Func: fr.f.Name, Block: fr.blockID, Predicted: p})
+				}
+				if !s.FaultBranchFlushElide {
+					s.flushInFlight()
+				}
+				if until := s.cycle + int64(s.Control.FlushLat()); until > s.redirectUntil {
+					s.redirectUntil = until
+				}
+			} else if taken {
+				if until := s.cycle + int64(s.Control.RedirectLat()); until > s.redirectUntil {
+					s.redirectUntil = until
+				}
+			}
+			s.bp.Update(pc, taken)
+		}
+		if taken {
 			s.enterBlock(fr, b.Succs[0])
 		} else {
 			s.enterBlock(fr, b.Succs[1])
@@ -824,6 +911,53 @@ func (s *LegacySimulator) issueControl(fr *legacyFrame, op *ir.Op) (bool, error)
 		return s.popFrame(fr)
 	}
 	return false, fmt.Errorf("core: unexpected control op %s", op)
+}
+
+// flushInFlight mirrors Simulator.flushInFlight: every in-flight
+// (issued, unresolved) site is marked branch-flushed and will take the
+// repair path when its check closure fires, and the verified-correct
+// head run of the compensation buffer is squashed wholesale instead of
+// draining through the CCE at one no-op flush per cycle.
+func (s *LegacySimulator) flushInFlight() {
+	for i := s.pendingHead; i < len(s.pending); i++ {
+		pc := s.pending[i]
+		if pc.si.resolved || pc.si.flushed {
+			continue
+		}
+		pc.si.flushed = true
+		s.BranchFlushed++
+		if s.tracing() {
+			s.emit(&obs.Event{Cycle: s.cycle, Engine: obs.EngineVLIW,
+				Kind: obs.KindBranchFlush, Bit: -1, Site: pc.predID})
+		}
+	}
+	for s.ccbHead < len(s.ccb) {
+		e := s.ccb[s.ccbHead]
+		if !s.predsVerifiedCorrect(e.inst, e.inst.an.Info[e.opIdx].PredSet) {
+			break
+		}
+		// A deferred speculative fault on an all-correct path is a real
+		// fault, exactly as on the CCE flush path.
+		if e.issueErr != nil {
+			s.simErr = fmt.Errorf("core: %s: %w", e.op, e.issueErr)
+		}
+		if s.tracing() {
+			s.emit(&obs.Event{Cycle: s.cycle, Engine: obs.EngineCCE,
+				Kind: obs.KindBranchFlush, Op: e.op, Bit: -1})
+		}
+		if !e.bitCleared {
+			e.bitCleared = true
+			bit := uint64(0)
+			if e.op.SyncBit != ir.NoBit {
+				bit = 1 << uint(e.op.SyncBit)
+			}
+			s.at(s.cycle+1, func() { s.syncBusy &^= bit })
+		}
+		s.BranchFlushed++
+		s.BranchSquashed++
+		s.ccbHead++
+	}
+	s.compactCCB()
 }
 
 func (s *LegacySimulator) enterBlock(fr *legacyFrame, next int) {

@@ -60,7 +60,8 @@ func diffMemCell(cp *conform.CellPipeline, cell conform.Cell) string {
 		lsim.CCBCapacity = cell.CCBCapacity
 	}
 	lsim.SerialRecovery = cell.SerialRecovery
-	lsim.BranchPenalty = cell.BranchPenalty
+	lsim.Control = cell.Ctrl
+	lsim.PredCfg = cell.Pred
 	lsim.MemReplay = rec
 	lsink := &recSink{}
 	lsim.Sink = lsink
@@ -91,10 +92,17 @@ func diffMemCell(cp *conform.CellPipeline, cell conform.Cell) string {
 		{"StallBar", dsim.StallBar, lsim.StallBar},
 		{"StallRecovery", dsim.StallRecovery, lsim.StallRecovery},
 		{"StallIFetch", dsim.StallIFetch, lsim.StallIFetch},
+		{"StallRedirect", dsim.StallRedirect, lsim.StallRedirect},
+		{"BranchPredicts", dsim.BranchPredicts, lsim.BranchPredicts},
+		{"BranchMispredicts", dsim.BranchMispredicts, lsim.BranchMispredicts},
+		{"BranchFlushed", dsim.BranchFlushed, lsim.BranchFlushed},
+		{"BranchSquashed", dsim.BranchSquashed, lsim.BranchSquashed},
 		{"CCEExecuted", dsim.CCEExecuted, lsim.CCEExecuted},
 		{"CCEFlushed", dsim.CCEFlushed, lsim.CCEFlushed},
 		{"Predictions", dsim.Predictions, lsim.Predictions},
 		{"Mispredicts", dsim.Mispredicts, lsim.Mispredicts},
+		{"Suppressed", dsim.Suppressed, lsim.Suppressed},
+		{"SuppressedWrong", dsim.SuppressedWrong, lsim.SuppressedWrong},
 		{"MaxCCBOccupancy", int64(dsim.MaxCCBOccupancy), int64(lsim.MaxCCBOccupancy)},
 	}
 	for _, c := range counters {

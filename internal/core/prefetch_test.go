@@ -57,7 +57,7 @@ func TestPrefetcherTraining(t *testing.T) {
 			wantDelta: 10,
 		},
 		{
-			name: "two-stride thrash never confirms",
+			name:  "two-stride thrash never confirms",
 			addrs: []int64{0, 8, 32, 40, 64, 72, 96},
 			// deltas alternate 8, 24, 8, 24, ...: confidence never
 			// reaches 2 because each new delta restarts training.

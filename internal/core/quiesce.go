@@ -42,6 +42,9 @@ func (s *Simulator) CheckQuiescent() error {
 	if s.wheel.len() != 0 {
 		return fmt.Errorf("core: %d events in flight", s.wheel.len())
 	}
+	if n := len(s.pending) - s.pendingHead; n != 0 {
+		return fmt.Errorf("core: %d pending checks survive", n)
+	}
 	// A finished run leaves exactly its returned root frame on the stack
 	// (released by the next Run's reset); anything deeper is a leak, and
 	// the root must hold no event pins.

@@ -165,7 +165,7 @@ func TestMetricsSnapshotAcrossRuns(t *testing.T) {
 func TestSimulatorSerialRunsAreIndependent(t *testing.T) {
 	sim, _ := buildSim(t, resetKernel, true, machine.W4)
 	sim.SerialRecovery = true
-	sim.BranchPenalty = 1
+	sim.Control = machine.DefaultControl()
 	first := capture(t, sim)
 	if first.mispredicts == 0 {
 		t.Fatalf("kernel produced no mispredictions")

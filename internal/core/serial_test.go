@@ -6,6 +6,7 @@ import (
 	"vliwvp/internal/core"
 	"vliwvp/internal/interp"
 	"vliwvp/internal/machine"
+	"vliwvp/internal/predict"
 )
 
 // The tests here pin down edge cases of the serial-recovery baseline
@@ -41,7 +42,7 @@ func runSerial(t *testing.T, src string, recLen map[int]int, branchPenalty int) 
 	sim, orig := buildSim(t, src, true, machine.W4)
 	sim.SerialRecovery = true
 	sim.RecoveryLen = recLen
-	sim.BranchPenalty = branchPenalty
+	sim.Control = machine.ControlConfig{BranchPenalty: branchPenalty}
 	got, err := sim.Run("main")
 	if err != nil {
 		t.Fatalf("serial sim (bp=%d): %v", branchPenalty, err)
@@ -106,6 +107,60 @@ func TestSerialRecoveryZeroBranchPenalty(t *testing.T) {
 	if free.StallRecovery >= taxed.StallRecovery {
 		t.Errorf("bp=0 stalled %d recovery cycles, expected fewer than bp=2's %d",
 			free.StallRecovery, taxed.StallRecovery)
+	}
+}
+
+// TestSerialRecoveryGatedZeroPenalty pins the corner where the
+// confidence gate meets the serial-recovery repair path: a suppressed
+// issue (Gated) that turns out wrong still re-executes through the
+// recovery schedule, but never pays the 2*BranchPenalty control tax —
+// only unsuppressed mispredicts branch into compensation code. At
+// BranchPenalty=0 the tax vanishes entirely, so raising the penalty must
+// move the recovery-stall total by exactly 2*bp per unsuppressed
+// mispredict and nothing more.
+func TestSerialRecoveryGatedZeroPenalty(t *testing.T) {
+	run := func(bp int) *core.Simulator {
+		sim, orig := buildSim(t, serialKernel, true, machine.W4)
+		pc, err := predict.Parse("profiled:conf=1,cbits=2")
+		if err != nil {
+			t.Fatal(err)
+		}
+		sim.PredCfg = pc
+		sim.SerialRecovery = true
+		sim.Control = machine.ControlConfig{BranchPenalty: bp}
+		got, err := sim.Run("main")
+		if err != nil {
+			t.Fatalf("gated serial sim (bp=%d): %v", bp, err)
+		}
+		want, err := interp.New(orig).RunMain()
+		if err != nil {
+			t.Fatalf("interp: %v", err)
+		}
+		if got != want {
+			t.Fatalf("gated serial sim (bp=%d) returned %d, interp %d", bp, got, want)
+		}
+		return sim
+	}
+	free := run(0)
+	if free.Suppressed == 0 {
+		t.Fatalf("gate suppressed nothing; the gated repair corner was not exercised")
+	}
+	if free.SuppressedWrong == 0 {
+		t.Fatalf("no suppressed issue was wrong; the repair corner was not exercised")
+	}
+	if free.StallRecovery == 0 {
+		t.Errorf("bp=0 charged no recovery stalls; suppressed-wrong repairs must still run the schedule")
+	}
+	taxed := run(2)
+	if free.Suppressed != taxed.Suppressed || free.SuppressedWrong != taxed.SuppressedWrong ||
+		free.Mispredicts != taxed.Mispredicts {
+		t.Fatalf("gate behavior moved with the branch penalty: bp=0 %d/%d/%d vs bp=2 %d/%d/%d",
+			free.Suppressed, free.SuppressedWrong, free.Mispredicts,
+			taxed.Suppressed, taxed.SuppressedWrong, taxed.Mispredicts)
+	}
+	if d := taxed.StallRecovery - free.StallRecovery; d != 4*free.Mispredicts {
+		t.Errorf("penalty moved %d stall cycles, want 2*bp per unsuppressed mispredict = %d (suppressed repairs must not pay the control tax)",
+			d, 4*free.Mispredicts)
 	}
 }
 

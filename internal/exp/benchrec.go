@@ -325,6 +325,44 @@ func RunBenchGrid(d *machine.Desc, count int, log io.Writer) (*BenchRecord, erro
 			cachedCycles, decodedCycles)
 	}
 
+	// Branch-grid row: the same batch with a TAGE direction predictor
+	// bound per item, so the perf trajectory tracks the control-speculation
+	// path — prediction, redirect accounting, and mispredict flushes. The
+	// allocation gate holds here too (the predictor is pooled and reset in
+	// place), and the flat rows above are unaffected: a zero ControlConfig
+	// reproduces the pre-branch machine exactly.
+	branchCfg, err := predict.ParseBranch("tage")
+	if err != nil {
+		return nil, err
+	}
+	branchItems := make([]core.BatchItem, len(gridItems))
+	for i, it := range gridItems {
+		it.Ctrl = machine.ControlConfig{Branch: branchCfg}
+		branchItems[i] = it
+	}
+	var branchCycles int64
+	runBranch := func() error {
+		branchCycles = 0
+		gridResults = batch.RunAllInto(gridResults[:0], branchItems)
+		for i := range gridResults {
+			if gridResults[i].Err != nil {
+				return fmt.Errorf("%s: %w", gridResults[i].Name, gridResults[i].Err)
+			}
+			branchCycles += gridResults[i].Cycles
+		}
+		return nil
+	}
+	if err := runBranch(); err != nil {
+		return nil, fmt.Errorf("bench sim/branch-grid: %w", err)
+	}
+	if err := add("sim/branch-grid", branchCycles, runBranch); err != nil {
+		return nil, err
+	}
+	if branchCycles <= decodedCycles {
+		return nil, fmt.Errorf("bench: branch grid %d cycles not above flat grid %d: control speculation charged nothing",
+			branchCycles, decodedCycles)
+	}
+
 	// Pipeline component micro-benchmarks.
 	vortex, err := workload.Vortex.Compile()
 	if err != nil {

@@ -1,0 +1,124 @@
+package exp
+
+import (
+	"fmt"
+
+	"vliwvp/internal/machine"
+	"vliwvp/internal/pool"
+	"vliwvp/internal/predict"
+	"vliwvp/internal/stats"
+)
+
+// combinedBranch is the control-speculation axis of the combined ablation:
+// the abstract flat-penalty machine ("static", the pre-refactor model) and
+// the three dynamic direction-predictor families. Dynamic specs are parsed
+// with predict.ParseBranch, so the table doubles as a grammar check.
+var combinedBranch = []string{"static", "taken", "bimodal", "tage"}
+
+// combinedValue is the value-speculation axis: the paper's per-site
+// profiled selection and the strongest hardware scheme with the runtime
+// confidence gate on.
+var combinedValue = []string{"profiled", "vtage:conf=2"}
+
+// combinedControl maps a branch-axis spec to its ControlConfig. "static"
+// is the paper's serial-recovery setting (one-cycle taken-branch penalty,
+// no modeled predictor); everything else binds a dynamic predictor with
+// the default redirect/flush latencies.
+func combinedControl(spec string) (machine.ControlConfig, error) {
+	if spec == "static" {
+		return machine.DefaultControl(), nil
+	}
+	bc, err := predict.ParseBranch(spec)
+	if err != nil {
+		return machine.ControlConfig{}, fmt.Errorf("branch spec %q: %w", spec, err)
+	}
+	return machine.ControlConfig{Branch: bc}, nil
+}
+
+// RenderCombined runs the unified control+value speculation ablation: the
+// cross product of branch-prediction configurations and value-predictor
+// configurations, each cell a full end-to-end benchmark run on the
+// dual-engine machine. Per row: the dynamic branch predictor's lookups,
+// misses, and accuracy, the in-flight LdPred/CCB state flushed by
+// mispredicted branches (zero by construction on the static rows), and
+// the whole-program speedup over the unspeculated baseline compiled under
+// the same control model. Baselines are shared per control config through
+// the pipeline cache; each "(all)" row aggregates its configuration pair
+// with a cycle-weighted speedup.
+func RenderCombined(d *machine.Desc, jobs int) (*stats.Table, error) {
+	t := &stats.Table{
+		Title: fmt.Sprintf("Ablation: combined branch x value speculation (%s)", d.Name),
+		Headers: []string{"Branch", "Value", "Benchmark", "BrPreds", "BrMispred",
+			"BrAcc", "Flushes", "Mispred", "Speedup"},
+	}
+	type pair struct {
+		branch, value string
+	}
+	pairs := make([]pair, 0, len(combinedBranch)*len(combinedValue))
+	for _, bs := range combinedBranch {
+		for _, vs := range combinedValue {
+			pairs = append(pairs, pair{bs, vs})
+		}
+	}
+	runners := make([]*Runner, len(pairs))
+	for i, p := range pairs {
+		ctrl, err := combinedControl(p.branch)
+		if err != nil {
+			return nil, err
+		}
+		vcfg, err := predict.Parse(p.value)
+		if err != nil {
+			return nil, fmt.Errorf("value spec %q: %w", p.value, err)
+		}
+		runners[i] = NewRunner(d)
+		runners[i].Cfg.Control = ctrl
+		runners[i].Cfg.Predictor = vcfg
+	}
+	nb := len(runners[0].Benchmarks)
+	cells := make([]SpeedupRow, len(pairs)*nb)
+	err := pool.ForEach(jobs, len(cells), func(i int) error {
+		r, b := runners[i/nb], runners[i/nb].Benchmarks[i%nb]
+		row, err := r.Speedup(b)
+		if err != nil {
+			return fmt.Errorf("%s/%s/%s: %w", pairs[i/nb].branch, pairs[i/nb].value, b.Name, err)
+		}
+		cells[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	ratio := func(num, den int64) string {
+		if den == 0 {
+			return "-"
+		}
+		return stats.Pct(float64(num) / float64(den))
+	}
+	for pi, p := range pairs {
+		var sum SpeedupRow
+		for bi := 0; bi < nb; bi++ {
+			c := cells[pi*nb+bi]
+			sum.BaseCycles += c.BaseCycles
+			sum.SpecCycles += c.SpecCycles
+			sum.BranchPredicts += c.BranchPredicts
+			sum.BranchMispredicts += c.BranchMispredicts
+			sum.BranchFlushed += c.BranchFlushed
+			sum.Mispredicts += c.Mispredicts
+			t.AddRow(p.branch, p.value, c.Name,
+				fmt.Sprintf("%d", c.BranchPredicts), fmt.Sprintf("%d", c.BranchMispredicts),
+				ratio(c.BranchPredicts-c.BranchMispredicts, c.BranchPredicts),
+				fmt.Sprintf("%d", c.BranchFlushed), fmt.Sprintf("%d", c.Mispredicts),
+				fmt.Sprintf("%.3f", c.Speedup))
+		}
+		speedup := 0.0
+		if sum.SpecCycles > 0 {
+			speedup = float64(sum.BaseCycles) / float64(sum.SpecCycles)
+		}
+		t.AddRow(p.branch, p.value, "(all)",
+			fmt.Sprintf("%d", sum.BranchPredicts), fmt.Sprintf("%d", sum.BranchMispredicts),
+			ratio(sum.BranchPredicts-sum.BranchMispredicts, sum.BranchPredicts),
+			fmt.Sprintf("%d", sum.BranchFlushed), fmt.Sprintf("%d", sum.Mispredicts),
+			fmt.Sprintf("%.3f", speedup))
+	}
+	return t, nil
+}

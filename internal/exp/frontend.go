@@ -212,11 +212,11 @@ func (r *Runner) interpRunFor(b *workload.Benchmark, fe *frontEnd) (uint64, erro
 // time it is computed. The untransformed program issues no predictions, so
 // the run is independent of CCB capacity and speculation config; sweeps
 // over those knobs all share one baseline run per (front end, machine,
-// DDG, memory hierarchy). The hierarchy is part of the key: baseline
-// cycles move with cache latency even though the architectural result
-// does not.
+// DDG, memory hierarchy, control config). The hierarchy and control
+// config are part of the key: baseline cycles move with cache latency
+// and branch handling even though the architectural result does not.
 func (r *Runner) baseRunFor(b *workload.Benchmark, fe *frontEnd) (baseRun, error) {
-	key := fmt.Sprintf("base|%s|d=%+v|g=%+v|m=%s", r.frontKey(b), *r.D, r.DDG, r.Mem.Key())
+	key := fmt.Sprintf("base|%s|d=%+v|g=%+v|m=%s|c=%s", r.frontKey(b), *r.D, r.DDG, r.Mem.Key(), r.Cfg.Control.Key())
 	v, err := r.cacheFor().Do(key, func() (any, error) {
 		sim, err := r.NewSimulatorFor(fe.Prog, nil)
 		if err != nil {

@@ -76,6 +76,40 @@ func TestGoldenEquivalencePredictorZoo(t *testing.T) {
 	checkGolden(t, "predzoo.txt", tab.String()+"\n")
 }
 
+// TestGoldenEquivalenceCombined pins the unified control+value speculation
+// ablation (branch-predictor axis × value-predictor axis) and checks the
+// acceptance teeth directly: every dynamic-branch configuration must report
+// branch activity and at least one must flush in-flight LdPred/CCB state —
+// an all-zero Flushes column would mean the flush path went vacuous.
+func TestGoldenEquivalenceCombined(t *testing.T) {
+	r := goldenRunner()
+	tab, err := RenderCombined(r.D, r.Jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var flushes, brPreds int64
+	for _, row := range tab.Rows {
+		if row[0] == "static" || row[2] != "(all)" {
+			continue
+		}
+		var f, p int64
+		fmt.Sscanf(row[6], "%d", &f)
+		fmt.Sscanf(row[3], "%d", &p)
+		if p == 0 {
+			t.Errorf("%s/%s: dynamic branch config made no predictions", row[0], row[1])
+		}
+		flushes += f
+		brPreds += p
+	}
+	if brPreds == 0 {
+		t.Fatal("no dynamic branch rows in the combined table")
+	}
+	if flushes == 0 {
+		t.Error("combined table's Flushes column is all zero: mispredicted branches squashed no in-flight state")
+	}
+	checkGolden(t, "combined.txt", tab.String()+"\n")
+}
+
 func TestGoldenEquivalenceSchedules(t *testing.T) {
 	r := goldenRunner()
 	var sb strings.Builder

@@ -33,6 +33,12 @@ type SpeedupRow struct {
 	CCEExecuted     int64
 	CCEFlushed      int64
 	StallSync       int64
+	// Control-speculation counters from the speculative run (zero unless
+	// the runner's ControlConfig binds a dynamic branch predictor).
+	BranchPredicts    int64
+	BranchMispredicts int64
+	BranchFlushed     int64
+	StallRedirect     int64
 	// Memory-hierarchy counters from the speculative run (all zero under
 	// the flat model).
 	DMisses    int64
@@ -59,6 +65,7 @@ func (r *Runner) newSim(img *core.Image, schemes map[int]profile.Scheme) *core.S
 	}
 	sim.MemCfg = r.Mem
 	sim.PredCfg = r.Cfg.Predictor
+	sim.Control = r.Cfg.Control
 	return sim
 }
 
@@ -148,6 +155,10 @@ func (r *Runner) Speedup(b *workload.Benchmark) (SpeedupRow, error) {
 	row.CCEExecuted = specSim.CCEExecuted
 	row.CCEFlushed = specSim.CCEFlushed
 	row.StallSync = specSim.StallSync
+	row.BranchPredicts = specSim.BranchPredicts
+	row.BranchMispredicts = specSim.BranchMispredicts
+	row.BranchFlushed = specSim.BranchFlushed
+	row.StallRedirect = specSim.StallRedirect
 	row.DMisses = specSim.DMisses
 	row.IMisses = specSim.IMisses
 	row.PrefUseful = specSim.PrefUseful
@@ -187,7 +198,7 @@ func (r *Runner) SpeedupSerial(b *workload.Benchmark) (SpeedupRow, error) {
 	sim := r.newSim(ctx.Image, ctx.Schemes)
 	sim.SerialRecovery = true
 	sim.RecoveryLen = recLen
-	sim.BranchPenalty = baseline.DefaultConfig().BranchPenalty
+	sim.Control = baseline.DefaultConfig()
 	got, err := sim.Run("main")
 	if err != nil {
 		return row, fmt.Errorf("%s serial baseline sim: %w", b.Name, err)

@@ -1,0 +1,113 @@
+package machine
+
+import (
+	"errors"
+	"testing"
+
+	"vliwvp/internal/predict"
+)
+
+// TestControlZeroValue pins the compatibility contract: the zero
+// ControlConfig is the pre-refactor machine — free taken branches, no
+// modeled predictor, no redirect or flush charges.
+func TestControlZeroValue(t *testing.T) {
+	var c ControlConfig
+	if c.Dynamic() {
+		t.Error("zero ControlConfig reports a dynamic predictor")
+	}
+	if c.RedirectLat() != 0 || c.FlushLat() != 0 {
+		t.Errorf("zero ControlConfig charges redirect=%d flush=%d, want 0/0",
+			c.RedirectLat(), c.FlushLat())
+	}
+	if got := c.Key(); got != "bp=0" {
+		t.Errorf("zero ControlConfig Key() = %q, want \"bp=0\"", got)
+	}
+	if err := c.Validate(); err != nil {
+		t.Errorf("zero ControlConfig Validate() = %v", err)
+	}
+	if got := DefaultControl().Key(); got != "bp=1" {
+		t.Errorf("DefaultControl().Key() = %q, want \"bp=1\"", got)
+	}
+}
+
+// TestControlDynamicLatencies checks the effective latencies: package
+// defaults while unset, explicit values otherwise, and inert fields while
+// no predictor is bound.
+func TestControlDynamicLatencies(t *testing.T) {
+	bc, err := predict.ParseBranch("tage")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dyn := ControlConfig{Branch: bc}
+	if !dyn.Dynamic() {
+		t.Fatal("config with a branch predictor is not Dynamic")
+	}
+	if dyn.RedirectLat() != DefaultRedirectLat || dyn.FlushLat() != DefaultFlushLat {
+		t.Errorf("default dynamic latencies = %d/%d, want %d/%d",
+			dyn.RedirectLat(), dyn.FlushLat(), DefaultRedirectLat, DefaultFlushLat)
+	}
+	tuned := ControlConfig{Branch: bc, Redirect: 2, Flush: 6}
+	if tuned.RedirectLat() != 2 || tuned.FlushLat() != 6 {
+		t.Errorf("tuned latencies = %d/%d, want 2/6", tuned.RedirectLat(), tuned.FlushLat())
+	}
+	inert := ControlConfig{Redirect: 2, Flush: 6} // no predictor: fields are inert
+	if inert.RedirectLat() != 0 || inert.FlushLat() != 0 {
+		t.Errorf("latencies without a predictor = %d/%d, want 0/0",
+			inert.RedirectLat(), inert.FlushLat())
+	}
+}
+
+// TestControlKeyForms pins the canonical key grammar baseline-run caches
+// and pass fingerprints embed.
+func TestControlKeyForms(t *testing.T) {
+	bim, err := predict.ParseBranch("bimodal:bits=8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		c    ControlConfig
+		want string
+	}{
+		{ControlConfig{BranchPenalty: 3}, "bp=3"},
+		{ControlConfig{Branch: bim}, "bp=0,branch=bimodal:bits=8"},
+		{ControlConfig{Branch: bim, Flush: 6}, "bp=0,branch=bimodal:bits=8,flush=6"},
+		{ControlConfig{Branch: bim, Flush: 6, Redirect: 2}, "bp=0,branch=bimodal:bits=8,flush=6,redir=2"},
+		{ControlConfig{BranchPenalty: 1, Branch: bim, Redirect: 2}, "bp=1,branch=bimodal:bits=8,redir=2"},
+	}
+	for _, tc := range cases {
+		if got := tc.c.Key(); got != tc.want {
+			t.Errorf("Key() = %q, want %q", got, tc.want)
+		}
+	}
+}
+
+// TestControlValidate checks range enforcement on every field and that
+// branch-predictor errors surface as the predictor's own typed error.
+func TestControlValidate(t *testing.T) {
+	bad := []struct {
+		c     ControlConfig
+		field string
+	}{
+		{ControlConfig{BranchPenalty: -1}, "BranchPenalty"},
+		{ControlConfig{BranchPenalty: 65}, "BranchPenalty"},
+		{ControlConfig{Redirect: -1}, "Redirect"},
+		{ControlConfig{Redirect: 65}, "Redirect"},
+		{ControlConfig{Flush: 257}, "Flush"},
+	}
+	for _, tc := range bad {
+		err := tc.c.Validate()
+		if err == nil {
+			t.Errorf("Validate(%+v) = nil, want %s range error", tc.c, tc.field)
+			continue
+		}
+		var ce *ConfigError
+		if !errors.As(err, &ce) || ce.Field != tc.field {
+			t.Errorf("Validate(%+v) = %v, want *ConfigError on %s", tc.c, err, tc.field)
+		}
+	}
+	broken := ControlConfig{Branch: &predict.BranchConfig{Scheme: "gshare"}}
+	var pe *predict.ConfigError
+	if err := broken.Validate(); !errors.As(err, &pe) {
+		t.Errorf("Validate with a bad branch scheme = %v, want *predict.ConfigError", err)
+	}
+}

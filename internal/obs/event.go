@@ -100,6 +100,18 @@ const (
 	// KindLdPredIssue; Predicted carries the untrusted value). The site's
 	// check will take the repair path regardless of the comparison.
 	KindPredSuppress
+	// KindBranchMispredict: the modeled direction predictor called a
+	// conditional branch wrong (Func and Block locate the branch, Correct
+	// is false by definition; Predicted carries the predicted direction as
+	// 0/1). The terminating block's unresolved LdPred state flushes.
+	KindBranchMispredict
+	// KindBranchFlush: a branch mispredict flushed one piece of in-flight
+	// speculation. Two forms: an unresolved prediction site (VLIW engine,
+	// Site locates it; its check takes the repair path regardless of the
+	// comparison), or a verified compensation-buffer entry squashed
+	// wholesale with the wrong path instead of draining through the CCE
+	// at one entry per cycle (CCE engine, Op identifies the entry).
+	KindBranchFlush
 )
 
 var kindNames = [...]string{
@@ -122,6 +134,8 @@ var kindNames = [...]string{
 	KindMemPrefetch:        "mem.prefetch",
 	KindStallIFetch:        "stall.ifetch",
 	KindPredSuppress:       "issue.ldpred.suppressed",
+	KindBranchMispredict:   "branch.mispredict",
+	KindBranchFlush:        "branch.flush",
 }
 
 // String returns the kind's stable wire name (used by the JSONL and Chrome
@@ -214,6 +228,11 @@ type Event struct {
 	// repair path is taken regardless of Correct (which stays the truthful
 	// comparison verdict).
 	Gated bool
+	// Flushed marks a KindCheckResolve of a site whose in-flight prediction
+	// was discarded by a branch mispredict: the repair path is taken
+	// regardless of Correct (like Gated, it is not rendered by Narrate so
+	// text traces stay byte-stable).
+	Flushed bool
 	// Wait and Busy are the Synchronization-register masks of a sync
 	// stall.
 	Wait, Busy uint64
@@ -301,6 +320,13 @@ func Narrate(e *Event) string {
 		return "VLIW stall: instruction fetch"
 	case KindPredSuppress:
 		return fmt.Sprintf("issue %v: prediction suppressed (unconfident), bit %d set", e.Op, e.Bit)
+	case KindBranchMispredict:
+		return fmt.Sprintf("%s b%d branch MISPREDICT (predicted %d)", e.Func, e.Block, e.Predicted)
+	case KindBranchFlush:
+		if e.Op != nil {
+			return fmt.Sprintf("branch flush: buffered %v squashed", e.Op)
+		}
+		return fmt.Sprintf("branch flush site %d: in-flight prediction discarded", e.Site)
 	}
 	return fmt.Sprintf("event %s", e.Kind)
 }

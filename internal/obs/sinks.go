@@ -37,6 +37,7 @@ type Record struct {
 	Done     int64             `json:"done,omitempty"`
 	Correct  *bool             `json:"correct,omitempty"`
 	Gated    bool              `json:"gated,omitempty"`
+	Flushed  bool              `json:"flushed,omitempty"`
 	Wait     uint64            `json:"wait,omitempty"`
 	Busy     uint64            `json:"busy,omitempty"`
 	Operands []SiteStateRecord `json:"operands,omitempty"`
@@ -97,6 +98,7 @@ func recordOf(e *Event) Record {
 		c := e.Correct
 		r.Correct = &c
 		r.Gated = e.Gated
+		r.Flushed = e.Flushed
 	}
 	for _, o := range e.Operands {
 		r.Operands = append(r.Operands, SiteStateRecord{Site: o.Site, State: o.State.String()})
@@ -142,6 +144,7 @@ func (r *Record) EventOf() (Event, error) {
 		e.Correct = *r.Correct
 	}
 	e.Gated = r.Gated
+	e.Flushed = r.Flushed
 	for _, o := range r.Operands {
 		st, ok := OperandStateFromString(o.State)
 		if !ok {

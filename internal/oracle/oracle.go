@@ -51,8 +51,10 @@ type Config struct {
 	// SerialRecovery checks the serial-recovery baseline machine instead of
 	// the dual-engine one (recovery lengths come from baseline.Build).
 	SerialRecovery bool
-	// BranchPenalty is the serial machine's taken-branch cost.
-	BranchPenalty int
+	// Ctrl is the control-speculation configuration (taken-branch cost,
+	// flush/redirect latencies, optional dynamic branch predictor). The zero
+	// value is the pre-branch-predictor machine.
+	Ctrl machine.ControlConfig
 	// Engine selects the simulator implementation under test: "" or
 	// "decoded" drives the decode-once core.Simulator, "legacy" drives the
 	// retained core.LegacySimulator — so the oracle cross-checks BOTH
@@ -91,7 +93,7 @@ type Repro struct {
 	Benchmark      string
 	Machine        string
 	SerialRecovery bool
-	BranchPenalty  int
+	Ctrl           machine.ControlConfig
 	// CCBCapacity is the smallest capacity that still diverges.
 	CCBCapacity int
 	// SiteIDs lists every prediction site of the transformed program.
@@ -105,7 +107,7 @@ type Repro struct {
 func (r Repro) String() string {
 	mode := "dual-engine"
 	if r.SerialRecovery {
-		mode = fmt.Sprintf("serial(bp=%d)", r.BranchPenalty)
+		mode = fmt.Sprintf("serial(%s)", r.Ctrl.Key())
 	}
 	return fmt.Sprintf("%s on %s %s ccb=%d sites=%v schemes=%v",
 		r.Benchmark, r.Machine, mode, r.CCBCapacity, r.SiteIDs, r.Schemes)
@@ -179,10 +181,10 @@ func runEngine(prog *ir.Program, schemes map[int]profile.Scheme, recLen map[int]
 		if cfg.CCBCapacity > 0 {
 			sim.CCBCapacity = cfg.CCBCapacity
 		}
+		sim.Control = cfg.Ctrl
 		if cfg.SerialRecovery {
 			sim.SerialRecovery = true
 			sim.RecoveryLen = recLen
-			sim.BranchPenalty = cfg.BranchPenalty
 		}
 		if cfg.trialMaxCycles > 0 {
 			sim.MaxCycles = cfg.trialMaxCycles
@@ -197,10 +199,10 @@ func runEngine(prog *ir.Program, schemes map[int]profile.Scheme, recLen map[int]
 		if cfg.CCBCapacity > 0 {
 			sim.CCBCapacity = cfg.CCBCapacity
 		}
+		sim.Control = cfg.Ctrl
 		if cfg.SerialRecovery {
 			sim.SerialRecovery = true
 			sim.RecoveryLen = recLen
-			sim.BranchPenalty = cfg.BranchPenalty
 		}
 		if cfg.trialMaxCycles > 0 {
 			sim.MaxCycles = cfg.trialMaxCycles
@@ -271,7 +273,7 @@ func CheckProgram(name string, prog *ir.Program, cfg Config) (*Divergence, error
 
 	var recLen map[int]int
 	if cfg.SerialRecovery {
-		bm, err := baseline.Build(res, cfg.D, cfg.DDG, baseline.Config{BranchPenalty: cfg.BranchPenalty})
+		bm, err := baseline.Build(res, cfg.D, cfg.DDG, cfg.Ctrl)
 		if err != nil {
 			return nil, fmt.Errorf("oracle: baseline %s: %w", name, err)
 		}
@@ -298,7 +300,7 @@ func CheckProgram(name string, prog *ir.Program, cfg Config) (*Divergence, error
 			Benchmark:      name,
 			Machine:        cfg.D.Name,
 			SerialRecovery: cfg.SerialRecovery,
-			BranchPenalty:  cfg.BranchPenalty,
+			Ctrl:           cfg.Ctrl,
 			CCBCapacity:    effectiveCCB(cfg),
 			SiteIDs:        siteIDs,
 			Schemes:        schemes,
@@ -421,7 +423,7 @@ func StandardCells(benches []*workload.Benchmark, descs []*machine.Desc) []Cell 
 			cells = append(cells,
 				Cell{Bench: b, Label: "dual/" + d.Name, Cfg: DefaultConfig(d)},
 				Cell{Bench: b, Label: "dual-ccb4/" + d.Name, Cfg: Config{D: d, CCBCapacity: 4}},
-				Cell{Bench: b, Label: "serial/" + d.Name, Cfg: Config{D: d, SerialRecovery: true, BranchPenalty: 1}},
+				Cell{Bench: b, Label: "serial/" + d.Name, Cfg: Config{D: d, SerialRecovery: true, Ctrl: machine.DefaultControl()}},
 			)
 		}
 	}

@@ -38,8 +38,8 @@ func TestCheckSourceAgrees(t *testing.T) {
 	for _, cfg := range []Config{
 		DefaultConfig(machine.W4),
 		{D: machine.W4, CCBCapacity: 2},
-		{D: machine.W8, SerialRecovery: true, BranchPenalty: 1},
-		{D: machine.W4, SerialRecovery: true, BranchPenalty: 0},
+		{D: machine.W8, SerialRecovery: true, Ctrl: machine.ControlConfig{BranchPenalty: 1}},
+		{D: machine.W4, SerialRecovery: true},
 	} {
 		div, err := CheckSource("mixed", mixedSrc, cfg)
 		if err != nil {
@@ -59,7 +59,7 @@ func TestEngineSelection(t *testing.T) {
 	for _, engine := range []string{"", "decoded", "legacy"} {
 		for _, cfg := range []Config{
 			DefaultConfig(machine.W4),
-			{D: machine.W4, SerialRecovery: true, BranchPenalty: 1},
+			{D: machine.W4, SerialRecovery: true, Ctrl: machine.ControlConfig{BranchPenalty: 1}},
 		} {
 			cfg.Engine = engine
 			div, err := CheckSource("mixed", mixedSrc, cfg)
@@ -247,7 +247,7 @@ func randomConfig(rng *rand.Rand) Config {
 	cfg.CCBCapacity = []int{0, 1, 2, 3, 4, 8, 64}[rng.Intn(7)]
 	if rng.Intn(2) == 1 {
 		cfg.SerialRecovery = true
-		cfg.BranchPenalty = rng.Intn(3)
+		cfg.Ctrl.BranchPenalty = rng.Intn(3)
 	}
 	return cfg
 }

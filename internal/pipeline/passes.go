@@ -13,6 +13,7 @@ import (
 	"vliwvp/internal/ifconv"
 	"vliwvp/internal/ir"
 	"vliwvp/internal/lang"
+	"vliwvp/internal/machine"
 	"vliwvp/internal/opt"
 	"vliwvp/internal/profile"
 	"vliwvp/internal/regions"
@@ -169,7 +170,11 @@ func (c Speculate) Fingerprint() string {
 	// process-local address, not the configuration.
 	pred := cfg.Predictor.Key()
 	cfg.Predictor = nil
-	return fmt.Sprintf("mach=%s pred=%s %+v", mach, pred, cfg)
+	// The control config also holds a pointer (the branch-predictor spec),
+	// so it too enters by canonical key rather than %+v.
+	ctrl := cfg.Control.Key()
+	cfg.Control = machine.ControlConfig{}
+	return fmt.Sprintf("mach=%s pred=%s ctrl=%s %+v", mach, pred, ctrl, cfg)
 }
 
 // Run implements Pass.

@@ -1,0 +1,199 @@
+package predict
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestParseBranchKeyFixedPoint checks that Key() is canonical: parsing a
+// spec and re-parsing its key lands on the same key, and defaults are
+// omitted from the rendered form.
+func TestParseBranchKeyFixedPoint(t *testing.T) {
+	specs := map[string]string{
+		"taken":                        "taken",
+		"nottaken":                     "nottaken",
+		"bimodal":                      "bimodal",
+		"bimodal:bits=8":               "bimodal:bits=8",
+		"tage":                         "tage",
+		"tage:hist=32":                 "tage:hist=32",
+		"tage:tables=2,hist=8,bits=10": "tage:bits=10,hist=8,tables=2",
+	}
+	for spec, want := range specs {
+		c, err := ParseBranch(spec)
+		if err != nil {
+			t.Fatalf("ParseBranch(%q): %v", spec, err)
+		}
+		if got := c.Key(); got != want {
+			t.Errorf("ParseBranch(%q).Key() = %q, want %q", spec, got, want)
+		}
+		c2, err := ParseBranch(c.Key())
+		if err != nil {
+			t.Fatalf("re-parse of key %q: %v", c.Key(), err)
+		}
+		if c2.Key() != c.Key() {
+			t.Errorf("key %q is not a fixed point: re-parse gives %q", c.Key(), c2.Key())
+		}
+	}
+}
+
+// TestParseBranchRejects checks that every malformed spec comes back as a
+// typed *ConfigError naming the offending field, never a panic.
+func TestParseBranchRejects(t *testing.T) {
+	bad := []struct {
+		spec  string
+		field string
+	}{
+		{"gshare", "Scheme"},
+		{"", "Scheme"},
+		{"tage:", "Params"},
+		{"tage:hist", "Params"},
+		{"tage:loop=3", "Params"},
+		{"tage:hist=8,hist=8", "Params"},
+		{"taken:bits=4", "Params"},   // bits does not apply to taken
+		{"bimodal:hist=8", "Params"}, // hist does not apply to bimodal
+		{"tage:hist=eight", "hist"},  // not an integer
+		{"bimodal:bits=40", "BimodalBits"},
+		{"tage:hist=1", "TageHist"},
+		{"tage:tables=12", "TageTables"},
+		{"tage:bits=64", "TageBits"},
+		{"tage:hist=2,tables=4", "TageHist"}, // history shorter than the components
+	}
+	for _, tc := range bad {
+		c, err := ParseBranch(tc.spec)
+		if err == nil {
+			t.Errorf("ParseBranch(%q) = %+v, want error", tc.spec, c)
+			continue
+		}
+		ce, ok := err.(*ConfigError)
+		if !ok {
+			t.Errorf("ParseBranch(%q) error is %T, want *ConfigError", tc.spec, err)
+			continue
+		}
+		if ce.Field != tc.field {
+			t.Errorf("ParseBranch(%q) blamed field %q, want %q", tc.spec, ce.Field, tc.field)
+		}
+	}
+}
+
+// TestBranchNilConfig pins the nil contract: valid, key "none", default
+// accessors, and no constructed predictor.
+func TestBranchNilConfig(t *testing.T) {
+	var c *BranchConfig
+	if err := c.Validate(); err != nil {
+		t.Errorf("nil config Validate() = %v", err)
+	}
+	if got := c.Key(); got != "none" {
+		t.Errorf("nil config Key() = %q, want \"none\"", got)
+	}
+	if got := c.SchemeName(); got != "none" {
+		t.Errorf("nil config SchemeName() = %q, want \"none\"", got)
+	}
+	if c.BaseBits() != DefaultBimodalBits || c.Hist() != DefaultBranchHist ||
+		c.Tables() != DefaultBranchTables || c.TagBits() != DefaultBranchTagBits {
+		t.Errorf("nil config accessors = %d/%d/%d/%d, want package defaults",
+			c.BaseBits(), c.Hist(), c.Tables(), c.TagBits())
+	}
+	if p := NewBranchPredictor(nil); p != nil {
+		t.Errorf("NewBranchPredictor(nil) = %v, want nil", p)
+	}
+	if !strings.Contains(strings.Join(StockBranchNames(), ","), "tage") {
+		t.Errorf("StockBranchNames() = %v, missing tage", StockBranchNames())
+	}
+}
+
+// TestBranchStaticSchemes pins the stateless baselines.
+func TestBranchStaticSchemes(t *testing.T) {
+	taken := NewBranchPredictor(&BranchConfig{Scheme: "taken"})
+	not := NewBranchPredictor(&BranchConfig{Scheme: "nottaken"})
+	for pc := uint64(0); pc < 8; pc++ {
+		if !taken.Predict(pc) {
+			t.Fatalf("taken predicted not-taken at pc %d", pc)
+		}
+		if not.Predict(pc) {
+			t.Fatalf("nottaken predicted taken at pc %d", pc)
+		}
+		taken.Update(pc, pc%2 == 0) // training must be a no-op
+		not.Update(pc, pc%2 == 0)
+	}
+	if !taken.Predict(3) || not.Predict(3) {
+		t.Error("static schemes changed direction after training")
+	}
+}
+
+// TestBimodalLearnsBias trains a bimodal predictor on a heavily biased
+// branch and checks it converges, with hysteresis across single flips.
+func TestBimodalLearnsBias(t *testing.T) {
+	p := NewBranchPredictor(&BranchConfig{Scheme: "bimodal"})
+	const pc = 0x1234
+	for i := 0; i < 8; i++ {
+		p.Update(pc, true)
+	}
+	if !p.Predict(pc) {
+		t.Fatal("bimodal did not learn an always-taken branch")
+	}
+	p.Update(pc, false) // one anomaly must not flip a confident entry
+	if !p.Predict(pc) {
+		t.Fatal("bimodal flipped on a single anomaly (no hysteresis)")
+	}
+	for i := 0; i < 8; i++ {
+		p.Update(pc, false)
+	}
+	if p.Predict(pc) {
+		t.Fatal("bimodal did not relearn after the bias inverted")
+	}
+}
+
+// TestTageLearnsHistoryPattern runs a strictly alternating branch — the
+// worst case for a PC-indexed bimodal table, trivial with global history —
+// and checks the tagged components beat the bimodal baseline on it.
+func TestTageLearnsHistoryPattern(t *testing.T) {
+	accuracy := func(p *BranchPredictor) float64 {
+		const pc, n = 0x42, 400
+		hits := 0
+		for i := 0; i < n; i++ {
+			taken := i%2 == 0
+			if i >= n/2 && p.Predict(pc) == taken {
+				hits++
+			}
+			p.Update(pc, taken)
+		}
+		return float64(hits) / float64(n/2)
+	}
+	tage := accuracy(NewBranchPredictor(&BranchConfig{Scheme: "tage"}))
+	bimodal := accuracy(NewBranchPredictor(&BranchConfig{Scheme: "bimodal"}))
+	if tage < 0.95 {
+		t.Errorf("tage accuracy %.2f on an alternating branch, want >= 0.95", tage)
+	}
+	if tage <= bimodal {
+		t.Errorf("tage accuracy %.2f does not beat bimodal %.2f on a history pattern", tage, bimodal)
+	}
+}
+
+// TestBranchPredictorReset checks Reset returns the predictor to its cold
+// state: trained directions and global history are gone.
+func TestBranchPredictorReset(t *testing.T) {
+	for _, spec := range []string{"bimodal", "tage:hist=8,tables=2,bits=6"} {
+		c, err := ParseBranch(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := NewBranchPredictor(c)
+		cold := make(map[uint64]bool)
+		for pc := uint64(0); pc < 64; pc++ {
+			cold[pc] = p.Predict(pc)
+		}
+		for i := 0; i < 200; i++ {
+			p.Update(uint64(i%64), true)
+		}
+		p.Reset()
+		for pc := uint64(0); pc < 64; pc++ {
+			if p.Predict(pc) != cold[pc] {
+				t.Fatalf("%s: pc %d predicts %v after Reset, cold predictor said %v",
+					spec, pc, p.Predict(pc), cold[pc])
+			}
+		}
+		if p.ghr != 0 {
+			t.Fatalf("%s: Reset left global history %#x", spec, p.ghr)
+		}
+	}
+}

@@ -41,6 +41,12 @@ type Config struct {
 	// with optional name:key=val options, e.g. "vtage:bits=12,conf=2".
 	// It affects site selection, so cells differing here compile apart.
 	Predictor string `json:"predictor,omitempty"`
+	// Branch names a branch-predictor config ("" = none, static
+	// fall-through fetch): a stock scheme name (taken, nottaken, bimodal,
+	// tage) with optional name:key=val options, e.g. "tage:hist=32,bits=8".
+	// The control config is part of the compile fingerprint, so cells
+	// differing here compile apart.
+	Branch string `json:"branch,omitempty"`
 	// IfConvert enables Select-based if-conversion of small diamonds.
 	IfConvert bool `json:"if_convert,omitempty"`
 	// Regions enables profile-guided superblock formation.
@@ -294,6 +300,11 @@ func validateRequest(req *Request, b Budgets) (*runSpec, *Error) {
 		}
 		if c.Predictor != "" {
 			if _, err := predict.Parse(c.Predictor); err != nil {
+				return nil, errf(400, "bad_request", "configs[%d]: %v", i, err)
+			}
+		}
+		if c.Branch != "" {
+			if _, err := predict.ParseBranch(c.Branch); err != nil {
 				return nil, errf(400, "bad_request", "configs[%d]: %v", i, err)
 			}
 		}

@@ -330,6 +330,15 @@ func (s *Server) runnerFor(c cellSpec) *exp.Runner {
 			r.Cfg.Predictor = pc
 		}
 	}
+	// The branch knob enters the control config, which fingerprints into
+	// the compile key, so branch variants compile apart (same defensive
+	// nil fallback as the value predictor).
+	if c.cfg.Branch != "" {
+		if bc, err := predict.ParseBranch(c.cfg.Branch); err == nil {
+			r.Cfg.Control = machine.DefaultControl()
+			r.Cfg.Control.Branch = bc
+		}
+	}
 	// CCBCapacity is sim-time only (BatchItem), deliberately not set here
 	// so cells differing only in CCB share one compile.
 	return r
@@ -384,6 +393,7 @@ func (s *Server) execute(w *worker, j *job) {
 			CCBCapacity: c.cfg.CCBCapacity,
 			Mem:         machine.MemByName(c.cfg.Cache),
 			Pred:        r.Cfg.Predictor,
+			Ctrl:        r.Cfg.Control,
 			MaxCycles:   spec.maxCycles,
 		}
 		sim := w.batch.SimFor(&item)

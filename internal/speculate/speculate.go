@@ -64,6 +64,12 @@ type Config struct {
 	// Threshold. The config also carries the runtime confidence-gating
 	// parameters the engine consumes.
 	Predictor *predict.Config
+	// Control carries the control-speculation configuration (taken-branch
+	// penalty, redirect/flush latencies, optional dynamic branch predictor)
+	// through to the engines. The transform itself does not consult it; it
+	// rides the config so one value parameterizes compile and simulate, and
+	// so cache fingerprints distinguish control variants.
+	Control machine.ControlConfig
 }
 
 // siteRate applies the configured scheme policy to one profiled load,

@@ -181,8 +181,14 @@ type SimResult struct {
 	Suppressed      int64
 	SuppressedWrong int64
 	CCEExecuted     int64
-	CCEFlushed  int64
-	StallSync   int64
+	CCEFlushed      int64
+	StallSync       int64
+	// Control-speculation activity (all zero unless the system's
+	// ControlConfig binds a dynamic branch predictor).
+	BranchPredicts    int64
+	BranchMispredicts int64
+	BranchFlushed     int64
+	StallRedirect     int64
 	// MaxCCBOccupancy is the peak in-flight Compensation Code Buffer depth.
 	MaxCCBOccupancy int
 	// Memory-hierarchy activity (all zero under the flat model).
@@ -232,23 +238,27 @@ func simulate(s *System, prog *ir.Program, schemes map[int]profile.Scheme) (*Sim
 		return nil, err
 	}
 	return &SimResult{
-		Value:           v,
-		Output:          sim.Output,
-		Cycles:          sim.Cycles,
-		Instrs:          sim.Instrs,
-		Ops:             sim.Ops,
-		Predictions:     sim.Predictions,
-		Mispredicts:     sim.Mispredicts,
-		Suppressed:      sim.Suppressed,
-		SuppressedWrong: sim.SuppressedWrong,
-		CCEExecuted:     sim.CCEExecuted,
-		CCEFlushed:      sim.CCEFlushed,
-		StallSync:       sim.StallSync,
-		MaxCCBOccupancy: sim.MaxCCBOccupancy,
-		DMisses:         sim.DMisses,
-		IMisses:         sim.IMisses,
-		StallIFetch:     sim.StallIFetch,
-		PrefIssued:      sim.PrefIssued,
-		PrefUseful:      sim.PrefUseful,
+		Value:             v,
+		Output:            sim.Output,
+		Cycles:            sim.Cycles,
+		Instrs:            sim.Instrs,
+		Ops:               sim.Ops,
+		Predictions:       sim.Predictions,
+		Mispredicts:       sim.Mispredicts,
+		Suppressed:        sim.Suppressed,
+		SuppressedWrong:   sim.SuppressedWrong,
+		CCEExecuted:       sim.CCEExecuted,
+		CCEFlushed:        sim.CCEFlushed,
+		StallSync:         sim.StallSync,
+		BranchPredicts:    sim.BranchPredicts,
+		BranchMispredicts: sim.BranchMispredicts,
+		BranchFlushed:     sim.BranchFlushed,
+		StallRedirect:     sim.StallRedirect,
+		MaxCCBOccupancy:   sim.MaxCCBOccupancy,
+		DMisses:           sim.DMisses,
+		IMisses:           sim.IMisses,
+		StallIFetch:       sim.StallIFetch,
+		PrefIssued:        sim.PrefIssued,
+		PrefUseful:        sim.PrefUseful,
 	}, nil
 }
